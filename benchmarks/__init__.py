@@ -1,0 +1,5 @@
+"""Benchmark suite: one module per paper figure/table plus ablations.
+
+Run with ``pytest benchmarks/ --benchmark-only``; set
+``REPRO_BENCH_SCALE=medium|paper`` for larger parameter ranges.
+"""

@@ -1,0 +1,75 @@
+"""Ablation benchmarks (DESIGN.md rows A1-A4).
+
+A1: PF flow-sum bookkeeping variants — the paper's remark that keeping the
+    sum of flows in one variable "for efficiency reasons" does not rescue
+    PF's accuracy.
+A2: memory soft errors — stored-flow bit flips separate the
+    recompute-from-flows variants (heal) from the incremental-phi variants
+    (permanent offset), the trade-off behind the two PCF formulations.
+A3: message loss — push-sum is destroyed, the flow algorithms self-heal.
+A4: convergence rounds scale as O(log n) on hypercubes.
+"""
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments.figures import (
+    ablation_message_loss,
+    ablation_pf_variants,
+    ablation_state_bit_flips,
+    scaling_rounds,
+)
+
+
+def test_a1_pf_variants(benchmark, scale):
+    dims = {"small": (3, 6), "medium": (3, 6, 9), "paper": (3, 6, 9)}[scale]
+    result = run_once(benchmark, ablation_pf_variants, dims=dims, seeds=(0, 1))
+    emit(result)
+    index = {h: i for i, h in enumerate(result.headers)}
+    by_key = {
+        (r[0], r[index["n"]]): r[index["mean_max_rel_error"]] for r in result.rows
+    }
+    largest = max(n for (_, n) in by_key)
+    # Both variants degrade together: within an order of magnitude of each
+    # other at the largest size, and both well above machine precision.
+    a = by_key[("push_flow", largest)]
+    b = by_key[("push_flow_incremental", largest)]
+    assert max(a, b) < 20 * min(a, b)
+    assert min(a, b) > 1e-15
+
+
+def test_a2_memory_soft_errors(benchmark, scale):
+    result = run_once(
+        benchmark, ablation_state_bit_flips, dimension=5, total_rounds=500
+    )
+    emit(result)
+    index = {h: i for i, h in enumerate(result.headers)}
+    outcome = {row[0]: row[index["recovered"]] for row in result.rows}
+    assert outcome["push_flow"] is True
+
+
+def test_a3_message_loss(benchmark, scale):
+    rates = {"small": (0.0, 0.2), "medium": (0.0, 0.05, 0.2),
+             "paper": (0.0, 0.05, 0.2, 0.4)}[scale]
+    result = run_once(
+        benchmark, ablation_message_loss, loss_rates=rates, total_rounds=500
+    )
+    emit(result)
+    index = {h: i for i, h in enumerate(result.headers)}
+    rows = {
+        (r[0], r[index["loss_rate"]]): r[index["final_max_rel_error"]]
+        for r in result.rows
+    }
+    worst_rate = max(rates)
+    assert rows[("push_sum", worst_rate)] > 1e-6
+    assert rows[("push_flow", worst_rate)] < 1e-10
+    assert rows[("push_cancel_flow", worst_rate)] < 1e-10
+
+
+def test_a4_round_scaling(benchmark, scale):
+    dims = {"small": (3, 6), "medium": (3, 5, 7, 9), "paper": (3, 5, 7, 9, 11)}[
+        scale
+    ]
+    result = run_once(benchmark, scaling_rounds, dims=dims, seeds=(0, 1))
+    emit(result)
+    index = {h: i for i, h in enumerate(result.headers)}
+    per_log = [row[index["rounds_per_log2n"]] for row in result.rows]
+    assert max(per_log) / min(per_log) < 2.5

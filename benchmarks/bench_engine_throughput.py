@@ -1,0 +1,68 @@
+"""Microbenchmarks: simulation engine throughput.
+
+Not a paper figure — these quantify the two engines' cost per gossip round
+(the practical reason the vectorized backend exists for the 2^15-node
+sweeps) and the relative per-round cost of the three protocols.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.aggregates import AggregateKind, initial_mass_pairs
+from repro.algorithms.registry import instantiate
+from repro.simulation.engine import SynchronousEngine
+from repro.simulation.schedule import UniformGossipSchedule
+from repro.topology import hypercube
+from repro.vectorized.parity import vector_engine_for
+
+ALGORITHMS = ("push_sum", "push_flow", "push_cancel_flow")
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_object_engine_round_cost(benchmark, algorithm):
+    topo = hypercube(6)  # 64 nodes
+    data = np.random.default_rng(0).uniform(size=topo.n)
+    initial = initial_mass_pairs(AggregateKind.AVERAGE, list(data))
+    algs = instantiate(algorithm, topo, initial)
+    engine = SynchronousEngine(topo, algs, UniformGossipSchedule(topo.n, 1))
+
+    benchmark(engine.step)
+    assert engine.round > 0
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_vector_engine_round_cost(benchmark, algorithm):
+    topo = hypercube(10)  # 1024 nodes, 16x the object benchmark's size
+    data = np.random.default_rng(0).uniform(size=topo.n)
+    engine = vector_engine_for(algorithm)(
+        topo, data, np.ones(topo.n), seed=1
+    )
+
+    benchmark(engine.step)
+    assert engine.round > 0
+
+
+def test_vector_engine_large_scale_round(benchmark):
+    topo = hypercube(14)  # 16384 nodes
+    data = np.random.default_rng(0).uniform(size=topo.n)
+    engine = vector_engine_for("push_cancel_flow")(
+        topo, data, np.ones(topo.n), seed=1
+    )
+    benchmark(engine.step)
+
+
+def test_full_reduction_wall_time(benchmark):
+    """End-to-end: a complete 64-node PCF reduction to 1e-15."""
+    from repro import run_reduction
+
+    topo = hypercube(6)
+    data = np.random.default_rng(0).uniform(size=topo.n)
+
+    def reduce_once():
+        return run_reduction(
+            topo, data, algorithm="push_cancel_flow", epsilon=1e-15,
+            backend="vector",
+        )
+
+    result = benchmark(reduce_once)
+    assert result.converged

@@ -1,0 +1,19 @@
+"""Benchmark/regeneration of the Sec. III-B equivalence claim.
+
+PF and PCF produce (theoretically) identical results failure-free; under
+one shared random schedule their per-node estimates coincide to rounding
+for the entire run.
+"""
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments.figures import equivalence_experiment
+
+
+def test_pf_pcf_equivalence(benchmark, scale):
+    dimension = {"small": 5, "medium": 6, "paper": 7}[scale]
+    result = run_once(
+        benchmark, equivalence_experiment, dimension=dimension, rounds=150
+    )
+    emit(result)
+    label_to_value = {row[0]: row[1] for row in result.rows}
+    assert label_to_value["max |PF - PCF| / |truth| (whole run)"] < 1e-9

@@ -1,0 +1,42 @@
+"""Benchmark/regeneration of Fig. 2 (bus-network case study).
+
+Regenerates the mechanism behind the paper's Sec. II-B example: on a bus
+with ``v_1 = n + 1`` and the average pinned at 2, PF's equilibrium flows
+grow linearly with n while PCF's cancellation keeps them O(1).
+"""
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments.figures import fig2_bus_flows
+
+
+def rows_by(result, **filters):
+    index = {h: i for i, h in enumerate(result.headers)}
+    return [
+        {h: row[index[h]] for h in index}
+        for row in result.rows
+        if all(row[index[k]] == v for k, v in filters.items())
+    ]
+
+
+def test_fig2_bus_flow_growth(benchmark, scale):
+    sizes = {"small": (8, 16, 32), "medium": (8, 16, 32, 64),
+             "paper": (8, 16, 32, 64, 128)}[scale]
+    result = run_once(benchmark, fig2_bus_flows, sizes=sizes, epsilon=1e-11)
+    emit(result)
+
+    pf = rows_by(result, algorithm="push_flow")
+    pcf = rows_by(result, algorithm="push_cancel_flow_hardened")
+    # Shape: PF's max flow tracks the analytic n-1 tree flow...
+    for row in pf:
+        assert row["max_flow_magnitude"] > 0.5 * (row["n"] - 1)
+    # ... and grows with n, while PCF's flows stay O(1)-ish.
+    assert pf[-1]["max_flow_magnitude"] > 2.5 * pf[0]["max_flow_magnitude"]
+    assert pcf[-1]["max_flow_magnitude"] < 0.5 * pf[-1]["max_flow_magnitude"]
+    # ... and sublinearly in n: PF's flow doubled with n, PCF's didn't.
+    pf_growth = pf[-1]["max_flow_magnitude"] / pf[0]["max_flow_magnitude"]
+    pcf_growth = pcf[-1]["max_flow_magnitude"] / max(
+        pcf[0]["max_flow_magnitude"], 1.0
+    )
+    assert pcf_growth < pf_growth
+    for row in pf + pcf:
+        assert row["max_rel_error"] < 1e-10

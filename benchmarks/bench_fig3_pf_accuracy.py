@@ -1,0 +1,30 @@
+"""Benchmark/regeneration of Fig. 3 (PF achievable accuracy vs scale).
+
+Paper shape: PF's best reachable max local relative error degrades from
+~1e-15 at n=8 toward ~1e-11 at n=2^15, on both 3-D torus and hypercube,
+for SUM and AVERAGE aggregates.
+"""
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments.figures import fig3_pf_accuracy
+
+
+def test_fig3_pf_accuracy_degrades(benchmark, scale):
+    result = run_once(benchmark, fig3_pf_accuracy, scale=scale)
+    emit(result)
+
+    index = {h: i for i, h in enumerate(result.headers)}
+    for family in ("hypercube", "torus3d"):
+        rows = [r for r in result.rows if r[index["topology"]] == family]
+        for kind in ("average", "sum"):
+            series = [
+                (r[index["n"]], r[index["mean_max_rel_error"]])
+                for r in rows
+                if r[index["aggregate"]] == kind
+            ]
+            series.sort()
+            # Degradation by at least an order of magnitude across the
+            # sweep (the Fig. 3 slope).
+            assert series[-1][1] > 10 * series[0][1], (family, kind, series)
+            # Smallest size is near machine precision.
+            assert series[0][1] < 5e-15

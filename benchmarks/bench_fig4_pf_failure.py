@@ -1,0 +1,24 @@
+"""Benchmark/regeneration of Fig. 4 (PF under a permanent link failure).
+
+Paper shape: on a 6-D hypercube, handling a single permanent link failure
+(at round 75 or 175) throws PF's max/median local error back almost to the
+initial level — "the computation is basically restarted from the
+beginning no matter how late the failure occurs".
+"""
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments.figures import fig4_pf_failure
+
+
+def test_fig4_pf_restart_behaviour(benchmark, scale):
+    result = run_once(benchmark, fig4_pf_failure, fail_rounds=(75, 175))
+    emit(result)
+
+    index = {h: i for i, h in enumerate(result.headers)}
+    for row in result.rows:
+        # Massive error jump, most convergence progress undone.
+        assert row[index["jump_factor"]] > 1e3
+        assert row[index["restart_fraction"]] > 0.6
+    # The late failure leaves no room to re-converge within 200 rounds.
+    late = [r for r in result.rows if r[index["fail_round"]] == 175][0]
+    assert late[index["final_error"]] > 1e-6

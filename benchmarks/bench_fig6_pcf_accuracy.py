@@ -1,0 +1,36 @@
+"""Benchmark/regeneration of Fig. 6 (PCF achievable accuracy vs scale).
+
+Paper shape: in the same sweep where PF decays (Fig. 3), PCF reaches the
+1e-15 target band at every size and its error grows much more slowly with
+n.
+"""
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments.figures import fig3_pf_accuracy, fig6_pcf_accuracy
+
+
+def test_fig6_pcf_accuracy_holds(benchmark, scale):
+    result = run_once(benchmark, fig6_pcf_accuracy, scale=scale)
+    emit(result)
+
+    index = {h: i for i, h in enumerate(result.headers)}
+    for row in result.rows:
+        # Every configuration stays within ~10x of the 1e-15 target.
+        assert row[index["mean_max_rel_error"]] < 1e-14, row
+
+
+def test_fig6_vs_fig3_contrast(benchmark, scale):
+    def both():
+        return (
+            fig3_pf_accuracy(scale=scale, seeds=(0,)),
+            fig6_pcf_accuracy(scale=scale, seeds=(0,)),
+        )
+
+    pf, pcf = run_once(benchmark, both)
+    emit(pf)
+    emit(pcf)
+    index = {h: i for i, h in enumerate(pf.headers)}
+    largest_pf = max(r[index["mean_max_rel_error"]] for r in pf.rows)
+    largest_pcf = max(r[index["mean_max_rel_error"]] for r in pcf.rows)
+    # At the top of the sweep PCF beats PF by a clear margin.
+    assert largest_pf > 3 * largest_pcf

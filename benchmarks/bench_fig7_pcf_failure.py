@@ -1,0 +1,42 @@
+"""Benchmark/regeneration of Fig. 7 (PCF under a permanent link failure).
+
+Paper shape: the identical failure scenario of Fig. 4 (same schedule
+seeds), but PCF "tolerates the failure without any fall-back in the
+convergence".
+"""
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments.figures import fig4_pf_failure, fig7_pcf_failure
+
+
+def test_fig7_pcf_no_fallback(benchmark, scale):
+    result = run_once(benchmark, fig7_pcf_failure, fail_rounds=(75, 175))
+    emit(result)
+
+    index = {h: i for i, h in enumerate(result.headers)}
+    for row in result.rows:
+        assert row[index["restart_fraction"]] < 0.5
+        recovery = row[index["recovery_rounds"]]
+        assert recovery is not None and recovery <= 15
+        assert row[index["final_error"]] < 1e-9
+
+
+def test_fig7_vs_fig4_overlay(benchmark, scale):
+    def both():
+        return (
+            fig4_pf_failure(fail_rounds=(75,)),
+            fig7_pcf_failure(fail_rounds=(75,)),
+        )
+
+    pf, pcf = run_once(benchmark, both)
+    index = {h: i for i, h in enumerate(pf.headers)}
+    # Identical schedules: the error level just before the failure agrees
+    # to rounding (PF and PCF are equivalent until the failure, Sec. III-B).
+    before_pf = pf.rows[0][index["error_before"]]
+    before_pcf = pcf.rows[0][index["error_before"]]
+    assert abs(before_pf - before_pcf) <= 1e-6 * abs(before_pf)
+    # Radically different after.
+    assert pf.rows[0][index["jump_factor"]] > 10 * pcf.rows[0][index["jump_factor"]]
+    assert (
+        pf.rows[0][index["final_error"]] > 100 * pcf.rows[0][index["final_error"]]
+    )

@@ -1,0 +1,36 @@
+"""Benchmark/regeneration of Fig. 8 (dmGS factorization error, PF vs PCF).
+
+Paper shape: with per-reduction target 1e-15 and random V in R^(N x 16)
+over hypercubes, dmGS(PF)'s factorization error grows with N (its
+reductions cap out before reaching the target) while dmGS(PCF) stays at
+reduction-level accuracy with no failed reductions.
+"""
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments.figures import fig8_qr
+
+
+def rows_by(result, **filters):
+    index = {h: i for i, h in enumerate(result.headers)}
+    return [
+        {h: row[index[h]] for h in index}
+        for row in result.rows
+        if all(row[index[k]] == v for k, v in filters.items())
+    ]
+
+
+def test_fig8_qr_factorization_error(benchmark, scale):
+    runs = {"small": 3, "medium": 5, "paper": 50}[scale]
+    m = {"small": 8, "medium": 16, "paper": 16}[scale]
+    result = run_once(benchmark, fig8_qr, scale=scale, runs=runs, m=m)
+    emit(result)
+
+    pf = rows_by(result, algorithm="push_flow")
+    pcf = rows_by(result, algorithm="push_cancel_flow")
+    # dmGS(PCF) stays at reduction-level accuracy across all N...
+    for row in pcf:
+        assert row["mean_fact_error"] < 1e-13, row
+        assert row["capped_reductions"] == 0, row
+    # ... while dmGS(PF) is worse at the largest N and caps out.
+    assert pf[-1]["mean_fact_error"] > 2 * pcf[-1]["mean_fact_error"]
+    assert pf[-1]["capped_reductions"] > 0

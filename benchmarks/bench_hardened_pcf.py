@@ -1,0 +1,65 @@
+"""Benchmarks for the hardened PCF extension (DESIGN.md S12).
+
+Compares Fig-5 PCF and hardened PCF on the paper's accuracy sweep (the
+hardened handshake must not cost accuracy or rounds) and measures its
+per-round overhead (one extra mass pair per message).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit, run_once
+from repro import run_reduction
+from repro.experiments.figures import accuracy_sweep
+from repro.algorithms.aggregates import AggregateKind
+from repro.topology import hypercube
+from repro.vectorized.parity import vector_engine_for
+
+
+def test_hardened_accuracy_sweep(benchmark, scale):
+    result = run_once(
+        benchmark,
+        accuracy_sweep,
+        "push_cancel_flow_hardened",
+        scale=scale,
+        kinds=(AggregateKind.AVERAGE,),
+        seeds=(0,),
+    )
+    emit(result)
+    index = {h: i for i, h in enumerate(result.headers)}
+    for row in result.rows:
+        # The hardened handshake keeps PCF's accuracy band.
+        assert row[index["mean_max_rel_error"]] < 5e-14, row
+
+
+def test_hardened_vs_pcf_rounds(benchmark, scale):
+    """Round-count overhead of the hardened handshake (failure-free)."""
+    topo = hypercube(6)
+    data = np.random.default_rng(0).uniform(size=topo.n)
+
+    def both():
+        rounds = {}
+        for alg in ("push_cancel_flow", "push_cancel_flow_hardened"):
+            result = run_reduction(
+                topo, data, algorithm=alg, epsilon=1e-14, backend="vector",
+                schedule_seed=1,
+            )
+            assert result.converged, alg
+            rounds[alg] = result.rounds
+        return rounds
+
+    rounds = run_once(benchmark, both)
+    print(f"\nrounds to 1e-14 on hypercube(6): {rounds}")
+    # Within 2x of each other.
+    values = list(rounds.values())
+    assert max(values) < 2 * min(values)
+
+
+@pytest.mark.parametrize(
+    "algorithm", ["push_cancel_flow", "push_cancel_flow_hardened"]
+)
+def test_vector_round_cost(benchmark, algorithm):
+    topo = hypercube(10)
+    data = np.random.default_rng(0).uniform(size=topo.n)
+    engine = vector_engine_for(algorithm)(topo, data, np.ones(topo.n), seed=1)
+    benchmark(engine.step)

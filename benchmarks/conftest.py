@@ -1,0 +1,35 @@
+"""Shared benchmark configuration.
+
+Every figure/table of the paper has one benchmark module that regenerates
+it and prints the series (captured in the pytest-benchmark output when run
+with ``-s``; always printed on failure). Set ``REPRO_BENCH_SCALE`` to
+``small`` (default), ``medium`` or ``paper`` to choose the parameter range
+— ``paper`` runs the full published sizes (up to 2^15 nodes) and takes
+correspondingly longer.
+"""
+
+import os
+
+import pytest
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    if SCALE not in ("small", "medium", "paper"):
+        raise RuntimeError(
+            f"REPRO_BENCH_SCALE must be small|medium|paper, got {SCALE!r}"
+        )
+    return SCALE
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def emit(result) -> None:
+    """Print a FigureResult table into the captured benchmark output."""
+    print()
+    print(result.render())

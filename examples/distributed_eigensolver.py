@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Scenario: a distributed eigensolver on top of gossip reductions.
+
+The paper points to distributed eigensolvers (its ref [9]) as the next
+layer above fault-tolerant reductions. This example runs the library's
+power-iteration eigensolver: the matrix is column-distributed, every matvec
+and normalization is a gossip reduction, and the reduction algorithm is a
+plug-in — so the eigensolver inherits PCF's fault tolerance for free.
+
+Run:  python examples/distributed_eigensolver.py
+"""
+
+import numpy as np
+
+from repro.linalg import ReductionService, distributed_power_iteration
+from repro.topology import hypercube
+
+
+def main() -> None:
+    dim = 32
+    rng = np.random.default_rng(3)
+    # A symmetric matrix with a controlled spectrum.
+    basis, _ = np.linalg.qr(rng.standard_normal((dim, dim)))
+    spectrum = np.concatenate(([8.0, 3.0], rng.uniform(0.1, 1.0, dim - 2)))
+    matrix = basis @ np.diag(spectrum) @ basis.T
+
+    topo = hypercube(4)  # 16 nodes, 2 columns each
+    print(
+        f"dominant eigenpair of a {dim}x{dim} symmetric matrix, columns "
+        f"distributed over {topo.name}\n"
+    )
+
+    reference = float(np.max(np.abs(np.linalg.eigvalsh(matrix))))
+    print(f"reference |lambda_max| (numpy): {reference:.12f}\n")
+
+    for algorithm in ("push_cancel_flow", "push_flow"):
+        service = ReductionService(topo, algorithm=algorithm, seed=1)
+        result = distributed_power_iteration(
+            matrix, service, iterations=80, tolerance=1e-12, seed=2
+        )
+        print(f"--- {algorithm} ---")
+        print(f"  eigenvalue estimate : {result.eigenvalue:.12f}")
+        print(f"  |error| vs numpy    : {abs(result.eigenvalue - reference):.3e}")
+        print(f"  residual ||Ax-lx||  : {result.residual:.3e}")
+        print(f"  node disagreement   : {result.eigenvalue_spread:.3e}")
+        print(f"  iterations          : {result.iterations}")
+        print(f"  gossip reductions   : {service.stats.calls}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

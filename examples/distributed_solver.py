@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Scenario: solving a linear system without any central coordinator.
+
+A symmetric positive definite system ``A x = b`` is column-distributed over
+a gossip network; conjugate gradients runs with every matvec and dot
+product computed as a fault-tolerant reduction. Swapping the reduction
+algorithm swaps the solver's fault-tolerance properties — the paper's
+"build the fault tolerance into the lowest level" thesis, one layer above
+the QR case study.
+
+Run:  python examples/distributed_solver.py
+"""
+
+import numpy as np
+
+from repro.linalg import ReductionService, distributed_cg, distributed_jacobi
+from repro.topology import hypercube
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    dim = 32
+    m = rng.standard_normal((dim, dim))
+    a = m @ m.T + dim * np.eye(dim)  # SPD, well conditioned
+    b = rng.standard_normal(dim)
+    x_ref = np.linalg.solve(a, b)
+
+    topo = hypercube(4)  # 16 nodes, 2 matrix columns each
+    print(
+        f"solving a {dim}x{dim} SPD system, columns distributed over "
+        f"{topo.name} ({topo.n} nodes)\n"
+    )
+
+    print(f"{'method':<24}{'iters':>6}{'residual':>12}{'|x-x_ref|':>12}"
+          f"{'reductions':>12}{'gossip rounds':>15}")
+    for algorithm in ("push_cancel_flow", "push_flow", "push_sum"):
+        service = ReductionService(topo, algorithm=algorithm, seed=4)
+        result = distributed_cg(a, b, service, tolerance=1e-10)
+        err = float(np.max(np.abs(result.x - x_ref)))
+        print(
+            f"{'CG / ' + algorithm:<24}{result.iterations:>6}"
+            f"{result.residual:>12.3e}{err:>12.3e}"
+            f"{service.stats.calls:>12}{service.stats.total_rounds:>15}"
+        )
+
+    # Jacobi on a diagonally dominant system, for contrast.
+    dd = m * 0.05 + np.diag(np.abs(m).sum(axis=1) * 0.1 + 1.0)
+    bd = rng.standard_normal(dim)
+    service = ReductionService(topo, algorithm="push_cancel_flow", seed=5)
+    result = distributed_jacobi(dd, bd, service, iterations=400)
+    err = float(np.max(np.abs(result.x - np.linalg.solve(dd, bd))))
+    print(
+        f"{'Jacobi / push_cancel_flow':<24}{result.iterations:>6}"
+        f"{result.residual:>12.3e}{err:>12.3e}"
+        f"{service.stats.calls:>12}{service.stats.total_rounds:>15}"
+    )
+    print(
+        "\nEvery scalar the solver shares — step sizes, residual norms, "
+        "matvec entries —\nwent through a gossip reduction; no node ever "
+        "held the full matrix or vector."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Quickstart: one fault-tolerant distributed reduction.
+
+Averages random per-node values over a 64-node hypercube with the paper's
+push-cancel-flow (PCF) algorithm, then re-runs the same computation with a
+30% message-loss channel to show that the result is unaffected — the
+paper's core promise in ~20 lines.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import AggregateKind, run_reduction, topology
+from repro.faults import IidMessageLoss
+
+
+def main() -> None:
+    topo = topology.hypercube(6)  # 64 nodes, each talking to 6 neighbors
+    data = np.random.default_rng(7).uniform(size=topo.n)
+
+    print(f"network: {topo.name} with n={topo.n} nodes")
+    print(f"true average: {np.mean(data):.17g}\n")
+
+    # Failure-free run.
+    result = run_reduction(
+        topo,
+        data,
+        kind=AggregateKind.AVERAGE,
+        algorithm="push_cancel_flow",
+        epsilon=1e-15,
+    )
+    print("failure-free PCF reduction")
+    print(f"  rounds:          {result.rounds}")
+    print(f"  messages:        {result.messages_sent}")
+    print(f"  max local error: {result.max_error:.3e}")
+    print(f"  node 0 estimate: {result.estimate_of(0):.17g}\n")
+
+    # Same computation over a channel that silently drops 30% of messages.
+    lossy = run_reduction(
+        topo,
+        data,
+        kind=AggregateKind.AVERAGE,
+        algorithm="push_cancel_flow",
+        epsilon=1e-12,
+        message_fault=IidMessageLoss(0.3, seed=1),
+        max_rounds=2000,
+    )
+    print("PCF reduction with 30% message loss (self-healing, no retries)")
+    print(f"  rounds:          {lossy.rounds}")
+    delivered = lossy.messages_delivered / max(lossy.messages_sent, 1)
+    print(f"  delivery rate:   {delivered:.1%}")
+    print(f"  max local error: {lossy.max_error:.3e}")
+
+    # Contrast: push-sum (no fault tolerance) under the same channel.
+    fragile = run_reduction(
+        topo,
+        data,
+        algorithm="push_sum",
+        epsilon=1e-12,
+        message_fault=IidMessageLoss(0.3, seed=1),
+        max_rounds=2000,
+    )
+    print("\npush-sum under the same loss (mass leaks, result is wrong)")
+    print(f"  max local error: {fragile.max_error:.3e}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Scenario: how far can you trust a gossip reduction as the system grows?
+
+Sweeps network sizes on hypercube and 3-D torus topologies and measures the
+best accuracy each algorithm can actually reach (the paper's Figs. 3/6).
+Push-flow's achievable accuracy visibly decays with scale; push-cancel-flow
+stays pinned near machine precision. Uses the vectorized engines, so a few
+thousand nodes run in seconds.
+
+Run:  python examples/scaling_accuracy.py [--big]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import AggregateKind, run_reduction
+from repro.topology import hypercube, torus3d
+
+
+def sweep(topologies, algorithms):
+    print(f"{'topology':<14}{'n':>7}", end="")
+    for algorithm in algorithms:
+        print(f"{algorithm:>20}", end="")
+    print()
+    for topo in topologies:
+        data = np.random.default_rng(0).uniform(size=topo.n)
+        print(f"{topo.name:<14}{topo.n:>7}", end="")
+        for algorithm in algorithms:
+            result = run_reduction(
+                topo,
+                data,
+                kind=AggregateKind.AVERAGE,
+                algorithm=algorithm,
+                epsilon=1e-15,
+                backend="vector",
+                stall_rounds=150,
+            )
+            print(f"{result.best_error:>20.3e}", end="", flush=True)
+        print()
+
+
+def main() -> None:
+    big = "--big" in sys.argv
+    hyper_dims = (3, 6, 9, 12) if big else (3, 6, 9)
+    torus_sides = (2, 4, 8, 16) if big else (2, 4, 8)
+    algorithms = ("push_sum", "push_flow", "push_cancel_flow")
+
+    print("Best achievable max local relative error (target 1e-15)\n")
+    sweep([hypercube(d) for d in hyper_dims], algorithms)
+    print()
+    sweep([torus3d(s) for s in torus_sides], algorithms)
+    print(
+        "\nReading: push_flow loses roughly an order of magnitude per size "
+        "step\n(the Fig. 3 decay); push_cancel_flow tracks push_sum near "
+        "machine precision\n(Fig. 6) while being the only one of the two "
+        "that also survives failures."
+    )
+
+
+if __name__ == "__main__":
+    main()

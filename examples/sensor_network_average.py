@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Scenario: temperature averaging in an unreliable sensor network.
+
+A 2-D sensor grid computes the mean of its readings by gossip while the
+network misbehaves underneath it: messages are lost in bursts, bits flip in
+flight, and mid-computation one radio link dies for good. The example
+tracks the live max/median error round by round and annotates the failure
+event — a miniature of the paper's Figs. 4/7 methodology on a realistic
+workload.
+
+Run:  python examples/sensor_network_average.py
+"""
+
+import numpy as np
+
+from repro.algorithms import AggregateKind, initial_mass_pairs, true_aggregate
+from repro.algorithms.registry import instantiate
+from repro.faults import (
+    BitFlipFault,
+    BurstMessageLoss,
+    CompositeFault,
+    FaultPlan,
+    LinkFailure,
+    WindowedFault,
+)
+from repro.metrics import ErrorHistory, fallback_report
+from repro.simulation import SynchronousEngine, UniformGossipSchedule
+from repro.topology import grid2d
+
+
+def main() -> None:
+    rows = cols = 8
+    topo = grid2d(rows, cols)
+    rng = np.random.default_rng(42)
+    # Synthetic temperature field: a warm gradient plus sensor noise.
+    x, y = np.meshgrid(np.arange(cols), np.arange(rows))
+    readings = 18.0 + 0.25 * x.ravel() + 0.1 * y.ravel() + rng.normal(0, 0.3, topo.n)
+    truth = true_aggregate(AggregateKind.AVERAGE, list(readings))
+    print(f"{topo.n} sensors on an {rows}x{cols} grid; true mean {truth:.6f} C\n")
+
+    # The channel: bursty loss everywhere, plus a bit-flip episode.
+    channel = CompositeFault(
+        [
+            BurstMessageLoss(0.03, 0.25, seed=3),
+            WindowedFault(
+                BitFlipFault(0.01, seed=4, max_bit=51),
+                start_round=40,
+                end_round=120,
+            ),
+        ]
+    )
+    # One radio link dies for good at round 150.
+    failed_edge = (27, 28)
+    plan = FaultPlan(link_failures=[LinkFailure(round=150, u=27, v=28)])
+
+    initial = initial_mass_pairs(AggregateKind.AVERAGE, list(readings))
+    algorithms = instantiate("push_cancel_flow", topo, initial)
+    history = ErrorHistory(truth)
+    engine = SynchronousEngine(
+        topo,
+        algorithms,
+        UniformGossipSchedule(topo.n, seed=5),
+        message_fault=channel,
+        fault_plan=plan,
+        observers=[history],
+    )
+    total_rounds = 1200
+    engine.run(total_rounds)
+
+    print("round   max error    median error   notes")
+    for t in range(0, total_rounds, 100):
+        note = ""
+        if t == 100:
+            note = "<- bit-flip episode (rounds 40..120)"
+        if t == 200:
+            note = f"<- link {failed_edge} failed at 150, excluded"
+        print(
+            f"{t:5d}   {history.max_errors[t]:.3e}    "
+            f"{history.median_errors[t]:.3e}   {note}"
+        )
+    print(
+        f"{total_rounds - 1:5d}   {history.max_errors[-1]:.3e}    "
+        f"{history.median_errors[-1]:.3e}"
+    )
+
+    report = fallback_report(history.max_errors, 150)
+    print(
+        f"\nlink-failure impact: error {report.error_before:.2e} -> "
+        f"{report.error_after:.2e} (jump x{report.jump_factor:.1f}), "
+        f"recovered in {report.recovery_rounds} rounds"
+    )
+    estimates = engine.estimates()
+    offset = abs(np.mean(estimates) - truth)
+    print(f"final consensus: {np.mean(estimates):.6f} C  (truth {truth:.6f} C)")
+    print(f"node spread:     {max(estimates) - min(estimates):.3e}")
+    print(
+        f"consensus bias:  {offset:.2e} C — the bounded residue of the "
+        "fault history\n(bit flips frozen by cancellations + in-flight mass "
+        "lost at link exclusion);\nthe sensors agree to 13 digits on a value "
+        "a few micro-degrees off the exact mean."
+    )
+
+
+if __name__ == "__main__":
+    main()

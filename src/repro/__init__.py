@@ -1,0 +1,64 @@
+"""repro — reproduction of Niederbrucker, Straková & Gansterer (SC 2012):
+*Improving Fault Tolerance and Accuracy of a Distributed Reduction
+Algorithm*.
+
+The package implements the paper's subject matter end to end:
+
+- gossip reduction protocols: push-sum, push-flow (PF), and the paper's
+  contribution, **push-cancel-flow (PCF)** (:mod:`repro.algorithms`);
+- a deterministic synchronous round simulator plus an asynchronous
+  Poisson-clock engine (:mod:`repro.simulation`);
+- fault injection — message loss, bit flips, permanent link and node
+  failures (:mod:`repro.faults`);
+- the evaluation topologies and more (:mod:`repro.topology`);
+- vectorized NumPy engines for 2^15-node sweeps (:mod:`repro.vectorized`);
+- a fully distributed QR factorization (dmGS) built on the reductions
+  (:mod:`repro.linalg`);
+- the experiment harness regenerating every figure of the paper's
+  evaluation (:mod:`repro.experiments`).
+
+Quickstart::
+
+    import numpy as np
+    from repro import run_reduction, AggregateKind, topology
+
+    topo = topology.hypercube(6)             # 64 nodes
+    data = np.random.default_rng(0).uniform(size=topo.n)
+    result = run_reduction(topo, data, kind=AggregateKind.AVERAGE,
+                           algorithm="push_cancel_flow", epsilon=1e-15)
+    print(result.max_error, result.rounds)
+"""
+
+from repro import (
+    algorithms,
+    analysis,
+    faults,
+    linalg,
+    metrics,
+    simulation,
+    topology,
+    vectorized,
+)
+from repro.algorithms import AggregateKind, MassPair
+from repro.exceptions import ReproError
+from repro.reduction import ReductionResult, default_round_cap, run_reduction
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "run_reduction",
+    "ReductionResult",
+    "default_round_cap",
+    "AggregateKind",
+    "MassPair",
+    "ReproError",
+    "algorithms",
+    "analysis",
+    "simulation",
+    "topology",
+    "faults",
+    "metrics",
+    "vectorized",
+    "linalg",
+    "__version__",
+]

@@ -1,0 +1,54 @@
+"""Gossip reduction algorithms: push-sum, push-flow, push-cancel-flow.
+
+This package is the paper's subject matter. :class:`PushSum` is the fragile
+baseline; :class:`PushFlow` (PF, Fig. 1) adds flow-based fault tolerance but
+suffers scale-dependent inaccuracy and restart-like failure handling;
+:class:`PushCancelFlow` (PCF, Fig. 5) — the paper's contribution — fixes
+both while preserving PF's fault tolerance.
+"""
+
+from repro.algorithms.aggregates import (
+    AggregateKind,
+    initial_mass_pairs,
+    initial_values,
+    initial_weights,
+    relative_error,
+    true_aggregate,
+)
+from repro.algorithms.base import GossipAlgorithm, payload_mass_pairs
+from repro.algorithms.flow_edge import PCFEdgeState, PCFPayload, ReceiveEffect
+from repro.algorithms.push_cancel_flow import PushCancelFlow
+from repro.algorithms.push_cancel_flow_hardened import PushCancelFlowHardened
+from repro.algorithms.flow_edge_hardened import HardenedEdgeState, PCFHPayload
+from repro.algorithms.push_flow import FlowPayload, PushFlow
+from repro.algorithms.push_sum import PushSum, PushSumPayload
+from repro.algorithms.registry import ALGORITHMS, factory, instantiate
+from repro.algorithms.state import MassPair, total_mass, zero_pair
+
+__all__ = [
+    "AggregateKind",
+    "GossipAlgorithm",
+    "MassPair",
+    "PushSum",
+    "PushSumPayload",
+    "PushFlow",
+    "FlowPayload",
+    "PushCancelFlow",
+    "PushCancelFlowHardened",
+    "HardenedEdgeState",
+    "PCFHPayload",
+    "PCFEdgeState",
+    "PCFPayload",
+    "ReceiveEffect",
+    "ALGORITHMS",
+    "factory",
+    "instantiate",
+    "initial_mass_pairs",
+    "initial_values",
+    "initial_weights",
+    "relative_error",
+    "true_aggregate",
+    "total_mass",
+    "zero_pair",
+    "payload_mass_pairs",
+]

@@ -1,0 +1,171 @@
+"""Aggregate kinds and their initial weight assignment.
+
+Push-sum-style protocols compute ``(sum_k x_k) / (sum_k w_k)``; the *kind* of
+aggregate is selected purely through the initial weights (Sec. II-A):
+
+- AVERAGE: ``w_i = 1`` everywhere → the ratio is the mean of the data.
+- SUM: ``w_i = 1`` at one designated root, ``0`` elsewhere → the ratio is the
+  plain sum (the paper's "SUM" curves in Figs. 3/6).
+- COUNT: data ``x_i = 1`` everywhere with a SUM weighting → network size.
+- WEIGHTED_AVERAGE: arbitrary nonnegative ``w_i`` with positive total.
+
+This module also computes the exact ground-truth aggregate (in extended
+precision via ``math.fsum``/compensated summation) so experiments can report
+true relative errors rather than self-referential residuals.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.algorithms.state import MassPair, Value
+from repro.exceptions import ConfigurationError
+
+
+class AggregateKind(enum.Enum):
+    """Which global aggregate a reduction computes."""
+
+    AVERAGE = "average"
+    SUM = "sum"
+    COUNT = "count"
+    WEIGHTED_AVERAGE = "weighted_average"
+
+
+def initial_weights(
+    kind: AggregateKind,
+    n: int,
+    *,
+    root: int = 0,
+    custom: Optional[Sequence[float]] = None,
+) -> List[float]:
+    """Per-node initial weights realizing ``kind`` on ``n`` nodes."""
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1, got {n}")
+    if kind in (AggregateKind.SUM, AggregateKind.COUNT):
+        if not 0 <= root < n:
+            raise ConfigurationError(f"root {root} out of range for n={n}")
+        weights = [0.0] * n
+        weights[root] = 1.0
+        return weights
+    if kind is AggregateKind.AVERAGE:
+        return [1.0] * n
+    if kind is AggregateKind.WEIGHTED_AVERAGE:
+        if custom is None:
+            raise ConfigurationError("WEIGHTED_AVERAGE requires custom weights")
+        if len(custom) != n:
+            raise ConfigurationError(
+                f"expected {n} custom weights, got {len(custom)}"
+            )
+        weights = [float(w) for w in custom]
+        if any(w < 0 for w in weights):
+            raise ConfigurationError("custom weights must be nonnegative")
+        if sum(weights) <= 0:
+            raise ConfigurationError("custom weights must have positive total")
+        return weights
+    raise ConfigurationError(f"unknown aggregate kind {kind!r}")
+
+
+def initial_values(
+    kind: AggregateKind, data: Sequence[Value]
+) -> List[Value]:
+    """Per-node initial values; COUNT replaces the data by all-ones."""
+    if kind is AggregateKind.COUNT:
+        first = data[0]
+        if isinstance(first, np.ndarray):
+            return [np.ones_like(np.asarray(d, dtype=np.float64)) for d in data]
+        return [1.0 for _ in data]
+    return [
+        np.asarray(d, dtype=np.float64) if isinstance(d, np.ndarray) else float(d)
+        for d in data
+    ]
+
+
+def initial_mass_pairs(
+    kind: AggregateKind,
+    data: Sequence[Value],
+    *,
+    root: int = 0,
+    custom_weights: Optional[Sequence[float]] = None,
+) -> List[MassPair]:
+    """The ``(x_i, w_i)`` initial state of every node for this aggregate."""
+    values = initial_values(kind, data)
+    weights = initial_weights(kind, len(data), root=root, custom=custom_weights)
+    return [MassPair(v, w) for v, w in zip(values, weights)]
+
+
+def true_aggregate(
+    kind: AggregateKind,
+    data: Sequence[Value],
+    *,
+    custom_weights: Optional[Sequence[float]] = None,
+) -> Value:
+    """Exact target aggregate computed with compensated summation.
+
+    This is the oracle ``r`` in the paper's accuracy requirement
+    ``max_i |(r~_i - r) / r| <= c(n) * eps_mach``; computing it carelessly
+    (plain left-to-right float sum) would contaminate the very errors the
+    experiments measure, so scalars use ``math.fsum`` and vectors use a
+    Kahan–Babuška compensated loop.
+    """
+    if len(data) == 0:
+        raise ConfigurationError("true_aggregate of empty data is undefined")
+    vector = isinstance(data[0], np.ndarray)
+    values = initial_values(kind, data)
+    weights = initial_weights(
+        kind, len(data), custom=custom_weights
+    )
+    weight_total = math.fsum(weights)
+
+    if not vector:
+        # The protocol's ratio is always sum(x_i) / sum(w_i); a weighted
+        # average is realized by the caller pre-scaling its data, not here.
+        numerator = math.fsum(values)
+        return numerator / weight_total
+
+    dimension = len(values[0])
+    numerator_vec = _compensated_vector_sum(values, dimension)
+    return numerator_vec / weight_total
+
+
+def _compensated_vector_sum(values: Sequence[np.ndarray], dimension: int) -> np.ndarray:
+    total = np.zeros(dimension, dtype=np.float64)
+    compensation = np.zeros(dimension, dtype=np.float64)
+    for v in values:
+        v = np.asarray(v, dtype=np.float64)
+        if v.shape != (dimension,):
+            raise ConfigurationError(
+                f"inconsistent vector shapes: {v.shape} vs ({dimension},)"
+            )
+        y = v - compensation
+        t = total + y
+        compensation = (t - total) - y
+        total = t
+    return total
+
+
+def relative_error(estimate: Value, truth: Value) -> float:
+    """Max-norm relative error ``max_k |est_k - true_k| / max_k |true_k|``.
+
+    For scalars this is the paper's ``|(r~ - r) / r|``. For vector payloads
+    (batched reductions, e.g. all dot products of one Gram-Schmidt step) the
+    error is normalized by the *largest* true component: a componentwise
+    relative error would make the target unreachable whenever some true
+    component is accidentally tiny (e.g. a near-orthogonal dot product),
+    even though the reduction is as accurate as the data scale permits.
+    Returns ``inf`` for non-finite estimates (e.g. a zero-weight node) and
+    falls back to absolute error when the truth is exactly zero.
+    """
+    est = np.atleast_1d(np.asarray(estimate, dtype=np.float64))
+    tru = np.atleast_1d(np.asarray(truth, dtype=np.float64))
+    if est.shape != tru.shape:
+        raise ValueError(f"shape mismatch: {est.shape} vs {tru.shape}")
+    if not np.all(np.isfinite(est)):
+        return float("inf")
+    scale = float(np.max(np.abs(tru)))
+    if scale == 0.0:
+        scale = 1.0
+    return float(np.max(np.abs(est - tru)) / scale)

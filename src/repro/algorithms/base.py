@@ -1,0 +1,162 @@
+"""The gossip-reduction algorithm interface.
+
+An algorithm instance is the *local* protocol state of one node. It is a pure
+message-driven state machine, fully decoupled from transport: the engines
+(:mod:`repro.simulation`) and the linalg reduction service drive it through
+exactly four entry points:
+
+- :meth:`GossipAlgorithm.make_message` — the node was scheduled to gossip;
+  perform the local "virtual send" bookkeeping and return the payload for
+  the chosen neighbor.
+- :meth:`GossipAlgorithm.on_receive` — a (possibly corrupted) payload arrived.
+- :meth:`GossipAlgorithm.estimate` / :meth:`estimate_pair` — the node's
+  current approximation of the global aggregate.
+- :meth:`GossipAlgorithm.on_link_failed` — the failure detector reported a
+  permanently broken link; exclude it algorithmically (Sec. II-C).
+
+Payloads are algorithm-specific frozen dataclasses; fault injectors treat
+them as opaque float containers via :func:`payload_mass_pairs`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Sequence, Tuple
+
+from repro.algorithms.state import MassPair, Value
+from repro.exceptions import ProtocolError
+
+
+class GossipAlgorithm(abc.ABC):
+    """Local protocol state of a single node.
+
+    Parameters
+    ----------
+    node_id:
+        This node's identifier.
+    neighbors:
+        The initial neighborhood ``N_i`` (nonempty for ``n > 1``).
+    initial:
+        The node's initial mass ``(x_i, w_i)``.
+    """
+
+    def __init__(
+        self, node_id: int, neighbors: Sequence[int], initial: MassPair
+    ) -> None:
+        if len(set(neighbors)) != len(neighbors):
+            raise ProtocolError(f"duplicate neighbors for node {node_id}")
+        if node_id in neighbors:
+            raise ProtocolError(f"node {node_id} cannot neighbor itself")
+        self._node_id = int(node_id)
+        self._neighbors: List[int] = [int(j) for j in neighbors]
+        self._initial = initial.copy()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def node_id(self) -> int:
+        return self._node_id
+
+    @property
+    def neighbors(self) -> Tuple[int, ...]:
+        """Currently live neighbors (shrinks as links fail)."""
+        return tuple(self._neighbors)
+
+    @property
+    def initial_mass(self) -> MassPair:
+        return self._initial.copy()
+
+    # ------------------------------------------------------------------
+    # Protocol
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def make_message(self, neighbor: int) -> object:
+        """Perform local send bookkeeping and return the payload for ``neighbor``.
+
+        Engines guarantee ``neighbor in self.neighbors``. Mutates local state
+        (the "virtual send" of the flow algorithms) *before* the physical
+        message is handed to the transport — this ordering is what makes the
+        flow algorithms tolerate the loss of that very message.
+        """
+
+    @abc.abstractmethod
+    def on_receive(self, sender: int, payload: object) -> None:
+        """Fold a received payload into local state.
+
+        ``payload`` may be corrupted by fault injection; implementations must
+        not crash on any float content (inf/NaN included) — recovery happens
+        through subsequent exchanges, not through validation here.
+        """
+
+    @abc.abstractmethod
+    def estimate_pair(self) -> MassPair:
+        """The local estimate as an un-divided ``(value, weight)`` pair."""
+
+    def estimate(self) -> Value:
+        """The local estimate of the global aggregate (``value / weight``)."""
+        return self.estimate_pair().ratio()
+
+    def on_link_failed(self, neighbor: int) -> None:
+        """Handle a permanent failure of the link to ``neighbor``.
+
+        Default: remove the neighbor from the live set. Flow-based algorithms
+        additionally zero/absorb the per-edge flow state (the paper's
+        "setting the corresponding flow variables to zero").
+        """
+        self._remove_neighbor(neighbor)
+
+    # ------------------------------------------------------------------
+    # Conservation diagnostics (used by invariants/tests, not the protocol)
+    # ------------------------------------------------------------------
+    def local_flows(self) -> Dict[int, MassPair]:
+        """Per-neighbor total outgoing flow; empty for flow-less protocols."""
+        return {}
+
+    def conserved_mass(self) -> MassPair:
+        """The node's share of the globally conserved mass.
+
+        For push-sum this is the current local pair; for flow algorithms it
+        is the initial pair (flows cancel pairwise across edges). Tests sum
+        this over all nodes and compare against the initial total.
+        """
+        return self.estimate_pair()
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _require_neighbor(self, neighbor: int) -> None:
+        if neighbor not in self._neighbors:
+            raise ProtocolError(
+                f"node {self._node_id}: {neighbor} is not a live neighbor "
+                f"(live set: {self._neighbors})"
+            )
+
+    def _remove_neighbor(self, neighbor: int) -> None:
+        self._require_neighbor(neighbor)
+        self._neighbors.remove(neighbor)
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(node={self._node_id}, "
+            f"neighbors={len(self._neighbors)})"
+        )
+
+
+def payload_mass_pairs(payload: object) -> List[str]:
+    """Names of the MassPair-typed fields of a payload dataclass.
+
+    Fault injectors use this to corrupt payload floats generically without
+    knowing each protocol's message layout.
+    """
+    import dataclasses
+
+    if not dataclasses.is_dataclass(payload):
+        raise ProtocolError(
+            f"payloads must be dataclasses, got {type(payload).__name__}"
+        )
+    return [
+        f.name
+        for f in dataclasses.fields(payload)
+        if isinstance(getattr(payload, f.name), MassPair)
+    ]

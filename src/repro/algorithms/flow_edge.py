@@ -1,0 +1,232 @@
+"""The push-cancel-flow per-edge state machine (Fig. 5, lines 6–29).
+
+For every live neighbor, a PCF node keeps *two* flow variables instead of
+PF's one. At any time one of them is **active** — it runs plain push-flow —
+and the other is **passive** — the two endpoints cooperatively drive it to
+exactly zero ("cancellation") and then swap the roles. Two control variables
+coordinate this per ordered edge: ``c`` (which slot is active) and ``r``
+(how many times the roles have swapped, an era counter).
+
+The cancellation handshake proceeds in three steps, each keyed off the
+*exact* float content of the received flows (see
+:meth:`~repro.algorithms.state.MassPair.exactly_equals` for why exactness is
+sound here):
+
+1. **cancel** — I observe the passive pair is conserved (``g_p = -f_p``)
+   while our era counters agree: I zero my passive copy and advance my era.
+   The zeroed value stays absorbed in my flow-sum ``phi`` so my estimate does
+   not move; my peer holds the exactly opposite value, so globally nothing
+   changes either.
+2. **swap** — I observe my peer's passive is already zero and its era is one
+   ahead of mine: I zero my own passive copy, catch up the era, and make the
+   (now all-zero) pair the new active slot. My old active — holding the
+   accumulated flow values — becomes passive and will be cancelled in the
+   next era.
+3. **adopt** — my peer swapped before me (its ``c`` differs while eras
+   agree): I adopt its role assignment.
+
+If the passive pair is *not* conserved (message loss, bit flip, or we are
+mid-handshake) and I am not ahead in eras, the passive flow is repaired
+exactly like an active one — this is what restores conservation after soft
+errors, inherited unchanged from PF.
+
+Because cancellation zeroes each flow once per era, flow magnitudes stay of
+the order of the recent estimates (whose value/weight ratio converges to the
+target aggregate) instead of growing without bound like PF's — the single
+property from which both PCF headline results (machine-precision accuracy at
+scale, and failure handling without fallback) follow.
+
+The state machine is deliberately its own class so its invariants (era skew
+bounded by one, conservation restoration, estimate-neutrality of
+cancellation) can be unit- and property-tested without any networking.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+from repro.algorithms.state import MassPair
+
+
+@dataclasses.dataclass(frozen=True)
+class PCFPayload:
+    """Both flow copies plus the control variables for one ordered edge."""
+
+    flow_a: MassPair
+    flow_b: MassPair
+    active: int  # which slot (0/1) the sender considers active
+    era: int  # the sender's role-swap counter
+
+
+@dataclasses.dataclass(frozen=True)
+class ReceiveEffect:
+    """Estimate-bookkeeping deltas produced by processing one message.
+
+    The node applies exactly one of these to its ``phi`` depending on its
+    variant:
+
+    - ``phi_delta_efficient``: the incremental flow-sum correction
+      (Fig. 5 lines 11/23) used when ``phi`` tracks the sum of all flows.
+    - ``phi_delta_robust``: the values absorbed at cancellation instants,
+      used when the estimate is recomputed from the flows and ``phi`` only
+      accumulates cancelled mass (the bit-flip-tolerant variant).
+    """
+
+    phi_delta_efficient: MassPair
+    phi_delta_robust: MassPair
+    cancelled: bool
+    swapped: bool
+    adopted: bool
+
+
+class PCFEdgeState:
+    """State of one ordered edge ``(i -> j)`` at node ``i``."""
+
+    __slots__ = ("_flows", "_active", "_era")
+
+    def __init__(self, zero: MassPair) -> None:
+        self._flows: List[MassPair] = [zero.copy(), zero.copy()]
+        self._active = 0
+        self._era = 0
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> int:
+        return self._active
+
+    @property
+    def era(self) -> int:
+        return self._era
+
+    def flow(self, slot: int) -> MassPair:
+        return self._flows[slot].copy()
+
+    def active_flow(self) -> MassPair:
+        return self._flows[self._active].copy()
+
+    def passive_flow(self) -> MassPair:
+        return self._flows[1 - self._active].copy()
+
+    def total_flow(self) -> MassPair:
+        """Sum of both slots — the edge's contribution to the flow sum."""
+        return self._flows[0] + self._flows[1]
+
+    def max_magnitude(self) -> float:
+        return max(self._flows[0].magnitude(), self._flows[1].magnitude())
+
+    # ------------------------------------------------------------------
+    # Send path (Fig. 5 lines 30–32)
+    # ------------------------------------------------------------------
+    def add_to_active(self, half: MassPair) -> None:
+        """The virtual send: fold ``e_i / 2`` into the active flow."""
+        self._flows[self._active] = self._flows[self._active] + half
+
+    def payload(self) -> PCFPayload:
+        return PCFPayload(
+            flow_a=self._flows[0].copy(),
+            flow_b=self._flows[1].copy(),
+            active=self._active,
+            era=self._era,
+        )
+
+    # ------------------------------------------------------------------
+    # Receive path (Fig. 5 lines 6–29)
+    # ------------------------------------------------------------------
+    def receive(self, payload: PCFPayload) -> ReceiveEffect:
+        """Process the peer's edge state; returns estimate bookkeeping deltas."""
+        received = (payload.flow_a, payload.flow_b)
+        peer_active = payload.active
+        peer_era = payload.era
+
+        zero = self._flows[0].zero_like()
+
+        # Defensive validation: a corrupted control field (bit-flipped in
+        # flight) can carry a slot index outside {0, 1} or a negative era.
+        # Such a message is syntactically invalid and is dropped whole —
+        # equivalent to message loss, which the protocol tolerates anyway.
+        if peer_active not in (0, 1) or not isinstance(peer_era, int) or peer_era < 0:
+            return ReceiveEffect(
+                phi_delta_efficient=zero.copy(),
+                phi_delta_robust=zero.copy(),
+                cancelled=False,
+                swapped=False,
+                adopted=False,
+            )
+        eff = zero.copy()
+        rob = zero.copy()
+        cancelled = False
+        swapped = False
+        adopted = False
+
+        # (adopt) the peer swapped roles before us.
+        if self._active != peer_active and self._era == peer_era:
+            self._active = peer_active
+            adopted = True
+
+        if self._active == peer_active:
+            act = self._active
+            pas = 1 - act
+
+            # Active slot: plain push-flow repair. phi gets the exact
+            # -(old + received) correction so that, for the efficient
+            # variant, phi keeps tracking the sum of flows bit-for-bit with
+            # the update applied to the flow itself.
+            eff = eff - (self._flows[act] + received[act])
+            self._flows[act] = -received[act]
+
+            passive_conserved = received[pas].exactly_equals(-self._flows[pas])
+            if passive_conserved and self._era == peer_era:
+                # (cancel) — start retiring this pair.
+                rob = rob + self._flows[pas]
+                self._flows[pas] = zero.copy()
+                self._era += 1
+                cancelled = True
+            elif received[pas].is_zero() and self._era + 1 == peer_era:
+                # (swap) — peer already cancelled; catch up and swap roles.
+                rob = rob + self._flows[pas]
+                self._flows[pas] = zero.copy()
+                self._era += 1
+                self._active = pas
+                swapped = True
+            elif self._era <= peer_era:
+                # (repair) — conservation violated (fault or mid-handshake):
+                # treat the passive flow exactly like an active one.
+                eff = eff - (self._flows[pas] + received[pas])
+                self._flows[pas] = -received[pas]
+
+        return ReceiveEffect(
+            phi_delta_efficient=eff,
+            phi_delta_robust=rob,
+            cancelled=cancelled,
+            swapped=swapped,
+            adopted=adopted,
+        )
+
+    # ------------------------------------------------------------------
+    # Fault-injection hook (memory soft errors)
+    # ------------------------------------------------------------------
+    def inject_flow_bit_flip(
+        self, slot: int, bit: int, *, flip_weight: bool = False
+    ) -> None:
+        """Flip one bit of the stored flow in ``slot`` (memory soft error)."""
+        from repro.util.float_bits import flip_bit
+
+        flow = self._flows[slot]
+        if flip_weight:
+            corrupted = MassPair(flow.value, flip_bit(flow.weight, bit))
+        elif flow.is_vector:
+            values = flow.value
+            values[0] = flip_bit(float(values[0]), bit)
+            corrupted = MassPair(values, flow.weight)
+        else:
+            corrupted = MassPair(flip_bit(float(flow.value), bit), flow.weight)
+        self._flows[slot] = corrupted
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PCFEdgeState(active={self._active}, era={self._era}, "
+            f"f0={self._flows[0]!r}, f1={self._flows[1]!r})"
+        )

@@ -1,0 +1,239 @@
+"""Latency-hardened PCF edge state machine (this reproduction's extension).
+
+Stress-testing the paper's Fig. 5 handshake beyond its (synchronous)
+execution model exposed two failure modes, both pinned by tests in this
+repository:
+
+1. **Role-adoption race → edge deadlock.** Under message latency a stale
+   in-flight message can carry an outdated role assignment with a current
+   era; the adopt rule then flips the receiver's role, after which the two
+   endpoints can end up with mismatched roles *and* mismatched eras — a
+   state in which each side ignores everything the other sends, forever.
+2. **Unverified zeroing → frozen mass errors.** The swap branch zeroes a
+   node's passive-flow copy purely on the peer's say-so. If the local copy
+   drifted after the peer's conservation check (a corrupted repair, or a
+   repair against an older in-flight snapshot), the two endpoints freeze
+   values that do not sum to zero — a permanent aggregate error.
+
+This module fixes both with three changes, while keeping PCF's defining
+behaviour (active slot runs plain PF; the passive slot is periodically
+cancelled so flows stay small):
+
+- **Era-derived roles.** The active slot *is* ``era mod 2``. There is no
+  role field to communicate, adopt, or race on; stale messages are
+  recognized purely by their era and ignored.
+- **Initiator-only cancellation.** Exactly one endpoint of each edge (the
+  *initiator*, chosen by node id) may start a cancellation; its passive
+  copy is immutable within an era (the reference value), the follower's
+  copy repairs toward it. This gives the handshake a two-phase-commit
+  structure with a single coordinator.
+- **Frozen-value-verified catch-up.** The initiator transmits the exact
+  value it froze. The follower first *repairs* its own copy to the
+  negation of that frozen value (an ordinary, delta-accounted PF repair —
+  any drift flows back into its estimate) and only then zeroes it. The two
+  frozen values therefore sum to zero *exactly, by construction*, under
+  arbitrary loss, latency and FIFO reordering of other traffic.
+
+Failure-free, the hardened variant converges to the same aggregate with
+the same accuracy and round count as PF/PCF. Unlike Fig. 5 PCF it is not
+trajectory-identical to PF: at era boundaries the initiator's reference
+refresh adopts the peer's crossed updates where PF would keep exchanging
+them, so the transient estimates differ at the in-flight-mass scale while
+the fixed point (and exact mass conservation) is unchanged.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.algorithms.flow_edge import ReceiveEffect
+from repro.algorithms.state import MassPair
+
+
+@dataclasses.dataclass(frozen=True)
+class PCFHPayload:
+    """Hardened-PCF edge message.
+
+    ``frozen`` is the exact value the sender zeroed at its most recent
+    cancellation (meaningful when the receiver is one era behind); the
+    follower uses it to close its side of the cancellation exactly.
+    """
+
+    flow_a: MassPair
+    flow_b: MassPair
+    era: int
+    frozen: MassPair
+
+
+class HardenedEdgeState:
+    """State of one ordered edge at one node, hardened handshake."""
+
+    __slots__ = ("_flows", "_era", "_initiator", "_frozen")
+
+    def __init__(self, zero: MassPair, *, initiator: bool) -> None:
+        self._flows = [zero.copy(), zero.copy()]
+        self._era = 0
+        self._initiator = bool(initiator)
+        self._frozen = zero.copy()
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def era(self) -> int:
+        return self._era
+
+    @property
+    def initiator(self) -> bool:
+        return self._initiator
+
+    @property
+    def active(self) -> int:
+        """The active slot is a pure function of the era."""
+        return self._era % 2
+
+    def flow(self, slot: int) -> MassPair:
+        return self._flows[slot].copy()
+
+    def active_flow(self) -> MassPair:
+        return self._flows[self.active].copy()
+
+    def passive_flow(self) -> MassPair:
+        return self._flows[1 - self.active].copy()
+
+    def total_flow(self) -> MassPair:
+        return self._flows[0] + self._flows[1]
+
+    def max_magnitude(self) -> float:
+        return max(self._flows[0].magnitude(), self._flows[1].magnitude())
+
+    # ------------------------------------------------------------------
+    # Send path
+    # ------------------------------------------------------------------
+    def add_to_active(self, half: MassPair) -> None:
+        slot = self.active
+        self._flows[slot] = self._flows[slot] + half
+
+    def payload(self) -> PCFHPayload:
+        return PCFHPayload(
+            flow_a=self._flows[0].copy(),
+            flow_b=self._flows[1].copy(),
+            era=self._era,
+            frozen=self._frozen.copy(),
+        )
+
+    # ------------------------------------------------------------------
+    # Receive path
+    # ------------------------------------------------------------------
+    def receive(self, payload: PCFHPayload) -> ReceiveEffect:
+        zero = self._flows[0].zero_like()
+        eff = zero.copy()
+        rob = zero.copy()
+        cancelled = False
+        swapped = False
+
+        peer_era = payload.era
+        # Defensive validation (corrupted control field) + staleness: a
+        # message from an older era — or an era the protocol cannot have
+        # reached (the follower can only ever be the initiator's era minus
+        # one, so a two-ahead era implies corruption) — is dropped, except
+        # for the boundary case handled below.
+        if not isinstance(peer_era, int) or not (
+            self._era - 1 <= peer_era <= self._era + 1
+        ):
+            return ReceiveEffect(eff, rob, False, False, False)
+        received = (payload.flow_a, payload.flow_b)
+
+        if peer_era == self._era - 1:
+            # Era-boundary crossing: the peer has not yet caught up to our
+            # cancellation. Its (still-active) slot for the old era is our
+            # current passive — the era's reference value. The initiator
+            # refreshes the reference from it (a normal delta-accounted
+            # repair), picking up the halves the peer pushed while the
+            # cancel was in flight instead of bouncing them back later.
+            # The follower can never legitimately see a one-behind message
+            # (the initiator is never behind), so it drops it.
+            if self._initiator:
+                passive = 1 - self.active
+                stale_active_slot = peer_era % 2
+                eff = eff - (self._flows[passive] + received[stale_active_slot])
+                self._flows[passive] = -received[stale_active_slot]
+            return ReceiveEffect(eff, rob, False, False, False)
+
+        if peer_era == self._era + 1:
+            if self._initiator:
+                # The follower can never be ahead of the initiator; this
+                # message is corrupt. Drop it.
+                return ReceiveEffect(eff, rob, False, False, False)
+            # Frozen-value-verified catch-up: close the cancellation with
+            # the exact value the initiator froze. Step 1 — repair our
+            # passive copy to the negation of the frozen value (ordinary
+            # delta-accounted repair: any drift returns to our estimate).
+            passive = 1 - self.active
+            frozen_peer = payload.frozen
+            eff = eff - (self._flows[passive] + frozen_peer)
+            self._flows[passive] = -frozen_peer
+            # Step 2 — freeze it: zero the copy, keep the value in phi.
+            rob = rob + self._flows[passive]
+            self._frozen = self._flows[passive].copy()
+            self._flows[passive] = zero.copy()
+            self._era += 1
+            swapped = True
+            # Fall through: the message is now era-equal; process slots.
+
+        # Era-equal processing.
+        active = self.active
+        passive = 1 - active
+
+        # Active slot: plain PF repair.
+        eff = eff - (self._flows[active] + received[active])
+        self._flows[active] = -received[active]
+
+        if self._initiator:
+            # Our passive copy is the era's reference value: never repaired.
+            # Cancel once the follower's copy mirrors it exactly.
+            if received[passive].exactly_equals(-self._flows[passive]):
+                rob = rob + self._flows[passive]
+                self._frozen = self._flows[passive].copy()
+                self._flows[passive] = zero.copy()
+                self._era += 1
+                cancelled = True
+        else:
+            # Follower: track the initiator's reference copy.
+            eff = eff - (self._flows[passive] + received[passive])
+            self._flows[passive] = -received[passive]
+
+        return ReceiveEffect(
+            phi_delta_efficient=eff,
+            phi_delta_robust=rob,
+            cancelled=cancelled,
+            swapped=swapped,
+            adopted=False,
+        )
+
+    # ------------------------------------------------------------------
+    # Fault-injection hook (memory soft errors)
+    # ------------------------------------------------------------------
+    def inject_flow_bit_flip(
+        self, slot: int, bit: int, *, flip_weight: bool = False
+    ) -> None:
+        """Flip one bit of the stored flow in ``slot`` (memory soft error)."""
+        from repro.util.float_bits import flip_bit
+
+        flow = self._flows[slot]
+        if flip_weight:
+            corrupted = MassPair(flow.value, flip_bit(flow.weight, bit))
+        elif flow.is_vector:
+            values = flow.value
+            values[0] = flip_bit(float(values[0]), bit)
+            corrupted = MassPair(values, flow.weight)
+        else:
+            corrupted = MassPair(flip_bit(float(flow.value), bit), flow.weight)
+        self._flows[slot] = corrupted
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"HardenedEdgeState(era={self._era}, initiator={self._initiator}, "
+            f"f0={self._flows[0]!r}, f1={self._flows[1]!r})"
+        )

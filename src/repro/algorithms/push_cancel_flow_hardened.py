@@ -1,0 +1,143 @@
+"""Hardened push-cancel-flow (PCF-H) — this reproduction's extension.
+
+Node-level wrapper around :class:`~repro.algorithms.flow_edge_hardened.
+HardenedEdgeState`; see that module for what is hardened and why. The
+initiator of each edge is the endpoint with the smaller node id.
+
+Relative to Fig. 5 PCF, the hardened variant:
+
+- cannot deadlock under message latency (no role-adoption race — roles are
+  derived from the era counter);
+- conserves mass *exactly* through every cancellation under arbitrary
+  message loss, latency, and cross-traffic (frozen-value-verified
+  catch-up), eliminating the frozen-corruption hazard for all fault types
+  that do not alter payload bits;
+- retains PCF's accuracy and failure-handling behaviour: flows are still
+  periodically cancelled, so they stay estimate-sized and link exclusion
+  causes no convergence fallback.
+
+The wire format carries one extra mass pair (the frozen value) per
+message — a constant-factor overhead, in exchange for operation outside
+the synchronous execution model the paper's formulation assumes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.algorithms.base import GossipAlgorithm
+from repro.algorithms.flow_edge_hardened import HardenedEdgeState, PCFHPayload
+from repro.algorithms.state import MassPair
+from repro.exceptions import ConfigurationError
+
+VARIANT_EFFICIENT = "efficient"
+VARIANT_ROBUST = "robust"
+_VARIANTS = (VARIANT_EFFICIENT, VARIANT_ROBUST)
+
+
+class PushCancelFlowHardened(GossipAlgorithm):
+    """Per-node hardened PCF state machine."""
+
+    def __init__(
+        self,
+        node_id: int,
+        neighbors: Sequence[int],
+        initial: MassPair,
+        *,
+        variant: str = VARIANT_EFFICIENT,
+    ) -> None:
+        super().__init__(node_id, neighbors, initial)
+        if variant not in _VARIANTS:
+            raise ConfigurationError(
+                f"unknown PCF-H variant {variant!r}; expected one of {_VARIANTS}"
+            )
+        self._variant = variant
+        zero = initial.zero_like()
+        self._edges: Dict[int, HardenedEdgeState] = {
+            j: HardenedEdgeState(zero, initiator=node_id < j) for j in neighbors
+        }
+        self._phi: MassPair = zero.copy()
+        self._cancellations = 0
+        self._catch_ups = 0
+
+    @property
+    def variant(self) -> str:
+        return self._variant
+
+    @property
+    def cancellations(self) -> int:
+        return self._cancellations
+
+    @property
+    def catch_ups(self) -> int:
+        return self._catch_ups
+
+    # ------------------------------------------------------------------
+    # Protocol
+    # ------------------------------------------------------------------
+    def make_message(self, neighbor: int) -> PCFHPayload:
+        self._require_neighbor(neighbor)
+        half = self.estimate_pair().half()
+        edge = self._edges[neighbor]
+        edge.add_to_active(half)
+        if self._variant == VARIANT_EFFICIENT:
+            self._phi = self._phi + half
+        return edge.payload()
+
+    def on_receive(self, sender: int, payload: PCFHPayload) -> None:
+        self._require_neighbor(sender)
+        effect = self._edges[sender].receive(payload)
+        if self._variant == VARIANT_EFFICIENT:
+            self._phi = self._phi + effect.phi_delta_efficient
+        else:
+            self._phi = self._phi + effect.phi_delta_robust
+        if effect.cancelled:
+            self._cancellations += 1
+        if effect.swapped:
+            self._catch_ups += 1
+
+    def estimate_pair(self) -> MassPair:
+        if self._variant == VARIANT_EFFICIENT:
+            return self._initial - self._phi
+        total = self._phi.copy()
+        for edge in self._edges.values():
+            total = total + edge.total_flow()
+        return self._initial - total
+
+    # ------------------------------------------------------------------
+    # Failure handling
+    # ------------------------------------------------------------------
+    def on_link_failed(self, neighbor: int) -> None:
+        """Exclude a permanently failed link (same semantics as PCF)."""
+        self._require_neighbor(neighbor)
+        edge = self._edges.pop(neighbor)
+        if self._variant == VARIANT_EFFICIENT:
+            self._phi = self._phi - edge.total_flow()
+        self._remove_neighbor(neighbor)
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+    def local_flows(self) -> Dict[int, MassPair]:
+        return {j: e.total_flow() for j, e in self._edges.items()}
+
+    def conserved_mass(self) -> MassPair:
+        return self._initial.copy()
+
+    def max_flow_magnitude(self) -> float:
+        if not self._edges:
+            return 0.0
+        return max(e.max_magnitude() for e in self._edges.values())
+
+    def edge_state(self, neighbor: int) -> HardenedEdgeState:
+        """Direct access for white-box tests of the handshake."""
+        return self._edges[neighbor]
+
+    def inject_flow_bit_flip(
+        self, neighbor: int, bit: int, *, slot: int = 0, flip_weight: bool = False
+    ) -> None:
+        """Flip one bit of a stored flow variable (memory soft error)."""
+        self._require_neighbor(neighbor)
+        self._edges[neighbor].inject_flow_bit_flip(
+            slot, bit, flip_weight=flip_weight
+        )

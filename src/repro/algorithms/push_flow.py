@@ -1,0 +1,168 @@
+"""The push-flow algorithm (PF) — Fig. 1 of the paper.
+
+PF replaces push-sum's mass transfers by *flows*: for every neighbor ``j``
+node ``i`` keeps a flow variable ``f_{i,j}`` recording the net mass it has
+pushed toward ``j``. The local data is never mutated; the current estimate is
+
+    e_i = v_i(0) - sum_{j in N_i} f_{i,j}.
+
+A send first performs the "virtual send" ``f_{i,k} += e_i / 2`` and then
+physically transmits the *entire* flow variable ``f_{i,k}``; the receiver
+overwrites ``f_{k,i} = -f_{i,k}``. Flow conservation (``f_{i,j} = -f_{j,i}``)
+is thus a purely local, continuously re-established property, and it implies
+global mass conservation — the source of PF's fault tolerance: lost or
+corrupted messages are healed by the next successful exchange, and a
+permanently failed link is excluded by zeroing its flow variables.
+
+Two estimate-bookkeeping variants are provided (Sec. II-B discusses both):
+
+- ``recompute`` (default): ``e_i`` is recomputed from all flow variables at
+  every use — the faithful Fig. 1 formulation.
+- ``incremental``: the sum of flows is maintained in a single running
+  variable ``phi_i`` "for efficiency reasons"; the paper notes this variant
+  suffers the same accuracy problem since the updates themselves involve the
+  linearly growing flows.
+
+Both share PF's fundamental flaw: at convergence the flows take arbitrary,
+execution-dependent values (growing with ``n`` on e.g. the bus network), so
+the estimate subtraction cancels catastrophically (Fig. 3) and zeroing flows
+on failure throws the computation back to the start (Fig. 4).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Sequence
+
+from repro.algorithms.base import GossipAlgorithm
+from repro.algorithms.state import MassPair
+from repro.exceptions import ConfigurationError
+
+VARIANT_RECOMPUTE = "recompute"
+VARIANT_INCREMENTAL = "incremental"
+_VARIANTS = (VARIANT_RECOMPUTE, VARIANT_INCREMENTAL)
+
+
+@dataclasses.dataclass(frozen=True)
+class FlowPayload:
+    """The sender's entire flow variable toward the receiver."""
+
+    flow: MassPair
+
+
+class PushFlow(GossipAlgorithm):
+    """Per-node push-flow state machine (Fig. 1)."""
+
+    def __init__(
+        self,
+        node_id: int,
+        neighbors: Sequence[int],
+        initial: MassPair,
+        *,
+        variant: str = VARIANT_RECOMPUTE,
+    ) -> None:
+        super().__init__(node_id, neighbors, initial)
+        if variant not in _VARIANTS:
+            raise ConfigurationError(
+                f"unknown PF variant {variant!r}; expected one of {_VARIANTS}"
+            )
+        self._variant = variant
+        zero = initial.zero_like()
+        self._flows: Dict[int, MassPair] = {j: zero.copy() for j in neighbors}
+        # Running sum of flows, only consulted by the incremental variant.
+        self._phi: MassPair = zero.copy()
+
+    @property
+    def variant(self) -> str:
+        return self._variant
+
+    # ------------------------------------------------------------------
+    # Protocol
+    # ------------------------------------------------------------------
+    def make_message(self, neighbor: int) -> FlowPayload:
+        self._require_neighbor(neighbor)
+        half = self.estimate_pair().half()
+        self._flows[neighbor] = self._flows[neighbor] + half
+        if self._variant == VARIANT_INCREMENTAL:
+            self._phi = self._phi + half
+        return FlowPayload(flow=self._flows[neighbor].copy())
+
+    def on_receive(self, sender: int, payload: FlowPayload) -> None:
+        self._require_neighbor(sender)
+        new_flow = -payload.flow
+        if self._variant == VARIANT_INCREMENTAL:
+            # phi <- phi - old + new; this very update mixes the potentially
+            # huge old/new flow values into phi, which is why the single-
+            # variable trick does not rescue PF's accuracy (Sec. II-B).
+            self._phi = self._phi - self._flows[sender] + new_flow
+        self._flows[sender] = new_flow
+
+    def estimate_pair(self) -> MassPair:
+        if self._variant == VARIANT_INCREMENTAL:
+            return self._initial - self._phi
+        total = self._initial.zero_like()
+        for flow in self._flows.values():
+            total = total + flow
+        return self._initial - total
+
+    # ------------------------------------------------------------------
+    # Failure handling (Sec. II-C)
+    # ------------------------------------------------------------------
+    def on_link_failed(self, neighbor: int) -> None:
+        """Exclude a permanently failed link by zeroing its flow.
+
+        The local estimate jumps by the flow's (arbitrary!) value — the
+        restart behaviour demonstrated in Fig. 4.
+        """
+        self._require_neighbor(neighbor)
+        if self._variant == VARIANT_INCREMENTAL:
+            self._phi = self._phi - self._flows[neighbor]
+        del self._flows[neighbor]
+        self._remove_neighbor(neighbor)
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+    def local_flows(self) -> Dict[int, MassPair]:
+        return {j: f.copy() for j, f in self._flows.items()}
+
+    def conserved_mass(self) -> MassPair:
+        # Flows cancel pairwise across intact edges, so the initial data is
+        # each node's share of the conserved global mass.
+        return self._initial.copy()
+
+    def max_flow_magnitude(self) -> float:
+        """Largest flow magnitude — the quantity that grows with n in PF."""
+        if not self._flows:
+            return 0.0
+        return max(f.magnitude() for f in self._flows.values())
+
+    # ------------------------------------------------------------------
+    # Fault-injection hook (memory soft errors)
+    # ------------------------------------------------------------------
+    def inject_flow_bit_flip(
+        self, neighbor: int, bit: int, *, flip_weight: bool = False
+    ) -> None:
+        """Flip one bit of the *stored* flow variable toward ``neighbor``.
+
+        Models a soft error in node memory (as opposed to in-flight message
+        corruption, handled by :mod:`repro.faults.bit_flip`). In the
+        ``recompute`` variant the corruption heals at the next exchange on
+        the edge; in the ``incremental`` variant the running flow-sum was
+        built from the *pre-flip* value, so the next repair bakes the
+        discrepancy into ``phi`` permanently — the same weakness the
+        efficient PCF variant has (Sec. III-A).
+        """
+        from repro.util.float_bits import flip_bit
+
+        self._require_neighbor(neighbor)
+        flow = self._flows[neighbor]
+        if flip_weight:
+            corrupted = MassPair(flow.value, flip_bit(flow.weight, bit))
+        elif flow.is_vector:
+            values = flow.value
+            values[0] = flip_bit(float(values[0]), bit)
+            corrupted = MassPair(values, flow.weight)
+        else:
+            corrupted = MassPair(flip_bit(float(flow.value), bit), flow.weight)
+        self._flows[neighbor] = corrupted

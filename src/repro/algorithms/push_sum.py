@@ -1,0 +1,61 @@
+"""The push-sum algorithm (Kempe, Dobra & Gehrke, FOCS 2003).
+
+The non-fault-tolerant baseline: each gossip step the node keeps half of its
+``(value, weight)`` mass and ships the other half to a uniformly random
+neighbor; receivers fold incoming mass into their own. Correctness rests on
+*mass conservation* — ``sum_i v_i(t) = sum_i v_i(0)`` — a global property
+destroyed by any message loss, duplication or corruption (Sec. II-A), which
+is precisely why the paper's flow algorithms exist.
+
+Push-sum is numerically benign (no growing intermediate quantities), so it
+serves as the accuracy gold standard among the gossip protocols
+(Sec. II-B: "basic algorithms like the push-sum algorithm ... meet the
+accuracy requirement").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+from repro.algorithms.base import GossipAlgorithm
+from repro.algorithms.state import MassPair
+
+
+@dataclasses.dataclass(frozen=True)
+class PushSumPayload:
+    """Half of the sender's current mass."""
+
+    mass: MassPair
+
+
+class PushSum(GossipAlgorithm):
+    """Per-node push-sum state machine."""
+
+    def __init__(
+        self, node_id: int, neighbors: Sequence[int], initial: MassPair
+    ) -> None:
+        super().__init__(node_id, neighbors, initial)
+        self._mass = initial.copy()
+
+    def make_message(self, neighbor: int) -> PushSumPayload:
+        self._require_neighbor(neighbor)
+        half = self._mass.half()
+        # Keep one half locally, send the other. If the transport drops the
+        # message this half of the mass is gone forever — the protocol has
+        # no mechanism to notice, which the fault-injection tests exercise.
+        self._mass = half
+        return PushSumPayload(mass=half)
+
+    def on_receive(self, sender: int, payload: PushSumPayload) -> None:
+        self._require_neighbor(sender)
+        self._mass = self._mass + payload.mass
+
+    def estimate_pair(self) -> MassPair:
+        return self._mass.copy()
+
+    def conserved_mass(self) -> MassPair:
+        # For push-sum the conserved quantity IS the current local mass
+        # (plus anything in flight, which synchronous engines deliver within
+        # the round).
+        return self._mass.copy()

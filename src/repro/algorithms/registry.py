@@ -1,0 +1,82 @@
+"""Name-based algorithm factory used by the harness, examples and CLI.
+
+Algorithms are referenced by short names so experiment specs remain plain
+serializable data:
+
+- ``push_sum`` — the fragile baseline.
+- ``push_flow`` / ``push_flow_incremental`` — PF (Fig. 1) with the two
+  estimate-bookkeeping variants.
+- ``push_cancel_flow`` / ``push_cancel_flow_robust`` — PCF (Fig. 5) in the
+  efficient and bit-flip-tolerant variants.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+from repro.algorithms.base import GossipAlgorithm
+from repro.algorithms.push_cancel_flow import (
+    VARIANT_EFFICIENT,
+    VARIANT_ROBUST,
+    PushCancelFlow,
+)
+from repro.algorithms.push_cancel_flow_hardened import PushCancelFlowHardened
+from repro.algorithms.push_flow import (
+    VARIANT_INCREMENTAL,
+    VARIANT_RECOMPUTE,
+    PushFlow,
+)
+from repro.algorithms.push_sum import PushSum
+from repro.algorithms.state import MassPair
+from repro.exceptions import ConfigurationError
+from repro.topology.base import Topology
+
+AlgorithmFactory = Callable[[int, Sequence[int], MassPair], GossipAlgorithm]
+
+_FACTORIES: Dict[str, AlgorithmFactory] = {
+    "push_sum": lambda i, nbrs, init: PushSum(i, nbrs, init),
+    "push_flow": lambda i, nbrs, init: PushFlow(
+        i, nbrs, init, variant=VARIANT_RECOMPUTE
+    ),
+    "push_flow_incremental": lambda i, nbrs, init: PushFlow(
+        i, nbrs, init, variant=VARIANT_INCREMENTAL
+    ),
+    "push_cancel_flow": lambda i, nbrs, init: PushCancelFlow(
+        i, nbrs, init, variant=VARIANT_EFFICIENT
+    ),
+    "push_cancel_flow_robust": lambda i, nbrs, init: PushCancelFlow(
+        i, nbrs, init, variant=VARIANT_ROBUST
+    ),
+    "push_cancel_flow_hardened": lambda i, nbrs, init: PushCancelFlowHardened(
+        i, nbrs, init, variant="efficient"
+    ),
+    "push_cancel_flow_hardened_robust": lambda i, nbrs, init: PushCancelFlowHardened(
+        i, nbrs, init, variant="robust"
+    ),
+}
+
+ALGORITHMS = tuple(sorted(_FACTORIES))
+
+
+def factory(name: str) -> AlgorithmFactory:
+    """Return the node-state factory for algorithm ``name``."""
+    try:
+        return _FACTORIES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown algorithm {name!r}; expected one of {ALGORITHMS}"
+        ) from None
+
+
+def instantiate(
+    name: str, topology: Topology, initial: Sequence[MassPair]
+) -> List[GossipAlgorithm]:
+    """Build one algorithm instance per node of ``topology``."""
+    if len(initial) != topology.n:
+        raise ConfigurationError(
+            f"expected {topology.n} initial mass pairs, got {len(initial)}"
+        )
+    make = factory(name)
+    return [
+        make(i, topology.neighbors(i), initial[i]) for i in topology.nodes()
+    ]

@@ -1,0 +1,202 @@
+"""Mass pairs — the ``(value, weight)`` state unit of push-sum-style protocols.
+
+Every quantity exchanged by push-sum, push-flow and push-cancel-flow is a
+pair ``(value, weight)``: the value part carries (a share of) the data being
+aggregated, the scalar weight part carries (a share of) the normalization.
+The local estimate of the global aggregate is always ``value / weight``
+(Figs. 1 and 5 of the paper: ``e_i(1) / e_i(2)``).
+
+Values may be scalars or 1-D ndarrays: a vector-valued reduction computes
+many aggregates at once under a single weight, which the distributed QR
+(dmGS) uses to batch all dot products of one Gram-Schmidt step into one
+reduction.
+
+MassPair instances are treated as immutable; all arithmetic returns new
+pairs. The vector case copies the underlying array on construction so
+aliasing bugs cannot couple two nodes' states through a shared buffer —
+exactly the kind of accidental "shared memory" a distributed-system
+simulation must never have.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+import numpy as np
+
+Value = Union[float, np.ndarray]
+
+
+class MassPair:
+    """An immutable ``(value, weight)`` pair with exact-arithmetic helpers."""
+
+    __slots__ = ("_value", "_weight", "_vector")
+
+    def __init__(self, value: Value, weight: float) -> None:
+        if isinstance(value, np.ndarray):
+            if value.ndim != 1:
+                raise ValueError(
+                    f"vector values must be 1-D, got shape {value.shape}"
+                )
+            self._value: Value = value.astype(np.float64, copy=True)
+            self._vector = True
+        else:
+            self._value = float(value)
+            self._vector = False
+        self._weight = float(weight)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def value(self) -> Value:
+        if self._vector:
+            # Return a copy: callers must not be able to mutate our state.
+            return np.array(self._value, copy=True)
+        return self._value
+
+    @property
+    def weight(self) -> float:
+        return self._weight
+
+    @property
+    def is_vector(self) -> bool:
+        return self._vector
+
+    @property
+    def dimension(self) -> int:
+        """Length of the value part (1 for scalars)."""
+        return len(self._value) if self._vector else 1
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: "MassPair") -> "MassPair":
+        self._check_compatible(other)
+        return MassPair(self._value + other._value, self._weight + other._weight)
+
+    def __sub__(self, other: "MassPair") -> "MassPair":
+        self._check_compatible(other)
+        return MassPair(self._value - other._value, self._weight - other._weight)
+
+    def __neg__(self) -> "MassPair":
+        return MassPair(-self._value, -self._weight)
+
+    def half(self) -> "MassPair":
+        """Halving by a power of two — lossless in IEEE-754 for all normal
+        values (subnormals can lose their lowest mantissa bit; protocol
+        quantities live many orders of magnitude above that range)."""
+        return MassPair(self._value * 0.5, self._weight * 0.5)
+
+    def scaled(self, factor: float) -> "MassPair":
+        return MassPair(self._value * factor, self._weight * factor)
+
+    def zero_like(self) -> "MassPair":
+        """A zero pair of the same shape."""
+        if self._vector:
+            return MassPair(np.zeros_like(self._value), 0.0)
+        return MassPair(0.0, 0.0)
+
+    # ------------------------------------------------------------------
+    # Comparisons
+    # ------------------------------------------------------------------
+    def exactly_equals(self, other: "MassPair") -> bool:
+        """Bitwise float equality — the PCF cancellation predicate.
+
+        The PCF handshake cancels a passive flow only when the two endpoint
+        copies are *exactly* opposite (``f_{j,i} = -f_{i,j}``, Fig. 5 line
+        13). Exact equality is achievable because a repair assigns the exact
+        negation of the received copy and passive flows are never augmented
+        in between; approximate comparison here would silently change the
+        protocol.
+        """
+        if self._vector != other._vector:
+            return False
+        if self._weight != other._weight:
+            return False
+        if self._vector:
+            return bool(np.array_equal(self._value, other._value))
+        return self._value == other._value
+
+    def is_zero(self) -> bool:
+        if self._vector:
+            return bool(np.all(self._value == 0.0)) and self._weight == 0.0
+        return self._value == 0.0 and self._weight == 0.0
+
+    def is_finite(self) -> bool:
+        """False when a soft error (bit flip) injected inf/NaN."""
+        if self._vector:
+            return bool(np.all(np.isfinite(self._value))) and np.isfinite(
+                self._weight
+            )
+        return bool(np.isfinite(self._value) and np.isfinite(self._weight))
+
+    # ------------------------------------------------------------------
+    # Estimation
+    # ------------------------------------------------------------------
+    def ratio(self) -> Value:
+        """The aggregate estimate ``value / weight``.
+
+        A zero (or negative-after-fault) weight yields ``inf``/``nan`` rather
+        than raising: nodes with no normalization mass yet simply have an
+        undefined estimate, which error metrics treat as maximal error.
+        """
+        with np.errstate(divide="ignore", invalid="ignore"):
+            if self._vector:
+                return np.asarray(self._value) / self._weight
+            if self._weight == 0.0:
+                if self._value == 0.0:
+                    return float("nan")
+                return float("inf") if self._value > 0 else float("-inf")
+            return self._value / self._weight
+
+    def magnitude(self) -> float:
+        """Max-norm of the pair — used to track flow-variable growth."""
+        if self._vector:
+            value_mag = float(np.max(np.abs(self._value))) if self.dimension else 0.0
+        else:
+            value_mag = abs(self._value)
+        return max(value_mag, abs(self._weight))
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+    def as_tuple(self) -> Tuple[Value, float]:
+        return (self.value, self._weight)
+
+    def copy(self) -> "MassPair":
+        return MassPair(self._value, self._weight)
+
+    def _check_compatible(self, other: "MassPair") -> None:
+        if not isinstance(other, MassPair):
+            raise TypeError(f"expected MassPair, got {type(other).__name__}")
+        if self._vector != other._vector:
+            raise ValueError("cannot combine scalar and vector mass pairs")
+        if self._vector and len(self._value) != len(other._value):
+            raise ValueError(
+                f"dimension mismatch: {len(self._value)} vs {len(other._value)}"
+            )
+
+    def __repr__(self) -> str:
+        return f"MassPair(value={self._value!r}, weight={self._weight!r})"
+
+
+def zero_pair(dimension: int = 1) -> MassPair:
+    """A zero mass pair: scalar for ``dimension == 1``, vector otherwise."""
+    if dimension < 1:
+        raise ValueError(f"dimension must be >= 1, got {dimension}")
+    if dimension == 1:
+        return MassPair(0.0, 0.0)
+    return MassPair(np.zeros(dimension), 0.0)
+
+
+def total_mass(pairs) -> MassPair:
+    """Sum of an iterable of mass pairs (the conserved global quantity)."""
+    iterator = iter(pairs)
+    try:
+        total = next(iterator).copy()
+    except StopIteration:
+        raise ValueError("total_mass of an empty iterable is undefined") from None
+    for pair in iterator:
+        total = total + pair
+    return total

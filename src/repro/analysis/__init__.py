@@ -1,0 +1,35 @@
+"""Convergence analysis: rate fits, spectral bounds, potentials, tree flows."""
+
+from repro.analysis.potential import (
+    PotentialHistory,
+    disagreement_potential,
+    weight_dispersion,
+)
+from repro.analysis.rates import (
+    RateFit,
+    compare_to_theory,
+    fit_decay_rate,
+    predicted_rounds,
+    spectral_rate_bound,
+)
+from repro.analysis.tree_flows import (
+    equilibrium_flows,
+    is_tree,
+    max_equilibrium_flow,
+    subtree_nodes,
+)
+
+__all__ = [
+    "RateFit",
+    "fit_decay_rate",
+    "spectral_rate_bound",
+    "predicted_rounds",
+    "compare_to_theory",
+    "PotentialHistory",
+    "disagreement_potential",
+    "weight_dispersion",
+    "equilibrium_flows",
+    "max_equilibrium_flow",
+    "subtree_nodes",
+    "is_tree",
+]

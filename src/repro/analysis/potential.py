@@ -1,0 +1,77 @@
+"""Potential-function diagnostics for gossip convergence.
+
+Kempe et al. analyze push-sum through a quadratic potential that contracts
+geometrically in expectation. This module provides the analogous measured
+quantities for any of the protocols here, as an engine observer:
+
+- the **disagreement potential**: the weighted variance of the per-node
+  estimates around the true aggregate, the quantity whose geometric decay
+  underlies the O(log 1/eps) term;
+- the **weight dispersion**: how unevenly the normalization mass is spread
+  (push-style protocols have heavy-tailed weight fluctuations, which set
+  the transient error floor of the flow algorithms — cf. EXPERIMENTS.md).
+
+These are *global* oracle quantities for analysis; the nodes themselves
+never see them.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, List
+
+import numpy as np
+
+from repro.simulation.observers import Observer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simulation.engine import SynchronousEngine
+
+
+def disagreement_potential(estimates: List[float], truth: float) -> float:
+    """Mean squared relative deviation of the estimates from the truth."""
+    if not estimates:
+        raise ValueError("no estimates")
+    scale = abs(truth) if truth != 0 else 1.0
+    arr = np.asarray(estimates, dtype=np.float64)
+    if not np.all(np.isfinite(arr)):
+        return float("inf")
+    return float(np.mean(((arr - truth) / scale) ** 2))
+
+
+def weight_dispersion(weights: List[float]) -> float:
+    """Coefficient of variation of the per-node weight estimates."""
+    arr = np.asarray(weights, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("no weights")
+    mean = float(np.mean(arr))
+    if mean == 0.0:
+        return float("inf")
+    return float(np.std(arr) / abs(mean))
+
+
+class PotentialHistory(Observer):
+    """Records the disagreement potential and weight dispersion per round."""
+
+    def __init__(self, truth: float) -> None:
+        self._truth = float(truth)
+        self.potentials: List[float] = []
+        self.weight_dispersions: List[float] = []
+
+    def on_round_end(self, engine: "SynchronousEngine", round_index: int) -> None:
+        live = engine.live_nodes()
+        pairs = [engine.algorithms[i].estimate_pair() for i in live]
+        estimates = [float(np.atleast_1d(p.ratio())[0]) for p in pairs]
+        weights = [p.weight for p in pairs]
+        self.potentials.append(disagreement_potential(estimates, self._truth))
+        self.weight_dispersions.append(weight_dispersion(weights))
+
+    def contraction_factors(self, *, skip: int = 5) -> List[float]:
+        """Per-round potential ratios (values < 1 are contraction)."""
+        factors = []
+        for prev, curr in zip(
+            self.potentials[skip:], self.potentials[skip + 1 :]
+        ):
+            if prev > 0 and math.isfinite(prev) and math.isfinite(curr):
+                factors.append(curr / prev)
+        return factors

@@ -1,0 +1,133 @@
+"""Empirical convergence-rate estimation and theory comparison.
+
+The paper's complexity claim — ``O(log n + log 1/eps)`` rounds on networks
+admitting fast reductions — rests on the geometric decay of the gossip
+error. These helpers fit the decay rate of a recorded error series and
+compare it against the spectral-gap prediction of the topology, giving the
+experiments a quantitative handle on "converges as fast as theory says".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.topology.base import Topology
+from repro.topology.properties import spectral_gap
+
+
+@dataclasses.dataclass(frozen=True)
+class RateFit:
+    """Log-linear fit ``error(t) ~ C * rate^t`` over a series segment."""
+
+    rate: float  # per-round error contraction factor (0 < rate < 1 is decay)
+    log10_intercept: float
+    rounds_used: int
+    residual: float  # RMS residual of the fit in log10 space
+
+    @property
+    def rounds_per_decade(self) -> float:
+        """Rounds needed to gain one decimal digit of accuracy."""
+        if self.rate >= 1.0:
+            return math.inf
+        return -1.0 / math.log10(self.rate)
+
+    def rounds_to(self, target: float, *, start: float = 1.0) -> float:
+        """Predicted rounds to contract the error from ``start`` to ``target``."""
+        if not 0 < target < start:
+            raise ConfigurationError(
+                f"need 0 < target < start, got target={target}, start={start}"
+            )
+        if self.rate >= 1.0:
+            return math.inf
+        return math.log(target / start) / math.log(self.rate)
+
+
+def fit_decay_rate(
+    errors: Sequence[float],
+    *,
+    skip: int = 10,
+    floor: float = 1e-15,
+) -> RateFit:
+    """Fit the geometric decay rate of an error series.
+
+    ``skip`` drops the initial transient; samples at/below ``floor`` (the
+    converged plateau) are excluded so the fit captures the decay phase.
+    """
+    if len(errors) - skip < 4:
+        raise ConfigurationError(
+            f"need at least {skip + 4} samples, got {len(errors)}"
+        )
+    rounds = []
+    logs = []
+    for t in range(skip, len(errors)):
+        err = errors[t]
+        if err > floor and math.isfinite(err) and err > 0:
+            rounds.append(t)
+            logs.append(math.log10(err))
+    if len(rounds) < 4:
+        raise ConfigurationError(
+            "fewer than 4 usable samples above the floor; lower `floor` or "
+            "shorten the run"
+        )
+    slope, intercept = np.polyfit(rounds, logs, 1)
+    predicted = np.polyval([slope, intercept], rounds)
+    residual = float(np.sqrt(np.mean((np.asarray(logs) - predicted) ** 2)))
+    return RateFit(
+        rate=float(10.0 ** slope),
+        log10_intercept=float(intercept),
+        rounds_used=len(rounds),
+        residual=residual,
+    )
+
+
+def spectral_rate_bound(topology: Topology) -> float:
+    """Per-round contraction factor predicted by the spectral gap.
+
+    For averaging dynamics driven by a doubly stochastic diffusion with
+    second eigenvalue ``lambda_2``, the error contracts per round like
+    ``lambda_2`` (Boyd et al. [5] up to constants); we use the Metropolis
+    matrix of the topology as the reference diffusion.
+    """
+    gap = spectral_gap(topology)
+    return float(max(0.0, min(1.0, 1.0 - gap)))
+
+
+def predicted_rounds(
+    topology: Topology, epsilon: float, *, safety: float = 4.0
+) -> int:
+    """A-priori round budget from the spectral bound, with a safety factor.
+
+    Gossip (one random neighbor per node per round) mixes slower than the
+    full diffusion the bound describes; ``safety`` absorbs the gap.
+    """
+    if not 0.0 < epsilon < 1.0:
+        raise ConfigurationError(f"epsilon must be in (0, 1), got {epsilon}")
+    rate = spectral_rate_bound(topology)
+    if rate >= 1.0:
+        raise ConfigurationError("topology does not mix (rate >= 1)")
+    if rate <= 0.0:
+        return 1
+    rounds = math.log(epsilon) / math.log(rate)
+    return int(math.ceil(safety * rounds)) + 1
+
+
+def compare_to_theory(
+    errors: Sequence[float], topology: Topology, **fit_kwargs
+) -> dict:
+    """Fit the measured rate and relate it to the spectral prediction."""
+    fit = fit_decay_rate(errors, **fit_kwargs)
+    bound = spectral_rate_bound(topology)
+    return {
+        "measured_rate": fit.rate,
+        "spectral_rate_bound": bound,
+        "measured_rounds_per_decade": fit.rounds_per_decade,
+        "bound_rounds_per_decade": (
+            -1.0 / math.log10(bound) if 0 < bound < 1 else math.inf
+        ),
+        "fit_residual": fit.residual,
+    }

@@ -1,0 +1,107 @@
+"""Analytic equilibrium flows on tree topologies.
+
+On a tree, the net flow an edge must carry to equalize the system is
+*unique*: cutting the edge splits the tree in two, and the flow equals the
+mass surplus of one side. This generalizes the paper's bus case study
+(Sec. II-B / Fig. 2) — where the flows come out as ``f_{i,i+1} = n - i`` —
+to arbitrary trees, and powers exact tests of PF's converged state.
+
+With weights simulated, PF's fixed points form a family (every node ends
+at the estimate pair ``(r * c_i, c_i)`` for execution-dependent ``c_i``),
+but the *target-adjusted* flow
+
+    g(u, v) = f_{u,v}.value - r * f_{u,v}.weight
+
+is invariant across the family and must equal the analytic subtree surplus
+exactly — see ``tests/integration/test_bus_equilibrium.py`` for the bus
+instance.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from repro.exceptions import TopologyError
+from repro.topology.base import Topology
+
+
+def is_tree(topology: Topology) -> bool:
+    """A connected graph is a tree iff it has n - 1 edges."""
+    return topology.num_edges == topology.n - 1
+
+
+def subtree_nodes(
+    topology: Topology, root_side: int, cut_edge: Tuple[int, int]
+) -> List[int]:
+    """Nodes on ``root_side``'s side of the tree after cutting ``cut_edge``."""
+    u, v = cut_edge
+    if not topology.has_edge(u, v):
+        raise TopologyError(f"edge {cut_edge} not in topology")
+    if root_side not in (u, v):
+        raise TopologyError(f"root_side {root_side} is not an endpoint of {cut_edge}")
+    other = v if root_side == u else u
+    seen = {root_side}
+    stack = [root_side]
+    while stack:
+        node = stack.pop()
+        for nbr in topology.neighbors(node):
+            if (node, nbr) in ((u, v), (v, u)):
+                continue
+            if nbr not in seen:
+                seen.add(nbr)
+                stack.append(nbr)
+    if other in seen:
+        raise TopologyError(
+            f"cutting {cut_edge} does not disconnect the graph; not a tree"
+        )
+    return sorted(seen)
+
+
+def equilibrium_flows(
+    topology: Topology,
+    data: Sequence[float],
+    weights: Sequence[float],
+) -> Dict[Tuple[int, int], float]:
+    """Target-adjusted equilibrium flow for every directed tree edge.
+
+    Returns ``g(u, v)`` for every ordered edge: the mass surplus
+    ``sum_{i in side(u)} (x_i - r * w_i)`` of ``u``'s side, where ``r`` is
+    the global aggregate. Antisymmetric by construction
+    (``g(u, v) = -g(v, u)``).
+    """
+    if not is_tree(topology):
+        raise TopologyError(
+            "equilibrium flows are only unique on trees "
+            f"({topology.name!r} has {topology.num_edges} edges for "
+            f"{topology.n} nodes)"
+        )
+    if len(data) != topology.n or len(weights) != topology.n:
+        raise TopologyError("data/weights must have one entry per node")
+    total_w = math.fsum(weights)
+    if total_w <= 0:
+        raise TopologyError("total weight must be positive")
+    aggregate = math.fsum(data) / total_w
+
+    flows: Dict[Tuple[int, int], float] = {}
+    for (u, v) in topology.edges:
+        side_u = subtree_nodes(topology, u, (u, v))
+        surplus = math.fsum(
+            data[i] - aggregate * weights[i] for i in side_u
+        )
+        flows[(u, v)] = surplus
+        flows[(v, u)] = -surplus
+    return flows
+
+
+def max_equilibrium_flow(
+    topology: Topology, data: Sequence[float], weights: Sequence[float]
+) -> float:
+    """Largest |equilibrium flow| — the quantity that dooms PF's accuracy.
+
+    For the paper's bus workload this is ``n - 1``; for a star with the
+    surplus at the hub it is O(1) per edge; the topology and data placement
+    jointly decide how hard PF's cancellation problem bites.
+    """
+    flows = equilibrium_flows(topology, data, weights)
+    return max(abs(value) for value in flows.values()) if flows else 0.0

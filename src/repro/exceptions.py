@@ -1,0 +1,45 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything coming out of this package with a single ``except`` clause
+while still being able to discriminate failure classes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class TopologyError(ReproError):
+    """Raised for invalid or inconsistent network topologies."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when an algorithm/engine/experiment is misconfigured."""
+
+
+class SimulationError(ReproError):
+    """Raised when a simulation reaches an inconsistent internal state."""
+
+
+class ProtocolError(SimulationError):
+    """Raised when an algorithm receives a message violating its protocol.
+
+    Under fault injection protocol violations are expected and are *not*
+    raised; this error only fires for programming mistakes (e.g. delivering
+    a message from a node that is not a neighbor of the receiver).
+    """
+
+
+class ConvergenceError(ReproError):
+    """Raised when a computation fails to reach its required accuracy."""
+
+
+class LinalgError(ReproError):
+    """Raised for distributed linear-algebra specific failures."""
+
+
+class ExperimentError(ReproError):
+    """Raised by the experiment harness for unknown/invalid specs."""

@@ -1,0 +1,57 @@
+"""Experiment harness: every paper figure as a runnable, tabulated experiment."""
+
+from repro.experiments.figures import (
+    FigureResult,
+    ablation_data_distribution,
+    ablation_message_loss,
+    ablation_pf_variants,
+    ablation_state_bit_flips,
+    accuracy_sweep,
+    equivalence_experiment,
+    failure_experiment,
+    fig2_bus_flows,
+    finding_crossing_deadlock,
+    fig3_pf_accuracy,
+    fig4_pf_failure,
+    fig6_pcf_accuracy,
+    fig7_pcf_failure,
+    fig8_qr,
+    scaling_rounds,
+)
+from repro.experiments.io import load_result, save_result
+from repro.experiments.plotting import ascii_log_plot
+from repro.experiments.tables import render_series, render_table
+from repro.experiments.workloads import (
+    bus_case_study_data,
+    bus_equilibrium_flows,
+    random_matrix,
+    uniform_data,
+)
+
+__all__ = [
+    "FigureResult",
+    "accuracy_sweep",
+    "failure_experiment",
+    "fig2_bus_flows",
+    "finding_crossing_deadlock",
+    "fig3_pf_accuracy",
+    "fig4_pf_failure",
+    "fig6_pcf_accuracy",
+    "fig7_pcf_failure",
+    "fig8_qr",
+    "equivalence_experiment",
+    "ablation_pf_variants",
+    "ablation_state_bit_flips",
+    "ablation_data_distribution",
+    "ablation_message_loss",
+    "scaling_rounds",
+    "save_result",
+    "load_result",
+    "ascii_log_plot",
+    "render_table",
+    "render_series",
+    "uniform_data",
+    "bus_case_study_data",
+    "bus_equilibrium_flows",
+    "random_matrix",
+]

@@ -1,0 +1,99 @@
+"""Command-line entry point: ``python -m repro.experiments <figure>``.
+
+Runs one of the paper's experiments and prints its table; ``--save`` writes
+the result JSON next to the console output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments import figures
+from repro.experiments.io import save_result
+
+_EXPERIMENTS: Dict[str, Callable[..., figures.FigureResult]] = {
+    "fig2": figures.fig2_bus_flows,
+    "fig3": figures.fig3_pf_accuracy,
+    "fig4": figures.fig4_pf_failure,
+    "fig6": figures.fig6_pcf_accuracy,
+    "fig7": figures.fig7_pcf_failure,
+    "fig8": figures.fig8_qr,
+    "equivalence": figures.equivalence_experiment,
+    "ablation-pf-variants": figures.ablation_pf_variants,
+    "ablation-bit-flips": figures.ablation_state_bit_flips,
+    "ablation-message-loss": figures.ablation_message_loss,
+    "ablation-data-distribution": figures.ablation_data_distribution,
+    "scaling-rounds": figures.scaling_rounds,
+    "finding-crossing-deadlock": figures.finding_crossing_deadlock,
+}
+
+_SCALED = {"fig2": False, "fig3": True, "fig6": True, "fig8": True}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's evaluation figures as tables.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_EXPERIMENTS) + ["all"],
+        help="which experiment to run ('all' runs every one)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=["small", "medium", "paper"],
+        default="small",
+        help="parameter range for the scaling experiments (default: small)",
+    )
+    parser.add_argument(
+        "--save",
+        metavar="PATH",
+        default=None,
+        help="also write the result as JSON to PATH (directory for 'all')",
+    )
+    parser.add_argument(
+        "--plot",
+        action="store_true",
+        help="render recorded error series as ASCII log plots",
+    )
+    return parser
+
+
+def run_experiment(name: str, scale: str) -> figures.FigureResult:
+    func = _EXPERIMENTS[name]
+    if _SCALED.get(name, False):
+        return func(scale=scale)
+    return func()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        result = run_experiment(name, args.scale)
+        print(result.render())
+        print()
+        if args.plot and result.series:
+            from repro.experiments.plotting import ascii_log_plot
+
+            print(
+                ascii_log_plot(
+                    result.series, title=f"{result.figure} — error series"
+                )
+            )
+            print()
+        if args.save:
+            target = (
+                f"{args.save.rstrip('/')}/{name}.json"
+                if args.experiment == "all"
+                else args.save
+            )
+            save_result(result, target)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

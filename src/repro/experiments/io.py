@@ -1,0 +1,67 @@
+"""Persistence of experiment results as JSON.
+
+Benchmarks write their tables next to the logs so EXPERIMENTS.md and later
+analysis can be regenerated without re-running the sweeps.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+from typing import Union
+
+from repro.exceptions import ExperimentError
+from repro.experiments.figures import FigureResult
+
+
+def _jsonable(value: object) -> object:
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+    return value
+
+
+def _from_json(value: object) -> object:
+    if value == "nan":
+        return float("nan")
+    if value == "inf":
+        return float("inf")
+    if value == "-inf":
+        return float("-inf")
+    return value
+
+
+def save_result(result: FigureResult, path: Union[str, pathlib.Path]) -> None:
+    """Write a figure result to ``path`` as JSON."""
+    payload = {
+        "figure": result.figure,
+        "headers": list(result.headers),
+        "rows": [[_jsonable(c) for c in row] for row in result.rows],
+        "notes": result.notes,
+        "series": result.series,
+    }
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2))
+
+
+def load_result(path: Union[str, pathlib.Path]) -> FigureResult:
+    """Read a figure result previously written by :func:`save_result`."""
+    path = pathlib.Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ExperimentError(f"cannot load result from {path}: {exc}") from exc
+    for key in ("figure", "headers", "rows"):
+        if key not in payload:
+            raise ExperimentError(f"result file {path} is missing {key!r}")
+    return FigureResult(
+        figure=payload["figure"],
+        headers=list(payload["headers"]),
+        rows=[[_from_json(c) for c in row] for row in payload["rows"]],
+        notes=payload.get("notes", ""),
+        series=payload.get("series"),
+    )

@@ -1,0 +1,93 @@
+"""Terminal plots for experiment series (no plotting dependencies).
+
+Renders log-scale error curves — the Figs. 4/7 style series — as ASCII
+line charts so the CLI and benchmark logs can show the *shape* of a run,
+not just summary numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+_GLYPHS = "1234567890abcdefghijklmnopqrstuvwxyz"
+
+
+def _log10_floor(value: float, floor: float) -> float:
+    return math.log10(max(value, floor))
+
+
+def ascii_log_plot(
+    series: Dict[str, Sequence[float]],
+    *,
+    width: int = 72,
+    height: int = 18,
+    floor: float = 1e-16,
+    ceiling: Optional[float] = None,
+    markers: Sequence[int] = (),
+    title: str = "",
+) -> str:
+    """Plot one or more nonnegative series on a shared log-y axis.
+
+    Each series gets one glyph ('1', '2', ...); collisions show the later
+    series. ``markers`` are x-positions (e.g. failure rounds) drawn as
+    ``^`` on the x-axis.
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    if width < 8 or height < 3:
+        raise ValueError("plot must be at least 8x3")
+    length = max(len(s) for s in series.values())
+    if length < 2:
+        raise ValueError("series must have at least 2 samples")
+
+    lo = math.log10(floor)
+    if ceiling is None:
+        observed = [
+            v
+            for s in series.values()
+            for v in s
+            if math.isfinite(v) and v > 0
+        ]
+        hi = max(_log10_floor(max(observed), floor), lo + 1.0) if observed else lo + 1.0
+    else:
+        hi = math.log10(ceiling)
+    hi = max(hi, lo + 1e-9)
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def x_of(index: int) -> int:
+        return min(width - 1, int(index * (width - 1) / max(length - 1, 1)))
+
+    def y_of(value: float) -> int:
+        level = (_log10_floor(value, floor) - lo) / (hi - lo)
+        level = min(max(level, 0.0), 1.0)
+        return (height - 1) - int(round(level * (height - 1)))
+
+    for rank, (label, values) in enumerate(series.items()):
+        glyph = _GLYPHS[rank % len(_GLYPHS)]
+        for index, value in enumerate(values):
+            if not math.isfinite(value) or value < 0:
+                continue
+            grid[y_of(value)][x_of(index)] = glyph
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        # Left axis: log10 level of this row.
+        level = hi - (hi - lo) * row_index / (height - 1)
+        lines.append(f"1e{level:+06.1f} |" + "".join(row))
+    axis = ["-"] * width
+    for marker in markers:
+        position = x_of(int(marker))
+        axis[position] = "^"
+    lines.append(" " * 8 + "+" + "".join(axis))
+    lines.append(
+        " " * 9
+        + f"0 .. {length - 1} rounds"
+        + ("   markers: " + ", ".join(str(m) for m in markers) if markers else "")
+    )
+    for rank, label in enumerate(series):
+        lines.append(f"  [{_GLYPHS[rank % len(_GLYPHS)]}] {label}")
+    return "\n".join(lines)

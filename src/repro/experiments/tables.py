@@ -1,0 +1,69 @@
+"""Plain-text rendering of experiment results (tables and series).
+
+The harness reports everything as ASCII tables so benchmark logs double as
+the reproduction record (EXPERIMENTS.md is generated from these).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def format_cell(value: Cell) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if math.isnan(value):
+            return "nan"
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        magnitude = abs(value)
+        if magnitude >= 1e4 or magnitude < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[Cell]]) -> str:
+    """Monospace table with a header rule, right-padded columns."""
+    string_rows: List[List[str]] = [
+        [format_cell(c) for c in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in string_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)).rstrip(),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in string_rows:
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def render_series(
+    label: str, values: Sequence[float], *, every: int = 10
+) -> str:
+    """Compact one-line-per-sample rendering of an error series."""
+    lines = [label]
+    for t in range(0, len(values), max(every, 1)):
+        lines.append(f"  round {t:4d}: {format_cell(values[t])}")
+    if values and (len(values) - 1) % max(every, 1) != 0:
+        lines.append(f"  round {len(values) - 1:4d}: {format_cell(values[-1])}")
+    return "\n".join(lines)

@@ -1,0 +1,68 @@
+"""Workload (initial data) generators for the experiments.
+
+The paper specifies initial data only for the bus case study
+(``v_1 = n + 1, v_i = 1``); the scaling and failure experiments use
+generic data, which we generate reproducibly as uniform randoms. All
+generators are pure functions of their seeds.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+
+def uniform_data(
+    n: int, *, seed: int = 0, low: float = 0.0, high: float = 1.0
+) -> np.ndarray:
+    """Uniform random per-node scalars in ``[low, high)``."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if not low < high:
+        raise ValueError(f"need low < high, got [{low}, {high})")
+    return np.random.default_rng(seed).uniform(low, high, size=n)
+
+
+def bus_case_study_data(n: int) -> np.ndarray:
+    """Sec. II-B's bus workload: ``v_1 = n + 1``, all other nodes ``1``.
+
+    The exact average is 2 for every ``n`` while the equilibrium PF flows
+    grow linearly with ``n`` — the engineered cancellation disaster.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    data = np.ones(n)
+    data[0] = n + 1
+    return data
+
+
+def bus_equilibrium_flows(n: int) -> List[float]:
+    """The unique PF equilibrium flows of the bus case study (Fig. 2 bottom).
+
+    Returns ``[f_{1,2}, f_{2,3}, ..., f_{n-1,n}]`` in the paper's 1-based
+    labelling: ``f_{i,i+1} = n - i``. (A bus is a tree, so the equalizing
+    flow is unique — any converged PF run must reach exactly these values,
+    up to rounding.)
+    """
+    if n < 2:
+        raise ValueError(f"need at least 2 nodes, got {n}")
+    return [float(n - i) for i in range(1, n)]
+
+
+def random_matrix(
+    rows: int, cols: int, *, seed: int = 0, distribution: str = "uniform"
+) -> np.ndarray:
+    """Random test matrices for the QR experiments (Fig. 8 uses random V)."""
+    rng = np.random.default_rng(seed)
+    if distribution == "uniform":
+        return rng.uniform(-1.0, 1.0, size=(rows, cols))
+    if distribution == "normal":
+        return rng.standard_normal((rows, cols))
+    if distribution == "graded":
+        # Columns with geometrically decaying scales — a harder
+        # orthogonalization problem for Gram-Schmidt-type methods.
+        base = rng.standard_normal((rows, cols))
+        scales = np.logspace(0, -8, cols)
+        return base * scales[None, :]
+    raise ValueError(f"unknown distribution {distribution!r}")

@@ -1,0 +1,28 @@
+"""Fault injection: soft errors (loss, bit flips) and permanent failures."""
+
+from repro.faults.base import CompositeFault, MessageFault, NoFault, WindowedFault
+from repro.faults.bit_flip import BitFlipFault, corrupt_payload
+from repro.faults.events import (
+    FaultPlan,
+    LinkFailure,
+    NodeFailure,
+    single_link_failure,
+)
+from repro.faults.message_loss import BurstMessageLoss, IidMessageLoss
+from repro.faults.state_flip import StateBitFlipInjector
+
+__all__ = [
+    "MessageFault",
+    "CompositeFault",
+    "NoFault",
+    "WindowedFault",
+    "IidMessageLoss",
+    "BurstMessageLoss",
+    "BitFlipFault",
+    "corrupt_payload",
+    "FaultPlan",
+    "LinkFailure",
+    "NodeFailure",
+    "single_link_failure",
+    "StateBitFlipInjector",
+]

@@ -1,0 +1,94 @@
+"""Fault-injection interfaces.
+
+Two orthogonal fault classes, mirroring the paper's taxonomy (Sec. I/II):
+
+- **Soft/transient faults** — message loss and bit flips — are modelled as
+  :class:`MessageFault` filters applied to every in-flight message by the
+  transport. The flow algorithms recover from these "without even detecting
+  or correcting them explicitly".
+- **Permanent failures** — broken links and fail-stop nodes — are timed
+  :mod:`repro.faults.events` in a :class:`~repro.faults.events.FaultPlan`;
+  the engine kills deliveries immediately and notifies the affected
+  algorithms at the (possibly delayed) *handling* round, which triggers the
+  algorithmic exclusion ("setting the corresponding flow variables to
+  zero").
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, List, Optional
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from repro.simulation.messages import Message
+
+
+class MessageFault(abc.ABC):
+    """A per-message fault filter (loss, corruption, ...)."""
+
+    @abc.abstractmethod
+    def apply(self, message: "Message") -> Optional["Message"]:
+        """Return the (possibly corrupted) message, or ``None`` to drop it."""
+
+    def reset(self) -> None:
+        """Rewind internal RNG state for a fresh run."""
+
+
+class CompositeFault(MessageFault):
+    """Applies several message faults in order; any drop wins."""
+
+    def __init__(self, faults: Iterable[MessageFault]) -> None:
+        self._faults: List[MessageFault] = list(faults)
+
+    def apply(self, message: "Message") -> Optional["Message"]:
+        current: Optional["Message"] = message
+        for fault in self._faults:
+            if current is None:
+                return None
+            current = fault.apply(current)
+        return current
+
+    def reset(self) -> None:
+        for fault in self._faults:
+            fault.reset()
+
+
+class NoFault(MessageFault):
+    """Identity filter (the failure-free baseline)."""
+
+    def apply(self, message: "Message") -> Optional["Message"]:
+        return message
+
+    def reset(self) -> None:
+        pass
+
+
+class WindowedFault(MessageFault):
+    """Applies an inner fault only to messages sent within a round window.
+
+    Lets experiments model bounded fault episodes ("flips during rounds
+    100..300, then a clean network") and measure *recovery*, which is the
+    actual self-healing claim — under sustained injection the steady-state
+    error necessarily reflects the most recent faults.
+    """
+
+    def __init__(
+        self, inner: MessageFault, *, start_round: int = 0, end_round: int
+    ) -> None:
+        if end_round < start_round:
+            raise ValueError(
+                f"end_round {end_round} precedes start_round {start_round}"
+            )
+        self._inner = inner
+        self._start = start_round
+        self._end = end_round
+
+    def apply(self, message: "Message") -> Optional["Message"]:
+        if self._start <= message.round <= self._end:
+            return self._inner.apply(message)
+        return message
+
+    def reset(self) -> None:
+        self._inner.reset()

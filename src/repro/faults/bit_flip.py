@@ -1,0 +1,127 @@
+"""Bit-flip (soft error) injection into message payloads.
+
+Models single-event upsets corrupting a message in flight: with probability
+``p`` per message, one uniformly chosen bit of one uniformly chosen float in
+the payload's mass pairs is flipped. Flow-based algorithms heal such
+corruption at the next successful exchange on the affected edge (Sec. II-A);
+push-sum is permanently corrupted — both behaviours are locked in by tests.
+
+Payload dataclasses are corrupted generically: every
+:class:`~repro.algorithms.state.MassPair` field is a flip target, covering
+all three protocols without per-protocol injector code. Integer control
+fields (PCF's ``c``/``r``) can optionally be corrupted too
+(``corrupt_control=True``) to probe the handshake's resilience.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.algorithms.base import payload_mass_pairs
+from repro.algorithms.state import MassPair
+from repro.faults.base import MessageFault
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from repro.simulation.messages import Message
+from repro.util.float_bits import flip_bit
+from repro.util.validation import check_probability
+
+
+def _flip_in_pair(
+    pair: MassPair, rng: np.random.Generator, *, max_bit: int = 63
+) -> MassPair:
+    """Flip one random bit (0..max_bit) in one random float of ``pair``."""
+    bit = int(rng.integers(0, max_bit + 1))
+    if pair.is_vector:
+        values = pair.value  # a copy
+        slot = int(rng.integers(0, len(values) + 1))
+        if slot == len(values):
+            return MassPair(values, flip_bit(pair.weight, bit))
+        values[slot] = flip_bit(float(values[slot]), bit)
+        return MassPair(values, pair.weight)
+    if rng.integers(0, 2) == 0:
+        return MassPair(flip_bit(float(pair.value), bit), pair.weight)
+    return MassPair(pair.value, flip_bit(pair.weight, bit))
+
+
+def corrupt_payload(
+    payload: object,
+    rng: np.random.Generator,
+    *,
+    corrupt_control: bool = False,
+    max_bit: int = 63,
+) -> object:
+    """Return a copy of ``payload`` with one flipped bit.
+
+    ``max_bit`` bounds the flipped bit position: 51 restricts corruption to
+    the mantissa (value perturbed by at most a factor of 2 — the
+    "recoverable" soft-error regime), 63 allows exponent and sign flips
+    whose astronomically rescaled values permanently degrade the
+    achievable accuracy of any flow-retaining protocol (see the soft-error
+    integration tests). Raises if the payload exposes nothing to corrupt.
+    """
+    pair_fields = payload_mass_pairs(payload)
+    int_fields: List[str] = []
+    if corrupt_control:
+        for f in dataclasses.fields(payload):
+            if isinstance(getattr(payload, f.name), int):
+                int_fields.append(f.name)
+    targets = pair_fields + int_fields
+    if not targets:
+        raise ValueError(
+            f"payload {type(payload).__name__} has no corruptible fields"
+        )
+    chosen = targets[int(rng.integers(0, len(targets)))]
+    current = getattr(payload, chosen)
+    if isinstance(current, MassPair):
+        replacement: object = _flip_in_pair(current, rng, max_bit=max_bit)
+    else:
+        # Flip a low bit of the control integer, keeping it nonnegative so
+        # it remains a syntactically valid (if wrong) protocol value.
+        replacement = int(current) ^ (1 << int(rng.integers(0, 4)))
+    return dataclasses.replace(payload, **{chosen: replacement})
+
+
+class BitFlipFault(MessageFault):
+    """Flip one payload bit with probability ``p`` per message."""
+
+    def __init__(
+        self,
+        p: float,
+        *,
+        seed: int = 0,
+        corrupt_control: bool = False,
+        max_bit: int = 63,
+    ) -> None:
+        if not 0 <= max_bit <= 63:
+            raise ValueError(f"max_bit must be in [0, 63], got {max_bit}")
+        self._p = check_probability(p, "p")
+        self._seed = seed
+        self._corrupt_control = corrupt_control
+        self._max_bit = max_bit
+        self._rng = np.random.default_rng(seed)
+        self._flips = 0
+
+    def apply(self, message: "Message") -> Optional["Message"]:
+        if self._p <= 0.0 or self._rng.random() >= self._p:
+            return message
+        self._flips += 1
+        corrupted = corrupt_payload(
+            message.payload,
+            self._rng,
+            corrupt_control=self._corrupt_control,
+            max_bit=self._max_bit,
+        )
+        return message.with_payload(corrupted)
+
+    def reset(self) -> None:
+        self._rng = np.random.default_rng(self._seed)
+        self._flips = 0
+
+    @property
+    def flips(self) -> int:
+        return self._flips

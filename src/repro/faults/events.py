@@ -1,0 +1,154 @@
+"""Timed permanent failures: broken links and fail-stop nodes.
+
+A :class:`FaultPlan` is a declarative timeline the engine consults each
+round. Each permanent failure has two instants:
+
+- ``fail_round`` — the component physically dies: messages on the link (or
+  to/from the node) silently vanish from then on;
+- handling at ``fail_round + detection_delay`` — the failure detector
+  reports it and the engine calls ``on_link_failed`` on the survivors, which
+  perform the paper's algorithmic exclusion.
+
+The paper's Figs. 4/7 experiments use a single permanent link failure whose
+"failure handling takes place after 75 (resp. 175) iterations"; with the
+default ``detection_delay=0`` the fail and handling rounds coincide, which
+reproduces that setup.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro.exceptions import ConfigurationError
+
+Edge = Tuple[int, int]
+
+
+def _canonical(u: int, v: int) -> Edge:
+    if u == v:
+        raise ConfigurationError(f"self-edge ({u}, {v}) in fault plan")
+    return (u, v) if u < v else (v, u)
+
+
+@dataclasses.dataclass(frozen=True)
+class LinkFailure:
+    """Permanent failure of the link between ``u`` and ``v``."""
+
+    round: int
+    u: int
+    v: int
+    detection_delay: int = 0
+
+    def __post_init__(self) -> None:
+        if self.round < 0:
+            raise ConfigurationError(f"fail round must be >= 0, got {self.round}")
+        if self.detection_delay < 0:
+            raise ConfigurationError(
+                f"detection delay must be >= 0, got {self.detection_delay}"
+            )
+
+    @property
+    def edge(self) -> Edge:
+        return _canonical(self.u, self.v)
+
+    @property
+    def handle_round(self) -> int:
+        return self.round + self.detection_delay
+
+
+@dataclasses.dataclass(frozen=True)
+class NodeFailure:
+    """Fail-stop failure of a node: it stops sending, receiving, computing.
+
+    Interpreted (as in the paper, Sec. II-C) as the permanent failure of all
+    the node's links; every surviving neighbor excludes its link at the
+    handling round.
+    """
+
+    round: int
+    node: int
+    detection_delay: int = 0
+
+    def __post_init__(self) -> None:
+        if self.round < 0:
+            raise ConfigurationError(f"fail round must be >= 0, got {self.round}")
+        if self.detection_delay < 0:
+            raise ConfigurationError(
+                f"detection delay must be >= 0, got {self.detection_delay}"
+            )
+
+    @property
+    def handle_round(self) -> int:
+        return self.round + self.detection_delay
+
+
+class FaultPlan:
+    """Immutable timeline of permanent failures, queried by the engine."""
+
+    def __init__(
+        self,
+        *,
+        link_failures: Iterable[LinkFailure] = (),
+        node_failures: Iterable[NodeFailure] = (),
+    ) -> None:
+        self._link_failures: Tuple[LinkFailure, ...] = tuple(link_failures)
+        self._node_failures: Tuple[NodeFailure, ...] = tuple(node_failures)
+        seen_edges: Set[Edge] = set()
+        for lf in self._link_failures:
+            if lf.edge in seen_edges:
+                raise ConfigurationError(f"duplicate link failure on {lf.edge}")
+            seen_edges.add(lf.edge)
+        seen_nodes: Set[int] = set()
+        for nf in self._node_failures:
+            if nf.node in seen_nodes:
+                raise ConfigurationError(f"duplicate node failure on {nf.node}")
+            seen_nodes.add(nf.node)
+
+    @property
+    def link_failures(self) -> Tuple[LinkFailure, ...]:
+        return self._link_failures
+
+    @property
+    def node_failures(self) -> Tuple[NodeFailure, ...]:
+        return self._node_failures
+
+    def is_empty(self) -> bool:
+        return not self._link_failures and not self._node_failures
+
+    # ------------------------------------------------------------------
+    # Round queries
+    # ------------------------------------------------------------------
+    def dead_edges_by(self, round_index: int) -> FrozenSet[Edge]:
+        """Edges physically dead at ``round_index`` (inclusive of this round)."""
+        dead: Set[Edge] = set()
+        for lf in self._link_failures:
+            if lf.round <= round_index:
+                dead.add(lf.edge)
+        return frozenset(dead)
+
+    def dead_nodes_by(self, round_index: int) -> FrozenSet[int]:
+        return frozenset(
+            nf.node for nf in self._node_failures if nf.round <= round_index
+        )
+
+    def link_handlings_at(self, round_index: int) -> List[LinkFailure]:
+        return [
+            lf for lf in self._link_failures if lf.handle_round == round_index
+        ]
+
+    def node_handlings_at(self, round_index: int) -> List[NodeFailure]:
+        return [
+            nf for nf in self._node_failures if nf.handle_round == round_index
+        ]
+
+    def last_event_round(self) -> int:
+        """Latest handling round in the plan (-1 when empty)."""
+        rounds = [lf.handle_round for lf in self._link_failures]
+        rounds += [nf.handle_round for nf in self._node_failures]
+        return max(rounds) if rounds else -1
+
+
+def single_link_failure(round_index: int, u: int, v: int) -> FaultPlan:
+    """The Figs. 4/7 scenario: one permanent link failure, handled on the spot."""
+    return FaultPlan(link_failures=[LinkFailure(round=round_index, u=u, v=v)])

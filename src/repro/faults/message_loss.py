@@ -1,0 +1,94 @@
+"""Message-loss fault models.
+
+Plain i.i.d. loss (every message independently dropped with probability
+``p``) plus a two-state Gilbert–Elliott burst-loss model for correlated
+losses, which stresses the flow algorithms' self-healing harder: during a
+burst an entire edge goes quiet for many consecutive rounds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.faults.base import MessageFault
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from repro.simulation.messages import Message
+from repro.util.validation import check_probability
+
+
+class IidMessageLoss(MessageFault):
+    """Drop each message independently with probability ``p``."""
+
+    def __init__(self, p: float, *, seed: int = 0) -> None:
+        self._p = check_probability(p, "p")
+        self._seed = seed
+        self._rng = np.random.default_rng(seed)
+        self._dropped = 0
+        self._seen = 0
+
+    def apply(self, message: "Message") -> Optional["Message"]:
+        self._seen += 1
+        if self._p > 0.0 and self._rng.random() < self._p:
+            self._dropped += 1
+            return None
+        return message
+
+    def reset(self) -> None:
+        self._rng = np.random.default_rng(self._seed)
+        self._dropped = 0
+        self._seen = 0
+
+    @property
+    def dropped(self) -> int:
+        return self._dropped
+
+    @property
+    def seen(self) -> int:
+        return self._seen
+
+
+class BurstMessageLoss(MessageFault):
+    """Gilbert–Elliott burst loss, tracked per directed edge.
+
+    Each edge is in a GOOD or BAD state; messages are dropped in BAD.
+    ``p_gb`` is the per-message GOOD→BAD transition probability and ``p_bg``
+    the BAD→GOOD recovery probability (mean burst length ``1/p_bg``).
+    """
+
+    def __init__(self, p_gb: float, p_bg: float, *, seed: int = 0) -> None:
+        self._p_gb = check_probability(p_gb, "p_gb")
+        self._p_bg = check_probability(p_bg, "p_bg")
+        if self._p_bg == 0.0 and self._p_gb > 0.0:
+            raise ValueError("p_bg=0 with p_gb>0 makes every edge fail permanently")
+        self._seed = seed
+        self._rng = np.random.default_rng(seed)
+        self._bad: Dict[Tuple[int, int], bool] = {}
+        self._dropped = 0
+
+    def apply(self, message: "Message") -> Optional["Message"]:
+        key = (message.sender, message.receiver)
+        bad = self._bad.get(key, False)
+        if bad:
+            if self._rng.random() < self._p_bg:
+                bad = False
+        else:
+            if self._rng.random() < self._p_gb:
+                bad = True
+        self._bad[key] = bad
+        if bad:
+            self._dropped += 1
+            return None
+        return message
+
+    def reset(self) -> None:
+        self._rng = np.random.default_rng(self._seed)
+        self._bad.clear()
+        self._dropped = 0
+
+    @property
+    def dropped(self) -> int:
+        return self._dropped

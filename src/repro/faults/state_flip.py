@@ -1,0 +1,80 @@
+"""Memory soft errors: bit flips in *stored* flow variables.
+
+In-flight corruption (:mod:`repro.faults.bit_flip`) is healed by every
+flow-based protocol at the next exchange. Flips in node *memory* are the
+harder case the paper's PCF-variant discussion turns on: protocols whose
+estimate bookkeeping re-reads the flows (PF ``recompute``, PCF ``robust``)
+heal them too, whereas incrementally tracked flow sums (PF ``incremental``,
+PCF ``efficient``) bake the corruption in permanently.
+
+Implemented as an engine :class:`~repro.simulation.observers.Observer` that,
+at each scheduled round, flips one random bit in one random live node's
+stored flow state.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, List, Set, Tuple
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from repro.simulation.engine import SynchronousEngine
+
+
+class StateBitFlipInjector:
+    """Flips a stored-flow bit at the end of each scheduled round.
+
+    Structurally an engine Observer — duck-typed rather than inherited so
+    :mod:`repro.faults` stays import-independent of :mod:`repro.simulation`.
+
+    Only mantissa/low-exponent bits (0..55) are flipped by default so the
+    corrupted value stays finite: the point of the ablation is silent
+    gradual corruption, not inf/NaN detection, though ``max_bit=63`` is
+    allowed for the full soft-error model.
+    """
+
+    def __init__(
+        self, rounds: Iterable[int], *, seed: int = 0, max_bit: int = 55
+    ) -> None:
+        if not 0 <= max_bit <= 63:
+            raise ValueError(f"max_bit must be in [0, 63], got {max_bit}")
+        self._rounds: Set[int] = set(int(r) for r in rounds)
+        self._rng = np.random.default_rng(seed)
+        self._max_bit = max_bit
+        self.injections: List[Tuple[int, int, int]] = []  # (round, node, bit)
+
+    # Observer protocol (duck-typed) -----------------------------------
+    def on_run_start(self, engine: "SynchronousEngine") -> None:
+        pass
+
+    def on_link_handled(
+        self, engine: "SynchronousEngine", round_index: int, u: int, v: int
+    ) -> None:
+        pass
+
+    def on_run_end(self, engine: "SynchronousEngine", rounds_executed: int) -> None:
+        pass
+
+    def on_round_end(self, engine: "SynchronousEngine", round_index: int) -> None:
+        if round_index not in self._rounds:
+            return
+        candidates = [
+            i
+            for i in engine.live_nodes()
+            if hasattr(engine.algorithms[i], "inject_flow_bit_flip")
+            and engine.algorithms[i].neighbors
+        ]
+        if not candidates:
+            return
+        node = candidates[int(self._rng.integers(0, len(candidates)))]
+        alg = engine.algorithms[node]
+        neighbors = alg.neighbors
+        neighbor = neighbors[int(self._rng.integers(0, len(neighbors)))]
+        bit = int(self._rng.integers(0, self._max_bit + 1))
+        try:
+            # PCF signature takes a slot; PF does not.
+            alg.inject_flow_bit_flip(neighbor, bit, slot=int(self._rng.integers(0, 2)))
+        except TypeError:
+            alg.inject_flow_bit_flip(neighbor, bit)
+        self.injections.append((round_index, node, bit))

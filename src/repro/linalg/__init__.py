@@ -1,0 +1,54 @@
+"""Distributed linear algebra on gossip reductions (paper Sec. IV).
+
+dmGS — the fully distributed modified Gram-Schmidt QR — plus a distributed
+power-iteration eigensolver, both treating the reduction algorithm as a
+pluggable black box so its accuracy and fault tolerance carry upward.
+"""
+
+from repro.linalg.distributed import RowDistributedMatrix, partition_rows
+from repro.linalg.eigen import PowerIterationResult, distributed_power_iteration
+from repro.linalg.errors import (
+    factorization_error,
+    orthogonality_error,
+    r_consistency_error,
+    reconstruct,
+)
+from repro.linalg.gram_schmidt import (
+    MODE_FUSED,
+    MODE_TWO_PHASE,
+    DMGSResult,
+    dmgs,
+)
+from repro.linalg.qr import DistributedQRResult, distributed_qr
+from repro.linalg.reduction_service import (
+    ExactReductionService,
+    ReductionService,
+    ReductionStats,
+)
+from repro.linalg.reference import align_signs, local_mgs
+from repro.linalg.solvers import SolveResult, distributed_cg, distributed_jacobi
+
+__all__ = [
+    "RowDistributedMatrix",
+    "partition_rows",
+    "ReductionService",
+    "ExactReductionService",
+    "ReductionStats",
+    "dmgs",
+    "DMGSResult",
+    "MODE_TWO_PHASE",
+    "MODE_FUSED",
+    "distributed_qr",
+    "DistributedQRResult",
+    "factorization_error",
+    "orthogonality_error",
+    "r_consistency_error",
+    "reconstruct",
+    "local_mgs",
+    "align_signs",
+    "distributed_power_iteration",
+    "distributed_cg",
+    "distributed_jacobi",
+    "SolveResult",
+    "PowerIterationResult",
+]

@@ -1,0 +1,47 @@
+"""Reference (non-distributed) QR implementations for validation.
+
+``local_mgs`` is the textbook modified Gram-Schmidt dmGS derives from
+(Golub & Van Loan); tests compare dmGS with an exact reduction service
+against it, and compare both against NumPy's Householder QR up to column
+sign conventions.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.exceptions import LinalgError
+
+
+def local_mgs(v: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Modified Gram-Schmidt QR: ``V = Q R`` with R upper triangular."""
+    v = np.array(v, dtype=np.float64, copy=True)
+    if v.ndim != 2:
+        raise LinalgError(f"expected a 2-D matrix, got shape {v.shape}")
+    rows, m = v.shape
+    if rows < m:
+        raise LinalgError(f"QR of a wide matrix is not supported: {v.shape}")
+    q = v
+    r = np.zeros((m, m))
+    for k in range(m):
+        r[k, k] = np.linalg.norm(q[:, k])
+        if r[k, k] == 0.0:
+            raise LinalgError(f"rank deficient at column {k}")
+        q[:, k] /= r[k, k]
+        if k + 1 < m:
+            r[k, k + 1 :] = q[:, k + 1 :].T @ q[:, k]
+            q[:, k + 1 :] -= np.outer(q[:, k], r[k, k + 1 :])
+    return q, r
+
+
+def align_signs(q: np.ndarray, r: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Flip column/row signs so R has a nonnegative diagonal.
+
+    QR is unique up to diagonal sign for full-rank input; canonicalizing
+    makes factorizations from different algorithms directly comparable.
+    """
+    signs = np.sign(np.diag(r))
+    signs[signs == 0] = 1.0
+    return q * signs[None, :], r * signs[:, None]

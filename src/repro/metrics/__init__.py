@@ -1,0 +1,29 @@
+"""Error metrics, per-round recording, and convergence/fallback analysis."""
+
+from repro.metrics.convergence import (
+    FallbackReport,
+    convergence_round,
+    fallback_report,
+    rounds_to_accuracy,
+)
+from repro.metrics.errors import (
+    error_floor,
+    local_errors,
+    max_local_error,
+    median_local_error,
+)
+from repro.metrics.history import ErrorHistory
+from repro.metrics.termination import LocalTermination
+
+__all__ = [
+    "local_errors",
+    "max_local_error",
+    "median_local_error",
+    "error_floor",
+    "ErrorHistory",
+    "LocalTermination",
+    "convergence_round",
+    "fallback_report",
+    "FallbackReport",
+    "rounds_to_accuracy",
+]

@@ -1,0 +1,123 @@
+"""Convergence analysis of recorded error series.
+
+Quantifies the two phenomena the paper's failure experiments visualize:
+
+- *convergence round*: when a run first (and lastingly) reaches a target
+  accuracy;
+- *fallback*: how many orders of magnitude a failure throws the error back,
+  and how many rounds of progress that re-costs (Fig. 4's "fall-back almost
+  to the beginning" vs Fig. 7's "no fall-back").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Optional, Sequence
+
+
+def convergence_round(
+    errors: Sequence[float], threshold: float, *, sustained: bool = True
+) -> Optional[int]:
+    """First round from which the error stays at/below ``threshold``.
+
+    With ``sustained=False``, the first round that merely touches the
+    threshold. Returns ``None`` if never reached.
+    """
+    if threshold <= 0:
+        raise ValueError(f"threshold must be > 0, got {threshold}")
+    last_bad = -1
+    touched = None
+    for t, err in enumerate(errors):
+        if err <= threshold:
+            if touched is None:
+                touched = t
+        else:
+            last_bad = t
+    if touched is None:
+        return None
+    if not sustained:
+        return touched
+    if last_bad == len(errors) - 1:
+        return None
+    return last_bad + 1
+
+
+@dataclasses.dataclass(frozen=True)
+class FallbackReport:
+    """Quantifies the error jump caused by one failure-handling event."""
+
+    event_round: int
+    error_before: float
+    error_after: float
+    initial_error: float
+    recovery_rounds: Optional[int]
+
+    @property
+    def jump_factor(self) -> float:
+        """Multiplicative error increase caused by the event (>= 1 is a jump)."""
+        if self.error_before == 0.0:
+            return math.inf if self.error_after > 0 else 1.0
+        return self.error_after / self.error_before
+
+    @property
+    def restart_fraction(self) -> float:
+        """How far back (0 = no fallback, 1 = full restart) in log-error terms.
+
+        Computed as the fraction of the already-achieved log-error progress
+        that the event undid: 0 when the error did not move, 1 when it
+        returned all the way to the initial error level.
+        """
+        if self.error_after <= self.error_before:
+            return 0.0
+        if self.initial_error <= self.error_before:
+            return 1.0
+        progress = math.log(self.initial_error) - math.log(self.error_before)
+        undone = math.log(min(self.error_after, self.initial_error)) - math.log(
+            self.error_before
+        )
+        return min(1.0, undone / progress)
+
+
+def fallback_report(
+    errors: Sequence[float],
+    event_round: int,
+    *,
+    recovery_threshold: Optional[float] = None,
+) -> FallbackReport:
+    """Analyze the error series around a failure handled at ``event_round``.
+
+    ``errors[t]`` is the error *after* round ``t``; the pre-event error is
+    read one round before the event, the post-event error right after it.
+    ``recovery_rounds`` is how many extra rounds the run needed to get back
+    to its pre-event error level (or ``recovery_threshold`` if given).
+    """
+    if not 0 <= event_round < len(errors):
+        raise ValueError(
+            f"event_round {event_round} outside recorded range "
+            f"[0, {len(errors) - 1}]"
+        )
+    error_before = errors[event_round - 1] if event_round > 0 else errors[0]
+    error_after = errors[event_round]
+    target = recovery_threshold if recovery_threshold is not None else error_before
+    recovery: Optional[int] = None
+    for t in range(event_round, len(errors)):
+        if errors[t] <= target:
+            recovery = t - event_round
+            break
+    return FallbackReport(
+        event_round=event_round,
+        error_before=error_before,
+        error_after=error_after,
+        initial_error=errors[0],
+        recovery_rounds=recovery,
+    )
+
+
+def rounds_to_accuracy(
+    errors: Sequence[float], thresholds: Sequence[float]
+) -> dict:
+    """Map each threshold to the first round reaching it (None if never)."""
+    return {
+        thr: convergence_round(errors, thr, sustained=False) for thr in thresholds
+    }

@@ -1,0 +1,54 @@
+"""Local-error metrics against the exact aggregate oracle.
+
+The paper's accuracy criterion (Sec. II-B): the approximations ``r~_i``
+should satisfy ``max_i |(r~_i - r)/r| <= c(n) * eps_mach`` for the exact
+result ``r``. These helpers compute the max/median local relative error
+over all (live) nodes — the quantities plotted in Figs. 3, 4, 6 and 7.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Union
+
+import numpy as np
+
+from repro.algorithms.aggregates import relative_error
+from repro.algorithms.state import Value
+from repro.util.stats import median as _median
+
+
+def local_errors(estimates: Sequence[Value], truth: Value) -> List[float]:
+    """Per-node relative errors (``inf`` for non-finite estimates)."""
+    return [relative_error(est, truth) for est in estimates]
+
+
+def max_local_error(estimates: Sequence[Value], truth: Value) -> float:
+    """The paper's headline metric: worst node's relative error."""
+    errors = local_errors(estimates, truth)
+    if not errors:
+        raise ValueError("no estimates to evaluate")
+    return max(errors)
+
+
+def median_local_error(estimates: Sequence[Value], truth: Value) -> float:
+    """Median node relative error (the dashed curves of Figs. 4/7)."""
+    errors = local_errors(estimates, truth)
+    if not errors:
+        raise ValueError("no estimates to evaluate")
+    finite = [e for e in errors if np.isfinite(e)]
+    if len(finite) < len(errors):
+        # Non-finite estimates rank above everything; treat them as +inf in
+        # the order statistics rather than discarding them.
+        errors = [e if np.isfinite(e) else float("inf") for e in errors]
+        errors.sort()
+        return errors[len(errors) // 2]
+    return _median(errors)
+
+
+def error_floor(error: float, *, floor: float = 1e-17) -> float:
+    """Clamp an exact-zero error to a plot-friendly floor.
+
+    Log-scale reporting of error series needs a positive floor; 1e-17 sits
+    below machine epsilon so it never masks a real value.
+    """
+    return max(error, floor)

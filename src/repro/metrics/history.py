@@ -1,0 +1,61 @@
+"""Per-round error recording — the observer behind the Figs. 4/7 curves."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.algorithms.state import Value
+from repro.metrics.errors import max_local_error, median_local_error
+from repro.simulation.observers import Observer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simulation.engine import SynchronousEngine
+
+
+class ErrorHistory(Observer):
+    """Records max/median local relative error after every round.
+
+    Attach to a :class:`~repro.simulation.engine.SynchronousEngine`; after
+    the run, ``max_errors[t]`` / ``median_errors[t]`` give the error state
+    after round ``t`` — exactly the series plotted in Figs. 4 and 7.
+    """
+
+    def __init__(self, truth: Value, *, record_flows: bool = False) -> None:
+        self._truth = truth
+        self.max_errors: List[float] = []
+        self.median_errors: List[float] = []
+        self.max_flow_magnitudes: List[float] = []
+        self.link_handlings: List[int] = []
+        self._record_flows = record_flows
+
+    def on_round_end(self, engine: "SynchronousEngine", round_index: int) -> None:
+        estimates = engine.estimates()
+        self.max_errors.append(max_local_error(estimates, self._truth))
+        self.median_errors.append(median_local_error(estimates, self._truth))
+        if self._record_flows:
+            magnitudes = [
+                getattr(engine.algorithms[i], "max_flow_magnitude", lambda: 0.0)()
+                for i in engine.live_nodes()
+            ]
+            self.max_flow_magnitudes.append(max(magnitudes) if magnitudes else 0.0)
+
+    def on_link_handled(
+        self, engine: "SynchronousEngine", round_index: int, u: int, v: int
+    ) -> None:
+        self.link_handlings.append(round_index)
+
+    @property
+    def rounds(self) -> int:
+        return len(self.max_errors)
+
+    def final_max_error(self) -> float:
+        if not self.max_errors:
+            raise ValueError("no rounds recorded")
+        return self.max_errors[-1]
+
+    def first_round_below(self, threshold: float) -> Optional[int]:
+        """First round whose max error is <= threshold (None if never)."""
+        for t, err in enumerate(self.max_errors):
+            if err <= threshold:
+                return t
+        return None

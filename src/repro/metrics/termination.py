@@ -1,0 +1,109 @@
+"""Oracle-free (local) termination detection.
+
+The experiments stop reductions with a global error oracle (the paper's
+"prescribed target accuracy"), which a real deployment does not have. This
+module provides the practical alternative: each node watches only its *own*
+estimate and declares itself stable once the estimate has stopped moving —
+relatively — for a window of rounds; the run terminates when every live
+node is stable. The window guards against the false calm of a node that
+merely has not gossiped recently.
+
+This is a heuristic, as any local detector must be (a node cannot
+distinguish "converged" from "partitioned away from the action"); the
+tests quantify how close it lands to the oracle stopping point.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.simulation.observers import Observer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simulation.engine import SynchronousEngine
+
+
+class LocalTermination(Observer):
+    """Per-node estimate-stability detector, attachable to an engine.
+
+    Parameters
+    ----------
+    rel_tolerance:
+        A node is "moving" while its estimate changes by more than this
+        relative amount between consecutive rounds.
+    window:
+        Consecutive quiet rounds a node needs before counting as stable.
+    """
+
+    def __init__(self, *, rel_tolerance: float = 1e-14, window: int = 30) -> None:
+        if not 0.0 < rel_tolerance < 1.0:
+            raise ConfigurationError(
+                f"rel_tolerance must be in (0, 1), got {rel_tolerance}"
+            )
+        if window < 1:
+            raise ConfigurationError(f"window must be >= 1, got {window}")
+        self._tol = rel_tolerance
+        self._window = window
+        self._previous: Dict[int, np.ndarray] = {}
+        self._quiet_rounds: Dict[int, int] = {}
+        self.stable_since: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def on_round_end(self, engine: "SynchronousEngine", round_index: int) -> None:
+        all_stable = True
+        for node in engine.live_nodes():
+            estimate = np.atleast_1d(
+                np.asarray(engine.algorithms[node].estimate(), dtype=np.float64)
+            )
+            previous = self._previous.get(node)
+            self._previous[node] = estimate
+            if previous is None or previous.shape != estimate.shape:
+                self._quiet_rounds[node] = 0
+                all_stable = False
+                continue
+            if not np.all(np.isfinite(estimate)):
+                self._quiet_rounds[node] = 0
+                all_stable = False
+                continue
+            scale = float(np.max(np.abs(estimate)))
+            if scale == 0.0:
+                scale = 1.0
+            change = float(np.max(np.abs(estimate - previous))) / scale
+            if change <= self._tol:
+                self._quiet_rounds[node] = self._quiet_rounds.get(node, 0) + 1
+            else:
+                self._quiet_rounds[node] = 0
+            if self._quiet_rounds[node] < self._window:
+                all_stable = False
+        if all_stable:
+            if self.stable_since is None:
+                self.stable_since = round_index
+        else:
+            self.stable_since = None
+
+    # ------------------------------------------------------------------
+    @property
+    def all_stable(self) -> bool:
+        """True when every live node has been quiet for the full window."""
+        return self.stable_since is not None
+
+    def stable_fraction(self, engine: "SynchronousEngine") -> float:
+        """Share of live nodes currently past the quiet window."""
+        live = engine.live_nodes()
+        if not live:
+            return 1.0
+        stable = sum(
+            1 for node in live if self._quiet_rounds.get(node, 0) >= self._window
+        )
+        return stable / len(live)
+
+    def stop_condition(self) -> Callable[["SynchronousEngine", int], bool]:
+        """A ``stop_when`` callable for :meth:`SynchronousEngine.run`."""
+
+        def stop(engine: "SynchronousEngine", round_index: int) -> bool:
+            return self.all_stable
+
+        return stop

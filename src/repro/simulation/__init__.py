@@ -1,0 +1,33 @@
+"""Distributed-system simulation engines for gossip reductions.
+
+:class:`SynchronousEngine` reproduces the paper's round-synchronous
+experimental model; :class:`AsynchronousEngine` provides the Poisson-clock
+asynchronous time model of the gossip literature for robustness checks.
+"""
+
+from repro.simulation.async_engine import AsynchronousEngine
+from repro.simulation.engine import SynchronousEngine
+from repro.simulation.messages import Message
+from repro.simulation.observers import MessageCounter, Observer, ObserverList
+from repro.simulation.trace import RoundRecord, TraceRecorder
+from repro.simulation.schedule import (
+    FixedSchedule,
+    RoundRobinSchedule,
+    Schedule,
+    UniformGossipSchedule,
+)
+
+__all__ = [
+    "SynchronousEngine",
+    "AsynchronousEngine",
+    "Message",
+    "Observer",
+    "ObserverList",
+    "MessageCounter",
+    "TraceRecorder",
+    "RoundRecord",
+    "Schedule",
+    "UniformGossipSchedule",
+    "RoundRobinSchedule",
+    "FixedSchedule",
+]

@@ -1,0 +1,238 @@
+"""Asynchronous (Poisson-clock) gossip engine.
+
+The synchronous engine mirrors the paper's experimental setup; this engine
+models the *asynchronous time model* standard in the gossip literature
+(Boyd et al. [5]): every node owns a rate-1 Poisson clock and gossips when
+it ticks, and messages may take a random latency to arrive. No two events
+are simultaneous, there are no rounds, and nodes act on arbitrarily
+interleaved, possibly reordered deliveries.
+
+Running the same protocols under this much more hostile scheduling regime —
+and under message reordering, which the synchronous engine cannot produce —
+is how the test suite checks that PF/PCF's fault-tolerance claims do not
+secretly depend on round synchronism. Time is measured in expected
+rounds-equivalents: one unit of simulated time ≈ one activation per node on
+average, so :class:`~repro.faults.events.FaultPlan` rounds are interpreted
+directly as simulated-time instants.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Callable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.algorithms.base import GossipAlgorithm
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.faults.base import MessageFault, NoFault
+from repro.faults.events import FaultPlan
+from repro.simulation.messages import Message
+from repro.topology.base import Topology
+
+_ACTIVATE = 0
+_DELIVER = 1
+
+
+class AsynchronousEngine:
+    """Event-driven gossip simulator with Poisson activations and latency."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        algorithms: Sequence[GossipAlgorithm],
+        *,
+        seed: int = 0,
+        latency: float = 0.0,
+        latency_jitter: float = 0.0,
+        message_fault: Optional[MessageFault] = None,
+        fault_plan: Optional[FaultPlan] = None,
+    ) -> None:
+        if len(algorithms) != topology.n:
+            raise ConfigurationError(
+                f"expected {topology.n} algorithm instances, got {len(algorithms)}"
+            )
+        if latency < 0 or latency_jitter < 0:
+            raise ConfigurationError("latency parameters must be >= 0")
+        self._topology = topology
+        self._algorithms = list(algorithms)
+        self._rng = np.random.default_rng(seed)
+        self._latency = float(latency)
+        self._jitter = float(latency_jitter)
+        self._message_fault = message_fault or NoFault()
+        self._fault_plan = fault_plan or FaultPlan()
+
+        self._now = 0.0
+        self._sequence = itertools.count()
+        self._queue: List[Tuple[float, int, int, object]] = []
+        # Per-directed-edge FIFO enforcement: channels are order-preserving
+        # (TCP-like). The flow handshake of PCF assumes FIFO links — an
+        # older flow snapshot overtaking a newer one could clobber protocol
+        # state the paper's (synchronous) model cannot produce.
+        self._last_delivery_time: dict = {}
+        self._dead_edges: Set[Tuple[int, int]] = set()
+        self._dead_nodes: Set[int] = set()
+        self._handled_edges: Set[Tuple[int, int]] = set()
+        self._activations = 0
+        self._messages_delivered = 0
+
+        # Prime one activation per node; each activation reschedules itself.
+        for node in topology.nodes():
+            self._schedule_activation(node)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time (≈ rounds-equivalents)."""
+        return self._now
+
+    @property
+    def activations(self) -> int:
+        return self._activations
+
+    @property
+    def messages_delivered(self) -> int:
+        return self._messages_delivered
+
+    @property
+    def algorithms(self) -> List[GossipAlgorithm]:
+        return self._algorithms
+
+    def live_nodes(self) -> List[int]:
+        return [i for i in self._topology.nodes() if i not in self._dead_nodes]
+
+    def estimates(self) -> List[object]:
+        return [self._algorithms[i].estimate() for i in self.live_nodes()]
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        until_time: float,
+        *,
+        stop_when: Optional[Callable[["AsynchronousEngine"], bool]] = None,
+        check_interval: int = 64,
+    ) -> float:
+        """Process events up to simulated ``until_time``; returns final time."""
+        if until_time < self._now:
+            raise ConfigurationError(
+                f"until_time {until_time} is in the past (now={self._now})"
+            )
+        events_since_check = 0
+        stopped = False
+        while self._queue and self._queue[0][0] <= until_time:
+            self._process_next()
+            events_since_check += 1
+            if stop_when is not None and events_since_check >= check_interval:
+                events_since_check = 0
+                if stop_when(self):
+                    stopped = True
+                    break
+        if not stopped:
+            # Cross any fault instants in the remaining quiet interval.
+            self._advance_time(until_time)
+        return self._now
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _schedule_activation(self, node: int) -> None:
+        delay = float(self._rng.exponential(1.0))
+        heapq.heappush(
+            self._queue,
+            (self._now + delay, next(self._sequence), _ACTIVATE, node),
+        )
+
+    def _process_next(self) -> None:
+        time, _, kind, data = heapq.heappop(self._queue)
+        self._advance_time(time)
+        if kind == _ACTIVATE:
+            self._activate(int(data))
+        else:
+            self._deliver(data)  # type: ignore[arg-type]
+
+    def _advance_time(self, time: float) -> None:
+        # Apply permanent failures whose instant we are crossing.
+        for lf in self._fault_plan.link_failures:
+            if lf.round <= time:
+                self._dead_edges.add(lf.edge)
+            if lf.handle_round <= time:
+                self._handle_link(lf.u, lf.v)  # idempotent
+        for nf in self._fault_plan.node_failures:
+            if nf.round <= time:
+                self._dead_nodes.add(nf.node)
+            if nf.handle_round <= time:
+                for neighbor in self._topology.neighbors(nf.node):
+                    self._handle_link(nf.node, neighbor)
+        self._now = time
+
+    def _activate(self, node: int) -> None:
+        if node not in self._dead_nodes:
+            alg = self._algorithms[node]
+            live = alg.neighbors
+            if live:
+                target = live[int(self._rng.integers(0, len(live)))]
+                payload = alg.make_message(target)
+                message = Message(
+                    sender=node,
+                    receiver=target,
+                    round=int(self._now),
+                    payload=payload,
+                )
+                self._activations += 1
+                self._dispatch(message)
+            self._schedule_activation(node)
+
+    def _dispatch(self, message: Message) -> None:
+        if message.edge() in self._dead_edges:
+            return
+        filtered = self._message_fault.apply(message)
+        if filtered is None:
+            return
+        delay = self._latency
+        if self._jitter > 0.0:
+            delay += float(self._rng.exponential(self._jitter))
+        channel = (message.sender, message.receiver)
+        deliver_at = self._now + delay
+        previous = self._last_delivery_time.get(channel)
+        if previous is not None and deliver_at <= previous:
+            # FIFO channel: never overtake the previously sent message.
+            deliver_at = math.nextafter(previous, math.inf)
+        self._last_delivery_time[channel] = deliver_at
+        heapq.heappush(
+            self._queue,
+            (deliver_at, next(self._sequence), _DELIVER, filtered),
+        )
+
+    def _deliver(self, message: Message) -> None:
+        # Re-check liveness at delivery time: the link/receiver may have
+        # died while the message was in flight.
+        if message.edge() in self._dead_edges:
+            return
+        if message.receiver in self._dead_nodes:
+            return
+        receiver = self._algorithms[message.receiver]
+        if message.sender not in receiver.neighbors:
+            # The receiver already excluded this link (stale in-flight
+            # message after failure handling): drop silently.
+            return
+        receiver.on_receive(message.sender, message.payload)
+        self._messages_delivered += 1
+
+    def _handle_link(self, u: int, v: int) -> None:
+        edge = (u, v) if u < v else (v, u)
+        if edge in self._handled_edges:
+            return
+        self._handled_edges.add(edge)
+        self._dead_edges.add(edge)
+        for endpoint, other in ((u, v), (v, u)):
+            if endpoint in self._dead_nodes:
+                continue
+            alg = self._algorithms[endpoint]
+            if other in alg.neighbors:
+                alg.on_link_failed(other)

@@ -1,0 +1,237 @@
+"""The synchronous round-based gossip engine.
+
+Execution model (the paper's "regular, synchronous communication schedule"):
+in every round each live node, in node-id order,
+
+1. asks the :class:`~repro.simulation.schedule.Schedule` for a gossip target
+   among its live neighbors,
+2. performs its local send bookkeeping (``make_message`` — the flow
+   algorithms' "virtual send") and hands the message to the transport.
+
+After all sends, the transport applies permanent-failure filtering (dead
+links/nodes swallow messages) and per-message fault injectors (loss,
+bit flips), then all surviving messages are delivered (``on_receive``),
+again in deterministic order. Finally timed permanent failures scheduled for
+*handling* this round trigger ``on_link_failed`` on the survivors, and
+observers run.
+
+The engine is deliberately deterministic: given (topology, algorithm,
+initial data, schedule seed, fault plan/filters with their seeds) two runs
+are bit-identical, and two runs differing *only* in the algorithm (e.g. PF
+vs PCF) see the exact same communication schedule and fault timeline — the
+methodology behind the paper's Fig. 4 vs Fig. 7 comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Set, Tuple
+
+from repro.algorithms.base import GossipAlgorithm
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.faults.base import MessageFault, NoFault
+from repro.faults.events import FaultPlan
+from repro.simulation.messages import Message
+from repro.simulation.observers import Observer, ObserverList
+from repro.simulation.schedule import Schedule
+from repro.topology.base import Topology
+
+StopCondition = Callable[["SynchronousEngine", int], bool]
+
+
+class SynchronousEngine:
+    """Round-synchronous simulator for one reduction over one topology."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        algorithms: Sequence[GossipAlgorithm],
+        schedule: Schedule,
+        *,
+        message_fault: Optional[MessageFault] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        observers: Sequence[Observer] = (),
+    ) -> None:
+        if len(algorithms) != topology.n:
+            raise ConfigurationError(
+                f"expected {topology.n} algorithm instances, got {len(algorithms)}"
+            )
+        for i, alg in enumerate(algorithms):
+            if alg.node_id != i:
+                raise ConfigurationError(
+                    f"algorithm at position {i} has node_id {alg.node_id}"
+                )
+        self._topology = topology
+        self._algorithms = list(algorithms)
+        self._schedule = schedule
+        self._message_fault = message_fault or NoFault()
+        self._fault_plan = fault_plan or FaultPlan()
+        self._observer = ObserverList(list(observers))
+
+        self._round = 0
+        self._messages_sent = 0
+        self._messages_delivered = 0
+        self._dead_edges: Set[Tuple[int, int]] = set()
+        self._dead_nodes: Set[int] = set()
+        self._handled_edges: Set[Tuple[int, int]] = set()
+        self._validate_fault_plan()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def topology(self) -> Topology:
+        return self._topology
+
+    @property
+    def algorithms(self) -> List[GossipAlgorithm]:
+        return self._algorithms
+
+    @property
+    def round(self) -> int:
+        """Number of completed rounds."""
+        return self._round
+
+    @property
+    def messages_sent(self) -> int:
+        return self._messages_sent
+
+    @property
+    def messages_delivered(self) -> int:
+        return self._messages_delivered
+
+    @property
+    def dead_nodes(self) -> frozenset:
+        return frozenset(self._dead_nodes)
+
+    def live_nodes(self) -> List[int]:
+        return [i for i in self._topology.nodes() if i not in self._dead_nodes]
+
+    def estimates(self) -> List[object]:
+        """Current estimate of every *live* node (dead nodes excluded)."""
+        return [
+            self._algorithms[i].estimate() for i in self.live_nodes()
+        ]
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        max_rounds: int,
+        *,
+        stop_when: Optional[StopCondition] = None,
+    ) -> int:
+        """Execute up to ``max_rounds`` rounds; returns rounds executed.
+
+        ``stop_when(engine, round_index)`` is evaluated after each round
+        (the harness uses it for the paper's "prescribed target accuracy"
+        oracle termination).
+        """
+        if max_rounds < 0:
+            raise ConfigurationError(f"max_rounds must be >= 0, got {max_rounds}")
+        if self._round == 0:
+            self._observer.on_run_start(self)
+        executed = 0
+        while executed < max_rounds:
+            self.step()
+            executed += 1
+            if stop_when is not None and stop_when(self, self._round - 1):
+                break
+        self._observer.on_run_end(self, executed)
+        return executed
+
+    def step(self) -> None:
+        """Execute exactly one synchronous round."""
+        round_index = self._round
+
+        # Phase 0: components whose physical failure starts this round.
+        for lf in self._fault_plan.link_failures:
+            if lf.round == round_index:
+                self._dead_edges.add(lf.edge)
+        for nf in self._fault_plan.node_failures:
+            if nf.round == round_index:
+                self._dead_nodes.add(nf.node)
+
+        # Phase 1: sends (local bookkeeping happens here).
+        outbox: List[Message] = []
+        for node in self._topology.nodes():
+            if node in self._dead_nodes:
+                continue
+            alg = self._algorithms[node]
+            live = alg.neighbors
+            target = self._schedule.choose(node, live, round_index)
+            if target is None:
+                continue
+            if target not in live:
+                raise SimulationError(
+                    f"schedule chose non-neighbor {target} for node {node}"
+                )
+            payload = alg.make_message(target)
+            outbox.append(
+                Message(
+                    sender=node,
+                    receiver=target,
+                    round=round_index,
+                    payload=payload,
+                )
+            )
+            self._messages_sent += 1
+
+        # Phase 2: transport — permanent failures swallow, injectors filter.
+        delivered: List[Message] = []
+        for message in outbox:
+            if message.edge() in self._dead_edges:
+                continue
+            if message.receiver in self._dead_nodes:
+                continue
+            filtered = self._message_fault.apply(message)
+            if filtered is not None:
+                delivered.append(filtered)
+
+        # Phase 3: deliveries, in deterministic (send) order.
+        for message in delivered:
+            self._algorithms[message.receiver].on_receive(
+                message.sender, message.payload
+            )
+            self._messages_delivered += 1
+
+        # Phase 4: failure handling scheduled for this round.
+        for lf in self._fault_plan.link_handlings_at(round_index):
+            self._handle_link(lf.u, lf.v, round_index)
+        for nf in self._fault_plan.node_handlings_at(round_index):
+            for neighbor in self._topology.neighbors(nf.node):
+                self._handle_link(nf.node, neighbor, round_index)
+
+        self._round += 1
+        self._observer.on_round_end(self, round_index)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _handle_link(self, u: int, v: int, round_index: int) -> None:
+        edge = (u, v) if u < v else (v, u)
+        if edge in self._handled_edges:
+            return
+        self._handled_edges.add(edge)
+        self._dead_edges.add(edge)
+        for endpoint, other in ((u, v), (v, u)):
+            if endpoint in self._dead_nodes:
+                continue
+            alg = self._algorithms[endpoint]
+            if other in alg.neighbors:
+                alg.on_link_failed(other)
+        self._observer.on_link_handled(self, round_index, edge[0], edge[1])
+
+    def _validate_fault_plan(self) -> None:
+        for lf in self._fault_plan.link_failures:
+            if not self._topology.has_edge(lf.u, lf.v):
+                raise ConfigurationError(
+                    f"fault plan kills edge ({lf.u}, {lf.v}) which does not "
+                    f"exist in topology {self._topology.name!r}"
+                )
+        for nf in self._fault_plan.node_failures:
+            if not 0 <= nf.node < self._topology.n:
+                raise ConfigurationError(
+                    f"fault plan kills node {nf.node} outside topology "
+                    f"(n={self._topology.n})"
+                )

@@ -1,0 +1,38 @@
+"""Message record passed between nodes by the simulation engines."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+
+@dataclasses.dataclass(frozen=True)
+class Message:
+    """One in-flight protocol message.
+
+    ``payload`` is an algorithm-specific frozen dataclass (see
+    :mod:`repro.algorithms`); the engines and fault injectors treat it as
+    opaque apart from generic float corruption.
+    """
+
+    sender: int
+    receiver: int
+    round: int
+    payload: object
+
+    def with_payload(self, payload: object) -> "Message":
+        """Copy of this message carrying a (possibly corrupted) payload."""
+        return Message(
+            sender=self.sender,
+            receiver=self.receiver,
+            round=self.round,
+            payload=payload,
+        )
+
+    def edge(self) -> tuple:
+        """Canonical undirected edge this message travels on."""
+        return (
+            (self.sender, self.receiver)
+            if self.sender < self.receiver
+            else (self.receiver, self.sender)
+        )

@@ -1,0 +1,67 @@
+"""Observer hooks for instrumenting simulation runs.
+
+Engines call observers at well-defined points; the metrics recorders in
+:mod:`repro.metrics` are the main clients. Observers must treat the engine
+as read-only — they exist to *watch* the distributed computation with a
+global (omniscient) view the real nodes never have.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simulation.engine import SynchronousEngine
+
+
+class Observer:
+    """Base observer; all hooks default to no-ops."""
+
+    def on_run_start(self, engine: "SynchronousEngine") -> None:
+        """Called once before round 0."""
+
+    def on_round_end(self, engine: "SynchronousEngine", round_index: int) -> None:
+        """Called after every completed round (all deliveries processed)."""
+
+    def on_link_handled(
+        self, engine: "SynchronousEngine", round_index: int, u: int, v: int
+    ) -> None:
+        """Called when a permanent link failure was handled this round."""
+
+    def on_run_end(self, engine: "SynchronousEngine", rounds_executed: int) -> None:
+        """Called once after the final round."""
+
+
+class ObserverList(Observer):
+    """Fan-out helper so engines hold a single observer reference."""
+
+    def __init__(self, observers: List[Observer]) -> None:
+        self._observers = list(observers)
+
+    def on_run_start(self, engine: "SynchronousEngine") -> None:
+        for obs in self._observers:
+            obs.on_run_start(engine)
+
+    def on_round_end(self, engine: "SynchronousEngine", round_index: int) -> None:
+        for obs in self._observers:
+            obs.on_round_end(engine, round_index)
+
+    def on_link_handled(
+        self, engine: "SynchronousEngine", round_index: int, u: int, v: int
+    ) -> None:
+        for obs in self._observers:
+            obs.on_link_handled(engine, round_index, u, v)
+
+    def on_run_end(self, engine: "SynchronousEngine", rounds_executed: int) -> None:
+        for obs in self._observers:
+            obs.on_run_end(engine, rounds_executed)
+
+
+class MessageCounter(Observer):
+    """Counts rounds (engines count messages themselves; this logs per-round)."""
+
+    def __init__(self) -> None:
+        self.rounds = 0
+
+    def on_round_end(self, engine: "SynchronousEngine", round_index: int) -> None:
+        self.rounds += 1

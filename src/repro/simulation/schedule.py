@@ -1,0 +1,118 @@
+"""Communication schedules: who gossips with whom, each round.
+
+The paper's experiments use randomized uniform neighbor selection under a
+"regular, synchronous communication schedule", and crucially compare PF and
+PCF under *identical* schedules ("we initially used exactly the same random
+seed, i.e., the simulated random communication schedules are the same",
+Sec. III-C). Schedules are therefore a component of their own, seeded
+independently of everything else, with one RNG stream per node — two runs
+with the same schedule seed and the same evolution of live-neighbor sets
+make bit-identical choices, regardless of which algorithm runs on top.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+class Schedule(abc.ABC):
+    """Chooses a gossip target for a node from its live neighbors."""
+
+    @abc.abstractmethod
+    def choose(self, node: int, live_neighbors: Sequence[int], round_index: int) -> Optional[int]:
+        """Target for ``node`` this round, or ``None`` to stay silent.
+
+        ``live_neighbors`` is the node's own current view (links it has not
+        yet excluded); engines guarantee it is the same sequence ordering
+        across algorithm implementations so seeded choices coincide.
+        """
+
+    def reset(self) -> None:
+        """Rewind the schedule to its initial state (fresh RNG streams)."""
+
+
+class UniformGossipSchedule(Schedule):
+    """Uniformly random neighbor per node per round (the paper's schedule).
+
+    One independent PCG64 stream per node (spawned from a single seed), so a
+    node's choices depend only on (seed, node, how many times it chose, live
+    set) — not on the behaviour of other nodes. This is what makes the PF vs
+    PCF same-schedule comparison exact even under fault injection.
+    """
+
+    def __init__(self, n: int, seed: int) -> None:
+        if n < 1:
+            raise ConfigurationError(f"n must be >= 1, got {n}")
+        self._n = n
+        self._seed = seed
+        self._rngs = self._spawn()
+
+    def _spawn(self) -> list:
+        seq = np.random.SeedSequence(self._seed)
+        return [np.random.Generator(np.random.PCG64(s)) for s in seq.spawn(self._n)]
+
+    def reset(self) -> None:
+        self._rngs = self._spawn()
+
+    def choose(self, node: int, live_neighbors: Sequence[int], round_index: int) -> Optional[int]:
+        if not 0 <= node < self._n:
+            raise ConfigurationError(f"node {node} out of range for n={self._n}")
+        if not live_neighbors:
+            return None
+        # Always draw, even for a single neighbor, so the stream position is
+        # a pure function of rounds participated in.
+        index = int(self._rngs[node].integers(0, len(live_neighbors)))
+        return live_neighbors[index]
+
+
+class RoundRobinSchedule(Schedule):
+    """Deterministic cyclic neighbor selection.
+
+    Useful for reproducible unit tests and for the bus-network equilibrium
+    study (Fig. 2 assumes "a regular, synchronous communication schedule").
+    Each node cycles through its live neighbors in order, maintaining its
+    own cursor.
+    """
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ConfigurationError(f"n must be >= 1, got {n}")
+        self._n = n
+        self._cursors = [0] * n
+
+    def reset(self) -> None:
+        self._cursors = [0] * self._n
+
+    def choose(self, node: int, live_neighbors: Sequence[int], round_index: int) -> Optional[int]:
+        if not live_neighbors:
+            return None
+        cursor = self._cursors[node] % len(live_neighbors)
+        self._cursors[node] = cursor + 1
+        return live_neighbors[cursor]
+
+
+class FixedSchedule(Schedule):
+    """A fully scripted schedule: ``targets[round][node]`` (or None).
+
+    White-box tests use this to drive exact interleavings (e.g. forcing the
+    PCF cancel/swap race).
+    """
+
+    def __init__(self, targets: Sequence[Sequence[Optional[int]]]) -> None:
+        self._targets = [list(row) for row in targets]
+
+    def choose(self, node: int, live_neighbors: Sequence[int], round_index: int) -> Optional[int]:
+        if round_index >= len(self._targets):
+            return None
+        target = self._targets[round_index][node]
+        if target is None or target not in live_neighbors:
+            return None
+        return target
+
+    def reset(self) -> None:
+        pass

@@ -1,0 +1,107 @@
+"""Structured run tracing.
+
+A :class:`TraceRecorder` observer captures a per-round structured record —
+message counts, estimate spread, live-node count, failure handlings — and
+can dump the whole trace as JSON lines for offline analysis. This is the
+operational/debugging companion to the error-oriented recorders in
+:mod:`repro.metrics`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from typing import TYPE_CHECKING, List, Optional, Union
+
+import numpy as np
+
+from repro.simulation.observers import Observer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simulation.engine import SynchronousEngine
+
+
+@dataclasses.dataclass(frozen=True)
+class RoundRecord:
+    """One round's global state snapshot (oracle view)."""
+
+    round: int
+    live_nodes: int
+    messages_sent: int  # cumulative
+    messages_delivered: int  # cumulative
+    estimate_min: float
+    estimate_max: float
+    estimate_spread: float
+    finite: bool
+    link_handlings: List[str]
+
+    def to_json(self) -> str:
+        return json.dumps(dataclasses.asdict(self))
+
+
+class TraceRecorder(Observer):
+    """Records a :class:`RoundRecord` after every round.
+
+    ``every`` thins the trace (record one round in ``every``); failure
+    handlings are always recorded on the round they happen.
+    """
+
+    def __init__(self, *, every: int = 1) -> None:
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        self._every = every
+        self.records: List[RoundRecord] = []
+        self._pending_handlings: List[str] = []
+
+    def on_link_handled(
+        self, engine: "SynchronousEngine", round_index: int, u: int, v: int
+    ) -> None:
+        self._pending_handlings.append(f"link({u},{v})")
+
+    def on_round_end(self, engine: "SynchronousEngine", round_index: int) -> None:
+        if round_index % self._every and not self._pending_handlings:
+            return
+        estimates = np.array(
+            [
+                np.max(np.atleast_1d(np.asarray(e, dtype=np.float64)))
+                for e in engine.estimates()
+            ]
+        )
+        finite = bool(np.all(np.isfinite(estimates)))
+        if finite and len(estimates):
+            lo, hi = float(estimates.min()), float(estimates.max())
+        else:
+            lo = hi = float("nan")
+        self.records.append(
+            RoundRecord(
+                round=round_index,
+                live_nodes=len(engine.live_nodes()),
+                messages_sent=engine.messages_sent,
+                messages_delivered=engine.messages_delivered,
+                estimate_min=lo,
+                estimate_max=hi,
+                estimate_spread=(hi - lo) if finite else float("nan"),
+                finite=finite,
+                link_handlings=list(self._pending_handlings),
+            )
+        )
+        self._pending_handlings.clear()
+
+    # ------------------------------------------------------------------
+    def dump_jsonl(self, path: Union[str, pathlib.Path]) -> int:
+        """Write the trace as JSON lines; returns the record count."""
+        path = pathlib.Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        sanitized = []
+        for record in self.records:
+            payload = dataclasses.asdict(record)
+            for key, value in payload.items():
+                if isinstance(value, float) and not np.isfinite(value):
+                    payload[key] = None
+            sanitized.append(json.dumps(payload))
+        path.write_text("\n".join(sanitized) + ("\n" if sanitized else ""))
+        return len(self.records)
+
+    def last(self) -> Optional[RoundRecord]:
+        return self.records[-1] if self.records else None

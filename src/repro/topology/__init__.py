@@ -1,0 +1,62 @@
+"""Network topologies for gossip reductions.
+
+The paper's evaluation uses bus networks, 3-D tori and hypercubes; this
+package provides those plus extra families for ablations, along with graph
+property analysis (diameter, spectral gap) that governs convergence speed.
+"""
+
+from repro.topology.base import Topology, directed_edge_list
+from repro.topology.properties import (
+    average_path_length,
+    bfs_distances,
+    diameter,
+    expected_rounds,
+    metropolis_weights,
+    spectral_gap,
+    summarize,
+)
+from repro.topology.random_graphs import erdos_renyi, random_regular, watts_strogatz
+from repro.topology.registry import FAMILIES, build
+from repro.topology.standard import (
+    binary_tree,
+    bus,
+    complete,
+    from_adjacency,
+    grid2d,
+    hypercube,
+    hypercube_for_nodes,
+    kary_ncube,
+    ring,
+    star,
+    torus3d,
+    torus3d_for_nodes,
+)
+
+__all__ = [
+    "Topology",
+    "directed_edge_list",
+    "bus",
+    "ring",
+    "complete",
+    "star",
+    "binary_tree",
+    "hypercube",
+    "hypercube_for_nodes",
+    "kary_ncube",
+    "grid2d",
+    "torus3d",
+    "torus3d_for_nodes",
+    "from_adjacency",
+    "erdos_renyi",
+    "random_regular",
+    "watts_strogatz",
+    "build",
+    "FAMILIES",
+    "diameter",
+    "average_path_length",
+    "bfs_distances",
+    "spectral_gap",
+    "metropolis_weights",
+    "expected_rounds",
+    "summarize",
+]

@@ -1,0 +1,141 @@
+"""Graph-property analysis for topologies.
+
+Gossip convergence speed is governed by the topology: the paper notes the
+considered algorithms converge fast exactly on networks with short diameter
+(those admitting an ``O(log n)`` parallel reduction), and more quantitatively
+the mixing behaviour is controlled by the spectral gap of the doubly
+stochastic diffusion matrix (Boyd et al. [5]). These helpers let experiments
+and tests reason about both.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import TopologyError
+from repro.topology.base import Topology
+
+
+def bfs_distances(topology: Topology, source: int) -> List[int]:
+    """Hop distances from ``source`` to every node (-1 if unreachable)."""
+    dist = [-1] * topology.n
+    dist[source] = 0
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        for v in topology.neighbors(u):
+            if dist[v] < 0:
+                dist[v] = dist[u] + 1
+                queue.append(v)
+    return dist
+
+
+def eccentricity(topology: Topology, source: int) -> int:
+    dist = bfs_distances(topology, source)
+    if min(dist) < 0:
+        raise TopologyError("eccentricity is undefined on a disconnected graph")
+    return max(dist)
+
+
+def diameter(topology: Topology, *, sample: Optional[int] = None, seed: int = 0) -> int:
+    """Graph diameter; exact by default, sampled lower bound for huge graphs.
+
+    ``sample=k`` computes eccentricities from ``k`` random sources only,
+    which lower-bounds the diameter — sufficient for logging/sanity checks on
+    2^15-node sweeps where the exact all-pairs pass would dominate runtime.
+    """
+    if topology.n == 1:
+        return 0
+    if sample is None or sample >= topology.n:
+        sources = range(topology.n)
+    else:
+        rng = np.random.default_rng(seed)
+        sources = rng.choice(topology.n, size=sample, replace=False).tolist()
+    return max(eccentricity(topology, s) for s in sources)
+
+
+def average_path_length(topology: Topology) -> float:
+    """Mean hop distance over all ordered node pairs (exact, O(n * m))."""
+    if topology.n < 2:
+        return 0.0
+    total = 0
+    for source in topology.nodes():
+        dist = bfs_distances(topology, source)
+        if min(dist) < 0:
+            raise TopologyError("average path length undefined on disconnected graph")
+        total += sum(dist)
+    return total / (topology.n * (topology.n - 1))
+
+
+def metropolis_weights(topology: Topology) -> np.ndarray:
+    """Symmetric doubly stochastic diffusion matrix via Metropolis weights.
+
+    ``W[i, j] = 1 / (1 + max(deg(i), deg(j)))`` for edges, diagonal absorbs
+    the remainder. Standard construction for analyzing averaging dynamics on
+    a graph without global degree knowledge.
+    """
+    n = topology.n
+    w = np.zeros((n, n))
+    degs = topology.degrees()
+    for (u, v) in topology.edges:
+        weight = 1.0 / (1.0 + max(degs[u], degs[v]))
+        w[u, v] = weight
+        w[v, u] = weight
+    np.fill_diagonal(w, 1.0 - w.sum(axis=1))
+    return w
+
+
+def spectral_gap(topology: Topology) -> float:
+    """``1 - lambda_2(W)`` for the Metropolis diffusion matrix ``W``.
+
+    Larger gap ⇒ faster mixing ⇒ fewer gossip rounds to a fixed accuracy.
+    Exact dense eigensolve; intended for n up to a few thousand (tests and
+    ablations), not the 2^15 sweeps.
+    """
+    if topology.n == 1:
+        return 1.0
+    w = metropolis_weights(topology)
+    eigvals = np.linalg.eigvalsh(w)
+    # eigvalsh returns ascending order; lambda_1 = 1 is the largest.
+    lambda2 = eigvals[-2]
+    return float(1.0 - lambda2)
+
+
+def expected_rounds(topology: Topology, epsilon: float) -> float:
+    """Heuristic round estimate ``O(log n + log 1/eps)`` scaled by mixing.
+
+    Returns ``(log n + log(1/eps)) / gap`` — a rough a-priori budget used by
+    the harness to pick iteration caps, mirroring the paper's complexity
+    claim ``O(log n + log eps^-1)`` for well-connected networks where the
+    gap is Θ(1).
+    """
+    if not 0.0 < epsilon < 1.0:
+        raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")
+    gap = spectral_gap(topology)
+    if gap <= 0.0:
+        raise TopologyError("non-positive spectral gap: graph does not mix")
+    n = max(topology.n, 2)
+    return float((np.log(n) + np.log(1.0 / epsilon)) / gap)
+
+
+def summarize(topology: Topology, *, exact_diameter_limit: int = 4096) -> Dict[str, object]:
+    """One-call structural summary used by experiment reports."""
+    degs = topology.degrees()
+    info: Dict[str, object] = {
+        "name": topology.name,
+        "n": topology.n,
+        "edges": topology.num_edges,
+        "min_degree": min(degs),
+        "max_degree": max(degs),
+        "regular": topology.is_regular(),
+    }
+    if topology.n <= exact_diameter_limit:
+        info["diameter"] = diameter(topology)
+    else:
+        info["diameter_lower_bound"] = diameter(topology, sample=8)
+    if topology.n <= 2048:
+        info["spectral_gap"] = spectral_gap(topology)
+    return info

@@ -1,0 +1,147 @@
+"""Randomized topology builders (Erdős–Rényi, k-regular, small-world-ish).
+
+The paper argues the distributed reductions work on "almost all networks of
+relevance" — anything admitting a fast parallel reduction (short diameter).
+Random graphs let the test suite and ablations exercise the algorithms on
+irregular neighborhoods, which stresses code paths (varying degree, uneven
+schedules) that the regular paper topologies never hit.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.exceptions import TopologyError
+from repro.topology.base import Edge, Topology
+from repro.util.validation import check_positive_int, check_probability
+
+
+def erdos_renyi(
+    n: int,
+    p: float,
+    *,
+    seed: Optional[int] = None,
+    ensure_connected: bool = True,
+    max_attempts: int = 64,
+) -> Topology:
+    """G(n, p) random graph, optionally resampled until connected.
+
+    With ``ensure_connected`` the builder retries up to ``max_attempts``
+    fresh samples; for ``p`` above the ``ln(n)/n`` connectivity threshold a
+    couple of attempts virtually always suffice.
+    """
+    check_positive_int(n, "n")
+    check_probability(p, "p")
+    rng = np.random.default_rng(seed)
+    for _ in range(max_attempts):
+        upper = np.triu_indices(n, k=1)
+        mask = rng.random(len(upper[0])) < p
+        edges = list(zip(upper[0][mask].tolist(), upper[1][mask].tolist()))
+        try:
+            return Topology(n, edges, name=f"erdos_renyi({n},{p})")
+        except TopologyError:
+            if not ensure_connected:
+                raise
+    raise TopologyError(
+        f"failed to sample a connected G({n}, {p}) in {max_attempts} attempts; "
+        "increase p"
+    )
+
+
+def random_regular(
+    n: int,
+    k: int,
+    *,
+    seed: Optional[int] = None,
+    max_attempts: int = 256,
+) -> Topology:
+    """Random k-regular graph via the pairing/configuration model.
+
+    Rejection-samples perfect matchings on ``n*k`` stubs until the result is
+    simple (no loops/multi-edges) and connected. Practical for the moderate
+    sizes used in tests and ablations.
+    """
+    check_positive_int(n, "n")
+    check_positive_int(k, "k")
+    if k >= n:
+        raise TopologyError(f"degree k={k} must be < n={n}")
+    if (n * k) % 2 != 0:
+        raise TopologyError(f"n*k must be even for a k-regular graph (n={n}, k={k})")
+    rng = np.random.default_rng(seed)
+    for _ in range(max_attempts):
+        stubs = np.repeat(np.arange(n), k)
+        rng.shuffle(stubs)
+        pairs = stubs.reshape(-1, 2)
+        edge_set: Set[Edge] = set()
+        simple = True
+        for u, v in pairs:
+            u, v = int(u), int(v)
+            if u == v or (min(u, v), max(u, v)) in edge_set:
+                simple = False
+                break
+            edge_set.add((min(u, v), max(u, v)))
+        if not simple:
+            continue
+        try:
+            return Topology(n, sorted(edge_set), name=f"random_regular({n},{k})")
+        except TopologyError:
+            continue
+    raise TopologyError(
+        f"failed to sample a connected simple {k}-regular graph on {n} nodes "
+        f"in {max_attempts} attempts"
+    )
+
+
+def watts_strogatz(
+    n: int,
+    k: int,
+    beta: float,
+    *,
+    seed: Optional[int] = None,
+    max_attempts: int = 64,
+) -> Topology:
+    """Watts–Strogatz small-world graph (ring lattice with rewiring).
+
+    ``k`` must be even; each node starts connected to its ``k/2`` nearest
+    neighbors on each side, then each lattice edge is rewired with
+    probability ``beta``.
+    """
+    check_positive_int(n, "n")
+    check_positive_int(k, "k")
+    check_probability(beta, "beta")
+    if k % 2 != 0:
+        raise TopologyError(f"k must be even, got {k}")
+    if k >= n:
+        raise TopologyError(f"k={k} must be < n={n}")
+    rng = np.random.default_rng(seed)
+    for _ in range(max_attempts):
+        edge_set: Set[Edge] = set()
+        for i in range(n):
+            for offset in range(1, k // 2 + 1):
+                j = (i + offset) % n
+                edge_set.add((min(i, j), max(i, j)))
+        rewired: Set[Edge] = set()
+        for (u, v) in sorted(edge_set):
+            if rng.random() < beta:
+                candidates = [
+                    w
+                    for w in range(n)
+                    if w != u
+                    and (min(u, w), max(u, w)) not in rewired
+                    and (min(u, w), max(u, w)) not in edge_set
+                ]
+                if candidates:
+                    w = int(rng.choice(candidates))
+                    rewired.add((min(u, w), max(u, w)))
+                    continue
+            rewired.add((u, v))
+        try:
+            return Topology(n, sorted(rewired), name=f"watts_strogatz({n},{k},{beta})")
+        except TopologyError:
+            continue
+    raise TopologyError(
+        f"failed to sample a connected Watts-Strogatz({n},{k},{beta}) graph "
+        f"in {max_attempts} attempts"
+    )

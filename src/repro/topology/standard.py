@@ -1,0 +1,208 @@
+"""Builders for the standard topology families used throughout the paper.
+
+The paper's experiments run on bus (path) networks (Sec. II-B case study),
+3-D tori ``2^i x 2^i x 2^i`` and hypercubes of dimension ``3i`` (Figs. 3/6),
+and a 6-D hypercube for the failure experiments (Figs. 4/7). We additionally
+provide rings, stars, complete graphs, 2-D grids/tori and binary trees for
+the topology-sensitivity ablations (achievable accuracy depends on topology,
+Sec. II-B).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Sequence, Tuple
+
+from repro.exceptions import TopologyError
+from repro.topology.base import Edge, Topology
+from repro.util.validation import check_positive_int
+
+
+def bus(n: int) -> Topology:
+    """Bus/path network: node ``i`` talks to ``i-1`` and ``i+1`` only.
+
+    This is the Sec. II-B case-study topology where PF's flow variables grow
+    linearly with ``n`` at equilibrium.
+    """
+    check_positive_int(n, "n")
+    if n == 1:
+        return Topology(1, [], name="bus")
+    edges = [(i, i + 1) for i in range(n - 1)]
+    return Topology(n, edges, name="bus")
+
+
+def ring(n: int) -> Topology:
+    """Cycle on ``n >= 3`` nodes."""
+    check_positive_int(n, "n")
+    if n < 3:
+        raise TopologyError(f"a ring needs at least 3 nodes, got {n}")
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return Topology(n, edges, name="ring")
+
+
+def complete(n: int) -> Topology:
+    """Fully connected graph (the setting of the original push-sum analysis)."""
+    check_positive_int(n, "n")
+    edges = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    return Topology(n, edges, name="complete")
+
+
+def star(n: int) -> Topology:
+    """Star with node 0 at the hub."""
+    check_positive_int(n, "n")
+    if n < 2:
+        raise TopologyError(f"a star needs at least 2 nodes, got {n}")
+    edges = [(0, i) for i in range(1, n)]
+    return Topology(n, edges, name="star")
+
+
+def binary_tree(n: int) -> Topology:
+    """Complete binary tree in heap order (node ``i`` → children ``2i+1, 2i+2``)."""
+    check_positive_int(n, "n")
+    edges: List[Edge] = []
+    for i in range(n):
+        for child in (2 * i + 1, 2 * i + 2):
+            if child < n:
+                edges.append((i, child))
+    return Topology(n, edges, name="binary_tree")
+
+
+def hypercube(dimension: int) -> Topology:
+    """Boolean hypercube of the given dimension (``n = 2**dimension``).
+
+    Node labels are the vertex coordinates read as binary integers; two nodes
+    are adjacent iff their labels differ in exactly one bit. The paper uses
+    hypercubes of dimension ``3i`` for the scaling study (so hypercube and
+    torus points share node counts) and dimension 6 for Figs. 4/7.
+    """
+    check_positive_int(dimension, "dimension")
+    n = 1 << dimension
+    edges = [
+        (node, node ^ (1 << bit))
+        for node in range(n)
+        for bit in range(dimension)
+        if node < node ^ (1 << bit)
+    ]
+    return Topology(n, edges, name=f"hypercube({dimension})")
+
+
+def grid2d(rows: int, cols: int, *, periodic: bool = False) -> Topology:
+    """2-D mesh (``periodic=False``) or 2-D torus (``periodic=True``)."""
+    check_positive_int(rows, "rows")
+    check_positive_int(cols, "cols")
+
+    def node(r: int, c: int) -> int:
+        return r * cols + c
+
+    edges = set()
+    for r in range(rows):
+        for c in range(cols):
+            here = node(r, c)
+            if c + 1 < cols:
+                edges.add((here, node(r, c + 1)))
+            elif periodic and cols > 2:
+                edges.add((node(r, 0), here))
+            if r + 1 < rows:
+                edges.add((here, node(r + 1, c)))
+            elif periodic and rows > 2:
+                edges.add((node(0, c), here))
+    kind = "torus2d" if periodic else "grid2d"
+    return Topology(rows * cols, sorted(edges), name=f"{kind}({rows}x{cols})")
+
+
+def torus3d(side: int) -> Topology:
+    """3-D torus ``side x side x side`` with wrap-around links.
+
+    The paper's scaling experiments use ``side = 2**i``. Every node has
+    degree 6 for ``side >= 3``; for ``side = 2`` wrap-around links coincide
+    with mesh links and the degree is 3.
+    """
+    check_positive_int(side, "side")
+
+    def node(x: int, y: int, z: int) -> int:
+        return (x * side + y) * side + z
+
+    edges = set()
+    for x, y, z in itertools.product(range(side), repeat=3):
+        here = node(x, y, z)
+        for neighbor in (
+            node((x + 1) % side, y, z),
+            node(x, (y + 1) % side, z),
+            node(x, y, (z + 1) % side),
+        ):
+            if neighbor != here:
+                edges.add((min(here, neighbor), max(here, neighbor)))
+    return Topology(side ** 3, sorted(edges), name=f"torus3d({side})")
+
+
+def kary_ncube(k: int, dimension: int) -> Topology:
+    """k-ary n-cube: the family containing both paper topologies.
+
+    Nodes are d-digit base-k coordinates; two nodes are adjacent iff their
+    coordinates differ by +-1 (mod k) in exactly one dimension. Special
+    cases: ``kary_ncube(2, d)`` is the d-dimensional hypercube,
+    ``kary_ncube(k, 3)`` the 3-D torus with side k, ``kary_ncube(k, 1)``
+    a ring. The paper's scaling study walks two slices of this family;
+    the builder lets ablations interpolate between them (e.g. 8-ary
+    2-cubes vs 2-ary 6-cubes at equal node count).
+    """
+    check_positive_int(k, "k")
+    check_positive_int(dimension, "dimension")
+    if k < 2:
+        raise TopologyError(f"k must be >= 2, got {k}")
+    n = k ** dimension
+    edges = set()
+    for node in range(n):
+        # Decode base-k digits.
+        digits = []
+        rest = node
+        for _ in range(dimension):
+            digits.append(rest % k)
+            rest //= k
+        for axis in range(dimension):
+            up = digits.copy()
+            up[axis] = (up[axis] + 1) % k
+            neighbor = 0
+            for d in reversed(up):
+                neighbor = neighbor * k + d
+            if neighbor != node:
+                edges.add((min(node, neighbor), max(node, neighbor)))
+    return Topology(n, sorted(edges), name=f"kary_ncube({k},{dimension})")
+
+
+def from_adjacency(neighbors: Sequence[Sequence[int]], *, name: str = "custom") -> Topology:
+    """Build a topology from per-node neighbor lists (symmetry enforced)."""
+    n = len(neighbors)
+    edges = set()
+    for i, nbrs in enumerate(neighbors):
+        for j in nbrs:
+            if j == i:
+                raise TopologyError(f"self-loop on node {i}")
+            edges.add((min(i, j), max(i, j)))
+    topo = Topology(n, sorted(edges), name=name)
+    # Verify the caller's lists were symmetric; a one-directional listing is
+    # almost certainly a bug in hand-written input.
+    for i, nbrs in enumerate(neighbors):
+        if set(nbrs) != set(topo.neighbors(i)):
+            raise TopologyError(
+                f"adjacency lists are not symmetric around node {i}"
+            )
+    return topo
+
+
+def hypercube_for_nodes(n: int) -> Topology:
+    """Hypercube with exactly ``n`` nodes; ``n`` must be a power of two."""
+    check_positive_int(n, "n")
+    if n & (n - 1):
+        raise TopologyError(f"hypercube node count must be a power of two, got {n}")
+    return hypercube(n.bit_length() - 1)
+
+
+def torus3d_for_nodes(n: int) -> Topology:
+    """3-D torus with exactly ``n`` nodes; ``n`` must be a perfect cube."""
+    check_positive_int(n, "n")
+    side = round(n ** (1.0 / 3.0))
+    for candidate in (side - 1, side, side + 1):
+        if candidate > 0 and candidate ** 3 == n:
+            return torus3d(candidate)
+    raise TopologyError(f"3-D torus node count must be a perfect cube, got {n}")

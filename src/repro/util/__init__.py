@@ -1,0 +1,25 @@
+"""Shared utilities: bit manipulation, validation, statistics, timing."""
+
+from repro.util.float_bits import flip_bit, float_to_bits, bits_to_float
+from repro.util.stats import RunningStats, median, percentile
+from repro.util.timer import Timer
+from repro.util.validation import (
+    check_positive_int,
+    check_probability,
+    check_in,
+    check_type,
+)
+
+__all__ = [
+    "flip_bit",
+    "float_to_bits",
+    "bits_to_float",
+    "RunningStats",
+    "median",
+    "percentile",
+    "Timer",
+    "check_positive_int",
+    "check_probability",
+    "check_in",
+    "check_type",
+]

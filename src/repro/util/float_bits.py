@@ -1,0 +1,56 @@
+"""Bit-level manipulation of IEEE-754 doubles.
+
+Used by the bit-flip fault injector (:mod:`repro.faults.bit_flip`) to model
+soft errors (single-event upsets) in message payloads and node state, the
+failure class the paper's flow-based algorithms recover from "without even
+detecting or correcting them explicitly" (Sec. II-A).
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+
+def float_to_bits(x: float) -> int:
+    """Return the 64-bit integer carrying the IEEE-754 encoding of ``x``."""
+    return struct.unpack("<Q", struct.pack("<d", float(x)))[0]
+
+
+def bits_to_float(bits: int) -> float:
+    """Inverse of :func:`float_to_bits`."""
+    if not 0 <= bits < (1 << 64):
+        raise ValueError(f"bits out of range for a 64-bit pattern: {bits!r}")
+    return struct.unpack("<d", struct.pack("<Q", bits))[0]
+
+
+def flip_bit(x: float, bit: int) -> float:
+    """Flip bit ``bit`` (0 = least-significant mantissa bit, 63 = sign) of ``x``.
+
+    The result may be any representable double including infinities and NaN
+    (a flip in the exponent field can produce either); callers decide how to
+    model downstream behaviour — the reduction algorithms under test are
+    expected to *recover* from such values on the next successful exchange.
+    """
+    if not 0 <= bit <= 63:
+        raise ValueError(f"bit index must be in [0, 63], got {bit}")
+    return bits_to_float(float_to_bits(x) ^ (1 << bit))
+
+
+def ulp_distance(a: float, b: float) -> int:
+    """Number of representable doubles between ``a`` and ``b`` (same sign).
+
+    A convenient exactness metric for tests: ``ulp_distance(x, y) <= k``
+    asserts ``y`` is within ``k`` units in the last place of ``x``.
+    """
+    if math.isnan(a) or math.isnan(b):
+        raise ValueError("ulp_distance is undefined for NaN inputs")
+
+    def ordered(x: float) -> int:
+        bits = float_to_bits(x)
+        # Map the sign-magnitude float encoding onto a monotone integer line.
+        if bits & (1 << 63):
+            return (1 << 63) - (bits & ~(1 << 63))
+        return (1 << 63) + bits
+
+    return abs(ordered(a) - ordered(b))

@@ -1,0 +1,135 @@
+"""Lightweight statistics helpers.
+
+The experiment harness aggregates error series over many seeded runs; these
+helpers avoid repeatedly materialising large intermediate arrays and give a
+single, tested definition of median/percentile used everywhere (so the
+"median local error" curves of Figs. 4/7 are computed consistently).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence
+
+
+def median(values: Sequence[float]) -> float:
+    """Median with linear interpolation for even-length inputs."""
+    if len(values) == 0:
+        raise ValueError("median of an empty sequence is undefined")
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2 == 1:
+        return float(ordered[mid])
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile, ``q`` in ``[0, 100]``."""
+    if len(values) == 0:
+        raise ValueError("percentile of an empty sequence is undefined")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    pos = (q / 100.0) * (len(ordered) - 1)
+    low = int(math.floor(pos))
+    high = int(math.ceil(pos))
+    if low == high:
+        return float(ordered[low])
+    frac = pos - low
+    # low + frac * (high - low) is exact for equal endpoints and monotone
+    # in frac, unlike the (1-frac)*low + frac*high form.
+    return ordered[low] + frac * (ordered[high] - ordered[low])
+
+
+class RunningStats:
+    """Welford one-pass mean/variance accumulator with min/max tracking."""
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def add(self, value: float) -> None:
+        """Fold one observation into the accumulator."""
+        value = float(value)
+        self._count += 1
+        delta = value - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (value - self._mean)
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Fold many observations into the accumulator."""
+        for value in values:
+            self.add(value)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        if self._count == 0:
+            raise ValueError("mean of an empty accumulator is undefined")
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        """Sample (n-1) variance; 0.0 for a single observation."""
+        if self._count == 0:
+            raise ValueError("variance of an empty accumulator is undefined")
+        if self._count == 1:
+            return 0.0
+        return self._m2 / (self._count - 1)
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def min(self) -> float:
+        if self._count == 0:
+            raise ValueError("min of an empty accumulator is undefined")
+        return self._min
+
+    @property
+    def max(self) -> float:
+        if self._count == 0:
+            raise ValueError("max of an empty accumulator is undefined")
+        return self._max
+
+    def summary(self) -> dict:
+        """Return ``{count, mean, std, min, max}`` for reporting."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self._count == 0:
+            return "RunningStats(empty)"
+        return (
+            f"RunningStats(count={self._count}, mean={self._mean:.6g}, "
+            f"std={self.std:.6g}, min={self._min:.6g}, max={self._max:.6g})"
+        )
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of strictly positive values (log-domain, overflow-safe)."""
+    if len(values) == 0:
+        raise ValueError("geometric mean of an empty sequence is undefined")
+    total = 0.0
+    for value in values:
+        if value <= 0:
+            raise ValueError(f"geometric mean requires positive values, got {value}")
+        total += math.log(value)
+    return math.exp(total / len(values))

@@ -1,0 +1,40 @@
+"""Wall-clock timing helper for the benchmark harness and examples."""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+
+class Timer:
+    """Context-manager stopwatch.
+
+    Example
+    -------
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self._elapsed: Optional[float] = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        self._elapsed = None
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        assert self._start is not None
+        self._elapsed = time.perf_counter() - self._start
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds elapsed; valid after the ``with`` block (or live inside it)."""
+        if self._start is None:
+            raise RuntimeError("Timer was never started")
+        if self._elapsed is None:
+            return time.perf_counter() - self._start
+        return self._elapsed

@@ -1,0 +1,60 @@
+"""Small argument-validation helpers used across the package.
+
+They raise :class:`~repro.exceptions.ConfigurationError` with uniform
+messages so misconfiguration is reported identically everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Collection, Tuple, Type, Union
+
+from repro.exceptions import ConfigurationError
+
+
+def check_positive_int(value: Any, name: str, *, allow_zero: bool = False) -> int:
+    """Validate that ``value`` is a (strictly) positive integer and return it."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ConfigurationError(f"{name} must be an int, got {type(value).__name__}")
+    lower = 0 if allow_zero else 1
+    if value < lower:
+        comparison = ">= 0" if allow_zero else ">= 1"
+        raise ConfigurationError(f"{name} must be {comparison}, got {value}")
+    return value
+
+
+def check_probability(value: Any, name: str) -> float:
+    """Validate that ``value`` is a probability in ``[0, 1]`` and return it."""
+    try:
+        as_float = float(value)
+    except (TypeError, ValueError):
+        raise ConfigurationError(
+            f"{name} must be a real number in [0, 1], got {value!r}"
+        ) from None
+    if not 0.0 <= as_float <= 1.0:
+        raise ConfigurationError(f"{name} must be in [0, 1], got {as_float}")
+    return as_float
+
+
+def check_in(value: Any, options: Collection[Any], name: str) -> Any:
+    """Validate that ``value`` is one of ``options`` and return it."""
+    if value not in options:
+        raise ConfigurationError(
+            f"{name} must be one of {sorted(map(repr, options))}, got {value!r}"
+        )
+    return value
+
+
+def check_type(
+    value: Any, types: Union[Type, Tuple[Type, ...]], name: str
+) -> Any:
+    """Validate that ``value`` is an instance of ``types`` and return it."""
+    if not isinstance(value, types):
+        expected = (
+            types.__name__
+            if isinstance(types, type)
+            else " | ".join(t.__name__ for t in types)
+        )
+        raise ConfigurationError(
+            f"{name} must be {expected}, got {type(value).__name__}"
+        )
+    return value

@@ -1,0 +1,210 @@
+"""Shared machinery of the vectorized gossip engines.
+
+The vectorized engines execute the *same* synchronous round semantics as
+:class:`repro.simulation.engine.SynchronousEngine` — phase-separated sends,
+snapshot transport, receiver updates in sender order — but express every
+phase as NumPy array operations over all nodes at once. They exist because
+the paper's scaling study (Figs. 3/6) goes up to 2^15 nodes, far beyond
+what per-message Python objects can simulate in reasonable time.
+
+Scope: failure-free runs plus i.i.d. message loss. Permanent-failure
+experiments (Figs. 4/7) run at n=64 where the object engine is the right
+tool. Parity between the two engines on identical scripted schedules is
+covered by tests (see :mod:`repro.vectorized.parity`).
+
+Value payloads may be vectors: state arrays carry a trailing dimension
+``d``, so one engine run can carry a whole batch of reductions under a
+shared schedule — the distributed QR uses this to push all dot products of
+a Gram-Schmidt step through a single reduction.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.topology.base import Topology
+from repro.vectorized.topology_arrays import TopologyArrays
+
+StopCondition = Callable[["VectorizedEngine", int], bool]
+
+
+def _as_matrix(values: np.ndarray, n: int) -> np.ndarray:
+    """Coerce per-node values to an (n, d) float64 matrix."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim == 1:
+        arr = arr[:, None]
+    if arr.ndim != 2 or arr.shape[0] != n:
+        raise ConfigurationError(
+            f"initial values must have shape ({n},) or ({n}, d), got {arr.shape}"
+        )
+    return np.array(arr, copy=True)
+
+
+class VectorizedEngine(abc.ABC):
+    """Base class: schedule drawing, loss masking, run loop, estimates."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        values: np.ndarray,
+        weights: np.ndarray,
+        *,
+        seed: int = 0,
+        loss_probability: float = 0.0,
+        targets: Optional[np.ndarray] = None,
+    ) -> None:
+        self._arrays = TopologyArrays.from_topology(topology)
+        n = self._arrays.n
+        self._v0 = _as_matrix(values, n)
+        self._w0 = np.asarray(weights, dtype=np.float64).reshape(n).copy()
+        self._d = self._v0.shape[1]
+        if not 0.0 <= loss_probability <= 1.0:
+            raise ConfigurationError(
+                f"loss_probability must be in [0, 1], got {loss_probability}"
+            )
+        self._loss = float(loss_probability)
+        self._rng = np.random.default_rng(seed)
+        self._round = 0
+        self._messages_sent = 0
+        self._messages_delivered = 0
+        if targets is not None:
+            targets = np.asarray(targets, dtype=np.int64)
+            if targets.ndim != 2 or targets.shape[1] != n:
+                raise ConfigurationError(
+                    f"scripted targets must be (rounds, {n}), got {targets.shape}"
+                )
+        self._scripted_targets = targets
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return self._arrays.n
+
+    @property
+    def dimension(self) -> int:
+        return self._d
+
+    @property
+    def round(self) -> int:
+        return self._round
+
+    @property
+    def messages_sent(self) -> int:
+        return self._messages_sent
+
+    @property
+    def messages_delivered(self) -> int:
+        return self._messages_delivered
+
+    # ------------------------------------------------------------------
+    # Protocol hooks
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def estimate_pairs(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Current ``(values (n, d), weights (n,))`` estimate pairs."""
+
+    @abc.abstractmethod
+    def _apply_round(
+        self, senders: np.ndarray, slots: np.ndarray, delivered: np.ndarray
+    ) -> None:
+        """Execute one round for senders[k] sending on slots[k].
+
+        ``delivered[k]`` is False when the transport dropped message ``k``;
+        the *send-side* bookkeeping must still happen (the virtual send
+        precedes the physical one).
+        """
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def estimates(self) -> np.ndarray:
+        """Per-node aggregate estimates, shape (n, d)."""
+        values, weights = self.estimate_pairs()
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return values / weights[:, None]
+
+    def step(self) -> None:
+        n = self._arrays.n
+        senders = np.arange(n)
+        if self._scripted_targets is not None:
+            if self._round >= len(self._scripted_targets):
+                raise ConfigurationError(
+                    f"scripted schedule exhausted at round {self._round}"
+                )
+            target_nodes = self._scripted_targets[self._round]
+            active = target_nodes >= 0
+            senders = senders[active]
+            slots = self._slots_for_targets(senders, target_nodes[active])
+        else:
+            # Native fast schedule: one uniform draw per node per round.
+            draws = self._rng.random(n)
+            slots = np.floor(draws * self._arrays.degree).astype(np.int64)
+
+        if self._loss > 0.0:
+            delivered = self._rng.random(len(senders)) >= self._loss
+        else:
+            delivered = np.ones(len(senders), dtype=bool)
+
+        self._messages_sent += len(senders)
+        self._messages_delivered += int(delivered.sum())
+        self._apply_round(senders, slots, delivered)
+        self._round += 1
+
+    def run(
+        self,
+        max_rounds: int,
+        *,
+        stop_when: Optional[StopCondition] = None,
+        check_every: int = 1,
+    ) -> int:
+        """Run up to ``max_rounds`` rounds; returns rounds executed.
+
+        ``stop_when(engine, round_index)`` is consulted every
+        ``check_every`` rounds (error oracles cost an O(n d) pass, so large
+        sweeps check every few rounds).
+        """
+        if max_rounds < 0:
+            raise ConfigurationError(f"max_rounds must be >= 0, got {max_rounds}")
+        executed = 0
+        while executed < max_rounds:
+            self.step()
+            executed += 1
+            if (
+                stop_when is not None
+                and executed % check_every == 0
+                and stop_when(self, self._round - 1)
+            ):
+                break
+        return executed
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _slots_for_targets(
+        self, senders: np.ndarray, targets: np.ndarray
+    ) -> np.ndarray:
+        """Translate absolute target node ids into neighbor slots."""
+        nbr = self._arrays.nbr
+        slots = np.empty(len(senders), dtype=np.int64)
+        for k, (i, j) in enumerate(zip(senders, targets)):
+            matches = np.nonzero(nbr[i] == j)[0]
+            if len(matches) != 1:
+                raise ConfigurationError(
+                    f"scripted target {j} is not a neighbor of {i}"
+                )
+            slots[k] = matches[0]
+        return slots
+
+    def _receiver_indices(
+        self, senders: np.ndarray, slots: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Receivers and the receiver-side slots for these sends."""
+        receivers = self._arrays.nbr[senders, slots].astype(np.int64)
+        receiver_slots = self._arrays.slot_of[senders, slots].astype(np.int64)
+        return receivers, receiver_slots

@@ -1,0 +1,222 @@
+"""Vectorized push-sum / push-flow / push-cancel-flow engines.
+
+Each class executes the synchronous round semantics of its object-engine
+counterpart (:mod:`repro.algorithms`) as whole-array NumPy operations. The
+floating-point operation *order* is kept identical to the object engine —
+left-to-right flow summation, per-message combined phi deltas applied in
+sender order via ``np.add.at`` — so scripted-schedule runs agree
+bit-for-bit between the two engines (verified by the parity tests).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.vectorized.base import VectorizedEngine
+
+
+class VectorPushSum(VectorizedEngine):
+    """Vectorized push-sum (the fragile baseline at scale)."""
+
+    def __init__(self, topology, values, weights, **kwargs) -> None:
+        super().__init__(topology, values, weights, **kwargs)
+        self._val = self._v0.copy()
+        self._w = self._w0.copy()
+
+    def estimate_pairs(self) -> Tuple[np.ndarray, np.ndarray]:
+        return self._val.copy(), self._w.copy()
+
+    def _apply_round(self, senders, slots, delivered) -> None:
+        receivers, _ = self._receiver_indices(senders, slots)
+        # Keep half, send half — the send-side halving happens regardless of
+        # delivery (a dropped message loses mass, as in the real protocol).
+        half_val = self._val[senders] * 0.5
+        half_w = self._w[senders] * 0.5
+        self._val[senders] = half_val
+        self._w[senders] = half_w
+        idx = np.nonzero(delivered)[0]
+        np.add.at(self._val, receivers[idx], half_val[idx])
+        np.add.at(self._w, receivers[idx], half_w[idx])
+
+
+class VectorPushFlow(VectorizedEngine):
+    """Vectorized push-flow, ``recompute`` variant (Fig. 1 semantics)."""
+
+    def __init__(self, topology, values, weights, **kwargs) -> None:
+        super().__init__(topology, values, weights, **kwargs)
+        n, md, d = self.n, self._arrays.max_degree, self._d
+        self._fval = np.zeros((n, md, d))
+        self._fw = np.zeros((n, md))
+
+    def estimate_pairs(self) -> Tuple[np.ndarray, np.ndarray]:
+        # Mirror the object engine's rounding exactly: accumulate the flow
+        # sum left-to-right over sorted-neighbor slots first, then subtract
+        # it from the initial data in one operation (padded slots hold
+        # exact zeros, which cannot perturb the rounding).
+        total_val = np.zeros_like(self._v0)
+        total_w = np.zeros_like(self._w0)
+        for s in range(self._arrays.max_degree):
+            total_val += self._fval[:, s]
+            total_w += self._fw[:, s]
+        return self._v0 - total_val, self._w0 - total_w
+
+    def max_flow_magnitude(self) -> float:
+        """Largest flow magnitude — PF's n-dependent blow-up diagnostic."""
+        return max(
+            float(np.max(np.abs(self._fval))) if self._fval.size else 0.0,
+            float(np.max(np.abs(self._fw))) if self._fw.size else 0.0,
+        )
+
+    def _apply_round(self, senders, slots, delivered) -> None:
+        est_val, est_w = self.estimate_pairs()
+        receivers, r_slots = self._receiver_indices(senders, slots)
+
+        # Phase 1: virtual sends (sender slots are unique per round).
+        self._fval[senders, slots] += est_val[senders] * 0.5
+        self._fw[senders, slots] += est_w[senders] * 0.5
+
+        # Phase 2: snapshot the physical payloads.
+        sent_val = self._fval[senders, slots].copy()
+        sent_w = self._fw[senders, slots].copy()
+
+        # Phase 3: deliveries — receiver (node, slot) pairs are unique.
+        idx = np.nonzero(delivered)[0]
+        self._fval[receivers[idx], r_slots[idx]] = -sent_val[idx]
+        self._fw[receivers[idx], r_slots[idx]] = -sent_w[idx]
+
+
+class VectorPushCancelFlow(VectorizedEngine):
+    """Vectorized push-cancel-flow, ``efficient`` variant (Fig. 5 semantics)."""
+
+    def __init__(self, topology, values, weights, **kwargs) -> None:
+        super().__init__(topology, values, weights, **kwargs)
+        n, md, d = self.n, self._arrays.max_degree, self._d
+        self._fval = np.zeros((n, md, 2, d))
+        self._fw = np.zeros((n, md, 2))
+        self._c = np.zeros((n, md), dtype=np.int8)
+        self._r = np.zeros((n, md), dtype=np.int64)
+        self._phi_val = np.zeros((n, d))
+        self._phi_w = np.zeros(n)
+        self.cancellations = 0
+        self.swaps = 0
+
+    def estimate_pairs(self) -> Tuple[np.ndarray, np.ndarray]:
+        return self._v0 - self._phi_val, self._w0 - self._phi_w
+
+    def max_flow_magnitude(self) -> float:
+        """Largest flow magnitude — stays O(estimate) thanks to cancellation."""
+        return max(
+            float(np.max(np.abs(self._fval))) if self._fval.size else 0.0,
+            float(np.max(np.abs(self._fw))) if self._fw.size else 0.0,
+        )
+
+    def _apply_round(self, senders, slots, delivered) -> None:
+        est_val, est_w = self.estimate_pairs()
+        receivers, r_slots = self._receiver_indices(senders, slots)
+        k = len(senders)
+        arange = np.arange(k)
+
+        # Phase 1: virtual sends into the active slot + incremental phi.
+        act = self._c[senders, slots].astype(np.int64)
+        half_val = est_val[senders] * 0.5
+        half_w = est_w[senders] * 0.5
+        self._fval[senders, slots, act] += half_val
+        self._fw[senders, slots, act] += half_w
+        self._phi_val[senders] += half_val
+        self._phi_w[senders] += half_w
+
+        # Phase 2: snapshot payloads (both slots + control variables).
+        g_val = self._fval[senders, slots].copy()  # (k, 2, d)
+        g_w = self._fw[senders, slots].copy()  # (k, 2)
+        g_c = self._c[senders, slots].copy()
+        g_r = self._r[senders, slots].copy()
+
+        # Phase 3: deliveries. Receiver (node, slot) pairs are unique, so
+        # per-edge updates are data-parallel; only phi accumulations can
+        # collide and those go through ordered np.add.at.
+        idx = np.nonzero(delivered)[0]
+        if len(idx) == 0:
+            return
+        j = receivers[idx]
+        t = r_slots[idx]
+        pv = g_val[idx]  # payload flows (m, 2, d)
+        pw = g_w[idx]
+        pc = g_c[idx].astype(np.int64)
+        pr = g_r[idx]
+        m = len(idx)
+        mrange = np.arange(m)
+
+        lc = self._c[j, t].astype(np.int64)
+        lr = self._r[j, t]
+
+        # (adopt) peer swapped first: take over its role assignment.
+        adopt = (lc != pc) & (lr == pr)
+        lc[adopt] = pc[adopt]
+
+        eq = lc == pc
+        a = lc
+        p = 1 - lc
+
+        # Combined phi delta per message (active repair + optional passive
+        # repair), applied once in sender order — mirrors the object
+        # engine's single phi update per received message.
+        delta_val = np.zeros((m, self._d))
+        delta_w = np.zeros(m)
+
+        # Active-slot PF repair (only for role-consistent messages).
+        e_idx = np.nonzero(eq)[0]
+        je, te, ae = j[e_idx], t[e_idx], a[e_idx]
+        ga_val = pv[e_idx, ae]  # (|e|, d)
+        ga_w = pw[e_idx, ae]
+        delta_val[e_idx] -= self._fval[je, te, ae] + ga_val
+        delta_w[e_idx] -= self._fw[je, te, ae] + ga_w
+        self._fval[je, te, ae] = -ga_val
+        self._fw[je, te, ae] = -ga_w
+
+        # Passive-slot handshake.
+        pe = p[e_idx]
+        f_p_val = self._fval[je, te, pe]
+        f_p_w = self._fw[je, te, pe]
+        g_p_val = pv[e_idx, pe]
+        g_p_w = pw[e_idx, pe]
+        lre = lr[e_idx]
+        pre = pr[e_idx]
+
+        conserved = np.all(g_p_val == -f_p_val, axis=1) & (g_p_w == -f_p_w)
+        peer_zero = np.all(g_p_val == 0.0, axis=1) & (g_p_w == 0.0)
+        cancel = conserved & (lre == pre)
+        swap = ~cancel & peer_zero & (lre + 1 == pre)
+        repair = ~cancel & ~swap & (lre <= pre)
+
+        # (cancel)/(swap): zero the passive copy, advance the era; the value
+        # stays absorbed in phi (no delta). Swap additionally flips roles.
+        zero_mask = cancel | swap
+        z_idx = e_idx[zero_mask]
+        jz, tz, pz = j[z_idx], t[z_idx], pe[zero_mask]
+        self._fval[jz, tz, pz] = 0.0
+        self._fw[jz, tz, pz] = 0.0
+        lr_new = lr.copy()
+        lr_new[z_idx] += 1
+        lc_new = lc.copy()
+        s_idx = e_idx[swap]
+        lc_new[s_idx] = p[s_idx]
+
+        # (repair): conservation violated — treat the passive like an active.
+        r_idx = e_idx[repair]
+        jr, tr, prr = j[r_idx], t[r_idx], pe[repair]
+        gr_val = g_p_val[repair]
+        gr_w = g_p_w[repair]
+        delta_val[r_idx] -= self._fval[jr, tr, prr] + gr_val
+        delta_w[r_idx] -= self._fw[jr, tr, prr] + gr_w
+        self._fval[jr, tr, prr] = -gr_val
+        self._fw[jr, tr, prr] = -gr_w
+
+        # Write back control state and accumulate phi in sender order.
+        self._c[j, t] = lc_new.astype(np.int8)
+        self._r[j, t] = lr_new
+        np.add.at(self._phi_val, j, delta_val)
+        np.add.at(self._phi_w, j, delta_w)
+        self.cancellations += int(np.count_nonzero(cancel))
+        self.swaps += int(np.count_nonzero(swap))

@@ -1,0 +1,106 @@
+"""Cross-engine parity utilities.
+
+The vectorized engines are only trustworthy if they compute the *same*
+distributed execution as the readable object engine. These helpers run both
+engines under one scripted schedule and compare the per-node estimates; the
+test suite asserts bit-identical agreement for every protocol.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Type
+
+import numpy as np
+
+from repro.algorithms.registry import instantiate
+from repro.algorithms.state import MassPair
+from repro.exceptions import ConfigurationError
+from repro.simulation.engine import SynchronousEngine
+from repro.simulation.schedule import FixedSchedule, Schedule
+from repro.topology.base import Topology
+from repro.vectorized.base import VectorizedEngine
+from repro.vectorized.engines import (
+    VectorPushCancelFlow,
+    VectorPushFlow,
+    VectorPushSum,
+)
+from repro.vectorized.hardened import VectorPushCancelFlowHardened
+
+_VECTOR_CLASS = {
+    "push_sum": VectorPushSum,
+    "push_flow": VectorPushFlow,
+    "push_cancel_flow": VectorPushCancelFlow,
+    "push_cancel_flow_hardened": VectorPushCancelFlowHardened,
+}
+
+
+def vector_engine_for(algorithm: str) -> Type[VectorizedEngine]:
+    """The vectorized engine class matching an object-algorithm name."""
+    try:
+        return _VECTOR_CLASS[algorithm]
+    except KeyError:
+        raise ConfigurationError(
+            f"no vectorized engine for algorithm {algorithm!r}; "
+            f"available: {sorted(_VECTOR_CLASS)}"
+        ) from None
+
+
+def materialize_schedule(
+    schedule: Schedule, topology: Topology, rounds: int
+) -> np.ndarray:
+    """Record a schedule's choices into a ``(rounds, n)`` target matrix.
+
+    Assumes a failure-free run (live neighborhoods never shrink), which is
+    the vectorized engines' scope. ``-1`` marks a silent node.
+    """
+    n = topology.n
+    targets = np.full((rounds, n), -1, dtype=np.int64)
+    for t in range(rounds):
+        for i in topology.nodes():
+            choice = schedule.choose(i, topology.neighbors(i), t)
+            targets[t, i] = -1 if choice is None else choice
+    return targets
+
+
+def run_object_engine(
+    algorithm: str,
+    topology: Topology,
+    initial: Sequence[MassPair],
+    targets: np.ndarray,
+) -> np.ndarray:
+    """Run the object engine under scripted targets; returns (n, d) estimates."""
+    algs = instantiate(algorithm, topology, list(initial))
+    engine = SynchronousEngine(
+        topology, algs, FixedSchedule(targets.tolist())
+    )
+    engine.run(len(targets))
+    estimates = [np.atleast_1d(np.asarray(alg.estimate())) for alg in algs]
+    return np.stack(estimates)
+
+
+def run_vector_engine(
+    algorithm: str,
+    topology: Topology,
+    initial: Sequence[MassPair],
+    targets: np.ndarray,
+) -> np.ndarray:
+    """Run the vectorized engine under the same scripted targets."""
+    values = np.stack([np.atleast_1d(np.asarray(p.value)) for p in initial])
+    weights = np.array([p.weight for p in initial])
+    cls = vector_engine_for(algorithm)
+    engine = cls(topology, values, weights, targets=targets)
+    engine.run(len(targets))
+    return engine.estimates()
+
+
+def compare_engines(
+    algorithm: str,
+    topology: Topology,
+    initial: Sequence[MassPair],
+    targets: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Estimates from both engines for identical scripted runs."""
+    return (
+        run_object_engine(algorithm, topology, initial, targets),
+        run_vector_engine(algorithm, topology, initial, targets),
+    )

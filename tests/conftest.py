@@ -1,0 +1,63 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms.aggregates import AggregateKind, initial_mass_pairs
+from repro.algorithms.registry import instantiate
+from repro.metrics.errors import max_local_error
+from repro.simulation.engine import SynchronousEngine
+from repro.simulation.schedule import UniformGossipSchedule
+from repro.topology import hypercube, ring
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_hypercube():
+    return hypercube(4)  # 16 nodes
+
+
+@pytest.fixture
+def small_ring():
+    return ring(8)
+
+
+def build_engine(
+    topology,
+    algorithm: str,
+    data,
+    *,
+    kind=AggregateKind.AVERAGE,
+    schedule_seed: int = 0,
+    **engine_kwargs,
+):
+    """Engine + algorithm instances for a reduction over `topology`."""
+    initial = initial_mass_pairs(kind, list(data))
+    algs = instantiate(algorithm, topology, initial)
+    engine = SynchronousEngine(
+        topology,
+        algs,
+        UniformGossipSchedule(topology.n, schedule_seed),
+        **engine_kwargs,
+    )
+    return engine, algs
+
+
+def exact_average(data) -> float:
+    return math.fsum(float(x) for x in data) / len(data)
+
+
+def run_to_rounds(engine, rounds: int) -> None:
+    engine.run(rounds)
+
+
+def engine_max_error(engine, truth) -> float:
+    return max_local_error(engine.estimates(), truth)

@@ -1,0 +1,114 @@
+"""Integration: analysis tools applied to real protocol runs.
+
+Connects the theory layer to the simulators: measured decay rates respect
+the spectral prediction's ordering across topologies, the disagreement
+potential contracts geometrically, and PF's converged flows on arbitrary
+trees match the analytic subtree-surplus flows exactly.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import run_reduction
+from repro.algorithms.aggregates import AggregateKind, initial_mass_pairs, true_aggregate
+from repro.algorithms.registry import instantiate
+from repro.analysis import (
+    PotentialHistory,
+    equilibrium_flows,
+    fit_decay_rate,
+    spectral_rate_bound,
+)
+from repro.metrics.history import ErrorHistory
+from repro.simulation.engine import SynchronousEngine
+from repro.simulation.schedule import UniformGossipSchedule
+from repro.topology import binary_tree, complete, hypercube, ring, star
+
+
+def run_history(topo, algorithm, data, seed, rounds, extra_observers=()):
+    truth = true_aggregate(AggregateKind.AVERAGE, list(data))
+    initial = initial_mass_pairs(AggregateKind.AVERAGE, list(data))
+    algs = instantiate(algorithm, topo, initial)
+    history = ErrorHistory(truth)
+    engine = SynchronousEngine(
+        topo,
+        algs,
+        UniformGossipSchedule(topo.n, seed),
+        observers=[history, *extra_observers],
+    )
+    engine.run(rounds)
+    return algs, history, truth
+
+
+class TestDecayRates:
+    def test_rate_ordering_matches_spectral_ordering(self):
+        # Well-connected graphs decay distinctly faster than the ring; at
+        # n=16 gossip (one neighbor per round) limits complete and the
+        # hypercube to nearly the same rate, so only the dense-vs-sparse
+        # gap is asserted strictly.
+        rates = {}
+        for topo in (complete(16), hypercube(4), ring(16)):
+            data = np.random.default_rng(0).uniform(size=topo.n)
+            _, history, _ = run_history(topo, "push_cancel_flow", data, 3, 400)
+            fit = fit_decay_rate(history.max_errors, skip=10, floor=1e-14)
+            rates[topo.name] = fit.rate
+            assert 0.0 < fit.rate < 1.0
+        assert rates["complete"] < rates["ring"]
+        assert rates["hypercube(4)"] < rates["ring"]
+        assert rates["complete"] < 1.05 * rates["hypercube(4)"]
+
+    def test_measured_rate_no_faster_than_spectral_bound(self):
+        # One-random-neighbor gossip cannot beat the full synchronous
+        # diffusion the spectral bound describes (allow 2% fitting slack).
+        topo = hypercube(4)
+        data = np.random.default_rng(1).uniform(size=topo.n)
+        _, history, _ = run_history(topo, "push_cancel_flow", data, 5, 400)
+        fit = fit_decay_rate(history.max_errors, skip=10, floor=1e-14)
+        assert fit.rate >= spectral_rate_bound(topo) * 0.98
+
+
+class TestPotential:
+    def test_potential_contracts_geometrically(self):
+        topo = hypercube(5)
+        data = np.random.default_rng(2).uniform(size=topo.n)
+        truth = float(np.mean(data))
+        potential = PotentialHistory(truth)
+        run_history(topo, "push_cancel_flow", data, 7, 250, (potential,))
+        factors = potential.contraction_factors(skip=10)
+        # Median per-round contraction strictly below 1.
+        assert float(np.median(factors)) < 0.95
+        # The potential at the end is far below its start.
+        assert potential.potentials[-1] < 1e-20 * potential.potentials[0]
+
+    def test_weight_dispersion_stays_bounded(self):
+        topo = hypercube(4)
+        data = np.random.default_rng(3).uniform(size=topo.n)
+        truth = float(np.mean(data))
+        potential = PotentialHistory(truth)
+        run_history(topo, "push_cancel_flow", data, 9, 300, (potential,))
+        # Push-style weights fluctuate but never collapse or explode.
+        tail = potential.weight_dispersions[50:]
+        assert 0.0 < max(tail) < 5.0
+
+
+class TestTreeFlowPredictions:
+    @pytest.mark.parametrize(
+        "topo_factory", [star, binary_tree], ids=["star", "binary_tree"]
+    )
+    def test_pf_converges_to_analytic_tree_flows(self, topo_factory):
+        n = 9
+        topo = topo_factory(n)
+        rng = np.random.default_rng(4)
+        data = list(rng.uniform(1.0, 3.0, size=n))
+        aggregate = float(np.mean(data))
+        algs, history, truth = run_history(topo, "push_flow", data, 11, 6000)
+        assert history.final_max_error() < 1e-9
+
+        predicted = equilibrium_flows(topo, data, [1.0] * n)
+        for i in topo.nodes():
+            for jneigh, flow in algs[i].local_flows().items():
+                measured = flow.value - aggregate * flow.weight
+                assert measured == pytest.approx(
+                    predicted[(i, jneigh)], abs=1e-7
+                ), (i, jneigh)

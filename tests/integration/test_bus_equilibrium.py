@@ -1,0 +1,78 @@
+"""Integration: the Fig. 2 analytic equilibrium, exactly.
+
+The paper's bus case study (Sec. II-B): with ``v_1 = n + 1`` and all other
+values 1, the average is 2 for every n. The paper presents the equilibrium
+flows ``f_{i,i+1} = n - i`` for the weight-omitted simplification ("we omit
+the weights ... and assume them to be constantly one"). With weights
+simulated, PF's fixed points form a family — every node's estimate pair is
+``(2c_i, c_i)`` for execution-dependent ``c_i`` — but the *weight-adjusted*
+flow
+
+    g_i  :=  f_{i,i+1}.value - 2 * f_{i,i+1}.weight  =  n - 1 - i   (0-based)
+
+is invariant across the whole family (telescoping the per-node mass
+balance along the path), reducing to the paper's flows for c_i = 1. Any
+converged PF run must satisfy it exactly up to rounding — a sharp
+quantitative check of the Fig. 2 analysis.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.aggregates import AggregateKind, initial_mass_pairs
+from repro.algorithms.registry import instantiate
+from repro.experiments.workloads import bus_case_study_data, bus_equilibrium_flows
+from repro.metrics.errors import max_local_error
+from repro.simulation.engine import SynchronousEngine
+from repro.simulation.schedule import RoundRobinSchedule, UniformGossipSchedule
+from repro.topology import bus
+
+
+def run_pf_on_bus(n, schedule, rounds):
+    topo = bus(n)
+    data = bus_case_study_data(n)
+    initial = initial_mass_pairs(AggregateKind.AVERAGE, list(data))
+    algs = instantiate("push_flow", topo, initial)
+    engine = SynchronousEngine(topo, algs, schedule)
+    engine.run(rounds)
+    return topo, algs, engine
+
+
+@pytest.mark.parametrize("schedule_kind", ["round_robin", "uniform"])
+def test_pf_reaches_analytic_equilibrium(schedule_kind):
+    n = 8
+    schedule = (
+        RoundRobinSchedule(n)
+        if schedule_kind == "round_robin"
+        else UniformGossipSchedule(n, seed=3)
+    )
+    topo, algs, engine = run_pf_on_bus(n, schedule, rounds=4000)
+
+    # Estimates converged to the engineered average 2.
+    assert max_local_error(engine.estimates(), 2.0) < 1e-9
+
+    # The weight-adjusted flows match the analytic tree flow exactly:
+    # g_i = n - 1 - i, which equals the paper's 1-based f_{i,i+1} = n - i.
+    expected = bus_equilibrium_flows(n)  # [n-1, n-2, ..., 1]
+    for i in range(n - 1):
+        flow = algs[i].local_flows()[i + 1]
+        g = flow.value - 2.0 * flow.weight
+        assert g == pytest.approx(expected[i], abs=1e-8)
+        # Flow conservation: the reverse flow negates it.
+        reverse = algs[i + 1].local_flows()[i]
+        g_rev = reverse.value - 2.0 * reverse.weight
+        assert g_rev == pytest.approx(-expected[i], abs=1e-8)
+
+
+def test_equilibrium_flow_grows_linearly_with_n():
+    magnitudes = {}
+    for n in (6, 12):
+        topo, algs, engine = run_pf_on_bus(
+            n, UniformGossipSchedule(n, seed=5), rounds=1500 * n
+        )
+        assert max_local_error(engine.estimates(), 2.0) < 1e-8
+        # The weight-adjusted flow at the first edge is exactly n - 1.
+        flow = algs[0].local_flows()[1]
+        magnitudes[n] = flow.value - 2.0 * flow.weight
+        assert magnitudes[n] == pytest.approx(n - 1, abs=1e-7)
+    assert magnitudes[12] > 1.8 * magnitudes[6]

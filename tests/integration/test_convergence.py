@@ -1,0 +1,135 @@
+"""Integration: all algorithms converge to the exact aggregate on all
+topology families (the paper's baseline correctness expectation)."""
+
+import numpy as np
+import pytest
+
+from repro import AggregateKind, run_reduction
+from repro.topology import (
+    binary_tree,
+    bus,
+    complete,
+    erdos_renyi,
+    grid2d,
+    hypercube,
+    random_regular,
+    ring,
+    star,
+    torus3d,
+)
+
+ALGORITHMS = [
+    "push_sum",
+    "push_flow",
+    "push_flow_incremental",
+    "push_cancel_flow",
+    "push_cancel_flow_robust",
+]
+
+TOPOLOGIES = [
+    bus(12),
+    ring(12),
+    complete(12),
+    star(12),
+    binary_tree(12),
+    hypercube(4),
+    torus3d(2),
+    grid2d(4, 4),
+    erdos_renyi(16, 0.4, seed=0),
+    random_regular(12, 4, seed=0),
+]
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("topo", TOPOLOGIES, ids=lambda t: t.name)
+def test_average_converges(algorithm, topo):
+    data = np.random.default_rng(42).uniform(1.0, 2.0, size=topo.n)
+    result = run_reduction(
+        topo,
+        data,
+        kind=AggregateKind.AVERAGE,
+        algorithm=algorithm,
+        epsilon=1e-12,
+        schedule_seed=7,
+        max_rounds=6000,
+        backend="object",
+    )
+    assert result.converged, (
+        f"{algorithm} on {topo.name}: error {result.max_error:.3e} "
+        f"after {result.rounds} rounds"
+    )
+
+
+@pytest.mark.parametrize("algorithm", ["push_sum", "push_flow", "push_cancel_flow"])
+@pytest.mark.parametrize(
+    "kind", [AggregateKind.SUM, AggregateKind.COUNT], ids=lambda k: k.value
+)
+def test_other_aggregates_converge(algorithm, kind):
+    topo = hypercube(4)
+    data = np.random.default_rng(1).uniform(0.5, 1.5, size=topo.n)
+    result = run_reduction(
+        topo,
+        data,
+        kind=kind,
+        algorithm=algorithm,
+        epsilon=1e-11,
+        schedule_seed=3,
+        max_rounds=4000,
+        backend="object",
+    )
+    assert result.converged
+    if kind is AggregateKind.COUNT:
+        assert result.truth == topo.n
+
+
+def test_weighted_average():
+    topo = hypercube(3)
+    data = [float(i) for i in range(topo.n)]
+    from repro.algorithms.aggregates import initial_mass_pairs, true_aggregate
+    from repro.algorithms.registry import instantiate
+    from repro.metrics.errors import max_local_error
+    from repro.simulation.engine import SynchronousEngine
+    from repro.simulation.schedule import UniformGossipSchedule
+
+    weights = [1.0, 2.0, 0.0, 1.0, 1.0, 3.0, 1.0, 1.0]
+    initial = initial_mass_pairs(
+        AggregateKind.WEIGHTED_AVERAGE, data, custom_weights=weights
+    )
+    truth = true_aggregate(
+        AggregateKind.WEIGHTED_AVERAGE, data, custom_weights=weights
+    )
+    algs = instantiate("push_cancel_flow", topo, initial)
+    engine = SynchronousEngine(topo, algs, UniformGossipSchedule(topo.n, 0))
+    engine.run(500)
+    assert max_local_error(engine.estimates(), truth) < 1e-12
+
+
+def test_convergence_rounds_scale_logarithmically():
+    """The O(log n) scaling claim: rounds-to-accuracy per log2(n) is flat."""
+    rounds_per_log = []
+    for dim in (3, 5, 7):
+        topo = hypercube(dim)
+        data = np.random.default_rng(0).uniform(size=topo.n)
+        result = run_reduction(
+            topo,
+            data,
+            algorithm="push_cancel_flow",
+            epsilon=1e-10,
+            backend="vector",
+            schedule_seed=1,
+        )
+        assert result.converged
+        rounds_per_log.append(result.rounds / dim)
+    # Flat within a factor ~2.5 across an 8x..128x size range.
+    assert max(rounds_per_log) / min(rounds_per_log) < 2.5
+
+
+def test_single_node_network():
+    from repro.topology.base import Topology
+
+    topo = Topology(1, [])
+    result = run_reduction(
+        topo, [5.0], algorithm="push_sum", backend="object", max_rounds=5
+    )
+    assert result.truth == 5.0
+    assert result.max_error == 0.0

@@ -1,0 +1,89 @@
+"""Integration: object engine vs vectorized engine bit-for-bit parity.
+
+The vectorized engines exist purely for speed; under identical scripted
+schedules they must produce *exactly* the same floating-point states as the
+readable object engine for every protocol.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.aggregates import AggregateKind, initial_mass_pairs
+from repro.simulation.schedule import UniformGossipSchedule
+from repro.topology import erdos_renyi, hypercube, ring, star, torus3d
+from repro.vectorized.parity import (
+    compare_engines,
+    materialize_schedule,
+    run_object_engine,
+    run_vector_engine,
+)
+
+TOPOLOGIES = [
+    ring(8),
+    star(8),
+    hypercube(3),
+    torus3d(2),
+    erdos_renyi(10, 0.5, seed=1),
+]
+
+
+def scripted(topo, rounds, seed):
+    return materialize_schedule(UniformGossipSchedule(topo.n, seed), topo, rounds)
+
+
+@pytest.mark.parametrize("algorithm", ["push_sum", "push_flow", "push_cancel_flow"])
+@pytest.mark.parametrize("topo", TOPOLOGIES, ids=lambda t: t.name)
+def test_bitwise_parity(algorithm, topo):
+    rng = np.random.default_rng(5)
+    data = rng.uniform(size=topo.n)
+    initial = initial_mass_pairs(AggregateKind.AVERAGE, list(data))
+    targets = scripted(topo, 60, seed=3)
+    obj, vec = compare_engines(algorithm, topo, initial, targets)
+    np.testing.assert_array_equal(obj, vec)
+
+
+@pytest.mark.parametrize("algorithm", ["push_sum", "push_flow", "push_cancel_flow"])
+def test_bitwise_parity_sum_aggregate(algorithm):
+    topo = hypercube(4)
+    rng = np.random.default_rng(6)
+    data = rng.uniform(size=topo.n)
+    initial = initial_mass_pairs(AggregateKind.SUM, list(data))
+    targets = scripted(topo, 80, seed=4)
+    obj, vec = compare_engines(algorithm, topo, initial, targets)
+    np.testing.assert_array_equal(obj, vec)
+
+
+def test_bitwise_parity_vector_payloads():
+    topo = hypercube(3)
+    rng = np.random.default_rng(7)
+    data = [rng.uniform(size=3) for _ in range(topo.n)]
+    initial = initial_mass_pairs(AggregateKind.AVERAGE, data)
+    targets = scripted(topo, 50, seed=5)
+    obj, vec = compare_engines("push_cancel_flow", topo, initial, targets)
+    np.testing.assert_array_equal(obj, vec)
+
+
+def test_parity_with_silent_nodes():
+    # Schedules may leave nodes silent in some rounds.
+    topo = ring(6)
+    targets = scripted(topo, 40, seed=8)
+    targets[::3, 0] = -1  # node 0 silent every third round
+    targets[1::4, 3] = -1
+    rng = np.random.default_rng(9)
+    initial = initial_mass_pairs(
+        AggregateKind.AVERAGE, list(rng.uniform(size=topo.n))
+    )
+    obj, vec = compare_engines("push_cancel_flow", topo, initial, targets)
+    np.testing.assert_array_equal(obj, vec)
+
+
+def test_parity_long_run_pcf():
+    # Long enough to go through many cancel/swap/adopt cycles.
+    topo = hypercube(4)
+    rng = np.random.default_rng(10)
+    initial = initial_mass_pairs(
+        AggregateKind.AVERAGE, list(rng.uniform(size=topo.n))
+    )
+    targets = scripted(topo, 300, seed=11)
+    obj, vec = compare_engines("push_cancel_flow", topo, initial, targets)
+    np.testing.assert_array_equal(obj, vec)

@@ -1,0 +1,152 @@
+"""Integration: the experiment harness regenerates the paper's shapes.
+
+Each test runs a (scaled-down) version of one figure's experiment and
+asserts the qualitative claim the figure makes — who wins, in which
+direction the curves move. These are the repository's reproduction
+regression tests.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import (
+    ablation_message_loss,
+    ablation_pf_variants,
+    ablation_state_bit_flips,
+    accuracy_sweep,
+    fig2_bus_flows,
+    fig4_pf_failure,
+    fig7_pcf_failure,
+    fig8_qr,
+    scaling_rounds,
+)
+from repro.algorithms.aggregates import AggregateKind
+
+
+def rows_by(result, **filters):
+    index = {h: i for i, h in enumerate(result.headers)}
+    selected = []
+    for row in result.rows:
+        if all(row[index[k]] == v for k, v in filters.items()):
+            selected.append({h: row[index[h]] for h in index})
+    return selected
+
+
+class TestFig2:
+    def test_pf_flows_grow_pcf_flows_do_not(self):
+        result = fig2_bus_flows(sizes=(8, 16, 32), epsilon=1e-11)
+        pf = rows_by(result, algorithm="push_flow")
+        pcf = rows_by(result, algorithm="push_cancel_flow_hardened")
+        # PF's max flow tracks ~n (the unique tree flow has f_max = n - 1).
+        for row in pf:
+            assert row["max_flow_magnitude"] > 0.5 * (row["n"] - 1)
+        # PF flow magnitude grows ~linearly with n; the hardened-PCF
+        # cancellation keeps flows well below the n-scale tree flow.
+        assert pf[-1]["max_flow_magnitude"] > 2.5 * pf[0]["max_flow_magnitude"]
+        assert pcf[-1]["max_flow_magnitude"] < 0.5 * pf[-1]["max_flow_magnitude"]
+        # Both still converge to the average (2.0) at these sizes.
+        for row in pf + pcf:
+            assert row["max_rel_error"] < 1e-10
+
+
+class TestFig3AndFig6:
+    def test_pf_degrades_with_scale_pcf_does_not(self):
+        kwargs = dict(
+            scale="small",
+            kinds=(AggregateKind.AVERAGE,),
+            seeds=(0,),
+        )
+        pf = accuracy_sweep("push_flow", **kwargs)
+        pcf = accuracy_sweep("push_cancel_flow", **kwargs)
+
+        def errors_for(result, family):
+            return [
+                row["mean_max_rel_error"]
+                for row in rows_by(result, topology=family)
+            ]
+
+        for family in ("hypercube", "torus3d"):
+            pf_errors = errors_for(pf, family)
+            pcf_errors = errors_for(pcf, family)
+            # PF's achievable accuracy degrades by >1 order of magnitude
+            # from the smallest to the largest size...
+            assert pf_errors[-1] > 10 * pf_errors[0]
+            # ... and is much worse than PCF at the largest size (Fig. 3 vs
+            # Fig. 6), while PCF stays within ~10x of machine precision.
+            assert pf_errors[-1] > 3 * pcf_errors[-1]
+            assert pcf_errors[-1] < 1e-14
+
+
+class TestFig4AndFig7:
+    def test_restart_vs_no_restart(self):
+        pf = fig4_pf_failure(fail_rounds=(75,))
+        pcf = fig7_pcf_failure(fail_rounds=(75,))
+        index = {h: i for i, h in enumerate(pf.headers)}
+        pf_row = pf.rows[0]
+        pcf_row = pcf.rows[0]
+        assert pf_row[index["restart_fraction"]] > 0.6
+        assert pcf_row[index["restart_fraction"]] < 0.5
+        assert pf_row[index["jump_factor"]] > 10 * pcf_row[index["jump_factor"]]
+        # PCF recovers within a handful of rounds; PF needs tens.
+        assert pcf_row[index["recovery_rounds"]] <= 10
+        assert pf_row[index["recovery_rounds"]] is None or (
+            pf_row[index["recovery_rounds"]] > 30
+        )
+        # Error curves are in the series payload for plotting/inspection.
+        assert len(pf.series) == 1
+        assert len(next(iter(pf.series.values()))) == 200
+
+    def test_late_failure_contrast(self):
+        pf = fig4_pf_failure(fail_rounds=(175,))
+        pcf = fig7_pcf_failure(fail_rounds=(175,))
+        index = {h: i for i, h in enumerate(pf.headers)}
+        # Handled at round 175 of 200: PF cannot recover in the remaining
+        # 25 rounds; PCF's final error is orders of magnitude better.
+        assert pf.rows[0][index["final_error"]] > 1e3 * pcf.rows[0][
+            index["final_error"]
+        ]
+
+
+class TestFig8:
+    def test_qr_contrast(self):
+        result = fig8_qr(scale="small", runs=2, m=8)
+        pf = rows_by(result, algorithm="push_flow")
+        pcf = rows_by(result, algorithm="push_cancel_flow")
+        # dmGS(PCF) stays at reduction-level accuracy at every size...
+        for row in pcf:
+            assert row["mean_fact_error"] < 1e-13
+        # ... and beats dmGS(PF) at the largest tested size.
+        assert pf[-1]["mean_fact_error"] > 2 * pcf[-1]["mean_fact_error"]
+
+
+class TestAblations:
+    def test_pf_variant_ablation_runs(self):
+        result = ablation_pf_variants(dims=(3, 5), seeds=(0,))
+        assert len(result.rows) == 4
+        index = {h: i for i, h in enumerate(result.headers)}
+        for row in result.rows:
+            assert row[index["mean_max_rel_error"]] < 1e-10
+
+    def test_state_bit_flip_ablation_separates_variants(self):
+        result = ablation_state_bit_flips(dimension=4, total_rounds=500)
+        index = {h: i for i, h in enumerate(result.headers)}
+        outcome = {row[0]: row[index["recovered"]] for row in result.rows}
+        # The recompute-from-flows PF variant always heals memory flips.
+        assert outcome["push_flow"] is True
+
+    def test_message_loss_ablation(self):
+        result = ablation_message_loss(
+            dimension=4, loss_rates=(0.0, 0.2), total_rounds=500
+        )
+        index = {h: i for i, h in enumerate(result.headers)}
+        rows = {(r[0], r[index["loss_rate"]]): r[index["final_max_rel_error"]]
+                for r in result.rows}
+        # Push-sum is destroyed by loss; PCF is not.
+        assert rows[("push_sum", 0.2)] > 1e-6
+        assert rows[("push_cancel_flow", 0.2)] < 1e-10
+
+    def test_scaling_rounds_flat_per_log(self):
+        result = scaling_rounds(dims=(3, 6), seeds=(0,))
+        index = {h: i for i, h in enumerate(result.headers)}
+        per_log = [row[index["rounds_per_log2n"]] for row in result.rows]
+        assert max(per_log) / min(per_log) < 2.5

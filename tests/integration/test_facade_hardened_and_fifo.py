@@ -1,0 +1,102 @@
+"""Integration: facade coverage for the hardened variant + async FIFO."""
+
+import numpy as np
+import pytest
+
+from repro import run_reduction
+from repro.algorithms.aggregates import AggregateKind, initial_mass_pairs
+from repro.algorithms.registry import instantiate
+from repro.simulation.async_engine import AsynchronousEngine
+from repro.simulation.messages import Message
+from repro.topology import hypercube, ring
+
+
+class TestFacadeHardened:
+    def test_auto_backend_uses_vector(self):
+        topo = hypercube(5)
+        data = np.random.default_rng(0).uniform(size=topo.n)
+        result = run_reduction(
+            topo, data, algorithm="push_cancel_flow_hardened", epsilon=1e-14
+        )
+        assert result.backend == "vector"
+        assert result.converged
+
+    def test_object_backend_agrees_on_fixed_point(self):
+        topo = hypercube(4)
+        data = np.random.default_rng(1).uniform(size=topo.n)
+        vec = run_reduction(
+            topo, data, algorithm="push_cancel_flow_hardened",
+            epsilon=1e-13, backend="vector",
+        )
+        obj = run_reduction(
+            topo, data, algorithm="push_cancel_flow_hardened",
+            epsilon=1e-13, backend="object",
+        )
+        assert vec.converged and obj.converged
+        assert vec.truth == obj.truth
+
+    def test_robust_variant_via_registry(self):
+        topo = hypercube(4)
+        data = np.random.default_rng(2).uniform(size=topo.n)
+        result = run_reduction(
+            topo,
+            data,
+            algorithm="push_cancel_flow_hardened_robust",
+            epsilon=1e-12,
+            backend="object",
+            max_rounds=2000,
+        )
+        assert result.converged
+
+
+class TestAsyncFIFO:
+    def test_per_edge_fifo_ordering(self):
+        """The async engine's channels must deliver per-directed-edge FIFO
+        even under jittered latency (the transport contract the flow
+        handshakes rely on). Each outgoing message is tagged with a
+        per-channel sequence number at send time; receivers must observe
+        strictly increasing sequences per channel."""
+        topo = ring(4)
+        initial = initial_mass_pairs(AggregateKind.AVERAGE, [1.0] * 4)
+        algs = instantiate("push_sum", topo, initial)
+
+        send_seq = {}
+        sent_tags = {}  # id(payload) -> (channel, seq)
+
+        def make_send(alg, orig):
+            def send(neighbor):
+                payload = orig(neighbor)
+                channel = (alg.node_id, neighbor)
+                send_seq[channel] = send_seq.get(channel, 0) + 1
+                sent_tags[id(payload)] = (channel, send_seq[channel])
+                return payload
+
+            return send
+
+        received = []
+
+        def make_recv(alg, orig):
+            def recv(sender, payload):
+                tag = sent_tags.get(id(payload))
+                if tag is not None:
+                    received.append(tag)
+                orig(sender, payload)
+
+            return recv
+
+        for alg in algs:
+            alg.make_message = make_send(alg, alg.make_message)
+            alg.on_receive = make_recv(alg, alg.on_receive)
+
+        engine = AsynchronousEngine(
+            topo, algs, seed=3, latency=0.5, latency_jitter=1.0
+        )
+        engine.run(60.0)
+        assert len(received) > 50
+        last_seen = {}
+        for channel, seq in received:
+            assert seq > last_seen.get(channel, 0), (
+                f"channel {channel} delivered seq {seq} after "
+                f"{last_seen.get(channel)}"
+            )
+            last_seen[channel] = seq

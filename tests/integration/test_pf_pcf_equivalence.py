@@ -1,0 +1,71 @@
+"""Integration: the Sec. III-B equivalence claim.
+
+"The PCF algorithm and the PF algorithm are equivalent and produce
+(theoretically) identical results" — failure-free, under identical
+communication schedules the two must coincide up to rounding, and in the
+paper's Fig. 4/7 methodology they coincide *until the first failure*.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.aggregates import AggregateKind, initial_mass_pairs, true_aggregate
+from repro.algorithms.registry import instantiate
+from repro.experiments.figures import equivalence_experiment, failure_experiment
+from repro.faults.events import single_link_failure
+from repro.metrics.history import ErrorHistory
+from repro.simulation.engine import SynchronousEngine
+from repro.simulation.schedule import UniformGossipSchedule
+from repro.topology import hypercube, torus3d
+
+
+def run_with_schedule(algorithm, topo, data, seed, rounds, fault_plan=None):
+    initial = initial_mass_pairs(AggregateKind.AVERAGE, list(data))
+    algs = instantiate(algorithm, topo, initial)
+    truth = true_aggregate(AggregateKind.AVERAGE, list(data))
+    history = ErrorHistory(truth)
+    engine = SynchronousEngine(
+        topo,
+        algs,
+        UniformGossipSchedule(topo.n, seed),
+        fault_plan=fault_plan,
+        observers=[history],
+    )
+    engine.run(rounds)
+    return np.array([a.estimate() for a in algs]), history
+
+
+@pytest.mark.parametrize("topo", [hypercube(5), torus3d(3)], ids=lambda t: t.name)
+def test_identical_estimates_failure_free(topo):
+    data = np.random.default_rng(11).uniform(size=topo.n)
+    pf, _ = run_with_schedule("push_flow", topo, data, seed=21, rounds=120)
+    pcf, _ = run_with_schedule("push_cancel_flow", topo, data, seed=21, rounds=120)
+    # Theoretically identical; numerically equal to ~1e-11 relative.
+    np.testing.assert_allclose(pf, pcf, rtol=1e-10, atol=1e-12)
+
+
+def test_identical_until_failure_then_divergence():
+    """The Fig. 4 vs Fig. 7 overlay: same curves before the failure round,
+    radically different after."""
+    fail_round = 60
+    pf_hist, pf_report = failure_experiment(
+        "push_flow", dimension=5, fail_round=fail_round, total_rounds=150
+    )
+    pcf_hist, pcf_report = failure_experiment(
+        "push_cancel_flow", dimension=5, fail_round=fail_round, total_rounds=150
+    )
+    before_pf = np.array(pf_hist.max_errors[:fail_round])
+    before_pcf = np.array(pcf_hist.max_errors[:fail_round])
+    np.testing.assert_allclose(before_pf, before_pcf, rtol=1e-8)
+
+    # PF falls back ~to the start; PCF keeps converging.
+    assert pf_report.restart_fraction > 0.5
+    assert pcf_report.restart_fraction < 0.5
+    assert pcf_hist.final_max_error() < pf_hist.final_max_error()
+
+
+def test_equivalence_experiment_harness():
+    result = equivalence_experiment(dimension=4, rounds=80)
+    label, value = result.rows[0][0], result.rows[0][1]
+    assert "PF - PCF" in label
+    assert value < 1e-9

@@ -1,0 +1,116 @@
+"""Integration: distributed QR (dmGS) end to end — the Sec. IV case study."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.workloads import random_matrix
+from repro.linalg import (
+    ReductionService,
+    distributed_qr,
+    local_mgs,
+)
+from repro.topology import hypercube, torus3d
+
+
+class TestDistributedQRCorrectness:
+    def test_pcf_reaches_reduction_level_accuracy(self):
+        topo = hypercube(4)
+        v = random_matrix(topo.n, 6, seed=0)
+        result = distributed_qr(v, topo, algorithm="push_cancel_flow", seed=0)
+        assert result.factorization_error < 1e-12
+        assert result.orthogonality_error < 1e-11
+        assert result.result.failed_reductions == 0
+
+    def test_push_sum_service_works_failure_free(self):
+        topo = hypercube(4)
+        v = random_matrix(topo.n, 5, seed=1)
+        result = distributed_qr(v, topo, algorithm="push_sum", seed=0)
+        assert result.factorization_error < 1e-12
+
+    def test_q_columns_normalized_and_orthogonal(self):
+        topo = hypercube(4)
+        v = random_matrix(topo.n, 6, seed=2)
+        result = distributed_qr(v, topo, algorithm="push_cancel_flow", seed=3)
+        q = result.q.gather()
+        gram = q.T @ q
+        np.testing.assert_allclose(gram, np.eye(6), atol=1e-10)
+
+    def test_r_upper_triangular_positive_diagonal(self):
+        topo = hypercube(3)
+        v = random_matrix(topo.n, 4, seed=3)
+        result = distributed_qr(v, topo, algorithm="push_cancel_flow", seed=4)
+        for r in result.r_blocks:
+            assert np.allclose(np.tril(r, -1), 0.0)
+            assert (np.diag(r) > 0).all()
+
+    def test_matches_local_mgs_shape(self):
+        topo = hypercube(3)
+        v = random_matrix(topo.n, 4, seed=4)
+        result = distributed_qr(v, topo, algorithm="push_cancel_flow", seed=5)
+        q_ref, r_ref = local_mgs(v)
+        np.testing.assert_allclose(result.q.gather(), q_ref, atol=1e-9)
+        np.testing.assert_allclose(result.r_blocks[0], r_ref, atol=1e-9)
+
+    def test_multiple_rows_per_node(self):
+        # dmGS works for all rows >= N (paper Sec. IV).
+        topo = hypercube(3)
+        v = random_matrix(3 * topo.n + 2, 5, seed=5)
+        result = distributed_qr(v, topo, algorithm="push_cancel_flow", seed=6)
+        assert result.factorization_error < 1e-12
+
+    def test_fused_mode_accuracy(self):
+        topo = hypercube(4)
+        v = random_matrix(topo.n, 6, seed=6)
+        result = distributed_qr(
+            v, topo, algorithm="push_cancel_flow", seed=7, mode="fused"
+        )
+        assert result.factorization_error < 1e-12
+        # Fused mode halves the reductions: m instead of 2m - 1.
+        assert result.result.reductions == 6
+
+    def test_two_phase_reduction_count(self):
+        topo = hypercube(3)
+        v = random_matrix(topo.n, 5, seed=7)
+        result = distributed_qr(v, topo, algorithm="push_cancel_flow", seed=8)
+        assert result.result.reductions == 2 * 5 - 1
+
+    def test_torus_topology(self):
+        topo = torus3d(2)
+        v = random_matrix(topo.n, 4, seed=8)
+        result = distributed_qr(v, topo, algorithm="push_cancel_flow", seed=9)
+        assert result.factorization_error < 1e-12
+
+
+class TestFig8Contrast:
+    def test_pf_worse_than_pcf_at_scale(self):
+        """The Fig. 8 headline: dmGS(PF) degrades with N, dmGS(PCF) holds."""
+        topo = hypercube(6)  # 64 nodes
+        v = random_matrix(topo.n, 8, seed=10)
+        pf = distributed_qr(v, topo, algorithm="push_flow", seed=11)
+        pcf = distributed_qr(v, topo, algorithm="push_cancel_flow", seed=11)
+        assert pcf.factorization_error < 1e-12
+        assert pf.factorization_error > 2 * pcf.factorization_error
+        # PF reductions cap out; PCF's converge.
+        assert pf.result.failed_reductions > 0
+        assert pcf.result.failed_reductions == 0
+
+    def test_r_consistency_tracks_reduction_quality(self):
+        topo = hypercube(5)
+        v = random_matrix(topo.n, 6, seed=12)
+        pf = distributed_qr(v, topo, algorithm="push_flow", seed=13)
+        pcf = distributed_qr(v, topo, algorithm="push_cancel_flow", seed=13)
+        assert pcf.r_consistency < pf.r_consistency
+
+
+class TestServiceBehaviour:
+    def test_stats_accumulate_across_factorization(self):
+        topo = hypercube(3)
+        v = random_matrix(topo.n, 4, seed=14)
+        service = ReductionService(topo, algorithm="push_cancel_flow", seed=0)
+        from repro.linalg import RowDistributedMatrix, dmgs
+
+        dist = RowDistributedMatrix.from_matrix(v, topo.n)
+        result = dmgs(dist, service)
+        assert service.stats.calls == result.reductions
+        assert service.stats.total_rounds == result.total_rounds
+        assert service.stats.total_messages > 0

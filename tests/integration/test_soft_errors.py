@@ -1,0 +1,180 @@
+"""Integration: soft errors — message loss and bit flips (Sec. II-A).
+
+Executable versions of the paper's soft-error claims: flow-based
+algorithms recover from lost/corrupted messages "without even detecting or
+correcting them explicitly"; push-sum is permanently corrupted by a single
+lost message.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.aggregates import (
+    AggregateKind,
+    initial_mass_pairs,
+    true_aggregate,
+)
+from repro.algorithms.registry import instantiate
+from repro.faults.bit_flip import BitFlipFault
+from repro.faults.base import CompositeFault, WindowedFault
+from repro.faults.message_loss import BurstMessageLoss, IidMessageLoss
+from repro.faults.state_flip import StateBitFlipInjector
+from repro.metrics.errors import max_local_error
+from repro.simulation.engine import SynchronousEngine
+from repro.simulation.schedule import UniformGossipSchedule
+from repro.topology import hypercube
+
+
+def run_with_fault(algorithm, fault, *, rounds=600, dim=4, observers=()):
+    topo = hypercube(dim)
+    data = np.random.default_rng(0).uniform(size=topo.n)
+    truth = true_aggregate(AggregateKind.AVERAGE, list(data))
+    initial = initial_mass_pairs(AggregateKind.AVERAGE, list(data))
+    algs = instantiate(algorithm, topo, initial)
+    engine = SynchronousEngine(
+        topo,
+        algs,
+        UniformGossipSchedule(topo.n, 13),
+        message_fault=fault,
+        observers=list(observers),
+    )
+    engine.run(rounds)
+    return max_local_error(engine.estimates(), truth), engine
+
+
+class TestMessageLoss:
+    @pytest.mark.parametrize(
+        "algorithm",
+        ["push_flow", "push_flow_incremental", "push_cancel_flow",
+         "push_cancel_flow_robust"],
+    )
+    @pytest.mark.parametrize("loss", [0.05, 0.3])
+    def test_flow_algorithms_self_heal(self, algorithm, loss):
+        error, _ = run_with_fault(algorithm, IidMessageLoss(loss, seed=1))
+        assert error < 1e-10
+
+    def test_push_sum_corrupted_by_loss(self):
+        error, _ = run_with_fault("push_sum", IidMessageLoss(0.05, seed=1))
+        # Mass left the system; the error floor is macroscopic.
+        assert error > 1e-4
+
+    def test_burst_loss(self):
+        error, _ = run_with_fault(
+            "push_cancel_flow", BurstMessageLoss(0.05, 0.2, seed=2)
+        )
+        assert error < 1e-10
+
+
+class TestBitFlips:
+    def test_mantissa_flips_heal_in_pf(self):
+        # Mantissa flips perturb a value by at most 2x: PF's repair
+        # mechanism absorbs them as transient mass perturbations, and once
+        # the fault episode ends the run re-converges to full accuracy —
+        # the Sec. II-A claim, verbatim.
+        fault = WindowedFault(
+            BitFlipFault(0.05, seed=3, max_bit=51), end_round=300
+        )
+        error, _ = run_with_fault("push_flow", fault, rounds=800)
+        assert error < 1e-10
+
+    @pytest.mark.parametrize(
+        "algorithm", ["push_cancel_flow", "push_cancel_flow_robust"]
+    )
+    def test_pcf_cancellation_can_freeze_corruption(self, algorithm):
+        # REPRODUCTION FINDING (the paper's "all or almost all fault
+        # tolerance properties" hedge, made concrete): PCF's cancellation
+        # handshake zeroes a node's passive-flow copy on the *peer's*
+        # say-so (the swap branch) without re-verifying the value. If an
+        # in-flight corruption slipped into that copy after the peer's
+        # conservation check, the two endpoints freeze values that do NOT
+        # sum to zero — a permanent mass error PF cannot suffer (its flows
+        # are always repairable). Under a sustained corruption episode PCF
+        # therefore ends with a macroscopic residual where PF fully heals.
+        fault = WindowedFault(
+            BitFlipFault(0.05, seed=3, max_bit=51), end_round=300
+        )
+        error, _ = run_with_fault(algorithm, fault, rounds=800)
+        assert 1e-12 < error < 1.0  # elevated, but not divergent
+
+    def test_push_sum_corrupted_by_flips(self):
+        error, _ = run_with_fault(
+            "push_sum", BitFlipFault(0.02, seed=3, max_bit=51)
+        )
+        assert error > 1e-8
+
+    def test_combined_loss_and_flips_pf(self):
+        fault = CompositeFault(
+            [
+                IidMessageLoss(0.1, seed=4),
+                WindowedFault(
+                    BitFlipFault(0.01, seed=5, max_bit=51), end_round=400
+                ),
+            ]
+        )
+        error, _ = run_with_fault("push_flow", fault, rounds=900)
+        assert error < 1e-10
+
+    def test_control_field_flips_bounded_damage(self):
+        # Flipping PCF's c/r control integers in flight: the era guards
+        # usually make the message a no-op, but a corrupted counter can
+        # also trigger a bogus swap-zero (same freeze hazard as above), so
+        # the honest guarantee is bounded damage, not perfect healing.
+        fault = WindowedFault(
+            BitFlipFault(0.02, seed=6, corrupt_control=True, max_bit=51),
+            end_round=400,
+        )
+        error, _ = run_with_fault("push_cancel_flow", fault, rounds=900)
+        assert error < 1.0
+
+    def test_exponent_flips_permanently_degrade_accuracy(self):
+        # REPRODUCTION FINDING: a flipped exponent/sign bit can rescale a
+        # flow value by up to 2^±1023. The corrupted value becomes
+        # legitimate flow state (mass stays conserved so the consensus
+        # re-converges), but any protocol that *retains* the huge magnitude
+        # — PF keeps it in the flow forever; PCF may freeze it into phi —
+        # is left with an accuracy floor of ~eps * magnitude. Full-range
+        # flips therefore bound achievable accuracy, for every variant.
+        error_pf, _ = run_with_fault(
+            "push_flow", BitFlipFault(0.02, seed=3, max_bit=63), rounds=800
+        )
+        assert error_pf > 1e-12
+
+
+class TestMemorySoftErrors:
+    def test_pf_recompute_heals_state_flips(self):
+        injector = StateBitFlipInjector([100, 150], seed=7, max_bit=51)
+        error, _ = run_with_fault(
+            "push_flow", IidMessageLoss(0.0, seed=0), rounds=700,
+            observers=[injector],
+        )
+        assert len(injector.injections) == 2
+        assert error < 1e-9
+
+    def test_pcf_robust_mostly_heals_state_flips(self):
+        # The robust variant re-reads its flows, so a corrupted stored flow
+        # is healed by the next exchange — unless a cancellation freezes it
+        # first (the finding above); with this seed one flip gets partially
+        # frozen, leaving a small but nonzero residual.
+        injector = StateBitFlipInjector([100, 150], seed=7, max_bit=51)
+        error, _ = run_with_fault(
+            "push_cancel_flow_robust", IidMessageLoss(0.0, seed=0), rounds=700,
+            observers=[injector],
+        )
+        assert error < 1e-6
+
+    def test_incremental_variants_keep_offset(self):
+        # PF-incremental and PCF-efficient bake stored-flow corruption into
+        # their running flow sums; with flips injected mid-run the final
+        # error stays far above the healthy floor.
+        errors = {}
+        for algorithm in ("push_flow_incremental", "push_cancel_flow"):
+            injector = StateBitFlipInjector([100, 150], seed=8, max_bit=52)
+            error, _ = run_with_fault(
+                algorithm, IidMessageLoss(0.0, seed=0), rounds=700,
+                observers=[injector],
+            )
+            errors[algorithm] = error
+        # At least one of the two incremental-bookkeeping algorithms must
+        # show the permanent offset (flip magnitudes are random; a flip on
+        # an already-tiny flow may be harmless).
+        assert max(errors.values()) > 1e-12, errors

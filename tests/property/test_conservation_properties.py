@@ -1,0 +1,127 @@
+"""Property-based conservation invariants under random protocol drives.
+
+The paper's fault-tolerance argument rests on two invariants:
+
+- push-sum conserves mass exactly as long as every message is delivered;
+- the flow algorithms conserve mass whenever flow conservation holds, and
+  re-establish flow conservation after arbitrary loss at the next
+  successful one-directional exchange.
+
+Hypothesis drives random interleavings (including losses) and checks the
+invariants after a "settling" exchange that restores conservation.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.push_cancel_flow import PushCancelFlow
+from repro.algorithms.push_flow import PushFlow
+from repro.algorithms.push_sum import PushSum
+from repro.algorithms.state import MassPair
+
+finite = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=-100.0, max_value=100.0
+)
+
+# A script is a list of (direction, delivered) steps on a 2-node system.
+scripts = st.lists(
+    st.tuples(st.booleans(), st.booleans()), min_size=1, max_size=60
+)
+
+
+def total_value(a, b):
+    return a.estimate_pair().value + b.estimate_pair().value
+
+
+def drive(a, b, script):
+    for a_to_b, delivered in script:
+        src, dst = (a, b) if a_to_b else (b, a)
+        payload = src.make_message(dst.node_id)
+        if delivered:
+            dst.on_receive(src.node_id, payload)
+
+
+class TestPushSumConservation:
+    @given(finite, finite, scripts)
+    @settings(max_examples=60, deadline=None)
+    def test_mass_conserved_without_loss(self, va, vb, script):
+        a = PushSum(0, [1], MassPair(va, 1.0))
+        b = PushSum(1, [0], MassPair(vb, 1.0))
+        drive(a, b, [(d, True) for d, _ in script])
+        assert total_value(a, b) == pytest.approx(va + vb, rel=1e-9, abs=1e-9)
+
+    @given(finite, scripts)
+    @settings(max_examples=60, deadline=None)
+    def test_any_loss_removes_mass_permanently(self, va, script):
+        if not any(not delivered for _, delivered in script):
+            return  # only loss-bearing scripts are interesting
+        a = PushSum(0, [1], MassPair(va, 1.0))
+        b = PushSum(1, [0], MassPair(0.0, 1.0))
+        drive(a, b, script)
+        # Weight mass strictly decreased (weights are positive, every
+        # lost message removes a positive weight amount).
+        total_weight = a.estimate_pair().weight + b.estimate_pair().weight
+        assert total_weight < 2.0
+
+
+class TestFlowConservation:
+    @given(finite, finite, scripts)
+    @settings(max_examples=60, deadline=None)
+    def test_pf_mass_restored_after_settling(self, va, vb, script):
+        a = PushFlow(0, [1], MassPair(va, 1.0))
+        b = PushFlow(1, [0], MassPair(vb, 1.0))
+        drive(a, b, script)
+        # Settle: one successful exchange re-establishes flow conservation
+        # (f_ab = -f_ba) and with it exact mass conservation.
+        b.on_receive(0, a.make_message(1))
+        assert b.local_flows()[0].exactly_equals(-a.local_flows()[1])
+        assert total_value(a, b) == pytest.approx(va + vb, rel=1e-9, abs=1e-9)
+
+    @given(finite, finite, scripts)
+    @settings(max_examples=60, deadline=None)
+    def test_pf_flow_conservation_implies_mass_conservation(self, va, vb, script):
+        a = PushFlow(0, [1], MassPair(va, 1.0))
+        b = PushFlow(1, [0], MassPair(vb, 1.0))
+        drive(a, b, script)
+        b.on_receive(0, a.make_message(1))
+        flow_ab = a.local_flows()[1]
+        flow_ba = b.local_flows()[0]
+        if flow_ab.exactly_equals(-flow_ba):
+            total = a.estimate_pair() + b.estimate_pair()
+            assert total.value == pytest.approx(va + vb, rel=1e-9, abs=1e-9)
+            assert total.weight == pytest.approx(2.0, rel=1e-9)
+
+    @given(finite, finite, scripts)
+    @settings(max_examples=40, deadline=None)
+    def test_pcf_era_skew_bounded(self, va, vb, script):
+        a = PushCancelFlow(0, [1], MassPair(va, 1.0))
+        b = PushCancelFlow(1, [0], MassPair(vb, 1.0))
+        drive(a, b, script)
+        skew = abs(a.edge_state(1).era - b.edge_state(0).era)
+        assert skew <= 1
+
+    @given(finite, finite, scripts)
+    @settings(max_examples=40, deadline=None)
+    def test_pcf_mass_restored_after_settling(self, va, vb, script):
+        a = PushCancelFlow(0, [1], MassPair(va, 1.0))
+        b = PushCancelFlow(1, [0], MassPair(vb, 1.0))
+        drive(a, b, script)
+        # Settle with several alternating successful exchanges (the
+        # handshake may need a few messages to resynchronize eras).
+        for _ in range(6):
+            b.on_receive(0, a.make_message(1))
+            a.on_receive(1, b.make_message(0))
+        total = a.estimate_pair() + b.estimate_pair()
+        assert total.value == pytest.approx(va + vb, rel=1e-9, abs=1e-9)
+        assert total.weight == pytest.approx(2.0, rel=1e-9, abs=1e-9)
+
+    @given(finite, finite, scripts)
+    @settings(max_examples=40, deadline=None)
+    def test_pcf_estimates_stay_finite(self, va, vb, script):
+        a = PushCancelFlow(0, [1], MassPair(va, 1.0))
+        b = PushCancelFlow(1, [0], MassPair(vb, 1.0))
+        drive(a, b, script)
+        assert a.estimate_pair().is_finite()
+        assert b.estimate_pair().is_finite()

@@ -1,0 +1,114 @@
+"""Property-based tests of the hardened PCF edge machine.
+
+The hardened handshake's headline guarantee: under *any* interleaving of
+sends, deliveries and losses — including stale/boundary deliveries the
+Fig. 5 machine cannot survive — the edge (a) never deadlocks (clean
+exchanges always resynchronize it), (b) keeps the follower's era at or one
+behind the initiator's, and (c) conserves mass exactly after settling.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.flow_edge_hardened import HardenedEdgeState
+from repro.algorithms.state import MassPair
+
+finite = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=-10.0, max_value=10.0
+)
+
+# Steps: (actor_is_initiator, action, amount); action 0=add-to-active,
+# 1=send delivered, 2=send lost, 3=send DELAYED (delivered one step later,
+# modelling a crossed/stale message).
+steps = st.lists(
+    st.tuples(st.booleans(), st.integers(min_value=0, max_value=3), finite),
+    min_size=1,
+    max_size=80,
+)
+
+
+def run_script(script):
+    a = HardenedEdgeState(MassPair(0.0, 0.0), initiator=True)
+    b = HardenedEdgeState(MassPair(0.0, 0.0), initiator=False)
+    phi = {id(a): MassPair(0.0, 0.0), id(b): MassPair(0.0, 0.0)}
+    delayed = []  # (dst, payload)
+
+    def deliver(dst, payload):
+        effect = dst.receive(payload)
+        phi[id(dst)] = phi[id(dst)] + effect.phi_delta_efficient
+
+    for actor_is_a, action, amount in script:
+        src, dst = (a, b) if actor_is_a else (b, a)
+        if action == 0:
+            half = MassPair(amount, 1.0).half()
+            src.add_to_active(half)
+            phi[id(src)] = phi[id(src)] + half
+        else:
+            payload = src.payload()
+            if action == 1:
+                deliver(dst, payload)
+            elif action == 3:
+                delayed.append((dst, payload))
+        # Flush one delayed message per step (stale by >= 1 step).
+        if delayed and action != 3:
+            dst_late, payload_late = delayed.pop(0)
+            deliver(dst_late, payload_late)
+    for dst_late, payload_late in delayed:
+        deliver(dst_late, payload_late)
+    return a, b, phi[id(a)], phi[id(b)]
+
+
+class TestHardenedEdgeInvariants:
+    @given(steps)
+    @settings(max_examples=80, deadline=None)
+    def test_follower_never_ahead_and_skew_bounded(self, script):
+        a, b, _, _ = run_script(script)
+        assert b.era <= a.era <= b.era + 1
+
+    @given(steps)
+    @settings(max_examples=80, deadline=None)
+    def test_state_stays_finite(self, script):
+        a, b, phi_a, phi_b = run_script(script)
+        for edge in (a, b):
+            assert edge.flow(0).is_finite()
+            assert edge.flow(1).is_finite()
+        assert phi_a.is_finite()
+        assert phi_b.is_finite()
+
+    @given(steps)
+    @settings(max_examples=60, deadline=None)
+    def test_no_deadlock_and_exact_settled_conservation(self, script):
+        a, b, phi_a, phi_b = run_script(script)
+        # Settle with clean alternating exchanges; the hardened machine
+        # must always resynchronize (no mutual-ignore state exists).
+        # Note: under strict alternation the initiator can stay permanently
+        # one (trivial-cancel) era ahead at the snapshot instant; the
+        # meaningful liveness property is per-slot conservation plus the
+        # bounded skew, not era equality.
+        settled = False
+        for _ in range(12):
+            effect = b.receive(a.payload())
+            phi_b = phi_b + effect.phi_delta_efficient
+            effect = a.receive(b.payload())
+            phi_a = phi_a + effect.phi_delta_efficient
+            if all(a.flow(s).exactly_equals(-b.flow(s)) for s in (0, 1)):
+                settled = True
+                break
+        assert settled, "hardened edge failed to resynchronize"
+        assert b.era <= a.era <= b.era + 1
+        # Exact global conservation: the two phi's cancel exactly in the
+        # weight coordinate... up to float rounding of the value stream.
+        total = phi_a + phi_b
+        assert total.value == pytest.approx(0.0, abs=1e-9)
+        assert total.weight == pytest.approx(0.0, abs=1e-9)
+
+    @given(steps)
+    @settings(max_examples=60, deadline=None)
+    def test_frozen_values_exactly_opposite_after_catchup(self, script):
+        a, b, _, _ = run_script(script)
+        # Whenever eras agree, the latest completed cancellation's frozen
+        # values must be exact negations (the frozen-verified catch-up).
+        if a.era == b.era and a.era > 0:
+            assert a.payload().frozen.exactly_equals(-b.payload().frozen)

@@ -1,0 +1,85 @@
+"""Property-based tests for MassPair arithmetic (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.state import MassPair
+
+# Exclude the deep-underflow range: halving a value whose half is
+# subnormal can lose the lowest mantissa bit — an IEEE-754 corner far
+# below any quantity the protocols manipulate.
+finite = st.one_of(
+    st.just(0.0),
+    st.floats(allow_nan=False, allow_infinity=False, min_value=1e-200, max_value=1e12),
+    st.floats(allow_nan=False, allow_infinity=False, min_value=-1e12, max_value=-1e-200),
+)
+
+
+def pairs():
+    return st.builds(MassPair, finite, finite)
+
+
+def vector_pairs(dim=3):
+    return st.builds(
+        lambda vals, w: MassPair(np.array(vals), w),
+        st.lists(finite, min_size=dim, max_size=dim),
+        finite,
+    )
+
+
+class TestAlgebraicProperties:
+    @given(pairs(), pairs())
+    def test_addition_commutes(self, a, b):
+        assert (a + b).exactly_equals(b + a)
+
+    @given(pairs())
+    def test_self_subtraction_is_zero(self, a):
+        assert (a - a).is_zero()
+
+    @given(pairs())
+    def test_double_negation(self, a):
+        assert (-(-a)).exactly_equals(a)
+
+    @given(pairs())
+    def test_half_plus_half_recovers(self, a):
+        half = a.half()
+        assert (half + half).exactly_equals(a)
+
+    @given(pairs(), pairs())
+    def test_sub_is_add_neg(self, a, b):
+        assert (a - b).exactly_equals(a + (-b))
+
+    @given(pairs())
+    def test_zero_is_identity(self, a):
+        assert (a + a.zero_like()).exactly_equals(a)
+
+    @given(vector_pairs(), vector_pairs())
+    def test_vector_addition_commutes(self, a, b):
+        assert (a + b).exactly_equals(b + a)
+
+    @given(vector_pairs())
+    def test_vector_half_exact(self, a):
+        assert (a.half() + a.half()).exactly_equals(a)
+
+    @given(pairs())
+    def test_magnitude_nonnegative(self, a):
+        assert a.magnitude() >= 0.0
+
+    @given(pairs())
+    def test_neg_preserves_magnitude(self, a):
+        assert (-a).magnitude() == a.magnitude()
+
+    @given(pairs())
+    def test_copy_equal_and_independent(self, a):
+        clone = a.copy()
+        assert clone.exactly_equals(a)
+        assert clone is not a
+
+    @given(pairs())
+    def test_exactly_equals_reflexive(self, a):
+        assert a.exactly_equals(a)
+
+    @given(pairs(), pairs())
+    def test_exactly_equals_symmetric(self, a, b):
+        assert a.exactly_equals(b) == b.exactly_equals(a)

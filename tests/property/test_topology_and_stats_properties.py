@@ -1,0 +1,119 @@
+"""Property-based tests for topologies, stats and bit utilities."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology import bus, complete, diameter, hypercube, ring, spectral_gap
+from repro.topology.base import Topology
+from repro.util.float_bits import flip_bit, ulp_distance
+from repro.util.stats import RunningStats, median, percentile
+
+
+class TestTopologyProperties:
+    @given(st.integers(min_value=1, max_value=7))
+    def test_hypercube_structure(self, dim):
+        topo = hypercube(dim)
+        assert topo.n == 2 ** dim
+        assert topo.is_regular()
+        assert topo.max_degree() == dim
+        assert diameter(topo) == dim
+
+    @given(st.integers(min_value=2, max_value=64))
+    def test_bus_diameter(self, n):
+        assert diameter(bus(n)) == n - 1
+
+    @given(st.integers(min_value=3, max_value=40))
+    def test_ring_diameter(self, n):
+        assert diameter(ring(n)) == n // 2
+
+    @given(st.integers(min_value=2, max_value=24))
+    def test_complete_graph_edges(self, n):
+        topo = complete(n)
+        assert topo.num_edges == n * (n - 1) // 2
+        assert diameter(topo) == 1
+
+    @given(st.integers(min_value=3, max_value=24))
+    def test_edge_removal_keeps_edge_count(self, n):
+        topo = ring(n)
+        smaller = topo.without_edge(0, 1)
+        assert smaller.num_edges == topo.num_edges - 1
+
+    @given(
+        st.integers(min_value=4, max_value=16),
+        st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_random_connected_graph_invariants(self, n, seed):
+        rng = np.random.default_rng(seed)
+        # Random spanning tree + extra edges: always connected.
+        edges = set()
+        nodes = list(range(n))
+        rng.shuffle(nodes)
+        for i in range(1, n):
+            j = nodes[int(rng.integers(0, i))]
+            edges.add((min(nodes[i], j), max(nodes[i], j)))
+        for _ in range(n):
+            u, v = rng.integers(0, n, size=2)
+            if u != v:
+                edges.add((min(u, v), max(u, v)))
+        topo = Topology(n, sorted(edges))
+        # Handshake lemma.
+        assert sum(topo.degrees()) == 2 * topo.num_edges
+        # Neighbor symmetry.
+        for i in topo.nodes():
+            for j in topo.neighbors(i):
+                assert i in topo.neighbors(j)
+        # Connected graphs mix.
+        assert spectral_gap(topo) > 0
+
+
+class TestStatsProperties:
+    @given(st.lists(st.floats(allow_nan=False, allow_infinity=False,
+                              min_value=-1e6, max_value=1e6),
+                    min_size=1, max_size=50))
+    def test_median_between_min_and_max(self, values):
+        m = median(values)
+        assert min(values) <= m <= max(values)
+
+    @given(st.lists(st.floats(allow_nan=False, allow_infinity=False,
+                              min_value=-1e6, max_value=1e6),
+                    min_size=1, max_size=50),
+           st.floats(min_value=0, max_value=100))
+    def test_percentile_monotone_in_q(self, values, q):
+        assert percentile(values, 0) <= percentile(values, q) <= percentile(
+            values, 100
+        )
+
+    @given(st.lists(st.floats(allow_nan=False, allow_infinity=False,
+                              min_value=-1e6, max_value=1e6),
+                    min_size=2, max_size=60))
+    def test_running_stats_match_numpy(self, values):
+        stats = RunningStats()
+        stats.extend(values)
+        assert stats.mean == pytest.approx(float(np.mean(values)), abs=1e-6)
+        assert stats.variance == pytest.approx(
+            float(np.var(values, ddof=1)), rel=1e-6, abs=1e-6
+        )
+
+
+class TestFloatBitsProperties:
+    @given(st.floats(allow_nan=False), st.integers(min_value=0, max_value=63))
+    def test_flip_involution(self, x, bit):
+        result = flip_bit(flip_bit(x, bit), bit)
+        assert result == x or (math.isnan(result) and math.isnan(x))
+
+    @given(st.floats(allow_nan=False, allow_infinity=False,
+                     min_value=-1e300, max_value=1e300))
+    def test_ulp_distance_identity(self, x):
+        assert ulp_distance(x, x) == 0
+
+    @given(st.floats(allow_nan=False, allow_infinity=False,
+                     min_value=-1e300, max_value=1e300))
+    def test_ulp_distance_to_next(self, x):
+        neighbor = float(np.nextafter(x, math.inf))
+        if neighbor != x and not math.isinf(neighbor):
+            assert ulp_distance(x, neighbor) == 1

@@ -1,0 +1,133 @@
+"""Unit tests for repro.algorithms.aggregates."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms.aggregates import (
+    AggregateKind,
+    initial_mass_pairs,
+    initial_values,
+    initial_weights,
+    relative_error,
+    true_aggregate,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestInitialWeights:
+    def test_average(self):
+        assert initial_weights(AggregateKind.AVERAGE, 4) == [1.0] * 4
+
+    def test_sum_root(self):
+        weights = initial_weights(AggregateKind.SUM, 4, root=2)
+        assert weights == [0.0, 0.0, 1.0, 0.0]
+
+    def test_count_is_sum_weighted(self):
+        assert initial_weights(AggregateKind.COUNT, 3) == [1.0, 0.0, 0.0]
+
+    def test_bad_root(self):
+        with pytest.raises(ConfigurationError):
+            initial_weights(AggregateKind.SUM, 3, root=3)
+
+    def test_weighted_requires_custom(self):
+        with pytest.raises(ConfigurationError):
+            initial_weights(AggregateKind.WEIGHTED_AVERAGE, 3)
+
+    def test_weighted_custom(self):
+        weights = initial_weights(
+            AggregateKind.WEIGHTED_AVERAGE, 3, custom=[1.0, 2.0, 0.0]
+        )
+        assert weights == [1.0, 2.0, 0.0]
+
+    def test_weighted_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            initial_weights(AggregateKind.WEIGHTED_AVERAGE, 2, custom=[1.0, -1.0])
+
+    def test_weighted_rejects_zero_total(self):
+        with pytest.raises(ConfigurationError):
+            initial_weights(AggregateKind.WEIGHTED_AVERAGE, 2, custom=[0.0, 0.0])
+
+    def test_weighted_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            initial_weights(AggregateKind.WEIGHTED_AVERAGE, 2, custom=[1.0])
+
+
+class TestInitialValues:
+    def test_count_replaces_with_ones(self):
+        values = initial_values(AggregateKind.COUNT, [5.0, 7.0])
+        assert values == [1.0, 1.0]
+
+    def test_other_kinds_pass_through(self):
+        values = initial_values(AggregateKind.AVERAGE, [5, 7])
+        assert values == [5.0, 7.0]
+        assert all(isinstance(v, float) for v in values)
+
+    def test_vector_values(self):
+        values = initial_values(AggregateKind.SUM, [np.array([1, 2])])
+        assert values[0].dtype == np.float64
+
+
+class TestTrueAggregate:
+    def test_average(self):
+        assert true_aggregate(AggregateKind.AVERAGE, [1.0, 2.0, 3.0]) == 2.0
+
+    def test_sum(self):
+        assert true_aggregate(AggregateKind.SUM, [1.0, 2.0, 3.0]) == 6.0
+
+    def test_count(self):
+        assert true_aggregate(AggregateKind.COUNT, [9.0, 9.0, 9.0, 9.0]) == 4.0
+
+    def test_vector_average(self):
+        data = [np.array([1.0, 0.0]), np.array([3.0, 2.0])]
+        np.testing.assert_allclose(
+            true_aggregate(AggregateKind.AVERAGE, data), [2.0, 1.0]
+        )
+
+    def test_compensated_summation_beats_naive(self):
+        # Data engineered so naive summation loses low-order bits.
+        data = [1e16, 1.0, -1e16, 1.0]
+        assert true_aggregate(AggregateKind.SUM, data) == 2.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            true_aggregate(AggregateKind.SUM, [])
+
+    def test_vector_shape_mismatch(self):
+        data = [np.array([1.0]), np.array([1.0, 2.0])]
+        with pytest.raises(ConfigurationError):
+            true_aggregate(AggregateKind.SUM, data)
+
+
+class TestInitialMassPairs:
+    def test_pairs_match_weights(self):
+        pairs = initial_mass_pairs(AggregateKind.SUM, [1.0, 2.0], root=1)
+        assert pairs[0].weight == 0.0
+        assert pairs[1].weight == 1.0
+        assert pairs[0].value == 1.0
+
+
+class TestRelativeError:
+    def test_scalar(self):
+        assert relative_error(2.02, 2.0) == pytest.approx(0.01)
+
+    def test_exact(self):
+        assert relative_error(2.0, 2.0) == 0.0
+
+    def test_nonfinite_estimate(self):
+        assert relative_error(float("inf"), 2.0) == math.inf
+        assert relative_error(float("nan"), 2.0) == math.inf
+
+    def test_zero_truth_falls_back_to_absolute(self):
+        assert relative_error(0.25, 0.0) == 0.25
+
+    def test_vector_normalized_by_max_component(self):
+        truth = np.array([10.0, 1e-12])
+        est = np.array([10.0, 1e-12 + 1e-15])
+        # error is 1e-15 / 10 under max-norm scaling, not 1e-3.
+        assert relative_error(est, truth) == pytest.approx(1e-16, rel=0.5)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            relative_error(np.zeros(2), np.zeros(3))

@@ -1,0 +1,172 @@
+"""Unit tests for the analysis package (rates, potentials, tree flows)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    PotentialHistory,
+    compare_to_theory,
+    disagreement_potential,
+    equilibrium_flows,
+    fit_decay_rate,
+    is_tree,
+    max_equilibrium_flow,
+    predicted_rounds,
+    spectral_rate_bound,
+    subtree_nodes,
+    weight_dispersion,
+)
+from repro.exceptions import ConfigurationError, TopologyError
+from repro.experiments.workloads import bus_case_study_data, bus_equilibrium_flows
+from repro.topology import binary_tree, bus, complete, hypercube, ring, star
+
+
+class TestRateFit:
+    def test_fits_pure_geometric_decay(self):
+        rate = 0.8
+        errors = [rate ** t for t in range(100)]
+        fit = fit_decay_rate(errors, skip=5, floor=1e-30)
+        assert fit.rate == pytest.approx(rate, rel=1e-6)
+        assert fit.residual < 1e-10
+        assert fit.rounds_per_decade == pytest.approx(
+            -1.0 / math.log10(rate), rel=1e-6
+        )
+
+    def test_rounds_to(self):
+        fit = fit_decay_rate([0.5 ** t for t in range(60)], skip=2, floor=1e-30)
+        rounds = fit.rounds_to(1e-6, start=1.0)
+        assert rounds == pytest.approx(math.log(1e-6) / math.log(0.5), rel=1e-6)
+        with pytest.raises(ConfigurationError):
+            fit.rounds_to(2.0)
+
+    def test_non_decaying_series(self):
+        fit = fit_decay_rate([0.5] * 50, skip=2, floor=1e-30)
+        assert fit.rate == pytest.approx(1.0, abs=1e-9)
+        assert fit.rounds_per_decade == math.inf
+
+    def test_floor_exclusion(self):
+        errors = [0.5 ** t for t in range(30)] + [1e-16] * 30
+        fit = fit_decay_rate(errors, skip=2, floor=1e-9)
+        assert fit.rate == pytest.approx(0.5, rel=1e-3)
+
+    def test_too_short(self):
+        with pytest.raises(ConfigurationError):
+            fit_decay_rate([1.0, 0.5], skip=0)
+
+    def test_all_below_floor(self):
+        with pytest.raises(ConfigurationError):
+            fit_decay_rate([1e-20] * 30, skip=2, floor=1e-15)
+
+
+class TestSpectralBounds:
+    def test_bound_ordering(self):
+        # Better-connected -> faster predicted contraction (smaller rate).
+        assert spectral_rate_bound(complete(16)) < spectral_rate_bound(
+            hypercube(4)
+        ) < spectral_rate_bound(ring(16))
+
+    def test_predicted_rounds_monotone_in_eps(self):
+        topo = hypercube(4)
+        assert predicted_rounds(topo, 1e-12) > predicted_rounds(topo, 1e-3)
+
+    def test_predicted_rounds_validation(self):
+        with pytest.raises(ConfigurationError):
+            predicted_rounds(ring(8), 2.0)
+
+    def test_compare_to_theory_keys(self):
+        errors = [0.7 ** t for t in range(80)]
+        info = compare_to_theory(errors, hypercube(3), skip=5, floor=1e-30)
+        assert set(info) >= {
+            "measured_rate",
+            "spectral_rate_bound",
+            "measured_rounds_per_decade",
+        }
+
+
+class TestPotentials:
+    def test_disagreement_zero_at_consensus(self):
+        assert disagreement_potential([2.0, 2.0, 2.0], 2.0) == 0.0
+
+    def test_disagreement_scales(self):
+        assert disagreement_potential([3.0], 2.0) == pytest.approx(0.25)
+
+    def test_nonfinite(self):
+        assert disagreement_potential([float("nan")], 2.0) == math.inf
+
+    def test_weight_dispersion(self):
+        assert weight_dispersion([1.0, 1.0, 1.0]) == 0.0
+        assert weight_dispersion([0.0, 2.0]) == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            disagreement_potential([], 1.0)
+        with pytest.raises(ValueError):
+            weight_dispersion([])
+
+
+class TestTreeFlows:
+    def test_is_tree(self):
+        assert is_tree(bus(5))
+        assert is_tree(star(6))
+        assert is_tree(binary_tree(7))
+        assert not is_tree(ring(5))
+
+    def test_subtree_nodes_bus(self):
+        topo = bus(5)
+        assert subtree_nodes(topo, 1, (1, 2)) == [0, 1]
+        assert subtree_nodes(topo, 2, (1, 2)) == [2, 3, 4]
+
+    def test_subtree_rejects_non_edge(self):
+        with pytest.raises(TopologyError):
+            subtree_nodes(bus(5), 0, (0, 2))
+
+    def test_subtree_rejects_cycle_edge(self):
+        with pytest.raises(TopologyError):
+            subtree_nodes(ring(5), 0, (0, 1))
+
+    def test_bus_matches_paper_values(self):
+        n = 8
+        topo = bus(n)
+        data = bus_case_study_data(n)
+        flows = equilibrium_flows(topo, list(data), [1.0] * n)
+        expected = bus_equilibrium_flows(n)
+        for i in range(n - 1):
+            assert flows[(i, i + 1)] == pytest.approx(expected[i])
+            assert flows[(i + 1, i)] == pytest.approx(-expected[i])
+
+    def test_star_flows_are_small(self):
+        # Same total surplus, but placed at the hub: every edge carries O(1).
+        n = 8
+        topo = star(n)
+        data = [float(n + 1)] + [1.0] * (n - 1)
+        assert max_equilibrium_flow(topo, data, [1.0] * n) < n / 2 + 2
+
+    def test_antisymmetry_binary_tree(self):
+        topo = binary_tree(15)
+        rng = np.random.default_rng(0)
+        data = list(rng.uniform(size=15))
+        flows = equilibrium_flows(topo, data, [1.0] * 15)
+        for (u, v) in topo.edges:
+            assert flows[(u, v)] == pytest.approx(-flows[(v, u)])
+
+    def test_flow_balance_at_each_node(self):
+        # Net outflow at node i equals its surplus x_i - r*w_i.
+        topo = binary_tree(10)
+        rng = np.random.default_rng(1)
+        data = list(rng.uniform(size=10))
+        weights = [1.0] * 10
+        flows = equilibrium_flows(topo, data, weights)
+        aggregate = sum(data) / 10
+        for i in topo.nodes():
+            outflow = sum(flows[(i, j)] for j in topo.neighbors(i))
+            assert outflow == pytest.approx(data[i] - aggregate * weights[i])
+
+    def test_rejects_non_tree(self):
+        with pytest.raises(TopologyError):
+            equilibrium_flows(ring(5), [1.0] * 5, [1.0] * 5)
+
+    def test_rejects_bad_lengths(self):
+        with pytest.raises(TopologyError):
+            equilibrium_flows(bus(3), [1.0], [1.0] * 3)

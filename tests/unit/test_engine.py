@@ -1,0 +1,193 @@
+"""Unit tests for the synchronous engine."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.aggregates import AggregateKind, initial_mass_pairs
+from repro.algorithms.registry import instantiate
+from repro.algorithms.state import MassPair
+from repro.exceptions import ConfigurationError
+from repro.faults.events import FaultPlan, LinkFailure, NodeFailure
+from repro.faults.message_loss import IidMessageLoss
+from repro.simulation.engine import SynchronousEngine
+from repro.simulation.observers import MessageCounter, Observer
+from repro.simulation.schedule import FixedSchedule, UniformGossipSchedule
+from repro.topology import hypercube, ring
+from tests.conftest import build_engine, exact_average
+
+
+class TestConstruction:
+    def test_wrong_algorithm_count(self):
+        topo = ring(4)
+        initial = initial_mass_pairs(AggregateKind.AVERAGE, [1.0] * 4)
+        algs = instantiate("push_sum", topo, initial)
+        with pytest.raises(ConfigurationError):
+            SynchronousEngine(topo, algs[:-1], UniformGossipSchedule(4, 0))
+
+    def test_wrong_node_ids(self):
+        topo = ring(4)
+        initial = initial_mass_pairs(AggregateKind.AVERAGE, [1.0] * 4)
+        algs = instantiate("push_sum", topo, initial)
+        algs[0], algs[1] = algs[1], algs[0]
+        with pytest.raises(ConfigurationError):
+            SynchronousEngine(topo, algs, UniformGossipSchedule(4, 0))
+
+    def test_fault_plan_validated_against_topology(self):
+        topo = ring(4)
+        initial = initial_mass_pairs(AggregateKind.AVERAGE, [1.0] * 4)
+        algs = instantiate("push_sum", topo, initial)
+        with pytest.raises(ConfigurationError):
+            SynchronousEngine(
+                topo,
+                algs,
+                UniformGossipSchedule(4, 0),
+                fault_plan=FaultPlan(link_failures=[LinkFailure(0, 0, 2)]),
+            )
+
+
+class TestRoundSemantics:
+    def test_every_live_node_sends_each_round(self):
+        topo = ring(6)
+        engine, _ = build_engine(topo, "push_sum", [1.0] * 6)
+        engine.run(10)
+        assert engine.messages_sent == 60
+        assert engine.messages_delivered == 60
+        assert engine.round == 10
+
+    def test_scripted_round_delivery(self):
+        # Node 0 sends its half to node 1; others silent.
+        topo = ring(4)
+        data = [4.0, 0.0, 0.0, 0.0]
+        initial = initial_mass_pairs(AggregateKind.AVERAGE, data)
+        algs = instantiate("push_sum", topo, initial)
+        engine = SynchronousEngine(
+            topo, algs, FixedSchedule([[1, None, None, None]])
+        )
+        engine.step()
+        assert algs[0].estimate_pair().value == 2.0
+        assert algs[1].estimate_pair().value == 2.0
+
+    def test_run_zero_rounds(self):
+        topo = ring(4)
+        engine, _ = build_engine(topo, "push_sum", [1.0] * 4)
+        assert engine.run(0) == 0
+
+    def test_negative_rounds_rejected(self):
+        topo = ring(4)
+        engine, _ = build_engine(topo, "push_sum", [1.0] * 4)
+        with pytest.raises(ConfigurationError):
+            engine.run(-1)
+
+    def test_stop_condition(self):
+        topo = hypercube(3)
+        engine, _ = build_engine(topo, "push_sum", list(range(8)))
+        executed = engine.run(100, stop_when=lambda eng, r: r >= 4)
+        assert executed == 5
+
+    def test_determinism(self):
+        topo = hypercube(4)
+        data = list(np.random.default_rng(0).uniform(size=topo.n))
+        e1, a1 = build_engine(topo, "push_flow", data, schedule_seed=3)
+        e2, a2 = build_engine(topo, "push_flow", data, schedule_seed=3)
+        e1.run(50)
+        e2.run(50)
+        for x, y in zip(a1, a2):
+            assert x.estimate() == y.estimate()
+
+
+class TestFaultsInEngine:
+    def test_message_loss_reduces_deliveries(self):
+        topo = ring(6)
+        engine, _ = build_engine(
+            topo,
+            "push_flow",
+            [1.0] * 6,
+            message_fault=IidMessageLoss(0.5, seed=3),
+        )
+        engine.run(50)
+        assert engine.messages_delivered < engine.messages_sent
+
+    def test_link_failure_blocks_edge_and_notifies(self):
+        topo = ring(4)
+        plan = FaultPlan(link_failures=[LinkFailure(round=2, u=0, v=1)])
+        engine, algs = build_engine(topo, "push_flow", [1.0] * 4, fault_plan=plan)
+        engine.run(10)
+        assert 1 not in algs[0].neighbors
+        assert 0 not in algs[1].neighbors
+
+    def test_link_failure_detection_delay(self):
+        topo = ring(4)
+        plan = FaultPlan(
+            link_failures=[LinkFailure(round=2, u=0, v=1, detection_delay=5)]
+        )
+        engine, algs = build_engine(topo, "push_flow", [1.0] * 4, fault_plan=plan)
+        engine.run(4)
+        # Physically dead but not yet handled: neighbor still listed.
+        assert 1 in algs[0].neighbors
+        engine.run(6)
+        assert 1 not in algs[0].neighbors
+
+    def test_node_failure_silences_node(self):
+        topo = ring(5)
+        plan = FaultPlan(node_failures=[NodeFailure(round=3, node=2)])
+        engine, algs = build_engine(topo, "push_flow", [1.0] * 5, fault_plan=plan)
+        engine.run(10)
+        assert 2 in engine.dead_nodes
+        assert engine.live_nodes() == [0, 1, 3, 4]
+        # Survivors excluded the dead node's links.
+        assert 2 not in algs[1].neighbors
+        assert 2 not in algs[3].neighbors
+        # Dead node's estimate is excluded from the global view.
+        assert len(engine.estimates()) == 4
+
+    def test_messages_on_dead_link_are_swallowed(self):
+        topo = ring(4)
+        plan = FaultPlan(
+            link_failures=[LinkFailure(round=0, u=0, v=1, detection_delay=100)]
+        )
+        # Force node 0 to always target node 1 (silent otherwise).
+        script = [[1, None, None, None]] * 10
+        initial = initial_mass_pairs(AggregateKind.AVERAGE, [1.0] * 4)
+        algs = instantiate("push_flow", topo, initial)
+        engine = SynchronousEngine(
+            topo, algs, FixedSchedule(script), fault_plan=plan
+        )
+        engine.run(10)
+        assert engine.messages_sent == 10
+        assert engine.messages_delivered == 0
+
+
+class TestObservers:
+    def test_observer_hooks_fire(self):
+        events = []
+
+        class Recorder(Observer):
+            def on_run_start(self, engine):
+                events.append("start")
+
+            def on_round_end(self, engine, round_index):
+                events.append(("round", round_index))
+
+            def on_link_handled(self, engine, round_index, u, v):
+                events.append(("link", u, v))
+
+            def on_run_end(self, engine, rounds):
+                events.append(("end", rounds))
+
+        topo = ring(4)
+        plan = FaultPlan(link_failures=[LinkFailure(round=1, u=0, v=1)])
+        engine, _ = build_engine(
+            topo, "push_flow", [1.0] * 4, fault_plan=plan
+        )
+        engine._observer._observers.append(Recorder())
+        engine.run(3)
+        assert events[0] == "start"
+        assert ("link", 0, 1) in events
+        assert events[-1] == ("end", 3)
+
+    def test_message_counter(self):
+        topo = ring(4)
+        counter = MessageCounter()
+        engine, _ = build_engine(topo, "push_sum", [1.0] * 4, observers=[counter])
+        engine.run(7)
+        assert counter.rounds == 7

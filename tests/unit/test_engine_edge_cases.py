@@ -1,0 +1,80 @@
+"""Additional edge-case coverage for the synchronous engine."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.aggregates import AggregateKind, initial_mass_pairs
+from repro.algorithms.registry import instantiate
+from repro.exceptions import SimulationError
+from repro.faults.events import FaultPlan, NodeFailure
+from repro.simulation.engine import SynchronousEngine
+from repro.simulation.schedule import FixedSchedule, UniformGossipSchedule
+from repro.topology import bus, star
+from repro.topology.base import Topology
+
+
+def build(topo, algorithm, data, schedule=None, **kwargs):
+    initial = initial_mass_pairs(AggregateKind.AVERAGE, list(data))
+    algs = instantiate(algorithm, topo, initial)
+    engine = SynchronousEngine(
+        topo,
+        algs,
+        schedule or UniformGossipSchedule(topo.n, 1),
+        **kwargs,
+    )
+    return engine, algs
+
+
+class TestEngineEdgeCases:
+    def test_hub_failure_orphans_leaves_without_crash(self):
+        # Killing the star's hub isolates every leaf; the engine must keep
+        # running (leaves have empty live neighborhoods and just go silent).
+        topo = star(6)
+        plan = FaultPlan(node_failures=[NodeFailure(round=5, node=0)])
+        engine, algs = build(topo, "push_cancel_flow", [1.0] * 6, fault_plan=plan)
+        engine.run(30)
+        assert engine.live_nodes() == [1, 2, 3, 4, 5]
+        for i in range(1, 6):
+            assert algs[i].neighbors == ()
+        # Silent rounds: no sends after all links vanished.
+        sent_before = engine.messages_sent
+        engine.step()
+        assert engine.messages_sent == sent_before
+
+    def test_all_silent_schedule(self):
+        topo = bus(4)
+        schedule = FixedSchedule([[None] * 4] * 5)
+        engine, algs = build(topo, "push_sum", [1.0, 2.0, 3.0, 4.0], schedule)
+        engine.run(5)
+        assert engine.messages_sent == 0
+        # State untouched.
+        assert [a.estimate() for a in algs] == [1.0, 2.0, 3.0, 4.0]
+
+    def test_schedule_returning_non_neighbor_raises(self):
+        class EvilSchedule:
+            def choose(self, node, live, round_index):
+                return 3 if node == 0 else None
+
+            def reset(self):
+                pass
+
+        topo = bus(4)  # 3 is NOT a neighbor of 0
+        initial = initial_mass_pairs(AggregateKind.AVERAGE, [1.0] * 4)
+        algs = instantiate("push_sum", topo, initial)
+        engine = SynchronousEngine(topo, algs, EvilSchedule())
+        with pytest.raises(SimulationError):
+            engine.step()
+
+    def test_single_node_topology_runs(self):
+        topo = Topology(1, [])
+        engine, algs = build(topo, "push_sum", [5.0])
+        engine.run(3)
+        assert algs[0].estimate() == 5.0
+        assert engine.messages_sent == 0
+
+    def test_run_resumes_across_calls(self):
+        topo = bus(4)
+        engine, _ = build(topo, "push_sum", [1.0] * 4)
+        engine.run(5)
+        engine.run(5)
+        assert engine.round == 10

@@ -1,0 +1,175 @@
+"""Unit tests for the experiment-harness support modules."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.figures import FigureResult
+from repro.experiments.io import load_result, save_result
+from repro.experiments.tables import format_cell, render_series, render_table
+from repro.experiments.workloads import (
+    bus_case_study_data,
+    bus_equilibrium_flows,
+    random_matrix,
+    uniform_data,
+)
+
+
+class TestWorkloads:
+    def test_uniform_data_reproducible(self):
+        np.testing.assert_array_equal(
+            uniform_data(10, seed=3), uniform_data(10, seed=3)
+        )
+        assert not np.array_equal(uniform_data(10, seed=3), uniform_data(10, seed=4))
+
+    def test_uniform_data_range(self):
+        data = uniform_data(100, seed=0, low=-2.0, high=3.0)
+        assert data.min() >= -2.0
+        assert data.max() < 3.0
+
+    def test_uniform_validation(self):
+        with pytest.raises(ValueError):
+            uniform_data(0)
+        with pytest.raises(ValueError):
+            uniform_data(5, low=1.0, high=1.0)
+
+    def test_bus_case_study_data(self):
+        data = bus_case_study_data(5)
+        np.testing.assert_array_equal(data, [6.0, 1.0, 1.0, 1.0, 1.0])
+        # The engineered average is 2 for every n.
+        assert data.mean() == 2.0
+        assert bus_case_study_data(100).mean() == 2.0
+
+    def test_bus_equilibrium_flows(self):
+        flows = bus_equilibrium_flows(5)
+        assert flows == [4.0, 3.0, 2.0, 1.0]
+        with pytest.raises(ValueError):
+            bus_equilibrium_flows(1)
+
+    def test_random_matrix_distributions(self):
+        assert random_matrix(4, 3, seed=0).shape == (4, 3)
+        assert random_matrix(4, 3, seed=0, distribution="normal").shape == (4, 3)
+        graded = random_matrix(16, 6, seed=0, distribution="graded")
+        col_norms = np.linalg.norm(graded, axis=0)
+        assert col_norms[0] > col_norms[-1] * 1e6
+
+    def test_random_matrix_unknown_distribution(self):
+        with pytest.raises(ValueError):
+            random_matrix(3, 3, distribution="cauchy")
+
+
+class TestTables:
+    def test_format_cell(self):
+        assert format_cell(None) == "-"
+        assert format_cell(True) == "yes"
+        assert format_cell(7) == "7"
+        assert format_cell(0.0) == "0"
+        assert format_cell(1.5e-14) == "1.500e-14"
+        assert format_cell(3.25) == "3.25"
+        assert format_cell(float("nan")) == "nan"
+        assert format_cell(float("-inf")) == "-inf"
+        assert format_cell("text") == "text"
+
+    def test_render_table_alignment(self):
+        out = render_table(["a", "long_header"], [[1, 2.0], [333, None]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert "-" in lines[1]
+        assert all(len(line) <= len(lines[1]) + 2 for line in lines)
+
+    def test_render_table_row_length_check(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_render_series(self):
+        out = render_series("errors", [1.0, 0.5, 0.25, 0.125], every=2)
+        assert "round    0" in out
+        assert "round    3" in out  # final sample always included
+
+
+class TestFigureResultIO:
+    def test_roundtrip(self, tmp_path):
+        result = FigureResult(
+            figure="Fig. X",
+            headers=["a", "err"],
+            rows=[["row1", 1e-15], ["row2", float("inf")]],
+            notes="note",
+            series={"s": [1.0, 0.5]},
+        )
+        path = tmp_path / "out" / "fig.json"
+        save_result(result, path)
+        loaded = load_result(path)
+        assert loaded.figure == result.figure
+        assert loaded.headers == result.headers
+        assert loaded.rows[0] == ["row1", 1e-15]
+        assert loaded.rows[1][1] == float("inf")
+        assert loaded.series == {"s": [1.0, 0.5]}
+
+    def test_nan_roundtrip(self, tmp_path):
+        result = FigureResult(
+            figure="f", headers=["x"], rows=[[float("nan")]]
+        )
+        path = tmp_path / "fig.json"
+        save_result(result, path)
+        loaded = load_result(path)
+        assert math.isnan(loaded.rows[0][0])
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            load_result(tmp_path / "missing.json")
+
+    def test_load_malformed(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{}")
+        with pytest.raises(ExperimentError):
+            load_result(path)
+
+    def test_render_includes_notes_and_series(self):
+        result = FigureResult(
+            figure="F",
+            headers=["x"],
+            rows=[[1]],
+            notes="a note",
+            series={"curve": [0.5]},
+        )
+        out = result.render()
+        assert "== F ==" in out
+        assert "a note" in out
+        assert "curve" in out
+
+
+class TestCLI:
+    def test_parser_choices(self):
+        from repro.experiments.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(["equivalence", "--scale", "small"])
+        assert args.experiment == "equivalence"
+
+    def test_run_experiment_and_save(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        target = tmp_path / "result.json"
+        exit_code = main(["ablation-pf-variants", "--save", str(target)])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Ablation A1" in out
+        assert target.exists()
+        payload = json.loads(target.read_text())
+        assert payload["figure"].startswith("Ablation A1")
+
+
+class TestCLIPlot:
+    def test_plot_flag_renders_series(self, capsys):
+        from repro.experiments.cli import main
+
+        exit_code = main(["fig7", "--plot"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "error series" in out
+        assert "rounds" in out
+        assert "|" in out  # plot rows

@@ -1,0 +1,238 @@
+"""Unit tests for the fault-injection framework."""
+
+import dataclasses
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms.push_flow import FlowPayload
+from repro.algorithms.push_sum import PushSumPayload
+from repro.algorithms.flow_edge import PCFPayload
+from repro.algorithms.state import MassPair
+from repro.exceptions import ConfigurationError
+from repro.faults.base import CompositeFault, NoFault
+from repro.faults.bit_flip import BitFlipFault, corrupt_payload
+from repro.faults.events import (
+    FaultPlan,
+    LinkFailure,
+    NodeFailure,
+    single_link_failure,
+)
+from repro.faults.message_loss import BurstMessageLoss, IidMessageLoss
+from repro.simulation.messages import Message
+
+
+def make_message(payload=None):
+    return Message(
+        sender=0,
+        receiver=1,
+        round=0,
+        payload=payload or FlowPayload(flow=MassPair(1.5, 0.5)),
+    )
+
+
+class TestMessage:
+    def test_edge_canonical(self):
+        assert make_message().edge() == (0, 1)
+        assert Message(3, 1, 0, None).edge() == (1, 3)
+
+    def test_with_payload_preserves_route(self):
+        msg = make_message()
+        new = msg.with_payload("x")
+        assert (new.sender, new.receiver, new.round) == (0, 1, 0)
+        assert new.payload == "x"
+
+
+class TestIidLoss:
+    def test_zero_probability_never_drops(self):
+        fault = IidMessageLoss(0.0, seed=0)
+        assert all(fault.apply(make_message()) is not None for _ in range(100))
+        assert fault.dropped == 0
+
+    def test_one_probability_always_drops(self):
+        fault = IidMessageLoss(1.0, seed=0)
+        assert all(fault.apply(make_message()) is None for _ in range(100))
+        assert fault.dropped == 100
+
+    def test_rate_roughly_matches(self):
+        fault = IidMessageLoss(0.3, seed=1)
+        drops = sum(fault.apply(make_message()) is None for _ in range(5000))
+        assert 0.25 < drops / 5000 < 0.35
+
+    def test_reset_restores_stream(self):
+        fault = IidMessageLoss(0.5, seed=2)
+        first = [fault.apply(make_message()) is None for _ in range(50)]
+        fault.reset()
+        second = [fault.apply(make_message()) is None for _ in range(50)]
+        assert first == second
+
+    def test_bad_probability(self):
+        with pytest.raises(ConfigurationError):
+            IidMessageLoss(1.5)
+
+
+class TestBurstLoss:
+    def test_bursty_pattern(self):
+        fault = BurstMessageLoss(0.2, 0.3, seed=0)
+        outcomes = [fault.apply(make_message()) is None for _ in range(2000)]
+        # Bursts: consecutive drops are much more frequent than under iid
+        # with the same marginal rate.
+        drops = sum(outcomes)
+        pairs = sum(1 for a, b in zip(outcomes, outcomes[1:]) if a and b)
+        assert drops > 0
+        assert pairs / max(drops, 1) > 0.3
+
+    def test_per_edge_state(self):
+        fault = BurstMessageLoss(1.0, 0.0001, seed=0)
+        a = Message(0, 1, 0, None)
+        b = Message(2, 3, 0, None)
+        fault.apply(a)
+        # Edge (0,1) is bad now; edge (2,3) has independent state.
+        results = [fault.apply(b) for _ in range(5)]
+        assert any(r is not None for r in results) or fault.dropped >= 5
+
+    def test_permanent_bad_state_rejected(self):
+        with pytest.raises(ValueError):
+            BurstMessageLoss(0.5, 0.0)
+
+
+class TestBitFlip:
+    def test_zero_probability_is_identity(self):
+        fault = BitFlipFault(0.0, seed=0)
+        msg = make_message()
+        assert fault.apply(msg) is msg
+
+    def test_flip_changes_payload(self):
+        fault = BitFlipFault(1.0, seed=0)
+        msg = make_message()
+        corrupted = fault.apply(msg)
+        assert corrupted is not None
+        assert not corrupted.payload.flow.exactly_equals(msg.payload.flow)
+        assert fault.flips == 1
+
+    def test_original_payload_untouched(self):
+        fault = BitFlipFault(1.0, seed=0)
+        msg = make_message()
+        fault.apply(msg)
+        assert msg.payload.flow.value == 1.5  # frozen dataclass semantics
+
+    def test_corrupt_push_sum_payload(self):
+        rng = np.random.default_rng(0)
+        payload = PushSumPayload(mass=MassPair(2.0, 1.0))
+        corrupted = corrupt_payload(payload, rng)
+        assert not corrupted.mass.exactly_equals(payload.mass)
+
+    def test_corrupt_pcf_payload(self):
+        rng = np.random.default_rng(0)
+        payload = PCFPayload(
+            flow_a=MassPair(1.0, 1.0),
+            flow_b=MassPair(2.0, 2.0),
+            active=0,
+            era=3,
+        )
+        corrupted = corrupt_payload(payload, rng)
+        assert corrupted != payload
+        assert corrupted.active == 0 and corrupted.era == 3  # control untouched
+
+    def test_corrupt_control_fields_optional(self):
+        rng = np.random.default_rng(4)
+        payload = PCFPayload(
+            flow_a=MassPair(1.0, 1.0),
+            flow_b=MassPair(2.0, 2.0),
+            active=0,
+            era=3,
+        )
+        seen_control_change = False
+        for _ in range(64):
+            corrupted = corrupt_payload(payload, rng, corrupt_control=True)
+            if corrupted.active != payload.active or corrupted.era != payload.era:
+                seen_control_change = True
+        assert seen_control_change
+
+    def test_vector_payload_flip(self):
+        rng = np.random.default_rng(1)
+        payload = FlowPayload(flow=MassPair(np.array([1.0, 2.0, 3.0]), 1.0))
+        corrupted = corrupt_payload(payload, rng)
+        assert not corrupted.flow.exactly_equals(payload.flow)
+
+    def test_non_dataclass_payload_rejected(self):
+        from repro.exceptions import ProtocolError
+
+        with pytest.raises(ProtocolError):
+            corrupt_payload("not a payload", np.random.default_rng(0))
+
+
+class TestComposite:
+    def test_order_and_drop_short_circuit(self):
+        loss = IidMessageLoss(1.0, seed=0)
+        flip = BitFlipFault(1.0, seed=0)
+        fault = CompositeFault([loss, flip])
+        assert fault.apply(make_message()) is None
+        assert flip.flips == 0  # never reached
+
+    def test_reset_cascades(self):
+        loss = IidMessageLoss(0.5, seed=0)
+        fault = CompositeFault([loss])
+        fault.apply(make_message())
+        fault.reset()
+        assert loss.dropped == 0
+
+    def test_no_fault_identity(self):
+        msg = make_message()
+        assert NoFault().apply(msg) is msg
+
+
+class TestFaultPlan:
+    def test_link_failure_fields(self):
+        failure = LinkFailure(round=5, u=3, v=1, detection_delay=2)
+        assert failure.edge == (1, 3)
+        assert failure.handle_round == 7
+
+    def test_rejects_negative_round(self):
+        with pytest.raises(ConfigurationError):
+            LinkFailure(round=-1, u=0, v=1)
+        with pytest.raises(ConfigurationError):
+            NodeFailure(round=1, node=0, detection_delay=-1)
+
+    def test_rejects_self_edge(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(link_failures=[LinkFailure(round=0, u=1, v=1)])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(
+                link_failures=[
+                    LinkFailure(round=0, u=0, v=1),
+                    LinkFailure(round=5, u=1, v=0),
+                ]
+            )
+        with pytest.raises(ConfigurationError):
+            FaultPlan(
+                node_failures=[
+                    NodeFailure(round=0, node=1),
+                    NodeFailure(round=2, node=1),
+                ]
+            )
+
+    def test_round_queries(self):
+        plan = FaultPlan(
+            link_failures=[LinkFailure(round=3, u=0, v=1, detection_delay=2)],
+            node_failures=[NodeFailure(round=4, node=7)],
+        )
+        assert plan.dead_edges_by(2) == frozenset()
+        assert plan.dead_edges_by(3) == frozenset({(0, 1)})
+        assert plan.link_handlings_at(5) == list(plan.link_failures)
+        assert plan.node_handlings_at(4) == list(plan.node_failures)
+        assert plan.dead_nodes_by(4) == frozenset({7})
+        assert plan.last_event_round() == 5
+
+    def test_empty_plan(self):
+        plan = FaultPlan()
+        assert plan.is_empty()
+        assert plan.last_event_round() == -1
+
+    def test_single_link_failure_helper(self):
+        plan = single_link_failure(75, 0, 1)
+        assert not plan.is_empty()
+        assert plan.link_failures[0].handle_round == 75

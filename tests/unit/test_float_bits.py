@@ -1,0 +1,80 @@
+"""Unit tests for repro.util.float_bits."""
+
+import math
+
+import pytest
+
+from repro.util.float_bits import bits_to_float, flip_bit, float_to_bits, ulp_distance
+
+
+class TestRoundTrip:
+    def test_roundtrip_simple(self):
+        for x in [0.0, 1.0, -1.5, 3.141592653589793, 1e-300, 1e300]:
+            assert bits_to_float(float_to_bits(x)) == x
+
+    def test_roundtrip_negative_zero(self):
+        bits = float_to_bits(-0.0)
+        assert bits == 1 << 63
+        assert math.copysign(1.0, bits_to_float(bits)) == -1.0
+
+    def test_bits_out_of_range(self):
+        with pytest.raises(ValueError):
+            bits_to_float(-1)
+        with pytest.raises(ValueError):
+            bits_to_float(1 << 64)
+
+
+class TestFlipBit:
+    def test_flip_is_involution(self):
+        x = 42.125
+        for bit in range(64):
+            flipped = flip_bit(x, bit)
+            assert flip_bit(flipped, bit) == x
+
+    def test_flip_sign_bit(self):
+        assert flip_bit(1.0, 63) == -1.0
+
+    def test_flip_changes_value(self):
+        x = 1.0
+        for bit in range(64):
+            assert flip_bit(x, bit) != x or math.isnan(flip_bit(x, bit))
+
+    def test_flip_lsb_is_one_ulp(self):
+        x = 1.5
+        assert ulp_distance(x, flip_bit(x, 0)) == 1
+
+    def test_flip_can_produce_nan_or_inf(self):
+        # Setting all exponent bits of 1.0 gives inf or nan; flipping a
+        # high exponent bit of a large number can overflow to inf.
+        x = 1.7976931348623157e308  # max double
+        flipped = flip_bit(x, 62)
+        assert math.isfinite(x)
+        assert flipped != x
+
+    def test_bad_bit_index(self):
+        with pytest.raises(ValueError):
+            flip_bit(1.0, 64)
+        with pytest.raises(ValueError):
+            flip_bit(1.0, -1)
+
+
+class TestUlpDistance:
+    def test_zero_distance(self):
+        assert ulp_distance(1.0, 1.0) == 0
+
+    def test_adjacent(self):
+        import numpy as np
+
+        x = 1.0
+        assert ulp_distance(x, float(np.nextafter(x, 2.0))) == 1
+
+    def test_across_zero(self):
+        tiny = 5e-324  # smallest subnormal
+        assert ulp_distance(-tiny, tiny) == 2
+
+    def test_symmetric(self):
+        assert ulp_distance(1.0, 2.0) == ulp_distance(2.0, 1.0)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            ulp_distance(float("nan"), 1.0)

@@ -1,0 +1,189 @@
+"""White-box tests of the PCF per-edge handshake (Fig. 5 lines 6-29).
+
+Drives a pair of :class:`PCFEdgeState` machines through explicit message
+sequences, checking the cancel -> swap -> adopt cycle, the repair path, and
+the races the counters must absorb.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.flow_edge import PCFEdgeState, PCFPayload
+from repro.algorithms.state import MassPair, zero_pair
+
+
+def zero():
+    return MassPair(0.0, 0.0)
+
+
+def exchange(src: PCFEdgeState, dst: PCFEdgeState):
+    """Deliver src's current payload to dst; returns the ReceiveEffect."""
+    return dst.receive(src.payload())
+
+
+class TestInitialState:
+    def test_fresh_edge(self):
+        edge = PCFEdgeState(zero())
+        assert edge.active == 0
+        assert edge.era == 0
+        assert edge.flow(0).is_zero()
+        assert edge.flow(1).is_zero()
+        assert edge.total_flow().is_zero()
+
+
+class TestActiveFlowPF:
+    def test_add_to_active(self):
+        edge = PCFEdgeState(zero())
+        edge.add_to_active(MassPair(1.5, 0.5))
+        assert edge.active_flow().value == 1.5
+        assert edge.passive_flow().is_zero()
+
+    def test_receive_repairs_active(self):
+        a, b = PCFEdgeState(zero()), PCFEdgeState(zero())
+        a.add_to_active(MassPair(2.0, 1.0))
+        effect = exchange(a, b)
+        assert b.active_flow().value == -2.0
+        # The efficient-phi delta equals -(old + received) = -(0 + 2) = -2.
+        assert effect.phi_delta_efficient.value == -2.0
+        # An all-zero passive pair is trivially conserved, so the first
+        # exchange already performs a (no-op) cancellation.
+        assert effect.cancelled and not effect.swapped
+        assert effect.phi_delta_robust.is_zero()
+
+
+class TestHandshakeCycle:
+    def test_full_cancel_swap_adopt_cycle(self):
+        a, b = PCFEdgeState(zero()), PCFEdgeState(zero())
+
+        # Era 0: some activity on the active slot (slot 0).
+        a.add_to_active(MassPair(2.0, 1.0))
+
+        # b's passive (all-zero) is trivially conserved -> cancel at b.
+        effect = exchange(a, b)
+        assert effect.cancelled
+        assert b.era == 1
+
+        # a sees b's passive zero with b's era one ahead -> swap at a.
+        effect = exchange(b, a)
+        assert effect.swapped
+        assert a.era == 1
+        assert a.active == 1
+
+        # b adopts a's new role assignment on the next receive; in the same
+        # message it observes the old (value-bearing) pair conserved and
+        # cancels it, entering era 2.
+        effect = exchange(a, b)
+        assert effect.adopted
+        assert b.active == 1
+        assert effect.cancelled
+        assert b.era == 2
+        assert b.flow(0).is_zero()
+
+    def test_value_bearing_cancellation_absorbs_exact_value(self):
+        a, b = PCFEdgeState(zero()), PCFEdgeState(zero())
+        a.add_to_active(MassPair(4.0, 2.0))
+        exchange(a, b)  # b repairs slot 0 to -4, trivially cancels passive
+        exchange(b, a)  # a swaps: slot 1 becomes active; slot 0 holds +4
+        assert a.flow(0).value == 4.0
+        assert b.flow(0).value == -4.0
+        # b adopts the swap and cancels the value-bearing pair.
+        effect = exchange(a, b)
+        assert effect.cancelled
+        assert b.flow(0).is_zero()
+        # The robust-phi delta carries the absorbed value (b's copy, -4).
+        assert effect.phi_delta_robust.value == -4.0
+        # a cancels its +4 copy symmetrically on the next receive.
+        effect = exchange(b, a)
+        assert effect.cancelled or effect.swapped
+        assert a.flow(0).is_zero()
+
+    def test_era_skew_never_exceeds_one(self):
+        rng = np.random.default_rng(0)
+        a, b = PCFEdgeState(zero()), PCFEdgeState(zero())
+        for _ in range(200):
+            src, dst = (a, b) if rng.random() < 0.5 else (b, a)
+            src.add_to_active(MassPair(float(rng.uniform(-1, 1)), 1.0))
+            exchange(src, dst)
+            assert abs(a.era - b.era) <= 1
+
+    def test_simultaneous_cancel_race_resolves(self):
+        # Both ends observe conservation and cancel before hearing from the
+        # other; the era counters absorb the race without deadlock.
+        a, b = PCFEdgeState(zero()), PCFEdgeState(zero())
+        payload_a = a.payload()
+        payload_b = b.payload()
+        effect_a = a.receive(payload_b)
+        effect_b = b.receive(payload_a)
+        assert effect_a.cancelled and effect_b.cancelled
+        assert a.era == b.era == 1
+        # Continue exchanging: with all-zero flows the handshake cycles
+        # harmlessly (cancel/swap/adopt no-ops); the counters never skew by
+        # more than one and the flows stay zero.
+        for _ in range(4):
+            exchange(a, b)
+            exchange(b, a)
+            assert abs(a.era - b.era) <= 1
+        assert a.total_flow().is_zero()
+        assert b.total_flow().is_zero()
+        # Real mass added after the race still flows correctly.
+        a.add_to_active(MassPair(2.0, 1.0))
+        exchange(a, b)
+        sent_slot = a.active
+        assert b.flow(sent_slot).value == -2.0 or b.flow(1 - sent_slot).value == -2.0
+
+
+class TestRepairPath:
+    def test_passive_repair_after_corruption(self):
+        a, b = PCFEdgeState(zero()), PCFEdgeState(zero())
+        # Move real value into the passive slot via a full cycle.
+        a.add_to_active(MassPair(4.0, 2.0))
+        exchange(a, b)
+        exchange(b, a)
+        exchange(a, b)
+        exchange(b, a)
+        # Corrupt a's passive copy.
+        a.inject_flow_bit_flip(0, 30)
+        corrupted = a.flow(0)
+        assert not corrupted.exactly_equals(MassPair(4.0, 2.0))
+        # Receive from b: conservation fails -> repair branch restores it.
+        exchange(b, a)
+        assert a.flow(0).exactly_equals(-b.flow(0))
+
+    def test_stale_peer_does_not_resurrect_cancelled_flow(self):
+        a, b = PCFEdgeState(zero()), PCFEdgeState(zero())
+        a.add_to_active(MassPair(4.0, 2.0))
+        stale_payload = a.payload()  # b's view before the handshake advanced
+        exchange(a, b)
+        exchange(b, a)  # cancel at a -> era 1
+        # Deliver a *stale* message (era 0) to a; its era guard must
+        # prevent both cancellation and repair regressions.
+        era_before = a.era
+        a.receive(stale_payload)
+        assert a.era == era_before
+
+
+class TestPayload:
+    def test_payload_roundtrip_fields(self):
+        edge = PCFEdgeState(zero())
+        edge.add_to_active(MassPair(1.0, 2.0))
+        payload = edge.payload()
+        assert isinstance(payload, PCFPayload)
+        assert payload.active == edge.active
+        assert payload.era == edge.era
+        assert payload.flow_a.value == 1.0
+
+    def test_payload_is_snapshot(self):
+        edge = PCFEdgeState(zero())
+        payload = edge.payload()
+        edge.add_to_active(MassPair(1.0, 1.0))
+        assert payload.flow_a.is_zero()  # unchanged by later mutation
+
+    def test_vector_edges(self):
+        edge = PCFEdgeState(zero_pair(3))
+        edge.add_to_active(MassPair(np.array([1.0, 2.0, 3.0]), 1.0))
+        np.testing.assert_array_equal(edge.active_flow().value, [1.0, 2.0, 3.0])
+
+    def test_max_magnitude(self):
+        edge = PCFEdgeState(zero())
+        edge.add_to_active(MassPair(-3.0, 1.0))
+        assert edge.max_magnitude() == 3.0

@@ -1,0 +1,194 @@
+"""Unit tests for the latency-hardened PCF variant (the extension)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.flow_edge_hardened import HardenedEdgeState, PCFHPayload
+from repro.algorithms.push_cancel_flow_hardened import PushCancelFlowHardened
+from repro.algorithms.state import MassPair
+from repro.exceptions import ConfigurationError
+
+
+def zero():
+    return MassPair(0.0, 0.0)
+
+
+def make_pair(variant="efficient"):
+    a = PushCancelFlowHardened(0, [1], MassPair(2.0, 1.0), variant=variant)
+    b = PushCancelFlowHardened(1, [0], MassPair(6.0, 1.0), variant=variant)
+    return a, b
+
+
+def ping(src, dst):
+    dst.on_receive(src.node_id, src.make_message(dst.node_id))
+
+
+class TestEdgeMachine:
+    def test_initiator_assignment(self):
+        a, b = make_pair()
+        assert a.edge_state(1).initiator  # 0 < 1
+        assert not b.edge_state(0).initiator
+
+    def test_active_is_era_mod_two(self):
+        edge = HardenedEdgeState(zero(), initiator=True)
+        assert edge.active == 0
+        # Drive one full cancellation with a follower.
+        follower = HardenedEdgeState(zero(), initiator=False)
+        edge.receive(follower.payload())  # zero passives mirror -> cancel
+        assert edge.era == 1
+        assert edge.active == 1
+
+    def test_follower_never_cancels(self):
+        initiator = HardenedEdgeState(zero(), initiator=True)
+        follower = HardenedEdgeState(zero(), initiator=False)
+        effect = follower.receive(initiator.payload())
+        assert not effect.cancelled
+        assert follower.era == 0
+
+    def test_catch_up_via_frozen_value(self):
+        initiator = HardenedEdgeState(zero(), initiator=True)
+        follower = HardenedEdgeState(zero(), initiator=False)
+        initiator.add_to_active(MassPair(4.0, 2.0))
+        # follower repairs active + passive from initiator's message.
+        follower.receive(initiator.payload())
+        assert follower.flow(0).value == -4.0
+        # initiator receives mirror -> cancels (zero passives mirror too).
+        effect = initiator.receive(follower.payload())
+        assert effect.cancelled
+        assert initiator.era == 1
+        # follower catches up through the frozen value.
+        effect = follower.receive(initiator.payload())
+        assert effect.swapped
+        assert follower.era == 1
+        # The frozen values at the two ends are exactly opposite.
+        assert initiator.payload().frozen.exactly_equals(
+            -follower.payload().frozen
+        )
+
+    def test_stale_message_dropped_by_follower(self):
+        initiator = HardenedEdgeState(zero(), initiator=True)
+        follower = HardenedEdgeState(zero(), initiator=False)
+        stale = follower.payload()
+        initiator.receive(follower.payload())  # cancel -> era 1
+        follower.receive(initiator.payload())  # catch up -> era 1
+        era = follower.era
+        # era-0 message to the era-1 follower: dropped whole.
+        effect = follower.receive(stale)
+        assert follower.era == era
+        assert effect.phi_delta_efficient.is_zero()
+
+    def test_corrupt_era_dropped(self):
+        edge = HardenedEdgeState(zero(), initiator=True)
+        bogus = PCFHPayload(
+            flow_a=MassPair(1.0, 1.0),
+            flow_b=MassPair(0.0, 0.0),
+            era=17,
+            frozen=MassPair(0.0, 0.0),
+        )
+        effect = edge.receive(bogus)
+        assert edge.era == 0
+        assert effect.phi_delta_efficient.is_zero()
+
+    def test_initiator_refreshes_reference_from_boundary_message(self):
+        initiator = HardenedEdgeState(zero(), initiator=True)
+        follower = HardenedEdgeState(zero(), initiator=False)
+        # Advance to era 1 at the initiator only.
+        initiator.receive(follower.payload())
+        assert initiator.era == 1 and follower.era == 0
+        # The follower pushes halves into its (old-era) active slot and the
+        # message crosses the cancellation.
+        follower.add_to_active(MassPair(3.0, 1.5))
+        effect = initiator.receive(follower.payload())
+        # Reference (initiator's current passive, slot 0) refreshed.
+        assert initiator.flow(0).value == -3.0
+        assert initiator.era == 1  # no era change
+
+    def test_era_skew_never_exceeds_one(self):
+        rng = np.random.default_rng(0)
+        a = HardenedEdgeState(zero(), initiator=True)
+        b = HardenedEdgeState(zero(), initiator=False)
+        for _ in range(300):
+            src, dst = (a, b) if rng.random() < 0.5 else (b, a)
+            src.add_to_active(MassPair(float(rng.uniform(-1, 1)), 1.0))
+            if rng.random() < 0.7:  # 30% loss
+                dst.receive(src.payload())
+            assert abs(a.era - b.era) <= 1
+            # The follower is never ahead.
+            assert b.era <= a.era
+
+
+class TestNodeLevel:
+    def test_unknown_variant(self):
+        with pytest.raises(ConfigurationError):
+            PushCancelFlowHardened(0, [1], MassPair(1.0, 1.0), variant="fast")
+
+    @pytest.mark.parametrize("variant", ["efficient", "robust"])
+    def test_two_nodes_converge(self, variant):
+        a, b = make_pair(variant)
+        for _ in range(100):
+            ping(a, b)
+            ping(b, a)
+        assert a.estimate() == pytest.approx(4.0, rel=1e-12)
+        assert b.estimate() == pytest.approx(4.0, rel=1e-12)
+
+    def test_mass_conserved_exactly_under_loss(self):
+        # The hardened claim: cancellations close exactly even when
+        # arbitrary messages are lost, so after a settling exchange the
+        # total mass is exact (not just approximately recovered).
+        rng = np.random.default_rng(3)
+        a, b = make_pair()
+        for _ in range(200):
+            src, dst = (a, b) if rng.random() < 0.5 else (b, a)
+            payload = src.make_message(dst.node_id)
+            if rng.random() < 0.6:
+                dst.on_receive(src.node_id, payload)
+        for _ in range(6):
+            ping(a, b)
+            ping(b, a)
+        total = a.estimate_pair() + b.estimate_pair()
+        assert total.value == pytest.approx(8.0, rel=1e-12)
+        assert total.weight == pytest.approx(2.0, rel=1e-12)
+
+    def test_cancellations_and_catch_ups_counted(self):
+        a, b = make_pair()
+        for _ in range(30):
+            ping(a, b)
+            ping(b, a)
+        assert a.cancellations > 0  # node 0 is the initiator
+        assert b.catch_ups > 0
+        assert b.cancellations == 0  # the follower never cancels
+
+    def test_link_failure_handling(self):
+        a = PushCancelFlowHardened(0, [1, 2], MassPair(2.0, 1.0))
+        peer = PushCancelFlowHardened(1, [0], MassPair(4.0, 1.0))
+        a.on_receive(1, peer.make_message(0))
+        a.on_link_failed(1)
+        assert a.neighbors == (2,)
+        assert 1 not in a.local_flows()
+
+    def test_flows_stay_small(self):
+        a, b = make_pair()
+        for _ in range(300):
+            ping(a, b)
+            ping(b, a)
+        assert a.max_flow_magnitude() < 20.0
+
+    def test_vector_payloads(self):
+        a = PushCancelFlowHardened(0, [1], MassPair(np.array([2.0, 0.0]), 1.0))
+        b = PushCancelFlowHardened(1, [0], MassPair(np.array([6.0, 4.0]), 1.0))
+        for _ in range(100):
+            ping(a, b)
+            ping(b, a)
+        np.testing.assert_allclose(a.estimate(), [4.0, 2.0], rtol=1e-12)
+
+    def test_memory_flip_heals_in_robust_variant(self):
+        a, b = make_pair("robust")
+        for _ in range(10):
+            ping(a, b)
+            ping(b, a)
+        a.inject_flow_bit_flip(1, 45, slot=0)
+        for _ in range(10):
+            ping(b, a)
+            ping(a, b)
+        total = a.estimate_pair() + b.estimate_pair()
+        assert total.value == pytest.approx(8.0, rel=1e-9)

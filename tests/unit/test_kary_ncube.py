@@ -1,0 +1,63 @@
+"""Unit tests for the k-ary n-cube topology family."""
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.topology import (
+    build,
+    diameter,
+    hypercube,
+    kary_ncube,
+    ring,
+    torus3d,
+)
+
+
+class TestKaryNCube:
+    def test_k2_is_hypercube(self):
+        for dim in (2, 3, 4):
+            assert kary_ncube(2, dim) == hypercube(dim)
+
+    def test_d3_is_torus3d(self):
+        for k in (3, 4):
+            a = kary_ncube(k, 3)
+            b = torus3d(k)
+            assert a.n == b.n
+            # Same degree sequence and diameter (the labelings differ by
+            # axis order, so compare invariants rather than edge sets).
+            assert sorted(a.degrees()) == sorted(b.degrees())
+            assert diameter(a) == diameter(b)
+
+    def test_d1_is_ring(self):
+        assert kary_ncube(5, 1) == ring(5)
+
+    def test_degree_formula(self):
+        # Degree = 2d for k >= 3; d for k = 2 (the +-1 neighbors coincide).
+        topo = kary_ncube(4, 2)
+        assert all(topo.degree(i) == 4 for i in topo.nodes())
+        topo2 = kary_ncube(2, 5)
+        assert all(topo2.degree(i) == 5 for i in topo2.nodes())
+
+    def test_diameter_formula(self):
+        # Diameter = d * floor(k / 2).
+        assert diameter(kary_ncube(4, 2)) == 4
+        assert diameter(kary_ncube(5, 2)) == 4
+        assert diameter(kary_ncube(3, 3)) == 3
+
+    def test_equal_node_count_different_shapes(self):
+        # 64 nodes as 2-ary 6-cube vs 8-ary 2-cube vs 4-ary 3-cube.
+        shapes = [(2, 6), (8, 2), (4, 3)]
+        topos = [kary_ncube(k, d) for k, d in shapes]
+        assert all(t.n == 64 for t in topos)
+        # Fatter tori have larger diameter at equal n.
+        assert diameter(topos[1]) > diameter(topos[0])
+
+    def test_rejects_k1(self):
+        with pytest.raises(TopologyError):
+            kary_ncube(1, 3)
+
+    def test_registry(self):
+        topo = build("kary_ncube", 27, k=3)
+        assert topo.n == 27
+        with pytest.raises(TopologyError):
+            build("kary_ncube", 10, k=3)

@@ -1,0 +1,280 @@
+"""Unit tests for the distributed linear algebra layer."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, LinalgError
+from repro.linalg import (
+    ExactReductionService,
+    ReductionService,
+    RowDistributedMatrix,
+    align_signs,
+    distributed_power_iteration,
+    dmgs,
+    distributed_qr,
+    factorization_error,
+    local_mgs,
+    orthogonality_error,
+    partition_rows,
+    r_consistency_error,
+    reconstruct,
+)
+from repro.topology import hypercube, ring
+
+
+class TestPartitionRows:
+    def test_even(self):
+        ranges = partition_rows(8, 4)
+        assert [len(r) for r in ranges] == [2, 2, 2, 2]
+        assert ranges[0] == range(0, 2)
+
+    def test_uneven(self):
+        ranges = partition_rows(10, 4)
+        assert [len(r) for r in ranges] == [3, 3, 2, 2]
+        assert sum(len(r) for r in ranges) == 10
+
+    def test_one_row_per_node(self):
+        assert [len(r) for r in partition_rows(4, 4)] == [1, 1, 1, 1]
+
+    def test_too_few_rows(self):
+        with pytest.raises(LinalgError):
+            partition_rows(3, 4)
+
+
+class TestRowDistributedMatrix:
+    def test_from_matrix_roundtrip(self):
+        m = np.arange(24.0).reshape(8, 3)
+        dist = RowDistributedMatrix.from_matrix(m, 4)
+        assert dist.nodes == 4
+        assert dist.rows == 8
+        assert dist.cols == 3
+        np.testing.assert_array_equal(dist.gather(), m)
+
+    def test_blocks_are_independent_copies(self):
+        m = np.ones((4, 2))
+        dist = RowDistributedMatrix.from_matrix(m, 2)
+        dist.block(0)[:] = 7.0
+        assert (dist.block(1) == 1.0).all()
+        assert (m == 1.0).all()
+
+    def test_row_owner(self):
+        dist = RowDistributedMatrix.from_matrix(np.zeros((5, 2)), 2)
+        np.testing.assert_array_equal(dist.row_owner(), [0, 0, 0, 1, 1])
+
+    def test_copy_is_deep(self):
+        dist = RowDistributedMatrix.from_matrix(np.ones((4, 2)), 2)
+        clone = dist.copy()
+        clone.block(0)[:] = 5.0
+        assert (dist.block(0) == 1.0).all()
+
+    def test_local_gram_partial(self):
+        m = np.arange(8.0).reshape(4, 2)
+        dist = RowDistributedMatrix.from_matrix(m, 2)
+        partial = dist.local_gram_partial(0, 0, [1])
+        expected = m[:2, 1] @ m[:2, 0]
+        assert partial[0] == expected
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(LinalgError):
+            RowDistributedMatrix.from_matrix(np.zeros(4), 2)
+        with pytest.raises(LinalgError):
+            RowDistributedMatrix([])
+        with pytest.raises(LinalgError):
+            RowDistributedMatrix([np.zeros((2, 2)), np.zeros((2, 3))])
+
+
+class TestReferenceMGS:
+    def test_matches_numpy_qr(self):
+        rng = np.random.default_rng(0)
+        v = rng.standard_normal((12, 5))
+        q, r = local_mgs(v)
+        np.testing.assert_allclose(q @ r, v, atol=1e-12)
+        np.testing.assert_allclose(q.T @ q, np.eye(5), atol=1e-12)
+        q_np, r_np = np.linalg.qr(v)
+        q_a, r_a = align_signs(q, r)
+        q_b, r_b = align_signs(q_np, r_np)
+        np.testing.assert_allclose(q_a, q_b, atol=1e-10)
+        np.testing.assert_allclose(r_a, r_b, atol=1e-10)
+
+    def test_rejects_wide(self):
+        with pytest.raises(LinalgError):
+            local_mgs(np.zeros((2, 5)))
+
+    def test_rank_deficient(self):
+        v = np.ones((4, 2))
+        with pytest.raises(LinalgError):
+            local_mgs(v)
+
+
+class TestExactService:
+    def test_all_reduce_scalar(self):
+        topo = ring(4)
+        service = ExactReductionService(topo)
+        result = service.all_reduce_sum([1.0, 2.0, 3.0, 4.0])
+        np.testing.assert_array_equal(result, [10.0] * 4)
+
+    def test_all_reduce_vector(self):
+        topo = ring(3)
+        service = ExactReductionService(topo)
+        result = service.all_reduce_sum([np.array([1.0, 0.0])] * 3)
+        assert result.shape == (3, 2)
+        np.testing.assert_array_equal(result[:, 0], 3.0)
+
+    def test_wrong_count(self):
+        service = ExactReductionService(ring(3))
+        with pytest.raises(ConfigurationError):
+            service.all_reduce_sum([1.0, 2.0])
+
+
+class TestGossipService:
+    def test_sum_reaches_truth(self):
+        topo = hypercube(4)
+        service = ReductionService(topo, algorithm="push_cancel_flow", seed=0)
+        partials = list(np.random.default_rng(1).uniform(size=topo.n))
+        result = service.all_reduce_sum(partials)
+        assert result.shape == (topo.n,)
+        truth = float(np.sum(partials))
+        assert np.max(np.abs(result - truth)) < 1e-12
+        assert service.stats.calls == 1
+        assert service.stats.total_rounds > 0
+
+    def test_sum_aggregate_mode(self):
+        topo = hypercube(3)
+        service = ReductionService(
+            topo, algorithm="push_cancel_flow", seed=0, aggregate="sum"
+        )
+        partials = [float(i) for i in range(topo.n)]
+        result = service.all_reduce_sum(partials)
+        assert np.max(np.abs(result - 28.0)) < 1e-10
+
+    def test_inconsistent_dims_rejected(self):
+        service = ReductionService(hypercube(2), seed=0)
+        with pytest.raises(ConfigurationError):
+            service.all_reduce_sum([np.zeros(2), np.zeros(3), 0.0, 0.0])
+
+    def test_bad_aggregate_mode(self):
+        with pytest.raises(ConfigurationError):
+            ReductionService(ring(4), aggregate="median")
+
+    def test_same_seed_same_schedules(self):
+        topo = hypercube(3)
+        partials = list(np.random.default_rng(2).uniform(size=topo.n))
+        a = ReductionService(topo, seed=9).all_reduce_sum(partials)
+        b = ReductionService(topo, seed=9).all_reduce_sum(partials)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestDMGS:
+    def test_exact_service_matches_local_mgs(self):
+        rng = np.random.default_rng(2)
+        v = rng.standard_normal((8, 4))
+        topo = hypercube(3)
+        dist = RowDistributedMatrix.from_matrix(v, topo.n)
+        result = dmgs(dist, ExactReductionService(topo))
+        q_ref, r_ref = local_mgs(v)
+        np.testing.assert_allclose(result.q.gather(), q_ref, atol=1e-12)
+        for p in range(topo.n):
+            np.testing.assert_allclose(result.r_blocks[p], r_ref, atol=1e-12)
+
+    def test_fused_mode_matches_two_phase_exactly_for_exact_service(self):
+        rng = np.random.default_rng(3)
+        v = rng.standard_normal((8, 4))
+        topo = hypercube(3)
+        dist = RowDistributedMatrix.from_matrix(v, topo.n)
+        two = dmgs(dist, ExactReductionService(topo), mode="two_phase")
+        fused = dmgs(dist, ExactReductionService(topo), mode="fused")
+        np.testing.assert_allclose(
+            two.q.gather(), fused.q.gather(), atol=1e-12
+        )
+
+    def test_input_not_modified(self):
+        v = np.random.default_rng(4).standard_normal((4, 2))
+        topo = ring(4)
+        dist = RowDistributedMatrix.from_matrix(v, topo.n)
+        dmgs(dist, ExactReductionService(topo))
+        np.testing.assert_array_equal(dist.gather(), v)
+
+    def test_bad_mode(self):
+        topo = ring(4)
+        dist = RowDistributedMatrix.from_matrix(np.eye(4), topo.n)
+        with pytest.raises(LinalgError):
+            dmgs(dist, ExactReductionService(topo), mode="three_phase")
+
+    def test_node_count_mismatch(self):
+        dist = RowDistributedMatrix.from_matrix(np.eye(4), 4)
+        with pytest.raises(LinalgError):
+            dmgs(dist, ExactReductionService(ring(5)))
+
+    def test_wide_matrix_rejected(self):
+        topo = ring(3)
+        dist = RowDistributedMatrix.from_matrix(np.zeros((3, 5)), 3)
+        with pytest.raises(LinalgError):
+            dmgs(dist, ExactReductionService(topo))
+
+    def test_rank_deficient_detected(self):
+        topo = ring(4)
+        dist = RowDistributedMatrix.from_matrix(np.ones((4, 2)), 4)
+        with pytest.raises(LinalgError):
+            dmgs(dist, ExactReductionService(topo))
+
+
+class TestErrorMetrics:
+    def test_factorization_error_zero_for_exact(self):
+        rng = np.random.default_rng(5)
+        v = rng.standard_normal((8, 3))
+        topo = hypercube(3)
+        result = distributed_qr(v, topo, algorithm="exact")
+        assert result.factorization_error < 1e-14
+        assert result.orthogonality_error < 1e-13
+        assert result.r_consistency == 0.0
+
+    def test_reconstruct_reference_vs_owner(self):
+        rng = np.random.default_rng(6)
+        v = rng.standard_normal((8, 3))
+        topo = hypercube(3)
+        result = distributed_qr(v, topo, algorithm="push_cancel_flow", seed=1)
+        ref = reconstruct(result.q, result.r_blocks, reference_node=0)
+        own = reconstruct(result.q, result.r_blocks, reference_node=None)
+        # Owner-local reconstruction is consistent by construction and
+        # therefore at least as accurate.
+        err_ref = np.abs(v - ref).max()
+        err_own = np.abs(v - own).max()
+        assert err_own <= err_ref + 1e-15
+
+    def test_shape_checks(self):
+        topo = ring(4)
+        dist = RowDistributedMatrix.from_matrix(np.eye(4), 4)
+        with pytest.raises(LinalgError):
+            factorization_error(np.eye(5), dist, [np.eye(4)] * 4)
+        with pytest.raises(LinalgError):
+            reconstruct(dist, [np.eye(4)] * 3)
+        with pytest.raises(LinalgError):
+            r_consistency_error([])
+
+
+class TestPowerIteration:
+    def test_dominant_eigenpair(self):
+        rng = np.random.default_rng(7)
+        basis, _ = np.linalg.qr(rng.standard_normal((8, 8)))
+        eigenvalues = np.array([5.0, 2.0, 1.0, 0.5, 0.3, 0.2, 0.1, 0.05])
+        a = basis @ np.diag(eigenvalues) @ basis.T
+        topo = hypercube(3)
+        service = ReductionService(topo, algorithm="push_cancel_flow", seed=0)
+        result = distributed_power_iteration(a, service, iterations=60, seed=1)
+        assert result.eigenvalue == pytest.approx(5.0, rel=1e-6)
+        assert result.residual < 1e-4
+        assert result.eigenvalue_spread < 1e-6
+
+    def test_rejects_nonsymmetric(self):
+        topo = ring(4)
+        service = ExactReductionService(topo)
+        with pytest.raises(LinalgError):
+            distributed_power_iteration(
+                np.triu(np.ones((4, 4))), service
+            )
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(LinalgError):
+            distributed_power_iteration(
+                np.zeros((3, 4)), ExactReductionService(ring(3))
+            )

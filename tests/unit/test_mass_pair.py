@@ -1,0 +1,168 @@
+"""Unit tests for repro.algorithms.state (MassPair)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms.state import MassPair, total_mass, zero_pair
+
+
+class TestConstruction:
+    def test_scalar(self):
+        pair = MassPair(2.5, 1.0)
+        assert pair.value == 2.5
+        assert pair.weight == 1.0
+        assert not pair.is_vector
+        assert pair.dimension == 1
+
+    def test_vector(self):
+        pair = MassPair(np.array([1.0, 2.0]), 0.5)
+        assert pair.is_vector
+        assert pair.dimension == 2
+        np.testing.assert_array_equal(pair.value, [1.0, 2.0])
+
+    def test_vector_is_copied_on_input(self):
+        source = np.array([1.0, 2.0])
+        pair = MassPair(source, 1.0)
+        source[0] = 99.0
+        assert pair.value[0] == 1.0
+
+    def test_vector_accessor_returns_copy(self):
+        pair = MassPair(np.array([1.0]), 1.0)
+        view = pair.value
+        view[0] = 99.0
+        assert pair.value[0] == 1.0
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            MassPair(np.zeros((2, 2)), 1.0)
+
+
+class TestArithmetic:
+    def test_add_sub_neg_scalar(self):
+        a = MassPair(3.0, 1.0)
+        b = MassPair(1.0, 0.5)
+        assert (a + b).value == 4.0
+        assert (a + b).weight == 1.5
+        assert (a - b).value == 2.0
+        assert (-a).value == -3.0
+        assert (-a).weight == -1.0
+
+    def test_add_vector(self):
+        a = MassPair(np.array([1.0, 2.0]), 1.0)
+        b = MassPair(np.array([0.5, -2.0]), 2.0)
+        total = a + b
+        np.testing.assert_array_equal(total.value, [1.5, 0.0])
+        assert total.weight == 3.0
+
+    def test_half_is_exact(self):
+        pair = MassPair(3.0, 1.0)
+        half = pair.half()
+        assert half.value == 1.5
+        assert half.weight == 0.5
+        # Power-of-two scaling is lossless: doubling recovers exactly.
+        assert half.value * 2 == pair.value
+
+    def test_mixed_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            MassPair(1.0, 1.0) + MassPair(np.array([1.0]), 1.0)
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            MassPair(np.array([1.0]), 1.0) + MassPair(np.array([1.0, 2.0]), 1.0)
+
+    def test_non_masspair_rejected(self):
+        with pytest.raises(TypeError):
+            MassPair(1.0, 1.0) + 3  # type: ignore[operator]
+
+    def test_scaled(self):
+        pair = MassPair(2.0, 4.0).scaled(0.25)
+        assert pair.value == 0.5
+        assert pair.weight == 1.0
+
+
+class TestComparisons:
+    def test_exactly_equals(self):
+        assert MassPair(1.0, 2.0).exactly_equals(MassPair(1.0, 2.0))
+        # A one-ulp perturbation must break exact equality.
+        assert not MassPair(1.0, 2.0).exactly_equals(
+            MassPair(float(np.nextafter(1.0, 2.0)), 2.0)
+        )
+
+    def test_exactly_equals_vector(self):
+        a = MassPair(np.array([1.0, -0.0]), 0.0)
+        b = MassPair(np.array([1.0, 0.0]), 0.0)
+        assert a.exactly_equals(b)  # -0.0 == 0.0 in IEEE comparison
+
+    def test_exactly_equals_shape_mismatch(self):
+        assert not MassPair(1.0, 0.0).exactly_equals(MassPair(np.array([1.0]), 0.0))
+
+    def test_is_zero(self):
+        assert MassPair(0.0, 0.0).is_zero()
+        assert not MassPair(0.0, 1.0).is_zero()
+        assert MassPair(np.zeros(3), 0.0).is_zero()
+
+    def test_is_finite(self):
+        assert MassPair(1.0, 1.0).is_finite()
+        assert not MassPair(float("inf"), 1.0).is_finite()
+        assert not MassPair(1.0, float("nan")).is_finite()
+        assert not MassPair(np.array([1.0, float("nan")]), 1.0).is_finite()
+
+
+class TestRatio:
+    def test_scalar_ratio(self):
+        assert MassPair(6.0, 2.0).ratio() == 3.0
+
+    def test_vector_ratio(self):
+        pair = MassPair(np.array([2.0, 4.0]), 2.0)
+        np.testing.assert_array_equal(pair.ratio(), [1.0, 2.0])
+
+    def test_zero_weight_gives_inf(self):
+        assert MassPair(1.0, 0.0).ratio() == math.inf
+        assert MassPair(-1.0, 0.0).ratio() == -math.inf
+
+    def test_zero_over_zero_gives_nan(self):
+        assert math.isnan(MassPair(0.0, 0.0).ratio())
+
+    def test_vector_zero_weight(self):
+        ratio = MassPair(np.array([1.0, -1.0]), 0.0).ratio()
+        assert np.isinf(ratio).all()
+
+
+class TestMagnitudeAndZero:
+    def test_magnitude_scalar(self):
+        assert MassPair(-3.0, 1.0).magnitude() == 3.0
+        assert MassPair(0.5, -4.0).magnitude() == 4.0
+
+    def test_magnitude_vector(self):
+        assert MassPair(np.array([1.0, -5.0]), 2.0).magnitude() == 5.0
+
+    def test_zero_like(self):
+        z = MassPair(np.array([1.0, 2.0]), 3.0).zero_like()
+        assert z.is_zero()
+        assert z.dimension == 2
+
+    def test_zero_pair_factory(self):
+        assert zero_pair().dimension == 1
+        assert zero_pair(4).dimension == 4
+        assert zero_pair(4).is_zero()
+        with pytest.raises(ValueError):
+            zero_pair(0)
+
+
+class TestTotalMass:
+    def test_sum(self):
+        pairs = [MassPair(1.0, 1.0), MassPair(2.0, 0.0), MassPair(-1.0, 2.0)]
+        total = total_mass(pairs)
+        assert total.value == 2.0
+        assert total.weight == 3.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            total_mass([])
+
+    def test_does_not_mutate_inputs(self):
+        first = MassPair(1.0, 1.0)
+        total_mass([first, MassPair(2.0, 2.0)])
+        assert first.value == 1.0

@@ -1,0 +1,117 @@
+"""Unit tests for the metrics package."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.metrics.convergence import (
+    convergence_round,
+    fallback_report,
+    rounds_to_accuracy,
+)
+from repro.metrics.errors import (
+    error_floor,
+    local_errors,
+    max_local_error,
+    median_local_error,
+)
+
+
+class TestErrorMetrics:
+    def test_local_errors(self):
+        errors = local_errors([2.0, 2.2], 2.0)
+        assert errors[0] == 0.0
+        assert errors[1] == pytest.approx(0.1)
+
+    def test_max_local_error(self):
+        assert max_local_error([2.0, 2.2, 1.9], 2.0) == pytest.approx(0.1)
+
+    def test_max_with_nonfinite(self):
+        assert max_local_error([2.0, float("nan")], 2.0) == math.inf
+
+    def test_median_local_error(self):
+        assert median_local_error([2.0, 2.2, 1.8], 2.0) == pytest.approx(0.1)
+
+    def test_median_with_nonfinite_ranks_high(self):
+        errors = median_local_error(
+            [2.0, 2.0, float("inf"), float("inf"), float("inf")], 2.0
+        )
+        assert errors == math.inf
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            max_local_error([], 1.0)
+        with pytest.raises(ValueError):
+            median_local_error([], 1.0)
+
+    def test_error_floor(self):
+        assert error_floor(0.0) == 1e-17
+        assert error_floor(1e-5) == 1e-5
+
+
+class TestConvergenceRound:
+    def test_sustained(self):
+        errors = [1.0, 0.1, 0.001, 0.1, 0.0001, 0.0001]
+        assert convergence_round(errors, 0.01) == 4
+
+    def test_first_touch(self):
+        errors = [1.0, 0.1, 0.001, 0.1, 0.0001]
+        assert convergence_round(errors, 0.01, sustained=False) == 2
+
+    def test_never(self):
+        assert convergence_round([1.0, 0.5], 0.01) is None
+
+    def test_last_round_still_bad(self):
+        assert convergence_round([0.001, 1.0], 0.01) is None
+
+    def test_bad_threshold(self):
+        with pytest.raises(ValueError):
+            convergence_round([1.0], 0.0)
+
+    def test_rounds_to_accuracy(self):
+        errors = [1.0, 0.1, 0.01]
+        table = rounds_to_accuracy(errors, [0.5, 0.05, 0.001])
+        assert table[0.5] == 1
+        assert table[0.05] == 2
+        assert table[0.001] is None
+
+
+class TestFallbackReport:
+    def test_pf_like_restart(self):
+        errors = [1.0, 0.1, 0.01, 0.001, 0.9, 0.5, 0.1, 0.01, 0.001]
+        report = fallback_report(errors, 4)
+        assert report.error_before == 0.001
+        assert report.error_after == 0.9
+        assert report.jump_factor == pytest.approx(900.0)
+        assert report.restart_fraction > 0.9
+        assert report.recovery_rounds == 4  # back to <= 0.001 at index 8
+
+    def test_pcf_like_no_fallback(self):
+        errors = [1.0, 0.1, 0.01, 0.001, 0.001, 0.0001]
+        report = fallback_report(errors, 4)
+        assert report.jump_factor == pytest.approx(1.0)
+        assert report.restart_fraction == 0.0
+        assert report.recovery_rounds == 0
+
+    def test_no_recovery(self):
+        errors = [1.0, 0.001, 0.9, 0.9]
+        report = fallback_report(errors, 2)
+        assert report.recovery_rounds is None
+
+    def test_event_at_round_zero(self):
+        report = fallback_report([0.5, 0.4], 0)
+        assert report.error_before == 0.5
+
+    def test_out_of_range_event(self):
+        with pytest.raises(ValueError):
+            fallback_report([0.5], 3)
+
+    def test_jump_factor_from_zero(self):
+        report = fallback_report([0.1, 0.0, 0.5], 2)
+        assert report.jump_factor == math.inf
+
+    def test_restart_fraction_caps_at_one(self):
+        errors = [0.01, 0.001, 5.0]  # jumps above the initial error
+        report = fallback_report(errors, 2)
+        assert report.restart_fraction == 1.0

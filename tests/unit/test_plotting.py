@@ -1,0 +1,58 @@
+"""Unit tests for the ASCII plotting helper."""
+
+import math
+
+import pytest
+
+from repro.experiments.plotting import ascii_log_plot
+
+
+class TestAsciiLogPlot:
+    def test_basic_render(self):
+        series = {"errors": [10.0 ** -t for t in range(20)]}
+        out = ascii_log_plot(series, width=40, height=10, title="decay")
+        lines = out.splitlines()
+        assert lines[0] == "decay"
+        assert len([l for l in lines if l.startswith("1e")]) == 10
+        assert "[1] errors" in out
+        # Monotone decay: the glyph appears in the top-left and bottom-right.
+        assert "1" in lines[1]
+
+    def test_two_series_two_glyphs(self):
+        series = {
+            "a": [1.0] * 10,
+            "b": [1e-8] * 10,
+        }
+        out = ascii_log_plot(series, width=30, height=8)
+        assert "[1] a" in out and "[2] b" in out
+        rows = [l for l in out.splitlines() if l.startswith("1e")]
+        # 'a' (1e0) sits on the top row; 'b' (1e-8) is midway down the
+        # 1e0..1e-16 axis - strictly below 'a'.
+        assert "1" in rows[0]
+        row_of_b = next(i for i, r in enumerate(rows) if "2" in r)
+        assert 0 < row_of_b < len(rows) - 1
+
+    def test_markers_on_axis(self):
+        series = {"e": [0.5] * 100}
+        out = ascii_log_plot(series, width=50, height=5, markers=[50])
+        axis = [l for l in out.splitlines() if "+" in l][0]
+        assert "^" in axis
+        assert "markers: 50" in out
+
+    def test_nonfinite_values_skipped(self):
+        series = {"e": [1.0, float("inf"), float("nan"), 0.5]}
+        out = ascii_log_plot(series, width=20, height=5)
+        assert out  # must not raise
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_log_plot({})
+        with pytest.raises(ValueError):
+            ascii_log_plot({"x": [1.0]})
+        with pytest.raises(ValueError):
+            ascii_log_plot({"x": [1.0, 2.0]}, width=4)
+
+    def test_floor_clamps(self):
+        out = ascii_log_plot({"e": [1e-30, 1e-30]}, floor=1e-16, height=5, width=20)
+        rows = [l for l in out.splitlines() if l.startswith("1e")]
+        assert "1" in rows[-1]  # clamped to the bottom row

@@ -1,0 +1,122 @@
+"""Unit tests for the push-flow (PF) local state machine (Fig. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.push_flow import FlowPayload, PushFlow
+from repro.algorithms.state import MassPair
+from repro.exceptions import ConfigurationError, ProtocolError
+
+
+def make_node(value=6.0, weight=1.0, neighbors=(1, 2), variant="recompute"):
+    return PushFlow(0, neighbors, MassPair(value, weight), variant=variant)
+
+
+class TestPushFlowLocal:
+    def test_initial_state(self):
+        node = make_node()
+        assert node.estimate_pair().value == 6.0
+        flows = node.local_flows()
+        assert set(flows) == {1, 2}
+        assert all(f.is_zero() for f in flows.values())
+
+    def test_unknown_variant(self):
+        with pytest.raises(ConfigurationError):
+            make_node(variant="bogus")
+
+    def test_virtual_send_halves_estimate(self):
+        node = make_node(6.0, 1.0)
+        payload = node.make_message(1)
+        # Flow now carries half the initial estimate.
+        assert payload.flow.value == 3.0
+        assert payload.flow.weight == 0.5
+        # Local estimate halved (estimate = v0 - sum flows).
+        assert node.estimate_pair().value == 3.0
+
+    def test_send_is_idempotent_wrt_loss(self):
+        # Losing the physical message does NOT lose mass: the flow variable
+        # still records the transfer, and the next successful send of the
+        # whole variable repairs everything.
+        node = make_node(6.0, 1.0)
+        node.make_message(1)  # lost
+        payload = node.make_message(1)  # second attempt, includes history
+        assert payload.flow.value == 3.0 + 1.5
+
+    def test_receive_overwrites_with_negation(self):
+        node = make_node()
+        node.on_receive(1, FlowPayload(flow=MassPair(2.5, 0.25)))
+        assert node.local_flows()[1].value == -2.5
+        assert node.estimate_pair().value == 6.0 + 2.5
+
+    def test_flow_conservation_after_exchange(self):
+        a = PushFlow(0, [1], MassPair(2.0, 1.0))
+        b = PushFlow(1, [0], MassPair(4.0, 1.0))
+        payload = a.make_message(1)
+        b.on_receive(0, payload)
+        assert b.local_flows()[0].exactly_equals(-a.local_flows()[1])
+        # Flow conservation implies mass conservation.
+        total = a.estimate_pair() + b.estimate_pair()
+        assert total.value == 6.0
+        assert total.weight == 2.0
+
+    def test_bit_flip_recovery_via_next_exchange(self):
+        a = PushFlow(0, [1], MassPair(2.0, 1.0))
+        b = PushFlow(1, [0], MassPair(4.0, 1.0))
+        b.on_receive(0, a.make_message(1))
+        # Corrupt b's stored flow (memory soft error).
+        b.inject_flow_bit_flip(0, 40)
+        corrupted_estimate = b.estimate_pair()
+        # Next exchange from a heals b completely (recompute variant).
+        b.on_receive(0, a.make_message(1))
+        healed = b.local_flows()[0]
+        assert healed.exactly_equals(-a.local_flows()[1])
+        assert b.estimate_pair().is_finite()
+
+    def test_incremental_variant_tracks_recompute_failure_free(self):
+        a1 = make_node(variant="recompute")
+        a2 = make_node(variant="incremental")
+        for node in (a1, a2):
+            node.make_message(1)
+            node.on_receive(2, FlowPayload(flow=MassPair(1.0, 0.5)))
+        assert a1.estimate_pair().value == pytest.approx(
+            a2.estimate_pair().value, rel=1e-15
+        )
+
+    def test_link_failure_zeroes_flow_and_shifts_estimate(self):
+        node = make_node(6.0, 1.0, neighbors=(1, 2))
+        node.on_receive(1, FlowPayload(flow=MassPair(-2.0, 0.0)))
+        before = node.estimate_pair().value  # 6 - 2 = 4
+        assert before == 4.0
+        node.on_link_failed(1)
+        # Zeroing the flow jumps the estimate by the flow value.
+        assert node.estimate_pair().value == 6.0
+        assert node.neighbors == (2,)
+
+    def test_link_failure_incremental_variant(self):
+        node = make_node(6.0, 1.0, variant="incremental")
+        node.on_receive(1, FlowPayload(flow=MassPair(-2.0, 0.0)))
+        node.on_link_failed(1)
+        assert node.estimate_pair().value == 6.0
+
+    def test_max_flow_magnitude(self):
+        node = make_node()
+        assert node.max_flow_magnitude() == 0.0
+        node.on_receive(1, FlowPayload(flow=MassPair(-7.0, 0.0)))
+        assert node.max_flow_magnitude() == 7.0
+
+    def test_conserved_mass_is_initial(self):
+        node = make_node(6.0, 1.0)
+        node.make_message(1)
+        assert node.conserved_mass().value == 6.0
+
+    def test_protocol_errors(self):
+        node = make_node()
+        with pytest.raises(ProtocolError):
+            node.make_message(7)
+        with pytest.raises(ProtocolError):
+            node.on_receive(7, FlowPayload(flow=MassPair(0.0, 0.0)))
+
+    def test_vector_flow(self):
+        node = PushFlow(0, [1], MassPair(np.array([4.0, 8.0]), 1.0))
+        payload = node.make_message(1)
+        np.testing.assert_array_equal(payload.flow.value, [2.0, 4.0])

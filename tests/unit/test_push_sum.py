@@ -1,0 +1,84 @@
+"""Unit tests for the push-sum algorithm's local state machine."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.push_sum import PushSum, PushSumPayload
+from repro.algorithms.state import MassPair
+from repro.exceptions import ProtocolError
+
+
+def make_node(value=4.0, weight=1.0, neighbors=(1, 2)):
+    return PushSum(0, neighbors, MassPair(value, weight))
+
+
+class TestPushSumLocal:
+    def test_initial_estimate(self):
+        node = make_node(4.0, 2.0)
+        assert node.estimate() == 2.0
+
+    def test_make_message_halves_mass(self):
+        node = make_node(4.0, 1.0)
+        payload = node.make_message(1)
+        assert payload.mass.value == 2.0
+        assert payload.mass.weight == 0.5
+        assert node.estimate_pair().value == 2.0
+
+    def test_receive_accumulates(self):
+        node = make_node(4.0, 1.0)
+        node.on_receive(1, PushSumPayload(mass=MassPair(1.0, 0.5)))
+        pair = node.estimate_pair()
+        assert pair.value == 5.0
+        assert pair.weight == 1.5
+
+    def test_send_then_receive_round_trip(self):
+        a = PushSum(0, [1], MassPair(2.0, 1.0))
+        b = PushSum(1, [0], MassPair(4.0, 1.0))
+        payload = a.make_message(1)
+        b.on_receive(0, payload)
+        # Total mass conserved.
+        total = a.estimate_pair() + b.estimate_pair()
+        assert total.value == 6.0
+        assert total.weight == 2.0
+
+    def test_estimate_ratio_invariant_under_send(self):
+        node = make_node(4.0, 2.0)
+        before = node.estimate()
+        node.make_message(1)
+        assert node.estimate() == before  # halving preserves the ratio
+
+    def test_rejects_non_neighbor_send(self):
+        node = make_node()
+        with pytest.raises(ProtocolError):
+            node.make_message(5)
+
+    def test_rejects_non_neighbor_receive(self):
+        node = make_node()
+        with pytest.raises(ProtocolError):
+            node.on_receive(9, PushSumPayload(mass=MassPair(1.0, 1.0)))
+
+    def test_self_neighbor_rejected(self):
+        with pytest.raises(ProtocolError):
+            PushSum(0, [0, 1], MassPair(1.0, 1.0))
+
+    def test_duplicate_neighbors_rejected(self):
+        with pytest.raises(ProtocolError):
+            PushSum(0, [1, 1], MassPair(1.0, 1.0))
+
+    def test_vector_payloads(self):
+        node = PushSum(0, [1], MassPair(np.array([2.0, 4.0]), 1.0))
+        payload = node.make_message(1)
+        np.testing.assert_array_equal(payload.mass.value, [1.0, 2.0])
+
+    def test_link_failure_removes_neighbor(self):
+        node = make_node(neighbors=(1, 2))
+        node.on_link_failed(1)
+        assert node.neighbors == (2,)
+        with pytest.raises(ProtocolError):
+            node.make_message(1)
+
+    def test_lost_message_loses_mass(self):
+        # The defining fragility: a dropped message removes mass forever.
+        node = make_node(4.0, 1.0)
+        node.make_message(1)  # payload never delivered
+        assert node.estimate_pair().value == 2.0  # half the mass is gone

@@ -1,0 +1,157 @@
+"""Unit tests for the run_reduction facade."""
+
+import numpy as np
+import pytest
+
+from repro import AggregateKind, ReductionResult, default_round_cap, run_reduction
+from repro.exceptions import ConfigurationError
+from repro.faults.events import single_link_failure
+from repro.faults.message_loss import IidMessageLoss
+from repro.topology import hypercube, ring
+
+
+@pytest.fixture
+def topo():
+    return hypercube(4)
+
+
+@pytest.fixture
+def data(topo):
+    return np.random.default_rng(0).uniform(size=topo.n)
+
+
+class TestValidation:
+    def test_data_length(self, topo):
+        with pytest.raises(ConfigurationError):
+            run_reduction(topo, [1.0])
+
+    def test_epsilon_range(self, topo, data):
+        with pytest.raises(ConfigurationError):
+            run_reduction(topo, data, epsilon=0.0)
+        with pytest.raises(ConfigurationError):
+            run_reduction(topo, data, epsilon=1.5)
+
+    def test_unknown_algorithm(self, topo, data):
+        with pytest.raises(ConfigurationError):
+            run_reduction(topo, data, algorithm="magic")
+
+    def test_unknown_backend(self, topo, data):
+        with pytest.raises(ConfigurationError):
+            run_reduction(topo, data, backend="gpu")
+
+    def test_default_round_cap_properties(self):
+        assert default_round_cap(2) >= 300
+        assert default_round_cap(1 << 15) > default_round_cap(1 << 5)
+        with pytest.raises(ConfigurationError):
+            default_round_cap(0)
+
+
+class TestBackendSelection:
+    def test_auto_uses_vector_when_possible(self, topo, data):
+        result = run_reduction(topo, data, algorithm="push_cancel_flow")
+        assert result.backend == "vector"
+
+    def test_auto_falls_back_for_faults(self, topo, data):
+        result = run_reduction(
+            topo,
+            data,
+            algorithm="push_cancel_flow",
+            message_fault=IidMessageLoss(0.1, seed=0),
+            max_rounds=100,
+        )
+        assert result.backend == "object"
+
+    def test_auto_falls_back_for_history(self, topo, data):
+        result = run_reduction(
+            topo, data, record_history=True, max_rounds=50
+        )
+        assert result.backend == "object"
+        assert result.history is not None
+        assert result.history.rounds == result.rounds
+
+    def test_auto_falls_back_for_nonvector_algorithm(self, topo, data):
+        result = run_reduction(
+            topo, data, algorithm="push_flow_incremental", max_rounds=50
+        )
+        assert result.backend == "object"
+
+
+class TestResults:
+    @pytest.mark.parametrize("backend", ["object", "vector"])
+    def test_converges_to_average(self, topo, data, backend):
+        result = run_reduction(
+            topo, data, algorithm="push_cancel_flow", backend=backend
+        )
+        assert result.converged
+        assert result.max_error <= 1e-15
+        assert result.best_error <= result.max_error
+        assert result.rounds > 0
+        assert result.estimates.shape == (topo.n,)
+        assert np.allclose(result.estimates, result.truth, rtol=1e-12)
+
+    def test_sum_aggregate(self, topo, data):
+        result = run_reduction(
+            topo, data, kind=AggregateKind.SUM, algorithm="push_sum"
+        )
+        assert result.truth == pytest.approx(float(np.sum(data)), rel=1e-12)
+        assert result.converged
+
+    def test_estimate_of(self, topo, data):
+        result = run_reduction(topo, data, algorithm="push_sum")
+        assert result.estimate_of(3) == pytest.approx(result.truth, rel=1e-10)
+
+    def test_vector_data(self, topo):
+        data = [np.array([1.0, 2.0]) * (i + 1) for i in range(topo.n)]
+        result = run_reduction(topo, data, algorithm="push_cancel_flow")
+        assert result.estimates.shape == (topo.n, 2)
+
+    def test_stall_detection_terminates_pf(self, topo, data):
+        result = run_reduction(
+            topo,
+            data,
+            algorithm="push_flow",
+            backend="vector",
+            stall_rounds=40,
+            max_rounds=100000,
+        )
+        # PF plateaus above 1e-15; the stall detector must stop the run
+        # long before the absurd cap.
+        assert result.rounds < 5000
+
+    def test_error_scale_override(self, topo):
+        # A reduction whose truth is tiny relative to the data: with the
+        # default normalization it cannot converge; with a data-scale
+        # normalization it can.
+        rng = np.random.default_rng(3)
+        data = rng.uniform(-1, 1, size=topo.n)
+        data -= data.mean()  # true average ~ 0
+        strict = run_reduction(
+            topo, data, algorithm="push_cancel_flow", max_rounds=400
+        )
+        scaled = run_reduction(
+            topo,
+            data,
+            algorithm="push_cancel_flow",
+            max_rounds=400,
+            error_scale=1.0,
+        )
+        assert scaled.converged
+        assert scaled.max_error <= 1e-15
+
+    def test_fault_plan_runs_on_object_backend(self, topo, data):
+        plan = single_link_failure(10, 0, 1)
+        result = run_reduction(
+            topo,
+            data,
+            algorithm="push_cancel_flow",
+            fault_plan=plan,
+            max_rounds=300,
+        )
+        assert result.backend == "object"
+        assert result.converged
+
+    def test_determinism(self, topo, data):
+        a = run_reduction(topo, data, schedule_seed=5)
+        b = run_reduction(topo, data, schedule_seed=5)
+        np.testing.assert_array_equal(a.estimates, b.estimates)
+        assert a.rounds == b.rounds

@@ -1,0 +1,150 @@
+"""Unit tests for the algorithm registry and communication schedules."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.push_cancel_flow import PushCancelFlow
+from repro.algorithms.push_flow import PushFlow
+from repro.algorithms.push_sum import PushSum
+from repro.algorithms.registry import ALGORITHMS, factory, instantiate
+from repro.algorithms.state import MassPair
+from repro.exceptions import ConfigurationError
+from repro.simulation.schedule import (
+    FixedSchedule,
+    RoundRobinSchedule,
+    UniformGossipSchedule,
+)
+from repro.topology import ring
+
+
+class TestRegistry:
+    def test_algorithms_list(self):
+        assert "push_sum" in ALGORITHMS
+        assert "push_flow" in ALGORITHMS
+        assert "push_cancel_flow" in ALGORITHMS
+
+    def test_factory_types(self):
+        init = MassPair(1.0, 1.0)
+        assert isinstance(factory("push_sum")(0, [1], init), PushSum)
+        assert isinstance(factory("push_flow")(0, [1], init), PushFlow)
+        pcf = factory("push_cancel_flow")(0, [1], init)
+        assert isinstance(pcf, PushCancelFlow)
+        assert pcf.variant == "efficient"
+        assert factory("push_cancel_flow_robust")(0, [1], init).variant == "robust"
+        assert factory("push_flow_incremental")(0, [1], init).variant == "incremental"
+
+    def test_factory_unknown(self):
+        with pytest.raises(ConfigurationError):
+            factory("push_pull")
+
+    def test_instantiate_builds_per_node(self):
+        topo = ring(5)
+        algs = instantiate("push_sum", topo, [MassPair(float(i), 1.0) for i in topo])
+        assert len(algs) == 5
+        assert [a.node_id for a in algs] == list(range(5))
+        assert algs[2].neighbors == topo.neighbors(2)
+
+    def test_instantiate_length_check(self):
+        with pytest.raises(ConfigurationError):
+            instantiate("push_sum", ring(5), [MassPair(1.0, 1.0)] * 4)
+
+
+class TestUniformGossipSchedule:
+    def test_choices_are_neighbors(self):
+        topo = ring(8)
+        schedule = UniformGossipSchedule(topo.n, seed=1)
+        for round_index in range(20):
+            for node in topo.nodes():
+                choice = schedule.choose(node, topo.neighbors(node), round_index)
+                assert choice in topo.neighbors(node)
+
+    def test_deterministic_given_seed(self):
+        topo = ring(8)
+        a = UniformGossipSchedule(topo.n, seed=7)
+        b = UniformGossipSchedule(topo.n, seed=7)
+        for round_index in range(50):
+            for node in topo.nodes():
+                assert a.choose(node, topo.neighbors(node), round_index) == b.choose(
+                    node, topo.neighbors(node), round_index
+                )
+
+    def test_different_seeds_differ(self):
+        topo = ring(8)
+        a = UniformGossipSchedule(topo.n, seed=7)
+        b = UniformGossipSchedule(topo.n, seed=8)
+        choices_a = [a.choose(0, topo.neighbors(0), t) for t in range(64)]
+        choices_b = [b.choose(0, topo.neighbors(0), t) for t in range(64)]
+        assert choices_a != choices_b
+
+    def test_per_node_streams_independent(self):
+        # One node's draw count must not perturb another node's stream.
+        topo = ring(8)
+        a = UniformGossipSchedule(topo.n, seed=3)
+        b = UniformGossipSchedule(topo.n, seed=3)
+        # Schedule a: draw node 0 five extra times first.
+        for _ in range(5):
+            a.choose(0, topo.neighbors(0), 0)
+        assert a.choose(1, topo.neighbors(1), 0) == b.choose(
+            1, topo.neighbors(1), 0
+        )
+
+    def test_empty_neighborhood_silent(self):
+        schedule = UniformGossipSchedule(4, seed=0)
+        assert schedule.choose(0, [], 0) is None
+
+    def test_reset_rewinds(self):
+        topo = ring(6)
+        schedule = UniformGossipSchedule(topo.n, seed=5)
+        first = [schedule.choose(2, topo.neighbors(2), t) for t in range(10)]
+        schedule.reset()
+        second = [schedule.choose(2, topo.neighbors(2), t) for t in range(10)]
+        assert first == second
+
+    def test_roughly_uniform(self):
+        schedule = UniformGossipSchedule(1, seed=11)
+        neighbors = (10, 20, 30, 40)
+        counts = {j: 0 for j in neighbors}
+        for t in range(4000):
+            counts[schedule.choose(0, neighbors, t)] += 1
+        for j in neighbors:
+            assert 800 < counts[j] < 1200
+
+    def test_bad_n(self):
+        with pytest.raises(ConfigurationError):
+            UniformGossipSchedule(0, seed=0)
+
+
+class TestRoundRobinSchedule:
+    def test_cycles_in_order(self):
+        schedule = RoundRobinSchedule(1)
+        neighbors = (3, 5, 9)
+        chosen = [schedule.choose(0, neighbors, t) for t in range(6)]
+        assert chosen == [3, 5, 9, 3, 5, 9]
+
+    def test_reset(self):
+        schedule = RoundRobinSchedule(1)
+        schedule.choose(0, (1, 2), 0)
+        schedule.reset()
+        assert schedule.choose(0, (1, 2), 0) == 1
+
+    def test_adapts_to_shrunk_neighborhood(self):
+        schedule = RoundRobinSchedule(1)
+        for _ in range(3):
+            schedule.choose(0, (1, 2, 3), 0)
+        assert schedule.choose(0, (1, 2), 0) in (1, 2)
+
+
+class TestFixedSchedule:
+    def test_scripted_targets(self):
+        schedule = FixedSchedule([[1, None], [None, 0]])
+        assert schedule.choose(0, (1,), 0) == 1
+        assert schedule.choose(1, (0,), 0) is None
+        assert schedule.choose(1, (0,), 1) == 0
+
+    def test_exhausted_script_is_silent(self):
+        schedule = FixedSchedule([[1]])
+        assert schedule.choose(0, (1,), 5) is None
+
+    def test_non_neighbor_target_suppressed(self):
+        schedule = FixedSchedule([[2]])
+        assert schedule.choose(0, (1,), 0) is None

@@ -1,0 +1,128 @@
+"""Unit tests for the distributed Jacobi/CG solvers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import LinalgError
+from repro.linalg import (
+    ExactReductionService,
+    ReductionService,
+    distributed_cg,
+    distributed_jacobi,
+)
+from repro.topology import hypercube, ring
+
+
+@pytest.fixture
+def spd_system():
+    rng = np.random.default_rng(0)
+    dim = 24
+    m = rng.standard_normal((dim, dim))
+    a = m @ m.T + dim * np.eye(dim)
+    b = rng.standard_normal(dim)
+    return a, b
+
+
+@pytest.fixture
+def diag_dominant_system():
+    rng = np.random.default_rng(1)
+    dim = 16
+    m = rng.standard_normal((dim, dim)) * 0.1
+    a = m + np.diag(np.abs(m).sum(axis=1) + 1.0)
+    b = rng.standard_normal(dim)
+    return a, b
+
+
+class TestCG:
+    def test_exact_service_matches_numpy(self, spd_system):
+        a, b = spd_system
+        topo = hypercube(3)
+        result = distributed_cg(a, b, ExactReductionService(topo), tolerance=1e-12)
+        assert result.converged
+        np.testing.assert_allclose(result.x, np.linalg.solve(a, b), atol=1e-8)
+
+    def test_gossip_service(self, spd_system):
+        a, b = spd_system
+        topo = hypercube(3)
+        service = ReductionService(topo, algorithm="push_cancel_flow", seed=0)
+        result = distributed_cg(a, b, service, tolerance=1e-10)
+        assert result.converged
+        assert result.residual < 1e-9
+        # Per-node scalar estimates disagree only within reduction accuracy.
+        assert result.solution_spread < 1e-8
+
+    def test_iteration_count_like_cg(self, spd_system):
+        # CG on an SPD system converges in <= dim iterations (exact
+        # arithmetic); well-conditioned systems take far fewer.
+        a, b = spd_system
+        result = distributed_cg(
+            a, b, ExactReductionService(hypercube(3)), tolerance=1e-10
+        )
+        assert result.iterations <= a.shape[0]
+
+    def test_rejects_nonsymmetric(self):
+        topo = ring(4)
+        with pytest.raises(LinalgError):
+            distributed_cg(
+                np.triu(np.ones((4, 4))) + np.eye(4),
+                np.ones(4),
+                ExactReductionService(topo),
+            )
+
+    def test_rejects_bad_b(self, spd_system):
+        a, _ = spd_system
+        with pytest.raises(LinalgError):
+            distributed_cg(a, np.ones(3), ExactReductionService(hypercube(3)))
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(LinalgError):
+            distributed_cg(
+                np.zeros((3, 4)), np.ones(3), ExactReductionService(ring(3))
+            )
+
+    def test_zero_rhs(self, spd_system):
+        a, _ = spd_system
+        result = distributed_cg(
+            a, np.zeros(a.shape[0]), ExactReductionService(hypercube(3))
+        )
+        np.testing.assert_allclose(result.x, 0.0, atol=1e-12)
+
+
+class TestJacobi:
+    def test_exact_service_matches_numpy(self, diag_dominant_system):
+        a, b = diag_dominant_system
+        topo = hypercube(3)
+        result = distributed_jacobi(
+            a, b, ExactReductionService(topo), iterations=500, tolerance=1e-12
+        )
+        assert result.converged
+        np.testing.assert_allclose(result.x, np.linalg.solve(a, b), atol=1e-8)
+
+    def test_gossip_service(self, diag_dominant_system):
+        a, b = diag_dominant_system
+        topo = hypercube(3)
+        service = ReductionService(topo, algorithm="push_cancel_flow", seed=2)
+        result = distributed_jacobi(a, b, service, iterations=500)
+        assert result.converged
+
+    def test_rejects_non_dominant(self, spd_system):
+        a, b = spd_system
+        a = a - np.diag(np.diag(a))  # zero diagonal
+        with pytest.raises(LinalgError):
+            distributed_jacobi(a, b, ExactReductionService(hypercube(3)))
+
+    def test_rejects_weakly_dominant(self):
+        a = np.array([[1.0, 1.0], [0.0, 1.0]])
+        with pytest.raises(LinalgError):
+            distributed_jacobi(a, np.ones(2), ExactReductionService(ring(3)))
+
+
+class TestPluggableFaultTolerance:
+    def test_cg_with_push_flow_vs_pcf(self, spd_system):
+        # Both work failure-free; the point is that the solver is agnostic.
+        a, b = spd_system
+        topo = hypercube(3)
+        for algorithm in ("push_flow", "push_cancel_flow"):
+            service = ReductionService(topo, algorithm=algorithm, seed=3)
+            result = distributed_cg(a, b, service, tolerance=1e-8)
+            assert result.converged, algorithm

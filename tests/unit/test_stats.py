@@ -1,0 +1,113 @@
+"""Unit tests for repro.util.stats."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.util.stats import RunningStats, geometric_mean, median, percentile
+
+
+class TestMedian:
+    def test_odd(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+
+    def test_even_interpolates(self):
+        assert median([1.0, 2.0, 3.0, 4.0]) == 2.5
+
+    def test_single(self):
+        assert median([7.0]) == 7.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            median([])
+
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        for n in [1, 2, 5, 10, 101]:
+            values = rng.standard_normal(n).tolist()
+            assert median(values) == pytest.approx(float(np.median(values)))
+
+
+class TestPercentile:
+    def test_extremes(self):
+        values = [5.0, 1.0, 3.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 5.0
+
+    def test_median_agreement(self):
+        values = [4.0, 1.0, 3.0, 2.0]
+        assert percentile(values, 50) == median(values)
+
+    def test_matches_numpy_linear(self):
+        rng = np.random.default_rng(1)
+        values = rng.uniform(size=17).tolist()
+        for q in [0, 10, 25, 33.3, 50, 90, 100]:
+            assert percentile(values, q) == pytest.approx(
+                float(np.percentile(values, q))
+            )
+
+    def test_out_of_range_q(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+
+class TestRunningStats:
+    def test_mean_and_variance(self):
+        stats = RunningStats()
+        data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        stats.extend(data)
+        assert stats.count == len(data)
+        assert stats.mean == pytest.approx(float(np.mean(data)))
+        assert stats.variance == pytest.approx(float(np.var(data, ddof=1)))
+        assert stats.std == pytest.approx(float(np.std(data, ddof=1)))
+        assert stats.min == 2.0
+        assert stats.max == 9.0
+
+    def test_single_value_variance_zero(self):
+        stats = RunningStats()
+        stats.add(3.0)
+        assert stats.variance == 0.0
+
+    def test_empty_raises(self):
+        stats = RunningStats()
+        with pytest.raises(ValueError):
+            _ = stats.mean
+        with pytest.raises(ValueError):
+            _ = stats.variance
+        with pytest.raises(ValueError):
+            _ = stats.min
+
+    def test_summary_keys(self):
+        stats = RunningStats()
+        stats.extend([1.0, 2.0])
+        summary = stats.summary()
+        assert set(summary) == {"count", "mean", "std", "min", "max"}
+
+    def test_numerically_stable_for_offset_data(self):
+        # Welford should not lose precision for large-offset data.
+        stats = RunningStats()
+        offset = 1e9
+        data = [offset + x for x in [1.0, 2.0, 3.0]]
+        stats.extend(data)
+        assert stats.variance == pytest.approx(1.0, rel=1e-9)
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_no_overflow(self):
+        assert math.isfinite(geometric_mean([1e300, 1e300, 1e300]))

@@ -1,0 +1,118 @@
+"""Unit tests for local termination detection and run tracing."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.algorithms.aggregates import AggregateKind, initial_mass_pairs, true_aggregate
+from repro.algorithms.registry import instantiate
+from repro.exceptions import ConfigurationError
+from repro.metrics import LocalTermination
+from repro.metrics.errors import max_local_error
+from repro.simulation import SynchronousEngine, TraceRecorder, UniformGossipSchedule
+from repro.faults.events import FaultPlan, LinkFailure
+from repro.topology import hypercube
+
+
+def build(topo, algorithm, data, observers, fault_plan=None, seed=3):
+    initial = initial_mass_pairs(AggregateKind.AVERAGE, list(data))
+    algs = instantiate(algorithm, topo, initial)
+    engine = SynchronousEngine(
+        topo,
+        algs,
+        UniformGossipSchedule(topo.n, seed),
+        observers=observers,
+        fault_plan=fault_plan,
+    )
+    return engine, algs
+
+
+class TestLocalTermination:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LocalTermination(rel_tolerance=0.0)
+        with pytest.raises(ConfigurationError):
+            LocalTermination(window=0)
+
+    def test_terminates_near_oracle_point(self):
+        topo = hypercube(5)
+        data = np.random.default_rng(0).uniform(size=topo.n)
+        truth = true_aggregate(AggregateKind.AVERAGE, list(data))
+        detector = LocalTermination(rel_tolerance=1e-13, window=25)
+        engine, _ = build(topo, "push_cancel_flow", data, [detector])
+        executed = engine.run(3000, stop_when=detector.stop_condition())
+        assert detector.all_stable
+        # The locally detected stop delivers genuinely converged results.
+        assert max_local_error(engine.estimates(), truth) < 1e-11
+        # ...without running absurdly long.
+        assert executed < 1500
+
+    def test_window_prevents_premature_stop(self):
+        topo = hypercube(4)
+        data = np.random.default_rng(1).uniform(size=topo.n)
+        detector = LocalTermination(rel_tolerance=1e-13, window=40)
+        engine, _ = build(topo, "push_cancel_flow", data, [detector])
+        engine.run(10)
+        # Far from converged after 10 rounds: nothing can be stable yet.
+        assert not detector.all_stable
+        assert detector.stable_fraction(engine) < 1.0
+
+    def test_stability_resets_on_change(self):
+        # A failure mid-run perturbs the estimates; stability must reset.
+        topo = hypercube(4)
+        data = np.random.default_rng(2).uniform(size=topo.n)
+        detector = LocalTermination(rel_tolerance=1e-13, window=20)
+        plan = FaultPlan(link_failures=[LinkFailure(round=250, u=0, v=1)])
+        engine, _ = build(topo, "push_flow", data, [detector], fault_plan=plan)
+        engine.run(240)
+        was_stable = detector.all_stable
+        engine.run(15)  # failure at 250 shakes PF hard
+        assert was_stable
+        assert not detector.all_stable
+
+
+class TestTraceRecorder:
+    def test_records_every_round(self):
+        topo = hypercube(3)
+        data = np.random.default_rng(3).uniform(size=topo.n)
+        trace = TraceRecorder()
+        engine, _ = build(topo, "push_sum", data, [trace])
+        engine.run(20)
+        assert len(trace.records) == 20
+        last = trace.last()
+        assert last.round == 19
+        assert last.live_nodes == topo.n
+        assert last.messages_sent == 20 * topo.n
+        assert last.finite
+        assert last.estimate_spread >= 0.0
+
+    def test_thinning_keeps_failure_rounds(self):
+        topo = hypercube(3)
+        data = np.random.default_rng(4).uniform(size=topo.n)
+        trace = TraceRecorder(every=10)
+        plan = FaultPlan(link_failures=[LinkFailure(round=7, u=0, v=1)])
+        engine, _ = build(topo, "push_flow", data, [trace], fault_plan=plan)
+        engine.run(30)
+        rounds = [r.round for r in trace.records]
+        assert 7 in rounds  # failure round always recorded
+        handled = [r for r in trace.records if r.link_handlings]
+        assert handled and handled[0].link_handlings == ["link(0,1)"]
+
+    def test_jsonl_dump(self, tmp_path):
+        topo = hypercube(3)
+        data = np.random.default_rng(5).uniform(size=topo.n)
+        trace = TraceRecorder()
+        engine, _ = build(topo, "push_sum", data, [trace])
+        engine.run(5)
+        path = tmp_path / "trace" / "run.jsonl"
+        count = trace.dump_jsonl(path)
+        assert count == 5
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 5
+        payload = json.loads(lines[-1])
+        assert payload["round"] == 4
+
+    def test_bad_every(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(every=0)

@@ -1,0 +1,200 @@
+"""Unit tests for repro.topology (base + standard builders)."""
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.topology import (
+    Topology,
+    binary_tree,
+    bus,
+    complete,
+    directed_edge_list,
+    from_adjacency,
+    grid2d,
+    hypercube,
+    hypercube_for_nodes,
+    ring,
+    star,
+    torus3d,
+    torus3d_for_nodes,
+)
+
+
+class TestTopologyBase:
+    def test_basic_properties(self):
+        topo = Topology(3, [(0, 1), (1, 2)], name="path3")
+        assert topo.n == 3
+        assert topo.num_edges == 2
+        assert topo.neighbors(1) == (0, 2)
+        assert topo.degree(0) == 1
+        assert topo.has_edge(0, 1)
+        assert not topo.has_edge(0, 2)
+        assert len(topo) == 3
+        assert list(topo) == [0, 1, 2]
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(TopologyError):
+            Topology(2, [(0, 0), (0, 1)])
+
+    def test_rejects_duplicate_edge(self):
+        with pytest.raises(TopologyError):
+            Topology(2, [(0, 1), (1, 0)])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(TopologyError):
+            Topology(2, [(0, 2)])
+
+    def test_rejects_isolated_node(self):
+        with pytest.raises(TopologyError):
+            Topology(3, [(0, 1)])
+
+    def test_rejects_disconnected(self):
+        with pytest.raises(TopologyError):
+            Topology(4, [(0, 1), (2, 3)])
+
+    def test_disconnected_allowed_when_requested(self):
+        topo = Topology(4, [(0, 1), (2, 3)], require_connected=False)
+        assert topo.n == 4
+
+    def test_neighbor_index_roundtrip(self):
+        topo = ring(5)
+        for i in topo.nodes():
+            for j in topo.neighbors(i):
+                assert topo.neighbors(i)[topo.neighbor_index(i, j)] == j
+
+    def test_neighbor_index_rejects_non_neighbor(self):
+        topo = ring(5)
+        with pytest.raises(TopologyError):
+            topo.neighbor_index(0, 2)
+
+    def test_equality_and_hash(self):
+        a = ring(5)
+        b = ring(5)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != bus(5)
+
+    def test_without_edge(self):
+        topo = ring(5)
+        smaller = topo.without_edge(0, 1)
+        assert not smaller.has_edge(0, 1)
+        assert smaller.num_edges == topo.num_edges - 1
+
+    def test_without_edge_disconnecting_rejected(self):
+        topo = bus(3)
+        with pytest.raises(TopologyError):
+            topo.without_edge(0, 1)
+
+    def test_without_edge_missing(self):
+        with pytest.raises(TopologyError):
+            ring(5).without_edge(0, 2)
+
+    def test_without_node(self):
+        topo = complete(4)
+        smaller = topo.without_node(2)
+        assert smaller.n == 3
+        relabel = smaller.relabeling()
+        assert relabel == {0: 0, 1: 1, 3: 2}
+
+    def test_directed_edge_list(self):
+        topo = bus(3)
+        pairs = directed_edge_list(topo)
+        assert sorted(pairs) == [(0, 1), (1, 0), (1, 2), (2, 1)]
+
+    def test_invalid_n(self):
+        with pytest.raises(TopologyError):
+            Topology(0, [])
+
+    def test_single_node(self):
+        topo = Topology(1, [])
+        assert topo.n == 1
+        assert topo.neighbors(0) == ()
+
+
+class TestStandardBuilders:
+    def test_bus(self):
+        topo = bus(5)
+        assert topo.num_edges == 4
+        assert topo.degree(0) == 1
+        assert topo.degree(2) == 2
+
+    def test_bus_single(self):
+        assert bus(1).n == 1
+
+    def test_ring(self):
+        topo = ring(6)
+        assert topo.num_edges == 6
+        assert all(topo.degree(i) == 2 for i in topo.nodes())
+        with pytest.raises(TopologyError):
+            ring(2)
+
+    def test_complete(self):
+        topo = complete(5)
+        assert topo.num_edges == 10
+        assert all(topo.degree(i) == 4 for i in topo.nodes())
+
+    def test_star(self):
+        topo = star(5)
+        assert topo.degree(0) == 4
+        assert all(topo.degree(i) == 1 for i in range(1, 5))
+        with pytest.raises(TopologyError):
+            star(1)
+
+    def test_binary_tree(self):
+        topo = binary_tree(7)
+        assert topo.num_edges == 6
+        assert topo.degree(0) == 2
+        assert topo.degree(3) == 1  # leaf
+
+    def test_hypercube(self):
+        for dim in (1, 2, 3, 6):
+            topo = hypercube(dim)
+            assert topo.n == 2 ** dim
+            assert all(topo.degree(i) == dim for i in topo.nodes())
+            assert topo.num_edges == dim * 2 ** (dim - 1)
+
+    def test_hypercube_adjacency_is_bitflip(self):
+        topo = hypercube(4)
+        for i in topo.nodes():
+            for j in topo.neighbors(i):
+                assert bin(i ^ j).count("1") == 1
+
+    def test_hypercube_for_nodes(self):
+        assert hypercube_for_nodes(64).n == 64
+        with pytest.raises(TopologyError):
+            hypercube_for_nodes(63)
+
+    def test_torus3d(self):
+        topo = torus3d(3)
+        assert topo.n == 27
+        assert all(topo.degree(i) == 6 for i in topo.nodes())
+
+    def test_torus3d_side2_degree3(self):
+        # Wrap-around links coincide with mesh links for side 2.
+        topo = torus3d(2)
+        assert topo.n == 8
+        assert all(topo.degree(i) == 3 for i in topo.nodes())
+
+    def test_torus3d_for_nodes(self):
+        assert torus3d_for_nodes(27).n == 27
+        assert torus3d_for_nodes(512).n == 512
+        with pytest.raises(TopologyError):
+            torus3d_for_nodes(100)
+
+    def test_grid2d(self):
+        topo = grid2d(3, 4)
+        assert topo.n == 12
+        assert topo.degree(0) == 2  # corner
+        assert topo.degree(5) == 4  # interior
+
+    def test_grid2d_periodic(self):
+        topo = grid2d(4, 4, periodic=True)
+        assert all(topo.degree(i) == 4 for i in topo.nodes())
+
+    def test_from_adjacency(self):
+        topo = from_adjacency([[1], [0, 2], [1]])
+        assert topo.num_edges == 2
+
+    def test_from_adjacency_rejects_asymmetric(self):
+        with pytest.raises(TopologyError):
+            from_adjacency([[1], [], [1]])

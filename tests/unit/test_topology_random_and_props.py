@@ -1,0 +1,167 @@
+"""Unit tests for random topologies, graph properties, and the registry."""
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.topology import (
+    FAMILIES,
+    average_path_length,
+    bfs_distances,
+    build,
+    bus,
+    complete,
+    diameter,
+    erdos_renyi,
+    expected_rounds,
+    hypercube,
+    metropolis_weights,
+    random_regular,
+    ring,
+    spectral_gap,
+    summarize,
+    torus3d,
+    watts_strogatz,
+)
+
+
+class TestRandomGraphs:
+    def test_erdos_renyi_connected(self):
+        topo = erdos_renyi(30, 0.3, seed=0)
+        assert topo.n == 30
+
+    def test_erdos_renyi_deterministic(self):
+        a = erdos_renyi(20, 0.3, seed=5)
+        b = erdos_renyi(20, 0.3, seed=5)
+        assert a.edges == b.edges
+
+    def test_erdos_renyi_impossible(self):
+        with pytest.raises(TopologyError):
+            erdos_renyi(20, 0.0, seed=0, max_attempts=3)
+
+    def test_random_regular_degrees(self):
+        topo = random_regular(16, 4, seed=1)
+        assert all(topo.degree(i) == 4 for i in topo.nodes())
+
+    def test_random_regular_parity_check(self):
+        with pytest.raises(TopologyError):
+            random_regular(5, 3, seed=0)  # n*k odd
+
+    def test_random_regular_k_too_large(self):
+        with pytest.raises(TopologyError):
+            random_regular(4, 4, seed=0)
+
+    def test_watts_strogatz(self):
+        topo = watts_strogatz(24, 4, 0.1, seed=2)
+        assert topo.n == 24
+        # Total edge count is preserved by rewiring.
+        assert topo.num_edges == 24 * 2
+
+    def test_watts_strogatz_rejects_odd_k(self):
+        with pytest.raises(TopologyError):
+            watts_strogatz(10, 3, 0.1)
+
+
+class TestProperties:
+    def test_bfs_distances_path(self):
+        topo = bus(4)
+        assert bfs_distances(topo, 0) == [0, 1, 2, 3]
+
+    def test_diameter_known_values(self):
+        assert diameter(bus(5)) == 4
+        assert diameter(ring(6)) == 3
+        assert diameter(complete(7)) == 1
+        assert diameter(hypercube(4)) == 4
+        assert diameter(torus3d(4)) == 6  # 3 axes x floor(4/2)
+
+    def test_diameter_single_node(self):
+        from repro.topology import Topology
+
+        assert diameter(Topology(1, [])) == 0
+
+    def test_diameter_sampled_is_lower_bound(self):
+        topo = hypercube(6)
+        assert diameter(topo, sample=4) <= diameter(topo)
+
+    def test_average_path_length_matches_networkx(self):
+        topo = hypercube(4)
+        graph = nx.Graph(topo.edges)
+        assert average_path_length(topo) == pytest.approx(
+            nx.average_shortest_path_length(graph)
+        )
+
+    def test_metropolis_weights_doubly_stochastic(self):
+        topo = erdos_renyi(12, 0.4, seed=3)
+        w = metropolis_weights(topo)
+        np.testing.assert_allclose(w.sum(axis=0), 1.0, atol=1e-12)
+        np.testing.assert_allclose(w.sum(axis=1), 1.0, atol=1e-12)
+        np.testing.assert_allclose(w, w.T)
+        assert (w >= -1e-15).all()
+
+    def test_spectral_gap_ordering(self):
+        # Better-connected graphs mix faster.
+        gap_complete = spectral_gap(complete(16))
+        gap_hypercube = spectral_gap(hypercube(4))
+        gap_ring = spectral_gap(ring(16))
+        assert gap_complete > gap_hypercube > gap_ring > 0
+
+    def test_spectral_gap_single(self):
+        from repro.topology import Topology
+
+        assert spectral_gap(Topology(1, [])) == 1.0
+
+    def test_expected_rounds_monotone_in_eps(self):
+        topo = hypercube(4)
+        assert expected_rounds(topo, 1e-12) > expected_rounds(topo, 1e-3)
+
+    def test_expected_rounds_rejects_bad_eps(self):
+        with pytest.raises(ValueError):
+            expected_rounds(ring(4), 2.0)
+
+    def test_summarize_keys(self):
+        info = summarize(hypercube(3))
+        assert info["n"] == 8
+        assert info["regular"] is True
+        assert info["diameter"] == 3
+        assert "spectral_gap" in info
+
+
+class TestRegistry:
+    @pytest.mark.parametrize(
+        "family,n",
+        [
+            ("bus", 10),
+            ("ring", 10),
+            ("complete", 10),
+            ("star", 10),
+            ("binary_tree", 10),
+            ("hypercube", 16),
+            ("torus3d", 27),
+            ("grid2d", 16),
+            ("erdos_renyi", 16),
+            ("random_regular", 16),
+        ],
+    )
+    def test_build_all_families(self, family, n):
+        topo = build(family, n, seed=0)
+        assert topo.n == n
+
+    def test_families_list_is_complete(self):
+        for family in FAMILIES:
+            n = {"hypercube": 8, "torus3d": 8, "grid2d": 9}.get(family, 8)
+            assert build(family, n, seed=1).n == n
+
+    def test_unknown_family(self):
+        with pytest.raises(TopologyError):
+            build("mystery", 8)
+
+    def test_bad_counts(self):
+        with pytest.raises(TopologyError):
+            build("hypercube", 10)
+        with pytest.raises(TopologyError):
+            build("torus3d", 10)
+        with pytest.raises(TopologyError):
+            build("grid2d", 10)

@@ -1,0 +1,67 @@
+"""Unit tests for repro.util.validation."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.util.validation import (
+    check_in,
+    check_positive_int,
+    check_probability,
+    check_type,
+)
+
+
+class TestCheckPositiveInt:
+    def test_accepts(self):
+        assert check_positive_int(3, "x") == 3
+
+    def test_rejects_zero_by_default(self):
+        with pytest.raises(ConfigurationError):
+            check_positive_int(0, "x")
+
+    def test_allow_zero(self):
+        assert check_positive_int(0, "x", allow_zero=True) == 0
+
+    def test_rejects_bool(self):
+        with pytest.raises(ConfigurationError):
+            check_positive_int(True, "x")
+
+    def test_rejects_float(self):
+        with pytest.raises(ConfigurationError):
+            check_positive_int(1.0, "x")
+
+    def test_message_contains_name(self):
+        with pytest.raises(ConfigurationError, match="nodes"):
+            check_positive_int(-1, "nodes")
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0, 0.5, 1, 1.0])
+    def test_accepts(self, value):
+        assert check_probability(value, "p") == float(value)
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, "abc", None])
+    def test_rejects(self, value):
+        with pytest.raises(ConfigurationError):
+            check_probability(value, "p")
+
+
+class TestCheckIn:
+    def test_accepts(self):
+        assert check_in("a", ("a", "b"), "mode") == "a"
+
+    def test_rejects(self):
+        with pytest.raises(ConfigurationError, match="mode"):
+            check_in("c", ("a", "b"), "mode")
+
+
+class TestCheckType:
+    def test_accepts(self):
+        assert check_type(3, int, "x") == 3
+
+    def test_tuple_of_types(self):
+        assert check_type(3.0, (int, float), "x") == 3.0
+
+    def test_rejects(self):
+        with pytest.raises(ConfigurationError):
+            check_type("3", int, "x")

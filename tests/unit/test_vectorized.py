@@ -1,0 +1,157 @@
+"""Unit tests for the vectorized engines and topology arrays."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.topology import hypercube, ring, star
+from repro.vectorized.base import VectorizedEngine
+from repro.vectorized.engines import (
+    VectorPushCancelFlow,
+    VectorPushFlow,
+    VectorPushSum,
+)
+from repro.vectorized.parity import vector_engine_for
+from repro.vectorized.topology_arrays import TopologyArrays
+
+
+class TestTopologyArrays:
+    def test_shapes_and_padding(self):
+        topo = star(5)
+        arrays = TopologyArrays.from_topology(topo)
+        assert arrays.n == 5
+        assert arrays.max_degree == 4
+        assert arrays.degree[0] == 4
+        assert arrays.degree[1] == 1
+        # Leaf nodes have padded slots.
+        assert arrays.nbr[1, 0] == 0
+        assert (arrays.nbr[1, 1:] == -1).all()
+
+    def test_slot_of_inverse(self):
+        topo = hypercube(3)
+        arrays = TopologyArrays.from_topology(topo)
+        for i in topo.nodes():
+            for s in range(arrays.degree[i]):
+                j = arrays.nbr[i, s]
+                t = arrays.slot_of[i, s]
+                assert arrays.nbr[j, t] == i
+
+    def test_arrays_read_only(self):
+        arrays = TopologyArrays.from_topology(ring(4))
+        with pytest.raises(ValueError):
+            arrays.nbr[0, 0] = 9
+
+
+class TestEngineBasics:
+    def test_scalar_and_vector_values(self):
+        topo = ring(4)
+        engine = VectorPushSum(topo, np.arange(4.0), np.ones(4))
+        assert engine.dimension == 1
+        engine2 = VectorPushSum(topo, np.arange(8.0).reshape(4, 2), np.ones(4))
+        assert engine2.dimension == 2
+
+    def test_bad_shapes(self):
+        topo = ring(4)
+        with pytest.raises(ConfigurationError):
+            VectorPushSum(topo, np.arange(3.0), np.ones(4))
+        with pytest.raises(ConfigurationError):
+            VectorPushSum(topo, np.arange(4.0), np.ones(4), loss_probability=2.0)
+
+    def test_negative_rounds(self):
+        engine = VectorPushSum(ring(4), np.ones(4), np.ones(4))
+        with pytest.raises(ConfigurationError):
+            engine.run(-1)
+
+    def test_message_counters(self):
+        engine = VectorPushSum(ring(4), np.ones(4), np.ones(4), seed=0)
+        engine.run(5)
+        assert engine.messages_sent == 20
+        assert engine.messages_delivered == 20
+
+    def test_loss_reduces_deliveries(self):
+        engine = VectorPushFlow(
+            ring(4), np.ones(4), np.ones(4), seed=0, loss_probability=0.5
+        )
+        engine.run(50)
+        assert engine.messages_delivered < engine.messages_sent
+
+    def test_scripted_schedule_validation(self):
+        topo = ring(4)
+        with pytest.raises(ConfigurationError):
+            VectorPushSum(topo, np.ones(4), np.ones(4), targets=np.zeros((2, 3)))
+
+    def test_scripted_schedule_exhaustion(self):
+        topo = ring(4)
+        targets = np.array([[1, 2, 3, 0]])
+        engine = VectorPushSum(topo, np.ones(4), np.ones(4), targets=targets)
+        engine.step()
+        with pytest.raises(ConfigurationError):
+            engine.step()
+
+    def test_scripted_non_neighbor_rejected(self):
+        topo = ring(4)
+        targets = np.array([[2, 2, 3, 0]])  # 2 is not a neighbor of 0
+        engine = VectorPushSum(topo, np.ones(4), np.ones(4), targets=targets)
+        with pytest.raises(ConfigurationError):
+            engine.step()
+
+    def test_stop_condition(self):
+        engine = VectorPushSum(ring(4), np.ones(4), np.ones(4), seed=0)
+        executed = engine.run(100, stop_when=lambda eng, r: r >= 9)
+        assert executed == 10
+
+    def test_vector_engine_for(self):
+        assert vector_engine_for("push_sum") is VectorPushSum
+        assert vector_engine_for("push_flow") is VectorPushFlow
+        assert vector_engine_for("push_cancel_flow") is VectorPushCancelFlow
+        with pytest.raises(ConfigurationError):
+            vector_engine_for("push_flow_incremental")
+
+
+class TestConvergenceVectorized:
+    @pytest.mark.parametrize(
+        "cls", [VectorPushSum, VectorPushFlow, VectorPushCancelFlow]
+    )
+    def test_average_convergence(self, cls):
+        topo = hypercube(5)
+        rng = np.random.default_rng(0)
+        data = rng.uniform(size=topo.n)
+        engine = cls(topo, data, np.ones(topo.n), seed=1)
+        engine.run(400)
+        truth = float(np.mean(data))
+        est = engine.estimates()[:, 0]
+        assert np.max(np.abs(est - truth) / abs(truth)) < 1e-10
+
+    def test_vector_payload_convergence(self):
+        topo = hypercube(4)
+        rng = np.random.default_rng(1)
+        data = rng.uniform(size=(topo.n, 3))
+        engine = VectorPushCancelFlow(topo, data, np.ones(topo.n), seed=2)
+        engine.run(300)
+        truth = data.mean(axis=0)
+        est = engine.estimates()
+        assert np.max(np.abs(est - truth[None, :])) < 1e-12
+
+    def test_flow_magnitudes_pf_vs_pcf(self):
+        # On the bus workload PF flows grow with n, PCF's stay small.
+        from repro.experiments.workloads import bus_case_study_data
+        from repro.topology import bus
+
+        n = 32
+        topo = bus(n)
+        data = bus_case_study_data(n)
+        pf = VectorPushFlow(topo, data, np.ones(n), seed=0)
+        pcf = VectorPushCancelFlow(topo, data, np.ones(n), seed=0)
+        pf.run(20000)
+        pcf.run(20000)
+        assert pf.max_flow_magnitude() > n / 2
+        assert pcf.max_flow_magnitude() < n / 2
+
+    def test_pcf_cancellation_counters(self):
+        topo = hypercube(4)
+        engine = VectorPushCancelFlow(
+            topo, np.ones(topo.n), np.ones(topo.n), seed=0
+        )
+        engine.run(50)
+        assert engine.cancellations > 0
+        assert engine.swaps > 0

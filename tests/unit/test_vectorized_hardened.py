@@ -1,0 +1,116 @@
+"""Unit tests for the vectorized hardened-PCF engine."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.aggregates import AggregateKind, initial_mass_pairs
+from repro.simulation.schedule import UniformGossipSchedule
+from repro.topology import bus, hypercube, ring, star, torus3d
+from repro.vectorized.hardened import VectorPushCancelFlowHardened
+from repro.vectorized.parity import compare_engines, materialize_schedule
+
+
+class TestBasics:
+    def test_initiator_map(self):
+        topo = ring(4)
+        engine = VectorPushCancelFlowHardened(topo, np.ones(4), np.ones(4))
+        # initiator[i, s] iff i < nbr[i, s].
+        nbr = engine._arrays.nbr
+        for i in range(4):
+            for s in range(engine._arrays.degree[i]):
+                assert engine._initiator[i, s] == (i < nbr[i, s])
+
+    def test_average_convergence(self):
+        topo = hypercube(5)
+        data = np.random.default_rng(0).uniform(size=topo.n)
+        engine = VectorPushCancelFlowHardened(topo, data, np.ones(topo.n), seed=1)
+        engine.run(500)
+        truth = float(np.mean(data))
+        est = engine.estimates()[:, 0]
+        assert np.max(np.abs(est - truth) / abs(truth)) < 1e-11
+
+    def test_vector_payload_convergence(self):
+        topo = hypercube(4)
+        data = np.random.default_rng(1).uniform(size=(topo.n, 3))
+        engine = VectorPushCancelFlowHardened(topo, data, np.ones(topo.n), seed=2)
+        engine.run(400)
+        truth = data.mean(axis=0)
+        assert np.max(np.abs(engine.estimates() - truth[None, :])) < 1e-11
+
+    def test_loss_tolerated_exactly(self):
+        # The hardened closure: even with heavy loss the run converges to
+        # high accuracy (no frozen asymmetries, no deadlock).
+        topo = hypercube(4)
+        data = np.random.default_rng(2).uniform(size=topo.n)
+        engine = VectorPushCancelFlowHardened(
+            topo, data, np.ones(topo.n), seed=3, loss_probability=0.3
+        )
+        engine.run(1500)
+        truth = float(np.mean(data))
+        est = engine.estimates()[:, 0]
+        assert np.max(np.abs(est - truth) / abs(truth)) < 1e-10
+
+    def test_counters_advance(self):
+        topo = hypercube(4)
+        engine = VectorPushCancelFlowHardened(
+            topo, np.ones(topo.n), np.ones(topo.n), seed=0
+        )
+        engine.run(50)
+        assert engine.cancellations > 0
+        assert engine.catch_ups > 0
+
+    def test_sum_aggregate(self):
+        topo = hypercube(4)
+        data = np.random.default_rng(3).uniform(size=topo.n)
+        weights = np.zeros(topo.n)
+        weights[0] = 1.0
+        engine = VectorPushCancelFlowHardened(topo, data, weights, seed=4)
+        engine.run(800)
+        truth = float(np.sum(data))
+        est = engine.estimates()[:, 0]
+        assert np.max(np.abs(est - truth) / abs(truth)) < 1e-10
+
+
+class TestParityWithObjectEngine:
+    @pytest.mark.parametrize(
+        "topo", [ring(8), star(8), hypercube(3), torus3d(2), bus(9)],
+        ids=lambda t: t.name,
+    )
+    def test_bitwise_parity(self, topo):
+        rng = np.random.default_rng(5)
+        data = rng.uniform(size=topo.n)
+        initial = initial_mass_pairs(AggregateKind.AVERAGE, list(data))
+        targets = materialize_schedule(
+            UniformGossipSchedule(topo.n, 3), topo, 80
+        )
+        obj, vec = compare_engines(
+            "push_cancel_flow_hardened", topo, initial, targets
+        )
+        np.testing.assert_array_equal(obj, vec)
+
+    def test_bitwise_parity_long_run(self):
+        topo = hypercube(4)
+        rng = np.random.default_rng(6)
+        initial = initial_mass_pairs(
+            AggregateKind.AVERAGE, list(rng.uniform(size=topo.n))
+        )
+        targets = materialize_schedule(
+            UniformGossipSchedule(topo.n, 7), topo, 300
+        )
+        obj, vec = compare_engines(
+            "push_cancel_flow_hardened", topo, initial, targets
+        )
+        np.testing.assert_array_equal(obj, vec)
+
+    def test_bitwise_parity_vector_payloads(self):
+        topo = hypercube(3)
+        rng = np.random.default_rng(7)
+        data = [rng.uniform(size=2) for _ in range(topo.n)]
+        initial = initial_mass_pairs(AggregateKind.AVERAGE, data)
+        targets = materialize_schedule(
+            UniformGossipSchedule(topo.n, 9), topo, 60
+        )
+        obj, vec = compare_engines(
+            "push_cancel_flow_hardened", topo, initial, targets
+        )
+        np.testing.assert_array_equal(obj, vec)
