@@ -1,0 +1,142 @@
+"""Write ``BENCH_engine.json``: a machine-readable engine-throughput baseline.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/engine_baseline.py [output.json]
+
+Measures steady-state rounds/sec of the synchronous object engine and the
+vectorized engine at n ∈ {32, 128} (push-flow, the paper's workhorse), with
+telemetry detached — the committed numbers are the trajectory future PRs
+compare against, and the ``overhead`` entries record the relative cost of
+running the same rounds with a full telemetry observer set attached
+(collector + phase timer + probes), which is the quantity the telemetry
+layer promises to keep small when *disabled* (observers detached entirely).
+
+Wall-clock numbers are machine-dependent; compare ratios, not absolutes.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+
+import numpy as np
+
+from repro.algorithms.aggregates import AggregateKind, initial_mass_pairs
+from repro.algorithms.registry import instantiate
+from repro.simulation.engine import SynchronousEngine
+from repro.simulation.schedule import UniformGossipSchedule
+from repro.telemetry import MetricsRegistry, PhaseTimer, TelemetryCollector
+from repro.telemetry.probes import FlowMagnitudeProbe, MassConservationProbe
+from repro.topology import hypercube
+from repro.vectorized.parity import vector_engine_for
+
+ALGORITHM = "push_flow"
+SIZES = (32, 128)  # hypercube(5), hypercube(7)
+MIN_SECONDS = 0.4
+
+
+def _telemetry_observers():
+    registry = MetricsRegistry()
+    return [
+        TelemetryCollector(registry),
+        PhaseTimer(registry),
+        FlowMagnitudeProbe(registry=registry),
+        MassConservationProbe(registry=registry),
+    ]
+
+
+def _sync_engine(n, observers=()):
+    topo = hypercube(int(np.log2(n)))
+    data = np.random.default_rng(0).uniform(size=topo.n)
+    initial = initial_mass_pairs(AggregateKind.AVERAGE, list(data))
+    algs = instantiate(ALGORITHM, topo, initial)
+    return SynchronousEngine(
+        topo,
+        algs,
+        UniformGossipSchedule(topo.n, 1),
+        observers=list(observers),
+    )
+
+
+def _vector_engine(n, observers=()):
+    topo = hypercube(int(np.log2(n)))
+    data = np.random.default_rng(0).uniform(size=topo.n)
+    return vector_engine_for(ALGORITHM)(
+        topo, data, np.ones(topo.n), seed=1, observers=list(observers)
+    )
+
+
+def rounds_per_sec(factory) -> dict:
+    """Time ``engine.run`` in growing chunks until >= MIN_SECONDS elapsed."""
+    engine = factory()
+    engine.run(16)  # warm-up (allocations, first-touch)
+    rounds = 0
+    elapsed = 0.0
+    chunk = 64
+    while elapsed < MIN_SECONDS:
+        t0 = time.perf_counter()
+        engine.run(chunk)
+        elapsed += time.perf_counter() - t0
+        rounds += chunk
+        chunk = min(chunk * 2, 8192)
+    return {
+        "rounds": rounds,
+        "seconds": round(elapsed, 6),
+        "rounds_per_sec": round(rounds / elapsed, 2),
+    }
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    output = argv[0] if argv else "BENCH_engine.json"
+    entries = []
+    for kind, factory in (("sync", _sync_engine), ("vector", _vector_engine)):
+        for n in SIZES:
+            plain = rounds_per_sec(lambda: factory(n))
+            observed = rounds_per_sec(
+                lambda: factory(n, observers=_telemetry_observers())
+            )
+            entries.append(
+                {
+                    "engine": kind,
+                    "algorithm": ALGORITHM,
+                    "n": n,
+                    **plain,
+                    "overhead": {
+                        "telemetry_rounds_per_sec": observed["rounds_per_sec"],
+                        "slowdown": round(
+                            plain["rounds_per_sec"]
+                            / max(observed["rounds_per_sec"], 1e-9),
+                            3,
+                        ),
+                    },
+                }
+            )
+            print(
+                f"{kind:6s} n={n:4d}  {plain['rounds_per_sec']:>10.1f} rounds/s  "
+                f"(telemetry attached: {entries[-1]['overhead']['telemetry_rounds_per_sec']:>10.1f})"
+            )
+    payload = {
+        "benchmark": "engine_throughput",
+        "algorithm": ALGORITHM,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "note": (
+            "rounds/sec with no observers attached; 'overhead' shows the "
+            "same engine with a full telemetry observer set. Compare "
+            "ratios across commits, not absolute wall-clock."
+        ),
+        "entries": entries,
+    }
+    with open(output, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -59,6 +59,23 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="render recorded error series as ASCII log plots",
     )
+    parser.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        default=None,
+        help=(
+            "capture metrics + per-round trace for every engine the "
+            "experiment runs and dump them (JSONL/CSV/Prometheus) to PATH; "
+            "summarize with 'python -m repro.telemetry.report PATH'"
+        ),
+    )
+    parser.add_argument(
+        "--telemetry-every",
+        metavar="N",
+        type=int,
+        default=8,
+        help="record per-round telemetry every N rounds (default: 8)",
+    )
     return parser
 
 
@@ -69,9 +86,7 @@ def run_experiment(name: str, scale: str) -> figures.FigureResult:
     return func()
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
-    names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+def _run_and_report(args: argparse.Namespace, names: List[str]) -> None:
     for name in names:
         result = run_experiment(name, args.scale)
         print(result.render())
@@ -92,6 +107,25 @@ def main(argv: Optional[List[str]] = None) -> int:
                 else args.save
             )
             save_result(result, target)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.telemetry_every < 1:
+        parser.error(f"--telemetry-every must be >= 1, got {args.telemetry_every}")
+    names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    if args.telemetry:
+        from repro.telemetry import capture
+
+        with capture(args.telemetry, trace_every=args.telemetry_every):
+            _run_and_report(args, names)
+        print(
+            f"telemetry dumped to {args.telemetry} "
+            f"(summarize: python -m repro.telemetry.report {args.telemetry})"
+        )
+    else:
+        _run_and_report(args, names)
     return 0
 
 

@@ -8,7 +8,12 @@ asynchronous time model of the gossip literature for robustness checks.
 from repro.simulation.async_engine import AsynchronousEngine
 from repro.simulation.engine import SynchronousEngine
 from repro.simulation.messages import Message
-from repro.simulation.observers import MessageCounter, Observer, ObserverList
+from repro.simulation.observers import (
+    MessageCounter,
+    Observer,
+    ObserverList,
+    RoundCounter,
+)
 from repro.simulation.trace import RoundRecord, TraceRecorder
 from repro.simulation.schedule import (
     FixedSchedule,
@@ -24,6 +29,7 @@ __all__ = [
     "Observer",
     "ObserverList",
     "MessageCounter",
+    "RoundCounter",
     "TraceRecorder",
     "RoundRecord",
     "Schedule",

@@ -21,6 +21,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
+import time as _time
 from typing import Callable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -30,6 +31,7 @@ from repro.exceptions import ConfigurationError, SimulationError
 from repro.faults.base import MessageFault, NoFault
 from repro.faults.events import FaultPlan
 from repro.simulation.messages import Message
+from repro.simulation.observers import Observer, ObserverList
 from repro.topology.base import Topology
 
 _ACTIVATE = 0
@@ -49,6 +51,7 @@ class AsynchronousEngine:
         latency_jitter: float = 0.0,
         message_fault: Optional[MessageFault] = None,
         fault_plan: Optional[FaultPlan] = None,
+        observers: Sequence[Observer] = (),
     ) -> None:
         if len(algorithms) != topology.n:
             raise ConfigurationError(
@@ -63,6 +66,12 @@ class AsynchronousEngine:
         self._jitter = float(latency_jitter)
         self._message_fault = message_fault or NoFault()
         self._fault_plan = fault_plan or FaultPlan()
+        from repro.telemetry.session import session_observers
+
+        self._observer = ObserverList(
+            list(observers) + session_observers(self, engine_kind="async")
+        )
+        self._run_started = False
 
         self._now = 0.0
         self._sequence = itertools.count()
@@ -95,6 +104,11 @@ class AsynchronousEngine:
         return self._activations
 
     @property
+    def messages_sent(self) -> int:
+        """Messages handed to the transport (== activations that sent)."""
+        return self._activations
+
+    @property
     def messages_delivered(self) -> int:
         return self._messages_delivered
 
@@ -123,6 +137,9 @@ class AsynchronousEngine:
             raise ConfigurationError(
                 f"until_time {until_time} is in the past (now={self._now})"
             )
+        if not self._run_started:
+            self._run_started = True
+            self._observer.on_run_start(self)
         events_since_check = 0
         stopped = False
         while self._queue and self._queue[0][0] <= until_time:
@@ -136,6 +153,8 @@ class AsynchronousEngine:
         if not stopped:
             # Cross any fault instants in the remaining quiet interval.
             self._advance_time(until_time)
+        # Rounds-equivalents completed: one simulated time unit each.
+        self._observer.on_run_end(self, int(self._now))
         return self._now
 
     # ------------------------------------------------------------------
@@ -157,18 +176,32 @@ class AsynchronousEngine:
             self._deliver(data)  # type: ignore[arg-type]
 
     def _advance_time(self, time: float) -> None:
+        observed = bool(self._observer)
         # Apply permanent failures whose instant we are crossing.
         for lf in self._fault_plan.link_failures:
             if lf.round <= time:
+                if observed and lf.edge not in self._dead_edges:
+                    self._observer.on_fault_injected(
+                        self, int(time), "link_failure", f"link({lf.u},{lf.v})"
+                    )
                 self._dead_edges.add(lf.edge)
             if lf.handle_round <= time:
                 self._handle_link(lf.u, lf.v)  # idempotent
         for nf in self._fault_plan.node_failures:
             if nf.round <= time:
+                if observed and nf.node not in self._dead_nodes:
+                    self._observer.on_fault_injected(
+                        self, int(time), "node_failure", f"node({nf.node})"
+                    )
                 self._dead_nodes.add(nf.node)
             if nf.handle_round <= time:
                 for neighbor in self._topology.neighbors(nf.node):
                     self._handle_link(nf.node, neighbor)
+        if observed and int(time) > int(self._now):
+            # Report each completed unit interval as one rounds-equivalent
+            # so per-round observers (traces, probes) sample async runs too.
+            for r in range(int(self._now), int(time)):
+                self._observer.on_round_end(self, r)
         self._now = time
 
     def _activate(self, node: int) -> None:
@@ -176,6 +209,8 @@ class AsynchronousEngine:
             alg = self._algorithms[node]
             live = alg.neighbors
             if live:
+                observed = bool(self._observer)
+                t0 = _time.perf_counter() if observed else 0.0
                 target = live[int(self._rng.integers(0, len(live)))]
                 payload = alg.make_message(target)
                 message = Message(
@@ -185,15 +220,32 @@ class AsynchronousEngine:
                     payload=payload,
                 )
                 self._activations += 1
+                if observed:
+                    self._observer.on_message_sent(self, message)
                 self._dispatch(message)
+                if observed:
+                    self._observer.on_phase_end(
+                        self, "send", _time.perf_counter() - t0
+                    )
             self._schedule_activation(node)
 
     def _dispatch(self, message: Message) -> None:
         if message.edge() in self._dead_edges:
+            if self._observer:
+                self._observer.on_message_dropped(self, message, "dead_edge")
             return
         filtered = self._message_fault.apply(message)
         if filtered is None:
+            if self._observer:
+                self._observer.on_message_dropped(self, message, "injector")
             return
+        if self._observer and filtered is not message:
+            self._observer.on_fault_injected(
+                self,
+                int(self._now),
+                "message_corruption",
+                f"edge({message.sender},{message.receiver})",
+            )
         delay = self._latency
         if self._jitter > 0.0:
             delay += float(self._rng.exponential(self._jitter))
@@ -210,19 +262,31 @@ class AsynchronousEngine:
         )
 
     def _deliver(self, message: Message) -> None:
+        observed = bool(self._observer)
         # Re-check liveness at delivery time: the link/receiver may have
         # died while the message was in flight.
         if message.edge() in self._dead_edges:
+            if observed:
+                self._observer.on_message_dropped(self, message, "dead_edge")
             return
         if message.receiver in self._dead_nodes:
+            if observed:
+                self._observer.on_message_dropped(self, message, "dead_node")
             return
         receiver = self._algorithms[message.receiver]
         if message.sender not in receiver.neighbors:
             # The receiver already excluded this link (stale in-flight
             # message after failure handling): drop silently.
+            if observed:
+                self._observer.on_message_dropped(self, message, "stale")
             return
+        t0 = _time.perf_counter() if observed else 0.0
         receiver.on_receive(message.sender, message.payload)
         self._messages_delivered += 1
+        if observed:
+            self._observer.on_phase_end(
+                self, "deliver", _time.perf_counter() - t0
+            )
 
     def _handle_link(self, u: int, v: int) -> None:
         edge = (u, v) if u < v else (v, u)
@@ -236,3 +300,4 @@ class AsynchronousEngine:
             alg = self._algorithms[endpoint]
             if other in alg.neighbors:
                 alg.on_link_failed(other)
+        self._observer.on_link_handled(self, int(self._now), edge[0], edge[1])

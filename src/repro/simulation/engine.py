@@ -24,6 +24,7 @@ methodology behind the paper's Fig. 4 vs Fig. 7 comparison.
 
 from __future__ import annotations
 
+import time
 from typing import Callable, List, Optional, Sequence, Set, Tuple
 
 from repro.algorithms.base import GossipAlgorithm
@@ -65,7 +66,11 @@ class SynchronousEngine:
         self._schedule = schedule
         self._message_fault = message_fault or NoFault()
         self._fault_plan = fault_plan or FaultPlan()
-        self._observer = ObserverList(list(observers))
+        from repro.telemetry.session import session_observers
+
+        self._observer = ObserverList(
+            list(observers) + session_observers(self, engine_kind="sync")
+        )
 
         self._round = 0
         self._messages_sent = 0
@@ -143,16 +148,28 @@ class SynchronousEngine:
     def step(self) -> None:
         """Execute exactly one synchronous round."""
         round_index = self._round
+        # Observed runs time every phase; unobserved runs skip all of it so
+        # disabled telemetry stays off the hot path.
+        observed = bool(self._observer)
 
         # Phase 0: components whose physical failure starts this round.
         for lf in self._fault_plan.link_failures:
             if lf.round == round_index:
                 self._dead_edges.add(lf.edge)
+                if observed:
+                    self._observer.on_fault_injected(
+                        self, round_index, "link_failure", f"link({lf.u},{lf.v})"
+                    )
         for nf in self._fault_plan.node_failures:
             if nf.round == round_index:
                 self._dead_nodes.add(nf.node)
+                if observed:
+                    self._observer.on_fault_injected(
+                        self, round_index, "node_failure", f"node({nf.node})"
+                    )
 
         # Phase 1: sends (local bookkeeping happens here).
+        t0 = time.perf_counter() if observed else 0.0
         outbox: List[Message] = []
         for node in self._topology.nodes():
             if node in self._dead_nodes:
@@ -167,26 +184,48 @@ class SynchronousEngine:
                     f"schedule chose non-neighbor {target} for node {node}"
                 )
             payload = alg.make_message(target)
-            outbox.append(
-                Message(
-                    sender=node,
-                    receiver=target,
-                    round=round_index,
-                    payload=payload,
-                )
+            message = Message(
+                sender=node,
+                receiver=target,
+                round=round_index,
+                payload=payload,
             )
+            outbox.append(message)
             self._messages_sent += 1
+            if observed:
+                self._observer.on_message_sent(self, message)
+        if observed:
+            t1 = time.perf_counter()
+            self._observer.on_phase_end(self, "send", t1 - t0)
+            t0 = t1
 
         # Phase 2: transport — permanent failures swallow, injectors filter.
         delivered: List[Message] = []
         for message in outbox:
             if message.edge() in self._dead_edges:
+                if observed:
+                    self._observer.on_message_dropped(self, message, "dead_edge")
                 continue
             if message.receiver in self._dead_nodes:
+                if observed:
+                    self._observer.on_message_dropped(self, message, "dead_node")
                 continue
             filtered = self._message_fault.apply(message)
             if filtered is not None:
+                if observed and filtered is not message:
+                    self._observer.on_fault_injected(
+                        self,
+                        round_index,
+                        "message_corruption",
+                        f"edge({message.sender},{message.receiver})",
+                    )
                 delivered.append(filtered)
+            elif observed:
+                self._observer.on_message_dropped(self, message, "injector")
+        if observed:
+            t1 = time.perf_counter()
+            self._observer.on_phase_end(self, "transport", t1 - t0)
+            t0 = t1
 
         # Phase 3: deliveries, in deterministic (send) order.
         for message in delivered:
@@ -194,6 +233,10 @@ class SynchronousEngine:
                 message.sender, message.payload
             )
             self._messages_delivered += 1
+        if observed:
+            t1 = time.perf_counter()
+            self._observer.on_phase_end(self, "deliver", t1 - t0)
+            t0 = t1
 
         # Phase 4: failure handling scheduled for this round.
         for lf in self._fault_plan.link_handlings_at(round_index):
@@ -201,6 +244,10 @@ class SynchronousEngine:
         for nf in self._fault_plan.node_handlings_at(round_index):
             for neighbor in self._topology.neighbors(nf.node):
                 self._handle_link(nf.node, neighbor, round_index)
+        if observed:
+            self._observer.on_phase_end(
+                self, "handle", time.perf_counter() - t0
+            )
 
         self._round += 1
         self._observer.on_round_end(self, round_index)

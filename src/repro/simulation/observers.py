@@ -1,17 +1,43 @@
 """Observer hooks for instrumenting simulation runs.
 
 Engines call observers at well-defined points; the metrics recorders in
-:mod:`repro.metrics` are the main clients. Observers must treat the engine
-as read-only — they exist to *watch* the distributed computation with a
-global (omniscient) view the real nodes never have.
+:mod:`repro.metrics` and the telemetry layer in :mod:`repro.telemetry` are
+the main clients. Observers must treat the engine as read-only — they exist
+to *watch* the distributed computation with a global (omniscient) view the
+real nodes never have.
+
+All three engines (:class:`~repro.simulation.engine.SynchronousEngine`,
+:class:`~repro.simulation.async_engine.AsynchronousEngine` and the
+:mod:`repro.vectorized` engines) drive the same hook set, so one observer
+implementation instruments any backend. The per-message hooks
+(:meth:`Observer.on_message_sent` / :meth:`Observer.on_message_dropped`)
+fire in the object engines only; the vectorized engines report the same
+information through the batched :meth:`Observer.on_round_messages` hook —
+a metrics recorder that implements both sees identical totals either way.
+
+Drop reasons (``on_message_dropped``):
+
+- ``"dead_edge"`` — the message crossed a permanently failed link;
+- ``"dead_node"`` — the receiver is fail-stopped;
+- ``"injector"`` — a :class:`~repro.faults.base.MessageFault` dropped it;
+- ``"stale"`` — (async engine only) the receiver already excluded the
+  sender's link while the message was in flight.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import TYPE_CHECKING, List
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.simulation.engine import SynchronousEngine
+    from repro.simulation.messages import Message
+
+#: The transport-drop reasons engines may report.
+DROP_REASONS = ("dead_edge", "dead_node", "injector", "stale")
+
+#: The fault kinds engines may report via ``on_fault_injected``.
+FAULT_KINDS = ("link_failure", "node_failure", "message_corruption")
 
 
 class Observer:
@@ -31,12 +57,74 @@ class Observer:
     def on_run_end(self, engine: "SynchronousEngine", rounds_executed: int) -> None:
         """Called once after the final round."""
 
+    def on_message_sent(self, engine: "SynchronousEngine", message: "Message") -> None:
+        """Called after a node's send bookkeeping, before transport."""
+
+    def on_message_dropped(
+        self, engine: "SynchronousEngine", message: "Message", reason: str
+    ) -> None:
+        """Called when the transport swallowed ``message`` (see DROP_REASONS)."""
+
+    def on_fault_injected(
+        self, engine: "SynchronousEngine", round_index: int, kind: str, detail: str
+    ) -> None:
+        """Called when a fault materializes (see FAULT_KINDS).
+
+        ``link_failure``/``node_failure`` fire when the physical failure
+        *starts* (handling is reported separately via ``on_link_handled``);
+        ``message_corruption`` fires when an injector mutated an in-flight
+        message without dropping it.
+        """
+
+    def on_phase_end(
+        self, engine: "SynchronousEngine", phase: str, seconds: float
+    ) -> None:
+        """Called after each engine phase with its wall-clock duration.
+
+        Synchronous engine phases: ``send``, ``transport``, ``deliver``,
+        ``handle`` (once per round each). The async engine reports ``send``
+        and ``deliver`` per event; the vectorized engines report ``send``
+        (schedule + transport draw) and ``deliver`` (array update) per
+        round. Engines skip the timing entirely when no observer is
+        attached, so disabled telemetry costs nothing.
+        """
+
+    def on_round_messages(
+        self,
+        engine: "SynchronousEngine",
+        round_index: int,
+        sent: int,
+        delivered: int,
+    ) -> None:
+        """Batched message accounting from the vectorized engines.
+
+        Equivalent to ``sent`` ``on_message_sent`` calls of which
+        ``sent - delivered`` were dropped by the loss injector; vectorized
+        backends cannot afford per-message callbacks at 2^15 nodes.
+        """
+
 
 class ObserverList(Observer):
-    """Fan-out helper so engines hold a single observer reference."""
+    """Fan-out helper so engines hold a single observer reference.
+
+    Observers are invoked in registration order for every hook.
+    ``bool(observer_list)`` is False when empty — engines use that to skip
+    hook dispatch and phase timing entirely on unobserved runs.
+
+    The four original hooks (run start/end, round end, link handled) are
+    required; the newer hooks are dispatched with a ``getattr`` fallback so
+    duck-typed observers predating them (e.g.
+    :class:`repro.faults.state_flip.StateBitFlipInjector`) keep working.
+    """
 
     def __init__(self, observers: List[Observer]) -> None:
         self._observers = list(observers)
+
+    def __bool__(self) -> bool:
+        return bool(self._observers)
+
+    def __len__(self) -> int:
+        return len(self._observers)
 
     def on_run_start(self, engine: "SynchronousEngine") -> None:
         for obs in self._observers:
@@ -56,12 +144,90 @@ class ObserverList(Observer):
         for obs in self._observers:
             obs.on_run_end(engine, rounds_executed)
 
+    def on_message_sent(self, engine: "SynchronousEngine", message: "Message") -> None:
+        for obs in self._observers:
+            hook = getattr(obs, "on_message_sent", None)
+            if hook is not None:
+                hook(engine, message)
 
-class MessageCounter(Observer):
-    """Counts rounds (engines count messages themselves; this logs per-round)."""
+    def on_message_dropped(
+        self, engine: "SynchronousEngine", message: "Message", reason: str
+    ) -> None:
+        for obs in self._observers:
+            hook = getattr(obs, "on_message_dropped", None)
+            if hook is not None:
+                hook(engine, message, reason)
+
+    def on_fault_injected(
+        self, engine: "SynchronousEngine", round_index: int, kind: str, detail: str
+    ) -> None:
+        for obs in self._observers:
+            hook = getattr(obs, "on_fault_injected", None)
+            if hook is not None:
+                hook(engine, round_index, kind, detail)
+
+    def on_phase_end(
+        self, engine: "SynchronousEngine", phase: str, seconds: float
+    ) -> None:
+        for obs in self._observers:
+            hook = getattr(obs, "on_phase_end", None)
+            if hook is not None:
+                hook(engine, phase, seconds)
+
+    def on_round_messages(
+        self,
+        engine: "SynchronousEngine",
+        round_index: int,
+        sent: int,
+        delivered: int,
+    ) -> None:
+        for obs in self._observers:
+            hook = getattr(obs, "on_round_messages", None)
+            if hook is not None:
+                hook(engine, round_index, sent, delivered)
+
+
+class RoundCounter(Observer):
+    """Counts rounds and the per-round sent/delivered message deltas.
+
+    ``rounds`` is the number of completed rounds observed; ``sent_per_round``
+    and ``delivered_per_round`` record each round's message-count deltas
+    (engines expose only cumulative totals).
+    """
 
     def __init__(self) -> None:
         self.rounds = 0
+        self.sent_per_round: List[int] = []
+        self.delivered_per_round: List[int] = []
+        self._last_sent = 0
+        self._last_delivered = 0
+
+    def on_run_start(self, engine: "SynchronousEngine") -> None:
+        self._last_sent = engine.messages_sent
+        self._last_delivered = engine.messages_delivered
 
     def on_round_end(self, engine: "SynchronousEngine", round_index: int) -> None:
         self.rounds += 1
+        self.sent_per_round.append(engine.messages_sent - self._last_sent)
+        self.delivered_per_round.append(
+            engine.messages_delivered - self._last_delivered
+        )
+        self._last_sent = engine.messages_sent
+        self._last_delivered = engine.messages_delivered
+
+
+class MessageCounter(RoundCounter):
+    """Deprecated alias of :class:`RoundCounter`.
+
+    The historical name promised per-round message logging while the class
+    only counted rounds; :class:`RoundCounter` now actually records the
+    per-round sent/delivered deltas.
+    """
+
+    def __init__(self) -> None:
+        warnings.warn(
+            "MessageCounter is deprecated; use RoundCounter",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__()

@@ -22,6 +22,16 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.simulation.engine import SynchronousEngine
 
 
+def sanitize_record(payload: dict) -> dict:
+    """Replace non-finite floats with ``None`` so json.dumps emits valid JSON."""
+    return {
+        key: None
+        if isinstance(value, float) and not np.isfinite(value)
+        else value
+        for key, value in payload.items()
+    }
+
+
 @dataclasses.dataclass(frozen=True)
 class RoundRecord:
     """One round's global state snapshot (oracle view)."""
@@ -37,7 +47,9 @@ class RoundRecord:
     link_handlings: List[str]
 
     def to_json(self) -> str:
-        return json.dumps(dataclasses.asdict(self))
+        # NaN/inf serialize as bare ``NaN``/``Infinity`` (invalid JSON)
+        # unless mapped to null first, same as dump_jsonl does.
+        return json.dumps(sanitize_record(dataclasses.asdict(self)))
 
 
 class TraceRecorder(Observer):
@@ -93,13 +105,10 @@ class TraceRecorder(Observer):
         """Write the trace as JSON lines; returns the record count."""
         path = pathlib.Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        sanitized = []
-        for record in self.records:
-            payload = dataclasses.asdict(record)
-            for key, value in payload.items():
-                if isinstance(value, float) and not np.isfinite(value):
-                    payload[key] = None
-            sanitized.append(json.dumps(payload))
+        sanitized = [
+            json.dumps(sanitize_record(dataclasses.asdict(record)))
+            for record in self.records
+        ]
         path.write_text("\n".join(sanitized) + ("\n" if sanitized else ""))
         return len(self.records)
 

@@ -1,0 +1,50 @@
+"""Telemetry: metrics registry, engine collectors, invariant probes.
+
+The observability layer for the reduction engines. Three pieces compose:
+
+- :mod:`repro.telemetry.registry` — a label-aware Counter/Gauge/Histogram
+  registry with JSONL, CSV and Prometheus text exporters;
+- :mod:`repro.telemetry.collector` / :mod:`repro.telemetry.phase` /
+  :mod:`repro.telemetry.probes` — observers translating engine hooks into
+  metrics, phase wall-time profiles, and the paper-grounded invariant
+  probes (flow-magnitude growth, mass conservation, PCF cancellation
+  progress);
+- :mod:`repro.telemetry.session` — ambient capture
+  (``with telemetry.capture(path): ...``) that auto-instruments every
+  engine constructed inside the window and dumps metrics + trace JSONL,
+  summarized by ``python -m repro.telemetry.report``.
+"""
+
+from repro.telemetry.collector import TelemetryCollector
+from repro.telemetry.phase import PhaseTimer
+from repro.telemetry.probes import (
+    FaultTimelineProbe,
+    FlowMagnitudeProbe,
+    MassConservationProbe,
+    PCFCancellationProbe,
+)
+from repro.telemetry.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+)
+from repro.telemetry.session import TelemetrySession, capture, current
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "TelemetryCollector",
+    "PhaseTimer",
+    "FlowMagnitudeProbe",
+    "MassConservationProbe",
+    "PCFCancellationProbe",
+    "FaultTimelineProbe",
+    "TelemetrySession",
+    "capture",
+    "current",
+]

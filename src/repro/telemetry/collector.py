@@ -1,0 +1,113 @@
+"""Engine-hook → metrics bridge.
+
+:class:`TelemetryCollector` is an :class:`~repro.simulation.observers.Observer`
+that translates every engine hook into updates on a shared
+:class:`~repro.telemetry.registry.MetricsRegistry`. Because all three
+engines drive the same hook set (per-message hooks on the object engines,
+the batched ``on_round_messages`` hook on the vectorized ones), one
+collector yields the same metric names regardless of backend:
+
+- ``repro_rounds_total{engine=}`` — completed rounds;
+- ``repro_messages_sent_total{engine=}`` — messages handed to transport;
+- ``repro_messages_dropped_total{engine=,reason=}`` — transport drops,
+  by reason (``dead_edge`` / ``dead_node`` / ``injector`` / ``stale``);
+- ``repro_faults_injected_total{engine=,kind=}`` — fault activations;
+- ``repro_link_handlings_total{engine=}`` — permanent-failure handlings;
+- ``repro_runs_total{engine=}`` — completed ``run()`` calls.
+
+Phase wall-times are recorded by the companion
+:class:`~repro.telemetry.phase.PhaseTimer` observer (one histogram,
+``repro_phase_seconds{engine=,phase=}``) so they are not double-counted
+when both observers share a registry.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.simulation.observers import Observer
+from repro.telemetry.registry import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simulation.engine import SynchronousEngine
+    from repro.simulation.messages import Message
+
+
+class TelemetryCollector(Observer):
+    """Feeds a metrics registry from engine hooks.
+
+    ``engine_kind`` labels every sample so one registry can hold metrics
+    from several engines of one experiment; it defaults to the engine
+    class name at call time when not given.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        *,
+        engine_kind: Optional[str] = None,
+    ) -> None:
+        self.registry = registry
+        self._kind = engine_kind
+        self._rounds = registry.counter(
+            "repro_rounds_total", "Completed gossip rounds"
+        )
+        self._runs = registry.counter(
+            "repro_runs_total", "Completed engine run() calls"
+        )
+        self._sent = registry.counter(
+            "repro_messages_sent_total", "Messages handed to the transport"
+        )
+        self._dropped = registry.counter(
+            "repro_messages_dropped_total", "Messages swallowed by transport"
+        )
+        self._faults = registry.counter(
+            "repro_faults_injected_total", "Fault activations by kind"
+        )
+        self._handlings = registry.counter(
+            "repro_link_handlings_total", "Permanent link-failure handlings"
+        )
+
+    def _engine_kind(self, engine: object) -> str:
+        return self._kind or type(engine).__name__
+
+    # ------------------------------------------------------------------
+    # Hooks
+    # ------------------------------------------------------------------
+    def on_run_end(self, engine: "SynchronousEngine", rounds_executed: int) -> None:
+        self._runs.inc(engine=self._engine_kind(engine))
+
+    def on_round_end(self, engine: "SynchronousEngine", round_index: int) -> None:
+        self._rounds.inc(engine=self._engine_kind(engine))
+
+    def on_message_sent(self, engine: "SynchronousEngine", message: "Message") -> None:
+        self._sent.inc(engine=self._engine_kind(engine))
+
+    def on_message_dropped(
+        self, engine: "SynchronousEngine", message: "Message", reason: str
+    ) -> None:
+        self._dropped.inc(engine=self._engine_kind(engine), reason=reason)
+
+    def on_fault_injected(
+        self, engine: "SynchronousEngine", round_index: int, kind: str, detail: str
+    ) -> None:
+        self._faults.inc(engine=self._engine_kind(engine), kind=kind)
+
+    def on_link_handled(
+        self, engine: "SynchronousEngine", round_index: int, u: int, v: int
+    ) -> None:
+        self._handlings.inc(engine=self._engine_kind(engine))
+
+    def on_round_messages(
+        self,
+        engine: "SynchronousEngine",
+        round_index: int,
+        sent: int,
+        delivered: int,
+    ) -> None:
+        kind = self._engine_kind(engine)
+        self._sent.inc(sent, engine=kind)
+        if sent > delivered:
+            # The vectorized transports model i.i.d. loss only, so every
+            # batched drop is an injector drop by construction.
+            self._dropped.inc(sent - delivered, engine=kind, reason="injector")

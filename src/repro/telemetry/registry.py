@@ -1,0 +1,349 @@
+"""Label-aware metrics registry with JSONL/CSV/Prometheus exporters.
+
+A deliberately small, dependency-free subset of the Prometheus client
+model: a :class:`MetricsRegistry` owns named metric families, each family
+holds one sample per distinct label set, and three instrument types cover
+the telemetry layer's needs:
+
+- :class:`Counter` — monotonically increasing totals (messages, faults);
+- :class:`Gauge` — last-written values (flow magnitudes, mass drift);
+- :class:`Histogram` — bucketed distributions (phase wall-times).
+
+A registry constructed with ``enabled=False`` hands out shared no-op
+instruments, so instrumented code never branches on "is telemetry on" —
+disabled updates are a single short-circuited method call.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import math
+import pathlib
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.exceptions import ConfigurationError
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+#: Default histogram buckets: wall-times from 1 microsecond to 10 seconds.
+DEFAULT_TIME_BUCKETS = tuple(
+    round(base * 10.0**exp, 12)
+    for exp in range(-6, 1)
+    for base in (1.0, 2.5, 5.0)
+) + (10.0,)
+
+
+def _label_key(labels: Dict[str, str]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _finite_or_none(value: float) -> Optional[float]:
+    return value if math.isfinite(value) else None
+
+
+class Metric:
+    """Base of all metric families: a name, a help string, label samples."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+
+    def samples(self) -> Iterator[Tuple[Dict[str, str], object]]:
+        raise NotImplementedError  # pragma: no cover
+
+
+class Counter(Metric):
+    """Monotonically increasing float total, one per label set."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._values: Dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name} cannot decrease (inc {amount})"
+            )
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def samples(self) -> Iterator[Tuple[Dict[str, str], object]]:
+        for key, value in sorted(self._values.items()):
+            yield dict(key), value
+
+
+class Gauge(Metric):
+    """Last-written float value, one per label set."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._values: Dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: str) -> None:
+        self._values[_label_key(labels)] = float(value)
+
+    def value(self, **labels: str) -> float:
+        return self._values.get(_label_key(labels), float("nan"))
+
+    def samples(self) -> Iterator[Tuple[Dict[str, str], object]]:
+        for key, value in sorted(self._values.items()):
+            yield dict(key), value
+
+
+class _HistSlot:
+    """Accumulator for one label set of a histogram."""
+
+    __slots__ = ("count", "sum", "max", "buckets")
+
+    def __init__(self, n_bounds: int) -> None:
+        self.count = 0
+        self.sum = 0.0
+        self.max = float("-inf")
+        self.buckets = [0] * (n_bounds + 1)  # +Inf overflow bucket
+
+
+class Histogram(Metric):
+    """Cumulative-bucket histogram (Prometheus semantics), one per label set."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
+    ) -> None:
+        super().__init__(name, help)
+        bounds = sorted(float(b) for b in buckets)
+        if not bounds:
+            raise ConfigurationError(f"histogram {self.name} needs >= 1 bucket")
+        self._bounds = bounds
+        self._data: Dict[LabelKey, "_HistSlot"] = {}
+
+    def _slot(self, key: LabelKey) -> "_HistSlot":
+        slot = self._data.get(key)
+        if slot is None:
+            slot = _HistSlot(len(self._bounds))
+            self._data[key] = slot
+        return slot
+
+    def observe(self, value: float, **labels: str) -> None:
+        slot = self._slot(_label_key(labels))
+        slot.count += 1
+        slot.sum += value
+        if value > slot.max:
+            slot.max = value
+        for i, bound in enumerate(self._bounds):
+            if value <= bound:
+                slot.buckets[i] += 1
+                return
+        slot.buckets[-1] += 1
+
+    def snapshot(self, **labels: str) -> Dict[str, object]:
+        """``{count, sum, max, buckets: [(le, cumulative_count), ...]}``."""
+        slot = self._slot(_label_key(labels))
+        cumulative: List[Tuple[object, int]] = []
+        acc = 0
+        for bound, count in zip(list(self._bounds) + ["+Inf"], slot.buckets):
+            acc += count
+            cumulative.append((bound, acc))
+        return {
+            "count": slot.count,
+            "sum": slot.sum,
+            "max": slot.max if slot.count else 0.0,
+            "buckets": cumulative,
+        }
+
+    def samples(self) -> Iterator[Tuple[Dict[str, str], object]]:
+        for key in sorted(self._data):
+            yield dict(key), self.snapshot(**dict(key))
+
+
+class _NullInstrument(Counter, Gauge, Histogram):
+    """Shared no-op instrument a disabled registry hands out."""
+
+    kind = "null"
+
+    def __init__(self) -> None:  # pylint: disable=super-init-not-called
+        Metric.__init__(self, "null")
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        pass
+
+    def set(self, value: float, **labels: str) -> None:
+        pass
+
+    def observe(self, value: float, **labels: str) -> None:
+        pass
+
+    def samples(self) -> Iterator[Tuple[Dict[str, str], object]]:
+        return iter(())
+
+
+_NULL = _NullInstrument()
+
+
+class MetricsRegistry:
+    """Owns metric families; re-requesting a name returns the same family."""
+
+    def __init__(self, *, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._metrics: Dict[str, Metric] = {}
+
+    def _get(self, cls: type, name: str, help: str, **kwargs) -> Metric:
+        if not self.enabled:
+            return _NULL
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ConfigurationError(
+                    f"metric {name!r} already registered as {existing.kind}"
+                )
+            return existing
+        metric = cls(name, help, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(Counter, name, help)  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(Gauge, name, help)  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
+    ) -> Histogram:
+        return self._get(  # type: ignore[return-value]
+            Histogram, name, help, buckets=buckets
+        )
+
+    def metrics(self) -> List[Metric]:
+        return [self._metrics[name] for name in sorted(self._metrics)]
+
+    # ------------------------------------------------------------------
+    # Exporters
+    # ------------------------------------------------------------------
+    def to_jsonl(self) -> str:
+        """One JSON object per sample; non-finite floats become null."""
+        lines = []
+        for metric in self.metrics():
+            for labels, value in metric.samples():
+                record = {
+                    "name": metric.name,
+                    "type": metric.kind,
+                    "labels": labels,
+                }
+                if isinstance(value, dict):  # histogram snapshot
+                    record["count"] = value["count"]
+                    record["sum"] = _finite_or_none(float(value["sum"]))
+                    record["max"] = _finite_or_none(float(value["max"]))
+                    record["buckets"] = [
+                        [str(le), count] for le, count in value["buckets"]
+                    ]
+                else:
+                    record["value"] = _finite_or_none(float(value))
+                lines.append(json.dumps(record, sort_keys=True))
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_csv(self) -> str:
+        """Flat table: histogram samples become count/sum/mean/max columns."""
+        buf = io.StringIO()
+        writer = csv.writer(buf)
+        writer.writerow(["name", "type", "labels", "value", "count", "sum", "max"])
+        for metric in self.metrics():
+            for labels, value in metric.samples():
+                label_text = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+                if isinstance(value, dict):
+                    writer.writerow(
+                        [
+                            metric.name,
+                            metric.kind,
+                            label_text,
+                            "",
+                            value["count"],
+                            repr(float(value["sum"])),
+                            repr(float(value["max"])),
+                        ]
+                    )
+                else:
+                    writer.writerow(
+                        [metric.name, metric.kind, label_text, repr(float(value)), "", "", ""]
+                    )
+        return buf.getvalue()
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (histograms with _bucket/_sum)."""
+        out: List[str] = []
+        for metric in self.metrics():
+            if metric.help:
+                out.append(f"# HELP {metric.name} {metric.help}")
+            out.append(f"# TYPE {metric.name} {metric.kind}")
+            for labels, value in metric.samples():
+                if isinstance(value, dict):
+                    for le, count in value["buckets"]:
+                        le_text = "+Inf" if le == "+Inf" else repr(float(le))
+                        bucket_labels = dict(labels, le=le_text)
+                        out.append(
+                            f"{metric.name}_bucket"
+                            f"{_prom_labels(bucket_labels)} {count}"
+                        )
+                    out.append(
+                        f"{metric.name}_sum{_prom_labels(labels)} "
+                        f"{_prom_float(float(value['sum']))}"
+                    )
+                    out.append(
+                        f"{metric.name}_count{_prom_labels(labels)} "
+                        f"{value['count']}"
+                    )
+                else:
+                    out.append(
+                        f"{metric.name}{_prom_labels(labels)} "
+                        f"{_prom_float(float(value))}"
+                    )
+        return "\n".join(out) + ("\n" if out else "")
+
+    def dump(self, directory: Union[str, pathlib.Path]) -> pathlib.Path:
+        """Write metrics.jsonl / metrics.csv / metrics.prom under ``directory``."""
+        directory = pathlib.Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / "metrics.jsonl").write_text(self.to_jsonl())
+        (directory / "metrics.csv").write_text(self.to_csv())
+        (directory / "metrics.prom").write_text(self.to_prometheus())
+        return directory
+
+
+def _prom_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    escaped = {
+        k: str(v).replace("\\", "\\\\").replace('"', '\\"')
+        for k, v in labels.items()
+    }
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(escaped.items()))
+    return "{" + inner + "}"
+
+
+def _prom_float(value: float) -> str:
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(value)
+
+
+#: Registry handed to collectors when telemetry is off.
+NULL_REGISTRY = MetricsRegistry(enabled=False)

@@ -1,0 +1,269 @@
+"""Summarize a telemetry dump: ``python -m repro.telemetry.report <dir>``.
+
+Reads the ``metrics.jsonl`` + ``trace.jsonl`` written by a telemetry
+session (``--telemetry`` on the experiments CLI, or
+:func:`repro.telemetry.capture`) and prints four ASCII tables:
+
+1. **Phase profile** — where rounds spend wall-clock time, slowest first;
+2. **Counters** — messages sent/dropped (by reason), faults, rounds;
+3. **Flow-magnitude trajectory** — per instrumented run, the first/peak/
+   final max-flow the probe saw plus the final flow/weight ratio (PF's
+   blow-up reads as peak >> final estimates; PCF's stays flat);
+4. **Invariant violations & fault timeline** — mass-conservation drift
+   events and the injected-fault record.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ExperimentError
+from repro.experiments.tables import render_table
+
+
+def _read_jsonl(path: pathlib.Path) -> List[Dict[str, object]]:
+    if not path.exists():
+        raise ExperimentError(f"telemetry dump is missing {path.name} ({path})")
+    records = []
+    for line_no, line in enumerate(path.read_text().splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise ExperimentError(
+                f"{path}:{line_no}: invalid JSON line: {exc}"
+            ) from exc
+    return records
+
+
+def _none_to_nan(value: object) -> float:
+    return float("nan") if value is None else float(value)  # type: ignore[arg-type]
+
+
+# ----------------------------------------------------------------------
+# Sections
+# ----------------------------------------------------------------------
+def phase_profile(metrics: Sequence[Dict[str, object]]) -> str:
+    rows: List[List[object]] = []
+    for sample in metrics:
+        if sample.get("name") != "repro_phase_seconds":
+            continue
+        labels = sample.get("labels", {})
+        count = int(sample.get("count", 0))
+        total = _none_to_nan(sample.get("sum"))
+        rows.append(
+            [
+                labels.get("engine", "?"),
+                labels.get("phase", "?"),
+                count,
+                total,
+                total / count if count else 0.0,
+                _none_to_nan(sample.get("max")),
+            ]
+        )
+    rows.sort(key=lambda r: (r[3] != r[3], -r[3] if r[3] == r[3] else 0.0))
+    if not rows:
+        return "Phase profile: no phase timings recorded."
+    return "Phase profile (top phases by total wall time)\n" + render_table(
+        ["engine", "phase", "count", "total_s", "mean_s", "max_s"], rows
+    )
+
+
+def counter_summary(metrics: Sequence[Dict[str, object]]) -> str:
+    rows: List[List[object]] = []
+    for sample in metrics:
+        if sample.get("type") != "counter":
+            continue
+        labels: Dict[str, object] = sample.get("labels", {})  # type: ignore[assignment]
+        label_text = ",".join(
+            f"{k}={v}" for k, v in sorted(labels.items())
+        )
+        rows.append(
+            [sample.get("name"), label_text, _none_to_nan(sample.get("value"))]
+        )
+    if not rows:
+        return "Counters: none recorded."
+    rows.sort(key=lambda r: (str(r[0]), str(r[1])))
+    return "Counters\n" + render_table(["counter", "labels", "value"], rows)
+
+
+def flow_trajectories(trace: Sequence[Dict[str, object]]) -> str:
+    by_run: Dict[Tuple[int, str, str], List[Dict[str, object]]] = {}
+    for record in trace:
+        if record.get("type") != "flow":
+            continue
+        key = (
+            int(record.get("run", -1)),  # type: ignore[arg-type]
+            str(record.get("algorithm", "?")),
+            str(record.get("engine", "?")),
+        )
+        by_run.setdefault(key, []).append(record)
+    if not by_run:
+        return "Flow-magnitude trajectory: no flow probe samples."
+    rows: List[List[object]] = []
+    for (run, algorithm, engine), samples in sorted(by_run.items()):
+        samples.sort(key=lambda r: int(r.get("round", 0)))  # type: ignore[arg-type]
+        flows = [_none_to_nan(s.get("max_flow")) for s in samples]
+        rows.append(
+            [
+                run,
+                algorithm,
+                engine,
+                len(samples),
+                flows[0],
+                max(flows),
+                flows[-1],
+                _none_to_nan(samples[-1].get("flow_weight_ratio")),
+            ]
+        )
+    return "Flow-magnitude trajectory (per instrumented run)\n" + render_table(
+        [
+            "run",
+            "algorithm",
+            "engine",
+            "samples",
+            "first_max_flow",
+            "peak_max_flow",
+            "final_max_flow",
+            "final_flow/weight",
+        ],
+        rows,
+    )
+
+
+def violation_summary(trace: Sequence[Dict[str, object]]) -> str:
+    violations = [r for r in trace if r.get("type") == "violation"]
+    if not violations:
+        return "Invariant violations: none."
+    # Final drift per run discriminates persistent non-conservation (a real
+    # fault signal) from self-healing spikes (loss, PF message crossings).
+    final_drift: Dict[int, float] = {}
+    for record in trace:
+        if record.get("type") == "mass":
+            run = int(record.get("run", -1))  # type: ignore[arg-type]
+            final_drift[run] = _none_to_nan(record.get("drift"))
+    by_run: Dict[Tuple[int, str, str], List[Dict[str, object]]] = {}
+    for record in violations:
+        key = (
+            int(record.get("run", -1)),  # type: ignore[arg-type]
+            str(record.get("algorithm", "?")),
+            str(record.get("probe", "?")),
+        )
+        by_run.setdefault(key, []).append(record)
+    rows: List[List[object]] = []
+    for (run, algorithm, probe), records in sorted(by_run.items()):
+        drifts = [_none_to_nan(r.get("drift")) for r in records]
+        rounds = [int(r.get("round", 0)) for r in records]  # type: ignore[arg-type]
+        rows.append(
+            [
+                run,
+                algorithm,
+                probe,
+                len(records),
+                max(drifts),
+                final_drift.get(run, float("nan")),
+                min(rounds),
+                max(rounds),
+            ]
+        )
+    return "Invariant violations\n" + render_table(
+        [
+            "run",
+            "algorithm",
+            "probe",
+            "events",
+            "worst_drift",
+            "final_drift",
+            "first",
+            "last",
+        ],
+        rows,
+    )
+
+
+def fault_timeline(
+    trace: Sequence[Dict[str, object]], *, max_rows: int = 40
+) -> str:
+    faults = [r for r in trace if r.get("type") == "fault"]
+    if not faults:
+        return "Fault timeline: no faults recorded."
+    faults.sort(
+        key=lambda r: (
+            int(r.get("run", -1)),  # type: ignore[arg-type]
+            int(r.get("round", 0)),  # type: ignore[arg-type]
+        )
+    )
+    rows: List[List[object]] = [
+        [
+            record.get("run"),
+            record.get("round"),
+            record.get("kind"),
+            record.get("detail"),
+            record.get("algorithm"),
+        ]
+        for record in faults[:max_rows]
+    ]
+    table = render_table(
+        ["run", "round", "kind", "detail", "algorithm"], rows
+    )
+    suffix = (
+        f"\n... {len(faults) - max_rows} more fault events"
+        if len(faults) > max_rows
+        else ""
+    )
+    return f"Fault timeline ({len(faults)} events)\n" + table + suffix
+
+
+def render_report(directory: pathlib.Path, *, max_rows: int = 40) -> str:
+    metrics = _read_jsonl(directory / "metrics.jsonl")
+    trace = _read_jsonl(directory / "trace.jsonl")
+    sections = [
+        f"Telemetry report — {directory}",
+        phase_profile(metrics),
+        counter_summary(metrics),
+        flow_trajectories(trace),
+        violation_summary(trace),
+        fault_timeline(trace, max_rows=max_rows),
+    ]
+    return "\n\n".join(sections)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry.report",
+        description="Summarize a telemetry dump (metrics.jsonl + trace.jsonl).",
+    )
+    parser.add_argument("path", help="telemetry dump directory")
+    parser.add_argument(
+        "--max-fault-rows",
+        type=int,
+        default=40,
+        help="cap the fault-timeline table (default: 40)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        print(render_report(pathlib.Path(args.path), max_rows=args.max_fault_rows))
+    except ExperimentError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:  # e.g. `report ... | head`
+        sys.stderr.close()  # suppress the interpreter's epilogue warning
+        return 0
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

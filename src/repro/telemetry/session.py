@@ -1,0 +1,210 @@
+"""Process-wide telemetry capture sessions.
+
+The experiment harness constructs engines many layers below the CLI, so
+telemetry is attached ambiently: while a :func:`capture` session is
+active, every engine constructed (synchronous, asynchronous or
+vectorized) asks :func:`session_observers` for instrumentation and gets a
+fresh collector + phase timer + probe set bound to the session's shared
+:class:`~repro.telemetry.registry.MetricsRegistry`. With no active
+session the lookup returns ``[]`` and engines run with zero telemetry
+overhead (they skip hook dispatch and phase timing entirely).
+
+On session exit the dump directory receives:
+
+- ``metrics.jsonl`` / ``metrics.csv`` / ``metrics.prom`` — final registry
+  contents in three formats;
+- ``trace.jsonl`` — per-round records from every instrumented engine
+  (round snapshots, probe samples, invariant violations, fault events),
+  each line tagged with ``run`` (engine construction index), ``engine``
+  and ``algorithm``.
+
+``python -m repro.telemetry.report <dir>`` summarizes such a dump.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import json
+import math
+import pathlib
+from typing import Dict, Iterator, List, Optional, Union
+
+from repro.simulation.observers import Observer
+from repro.simulation.trace import TraceRecorder
+from repro.telemetry.collector import TelemetryCollector
+from repro.telemetry.phase import PhaseTimer
+from repro.telemetry.probes import (
+    FaultTimelineProbe,
+    FlowMagnitudeProbe,
+    MassConservationProbe,
+    PCFCancellationProbe,
+)
+from repro.telemetry.registry import MetricsRegistry
+
+
+def _algorithm_label(engine: object) -> str:
+    algorithms = getattr(engine, "algorithms", None)
+    if algorithms:
+        return type(algorithms[0]).__name__
+    return type(engine).__name__
+
+
+def _sanitize(record: Dict[str, object]) -> Dict[str, object]:
+    clean = {}
+    for key, value in record.items():
+        if isinstance(value, float) and not math.isfinite(value):
+            clean[key] = None
+        else:
+            clean[key] = value
+    return clean
+
+
+@dataclasses.dataclass
+class _InstrumentedRun:
+    """Bookkeeping for one engine instrumented by the session."""
+
+    run: int
+    engine_kind: str
+    algorithm: str
+    trace: TraceRecorder
+    flow: FlowMagnitudeProbe
+    mass: MassConservationProbe
+    pcf: PCFCancellationProbe
+    faults: FaultTimelineProbe
+
+
+class TelemetrySession:
+    """Shared registry + per-engine probes for one capture window.
+
+    ``trace_every`` thins the per-round records (metrics are unaffected);
+    ``mass_tolerance`` configures the conservation probe.
+    """
+
+    def __init__(
+        self,
+        directory: Optional[Union[str, pathlib.Path]] = None,
+        *,
+        trace_every: int = 8,
+        mass_tolerance: float = 1e-6,
+    ) -> None:
+        self.directory = (
+            pathlib.Path(directory) if directory is not None else None
+        )
+        self.registry = MetricsRegistry()
+        self.trace_every = int(trace_every)
+        self.mass_tolerance = float(mass_tolerance)
+        self.runs: List[_InstrumentedRun] = []
+
+    # ------------------------------------------------------------------
+    # Engine attachment
+    # ------------------------------------------------------------------
+    def observers_for(
+        self, engine: object, *, engine_kind: str
+    ) -> List[Observer]:
+        """Fresh instrumentation for one engine (collector, timer, probes)."""
+        run = _InstrumentedRun(
+            run=len(self.runs),
+            engine_kind=engine_kind,
+            algorithm=_algorithm_label(engine),
+            trace=TraceRecorder(every=self.trace_every),
+            flow=FlowMagnitudeProbe(
+                every=self.trace_every, registry=self.registry
+            ),
+            mass=MassConservationProbe(
+                tolerance=self.mass_tolerance,
+                every=self.trace_every,
+                registry=self.registry,
+            ),
+            pcf=PCFCancellationProbe(
+                every=self.trace_every, registry=self.registry
+            ),
+            faults=FaultTimelineProbe(),
+        )
+        self.runs.append(run)
+        return [
+            TelemetryCollector(self.registry, engine_kind=engine_kind),
+            PhaseTimer(self.registry, engine_kind=engine_kind),
+            run.trace,
+            run.flow,
+            run.mass,
+            run.pcf,
+            run.faults,
+        ]
+
+    # ------------------------------------------------------------------
+    # Dumping
+    # ------------------------------------------------------------------
+    def trace_lines(self) -> Iterator[str]:
+        """All per-round records and events as tagged JSON lines."""
+        for run in self.runs:
+            tag = {
+                "run": run.run,
+                "engine": run.engine_kind,
+                "algorithm": run.algorithm,
+            }
+            for record in run.trace.records:
+                payload = dict(tag, type="round", **dataclasses.asdict(record))
+                yield json.dumps(_sanitize(payload))
+            for probe in (run.flow, run.mass, run.pcf):
+                for sample in probe.records:
+                    yield json.dumps(_sanitize(dict(tag, **sample)))
+                for violation in probe.violations:
+                    yield json.dumps(_sanitize(dict(tag, **violation)))
+            for event in run.faults.events:
+                yield json.dumps(_sanitize(dict(tag, **event)))
+
+    def dump(
+        self, directory: Optional[Union[str, pathlib.Path]] = None
+    ) -> pathlib.Path:
+        """Write metrics (all formats) + trace.jsonl; returns the directory."""
+        target = pathlib.Path(directory) if directory else self.directory
+        if target is None:
+            raise ValueError("no dump directory configured")
+        self.registry.dump(target)
+        lines = list(self.trace_lines())
+        (target / "trace.jsonl").write_text(
+            "\n".join(lines) + ("\n" if lines else "")
+        )
+        return target
+
+
+_CURRENT: Optional[TelemetrySession] = None
+
+
+def current() -> Optional[TelemetrySession]:
+    """The active capture session, if any."""
+    return _CURRENT
+
+
+def session_observers(engine: object, *, engine_kind: str) -> List[Observer]:
+    """Instrumentation for a newly constructed engine (``[]`` when off).
+
+    Called by every engine constructor; the no-session path is a single
+    ``None`` check so disabled telemetry costs nothing measurable.
+    """
+    if _CURRENT is None:
+        return []
+    return _CURRENT.observers_for(engine, engine_kind=engine_kind)
+
+
+@contextlib.contextmanager
+def capture(
+    directory: Optional[Union[str, pathlib.Path]] = None,
+    **kwargs: object,
+) -> Iterator[TelemetrySession]:
+    """Activate a telemetry session; dumps to ``directory`` on exit.
+
+    Sessions nest: an inner capture shadows the outer one for engines
+    constructed inside it, then the outer session resumes.
+    """
+    global _CURRENT
+    session = TelemetrySession(directory, **kwargs)  # type: ignore[arg-type]
+    previous = _CURRENT
+    _CURRENT = session
+    try:
+        yield session
+    finally:
+        _CURRENT = previous
+        if session.directory is not None:
+            session.dump()

@@ -21,11 +21,13 @@ a Gram-Schmidt step through a single reduction.
 from __future__ import annotations
 
 import abc
+import time
 from typing import Callable, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.exceptions import ConfigurationError
+from repro.simulation.observers import Observer, ObserverList
 from repro.topology.base import Topology
 from repro.vectorized.topology_arrays import TopologyArrays
 
@@ -56,6 +58,7 @@ class VectorizedEngine(abc.ABC):
         seed: int = 0,
         loss_probability: float = 0.0,
         targets: Optional[np.ndarray] = None,
+        observers: Sequence[Observer] = (),
     ) -> None:
         self._arrays = TopologyArrays.from_topology(topology)
         n = self._arrays.n
@@ -68,6 +71,12 @@ class VectorizedEngine(abc.ABC):
             )
         self._loss = float(loss_probability)
         self._rng = np.random.default_rng(seed)
+        from repro.telemetry.session import session_observers
+
+        self._observer = ObserverList(
+            list(observers) + session_observers(self, engine_kind="vector")
+        )
+        self._run_started = False
         self._round = 0
         self._messages_sent = 0
         self._messages_delivered = 0
@@ -102,6 +111,14 @@ class VectorizedEngine(abc.ABC):
     def messages_delivered(self) -> int:
         return self._messages_delivered
 
+    def live_nodes(self) -> list:
+        """All nodes — the vectorized engines model no permanent failures.
+
+        Exists so round-level observers (traces, probes) can treat every
+        engine uniformly.
+        """
+        return list(range(self._arrays.n))
+
     # ------------------------------------------------------------------
     # Protocol hooks
     # ------------------------------------------------------------------
@@ -130,6 +147,14 @@ class VectorizedEngine(abc.ABC):
             return values / weights[:, None]
 
     def step(self) -> None:
+        # Per-message callbacks are unaffordable at 2^15 nodes; observed
+        # runs get the batched hooks plus per-round phase timings instead,
+        # and unobserved runs skip the timing calls entirely.
+        observed = bool(self._observer)
+        if observed and not self._run_started:
+            self._run_started = True
+            self._observer.on_run_start(self)
+        t0 = time.perf_counter() if observed else 0.0
         n = self._arrays.n
         senders = np.arange(n)
         if self._scripted_targets is not None:
@@ -151,10 +176,25 @@ class VectorizedEngine(abc.ABC):
         else:
             delivered = np.ones(len(senders), dtype=bool)
 
-        self._messages_sent += len(senders)
-        self._messages_delivered += int(delivered.sum())
+        sent = len(senders)
+        delivered_count = int(delivered.sum())
+        self._messages_sent += sent
+        self._messages_delivered += delivered_count
+        if observed:
+            t1 = time.perf_counter()
+            self._observer.on_phase_end(self, "send", t1 - t0)
+            t0 = t1
         self._apply_round(senders, slots, delivered)
+        round_index = self._round
         self._round += 1
+        if observed:
+            self._observer.on_phase_end(
+                self, "deliver", time.perf_counter() - t0
+            )
+            self._observer.on_round_messages(
+                self, round_index, sent, delivered_count
+            )
+            self._observer.on_round_end(self, round_index)
 
     def run(
         self,
@@ -181,6 +221,8 @@ class VectorizedEngine(abc.ABC):
                 and stop_when(self, self._round - 1)
             ):
                 break
+        if self._observer:
+            self._observer.on_run_end(self, executed)
         return executed
 
     # ------------------------------------------------------------------

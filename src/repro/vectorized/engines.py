@@ -69,6 +69,14 @@ class VectorPushFlow(VectorizedEngine):
             float(np.max(np.abs(self._fw))) if self._fw.size else 0.0,
         )
 
+    def node_flow_magnitudes(self) -> np.ndarray:
+        """Per-node largest flow magnitude, shape (n,) — probe input."""
+        if not self._fval.size:
+            return np.zeros(self.n)
+        per_val = np.max(np.abs(self._fval), axis=(1, 2))
+        per_w = np.max(np.abs(self._fw), axis=1)
+        return np.maximum(per_val, per_w)
+
     def _apply_round(self, senders, slots, delivered) -> None:
         est_val, est_w = self.estimate_pairs()
         receivers, r_slots = self._receiver_indices(senders, slots)
@@ -111,6 +119,29 @@ class VectorPushCancelFlow(VectorizedEngine):
             float(np.max(np.abs(self._fval))) if self._fval.size else 0.0,
             float(np.max(np.abs(self._fw))) if self._fw.size else 0.0,
         )
+
+    def node_flow_magnitudes(self) -> np.ndarray:
+        """Per-node largest flow magnitude, shape (n,) — probe input."""
+        if not self._fval.size:
+            return np.zeros(self.n)
+        per_val = np.max(np.abs(self._fval), axis=(1, 2, 3))
+        per_w = np.max(np.abs(self._fw), axis=(1, 2))
+        return np.maximum(per_val, per_w)
+
+    def passive_flow_magnitude(self) -> float:
+        """Largest *passive*-slot flow magnitude — cancellation progress."""
+        if not self._fval.size:
+            return 0.0
+        passive = (1 - self._c).astype(np.int64)
+        p_val = np.take_along_axis(
+            self._fval, passive[:, :, None, None], axis=2
+        )
+        p_w = np.take_along_axis(self._fw, passive[:, :, None], axis=2)
+        return max(float(np.max(np.abs(p_val))), float(np.max(np.abs(p_w))))
+
+    def max_era(self) -> int:
+        """Highest role-swap era counter reached on any edge."""
+        return int(np.max(self._r)) if self._r.size else 0
 
     def _apply_round(self, senders, slots, delivered) -> None:
         est_val, est_w = self.estimate_pairs()

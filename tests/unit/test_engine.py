@@ -10,7 +10,7 @@ from repro.exceptions import ConfigurationError
 from repro.faults.events import FaultPlan, LinkFailure, NodeFailure
 from repro.faults.message_loss import IidMessageLoss
 from repro.simulation.engine import SynchronousEngine
-from repro.simulation.observers import MessageCounter, Observer
+from repro.simulation.observers import Observer, RoundCounter
 from repro.simulation.schedule import FixedSchedule, UniformGossipSchedule
 from repro.topology import hypercube, ring
 from tests.conftest import build_engine, exact_average
@@ -185,9 +185,10 @@ class TestObservers:
         assert ("link", 0, 1) in events
         assert events[-1] == ("end", 3)
 
-    def test_message_counter(self):
+    def test_round_counter(self):
         topo = ring(4)
-        counter = MessageCounter()
+        counter = RoundCounter()
         engine, _ = build_engine(topo, "push_sum", [1.0] * 4, observers=[counter])
         engine.run(7)
         assert counter.rounds == 7
+        assert sum(counter.sent_per_round) == engine.messages_sent

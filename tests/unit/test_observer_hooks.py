@@ -1,0 +1,241 @@
+"""Tests for observer fan-out, the extended hook set, and the counters.
+
+The exact-sequence test pins down the engine's observer contract: hook
+order within a round is part of the public interface the telemetry layer
+builds on (fault activation before sends, per-message hooks inside their
+phase, link handling before the handle-phase end, round end last).
+"""
+
+import warnings
+
+import pytest
+
+from repro.algorithms.aggregates import AggregateKind, initial_mass_pairs
+from repro.algorithms.registry import instantiate
+from repro.faults.base import MessageFault
+from repro.faults.events import FaultPlan, LinkFailure
+from repro.simulation.engine import SynchronousEngine
+from repro.simulation.observers import (
+    DROP_REASONS,
+    FAULT_KINDS,
+    MessageCounter,
+    Observer,
+    ObserverList,
+    RoundCounter,
+)
+from repro.simulation.schedule import FixedSchedule
+from repro.topology import ring
+from tests.conftest import build_engine
+
+
+class SequenceRecorder(Observer):
+    """Records every hook invocation as a comparable tuple."""
+
+    def __init__(self, events, tag=None):
+        self.events = events
+        self.tag = tag
+
+    def _mark(self, event):
+        self.events.append((self.tag, event) if self.tag else event)
+
+    def on_run_start(self, engine):
+        self._mark("run_start")
+
+    def on_round_end(self, engine, round_index):
+        self._mark(("round_end", round_index))
+
+    def on_link_handled(self, engine, round_index, u, v):
+        self._mark(("link_handled", round_index, u, v))
+
+    def on_run_end(self, engine, rounds_executed):
+        self._mark(("run_end", rounds_executed))
+
+    def on_message_sent(self, engine, message):
+        self._mark(("sent", message.sender, message.receiver))
+
+    def on_message_dropped(self, engine, message, reason):
+        assert reason in DROP_REASONS
+        self._mark(("dropped", message.sender, message.receiver, reason))
+
+    def on_fault_injected(self, engine, round_index, kind, detail):
+        assert kind in FAULT_KINDS
+        self._mark(("fault", round_index, kind, detail))
+
+    def on_phase_end(self, engine, phase, seconds):
+        assert seconds >= 0.0
+        self._mark(("phase", phase))
+
+    def on_round_messages(self, engine, round_index, sent, delivered):
+        self._mark(("round_messages", round_index, sent, delivered))
+
+
+class DropFirstMessage(MessageFault):
+    """Deterministically drops exactly the first message it sees."""
+
+    def __init__(self):
+        self._seen = 0
+
+    def apply(self, message):
+        self._seen += 1
+        return None if self._seen == 1 else message
+
+
+class TestObserverList:
+    def test_bool_and_len(self):
+        assert not ObserverList([])
+        assert len(ObserverList([])) == 0
+        lst = ObserverList([Observer(), Observer()])
+        assert lst
+        assert len(lst) == 2
+
+    def test_fan_out_preserves_registration_order(self):
+        events = []
+        lst = ObserverList(
+            [SequenceRecorder(events, tag="a"), SequenceRecorder(events, tag="b")]
+        )
+        lst.on_run_start(None)
+        lst.on_round_end(None, 3)
+        lst.on_phase_end(None, "send", 0.0)
+        assert events == [
+            ("a", "run_start"),
+            ("b", "run_start"),
+            ("a", ("round_end", 3)),
+            ("b", ("round_end", 3)),
+            ("a", ("phase", "send")),
+            ("b", ("phase", "send")),
+        ]
+
+    def test_duck_typed_observer_without_new_hooks(self):
+        # Legacy duck-typed observers (e.g. StateBitFlipInjector) implement
+        # only the original four hooks; the new ones must be skipped.
+        calls = []
+
+        class Legacy:
+            def on_run_start(self, engine):
+                calls.append("start")
+
+            def on_round_end(self, engine, round_index):
+                calls.append("round")
+
+            def on_link_handled(self, engine, round_index, u, v):
+                calls.append("link")
+
+            def on_run_end(self, engine, rounds_executed):
+                calls.append("end")
+
+        lst = ObserverList([Legacy()])
+        lst.on_run_start(None)
+        lst.on_message_sent(None, None)
+        lst.on_message_dropped(None, None, "injector")
+        lst.on_fault_injected(None, 0, "link_failure", "link(0,1)")
+        lst.on_phase_end(None, "send", 0.0)
+        lst.on_round_messages(None, 0, 4, 3)
+        lst.on_run_end(None, 1)
+        assert calls == ["start", "end"]
+
+
+class TestHookSequence:
+    def test_exact_sequence_three_nodes_one_loss_one_handling(self):
+        # ring(3): node 0 sends to 1 in both rounds; round 0's message is
+        # dropped by the injector, round 1's is delivered. Link (1,2) dies
+        # physically at round 0 and is handled at round 1.
+        topo = ring(3)
+        initial = initial_mass_pairs(AggregateKind.AVERAGE, [3.0, 0.0, 0.0])
+        algs = instantiate("push_flow", topo, initial)
+        events = []
+        engine = SynchronousEngine(
+            topo,
+            algs,
+            FixedSchedule([[1, None, None], [1, None, None]]),
+            message_fault=DropFirstMessage(),
+            fault_plan=FaultPlan(
+                link_failures=[LinkFailure(round=0, u=1, v=2, detection_delay=1)]
+            ),
+            observers=[SequenceRecorder(events)],
+        )
+        engine.run(2)
+        assert events == [
+            "run_start",
+            # round 0
+            ("fault", 0, "link_failure", "link(1,2)"),
+            ("sent", 0, 1),
+            ("phase", "send"),
+            ("dropped", 0, 1, "injector"),
+            ("phase", "transport"),
+            ("phase", "deliver"),
+            ("phase", "handle"),
+            ("round_end", 0),
+            # round 1
+            ("sent", 0, 1),
+            ("phase", "send"),
+            ("phase", "transport"),
+            ("phase", "deliver"),
+            ("link_handled", 1, 1, 2),
+            ("phase", "handle"),
+            ("round_end", 1),
+            ("run_end", 2),
+        ]
+        assert engine.messages_sent == 2
+        assert engine.messages_delivered == 1
+
+    def test_dead_edge_and_corruption_reasons(self):
+        from repro.faults.bit_flip import BitFlipFault
+
+        topo = ring(3)
+        initial = initial_mass_pairs(AggregateKind.AVERAGE, [1.0] * 3)
+        algs = instantiate("push_flow", topo, initial)
+        events = []
+        engine = SynchronousEngine(
+            topo,
+            algs,
+            FixedSchedule([[1, None, None]]),
+            message_fault=BitFlipFault(1.0, seed=5),
+            fault_plan=FaultPlan(
+                link_failures=[LinkFailure(round=0, u=0, v=1, detection_delay=9)]
+            ),
+            observers=[SequenceRecorder(events)],
+        )
+        engine.run(1)
+        assert ("dropped", 0, 1, "dead_edge") in events
+        # Swallowed on the dead edge before the injector could corrupt it.
+        assert not any(e[0] == "fault" and e[2] == "message_corruption" for e in events if isinstance(e, tuple))
+
+    def test_corruption_fires_fault_hook(self):
+        from repro.faults.bit_flip import BitFlipFault
+
+        topo = ring(3)
+        initial = initial_mass_pairs(AggregateKind.AVERAGE, [1.0] * 3)
+        algs = instantiate("push_flow", topo, initial)
+        events = []
+        engine = SynchronousEngine(
+            topo,
+            algs,
+            FixedSchedule([[1, None, None]]),
+            message_fault=BitFlipFault(1.0, seed=5),
+            observers=[SequenceRecorder(events)],
+        )
+        engine.run(1)
+        assert ("fault", 0, "message_corruption", "edge(0,1)") in events
+        assert engine.messages_delivered == 1
+
+
+class TestRoundCounter:
+    def test_counts_rounds_and_per_round_deltas(self):
+        topo = ring(4)
+        counter = RoundCounter()
+        engine, _ = build_engine(topo, "push_sum", [1.0] * 4, observers=[counter])
+        engine.run(7)
+        assert counter.rounds == 7
+        # Every live node sends every round on a fault-free ring.
+        assert counter.sent_per_round == [4] * 7
+        assert counter.delivered_per_round == [4] * 7
+
+    def test_message_counter_alias_warns(self):
+        with pytest.warns(DeprecationWarning, match="RoundCounter"):
+            counter = MessageCounter()
+        assert isinstance(counter, RoundCounter)
+
+    def test_round_counter_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            RoundCounter()

@@ -1,0 +1,160 @@
+"""Unit tests for the telemetry metrics registry and its exporters."""
+
+import json
+import math
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.telemetry.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(2.5)
+        assert c.value() == 3.5
+
+    def test_labels_are_independent(self):
+        c = Counter("c")
+        c.inc(engine="sync")
+        c.inc(3, engine="vector")
+        assert c.value(engine="sync") == 1.0
+        assert c.value(engine="vector") == 3.0
+        assert c.value(engine="async") == 0.0
+
+    def test_label_order_is_irrelevant(self):
+        c = Counter("c")
+        c.inc(a="1", b="2")
+        assert c.value(b="2", a="1") == 1.0
+
+    def test_negative_inc_rejected(self):
+        c = Counter("c")
+        with pytest.raises(ConfigurationError):
+            c.inc(-1.0)
+
+    def test_samples_sorted(self):
+        c = Counter("c")
+        c.inc(k="b")
+        c.inc(k="a")
+        assert [labels for labels, _ in c.samples()] == [{"k": "a"}, {"k": "b"}]
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        g = Gauge("g")
+        g.set(1.0)
+        g.set(7.0)
+        assert g.value() == 7.0
+
+    def test_unset_is_nan(self):
+        assert math.isnan(Gauge("g").value())
+
+
+class TestHistogram:
+    def test_snapshot_cumulative_buckets(self):
+        h = Histogram("h", buckets=[1.0, 10.0])
+        for v in (0.5, 0.6, 5.0, 100.0):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 4
+        assert snap["sum"] == pytest.approx(106.1)
+        assert snap["max"] == 100.0
+        assert snap["buckets"] == [(1.0, 2), (10.0, 3), ("+Inf", 4)]
+
+    def test_boundary_value_falls_in_lower_bucket(self):
+        h = Histogram("h", buckets=[1.0, 10.0])
+        h.observe(1.0)
+        assert h.snapshot()["buckets"][0] == (1.0, 1)
+
+    def test_empty_buckets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Histogram("h", buckets=[])
+
+    def test_empty_snapshot_max_is_zero(self):
+        assert Histogram("h", buckets=[1.0]).snapshot()["max"] == 0.0
+
+
+class TestRegistry:
+    def test_same_name_returns_same_family(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+
+    def test_kind_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ConfigurationError):
+            reg.gauge("x")
+
+    def test_metrics_sorted_by_name(self):
+        reg = MetricsRegistry()
+        reg.counter("b")
+        reg.gauge("a")
+        assert [m.name for m in reg.metrics()] == ["a", "b"]
+
+    def test_disabled_registry_is_inert(self):
+        reg = MetricsRegistry(enabled=False)
+        c = reg.counter("x")
+        c.inc(5)
+        reg.gauge("y").set(1.0)
+        reg.histogram("z").observe(0.1)
+        assert reg.metrics() == []
+        assert reg.to_jsonl() == ""
+        assert reg.to_prometheus() == ""
+
+    def test_null_registry_shared_instance(self):
+        assert NULL_REGISTRY.counter("a") is NULL_REGISTRY.histogram("b")
+
+
+class TestExporters:
+    @pytest.fixture
+    def registry(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_sent", "messages sent").inc(10, engine="sync")
+        reg.gauge("repro_drift").set(float("inf"))
+        h = reg.histogram("repro_phase", buckets=[0.1, 1.0])
+        h.observe(0.05, phase="send")
+        h.observe(0.5, phase="send")
+        return reg
+
+    def test_jsonl_valid_and_sanitized(self, registry):
+        lines = [json.loads(l) for l in registry.to_jsonl().splitlines()]
+        by_name = {rec["name"]: rec for rec in lines}
+        assert by_name["repro_sent"]["value"] == 10.0
+        assert by_name["repro_sent"]["labels"] == {"engine": "sync"}
+        # inf is not valid JSON — exporter maps it to null
+        assert by_name["repro_drift"]["value"] is None
+        assert by_name["repro_phase"]["count"] == 2
+        assert by_name["repro_phase"]["buckets"] == [["0.1", 1], ["1.0", 2], ["+Inf", 2]]
+
+    def test_csv_shape(self, registry):
+        rows = registry.to_csv().splitlines()
+        assert rows[0] == "name,type,labels,value,count,sum,max"
+        assert any(r.startswith("repro_sent,counter,engine=sync,10.0") for r in rows)
+        assert any(r.startswith("repro_phase,histogram,phase=send,,2,") for r in rows)
+
+    def test_prometheus_format(self, registry):
+        text = registry.to_prometheus()
+        assert "# TYPE repro_sent counter" in text
+        assert '\nrepro_sent{engine="sync"} 10.0' in text
+        assert "repro_drift +Inf" in text
+        assert 'repro_phase_bucket{le="0.1",phase="send"} 1' in text
+        assert 'repro_phase_bucket{le="+Inf",phase="send"} 2' in text
+        assert 'repro_phase_count{phase="send"} 2' in text
+
+    def test_prometheus_label_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(detail='say "hi"\\now')
+        assert 'detail="say \\"hi\\"\\\\now"' in reg.to_prometheus()
+
+    def test_dump_writes_three_formats(self, registry, tmp_path):
+        out = registry.dump(tmp_path / "t")
+        for name in ("metrics.jsonl", "metrics.csv", "metrics.prom"):
+            assert (out / name).read_text()

@@ -116,3 +116,39 @@ class TestTraceRecorder:
     def test_bad_every(self):
         with pytest.raises(ValueError):
             TraceRecorder(every=0)
+
+    def test_to_json_sanitizes_non_finite(self):
+        # Regression: NaN/inf serialized as bare NaN/Infinity (invalid
+        # JSON) instead of null, unlike dump_jsonl.
+        from repro.simulation import RoundRecord
+
+        record = RoundRecord(
+            round=3,
+            live_nodes=4,
+            messages_sent=12,
+            messages_delivered=10,
+            estimate_min=float("nan"),
+            estimate_max=float("inf"),
+            estimate_spread=float("nan"),
+            finite=False,
+            link_handlings=[],
+        )
+        payload = json.loads(record.to_json())  # must be strictly valid JSON
+        assert payload["estimate_min"] is None
+        assert payload["estimate_max"] is None
+        assert payload["estimate_spread"] is None
+        assert payload["round"] == 3
+        assert payload["finite"] is False
+
+    def test_to_json_matches_dump_jsonl_line(self, tmp_path):
+        topo = hypercube(3)
+        data = np.random.default_rng(5).uniform(size=topo.n)
+        trace = TraceRecorder()
+        engine, _ = build(topo, "push_sum", data, [trace])
+        engine.run(3)
+        path = tmp_path / "run.jsonl"
+        trace.dump_jsonl(path)
+        lines = path.read_text().strip().splitlines()
+        assert [json.loads(r.to_json()) for r in trace.records] == [
+            json.loads(line) for line in lines
+        ]
