@@ -1,0 +1,108 @@
+"""Fail CI when the vectorized engine's relative speed regresses.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_regression.py current.json \
+        --baseline BENCH_engine.json --max-regression 0.30
+
+Wall-clock rounds/sec is machine-dependent, so comparing a CI runner's
+absolute numbers against the committed ``BENCH_engine.json`` (measured on a
+different box) would flag hardware, not code. Instead we compare the
+**vector/sync throughput ratio** per problem size: both engines run the same
+rounds on the same machine in the same process, so their ratio cancels the
+hardware term and isolates "did the vectorized engine get slower relative
+to the object engine". A ratio drop beyond ``--max-regression`` (default
+30%) exits 1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional
+
+
+def load_ratios(path: str) -> Dict[int, float]:
+    """Map n -> (vector rounds/sec) / (sync rounds/sec) from a bench JSON."""
+    with open(path) as fh:
+        payload = json.load(fh)
+    by_engine: Dict[str, Dict[int, float]] = {}
+    for entry in payload.get("entries", []):
+        engine = entry.get("engine")
+        n = entry.get("n")
+        rps = entry.get("rounds_per_sec")
+        if engine not in ("sync", "vector") or n is None or not rps:
+            continue
+        by_engine.setdefault(engine, {})[int(n)] = float(rps)
+    sync = by_engine.get("sync", {})
+    vector = by_engine.get("vector", {})
+    return {
+        n: vector[n] / sync[n] for n in sorted(sync) if n in vector and sync[n] > 0
+    }
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="Compare vector/sync throughput ratios against a baseline."
+    )
+    parser.add_argument("current", help="bench JSON from this checkout")
+    parser.add_argument(
+        "--baseline",
+        default="BENCH_engine.json",
+        help="committed baseline JSON (default: BENCH_engine.json)",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.30,
+        metavar="FRAC",
+        help="allowed fractional ratio drop before failing (default: 0.30)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        current = load_ratios(args.current)
+        baseline = load_ratios(args.baseline)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    common = sorted(set(current) & set(baseline))
+    if not common:
+        print(
+            "error: no common problem sizes between "
+            f"{args.current} ({sorted(current)}) and "
+            f"{args.baseline} ({sorted(baseline)})",
+            file=sys.stderr,
+        )
+        return 1
+
+    failures = []
+    print(f"{'n':>6}  {'baseline':>10}  {'current':>10}  {'change':>8}  verdict")
+    for n in common:
+        base, cur = baseline[n], current[n]
+        change = cur / base - 1.0
+        regressed = change < -args.max_regression
+        verdict = "FAIL" if regressed else "ok"
+        print(f"{n:>6}  {base:>10.2f}  {cur:>10.2f}  {change:>+7.1%}  {verdict}")
+        if regressed:
+            failures.append(n)
+
+    if failures:
+        print(
+            f"error: vector/sync ratio regressed more than "
+            f"{args.max_regression:.0%} at n={failures} — the vectorized "
+            "engine got slower relative to the object engine.",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"ratios within {args.max_regression:.0%} of baseline for n={common}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

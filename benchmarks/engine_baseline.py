@@ -3,6 +3,11 @@
 Usage::
 
     PYTHONPATH=src python benchmarks/engine_baseline.py [output.json]
+    PYTHONPATH=src python benchmarks/engine_baseline.py --quick --json out.json
+
+``--quick`` is the CI mode (n=32 only, short timing windows); the
+``bench-check`` job feeds its output to ``benchmarks/check_regression.py``,
+which compares engine-to-engine ratios against the committed baseline.
 
 Measures steady-state rounds/sec of the synchronous object engine and the
 vectorized engine at n ∈ {32, 128} (push-flow, the paper's workhorse), with
@@ -17,6 +22,7 @@ Wall-clock numbers are machine-dependent; compare ratios, not absolutes.
 
 from __future__ import annotations
 
+import argparse
 import json
 import platform
 import sys
@@ -69,14 +75,14 @@ def _vector_engine(n, observers=()):
     )
 
 
-def rounds_per_sec(factory) -> dict:
-    """Time ``engine.run`` in growing chunks until >= MIN_SECONDS elapsed."""
+def rounds_per_sec(factory, min_seconds: float = MIN_SECONDS) -> dict:
+    """Time ``engine.run`` in growing chunks until >= ``min_seconds`` elapsed."""
     engine = factory()
     engine.run(16)  # warm-up (allocations, first-touch)
     rounds = 0
     elapsed = 0.0
     chunk = 64
-    while elapsed < MIN_SECONDS:
+    while elapsed < min_seconds:
         t0 = time.perf_counter()
         engine.run(chunk)
         elapsed += time.perf_counter() - t0
@@ -89,15 +95,42 @@ def rounds_per_sec(factory) -> dict:
     }
 
 
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="Measure engine rounds/sec and write a JSON baseline."
+    )
+    parser.add_argument(
+        "output",
+        nargs="?",
+        default=None,
+        help="output path (positional form, kept for compatibility)",
+    )
+    parser.add_argument(
+        "--json",
+        dest="json_path",
+        metavar="PATH",
+        default=None,
+        help="output path (takes precedence over the positional form)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI mode: n=32 only, short timing windows (noisier numbers)",
+    )
+    return parser
+
+
 def main(argv=None) -> int:
-    argv = sys.argv[1:] if argv is None else argv
-    output = argv[0] if argv else "BENCH_engine.json"
+    args = build_parser().parse_args(sys.argv[1:] if argv is None else argv)
+    output = args.json_path or args.output or "BENCH_engine.json"
+    sizes = SIZES[:1] if args.quick else SIZES
+    min_seconds = 0.1 if args.quick else MIN_SECONDS
     entries = []
     for kind, factory in (("sync", _sync_engine), ("vector", _vector_engine)):
-        for n in SIZES:
-            plain = rounds_per_sec(lambda: factory(n))
+        for n in sizes:
+            plain = rounds_per_sec(lambda: factory(n), min_seconds)
             observed = rounds_per_sec(
-                lambda: factory(n, observers=_telemetry_observers())
+                lambda: factory(n, observers=_telemetry_observers()), min_seconds
             )
             entries.append(
                 {
@@ -124,6 +157,7 @@ def main(argv=None) -> int:
         "algorithm": ALGORITHM,
         "python": platform.python_version(),
         "machine": platform.machine(),
+        "quick": args.quick,
         "note": (
             "rounds/sec with no observers attached; 'overhead' shows the "
             "same engine with a full telemetry observer set. Compare "

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import enum
 import math
-from typing import List, Optional, Sequence, Union
+from typing import List, Optional, Sequence
 
 import numpy as np
 

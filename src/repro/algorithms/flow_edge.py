@@ -44,7 +44,7 @@ cancellation) can be unit- and property-tested without any networking.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Tuple
+from typing import List
 
 from repro.algorithms.state import MassPair
 

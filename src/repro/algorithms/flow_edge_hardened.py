@@ -45,7 +45,6 @@ the fixed point (and exact mass conservation) is unchanged.
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional
 
 from repro.algorithms.flow_edge import ReceiveEffect
 from repro.algorithms.state import MassPair

@@ -1,0 +1,33 @@
+"""Declarative scenario-sweep campaigns over the fault-injection stack.
+
+A campaign expands an algorithm x topology x fault-schedule x seed grid
+(:class:`~repro.campaigns.spec.CampaignSpec`), executes the cells —
+in-process or across ``multiprocessing`` workers with timeouts and bounded
+retries (:func:`~repro.campaigns.runner.run_campaign`) — and checkpoints
+per-cell outcome records into a resumable ``results.jsonl`` summarized by
+:mod:`repro.campaigns.report`.
+
+Entry points::
+
+    python -m repro.experiments campaign <spec|builtin> [--workers N]
+    python -m repro.campaigns.report <dir> [--strict]
+"""
+
+from repro.campaigns.builtin import BUILTIN_SPECS
+from repro.campaigns.runner import (
+    CampaignRun,
+    execute_cell,
+    load_results,
+    run_campaign,
+)
+from repro.campaigns.spec import CampaignSpec, load_spec
+
+__all__ = [
+    "BUILTIN_SPECS",
+    "CampaignRun",
+    "CampaignSpec",
+    "execute_cell",
+    "load_results",
+    "load_spec",
+    "run_campaign",
+]

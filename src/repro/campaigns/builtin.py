@@ -1,0 +1,63 @@
+"""Bundled campaign specs, referenced by name on the CLI.
+
+``python -m repro.experiments campaign fig4-recovery`` resolves here; the
+same grids exist as editable TOML under ``examples/campaigns/`` for users
+building their own sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: The paper's Fig. 4 vs Fig. 7 contrast as a campaign: PF and PCF under
+#: one permanent link failure (handled at round 75 resp. 175) on the 6-D
+#: hypercube, three seeds each. The summary's recovery-rounds column shows
+#: PF re-paying (nearly) its whole convergence cost while PCF continues
+#: almost unperturbed.
+FIG4_RECOVERY: Dict[str, object] = {
+    "name": "fig4-recovery",
+    "algorithms": ["push_flow", "push_cancel_flow"],
+    "topologies": [{"family": "hypercube", "n": 64}],
+    "faults": [
+        {"kind": "link_failure", "round": 75},
+        {"kind": "link_failure", "round": 175},
+    ],
+    "seeds": [0, 1, 2],
+    "rounds": 200,
+    "epsilon": 1e-9,
+}
+
+#: Tiny end-to-end slice for CI: 2 algorithms x 1 topology x 1 fault x
+#: 2 seeds at n=16 — a few seconds, exercising the whole pipeline.
+SMOKE: Dict[str, object] = {
+    "name": "smoke",
+    "algorithms": ["push_flow", "push_cancel_flow"],
+    "topologies": [{"family": "hypercube", "n": 16}],
+    "faults": [{"kind": "link_failure", "round": 40}],
+    "seeds": [0, 1],
+    "rounds": 120,
+    "epsilon": 1e-6,
+}
+
+#: Message-loss grid in the spirit of Gerencser & Hendrickx: behavior under
+#: loss depends sharply on the rate, and push-sum (no flow bookkeeping)
+#: converges to the wrong value while PF/PCF self-heal.
+LOSS_GRID: Dict[str, object] = {
+    "name": "loss-grid",
+    "algorithms": ["push_sum", "push_flow", "push_cancel_flow"],
+    "topologies": [{"family": "hypercube", "n": 64}],
+    "faults": [
+        {"kind": "none"},
+        {"kind": "message_loss", "rate": 0.05},
+        {"kind": "message_loss", "rate": 0.2},
+    ],
+    "seeds": [0, 1],
+    "rounds": 300,
+    "epsilon": 1e-9,
+}
+
+BUILTIN_SPECS: Dict[str, Dict[str, object]] = {
+    "fig4-recovery": FIG4_RECOVERY,
+    "smoke": SMOKE,
+    "loss-grid": LOSS_GRID,
+}

@@ -1,0 +1,191 @@
+"""Summarize a campaign result set: ``python -m repro.campaigns.report <dir>``.
+
+Reads the ``results.jsonl`` + ``campaign.json`` a
+:func:`~repro.campaigns.runner.run_campaign` sweep wrote and prints:
+
+1. **Coverage** — expected vs recorded vs failed cells (``--strict`` turns
+   an incomplete or partially failed campaign into exit code 1, which is
+   what the CI smoke job keys on);
+2. **Scenario summary** — one row per (algorithm, topology, fault) group,
+   aggregated over seeds: convergence fraction, rounds-to-tolerance,
+   final error (median), recovery rounds after the fault (censored mean —
+   the Fig. 4 vs Fig. 7 headline number), worst mass-conservation drift;
+3. **Failures** — per-cell errors for anything that did not finish.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import pathlib
+import sys
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ExperimentError
+from repro.experiments.tables import render_table
+from repro.campaigns.runner import as_float, load_results
+
+
+def _mean(values: Sequence[float]) -> Optional[float]:
+    finite = [v for v in values if math.isfinite(v)]
+    return sum(finite) / len(finite) if finite else None
+
+
+def _median(values: Sequence[float]) -> Optional[float]:
+    finite = sorted(v for v in values if math.isfinite(v))
+    if not finite:
+        return None
+    mid = len(finite) // 2
+    if len(finite) % 2:
+        return finite[mid]
+    return 0.5 * (finite[mid - 1] + finite[mid])
+
+
+def summarize(
+    records: Dict[str, Dict[str, object]], expected_cells: Optional[int] = None
+) -> Tuple[str, int]:
+    """Render the report; returns (text, number of problem cells)."""
+    ok = [r for r in records.values() if r.get("status") == "ok"]
+    failed = [r for r in records.values() if r.get("status") != "ok"]
+
+    coverage_rows = [
+        ["expected cells", expected_cells if expected_cells is not None else "-"],
+        ["recorded", len(records)],
+        ["ok", len(ok)],
+        ["failed", len(failed)],
+    ]
+    sections = [
+        "Coverage\n" + render_table(["quantity", "value"], coverage_rows)
+    ]
+
+    groups: Dict[Tuple[str, str, str], List[Dict[str, object]]] = {}
+    for record in ok:
+        key = (
+            str(record.get("algorithm")),
+            str(record.get("topology")),
+            str(record.get("fault")),
+        )
+        groups.setdefault(key, []).append(record)
+
+    rows: List[List[object]] = []
+    for (algorithm, topology, fault), group in sorted(groups.items()):
+        conv = [bool(r.get("converged")) for r in group]
+        tol_rounds = [
+            float(r["rounds_to_tolerance"])
+            for r in group
+            if r.get("rounds_to_tolerance") is not None
+        ]
+        finals = [as_float(r.get("final_error")) for r in group]
+        recoveries = [
+            as_float(r.get("recovery_rounds"))
+            for r in group
+            if r.get("recovery_rounds") is not None
+        ]
+        unrecovered = sum(1 for r in group if r.get("recovered") is False)
+        drifts = [as_float(r.get("mass_drift_floor")) for r in group]
+        rows.append(
+            [
+                algorithm,
+                topology,
+                fault,
+                len(group),
+                f"{sum(conv)}/{len(conv)}",
+                _mean(tol_rounds),
+                _median(finals),
+                _mean(recoveries),
+                unrecovered,
+                max(drifts) if drifts else None,
+            ]
+        )
+    if rows:
+        sections.append(
+            "Scenario summary (aggregated over seeds; recovery_rounds is "
+            "censored at the\nremaining budget when a run never regained its "
+            "pre-failure accuracy)\n"
+            + render_table(
+                [
+                    "algorithm",
+                    "topology",
+                    "fault",
+                    "runs",
+                    "converged",
+                    "mean_rounds_to_eps",
+                    "median_final_error",
+                    "mean_recovery_rounds",
+                    "unrecovered",
+                    "worst_mass_drift_floor",
+                ],
+                rows,
+            )
+        )
+    else:
+        sections.append("Scenario summary: no successful runs recorded.")
+
+    if failed:
+        fail_rows = [
+            [r.get("cell_id"), r.get("attempts"), r.get("error")]
+            for r in sorted(failed, key=lambda r: str(r.get("cell_id")))
+        ]
+        sections.append(
+            "Failures\n" + render_table(["cell", "attempts", "error"], fail_rows)
+        )
+
+    problems = len(failed)
+    if expected_cells is not None and len(records) < expected_cells:
+        problems += expected_cells - len(records)
+    return "\n\n".join(sections), problems
+
+
+def render_report(directory: pathlib.Path) -> Tuple[str, int]:
+    if not (directory / "results.jsonl").exists():
+        raise ExperimentError(
+            f"{directory} has no results.jsonl — not a campaign directory?"
+        )
+    records = load_results(directory)
+    expected: Optional[int] = None
+    header = f"Campaign report — {directory}"
+    spec_path = directory / "campaign.json"
+    if spec_path.exists():
+        spec = json.loads(spec_path.read_text())
+        expected = (
+            len(spec.get("algorithms", []))
+            * len(spec.get("topologies", []))
+            * len(spec.get("faults", []))
+            * len(spec.get("seeds", []))
+        )
+        header = f"Campaign report — {spec.get('name')} ({directory})"
+    body, problems = summarize(records, expected)
+    return header + "\n\n" + body, problems
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.campaigns.report",
+        description="Summarize a campaign result directory.",
+    )
+    parser.add_argument("path", help="campaign output directory")
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 when cells failed or the campaign is incomplete",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        text, problems = render_report(pathlib.Path(args.path))
+    except ExperimentError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(text)
+    if args.strict and problems:
+        print(f"error: {problems} problem cell(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

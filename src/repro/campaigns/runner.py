@@ -1,0 +1,471 @@
+"""Campaign execution: parallel cell runs with retries and checkpointing.
+
+:func:`execute_cell` runs one (algorithm, topology, fault, seed) cell of an
+expanded campaign grid and returns a plain-dict outcome record;
+:func:`run_campaign` sweeps a whole :class:`~repro.campaigns.spec.CampaignSpec`,
+either in-process (``workers=0``) or across ``multiprocessing`` workers with
+per-run timeouts and bounded retries, appending every terminal record to
+``results.jsonl`` as it lands — so a killed or partially completed campaign
+resumes by simply re-invoking it: recorded cells are skipped.
+
+Outcome metrics per cell (see DESIGN.md for the paper mapping):
+
+- ``converged`` / ``rounds_to_tolerance`` / ``final_error`` / ``best_error``
+  — oracle-relative accuracy, as in the paper's experiments;
+- ``recovery_rounds`` / ``recovered`` / ``jump_factor`` / ``restart_fraction``
+  — the Figs. 4/7 fallback analysis around the earliest permanent-failure
+  handling event (``recovery_rounds`` is censored at the remaining round
+  budget when the run never regains its pre-event accuracy — PF's typical
+  fate, versus PCF's near-zero recovery cost);
+- ``mass_drift_floor`` / ``mass_drift_final`` / ``mass_drift_worst`` —
+  global mass-conservation drift from
+  :class:`~repro.telemetry.probes.MassConservationProbe`; the *floor*
+  (minimum over the run's tail) is the persistent-loss signal, since
+  crossing-induced drift spikes self-heal.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+import multiprocessing
+import pathlib
+import queue as queue_module
+import time
+from typing import Callable, Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.algorithms.aggregates import (
+    AggregateKind,
+    initial_mass_pairs,
+    true_aggregate,
+)
+from repro.algorithms.registry import instantiate
+from repro.exceptions import ConfigurationError
+from repro.experiments.workloads import bus_case_study_data, uniform_data
+from repro.faults.specs import build_faults
+from repro.metrics.convergence import fallback_report
+from repro.metrics.history import ErrorHistory
+from repro.campaigns.spec import CampaignSpec
+from repro.simulation.engine import SynchronousEngine
+from repro.simulation.schedule import UniformGossipSchedule
+from repro.telemetry.probes import MassConservationProbe
+from repro.topology import registry as topology_registry
+
+_SCHEDULE_SEED_OFFSET = 1000
+_MASS_TOLERANCE = 1e-6
+
+
+def _json_float(value: Optional[float]) -> object:
+    """JSONL-safe float: non-finite values become tagged strings."""
+    if value is None:
+        return None
+    value = float(value)
+    if math.isfinite(value):
+        return value
+    if math.isnan(value):
+        return "nan"
+    return "inf" if value > 0 else "-inf"
+
+
+def as_float(value: object) -> float:
+    """Inverse of :func:`_json_float` (for report aggregation)."""
+    if value is None:
+        return float("nan")
+    if value == "nan":
+        return float("nan")
+    if value == "inf":
+        return float("inf")
+    if value == "-inf":
+        return float("-inf")
+    return float(value)  # type: ignore[arg-type]
+
+
+def _make_data(kind: str, n: int, seed: int) -> np.ndarray:
+    if kind == "uniform":
+        return uniform_data(n, seed=seed)
+    if kind == "spike":
+        return bus_case_study_data(n)
+    if kind == "log_uniform":
+        rng = np.random.default_rng(seed)
+        return 10.0 ** rng.uniform(-3, 3, size=n)
+    raise ConfigurationError(f"unknown data kind {kind!r}")
+
+
+def execute_cell(cell: Dict[str, object]) -> Dict[str, object]:
+    """Run one campaign cell to completion and measure its outcome."""
+    t0 = time.perf_counter()
+    topo_spec: Dict[str, object] = dict(cell["topology"])  # type: ignore[arg-type]
+    family = str(topo_spec.pop("family"))
+    n = int(topo_spec.pop("n"))  # type: ignore[arg-type]
+    seed = int(cell["seed"])  # type: ignore[arg-type]
+    rounds = int(cell["rounds"])  # type: ignore[arg-type]
+    epsilon = float(cell["epsilon"])  # type: ignore[arg-type]
+
+    topology = topology_registry.build(family, n, seed=seed, **topo_spec)
+    data = _make_data(str(cell["data"]), n, seed)
+    kind = AggregateKind(str(cell["aggregate"]))
+    truth = true_aggregate(kind, list(data))
+    initial = initial_mass_pairs(kind, list(data))
+    algorithms = instantiate(str(cell["algorithm"]), topology, initial)
+
+    built = build_faults(cell["fault"], seed=seed)  # type: ignore[arg-type]
+    history = ErrorHistory(truth)
+    mass_probe = MassConservationProbe(tolerance=_MASS_TOLERANCE)
+    engine = SynchronousEngine(
+        topology,
+        algorithms,
+        UniformGossipSchedule(topology.n, seed + _SCHEDULE_SEED_OFFSET),
+        message_fault=built.message_fault,
+        fault_plan=built.fault_plan,
+        observers=[history, mass_probe] + built.observers,
+    )
+    engine.run(rounds)
+
+    errors = history.max_errors
+    final_error = history.final_max_error()
+    converged = math.isfinite(final_error) and final_error <= epsilon
+    finite_errors = [e for e in errors if math.isfinite(e)]
+    best_error = min(finite_errors) if finite_errors else float("inf")
+
+    recovery: Dict[str, object] = {
+        "event_round": built.event_round,
+        "recovery_rounds": None,
+        "recovered": None,
+        "jump_factor": None,
+        "restart_fraction": None,
+    }
+    if built.event_round is not None and built.event_round < len(errors):
+        report = fallback_report(errors, built.event_round)
+        recovered = report.recovery_rounds is not None
+        recovery.update(
+            {
+                # Censor never-recovered runs at the remaining round budget
+                # so means stay comparable across algorithms.
+                "recovery_rounds": report.recovery_rounds
+                if recovered
+                else len(errors) - built.event_round,
+                "recovered": recovered,
+                "jump_factor": _json_float(report.jump_factor),
+                "restart_fraction": _json_float(report.restart_fraction),
+            }
+        )
+
+    # Crossing overwrites make the instantaneous drift noisy (they
+    # self-heal; see MassConservationProbe docs), so the fault signal is
+    # the drift *floor* over the run's tail: healthy flow algorithms touch
+    # ~0 repeatedly, genuine mass loss (push-sum under loss, PCF deadlock
+    # drain) never returns there.
+    mass_records = mass_probe.records
+    tail_start = max(0, engine.round - max(engine.round // 4, 1))
+    tail_drifts = [
+        float(r["drift"])  # type: ignore[arg-type]
+        for r in mass_records
+        if int(r["round"]) >= tail_start  # type: ignore[arg-type]
+    ]
+    return {
+        "cell_id": cell["cell_id"],
+        "status": "ok",
+        "algorithm": cell["algorithm"],
+        "topology": cell["topology_label"],
+        "fault": cell["fault"]["name"],  # type: ignore[index]
+        "seed": seed,
+        "n": n,
+        "rounds": engine.round,
+        "epsilon": epsilon,
+        "converged": converged,
+        "rounds_to_tolerance": history.first_round_below(epsilon),
+        "final_error": _json_float(final_error),
+        "best_error": _json_float(best_error),
+        **recovery,
+        "mass_drift_final": _json_float(
+            float(mass_records[-1]["drift"]) if mass_records else None  # type: ignore[arg-type]
+        ),
+        "mass_drift_floor": _json_float(
+            min(tail_drifts) if tail_drifts else None
+        ),
+        "mass_drift_worst": _json_float(mass_probe.worst_drift()),
+        "mass_violations": len(mass_probe.violations),
+        "messages_sent": engine.messages_sent,
+        "messages_delivered": engine.messages_delivered,
+        "wall_s": round(time.perf_counter() - t0, 4),
+        "error": None,
+    }
+
+
+def _failure_record(
+    cell: Dict[str, object], attempts: int, error: str
+) -> Dict[str, object]:
+    return {
+        "cell_id": cell["cell_id"],
+        "status": "failed",
+        "algorithm": cell["algorithm"],
+        "topology": cell.get("topology_label"),
+        "fault": cell["fault"].get("name"),  # type: ignore[union-attr]
+        "seed": cell["seed"],
+        "attempts": attempts,
+        "error": error,
+    }
+
+
+@dataclasses.dataclass
+class CampaignRun:
+    """Summary of one :func:`run_campaign` invocation."""
+
+    spec: CampaignSpec
+    out_dir: pathlib.Path
+    total_cells: int
+    skipped: int
+    executed: int
+    ok: int
+    failed: int
+    retries_used: int
+
+    @property
+    def results_path(self) -> pathlib.Path:
+        return self.out_dir / "results.jsonl"
+
+
+def load_results(out_dir: Union[str, pathlib.Path]) -> Dict[str, Dict[str, object]]:
+    """Read ``results.jsonl``, keeping the latest record per cell id.
+
+    Tolerates a truncated trailing line (the checkpoint file may have been
+    cut mid-write by a crash): bad lines are skipped, which simply means
+    the affected cell re-runs.
+    """
+    path = pathlib.Path(out_dir) / "results.jsonl"
+    records: Dict[str, Dict[str, object]] = {}
+    if not path.exists():
+        return records
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(record, dict) and "cell_id" in record:
+            records[str(record["cell_id"])] = record
+    return records
+
+
+def _append_record(path: pathlib.Path, record: Dict[str, object]) -> None:
+    with path.open("a") as fh:
+        fh.write(json.dumps(record) + "\n")
+        fh.flush()
+
+
+def _worker_entry(cell: Dict[str, object], result_queue) -> None:
+    """Subprocess body: run the cell, ship the outcome (or the error) home."""
+    try:
+        result_queue.put(execute_cell(cell))
+    except Exception as exc:  # noqa: BLE001 - forwarded to the parent
+        result_queue.put(
+            {
+                "cell_id": cell["cell_id"],
+                "status": "worker_error",
+                "error": f"{type(exc).__name__}: {exc}",
+            }
+        )
+
+
+@dataclasses.dataclass
+class _Attempt:
+    cell: Dict[str, object]
+    attempt: int  # 1-based
+    process: object = None
+    queue: object = None
+    deadline: Optional[float] = None
+
+
+def _run_serial(
+    pending: List[Dict[str, object]],
+    retries: int,
+    on_record: Callable[[Dict[str, object]], None],
+    executor: Callable[[Dict[str, object]], Dict[str, object]],
+) -> Dict[str, int]:
+    stats = {"ok": 0, "failed": 0, "retries_used": 0}
+    for cell in pending:
+        last_error = "unknown"
+        record: Optional[Dict[str, object]] = None
+        for attempt in range(1, retries + 2):
+            if attempt > 1:
+                stats["retries_used"] += 1
+            try:
+                record = executor(cell)
+                record["attempts"] = attempt
+                break
+            except Exception as exc:  # noqa: BLE001 - accounted as a failed attempt
+                last_error = f"{type(exc).__name__}: {exc}"
+                record = None
+        if record is None:
+            record = _failure_record(cell, retries + 1, last_error)
+            stats["failed"] += 1
+        else:
+            stats["ok"] += 1
+        on_record(record)
+    return stats
+
+
+def _run_parallel(
+    pending: List[Dict[str, object]],
+    workers: int,
+    timeout: Optional[float],
+    retries: int,
+    on_record: Callable[[Dict[str, object]], None],
+) -> Dict[str, int]:
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+    stats = {"ok": 0, "failed": 0, "retries_used": 0}
+    todo: List[_Attempt] = [_Attempt(cell=c, attempt=1) for c in pending]
+    todo.reverse()  # pop() keeps the original submission order
+    running: List[_Attempt] = []
+
+    def settle(item: _Attempt, error: str) -> None:
+        """One attempt failed: requeue it or record the terminal failure."""
+        if item.attempt <= retries:
+            stats["retries_used"] += 1
+            todo.append(_Attempt(cell=item.cell, attempt=item.attempt + 1))
+        else:
+            stats["failed"] += 1
+            on_record(_failure_record(item.cell, item.attempt, error))
+
+    while todo or running:
+        while todo and len(running) < workers:
+            item = todo.pop()
+            item.queue = ctx.Queue(maxsize=1)
+            item.process = ctx.Process(
+                target=_worker_entry,
+                args=(item.cell, item.queue),
+                daemon=True,
+            )
+            item.process.start()
+            item.deadline = (
+                time.monotonic() + timeout if timeout is not None else None
+            )
+            running.append(item)
+
+        time.sleep(0.02)
+        still_running: List[_Attempt] = []
+        for item in running:
+            proc = item.process
+            # Prefer a landed result over an expired deadline: the work is
+            # done either way.
+            record: Optional[Dict[str, object]] = None
+            try:
+                record = item.queue.get_nowait()  # type: ignore[union-attr]
+            except queue_module.Empty:
+                record = None
+            if record is not None:
+                proc.join()  # type: ignore[union-attr]
+                if record.get("status") == "ok":
+                    record["attempts"] = item.attempt
+                    stats["ok"] += 1
+                    on_record(record)
+                else:  # the worker caught an in-run exception
+                    settle(item, str(record.get("error", "worker error")))
+            elif not proc.is_alive():  # type: ignore[union-attr]
+                proc.join()  # type: ignore[union-attr]
+                settle(
+                    item,
+                    f"worker crashed (exit code {proc.exitcode})",  # type: ignore[union-attr]
+                )
+            elif item.deadline is not None and time.monotonic() > item.deadline:
+                proc.terminate()  # type: ignore[union-attr]
+                proc.join()  # type: ignore[union-attr]
+                settle(item, f"timeout after {timeout:g}s")
+            else:
+                still_running.append(item)
+        running = still_running
+    return stats
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    out_dir: Union[str, pathlib.Path],
+    *,
+    workers: int = 0,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+    resume: bool = True,
+    log: Optional[Callable[[str], None]] = None,
+    executor: Callable[[Dict[str, object]], Dict[str, object]] = execute_cell,
+) -> CampaignRun:
+    """Sweep the full campaign grid, checkpointing into ``out_dir``.
+
+    ``workers=0`` runs every cell in-process (deterministic, no timeout
+    enforcement — the mode tests and small sweeps use); ``workers >= 1``
+    fans cells out to that many OS processes, each attempt bounded by
+    ``timeout`` seconds and retried up to ``retries`` times. With
+    ``resume=True`` (default), cells already recorded in
+    ``out_dir/results.jsonl`` are skipped — delete the file (or pass
+    ``resume=False``) for a fresh sweep. ``executor`` is injectable for
+    tests; the parallel path always runs :func:`execute_cell`.
+    """
+    if workers < 0:
+        raise ConfigurationError(f"workers must be >= 0, got {workers}")
+    if retries < 0:
+        raise ConfigurationError(f"retries must be >= 0, got {retries}")
+    if timeout is not None and timeout <= 0:
+        raise ConfigurationError(f"timeout must be > 0, got {timeout}")
+    out_path = pathlib.Path(out_dir)
+    out_path.mkdir(parents=True, exist_ok=True)
+    say = log or (lambda _msg: None)
+
+    spec_path = out_path / "campaign.json"
+    spec_dict = spec.to_dict()
+    if spec_path.exists():
+        existing = json.loads(spec_path.read_text())
+        if existing != spec_dict:
+            raise ConfigurationError(
+                f"{out_path} already holds results for a different campaign "
+                f"({existing.get('name')!r}); use a fresh --out directory"
+            )
+    else:
+        spec_path.write_text(json.dumps(spec_dict, indent=2) + "\n")
+
+    results_path = out_path / "results.jsonl"
+    if not resume and results_path.exists():
+        results_path.unlink()
+    completed = load_results(out_path) if resume else {}
+
+    cells = spec.expand()
+    pending = [c for c in cells if c["cell_id"] not in completed]
+    skipped = len(cells) - len(pending)
+    say(
+        f"campaign {spec.name!r}: {len(cells)} cells "
+        f"({skipped} already done, {len(pending)} to run, "
+        f"workers={workers or 'serial'})"
+    )
+
+    def on_record(record: Dict[str, object]) -> None:
+        _append_record(results_path, record)
+        status = record.get("status")
+        detail = (
+            f"err={record.get('final_error')}"
+            if status == "ok"
+            else record.get("error")
+        )
+        say(f"  [{status}] {record.get('cell_id')} {detail}")
+
+    if pending:
+        if workers == 0:
+            stats = _run_serial(pending, retries, on_record, executor)
+        else:
+            stats = _run_parallel(pending, workers, timeout, retries, on_record)
+    else:
+        stats = {"ok": 0, "failed": 0, "retries_used": 0}
+
+    return CampaignRun(
+        spec=spec,
+        out_dir=out_path,
+        total_cells=len(cells),
+        skipped=skipped,
+        executed=len(pending),
+        ok=stats["ok"],
+        failed=stats["failed"],
+        retries_used=stats["retries_used"],
+    )

@@ -36,6 +36,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the paper's evaluation figures as tables.",
+        epilog=(
+            "Scenario sweeps: 'python -m repro.experiments campaign <spec>' "
+            "runs a fault-injection campaign grid (see repro.campaigns; "
+            "'campaign --help' for options)."
+        ),
     )
     parser.add_argument(
         "experiment",
@@ -110,6 +115,13 @@ def _run_and_report(args: argparse.Namespace, names: List[str]) -> None:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "campaign":
+        # Campaign sweeps have their own axes/options; dispatch before the
+        # figure parser so 'campaign' composes with the figure subcommands.
+        from repro.campaigns.cli import main as campaign_main
+
+        return campaign_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.telemetry_every < 1:

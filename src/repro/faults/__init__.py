@@ -9,6 +9,12 @@ from repro.faults.events import (
     single_link_failure,
 )
 from repro.faults.message_loss import BurstMessageLoss, IidMessageLoss
+from repro.faults.specs import (
+    FAULT_KINDS,
+    BuiltFaults,
+    build_faults,
+    validate_fault_spec,
+)
 from repro.faults.state_flip import StateBitFlipInjector
 
 __all__ = [
@@ -25,4 +31,8 @@ __all__ = [
     "NodeFailure",
     "single_link_failure",
     "StateBitFlipInjector",
+    "FAULT_KINDS",
+    "BuiltFaults",
+    "build_faults",
+    "validate_fault_spec",
 ]

@@ -16,19 +16,18 @@ fields (PCF's ``c``/``r``) can optionally be corrupted too
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional
 
 import numpy as np
 
 from repro.algorithms.base import payload_mass_pairs
 from repro.algorithms.state import MassPair
 from repro.faults.base import MessageFault
-from typing import TYPE_CHECKING
+from repro.util.float_bits import flip_bit
+from repro.util.validation import check_probability
 
 if TYPE_CHECKING:  # pragma: no cover - type hints only
     from repro.simulation.messages import Message
-from repro.util.float_bits import flip_bit
-from repro.util.validation import check_probability
 
 
 def _flip_in_pair(

@@ -18,7 +18,7 @@ reproduces that setup.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+from typing import FrozenSet, Iterable, List, Set, Tuple
 
 from repro.exceptions import ConfigurationError
 

@@ -8,16 +8,15 @@ burst an entire edge goes quiet for many consecutive rounds.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.faults.base import MessageFault
-from typing import TYPE_CHECKING
+from repro.util.validation import check_probability
 
 if TYPE_CHECKING:  # pragma: no cover - type hints only
     from repro.simulation.messages import Message
-from repro.util.validation import check_probability
 
 
 class IidMessageLoss(MessageFault):

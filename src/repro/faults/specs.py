@@ -1,0 +1,254 @@
+"""Declarative fault-schedule specs — the fault axis of campaign grids.
+
+A fault schedule is a plain serializable dict (JSON/TOML-friendly) naming
+one of the fault models in :mod:`repro.faults` plus its parameters, or a
+composition of several. Campaign specs carry these dicts across process
+boundaries; :func:`build_faults` instantiates them for one concrete run.
+
+Grammar::
+
+    {"kind": "<kind>", <params...>, "name": "<optional label>"}
+    {"compose": [<fault spec>, ...], "name": "<optional label>"}
+
+Kinds (mapped onto the paper's fault taxonomy, Sec. I/II):
+
+- ``none`` — the failure-free baseline.
+- ``message_loss`` — i.i.d. per-message loss (``rate``).
+- ``burst_loss`` — Gilbert–Elliott burst loss (``p_gb``, ``p_bg``).
+- ``bit_flip`` — in-flight payload corruption (``rate``, optional
+  ``max_bit``, ``corrupt_control``).
+- ``link_failure`` — one permanent link failure (``round``, optional
+  ``edge`` default ``[0, 1]``, ``detection_delay``) — the Figs. 4/7 event.
+- ``node_failure`` — fail-stop node (``round``, ``node``, optional
+  ``detection_delay``).
+- ``state_flip`` — memory soft errors in stored flows (``rounds`` list,
+  optional ``max_bit``) — the PCF-variant ablation's injector.
+
+Randomized faults (loss, flips) derive their RNG streams from the run seed
+passed to :func:`build_faults`, so two algorithms swept with the same seed
+see the identical fault timeline — the paper's paired-comparison method.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.faults.base import CompositeFault, MessageFault
+from repro.faults.bit_flip import BitFlipFault
+from repro.faults.events import FaultPlan, LinkFailure, NodeFailure
+from repro.faults.message_loss import BurstMessageLoss, IidMessageLoss
+from repro.faults.state_flip import StateBitFlipInjector
+
+#: kind -> (required params, optional params)
+FAULT_KINDS: Dict[str, Tuple[Tuple[str, ...], Tuple[str, ...]]] = {
+    "none": ((), ()),
+    "message_loss": (("rate",), ()),
+    "burst_loss": (("p_gb", "p_bg"), ()),
+    "bit_flip": (("rate",), ("max_bit", "corrupt_control")),
+    "link_failure": (("round",), ("edge", "detection_delay")),
+    "node_failure": (("round", "node"), ("detection_delay",)),
+    "state_flip": (("rounds",), ("max_bit",)),
+}
+
+# Stride between the RNG streams of composed sub-faults of one run.
+_SEED_STRIDE = 7919
+
+
+@dataclasses.dataclass
+class BuiltFaults:
+    """A fault schedule instantiated for one concrete run.
+
+    ``message_fault`` plugs into the engine's transport, ``fault_plan``
+    carries the permanent failures, ``observers`` hold any state-injection
+    observers, and ``event_round`` is the earliest permanent-failure
+    *handling* round (the reference point for recovery analysis), ``None``
+    when the schedule has no permanent failures.
+    """
+
+    name: str
+    message_fault: Optional[MessageFault]
+    fault_plan: FaultPlan
+    observers: List[object]
+    event_round: Optional[int]
+
+
+def _default_name(spec: Mapping[str, object]) -> str:
+    kind = spec["kind"]
+    if kind == "none":
+        return "none"
+    if kind == "message_loss":
+        return f"loss{spec['rate']:g}"
+    if kind == "burst_loss":
+        return f"burst{spec['p_gb']:g}/{spec['p_bg']:g}"
+    if kind == "bit_flip":
+        return f"flip{spec['rate']:g}"
+    if kind == "link_failure":
+        u, v = spec.get("edge", (0, 1))
+        return f"link({u},{v})@{spec['round']}"
+    if kind == "node_failure":
+        return f"node({spec['node']})@{spec['round']}"
+    if kind == "state_flip":
+        rounds = spec["rounds"]
+        return f"stateflip@{','.join(str(r) for r in rounds)}"
+    raise AssertionError(kind)  # validated before this is called
+
+
+def _validate_single(spec: Mapping[str, object], where: str) -> Dict[str, object]:
+    kind = spec.get("kind")
+    if not isinstance(kind, str) or kind not in FAULT_KINDS:
+        raise ConfigurationError(
+            f"{where}: unknown fault kind {kind!r}; "
+            f"expected one of {sorted(FAULT_KINDS)}"
+        )
+    required, optional = FAULT_KINDS[kind]
+    allowed = set(required) | set(optional) | {"kind", "name"}
+    unknown = sorted(set(spec) - allowed)
+    if unknown:
+        raise ConfigurationError(
+            f"{where}: unknown key(s) {unknown} for fault kind {kind!r}; "
+            f"allowed: {sorted(allowed)}"
+        )
+    missing = sorted(set(required) - set(spec))
+    if missing:
+        raise ConfigurationError(
+            f"{where}: fault kind {kind!r} is missing required key(s) {missing}"
+        )
+    out: Dict[str, object] = dict(spec)
+    if kind in ("message_loss", "bit_flip"):
+        rate = float(out["rate"])  # type: ignore[arg-type]
+        if not 0.0 <= rate <= 1.0:
+            raise ConfigurationError(
+                f"{where}: rate must be in [0, 1], got {rate}"
+            )
+        out["rate"] = rate
+    if kind == "link_failure":
+        edge = out.get("edge", [0, 1])
+        if (
+            not isinstance(edge, (list, tuple))
+            or len(edge) != 2
+            or not all(isinstance(e, int) for e in edge)
+        ):
+            raise ConfigurationError(
+                f"{where}: edge must be a pair of node ids, got {edge!r}"
+            )
+        out["edge"] = [int(edge[0]), int(edge[1])]
+    if kind == "state_flip":
+        rounds = out["rounds"]
+        if not isinstance(rounds, (list, tuple)) or not rounds:
+            raise ConfigurationError(
+                f"{where}: rounds must be a non-empty list, got {rounds!r}"
+            )
+        out["rounds"] = [int(r) for r in rounds]
+    return out
+
+
+def validate_fault_spec(
+    spec: Mapping[str, object], *, where: str = "fault spec"
+) -> Dict[str, object]:
+    """Validate ``spec`` and return a normalized copy with a ``name``.
+
+    Raises :class:`~repro.exceptions.ConfigurationError` on unknown kinds,
+    unknown/missing keys or out-of-range parameters — the campaign loader
+    surfaces these before any run starts.
+    """
+    if not isinstance(spec, Mapping):
+        raise ConfigurationError(
+            f"{where}: a fault schedule must be a table/dict, got {type(spec).__name__}"
+        )
+    if "compose" in spec:
+        unknown = sorted(set(spec) - {"compose", "name"})
+        if unknown:
+            raise ConfigurationError(
+                f"{where}: composed schedule allows only 'compose' and 'name', "
+                f"got extra key(s) {unknown}"
+            )
+        parts = spec["compose"]
+        if not isinstance(parts, (list, tuple)) or not parts:
+            raise ConfigurationError(
+                f"{where}: 'compose' must be a non-empty list of fault specs"
+            )
+        normalized = [
+            _validate_single(part, f"{where}[{i}]") for i, part in enumerate(parts)
+        ]
+        name = spec.get("name") or "+".join(_default_name(p) for p in normalized)
+        return {"name": str(name), "compose": normalized}
+    single = _validate_single(spec, where)
+    single["name"] = str(spec.get("name") or _default_name(single))
+    return single
+
+
+def build_faults(spec: Mapping[str, object], *, seed: int = 0) -> BuiltFaults:
+    """Instantiate a (validated or raw) fault-schedule spec for one run."""
+    normalized = validate_fault_spec(spec)
+    parts = normalized.get("compose") or [normalized]
+    message_faults: List[MessageFault] = []
+    link_failures: List[LinkFailure] = []
+    node_failures: List[NodeFailure] = []
+    observers: List[object] = []
+    for index, part in enumerate(parts):
+        kind = part["kind"]
+        part_seed = seed + index * _SEED_STRIDE
+        if kind == "none":
+            continue
+        elif kind == "message_loss":
+            message_faults.append(IidMessageLoss(part["rate"], seed=part_seed))
+        elif kind == "burst_loss":
+            message_faults.append(
+                BurstMessageLoss(
+                    float(part["p_gb"]), float(part["p_bg"]), seed=part_seed
+                )
+            )
+        elif kind == "bit_flip":
+            message_faults.append(
+                BitFlipFault(
+                    part["rate"],
+                    seed=part_seed,
+                    corrupt_control=bool(part.get("corrupt_control", False)),
+                    max_bit=int(part.get("max_bit", 63)),
+                )
+            )
+        elif kind == "link_failure":
+            u, v = part["edge"]
+            link_failures.append(
+                LinkFailure(
+                    round=int(part["round"]),
+                    u=u,
+                    v=v,
+                    detection_delay=int(part.get("detection_delay", 0)),
+                )
+            )
+        elif kind == "node_failure":
+            node_failures.append(
+                NodeFailure(
+                    round=int(part["round"]),
+                    node=int(part["node"]),
+                    detection_delay=int(part.get("detection_delay", 0)),
+                )
+            )
+        elif kind == "state_flip":
+            observers.append(
+                StateBitFlipInjector(
+                    part["rounds"],
+                    seed=part_seed,
+                    max_bit=int(part.get("max_bit", 55)),
+                )
+            )
+    message_fault: Optional[MessageFault]
+    if not message_faults:
+        message_fault = None
+    elif len(message_faults) == 1:
+        message_fault = message_faults[0]
+    else:
+        message_fault = CompositeFault(message_faults)
+    plan = FaultPlan(link_failures=link_failures, node_failures=node_failures)
+    handle_rounds = [lf.handle_round for lf in link_failures]
+    handle_rounds += [nf.handle_round for nf in node_failures]
+    return BuiltFaults(
+        name=str(normalized["name"]),
+        message_fault=message_fault,
+        fault_plan=plan,
+        observers=observers,
+        event_round=min(handle_rounds) if handle_rounds else None,
+    )

@@ -9,7 +9,7 @@ global goes through the reduction service.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Sequence
 
 import numpy as np
 

@@ -22,15 +22,13 @@ the reduction algorithm underneath provides.
 from __future__ import annotations
 
 import dataclasses
-import math
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 
 from repro.exceptions import LinalgError
 from repro.linalg.distributed import partition_rows
 from repro.linalg.reduction_service import ReductionService
-from repro.topology.base import Topology
 
 
 @dataclasses.dataclass

@@ -17,7 +17,7 @@ schedules, reproducibly derived from one master seed.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
 import numpy as np
 

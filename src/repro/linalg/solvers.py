@@ -22,7 +22,6 @@ inherit its accuracy and fault tolerance.
 from __future__ import annotations
 
 import dataclasses
-import math
 from typing import List, Optional
 
 import numpy as np
@@ -30,7 +29,6 @@ import numpy as np
 from repro.exceptions import LinalgError
 from repro.linalg.distributed import partition_rows
 from repro.linalg.reduction_service import ReductionService
-from repro.topology.base import Topology
 
 
 @dataclasses.dataclass

@@ -8,7 +8,7 @@ over all (live) nodes — the quantities plotted in Figs. 3, 4, 6 and 7.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Union
+from typing import List, Sequence
 
 import numpy as np
 

@@ -15,7 +15,7 @@ tests quantify how close it lands to the oracle stopping point.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Optional
 
 import numpy as np
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import List, Optional, Sequence, Union
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -25,7 +25,6 @@ from repro.algorithms.state import Value
 from repro.exceptions import ConfigurationError
 from repro.faults.base import MessageFault
 from repro.faults.events import FaultPlan
-from repro.metrics.errors import max_local_error
 from repro.metrics.history import ErrorHistory
 from repro.simulation.engine import SynchronousEngine
 from repro.simulation.schedule import Schedule, UniformGossipSchedule

@@ -27,7 +27,7 @@ from typing import Callable, List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from repro.algorithms.base import GossipAlgorithm
-from repro.exceptions import ConfigurationError, SimulationError
+from repro.exceptions import ConfigurationError
 from repro.faults.base import MessageFault, NoFault
 from repro.faults.events import FaultPlan
 from repro.simulation.messages import Message

@@ -9,7 +9,7 @@ object engine and the vectorized engine can consume it directly.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Tuple
 
 from repro.exceptions import TopologyError
 

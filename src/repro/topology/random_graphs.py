@@ -9,7 +9,7 @@ schedules) that the regular paper topologies never hit.
 
 from __future__ import annotations
 
-from typing import List, Optional, Set, Tuple
+from typing import Optional, Set
 
 import numpy as np
 

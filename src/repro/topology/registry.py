@@ -6,7 +6,7 @@ definitions stay serializable (plain dicts/JSON); this module resolves them.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Callable, Optional
 
 from repro.exceptions import TopologyError
 from repro.topology import standard

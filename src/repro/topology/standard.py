@@ -11,7 +11,7 @@ Sec. II-B).
 from __future__ import annotations
 
 import itertools
-from typing import List, Sequence, Tuple
+from typing import List, Sequence
 
 from repro.exceptions import TopologyError
 from repro.topology.base import Edge, Topology

@@ -9,7 +9,7 @@ single, tested definition of median/percentile used everywhere (so the
 from __future__ import annotations
 
 import math
-from typing import Iterable, List, Sequence
+from typing import Iterable, Sequence
 
 
 def median(values: Sequence[float]) -> float:

@@ -8,7 +8,7 @@ test suite asserts bit-identical agreement for every protocol.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple, Type
+from typing import Sequence, Tuple, Type
 
 import numpy as np
 

@@ -6,12 +6,10 @@ potential contracts geometrically, and PF's converged flows on arbitrary
 trees match the analytic subtree-surplus flows exactly.
 """
 
-import math
 
 import numpy as np
 import pytest
 
-from repro import run_reduction
 from repro.algorithms.aggregates import AggregateKind, initial_mass_pairs, true_aggregate
 from repro.algorithms.registry import instantiate
 from repro.analysis import (

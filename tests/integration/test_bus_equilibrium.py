@@ -16,7 +16,6 @@ converged PF run must satisfy it exactly up to rounding — a sharp
 quantitative check of the Fig. 2 analysis.
 """
 
-import numpy as np
 import pytest
 
 from repro.algorithms.aggregates import AggregateKind, initial_mass_pairs

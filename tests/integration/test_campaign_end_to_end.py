@@ -1,0 +1,103 @@
+"""End-to-end campaign sweep: the bundled smoke grid + report + resume.
+
+This is the same path the CI ``campaign-smoke`` job drives from the shell:
+run the builtin ``smoke`` campaign (PF vs PCF under one permanent link
+failure on hypercube-16), summarize it, then prove the checkpoint makes a
+re-invocation a no-op.
+"""
+
+from repro.campaigns import load_results, load_spec, run_campaign
+from repro.campaigns.report import render_report, summarize
+from repro.campaigns.cli import main as campaign_cli
+from repro.campaigns.runner import as_float
+
+
+def test_smoke_campaign_end_to_end(tmp_path):
+    spec = load_spec("smoke")
+    run = run_campaign(spec, tmp_path, log=lambda _m: None)
+    assert run.total_cells == 4
+    assert (run.ok, run.failed) == (4, 0)
+
+    records = load_results(tmp_path)
+    assert len(records) == 4
+
+    # Every cell carries the fault-recovery outcome around round 40.
+    for record in records.values():
+        assert record["status"] == "ok"
+        assert record["event_round"] == 40
+        assert record["recovery_rounds"] is not None
+
+    # The paper's headline (Fig. 4 vs Fig. 7): PCF recovers from the link
+    # failure in far fewer rounds than PF, per seed.
+    by_alg = {}
+    for record in records.values():
+        by_alg.setdefault(record["algorithm"], []).append(
+            as_float(record["recovery_rounds"])
+        )
+    pf = sum(by_alg["push_flow"]) / len(by_alg["push_flow"])
+    pcf = sum(by_alg["push_cancel_flow"]) / len(by_alg["push_cancel_flow"])
+    assert pcf < pf
+
+    # Report renders, sees a complete campaign, and flags no problems.
+    text, problems = render_report(tmp_path)
+    assert problems == 0
+    assert "push_cancel_flow" in text
+    assert "link(0,1)@40" in text
+
+    # Re-invoking resumes: all four cells are skipped, none re-run.
+    again = run_campaign(spec, tmp_path)
+    assert (again.skipped, again.executed) == (4, 0)
+
+
+def test_report_strict_flags_incomplete_campaign(tmp_path):
+    spec = load_spec("smoke")
+    run_campaign(spec, tmp_path)
+    results = tmp_path / "results.jsonl"
+    lines = results.read_text().splitlines()
+    results.write_text("\n".join(lines[:2]) + "\n")  # half the grid missing
+
+    text, problems = render_report(tmp_path)
+    assert problems == 2  # two cells unaccounted for
+    assert "expected cells" in text
+
+
+def test_summarize_separates_failures():
+    records = {
+        "a|t|f|s0": {
+            "cell_id": "a|t|f|s0",
+            "status": "ok",
+            "algorithm": "a",
+            "topology": "t",
+            "fault": "f",
+            "converged": True,
+            "rounds_to_tolerance": 10,
+            "final_error": 1e-9,
+            "recovery_rounds": 3,
+            "recovered": True,
+            "mass_drift_floor": 0.0,
+        },
+        "a|t|f|s1": {
+            "cell_id": "a|t|f|s1",
+            "status": "failed",
+            "attempts": 2,
+            "error": "timeout after 1s",
+        },
+    }
+    text, problems = summarize(records, expected_cells=2)
+    assert problems == 1
+    assert "Failures" in text
+    assert "timeout after 1s" in text
+
+
+def test_campaign_cli_runs_builtin(tmp_path, capsys):
+    out = tmp_path / "camp"
+    code = campaign_cli(["smoke", "--out", str(out), "--quiet"])
+    assert code == 0
+    captured = capsys.readouterr().out
+    assert "4 ok" in captured
+    assert (out / "results.jsonl").exists()
+
+    # Second invocation resumes off the checkpoint.
+    code = campaign_cli(["smoke", "--out", str(out), "--quiet", "--no-report"])
+    assert code == 0
+    assert "4 skipped" in capsys.readouterr().out

@@ -14,8 +14,6 @@ from repro.topology import erdos_renyi, hypercube, ring, star, torus3d
 from repro.vectorized.parity import (
     compare_engines,
     materialize_schedule,
-    run_object_engine,
-    run_vector_engine,
 )
 
 TOPOLOGIES = [

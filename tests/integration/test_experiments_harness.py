@@ -6,8 +6,6 @@ direction the curves move. These are the repository's reproduction
 regression tests.
 """
 
-import numpy as np
-import pytest
 
 from repro.experiments.figures import (
     ablation_message_loss,

@@ -1,13 +1,11 @@
 """Integration: facade coverage for the hardened variant + async FIFO."""
 
 import numpy as np
-import pytest
 
 from repro import run_reduction
 from repro.algorithms.aggregates import AggregateKind, initial_mass_pairs
 from repro.algorithms.registry import instantiate
 from repro.simulation.async_engine import AsynchronousEngine
-from repro.simulation.messages import Message
 from repro.topology import hypercube, ring
 
 

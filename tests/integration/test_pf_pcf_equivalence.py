@@ -12,7 +12,6 @@ import pytest
 from repro.algorithms.aggregates import AggregateKind, initial_mass_pairs, true_aggregate
 from repro.algorithms.registry import instantiate
 from repro.experiments.figures import equivalence_experiment, failure_experiment
-from repro.faults.events import single_link_failure
 from repro.metrics.history import ErrorHistory
 from repro.simulation.engine import SynchronousEngine
 from repro.simulation.schedule import UniformGossipSchedule

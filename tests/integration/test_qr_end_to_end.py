@@ -1,7 +1,6 @@
 """Integration: distributed QR (dmGS) end to end — the Sec. IV case study."""
 
 import numpy as np
-import pytest
 
 from repro.experiments.workloads import random_matrix
 from repro.linalg import (

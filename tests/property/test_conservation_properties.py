@@ -11,7 +11,6 @@ Hypothesis drives random interleavings (including losses) and checks the
 invariants after a "settling" exchange that restores conservation.
 """
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -3,7 +3,6 @@ interleavings: random send/deliver/drop schedules on one edge must never
 break the era-skew bound, produce non-finite state, or lose mass
 irrecoverably (a settling phase restores conservation)."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

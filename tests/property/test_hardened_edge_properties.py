@@ -7,7 +7,6 @@ exchanges always resynchronize it), (b) keeps the follower's era at or one
 behind the initiator's, and (c) conserves mass exactly after settling.
 """
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -1,7 +1,7 @@
 """Property-based tests for MassPair arithmetic (hypothesis)."""
 
 import numpy as np
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.algorithms.state import MassPair

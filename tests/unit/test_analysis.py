@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.analysis import (
-    PotentialHistory,
     compare_to_theory,
     disagreement_potential,
     equilibrium_flows,

@@ -1,0 +1,175 @@
+"""Campaign runner: retries, checkpoint/resume, parallel workers, timeouts."""
+
+import json
+
+import pytest
+
+from repro.campaigns import CampaignSpec, load_results, run_campaign
+from repro.campaigns.runner import execute_cell
+from repro.exceptions import ConfigurationError
+
+
+def tiny_spec(**overrides):
+    raw = {
+        "name": "tiny",
+        "algorithms": ["push_flow"],
+        "topologies": [{"family": "hypercube", "n": 8}],
+        "faults": [{"kind": "none"}],
+        "seeds": [0, 1],
+        "rounds": 30,
+        "epsilon": 1e-3,
+    }
+    raw.update(overrides)
+    return CampaignSpec.from_dict(raw)
+
+
+class TestExecuteCell:
+    def test_failure_free_cell_converges(self):
+        cell = tiny_spec(rounds=80, epsilon=1e-6).expand()[0]
+        record = execute_cell(cell)
+        assert record["status"] == "ok"
+        assert record["converged"] is True
+        assert record["rounds_to_tolerance"] is not None
+        assert record["event_round"] is None
+        assert record["recovery_rounds"] is None
+
+    def test_link_failure_cell_reports_recovery(self):
+        cell = tiny_spec(
+            faults=[{"kind": "link_failure", "round": 20}],
+            rounds=120,
+            epsilon=1e-6,
+        ).expand()[0]
+        record = execute_cell(cell)
+        assert record["event_round"] == 20
+        assert record["recovery_rounds"] is not None
+        assert record["recovered"] in (True, False)
+
+
+class TestSerialRetries:
+    def test_flaky_executor_retried_and_accounted(self, tmp_path):
+        spec = tiny_spec(seeds=[0])
+        calls = {"n": 0}
+
+        def flaky(cell):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("transient")
+            record = execute_cell(cell)
+            return record
+
+        run = run_campaign(spec, tmp_path, retries=2, executor=flaky)
+        assert (run.ok, run.failed, run.retries_used) == (1, 0, 1)
+        (record,) = load_results(tmp_path).values()
+        assert record["status"] == "ok"
+        assert record["attempts"] == 2
+
+    def test_exhausted_retries_record_failure(self, tmp_path):
+        spec = tiny_spec(seeds=[0])
+
+        def always_fails(cell):
+            raise RuntimeError("broken executor")
+
+        run = run_campaign(spec, tmp_path, retries=1, executor=always_fails)
+        assert (run.ok, run.failed, run.retries_used) == (0, 1, 1)
+        (record,) = load_results(tmp_path).values()
+        assert record["status"] == "failed"
+        assert record["attempts"] == 2
+        assert "broken executor" in record["error"]
+
+    def test_zero_retries_means_single_attempt(self, tmp_path):
+        spec = tiny_spec(seeds=[0])
+        calls = {"n": 0}
+
+        def always_fails(cell):
+            calls["n"] += 1
+            raise RuntimeError("nope")
+
+        run = run_campaign(spec, tmp_path, retries=0, executor=always_fails)
+        assert calls["n"] == 1
+        assert run.retries_used == 0
+
+
+class TestCheckpointResume:
+    def test_resume_skips_recorded_cells(self, tmp_path):
+        spec = tiny_spec()
+        executed = []
+
+        def tracking(cell):
+            executed.append(cell["cell_id"])
+            return execute_cell(cell)
+
+        first = run_campaign(spec, tmp_path, executor=tracking)
+        assert (first.executed, first.skipped) == (2, 0)
+
+        second = run_campaign(spec, tmp_path, executor=tracking)
+        assert (second.executed, second.skipped) == (0, 2)
+        assert len(executed) == 2  # nothing re-ran
+
+    def test_resume_after_partial_results(self, tmp_path):
+        spec = tiny_spec()
+        run_campaign(spec, tmp_path)
+        results = tmp_path / "results.jsonl"
+        lines = results.read_text().splitlines()
+        results.write_text(lines[0] + "\n")  # drop the second cell's record
+
+        rerun = run_campaign(spec, tmp_path)
+        assert (rerun.skipped, rerun.executed) == (1, 1)
+        assert len(load_results(tmp_path)) == 2
+
+    def test_truncated_trailing_line_is_rerun(self, tmp_path):
+        spec = tiny_spec()
+        run_campaign(spec, tmp_path)
+        results = tmp_path / "results.jsonl"
+        lines = results.read_text().splitlines()
+        results.write_text(lines[0] + "\n" + lines[1][: len(lines[1]) // 2])
+
+        rerun = run_campaign(spec, tmp_path)
+        assert (rerun.skipped, rerun.executed) == (1, 1)
+
+    def test_fresh_run_discards_results(self, tmp_path):
+        spec = tiny_spec()
+        run_campaign(spec, tmp_path)
+        rerun = run_campaign(spec, tmp_path, resume=False)
+        assert (rerun.skipped, rerun.executed) == (0, 2)
+
+    def test_mismatched_campaign_dir_rejected(self, tmp_path):
+        run_campaign(tiny_spec(), tmp_path)
+        other = tiny_spec(name="other")
+        with pytest.raises(ConfigurationError, match="different campaign"):
+            run_campaign(other, tmp_path)
+
+    def test_campaign_json_written(self, tmp_path):
+        spec = tiny_spec()
+        run_campaign(spec, tmp_path)
+        on_disk = json.loads((tmp_path / "campaign.json").read_text())
+        assert on_disk == spec.to_dict()
+
+
+class TestValidation:
+    def test_bad_worker_retry_timeout_values(self, tmp_path):
+        spec = tiny_spec()
+        with pytest.raises(ConfigurationError, match="workers"):
+            run_campaign(spec, tmp_path, workers=-1)
+        with pytest.raises(ConfigurationError, match="retries"):
+            run_campaign(spec, tmp_path, retries=-1)
+        with pytest.raises(ConfigurationError, match="timeout"):
+            run_campaign(spec, tmp_path, workers=1, timeout=0)
+
+
+class TestParallel:
+    def test_two_workers_complete_the_grid(self, tmp_path):
+        spec = tiny_spec()
+        run = run_campaign(spec, tmp_path, workers=2, timeout=120)
+        assert (run.ok, run.failed) == (2, 0)
+        records = load_results(tmp_path)
+        assert len(records) == 2
+        assert all(r["status"] == "ok" for r in records.values())
+
+    def test_timeout_terminates_and_records_failure(self, tmp_path):
+        # A cell that cannot finish inside the deadline: huge round budget.
+        spec = tiny_spec(seeds=[0], rounds=5_000_000, epsilon=1e-15)
+        run = run_campaign(spec, tmp_path, workers=1, timeout=0.5, retries=0)
+        assert (run.ok, run.failed) == (0, 1)
+        (record,) = load_results(tmp_path).values()
+        assert record["status"] == "failed"
+        assert "timeout" in record["error"]

@@ -1,0 +1,191 @@
+"""Campaign spec validation, file loading and cross-product expansion."""
+
+import json
+
+import pytest
+
+from repro.campaigns import BUILTIN_SPECS, CampaignSpec, load_spec
+from repro.exceptions import ConfigurationError
+
+
+def minimal_spec(**overrides):
+    raw = {
+        "name": "t",
+        "algorithms": ["push_flow"],
+        "topologies": [{"family": "hypercube", "n": 8}],
+        "faults": [{"kind": "none"}],
+        "seeds": [0],
+        "rounds": 10,
+        "epsilon": 1e-6,
+    }
+    raw.update(overrides)
+    return raw
+
+
+class TestValidation:
+    def test_minimal_spec_parses(self):
+        spec = CampaignSpec.from_dict(minimal_spec())
+        assert spec.name == "t"
+        assert spec.n_cells == 1
+
+    def test_unknown_top_level_key_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown key"):
+            CampaignSpec.from_dict(minimal_spec(topology=[]))
+
+    def test_missing_axis_rejected(self):
+        raw = minimal_spec()
+        del raw["seeds"]
+        with pytest.raises(ConfigurationError, match="missing axis"):
+            CampaignSpec.from_dict(raw)
+
+    @pytest.mark.parametrize("axis", ["algorithms", "topologies", "faults", "seeds"])
+    def test_empty_axis_names_the_axis(self, axis):
+        with pytest.raises(ConfigurationError, match=f"axis '{axis}' is empty"):
+            CampaignSpec.from_dict(minimal_spec(**{axis: []}))
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown algorithm"):
+            CampaignSpec.from_dict(minimal_spec(algorithms=["push_pull"]))
+
+    def test_unknown_topology_family_rejected(self):
+        with pytest.raises(ConfigurationError, match="topologies"):
+            CampaignSpec.from_dict(
+                minimal_spec(topologies=[{"family": "moebius", "n": 8}])
+            )
+
+    def test_bad_topology_params_fail_at_parse_time(self):
+        # hypercube needs a power-of-two node count; the dry-build catches it
+        with pytest.raises(ConfigurationError, match="topologies"):
+            CampaignSpec.from_dict(
+                minimal_spec(topologies=[{"family": "hypercube", "n": 9}])
+            )
+
+    def test_bad_fault_spec_names_the_entry(self):
+        with pytest.raises(ConfigurationError, match="faults.*\\[1\\]"):
+            CampaignSpec.from_dict(
+                minimal_spec(faults=[{"kind": "none"}, {"kind": "bogus"}])
+            )
+
+    def test_duplicate_fault_names_rejected(self):
+        faults = [
+            {"kind": "message_loss", "rate": 0.1},
+            {"kind": "message_loss", "rate": 0.1},
+        ]
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            CampaignSpec.from_dict(minimal_spec(faults=faults))
+
+    def test_duplicate_seeds_rejected(self):
+        with pytest.raises(ConfigurationError, match="seeds"):
+            CampaignSpec.from_dict(minimal_spec(seeds=[1, 1]))
+
+    def test_bad_rounds_epsilon_aggregate_data(self):
+        with pytest.raises(ConfigurationError, match="rounds"):
+            CampaignSpec.from_dict(minimal_spec(rounds=0))
+        with pytest.raises(ConfigurationError, match="epsilon"):
+            CampaignSpec.from_dict(minimal_spec(epsilon=2.0))
+        with pytest.raises(ConfigurationError, match="aggregate"):
+            CampaignSpec.from_dict(minimal_spec(aggregate="median"))
+        with pytest.raises(ConfigurationError, match="data"):
+            CampaignSpec.from_dict(minimal_spec(data="gaussian"))
+
+
+class TestExpansion:
+    def test_cell_count_is_axis_product(self):
+        spec = CampaignSpec.from_dict(
+            minimal_spec(
+                algorithms=["push_flow", "push_cancel_flow"],
+                topologies=[
+                    {"family": "hypercube", "n": 8},
+                    {"family": "ring", "n": 8},
+                ],
+                faults=[{"kind": "none"}, {"kind": "message_loss", "rate": 0.1}],
+                seeds=[0, 1, 2],
+            )
+        )
+        cells = spec.expand()
+        assert len(cells) == spec.n_cells == 2 * 2 * 2 * 3
+
+    def test_cell_ids_are_unique_and_stable(self):
+        raw = minimal_spec(
+            algorithms=["push_flow", "push_sum"], seeds=[0, 1]
+        )
+        first = [c["cell_id"] for c in CampaignSpec.from_dict(raw).expand()]
+        second = [c["cell_id"] for c in CampaignSpec.from_dict(raw).expand()]
+        assert first == second
+        assert len(set(first)) == len(first)
+        assert "push_flow|hypercube-8|none|s0" in first
+
+    def test_cells_are_plain_and_json_serializable(self):
+        spec = CampaignSpec.from_dict(minimal_spec())
+        for cell in spec.expand():
+            json.dumps(cell)  # must cross process boundaries
+
+    def test_roundtrip_through_to_dict(self):
+        spec = CampaignSpec.from_dict(minimal_spec())
+        again = CampaignSpec.from_dict(spec.to_dict())
+        assert again == spec
+
+
+class TestFiles:
+    def test_toml_roundtrip(self, tmp_path):
+        path = tmp_path / "c.toml"
+        path.write_text(
+            "\n".join(
+                [
+                    'name = "toml-campaign"',
+                    'algorithms = ["push_flow"]',
+                    "seeds = [0, 1]",
+                    "rounds = 10",
+                    "epsilon = 1e-6",
+                    "",
+                    "[[topologies]]",
+                    'family = "hypercube"',
+                    "n = 8",
+                    "",
+                    "[[faults]]",
+                    'kind = "link_failure"',
+                    "round = 5",
+                ]
+            )
+        )
+        spec = CampaignSpec.from_file(path)
+        assert spec.name == "toml-campaign"
+        assert spec.n_cells == 2
+
+    def test_json_roundtrip(self, tmp_path):
+        path = tmp_path / "c.json"
+        path.write_text(json.dumps(minimal_spec()))
+        assert CampaignSpec.from_file(path).n_cells == 1
+
+    def test_missing_file_and_bad_suffix(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="not found"):
+            CampaignSpec.from_file(tmp_path / "nope.toml")
+        bad = tmp_path / "c.yaml"
+        bad.write_text("x: 1")
+        with pytest.raises(ConfigurationError, match="toml or"):
+            CampaignSpec.from_file(bad)
+
+    def test_invalid_toml_reports_path(self, tmp_path):
+        path = tmp_path / "broken.toml"
+        path.write_text("name = [unclosed")
+        with pytest.raises(ConfigurationError, match="invalid TOML"):
+            CampaignSpec.from_file(path)
+
+
+class TestLoadSpec:
+    def test_builtin_names_resolve(self):
+        for name in BUILTIN_SPECS:
+            spec = load_spec(name)
+            assert spec.n_cells >= 1
+
+    def test_dict_passthrough(self):
+        assert load_spec(minimal_spec()).name == "t"
+
+    def test_unknown_source_lists_builtins(self):
+        with pytest.raises(ConfigurationError, match="fig4-recovery"):
+            load_spec("no-such-campaign")
+
+    def test_smoke_builtin_is_ci_sized(self):
+        spec = load_spec("smoke")
+        assert spec.n_cells == 4
+        assert all(t["n"] <= 16 for t in spec.topologies)

@@ -5,7 +5,6 @@ import pytest
 
 from repro.algorithms.aggregates import AggregateKind, initial_mass_pairs
 from repro.algorithms.registry import instantiate
-from repro.algorithms.state import MassPair
 from repro.exceptions import ConfigurationError
 from repro.faults.events import FaultPlan, LinkFailure, NodeFailure
 from repro.faults.message_loss import IidMessageLoss
@@ -13,7 +12,7 @@ from repro.simulation.engine import SynchronousEngine
 from repro.simulation.observers import Observer, RoundCounter
 from repro.simulation.schedule import FixedSchedule, UniformGossipSchedule
 from repro.topology import hypercube, ring
-from tests.conftest import build_engine, exact_average
+from tests.conftest import build_engine
 
 
 class TestConstruction:

@@ -1,6 +1,5 @@
 """Additional edge-case coverage for the synchronous engine."""
 
-import numpy as np
 import pytest
 
 from repro.algorithms.aggregates import AggregateKind, initial_mass_pairs

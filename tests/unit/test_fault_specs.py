@@ -1,0 +1,157 @@
+"""Declarative fault-schedule specs: validation, naming, instantiation."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.faults import (
+    FAULT_KINDS,
+    BurstMessageLoss,
+    CompositeFault,
+    IidMessageLoss,
+    StateBitFlipInjector,
+    build_faults,
+    validate_fault_spec,
+)
+
+
+class TestValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown fault kind"):
+            validate_fault_spec({"kind": "gamma_ray"})
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(ConfigurationError, match="table/dict"):
+            validate_fault_spec(["message_loss"])
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown key"):
+            validate_fault_spec({"kind": "message_loss", "rate": 0.1, "prob": 0.2})
+
+    def test_missing_required_key_rejected(self):
+        with pytest.raises(ConfigurationError, match="missing required"):
+            validate_fault_spec({"kind": "link_failure"})
+
+    def test_rate_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError, match="rate"):
+            validate_fault_spec({"kind": "message_loss", "rate": 1.5})
+
+    def test_bad_edge_rejected(self):
+        with pytest.raises(ConfigurationError, match="edge"):
+            validate_fault_spec(
+                {"kind": "link_failure", "round": 10, "edge": [0, 1, 2]}
+            )
+
+    def test_empty_state_flip_rounds_rejected(self):
+        with pytest.raises(ConfigurationError, match="rounds"):
+            validate_fault_spec({"kind": "state_flip", "rounds": []})
+
+    def test_where_prefix_in_message(self):
+        with pytest.raises(ConfigurationError, match="faults\\[3\\]"):
+            validate_fault_spec({"kind": "nope"}, where="faults[3]")
+
+    def test_every_kind_has_a_valid_minimal_spec(self):
+        minimal = {
+            "none": {},
+            "message_loss": {"rate": 0.1},
+            "burst_loss": {"p_gb": 0.1, "p_bg": 0.5},
+            "bit_flip": {"rate": 0.01},
+            "link_failure": {"round": 10},
+            "node_failure": {"round": 10, "node": 3},
+            "state_flip": {"rounds": [5]},
+        }
+        assert set(minimal) == set(FAULT_KINDS)
+        for kind, params in minimal.items():
+            normalized = validate_fault_spec({"kind": kind, **params})
+            assert normalized["name"]
+
+
+class TestNaming:
+    def test_derived_names(self):
+        assert validate_fault_spec({"kind": "none"})["name"] == "none"
+        assert (
+            validate_fault_spec({"kind": "message_loss", "rate": 0.05})["name"]
+            == "loss0.05"
+        )
+        assert (
+            validate_fault_spec({"kind": "link_failure", "round": 75})["name"]
+            == "link(0,1)@75"
+        )
+
+    def test_explicit_name_wins(self):
+        spec = {"kind": "message_loss", "rate": 0.05, "name": "lossy"}
+        assert validate_fault_spec(spec)["name"] == "lossy"
+
+    def test_composed_name_joins_parts(self):
+        spec = {
+            "compose": [
+                {"kind": "message_loss", "rate": 0.1},
+                {"kind": "link_failure", "round": 20},
+            ]
+        }
+        assert validate_fault_spec(spec)["name"] == "loss0.1+link(0,1)@20"
+
+    def test_compose_rejects_extra_keys_and_empty_list(self):
+        with pytest.raises(ConfigurationError, match="compose"):
+            validate_fault_spec({"compose": []})
+        with pytest.raises(ConfigurationError, match="extra key"):
+            validate_fault_spec({"compose": [{"kind": "none"}], "rate": 0.1})
+
+
+class TestBuild:
+    def test_none_builds_empty_schedule(self):
+        built = build_faults({"kind": "none"})
+        assert built.message_fault is None
+        assert built.observers == []
+        assert built.event_round is None
+        assert not built.fault_plan.link_failures
+        assert not built.fault_plan.node_failures
+
+    def test_message_loss_builds_iid_fault(self):
+        built = build_faults({"kind": "message_loss", "rate": 0.2}, seed=7)
+        assert isinstance(built.message_fault, IidMessageLoss)
+
+    def test_link_failure_sets_event_round(self):
+        built = build_faults(
+            {"kind": "link_failure", "round": 30, "detection_delay": 5}
+        )
+        (lf,) = built.fault_plan.link_failures
+        assert lf.round == 30
+        assert built.event_round == lf.handle_round == 35
+
+    def test_state_flip_builds_observer(self):
+        built = build_faults({"kind": "state_flip", "rounds": [10, 20]})
+        assert len(built.observers) == 1
+        assert isinstance(built.observers[0], StateBitFlipInjector)
+
+    def test_compose_merges_message_faults_and_event_round(self):
+        built = build_faults(
+            {
+                "compose": [
+                    {"kind": "message_loss", "rate": 0.1},
+                    {"kind": "burst_loss", "p_gb": 0.05, "p_bg": 0.5},
+                    {"kind": "link_failure", "round": 40},
+                    {"kind": "node_failure", "round": 25, "node": 2},
+                ]
+            }
+        )
+        assert isinstance(built.message_fault, CompositeFault)
+        assert built.event_round == 25  # earliest handling round wins
+
+    def test_single_burst_not_wrapped_in_composite(self):
+        built = build_faults({"kind": "burst_loss", "p_gb": 0.1, "p_bg": 0.5})
+        assert isinstance(built.message_fault, BurstMessageLoss)
+
+    def test_same_seed_same_fault_timeline(self):
+        from repro.simulation.messages import Message
+
+        spec = {"kind": "message_loss", "rate": 0.5}
+        a = build_faults(spec, seed=3).message_fault
+        b = build_faults(spec, seed=3).message_fault
+        messages = [
+            Message(sender=0, receiver=1, round=r, payload=None)
+            for r in range(50)
+        ]
+        drops_a = [a.apply(m) is None for m in messages]
+        drops_b = [b.apply(m) is None for m in messages]
+        assert drops_a == drops_b
+        assert any(drops_a) and not all(drops_a)

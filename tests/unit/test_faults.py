@@ -1,7 +1,5 @@
 """Unit tests for the fault-injection framework."""
 
-import dataclasses
-import math
 
 import numpy as np
 import pytest

@@ -6,7 +6,6 @@ the races the counters must absorb.
 """
 
 import numpy as np
-import pytest
 
 from repro.algorithms.flow_edge import PCFEdgeState, PCFPayload
 from repro.algorithms.state import MassPair, zero_pair

@@ -14,7 +14,6 @@ from repro.linalg import (
     distributed_qr,
     factorization_error,
     local_mgs,
-    orthogonality_error,
     partition_rows,
     r_consistency_error,
     reconstruct,

@@ -1,6 +1,5 @@
 """Unit tests for the ASCII plotting helper."""
 
-import math
 
 import pytest
 

@@ -3,11 +3,11 @@
 import numpy as np
 import pytest
 
-from repro import AggregateKind, ReductionResult, default_round_cap, run_reduction
+from repro import AggregateKind, default_round_cap, run_reduction
 from repro.exceptions import ConfigurationError
 from repro.faults.events import single_link_failure
 from repro.faults.message_loss import IidMessageLoss
-from repro.topology import hypercube, ring
+from repro.topology import hypercube
 
 
 @pytest.fixture

@@ -1,6 +1,5 @@
 """Unit tests for the algorithm registry and communication schedules."""
 
-import numpy as np
 import pytest
 
 from repro.algorithms.push_cancel_flow import PushCancelFlow

@@ -1,6 +1,5 @@
 """Unit tests for random topologies, graph properties, and the registry."""
 
-import math
 
 import networkx as nx
 import numpy as np

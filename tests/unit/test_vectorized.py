@@ -5,7 +5,6 @@ import pytest
 
 from repro.exceptions import ConfigurationError
 from repro.topology import hypercube, ring, star
-from repro.vectorized.base import VectorizedEngine
 from repro.vectorized.engines import (
     VectorPushCancelFlow,
     VectorPushFlow,
