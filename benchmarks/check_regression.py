@@ -3,7 +3,8 @@
 Usage::
 
     PYTHONPATH=src python benchmarks/check_regression.py current.json \
-        --baseline BENCH_engine.json --max-regression 0.30
+        --baseline BENCH_engine.json --max-regression 0.30 \
+        --max-sampled-slowdown 1.5
 
 Wall-clock rounds/sec is machine-dependent, so comparing a CI runner's
 absolute numbers against the committed ``BENCH_engine.json`` (measured on a
@@ -13,6 +14,13 @@ rounds on the same machine in the same process, so their ratio cancels the
 hardware term and isolates "did the vectorized engine get slower relative
 to the object engine". A ratio drop beyond ``--max-regression`` (default
 30%) exits 1.
+
+The second gate is the sampled-telemetry overhead budget: each vectorized
+entry's ``overhead_sampled.slowdown`` (plain vs default-sampled telemetry
+throughput, also a same-machine ratio) must stay at or below
+``--max-sampled-slowdown`` (default 1.5). This is the promise that keeps
+default-on observability affordable; the full-detail ``overhead`` numbers
+are informational only.
 """
 
 from __future__ import annotations
@@ -42,6 +50,22 @@ def load_ratios(path: str) -> Dict[int, float]:
     }
 
 
+def load_sampled_slowdowns(path: str) -> Dict[int, float]:
+    """Map n -> vectorized ``overhead_sampled.slowdown`` from a bench JSON."""
+    with open(path) as fh:
+        payload = json.load(fh)
+    slowdowns: Dict[int, float] = {}
+    for entry in payload.get("entries", []):
+        if entry.get("engine") != "vector":
+            continue
+        sampled = entry.get("overhead_sampled") or {}
+        n = entry.get("n")
+        slowdown = sampled.get("slowdown")
+        if n is not None and slowdown is not None:
+            slowdowns[int(n)] = float(slowdown)
+    return slowdowns
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         description="Compare vector/sync throughput ratios against a baseline."
@@ -58,6 +82,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.30,
         metavar="FRAC",
         help="allowed fractional ratio drop before failing (default: 0.30)",
+    )
+    parser.add_argument(
+        "--max-sampled-slowdown",
+        type=float,
+        default=1.5,
+        metavar="X",
+        help=(
+            "budget for the vectorized engine's default-sampled telemetry "
+            "slowdown; 0 disables the gate (default: 1.5)"
+        ),
     )
     return parser
 
@@ -101,6 +135,33 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         return 1
     print(f"ratios within {args.max_regression:.0%} of baseline for n={common}")
+
+    if args.max_sampled_slowdown > 0:
+        slowdowns = load_sampled_slowdowns(args.current)
+        if not slowdowns:
+            print(
+                "error: current bench JSON carries no vectorized "
+                "overhead_sampled entries to gate on",
+                file=sys.stderr,
+            )
+            return 1
+        over = {
+            n: s for n, s in slowdowns.items() if s > args.max_sampled_slowdown
+        }
+        for n in sorted(slowdowns):
+            verdict = "FAIL" if n in over else "ok"
+            print(
+                f"sampled-telemetry slowdown n={n}: {slowdowns[n]:.2f}x "
+                f"(budget {args.max_sampled_slowdown:.2f}x) {verdict}"
+            )
+        if over:
+            print(
+                "error: default-sampled telemetry exceeds the "
+                f"{args.max_sampled_slowdown:.2f}x budget at "
+                f"n={sorted(over)} — the sampling fast path regressed.",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 

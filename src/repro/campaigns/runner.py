@@ -21,7 +21,14 @@ Outcome metrics per cell (see DESIGN.md for the paper mapping):
   global mass-conservation drift from
   :class:`~repro.telemetry.probes.MassConservationProbe`; the *floor*
   (minimum over the run's tail) is the persistent-loss signal, since
-  crossing-induced drift spikes self-heal.
+  crossing-induced drift spikes self-heal;
+- ``alerts`` / ``alerts_total`` — per-detector counts from the
+  :mod:`repro.tracing.anomaly` detectors that ride along with every cell;
+- ``flight_dumps`` — black-box files the cell's
+  :class:`~repro.tracing.flight.FlightRecorder` wrote (link-failure
+  handling, non-finite estimates, sustained mass drain, or the exception
+  that failed the cell); failure records list whatever dumps reached the
+  cell's flight directory before the attempt died.
 """
 
 from __future__ import annotations
@@ -114,15 +121,43 @@ def execute_cell(cell: Dict[str, object]) -> Dict[str, object]:
     built = build_faults(cell["fault"], seed=seed)  # type: ignore[arg-type]
     history = ErrorHistory(truth)
     mass_probe = MassConservationProbe(tolerance=_MASS_TOLERANCE)
+
+    # Per-cell observability: anomaly detectors always ride along (they
+    # sample, so they are cheap); the flight recorder joins when the
+    # campaign provides a per-cell dump directory. Both honour the spec's
+    # telemetry_sample_rate (None -> the cheap default stride).
+    from repro.telemetry.sampling import RoundSampler
+    from repro.tracing.anomaly import default_detectors
+    from repro.tracing.flight import FlightRecorder
+
+    sample_rate = cell.get("telemetry_sample_rate")
+    sampler = (
+        RoundSampler(rate=float(sample_rate))  # type: ignore[arg-type]
+        if sample_rate is not None
+        else None
+    )
+    detectors = default_detectors(sampler=sampler)
+    flight_dir = cell.get("flight_dir")
+    flight = (
+        FlightRecorder(str(flight_dir)) if flight_dir is not None else None
+    )
+    extra_observers: List[object] = list(detectors)
+    if flight is not None:
+        extra_observers.append(flight)
+
     engine = SynchronousEngine(
         topology,
         algorithms,
         UniformGossipSchedule(topology.n, seed + _SCHEDULE_SEED_OFFSET),
         message_fault=built.message_fault,
         fault_plan=built.fault_plan,
-        observers=[history, mass_probe] + built.observers,
+        observers=[history, mass_probe, *extra_observers] + built.observers,
     )
-    engine.run(rounds)
+    if flight is not None:
+        with flight.watch(engine):
+            engine.run(rounds)
+    else:
+        engine.run(rounds)
 
     errors = history.max_errors
     final_error = history.final_max_error()
@@ -188,6 +223,11 @@ def execute_cell(cell: Dict[str, object]) -> Dict[str, object]:
         ),
         "mass_drift_worst": _json_float(mass_probe.worst_drift()),
         "mass_violations": len(mass_probe.violations),
+        "alerts_total": sum(len(d.alerts) for d in detectors),
+        "alerts": {d.name: len(d.alerts) for d in detectors if d.alerts},
+        "flight_dumps": (
+            [str(p) for p in flight.dump_paths] if flight is not None else []
+        ),
         "messages_sent": engine.messages_sent,
         "messages_delivered": engine.messages_delivered,
         "wall_s": round(time.perf_counter() - t0, 4),
@@ -195,9 +235,24 @@ def execute_cell(cell: Dict[str, object]) -> Dict[str, object]:
     }
 
 
+def _safe_cell_dir(cell_id: str) -> str:
+    """Filesystem-safe directory name for a cell's flight dumps."""
+    return "".join(c if c.isalnum() or c in "-_." else "_" for c in cell_id)
+
+
 def _failure_record(
     cell: Dict[str, object], attempts: int, error: str
 ) -> Dict[str, object]:
+    # The flight recorder writes its black-box dumps before the failing
+    # attempt unwinds (FlightRecorder.watch dumps on the escaping
+    # exception), so whatever reached the cell's flight directory is the
+    # post-mortem record for this failure.
+    flight_dir = cell.get("flight_dir")
+    dumps: List[str] = []
+    if flight_dir is not None:
+        directory = pathlib.Path(str(flight_dir))
+        if directory.is_dir():
+            dumps = sorted(str(p) for p in directory.glob("flight_*.json"))
     return {
         "cell_id": cell["cell_id"],
         "status": "failed",
@@ -206,6 +261,7 @@ def _failure_record(
         "fault": cell["fault"].get("name"),  # type: ignore[union-attr]
         "seed": cell["seed"],
         "attempts": attempts,
+        "flight_dumps": dumps,
         "error": error,
     }
 
@@ -419,6 +475,9 @@ def run_campaign(
     spec_dict = spec.to_dict()
     if spec_path.exists():
         existing = json.loads(spec_path.read_text())
+        # Older campaign dirs predate the telemetry_sample_rate run key;
+        # let them resume under the default rather than refusing.
+        existing.setdefault("telemetry_sample_rate", None)
         if existing != spec_dict:
             raise ConfigurationError(
                 f"{out_path} already holds results for a different campaign "
@@ -433,6 +492,10 @@ def run_campaign(
     completed = load_results(out_path) if resume else {}
 
     cells = spec.expand()
+    for cell in cells:
+        cell["flight_dir"] = str(
+            out_path / "flight" / _safe_cell_dir(str(cell["cell_id"]))
+        )
     pending = [c for c in cells if c["cell_id"] not in completed]
     skipped = len(cells) - len(pending)
     say(

@@ -41,7 +41,14 @@ from repro.faults.specs import validate_fault_spec
 from repro.topology import registry as topology_registry
 
 _AXES = ("algorithms", "topologies", "faults", "seeds")
-_RUN_KEYS = ("name", "rounds", "epsilon", "aggregate", "data")
+_RUN_KEYS = (
+    "name",
+    "rounds",
+    "epsilon",
+    "aggregate",
+    "data",
+    "telemetry_sample_rate",
+)
 _DATA_KINDS = ("uniform", "spike", "log_uniform")
 _AGGREGATES = ("average", "sum")
 
@@ -67,6 +74,12 @@ class CampaignSpec:
     epsilon: float
     aggregate: str = "average"
     data: str = "uniform"
+    #: Fraction of rounds the per-cell observers (anomaly detectors,
+    #: flight-recorder state snapshots' cost-bearing peers) sample; None
+    #: means the cheap default stride of
+    #: :data:`repro.telemetry.sampling.DEFAULT_SAMPLE_EVERY`. Raising it
+    #: toward 1.0 tightens detector latency at proportional overhead.
+    telemetry_sample_rate: Union[float, None] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -159,6 +172,19 @@ class CampaignSpec:
             raise ConfigurationError(
                 f"data must be one of {_DATA_KINDS}, got {data!r}"
             )
+        sample_rate = raw.get("telemetry_sample_rate")
+        if sample_rate is not None:
+            try:
+                sample_rate = float(sample_rate)  # type: ignore[arg-type]
+            except (TypeError, ValueError):
+                raise ConfigurationError(
+                    f"telemetry_sample_rate must be a number in (0, 1], "
+                    f"got {sample_rate!r}"
+                ) from None
+            if not 0.0 < sample_rate <= 1.0:
+                raise ConfigurationError(
+                    f"telemetry_sample_rate must be in (0, 1], got {sample_rate}"
+                )
         return cls(
             name=str(raw.get("name", "campaign")),
             algorithms=algorithms,
@@ -169,6 +195,7 @@ class CampaignSpec:
             epsilon=epsilon,
             aggregate=aggregate,
             data=data,
+            telemetry_sample_rate=sample_rate,
         )
 
     @classmethod
@@ -219,6 +246,7 @@ class CampaignSpec:
             "epsilon": self.epsilon,
             "aggregate": self.aggregate,
             "data": self.data,
+            "telemetry_sample_rate": self.telemetry_sample_rate,
         }
 
     @property
@@ -258,6 +286,9 @@ class CampaignSpec:
                                 "epsilon": self.epsilon,
                                 "aggregate": self.aggregate,
                                 "data": self.data,
+                                "telemetry_sample_rate": (
+                                    self.telemetry_sample_rate
+                                ),
                             }
                         )
         return cells

@@ -39,7 +39,9 @@ def build_parser() -> argparse.ArgumentParser:
         epilog=(
             "Scenario sweeps: 'python -m repro.experiments campaign <spec>' "
             "runs a fault-injection campaign grid (see repro.campaigns; "
-            "'campaign --help' for options)."
+            "'campaign --help' for options). Causal tracing: 'python -m "
+            "repro.experiments trace run|diff|query|validate' (see "
+            "repro.tracing; 'trace --help' for options)."
         ),
     )
     parser.add_argument(
@@ -78,8 +80,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--telemetry-every",
         metavar="N",
         type=int,
-        default=8,
-        help="record per-round telemetry every N rounds (default: 8)",
+        default=None,
+        help=(
+            "record per-round telemetry every N rounds (default: 8; "
+            "sampling keeps default-on overhead low — message totals stay "
+            "exact, per-message detail and phase timing are thinned)"
+        ),
+    )
+    parser.add_argument(
+        "--telemetry-sample-rate",
+        metavar="RATE",
+        type=float,
+        default=None,
+        help=(
+            "alternative to --telemetry-every: sample fraction in (0, 1], "
+            "e.g. 0.125 records one round in 8"
+        ),
     )
     return parser
 
@@ -122,15 +138,35 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.campaigns.cli import main as campaign_main
 
         return campaign_main(argv[1:])
+    if argv and argv[0] == "trace":
+        from repro.tracing.cli import main as trace_main
+
+        return trace_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.telemetry_every < 1:
+    if args.telemetry_every is not None and args.telemetry_every < 1:
         parser.error(f"--telemetry-every must be >= 1, got {args.telemetry_every}")
+    if args.telemetry_every is not None and args.telemetry_sample_rate is not None:
+        parser.error(
+            "--telemetry-every and --telemetry-sample-rate are mutually "
+            "exclusive"
+        )
+    if args.telemetry_sample_rate is not None and not (
+        0.0 < args.telemetry_sample_rate <= 1.0
+    ):
+        parser.error(
+            f"--telemetry-sample-rate must be in (0, 1], got "
+            f"{args.telemetry_sample_rate}"
+        )
     names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     if args.telemetry:
         from repro.telemetry import capture
 
-        with capture(args.telemetry, trace_every=args.telemetry_every):
+        with capture(
+            args.telemetry,
+            sample_every=args.telemetry_every,
+            sample_rate=args.telemetry_sample_rate,
+        ):
             _run_and_report(args, names)
         print(
             f"telemetry dumped to {args.telemetry} "

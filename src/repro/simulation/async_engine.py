@@ -86,6 +86,9 @@ class AsynchronousEngine:
         self._handled_edges: Set[Tuple[int, int]] = set()
         self._activations = 0
         self._messages_delivered = 0
+        # Sends made on unsampled (detail-free) time units, flushed as one
+        # batched on_round_messages call at the next unit boundary.
+        self._unsampled_sends = 0
 
         # Prime one activation per node; each activation reschedules itself.
         for node in topology.nodes():
@@ -153,6 +156,7 @@ class AsynchronousEngine:
         if not stopped:
             # Cross any fault instants in the remaining quiet interval.
             self._advance_time(until_time)
+        self._flush_unsampled_sends(int(self._now))
         # Rounds-equivalents completed: one simulated time unit each.
         self._observer.on_run_end(self, int(self._now))
         return self._now
@@ -200,17 +204,29 @@ class AsynchronousEngine:
         if observed and int(time) > int(self._now):
             # Report each completed unit interval as one rounds-equivalent
             # so per-round observers (traces, probes) sample async runs too.
+            self._flush_unsampled_sends(int(self._now))
             for r in range(int(self._now), int(time)):
                 self._observer.on_round_end(self, r)
         self._now = time
+
+    def _flush_unsampled_sends(self, round_index: int) -> None:
+        """Batch-report sends that skipped per-message hooks (sampling)."""
+        if self._unsampled_sends and self._observer:
+            # delivered == sent: drops are always reported individually.
+            self._observer.on_round_messages(
+                self, round_index, self._unsampled_sends, self._unsampled_sends
+            )
+            self._unsampled_sends = 0
 
     def _activate(self, node: int) -> None:
         if node not in self._dead_nodes:
             alg = self._algorithms[node]
             live = alg.neighbors
             if live:
-                observed = bool(self._observer)
-                t0 = _time.perf_counter() if observed else 0.0
+                detailed = bool(self._observer) and self._observer.wants_detail(
+                    int(self._now)
+                )
+                t0 = _time.perf_counter() if detailed else 0.0
                 target = live[int(self._rng.integers(0, len(live)))]
                 payload = alg.make_message(target)
                 message = Message(
@@ -220,10 +236,12 @@ class AsynchronousEngine:
                     payload=payload,
                 )
                 self._activations += 1
-                if observed:
+                if detailed:
                     self._observer.on_message_sent(self, message)
+                elif self._observer:
+                    self._unsampled_sends += 1
                 self._dispatch(message)
-                if observed:
+                if detailed:
                     self._observer.on_phase_end(
                         self, "send", _time.perf_counter() - t0
                     )
@@ -280,10 +298,12 @@ class AsynchronousEngine:
             if observed:
                 self._observer.on_message_dropped(self, message, "stale")
             return
-        t0 = _time.perf_counter() if observed else 0.0
+        detailed = observed and self._observer.wants_detail(int(self._now))
+        t0 = _time.perf_counter() if detailed else 0.0
         receiver.on_receive(message.sender, message.payload)
         self._messages_delivered += 1
-        if observed:
+        if detailed:
+            self._observer.on_message_delivered(self, message)
             self._observer.on_phase_end(
                 self, "deliver", _time.perf_counter() - t0
             )

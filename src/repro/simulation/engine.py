@@ -149,8 +149,13 @@ class SynchronousEngine:
         """Execute exactly one synchronous round."""
         round_index = self._round
         # Observed runs time every phase; unobserved runs skip all of it so
-        # disabled telemetry stays off the hot path.
+        # disabled telemetry stays off the hot path. Sampled telemetry sets
+        # additionally skip phase timing and per-message hooks on unsampled
+        # rounds (`detailed` False); message totals of such rounds are
+        # reported through the batched on_round_messages hook instead, and
+        # drops/faults/handlings always fire individually.
         observed = bool(self._observer)
+        detailed = observed and self._observer.wants_detail(round_index)
 
         # Phase 0: components whose physical failure starts this round.
         for lf in self._fault_plan.link_failures:
@@ -169,7 +174,7 @@ class SynchronousEngine:
                     )
 
         # Phase 1: sends (local bookkeeping happens here).
-        t0 = time.perf_counter() if observed else 0.0
+        t0 = time.perf_counter() if detailed else 0.0
         outbox: List[Message] = []
         for node in self._topology.nodes():
             if node in self._dead_nodes:
@@ -192,9 +197,9 @@ class SynchronousEngine:
             )
             outbox.append(message)
             self._messages_sent += 1
-            if observed:
+            if detailed:
                 self._observer.on_message_sent(self, message)
-        if observed:
+        if detailed:
             t1 = time.perf_counter()
             self._observer.on_phase_end(self, "send", t1 - t0)
             t0 = t1
@@ -222,7 +227,7 @@ class SynchronousEngine:
                 delivered.append(filtered)
             elif observed:
                 self._observer.on_message_dropped(self, message, "injector")
-        if observed:
+        if detailed:
             t1 = time.perf_counter()
             self._observer.on_phase_end(self, "transport", t1 - t0)
             t0 = t1
@@ -233,7 +238,9 @@ class SynchronousEngine:
                 message.sender, message.payload
             )
             self._messages_delivered += 1
-        if observed:
+            if detailed:
+                self._observer.on_message_delivered(self, message)
+        if detailed:
             t1 = time.perf_counter()
             self._observer.on_phase_end(self, "deliver", t1 - t0)
             t0 = t1
@@ -244,12 +251,20 @@ class SynchronousEngine:
         for nf in self._fault_plan.node_handlings_at(round_index):
             for neighbor in self._topology.neighbors(nf.node):
                 self._handle_link(nf.node, neighbor, round_index)
-        if observed:
+        if detailed:
             self._observer.on_phase_end(
                 self, "handle", time.perf_counter() - t0
             )
 
         self._round += 1
+        if observed and not detailed:
+            # Unsampled round: report the send total in one batched call.
+            # delivered == sent here because every drop was already
+            # reported individually above (on_round_messages' delta counts
+            # only drops that had no per-message callback).
+            self._observer.on_round_messages(
+                self, round_index, len(outbox), len(outbox)
+            )
         self._observer.on_round_end(self, round_index)
 
     # ------------------------------------------------------------------

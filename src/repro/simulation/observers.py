@@ -22,6 +22,17 @@ Drop reasons (``on_message_dropped``):
 - ``"injector"`` — a :class:`~repro.faults.base.MessageFault` dropped it;
 - ``"stale"`` — (async engine only) the receiver already excluded the
   sender's link while the message was in flight.
+
+Sampling (``wants_detail``): the *detail* hooks — ``on_message_sent``,
+``on_message_delivered`` and ``on_phase_end`` — are dispatched only on
+rounds where at least one attached observer answers
+:meth:`Observer.wants_detail` True, so a sampled telemetry set (see
+:mod:`repro.telemetry.sampling`) makes engines skip per-message dispatch
+and phase timing entirely on unsampled rounds. Everything semantically
+load-bearing — run/round boundaries, faults, drops, link handlings — is
+dispatched on every round regardless. Message *totals* of unsampled
+rounds arrive through the batched ``on_round_messages`` hook, so counters
+stay exact under sampling.
 """
 
 from __future__ import annotations
@@ -42,6 +53,19 @@ FAULT_KINDS = ("link_failure", "node_failure", "message_corruption")
 
 class Observer:
     """Base observer; all hooks default to no-ops."""
+
+    def wants_detail(self, round_index: int) -> bool:
+        """Whether this observer needs the detail hooks on this round.
+
+        Detail hooks are ``on_message_sent`` / ``on_message_delivered`` /
+        ``on_phase_end``. The default True preserves the historical
+        contract for explicitly attached observers; sampled telemetry
+        observers answer from a shared
+        :class:`~repro.telemetry.sampling.RoundSampler`, and observers
+        that consume only round-level hooks return False so they never
+        force the engine onto the slow path.
+        """
+        return True
 
     def on_run_start(self, engine: "SynchronousEngine") -> None:
         """Called once before round 0."""
@@ -64,6 +88,17 @@ class Observer:
         self, engine: "SynchronousEngine", message: "Message", reason: str
     ) -> None:
         """Called when the transport swallowed ``message`` (see DROP_REASONS)."""
+
+    def on_message_delivered(
+        self, engine: "SynchronousEngine", message: "Message"
+    ) -> None:
+        """Called after ``message`` reached its receiver's ``on_receive``.
+
+        Fires in the object engines only (the vectorized engines report
+        batched totals), and only on detailed rounds — it exists for the
+        causal tracer, which links each delivery back to the send that
+        produced it.
+        """
 
     def on_fault_injected(
         self, engine: "SynchronousEngine", round_index: int, kind: str, detail: str
@@ -96,11 +131,15 @@ class Observer:
         sent: int,
         delivered: int,
     ) -> None:
-        """Batched message accounting from the vectorized engines.
+        """Batched message accounting for rounds without per-message hooks.
 
         Equivalent to ``sent`` ``on_message_sent`` calls of which
-        ``sent - delivered`` were dropped by the loss injector; vectorized
-        backends cannot afford per-message callbacks at 2^15 nodes.
+        ``sent - delivered`` were dropped *without an individual*
+        ``on_message_dropped`` callback. The vectorized engines use it for
+        every round (per-message callbacks are unaffordable at 2^15 nodes;
+        their only drop source is the i.i.d. loss injector), and the
+        object engines use it on unsampled rounds — there drops are still
+        reported individually, so ``delivered == sent``.
         """
 
 
@@ -125,6 +164,18 @@ class ObserverList(Observer):
 
     def __len__(self) -> int:
         return len(self._observers)
+
+    def wants_detail(self, round_index: int) -> bool:
+        """True when any member needs detail hooks this round.
+
+        Duck-typed observers without the method count as wanting detail
+        (the safe, historical behavior).
+        """
+        for obs in self._observers:
+            fn = getattr(obs, "wants_detail", None)
+            if fn is None or fn(round_index):
+                return True
+        return False
 
     def on_run_start(self, engine: "SynchronousEngine") -> None:
         for obs in self._observers:
@@ -157,6 +208,14 @@ class ObserverList(Observer):
             hook = getattr(obs, "on_message_dropped", None)
             if hook is not None:
                 hook(engine, message, reason)
+
+    def on_message_delivered(
+        self, engine: "SynchronousEngine", message: "Message"
+    ) -> None:
+        for obs in self._observers:
+            hook = getattr(obs, "on_message_delivered", None)
+            if hook is not None:
+                hook(engine, message)
 
     def on_fault_injected(
         self, engine: "SynchronousEngine", round_index: int, kind: str, detail: str
@@ -201,6 +260,10 @@ class RoundCounter(Observer):
         self.delivered_per_round: List[int] = []
         self._last_sent = 0
         self._last_delivered = 0
+
+    def wants_detail(self, round_index: int) -> bool:
+        # Reads cumulative engine counters at round boundaries only.
+        return False
 
     def on_run_start(self, engine: "SynchronousEngine") -> None:
         self._last_sent = engine.messages_sent

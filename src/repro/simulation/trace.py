@@ -5,6 +5,11 @@ message counts, estimate spread, live-node count, failure handlings — and
 can dump the whole trace as JSON lines for offline analysis. This is the
 operational/debugging companion to the error-oriented recorders in
 :mod:`repro.metrics`.
+
+Round thinning is configured through the telemetry-wide
+:class:`~repro.telemetry.sampling.RoundSampler` (``sampler=``); the
+historical ``every=N`` form is kept as a deprecated alias so one
+configuration drives trace thinning and event sampling alike.
 """
 
 from __future__ import annotations
@@ -12,24 +17,36 @@ from __future__ import annotations
 import dataclasses
 import json
 import pathlib
+import warnings
 from typing import TYPE_CHECKING, List, Optional, Union
 
 import numpy as np
 
 from repro.simulation.observers import Observer
+from repro.telemetry.sampling import RoundSampler, resolve_sampler
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.simulation.engine import SynchronousEngine
 
 
+def _sanitize_value(value: object) -> object:
+    if isinstance(value, float) and not np.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {key: _sanitize_value(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_sanitize_value(item) for item in value]
+    return value
+
+
 def sanitize_record(payload: dict) -> dict:
-    """Replace non-finite floats with ``None`` so json.dumps emits valid JSON."""
-    return {
-        key: None
-        if isinstance(value, float) and not np.isfinite(value)
-        else value
-        for key, value in payload.items()
-    }
+    """Replace non-finite floats with ``None`` so json.dumps emits valid JSON.
+
+    Recurses into nested lists/tuples and dicts — flight-recorder dumps and
+    trace events carry nested payload snapshots whose NaN/inf values would
+    otherwise serialize as bare ``NaN``/``Infinity`` (invalid JSON).
+    """
+    return {key: _sanitize_value(value) for key, value in payload.items()}
 
 
 @dataclasses.dataclass(frozen=True)
@@ -53,18 +70,35 @@ class RoundRecord:
 
 
 class TraceRecorder(Observer):
-    """Records a :class:`RoundRecord` after every round.
+    """Records a :class:`RoundRecord` on every sampled round.
 
-    ``every`` thins the trace (record one round in ``every``); failure
-    handlings are always recorded on the round they happen.
+    ``sampler`` thins the trace (see
+    :class:`~repro.telemetry.sampling.RoundSampler`); failure handlings are
+    always recorded on the round they happen. ``every`` is a deprecated
+    alias for ``sampler=RoundSampler(every=N)``.
     """
 
-    def __init__(self, *, every: int = 1) -> None:
-        if every < 1:
-            raise ValueError(f"every must be >= 1, got {every}")
-        self._every = every
+    def __init__(
+        self,
+        *,
+        sampler: Optional[RoundSampler] = None,
+        every: Optional[int] = None,
+    ) -> None:
+        if every is not None:
+            warnings.warn(
+                "TraceRecorder(every=N) is deprecated; pass "
+                "sampler=RoundSampler(every=N) so trace thinning shares the "
+                "telemetry-wide sampling configuration",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        self._sampler = resolve_sampler(sampler, every=every)
         self.records: List[RoundRecord] = []
         self._pending_handlings: List[str] = []
+
+    def wants_detail(self, round_index: int) -> bool:
+        # Consumes round-level hooks only; never forces per-message detail.
+        return False
 
     def on_link_handled(
         self, engine: "SynchronousEngine", round_index: int, u: int, v: int
@@ -72,7 +106,7 @@ class TraceRecorder(Observer):
         self._pending_handlings.append(f"link({u},{v})")
 
     def on_round_end(self, engine: "SynchronousEngine", round_index: int) -> None:
-        if round_index % self._every and not self._pending_handlings:
+        if not self._sampler.sample(round_index) and not self._pending_handlings:
             return
         estimates = np.array(
             [

@@ -30,9 +30,19 @@ from repro.telemetry.registry import (
     MetricsRegistry,
     NULL_REGISTRY,
 )
+from repro.telemetry.sampling import (
+    ALWAYS,
+    DEFAULT_SAMPLE_EVERY,
+    RoundSampler,
+    resolve_sampler,
+)
 from repro.telemetry.session import TelemetrySession, capture, current
 
 __all__ = [
+    "ALWAYS",
+    "DEFAULT_SAMPLE_EVERY",
+    "RoundSampler",
+    "resolve_sampler",
     "Counter",
     "Gauge",
     "Histogram",

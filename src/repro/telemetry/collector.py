@@ -71,6 +71,14 @@ class TelemetryCollector(Observer):
     def _engine_kind(self, engine: object) -> str:
         return self._kind or type(engine).__name__
 
+    def wants_detail(self, round_index: int) -> bool:
+        # The collector never *needs* the per-message hooks: its totals stay
+        # exact either way, because rounds where no observer requests detail
+        # deliver their message counts through the batched
+        # on_round_messages hook instead (the two paths are mutually
+        # exclusive per round).
+        return False
+
     # ------------------------------------------------------------------
     # Hooks
     # ------------------------------------------------------------------

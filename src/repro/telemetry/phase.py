@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
 
 from repro.simulation.observers import Observer
 from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.sampling import RoundSampler, resolve_sampler
 from repro.util.timer import Timer
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -25,15 +26,23 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 class PhaseTimer(Observer):
-    """Collects phase wall-times from engine hooks (or manual blocks)."""
+    """Collects phase wall-times from engine hooks (or manual blocks).
+
+    ``sampler`` thins the profile: the timer requests engine phase timing
+    (via ``wants_detail``) only on sampled rounds, so a sampled profile
+    costs a fraction of a full one. Default is every round, the
+    historical behavior.
+    """
 
     def __init__(
         self,
         registry: Optional[MetricsRegistry] = None,
         *,
         engine_kind: Optional[str] = None,
+        sampler: Optional[RoundSampler] = None,
     ) -> None:
         self._kind = engine_kind
+        self._sampler = resolve_sampler(sampler)
         self._hist = (
             registry.histogram("repro_phase_seconds", "Engine phase wall time")
             if registry is not None
@@ -54,6 +63,9 @@ class PhaseTimer(Observer):
     # ------------------------------------------------------------------
     # Engine hook
     # ------------------------------------------------------------------
+    def wants_detail(self, round_index: int) -> bool:
+        return self._sampler.sample(round_index)
+
     def on_phase_end(
         self, engine: "SynchronousEngine", phase: str, seconds: float
     ) -> None:

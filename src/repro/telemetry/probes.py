@@ -40,6 +40,7 @@ import numpy as np
 from repro.algorithms.state import MassPair
 from repro.simulation.observers import Observer
 from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.sampling import RoundSampler, resolve_sampler
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.simulation.engine import SynchronousEngine
@@ -48,20 +49,30 @@ _TINY = 1e-300
 
 
 class _SamplingProbe(Observer):
-    """Shared thinning + record/violation storage for the probes."""
+    """Shared thinning + record/violation storage for the probes.
+
+    ``sampler`` is the telemetry-wide round sampler; ``every`` builds one
+    (both default to sampling every round).
+    """
 
     def __init__(
-        self, *, every: int = 1, registry: Optional[MetricsRegistry] = None
+        self,
+        *,
+        every: Optional[int] = None,
+        sampler: Optional[RoundSampler] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
-        if every < 1:
-            raise ValueError(f"every must be >= 1, got {every}")
-        self._every = every
+        self._sampler = resolve_sampler(sampler, every=every)
         self._registry = registry
         self.records: List[Dict[str, object]] = []
         self.violations: List[Dict[str, object]] = []
 
+    def wants_detail(self, round_index: int) -> bool:
+        # Probes sample engine state at round boundaries only.
+        return False
+
     def on_round_end(self, engine: "SynchronousEngine", round_index: int) -> None:
-        if round_index % self._every == 0:
+        if self._sampler.sample(round_index):
             self.sample(engine, round_index)
 
     def on_run_end(self, engine: "SynchronousEngine", rounds_executed: int) -> None:
@@ -102,6 +113,77 @@ def _object_algorithms(engine: object):
     return list(algorithms)
 
 
+def flow_stats(engine: object) -> Optional[Tuple[float, float, float]]:
+    """``(max_flow, mean_flow, flow_weight_ratio)`` for any engine.
+
+    Duck-types over the vectorized flow engines (``node_flow_magnitudes``)
+    and the object engines (per-algorithm ``max_flow_magnitude``); returns
+    None when the run carries no flow state (e.g. push-sum). Shared by
+    :class:`FlowMagnitudeProbe` and the blow-up detector in
+    :mod:`repro.tracing.anomaly`.
+    """
+    node_mags = getattr(engine, "node_flow_magnitudes", None)
+    if node_mags is not None:  # vectorized flow engine
+        mags = np.asarray(node_mags())
+        _, weights = engine.estimate_pairs()  # type: ignore[attr-defined]
+        mean_weight = float(np.mean(np.abs(weights)))
+    else:
+        algorithms = _object_algorithms(engine)
+        if algorithms is None:
+            return None
+        flow_algs = [
+            alg for alg in algorithms if hasattr(alg, "max_flow_magnitude")
+        ]
+        if not flow_algs:
+            return None
+        mags = np.array([alg.max_flow_magnitude() for alg in flow_algs])
+        weights = [abs(alg.estimate_pair().weight) for alg in algorithms]
+        mean_weight = float(np.mean(weights)) if weights else 0.0
+    if mags.size == 0:
+        return None
+    max_flow = float(np.max(mags))
+    mean_flow = float(np.mean(mags))
+    ratio = max_flow / max(mean_weight, _TINY)
+    return max_flow, mean_flow, ratio
+
+
+def pcf_stats(engine: object) -> Optional[Tuple[float, int, int, int]]:
+    """``(passive_flow, era_max, cancellations, swaps)`` for any engine.
+
+    None when the run carries no PCF handshake state. Shared by
+    :class:`PCFCancellationProbe` and the cancellation-stall detector in
+    :mod:`repro.tracing.anomaly`.
+    """
+    cancels = getattr(engine, "cancellations", None)
+    if cancels is not None:  # vectorized PCF engine
+        swaps = int(getattr(engine, "swaps", getattr(engine, "catch_ups", 0)))
+        passive = float(engine.passive_flow_magnitude())  # type: ignore[attr-defined]
+        era = int(engine.max_era())  # type: ignore[attr-defined]
+        return passive, era, int(cancels), swaps
+    algorithms = _object_algorithms(engine)
+    if algorithms is None:
+        return None
+    pcf_algs = [
+        alg
+        for alg in algorithms
+        if hasattr(alg, "cancellations") and hasattr(alg, "edge_state")
+    ]
+    if not pcf_algs:
+        return None
+    passive = 0.0
+    era = 0
+    total_cancels = 0
+    total_swaps = 0
+    for alg in pcf_algs:
+        total_cancels += alg.cancellations
+        total_swaps += int(getattr(alg, "swaps", getattr(alg, "catch_ups", 0)))
+        for neighbor in alg.neighbors:
+            edge = alg.edge_state(neighbor)
+            passive = max(passive, edge.passive_flow().magnitude())
+            era = max(era, edge.era)
+    return passive, era, total_cancels, total_swaps
+
+
 class FlowMagnitudeProbe(_SamplingProbe):
     """Per-round flow-magnitude statistics (the Figs. 2–3 signal).
 
@@ -115,9 +197,13 @@ class FlowMagnitudeProbe(_SamplingProbe):
     record_type = "flow"
 
     def __init__(
-        self, *, every: int = 1, registry: Optional[MetricsRegistry] = None
+        self,
+        *,
+        every: Optional[int] = None,
+        sampler: Optional[RoundSampler] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
-        super().__init__(every=every, registry=registry)
+        super().__init__(every=every, sampler=sampler, registry=registry)
         if registry is not None:
             self._g_max = registry.gauge(
                 "repro_flow_magnitude_max", "Largest stored flow magnitude"
@@ -129,33 +215,8 @@ class FlowMagnitudeProbe(_SamplingProbe):
                 "repro_flow_weight_ratio", "Max flow / mean weight mass"
             )
 
-    def _stats(self, engine: object) -> Optional[Tuple[float, float, float]]:
-        node_mags = getattr(engine, "node_flow_magnitudes", None)
-        if node_mags is not None:  # vectorized flow engine
-            mags = np.asarray(node_mags())
-            _, weights = engine.estimate_pairs()  # type: ignore[attr-defined]
-            mean_weight = float(np.mean(np.abs(weights)))
-        else:
-            algorithms = _object_algorithms(engine)
-            if algorithms is None:
-                return None
-            flow_algs = [
-                alg for alg in algorithms if hasattr(alg, "max_flow_magnitude")
-            ]
-            if not flow_algs:
-                return None
-            mags = np.array([alg.max_flow_magnitude() for alg in flow_algs])
-            weights = [abs(alg.estimate_pair().weight) for alg in algorithms]
-            mean_weight = float(np.mean(weights)) if weights else 0.0
-        if mags.size == 0:
-            return None
-        max_flow = float(np.max(mags))
-        mean_flow = float(np.mean(mags))
-        ratio = max_flow / max(mean_weight, _TINY)
-        return max_flow, mean_flow, ratio
-
     def sample(self, engine: "SynchronousEngine", round_index: int) -> None:
-        stats = self._stats(engine)
+        stats = flow_stats(engine)
         if stats is None:
             return
         max_flow, mean_flow, ratio = stats
@@ -178,52 +239,25 @@ class FlowMagnitudeProbe(_SamplingProbe):
         return [float(r["max_flow"]) for r in self.records]
 
 
-class MassConservationProbe(_SamplingProbe):
-    """Checks global mass conservation within a relative tolerance.
+class MassDriftTracker:
+    """Stateful relative mass-drift computation, shared across consumers.
 
-    The expected mass is the sum over live nodes of ``conserved_mass()``,
-    captured as a baseline at run start (so push-sum's silent mass leak
-    under message loss is caught instead of compared against itself) and
-    re-based whenever the live-node set changes (fail-stop legitimately
-    removes mass). The observed quantity is the sum of the live estimate
-    pairs; their relative deviation is the *drift*, and sampled rounds
-    where it exceeds ``tolerance`` become violations.
-
-    Two kinds of over-tolerance drift are *expected* and self-healing, and
-    show up as transient spikes rather than persistent offsets: a lost
-    flow-carrying message (healed by the next successful exchange on the
-    edge), and a PF message crossing — both endpoints of an edge gossiping
-    with each other in one round overwrite each other's virtual send, so
-    pairwise antisymmetry breaks until the edge is next exchanged cleanly.
-    Persistent drift is the fault signal (push-sum under loss, PF's
-    flow-zeroing estimate jump on link failure, PCF deadlock mass drain).
+    Captures the conserved-mass baseline at run start (``start``) and
+    reports the relative deviation of the current live totals from it
+    (``drift``), duck-typed over vectorized and object engines. The
+    object-engine baseline is re-based whenever the live-node count
+    changes, since fail-stop legitimately removes mass. Used by
+    :class:`MassConservationProbe` for violation records and by
+    :class:`repro.tracing.flight.FlightRecorder` for its black-box
+    trigger, so both agree on what "drift" means.
     """
 
-    record_type = "mass"
-
-    def __init__(
-        self,
-        *,
-        tolerance: float = 1e-9,
-        every: int = 1,
-        registry: Optional[MetricsRegistry] = None,
-    ) -> None:
-        super().__init__(every=every, registry=registry)
-        if tolerance <= 0:
-            raise ValueError(f"tolerance must be > 0, got {tolerance}")
-        self.tolerance = float(tolerance)
+    def __init__(self) -> None:
         self._baseline: Optional[Tuple[np.ndarray, float]] = None
         self._obj_baseline: Optional[Tuple[MassPair, int]] = None
-        if registry is not None:
-            self._g_drift = registry.gauge(
-                "repro_mass_drift_relative", "Relative global mass drift"
-            )
-            self._c_violations = registry.counter(
-                "repro_invariant_violations_total",
-                "Invariant-probe violations",
-            )
 
-    def on_run_start(self, engine: "SynchronousEngine") -> None:
+    def start(self, engine: object) -> None:
+        """Capture the baseline from a freshly constructed engine."""
         pairs = getattr(engine, "estimate_pairs", None)
         if pairs is not None:  # vectorized engine: flows start at zero
             values, weights = pairs()
@@ -236,7 +270,8 @@ class MassConservationProbe(_SamplingProbe):
         if algorithms:
             self._obj_baseline = _conserved_total(algorithms)
 
-    def _drift(self, engine: object) -> Optional[float]:
+    def drift(self, engine: object) -> Optional[float]:
+        """Relative deviation from the baseline; inf when non-finite."""
         pairs = getattr(engine, "estimate_pairs", None)
         if pairs is not None:  # vectorized engine
             values, weights = pairs()
@@ -277,6 +312,58 @@ class MassConservationProbe(_SamplingProbe):
             return float("inf")
         deviation = (current_pair - expected).magnitude()
         return deviation / max(expected.magnitude(), _TINY)
+
+
+class MassConservationProbe(_SamplingProbe):
+    """Checks global mass conservation within a relative tolerance.
+
+    The expected mass is the sum over live nodes of ``conserved_mass()``,
+    captured as a baseline at run start (so push-sum's silent mass leak
+    under message loss is caught instead of compared against itself) and
+    re-based whenever the live-node set changes (fail-stop legitimately
+    removes mass). The observed quantity is the sum of the live estimate
+    pairs; their relative deviation is the *drift*, and sampled rounds
+    where it exceeds ``tolerance`` become violations.
+
+    Two kinds of over-tolerance drift are *expected* and self-healing, and
+    show up as transient spikes rather than persistent offsets: a lost
+    flow-carrying message (healed by the next successful exchange on the
+    edge), and a PF message crossing — both endpoints of an edge gossiping
+    with each other in one round overwrite each other's virtual send, so
+    pairwise antisymmetry breaks until the edge is next exchanged cleanly.
+    Persistent drift is the fault signal (push-sum under loss, PF's
+    flow-zeroing estimate jump on link failure, PCF deadlock mass drain).
+    """
+
+    record_type = "mass"
+
+    def __init__(
+        self,
+        *,
+        tolerance: float = 1e-9,
+        every: Optional[int] = None,
+        sampler: Optional[RoundSampler] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        super().__init__(every=every, sampler=sampler, registry=registry)
+        if tolerance <= 0:
+            raise ValueError(f"tolerance must be > 0, got {tolerance}")
+        self.tolerance = float(tolerance)
+        self._tracker = MassDriftTracker()
+        if registry is not None:
+            self._g_drift = registry.gauge(
+                "repro_mass_drift_relative", "Relative global mass drift"
+            )
+            self._c_violations = registry.counter(
+                "repro_invariant_violations_total",
+                "Invariant-probe violations",
+            )
+
+    def on_run_start(self, engine: "SynchronousEngine") -> None:
+        self._tracker.start(engine)
+
+    def _drift(self, engine: object) -> Optional[float]:
+        return self._tracker.drift(engine)
 
     def sample(self, engine: "SynchronousEngine", round_index: int) -> None:
         drift = self._drift(engine)
@@ -324,9 +411,13 @@ class PCFCancellationProbe(_SamplingProbe):
     record_type = "pcf"
 
     def __init__(
-        self, *, every: int = 1, registry: Optional[MetricsRegistry] = None
+        self,
+        *,
+        every: Optional[int] = None,
+        sampler: Optional[RoundSampler] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
-        super().__init__(every=every, registry=registry)
+        super().__init__(every=every, sampler=sampler, registry=registry)
         if registry is not None:
             self._g_passive = registry.gauge(
                 "repro_pcf_passive_flow_magnitude",
@@ -343,42 +434,8 @@ class PCFCancellationProbe(_SamplingProbe):
                 "Cumulative role swaps / catch-ups",
             )
 
-    def _stats(self, engine: object) -> Optional[Tuple[float, int, int, int]]:
-        cancels = getattr(engine, "cancellations", None)
-        if cancels is not None:  # vectorized PCF engine
-            swaps = int(
-                getattr(engine, "swaps", getattr(engine, "catch_ups", 0))
-            )
-            passive = float(engine.passive_flow_magnitude())  # type: ignore[attr-defined]
-            era = int(engine.max_era())  # type: ignore[attr-defined]
-            return passive, era, int(cancels), swaps
-        algorithms = _object_algorithms(engine)
-        if algorithms is None:
-            return None
-        pcf_algs = [
-            alg
-            for alg in algorithms
-            if hasattr(alg, "cancellations") and hasattr(alg, "edge_state")
-        ]
-        if not pcf_algs:
-            return None
-        passive = 0.0
-        era = 0
-        total_cancels = 0
-        total_swaps = 0
-        for alg in pcf_algs:
-            total_cancels += alg.cancellations
-            total_swaps += int(
-                getattr(alg, "swaps", getattr(alg, "catch_ups", 0))
-            )
-            for neighbor in alg.neighbors:
-                edge = alg.edge_state(neighbor)
-                passive = max(passive, edge.passive_flow().magnitude())
-                era = max(era, edge.era)
-        return passive, era, total_cancels, total_swaps
-
     def sample(self, engine: "SynchronousEngine", round_index: int) -> None:
-        stats = self._stats(engine)
+        stats = pcf_stats(engine)
         if stats is None:
             return
         passive, era, cancels, swaps = stats

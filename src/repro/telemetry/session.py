@@ -28,10 +28,9 @@ import dataclasses
 import json
 import math
 import pathlib
-from typing import Dict, Iterator, List, Optional, Union
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Union
 
 from repro.simulation.observers import Observer
-from repro.simulation.trace import TraceRecorder
 from repro.telemetry.collector import TelemetryCollector
 from repro.telemetry.phase import PhaseTimer
 from repro.telemetry.probes import (
@@ -41,6 +40,10 @@ from repro.telemetry.probes import (
     PCFCancellationProbe,
 )
 from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.sampling import DEFAULT_SAMPLE_EVERY, RoundSampler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simulation.trace import TraceRecorder
 
 
 def _algorithm_label(engine: object) -> str:
@@ -67,34 +70,60 @@ class _InstrumentedRun:
     run: int
     engine_kind: str
     algorithm: str
-    trace: TraceRecorder
+    trace: "TraceRecorder"
     flow: FlowMagnitudeProbe
     mass: MassConservationProbe
     pcf: PCFCancellationProbe
     faults: FaultTimelineProbe
+    detectors: List[Observer]
 
 
 class TelemetrySession:
     """Shared registry + per-engine probes for one capture window.
 
-    ``trace_every`` thins the per-round records (metrics are unaffected);
-    ``mass_tolerance`` configures the conservation probe.
+    ``sample_every`` / ``sample_rate`` configure the shared
+    :class:`~repro.telemetry.sampling.RoundSampler` that thins the whole
+    telemetry path — per-round trace records, probe samples and the
+    engines' own instrumentation cost (phase timing, per-message hook
+    dispatch). Metric *totals* stay exact under any rate. ``trace_every``
+    is the historical name for ``sample_every`` and is kept as an alias.
+    ``mass_tolerance`` configures the conservation probe; ``detectors``
+    enables the online anomaly detectors from
+    :mod:`repro.tracing.anomaly` on every instrumented engine.
     """
 
     def __init__(
         self,
         directory: Optional[Union[str, pathlib.Path]] = None,
         *,
-        trace_every: int = 8,
+        sample_every: Optional[int] = None,
+        sample_rate: Optional[float] = None,
+        trace_every: Optional[int] = None,
         mass_tolerance: float = 1e-6,
+        detectors: bool = True,
     ) -> None:
         self.directory = (
             pathlib.Path(directory) if directory is not None else None
         )
         self.registry = MetricsRegistry()
-        self.trace_every = int(trace_every)
+        if sample_every is None and sample_rate is None:
+            sample_every = (
+                int(trace_every) if trace_every is not None
+                else DEFAULT_SAMPLE_EVERY
+            )
+        elif trace_every is not None:
+            raise ValueError(
+                "pass either trace_every (alias) or sample_every/sample_rate"
+            )
+        self.sampler = RoundSampler(every=sample_every, rate=sample_rate)
         self.mass_tolerance = float(mass_tolerance)
+        self.detectors_enabled = bool(detectors)
         self.runs: List[_InstrumentedRun] = []
+
+    @property
+    def trace_every(self) -> int:
+        """Alias for the sampler stride (historical name)."""
+        return self.sampler.stride
 
     # ------------------------------------------------------------------
     # Engine attachment
@@ -103,33 +132,48 @@ class TelemetrySession:
         self, engine: object, *, engine_kind: str
     ) -> List[Observer]:
         """Fresh instrumentation for one engine (collector, timer, probes)."""
+        from repro.simulation.trace import TraceRecorder
+
+        detectors: List[Observer] = []
+        if self.detectors_enabled:
+            from repro.tracing.anomaly import default_detectors
+
+            detectors = list(
+                default_detectors(
+                    sampler=self.sampler, registry=self.registry
+                )
+            )
         run = _InstrumentedRun(
             run=len(self.runs),
             engine_kind=engine_kind,
             algorithm=_algorithm_label(engine),
-            trace=TraceRecorder(every=self.trace_every),
+            trace=TraceRecorder(sampler=self.sampler),
             flow=FlowMagnitudeProbe(
-                every=self.trace_every, registry=self.registry
+                sampler=self.sampler, registry=self.registry
             ),
             mass=MassConservationProbe(
                 tolerance=self.mass_tolerance,
-                every=self.trace_every,
+                sampler=self.sampler,
                 registry=self.registry,
             ),
             pcf=PCFCancellationProbe(
-                every=self.trace_every, registry=self.registry
+                sampler=self.sampler, registry=self.registry
             ),
             faults=FaultTimelineProbe(),
+            detectors=detectors,
         )
         self.runs.append(run)
         return [
             TelemetryCollector(self.registry, engine_kind=engine_kind),
-            PhaseTimer(self.registry, engine_kind=engine_kind),
+            PhaseTimer(
+                self.registry, engine_kind=engine_kind, sampler=self.sampler
+            ),
             run.trace,
             run.flow,
             run.mass,
             run.pcf,
             run.faults,
+            *detectors,
         ]
 
     # ------------------------------------------------------------------
@@ -153,6 +197,9 @@ class TelemetrySession:
                     yield json.dumps(_sanitize(dict(tag, **violation)))
             for event in run.faults.events:
                 yield json.dumps(_sanitize(dict(tag, **event)))
+            for detector in run.detectors:
+                for alert in detector.alerts:
+                    yield json.dumps(_sanitize(dict(tag, **alert)))
 
     def dump(
         self, directory: Optional[Union[str, pathlib.Path]] = None

@@ -1,0 +1,45 @@
+"""Causal tracing, flight recording and anomaly detection.
+
+The deep-observability layer on top of :mod:`repro.telemetry`:
+
+- :mod:`repro.tracing.events` / :mod:`repro.tracing.tracer` — the causal
+  span/event model: every send, delivery, fault and handling becomes an
+  event in a happens-before DAG, so an estimate can be traced back through
+  the message chain that produced it;
+- :mod:`repro.tracing.chrome` — Chrome trace-event JSON export
+  (Perfetto / ``chrome://tracing`` loadable) with per-node threads and
+  message flow arrows;
+- :mod:`repro.tracing.flight` — a bounded flight recorder that dumps a
+  "black box" of recent events on non-finite estimates, mass drift,
+  link-failure handling or an escaped exception;
+- :mod:`repro.tracing.anomaly` — online detectors for the paper's failure
+  signatures (Figs. 2–4 and the Fig. 5 crossing deadlock);
+- :mod:`repro.tracing.cli` — ``python -m repro.experiments trace
+  run|diff|query|validate``.
+"""
+
+from repro.tracing.anomaly import (
+    AnomalyDetector,
+    FlowBlowupDetector,
+    PCFCancellationStallDetector,
+    RestartRegressionDetector,
+    default_detectors,
+)
+from repro.tracing.chrome import export_chrome_trace, validate_chrome_trace
+from repro.tracing.events import TraceEvent
+from repro.tracing.flight import FlightRecorder
+from repro.tracing.tracer import CausalTracer, load_events
+
+__all__ = [
+    "AnomalyDetector",
+    "CausalTracer",
+    "FlightRecorder",
+    "FlowBlowupDetector",
+    "PCFCancellationStallDetector",
+    "RestartRegressionDetector",
+    "TraceEvent",
+    "default_detectors",
+    "export_chrome_trace",
+    "load_events",
+    "validate_chrome_trace",
+]

@@ -1,0 +1,199 @@
+"""Chrome trace-event export (Perfetto / ``chrome://tracing`` loadable).
+
+Maps the causal event DAG onto the Trace Event Format's JSON object form:
+one *thread* per node, one millisecond of trace time per gossip round
+(simulated rounds have no wall-clock duration, so the scale is arbitrary
+but uniform), and
+
+- sends/deliveries as duration (``ph: "X"``) slices on the sender's /
+  receiver's thread, linked by flow arrows (``ph: "s"`` / ``"f"``) so the
+  viewer draws the causal message edge;
+- faults, link handlings, drops and detector alerts as instant events
+  (``ph: "i"``);
+- round markers as instants on the global scope.
+
+:func:`validate_chrome_trace` is the structural checker CI runs on an
+exported file — JSON validity, required keys per phase type, and flow
+arrow pairing.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, Iterable, List, Union
+
+from repro.simulation.trace import sanitize_record
+from repro.tracing.events import TraceEvent
+
+#: Trace-time microseconds per simulated round (1 ms/round).
+US_PER_ROUND = 1000
+
+#: Fraction of the round a send/deliver slice occupies.
+_SLICE_US = 400
+
+
+def _slice(
+    name: str, ts: int, tid: int, args: Dict[str, object]
+) -> Dict[str, object]:
+    return {
+        "name": name,
+        "ph": "X",
+        "ts": ts,
+        "dur": _SLICE_US,
+        "pid": 0,
+        "tid": tid,
+        "args": args,
+    }
+
+
+def _instant(
+    name: str, ts: int, tid: int, args: Dict[str, object], scope: str = "t"
+) -> Dict[str, object]:
+    return {
+        "name": name,
+        "ph": "i",
+        "ts": ts,
+        "pid": 0,
+        "tid": tid,
+        "s": scope,
+        "args": args,
+    }
+
+
+def chrome_events(events: Iterable[TraceEvent]) -> List[Dict[str, object]]:
+    """Translate trace events into Chrome trace-event dicts."""
+    events = list(events)
+    # A delivery names its matched send in detail["send_eid"]; older
+    # exports without it fall back to the send-kind parent. Either way the
+    # arrow must bind to a *send* — the receiver's previous frontier parent
+    # is not a flow start and would fail strict pairing validation.
+    kind_of = {event.eid: event.kind for event in events}
+    out: List[Dict[str, object]] = []
+    for event in events:
+        ts = event.round * US_PER_ROUND
+        args: Dict[str, object] = dict(event.detail, eid=event.eid)
+        if event.kind == "send":
+            tid = event.node if event.node is not None else 0
+            out.append(
+                _slice(f"send->{event.detail.get('receiver')}", ts, tid, args)
+            )
+            out.append(
+                {
+                    "name": "message",
+                    "cat": "message",
+                    "ph": "s",
+                    "id": event.eid,
+                    "ts": ts,
+                    "pid": 0,
+                    "tid": tid,
+                }
+            )
+        elif event.kind == "deliver":
+            tid = event.node if event.node is not None else 0
+            out.append(
+                _slice(
+                    f"recv<-{event.detail.get('sender')}",
+                    ts + _SLICE_US,
+                    tid,
+                    args,
+                )
+            )
+            # Bind the flow arrow to the send that produced this delivery.
+            send_eid = event.detail.get("send_eid")
+            if send_eid is None:
+                send_eid = next(
+                    (
+                        parent
+                        for parent in event.parents
+                        if kind_of.get(parent) == "send"
+                    ),
+                    None,
+                )
+            if send_eid is not None and kind_of.get(send_eid) == "send":
+                out.append(
+                    {
+                        "name": "message",
+                        "cat": "message",
+                        "ph": "f",
+                        "bp": "e",
+                        "id": send_eid,
+                        "ts": ts + _SLICE_US,
+                        "pid": 0,
+                        "tid": tid,
+                    }
+                )
+        elif event.kind == "round":
+            out.append(_instant("round", ts, 0, args, scope="g"))
+        elif event.kind in ("run_start", "run_end"):
+            out.append(_instant(event.kind, ts, 0, args, scope="g"))
+        elif event.kind == "alert":
+            name = f"ALERT:{event.detail.get('detector', 'unknown')}"
+            tid = event.node if event.node is not None else 0
+            out.append(_instant(name, ts, tid, args, scope="g"))
+        else:  # fault, link_handled, drop
+            tid = event.node if event.node is not None else 0
+            out.append(_instant(event.kind, ts, tid, args))
+    return out
+
+
+def export_chrome_trace(
+    events: Iterable[TraceEvent],
+    path: Union[str, pathlib.Path],
+    *,
+    run_name: str = "repro",
+) -> pathlib.Path:
+    """Write a Chrome trace JSON file for ``events``; returns the path."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "traceEvents": [sanitize_record(e) for e in chrome_events(events)],
+        "displayTimeUnit": "ms",
+        "otherData": {"run": run_name},
+    }
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def validate_chrome_trace(path: Union[str, pathlib.Path]) -> Dict[str, int]:
+    """Structurally validate an exported Chrome trace file.
+
+    Checks strict-JSON validity, the ``traceEvents`` envelope, per-event
+    required keys, and that every flow-finish arrow has a matching start.
+    Returns event counts by phase; raises ``ValueError`` on any problem.
+    """
+    text = pathlib.Path(path).read_text()
+    payload = json.loads(text, parse_constant=_reject_constant)
+    if not isinstance(payload, dict) or "traceEvents" not in payload:
+        raise ValueError("missing traceEvents envelope")
+    trace_events = payload["traceEvents"]
+    if not isinstance(trace_events, list) or not trace_events:
+        raise ValueError("traceEvents must be a non-empty list")
+    counts: Dict[str, int] = {}
+    flow_starts = set()
+    flow_ends = set()
+    for i, event in enumerate(trace_events):
+        if not isinstance(event, dict):
+            raise ValueError(f"event {i} is not an object")
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            if key not in event:
+                raise ValueError(f"event {i} missing required key {key!r}")
+        ph = event["ph"]
+        counts[ph] = counts.get(ph, 0) + 1
+        if ph == "X" and "dur" not in event:
+            raise ValueError(f"duration event {i} missing 'dur'")
+        if ph in ("s", "f"):
+            if "id" not in event:
+                raise ValueError(f"flow event {i} missing 'id'")
+            (flow_starts if ph == "s" else flow_ends).add(event["id"])
+    unmatched = flow_ends - flow_starts
+    if unmatched:
+        raise ValueError(
+            f"{len(unmatched)} flow-finish arrows have no matching start "
+            f"(e.g. id={next(iter(unmatched))})"
+        )
+    return counts
+
+
+def _reject_constant(name: str) -> float:
+    raise ValueError(f"non-strict JSON constant {name!r} in trace file")

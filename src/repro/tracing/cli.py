@@ -1,0 +1,338 @@
+"""``python -m repro.experiments trace`` — causal-trace tooling.
+
+Subcommands:
+
+- ``trace run`` — execute one fully traced cell (algorithm x topology x
+  fault x seed) and export ``events.jsonl`` (the causal DAG),
+  ``chrome_trace.json`` (Perfetto-loadable), ``alerts.json`` and any
+  flight-recorder dumps into ``--out``;
+- ``trace diff`` — compare two exported traces (same seed/topology, e.g.
+  PF vs PCF): per-kind event counts, alerts, and the first round where
+  the estimate snapshots diverge;
+- ``trace query`` — provenance of one node's estimate: the causal chain
+  of sends/deliveries/handlings that produced it;
+- ``trace validate`` — structurally validate an exported Chrome trace
+  file (CI runs this on the smoke trace).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+def _parse_fault(text: str) -> Dict[str, object]:
+    """Fault shorthand: 'none', 'link_failure@75', 'message_loss@0.05'.
+
+    A JSON object string (full :mod:`repro.faults.specs` grammar) is also
+    accepted for anything the shorthand cannot express.
+    """
+    text = text.strip()
+    if text.startswith("{"):
+        return json.loads(text)
+    if text == "none":
+        return {"kind": "none"}
+    if "@" not in text:
+        raise ConfigurationError(
+            f"fault shorthand must be 'kind@value' or 'none', got {text!r}"
+        )
+    kind, value = text.split("@", 1)
+    if kind in ("link_failure", "node_failure"):
+        return {"kind": kind, "round": int(value)}
+    if kind == "message_loss":
+        return {"kind": kind, "rate": float(value)}
+    raise ConfigurationError(f"unsupported fault shorthand kind {kind!r}")
+
+
+def run_traced_cell(
+    *,
+    algorithm: str,
+    topology_family: str,
+    n: int,
+    rounds: int,
+    seed: int = 0,
+    fault: Optional[Dict[str, object]] = None,
+    data_kind: str = "uniform",
+    aggregate: str = "average",
+    out_dir: pathlib.Path,
+    sample_every: int = 1,
+) -> Dict[str, object]:
+    """Run one fully traced cell; returns a JSON-safe summary dict.
+
+    The traced artifacts land in ``out_dir``: ``events.jsonl``,
+    ``chrome_trace.json``, ``alerts.json``, plus flight-recorder dumps.
+    ``sample_every=1`` (default) records full causality; larger strides
+    thin per-message events the way sampled telemetry does.
+    """
+    from repro.algorithms.aggregates import (
+        AggregateKind,
+        initial_mass_pairs,
+        true_aggregate,
+    )
+    from repro.algorithms.registry import instantiate
+    from repro.campaigns.runner import _make_data
+    from repro.faults.specs import build_faults
+    from repro.metrics.history import ErrorHistory
+    from repro.simulation.engine import SynchronousEngine
+    from repro.simulation.schedule import UniformGossipSchedule
+    from repro.telemetry.sampling import RoundSampler
+    from repro.topology import registry as topology_registry
+    from repro.tracing.anomaly import default_detectors
+    from repro.tracing.chrome import export_chrome_trace
+    from repro.tracing.flight import FlightRecorder
+    from repro.tracing.tracer import CausalTracer
+
+    out_dir = pathlib.Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    topology = topology_registry.build(topology_family, n, seed=seed)
+    data = _make_data(data_kind, topology.n, seed)
+    kind = AggregateKind(aggregate)
+    truth = true_aggregate(kind, list(data))
+    initial = initial_mass_pairs(kind, list(data))
+    algorithms = instantiate(algorithm, topology, initial)
+    built = build_faults(fault or {"kind": "none"}, seed=seed)
+
+    sampler = RoundSampler(every=sample_every)
+    tracer = CausalTracer(sampler=sampler)
+    flight = FlightRecorder(out_dir)
+    detectors = default_detectors(sampler=sampler, tracer=tracer)
+    history = ErrorHistory(truth)
+    engine = SynchronousEngine(
+        topology,
+        algorithms,
+        UniformGossipSchedule(topology.n, seed + 1000),
+        message_fault=built.message_fault,
+        fault_plan=built.fault_plan,
+        observers=[history, tracer, flight, *detectors] + built.observers,
+    )
+    with flight.watch(engine):
+        engine.run(rounds)
+
+    events_path = out_dir / "events.jsonl"
+    tracer.dump_jsonl(events_path)
+    chrome_path = export_chrome_trace(
+        tracer.events.values(),
+        out_dir / "chrome_trace.json",
+        run_name=f"{algorithm}/{topology_family}{n}/seed{seed}",
+    )
+    alerts = [alert for d in detectors for alert in d.alerts]
+    (out_dir / "alerts.json").write_text(json.dumps(alerts, indent=1))
+    summary = {
+        "algorithm": algorithm,
+        "topology": f"{topology_family}(n={n})",
+        "fault": built.name,
+        "seed": seed,
+        "rounds": engine.round,
+        "final_error": None
+        if not history.max_errors
+        else (
+            history.final_max_error()
+            if np.isfinite(history.final_max_error())
+            else None
+        ),
+        "events": len(tracer.events),
+        "pruned_events": tracer.pruned_events,
+        "alerts": alerts,
+        "flight_dumps": [str(p) for p in flight.dump_paths],
+        "events_path": str(events_path),
+        "chrome_path": str(chrome_path),
+    }
+    (out_dir / "summary.json").write_text(json.dumps(summary, indent=1))
+    return summary
+
+
+# ----------------------------------------------------------------------
+# diff / query helpers (operate on exported events.jsonl)
+# ----------------------------------------------------------------------
+def diff_traces(
+    dir_a: pathlib.Path, dir_b: pathlib.Path, *, tolerance: float = 1e-9
+) -> Dict[str, object]:
+    """Compare two exported traces; returns a JSON-safe report."""
+    from repro.tracing.tracer import load_events
+
+    reports = []
+    rounds: List[Dict[int, Dict[str, object]]] = []
+    for directory in (dir_a, dir_b):
+        events = load_events(pathlib.Path(directory) / "events.jsonl")
+        counts: Dict[str, int] = {}
+        for event in events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        rounds.append(
+            {e.round: e.detail for e in events if e.kind == "round"}
+        )
+        alerts = [
+            dict(e.detail, round=e.round) for e in events if e.kind == "alert"
+        ]
+        reports.append(
+            {"dir": str(directory), "counts": counts, "alerts": alerts}
+        )
+    shared = sorted(set(rounds[0]) & set(rounds[1]))
+    first_divergence = None
+    for r in shared:
+        a, b = rounds[0][r], rounds[1][r]
+        if a.get("finite") != b.get("finite"):
+            first_divergence = {"round": r, "field": "finite"}
+            break
+        ea, eb = a.get("estimate_max"), b.get("estimate_max")
+        if ea is not None and eb is not None and abs(ea - eb) > tolerance:
+            first_divergence = {
+                "round": r,
+                "field": "estimate_max",
+                "a": ea,
+                "b": eb,
+                "delta": abs(ea - eb),
+            }
+            break
+    return {
+        "a": reports[0],
+        "b": reports[1],
+        "compared_rounds": len(shared),
+        "tolerance": tolerance,
+        "first_divergence": first_divergence,
+    }
+
+
+def query_provenance(
+    directory: pathlib.Path, node: int, *, limit: int = 50
+) -> List[Dict[str, object]]:
+    """Provenance of ``node``'s final state from an exported events.jsonl."""
+    from repro.tracing.tracer import load_events
+
+    events = load_events(pathlib.Path(directory) / "events.jsonl")
+    by_eid = {e.eid: e for e in events}
+    frontier = None
+    for event in events:  # eid-ordered on export
+        if event.node == node and event.kind in ("send", "deliver"):
+            frontier = event.eid
+        elif event.kind == "link_handled" and node in (
+            event.detail.get("u"),
+            event.detail.get("v"),
+        ):
+            frontier = event.eid
+    if frontier is None:
+        return []
+    seen = {frontier}
+    queue = [frontier]
+    collected = []
+    while queue and len(collected) < limit:
+        eid = queue.pop(0)
+        event = by_eid.get(eid)
+        if event is None:
+            continue
+        collected.append(event)
+        for parent in event.parents:
+            if parent not in seen:
+                seen.add(parent)
+                queue.append(parent)
+    collected.sort(key=lambda e: e.eid, reverse=True)
+    return [e.to_dict() for e in collected]
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments trace",
+        description="Causal-trace tooling: run, diff, query, validate.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one fully traced cell")
+    run_p.add_argument("--algorithm", required=True)
+    run_p.add_argument("--topology", default="hypercube")
+    run_p.add_argument("--n", type=int, default=64)
+    run_p.add_argument("--rounds", type=int, default=200)
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument(
+        "--fault",
+        default="none",
+        help="'none', 'link_failure@R', 'node_failure@R', "
+        "'message_loss@RATE', or a JSON fault spec",
+    )
+    run_p.add_argument(
+        "--data", default="uniform", choices=["uniform", "spike", "log_uniform"]
+    )
+    run_p.add_argument("--out", required=True, metavar="DIR")
+    run_p.add_argument(
+        "--sample-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="thin per-message trace events to one round in N (default: 1)",
+    )
+
+    diff_p = sub.add_parser("diff", help="compare two exported traces")
+    diff_p.add_argument("dir_a")
+    diff_p.add_argument("dir_b")
+    diff_p.add_argument("--tolerance", type=float, default=1e-9)
+
+    query_p = sub.add_parser("query", help="provenance of a node's estimate")
+    query_p.add_argument("directory")
+    query_p.add_argument("--node", type=int, required=True)
+    query_p.add_argument("--limit", type=int, default=50)
+
+    val_p = sub.add_parser("validate", help="validate a Chrome trace file")
+    val_p.add_argument("path")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        if args.sample_every < 1:
+            print(f"--sample-every must be >= 1, got {args.sample_every}")
+            return 2
+        summary = run_traced_cell(
+            algorithm=args.algorithm,
+            topology_family=args.topology,
+            n=args.n,
+            rounds=args.rounds,
+            seed=args.seed,
+            fault=_parse_fault(args.fault),
+            data_kind=args.data,
+            out_dir=pathlib.Path(args.out),
+            sample_every=args.sample_every,
+        )
+        print(json.dumps(summary, indent=1))
+        return 0
+    if args.command == "diff":
+        report = diff_traces(
+            pathlib.Path(args.dir_a),
+            pathlib.Path(args.dir_b),
+            tolerance=args.tolerance,
+        )
+        print(json.dumps(report, indent=1))
+        return 0
+    if args.command == "query":
+        chain = query_provenance(
+            pathlib.Path(args.directory), args.node, limit=args.limit
+        )
+        if not chain:
+            print(f"no events recorded for node {args.node}")
+            return 1
+        for event in chain:
+            print(json.dumps(event))
+        return 0
+    if args.command == "validate":
+        from repro.tracing.chrome import validate_chrome_trace
+
+        try:
+            counts = validate_chrome_trace(args.path)
+        except (ValueError, OSError, json.JSONDecodeError) as exc:
+            print(f"INVALID: {exc}")
+            return 1
+        print(f"OK: {sum(counts.values())} events {counts}")
+        return 0
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

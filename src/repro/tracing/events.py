@@ -1,0 +1,86 @@
+"""Causal trace event model.
+
+A trace is an append-only sequence of :class:`TraceEvent` records forming a
+DAG: every event names the events that causally precede it (``parents``).
+The :class:`~repro.tracing.tracer.CausalTracer` builds this DAG from engine
+observer hooks using the happens-before structure of gossip itself —
+
+- a node's *frontier* is the last event that touched its local state;
+- a ``send`` is caused by the sender's frontier (the virtual send mutates
+  sender state, so it also advances the frontier);
+- a ``deliver`` is caused by the receiver's frontier *and* the matching
+  ``send`` (the cross-node edge that makes the trace causal rather than
+  merely chronological);
+- fault events and link handlings advance the frontier of every node whose
+  protocol state they mutate.
+
+Following ``parents`` backwards from any node's frontier therefore answers
+"which sends/faults produced this estimate" — the provenance query of
+:meth:`~repro.tracing.tracer.CausalTracer.provenance`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Dict, Optional, Tuple
+
+from repro.simulation.trace import sanitize_record
+
+#: Event kinds a tracer may emit.
+EVENT_KINDS = (
+    "run_start",
+    "round",
+    "send",
+    "deliver",
+    "drop",
+    "fault",
+    "link_handled",
+    "alert",
+    "run_end",
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceEvent:
+    """One node in the causal DAG of a run.
+
+    ``eid`` is unique and monotone within one tracer; ``parents`` holds the
+    eids of the events that happen-before this one. ``node`` is the node
+    whose state the event touched (None for global events such as round
+    markers). ``detail`` is a small JSON-safe payload whose shape depends
+    on ``kind`` (e.g. ``{"receiver": 3}`` for sends, ``{"reason": ...}``
+    for drops, detector fields for alerts).
+    """
+
+    eid: int
+    kind: str
+    round: int
+    node: Optional[int]
+    parents: Tuple[int, ...]
+    detail: Dict[str, object]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "eid": self.eid,
+            "kind": self.kind,
+            "round": self.round,
+            "node": self.node,
+            "parents": list(self.parents),
+            "detail": dict(self.detail),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(sanitize_record(self.to_dict()))
+
+
+def event_from_dict(payload: Dict[str, object]) -> TraceEvent:
+    """Inverse of :meth:`TraceEvent.to_dict` (for reading events.jsonl)."""
+    return TraceEvent(
+        eid=int(payload["eid"]),  # type: ignore[arg-type]
+        kind=str(payload["kind"]),
+        round=int(payload["round"]),  # type: ignore[arg-type]
+        node=None if payload.get("node") is None else int(payload["node"]),  # type: ignore[arg-type]
+        parents=tuple(int(p) for p in payload.get("parents", ())),  # type: ignore[union-attr]
+        detail=dict(payload.get("detail", {})),  # type: ignore[arg-type]
+    )

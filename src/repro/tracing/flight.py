@@ -1,0 +1,259 @@
+"""Flight recorder: a bounded black box dumped when a run goes wrong.
+
+A :class:`FlightRecorder` keeps the last ``capacity`` engine events in a
+ring buffer at O(1) cost per hook, and writes the whole buffer to a JSON
+"black box" file the moment a failure signature appears:
+
+- estimates staying non-finite for ``nonfinite_window`` consecutive
+  rounds (``reason="non_finite"``) — a node whose effective weight
+  crosses zero makes its estimate momentarily inf during early mixing
+  (healthy hypercube-64 runs show streaks up to 4 rounds), so only a
+  *persistent* non-finite state is treated as divergence;
+- global mass drift beyond tolerance for ``mass_window`` *consecutive*
+  rounds (``reason="mass_drift"``) — flow algorithms carry a permanent
+  crossing-overwrite noise floor (relative drift 0.1–0.65 on healthy
+  hypercube-64 runs; see :class:`repro.telemetry.probes.MassConservationProbe`),
+  so the black box only reacts to sustained, catastrophic loss such as the
+  PCF crossing-deadlock drain, not to self-healing spikes;
+- a permanent link failure being handled (``reason="link_failure"``) —
+  the paper's Figs. 4/7 moment, captured so the pre-failure context
+  survives even if the run later diverges;
+- an exception escaping the run when wrapped in :meth:`FlightRecorder.watch`
+  (``reason="exception"``).
+
+Dumps are bounded (``max_dumps`` total, one per distinct reason by
+default) and sanitized through
+:func:`repro.simulation.trace.sanitize_record`, so NaN/inf snapshots stay
+valid JSON. The campaign runner records each cell's dump paths in
+``results.jsonl``.
+"""
+
+from __future__ import annotations
+
+import collections
+import contextlib
+import json
+import pathlib
+from typing import TYPE_CHECKING, Deque, Dict, Iterator, List, Optional, Union
+
+import numpy as np
+
+from repro.simulation.observers import Observer
+from repro.simulation.trace import sanitize_record
+from repro.telemetry.probes import MassDriftTracker
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simulation.engine import SynchronousEngine
+    from repro.simulation.messages import Message
+
+DUMP_REASONS = ("non_finite", "mass_drift", "link_failure", "exception")
+
+
+class FlightRecorder(Observer):
+    """Ring buffer of recent engine events + black-box dumps on failure.
+
+    ``directory`` receives the dump files (``flight_<reason>_r<round>.json``).
+    ``mass_tolerance`` enables the mass-drift trigger (None disables it):
+    relative drift — computed by the same
+    :class:`~repro.telemetry.probes.MassDriftTracker` the invariant probe
+    uses — must exceed it for ``mass_window`` consecutive rounds. The
+    default (0.75 sustained for 32 rounds) means "most of the conserved
+    mass has been unaccounted for, persistently", which the PCF
+    crossing-deadlock drain hits and healthy flow-algorithm crossing noise
+    (drift ≤ 0.65, transient) does not. ``dump_on_link_failure`` controls
+    the Figs. 4/7 trigger. ``capacity`` bounds memory; the per-round
+    trigger checks cost one O(n) pass over the estimates, the same order
+    as the probes.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, pathlib.Path],
+        *,
+        capacity: int = 512,
+        mass_tolerance: Optional[float] = 0.75,
+        mass_window: int = 32,
+        nonfinite_window: int = 8,
+        dump_on_link_failure: bool = True,
+        max_dumps: int = 8,
+        once_per_reason: bool = True,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if mass_window < 1:
+            raise ValueError(f"mass_window must be >= 1, got {mass_window}")
+        if nonfinite_window < 1:
+            raise ValueError(
+                f"nonfinite_window must be >= 1, got {nonfinite_window}"
+            )
+        self.directory = pathlib.Path(directory)
+        self.events: Deque[Dict[str, object]] = collections.deque(
+            maxlen=int(capacity)
+        )
+        self.mass_tolerance = mass_tolerance
+        self.mass_window = int(mass_window)
+        self.nonfinite_window = int(nonfinite_window)
+        self.dump_on_link_failure = bool(dump_on_link_failure)
+        self.max_dumps = int(max_dumps)
+        self.once_per_reason = bool(once_per_reason)
+        self.dump_paths: List[pathlib.Path] = []
+        self._dumped_reasons: set = set()
+        self._drift_tracker = MassDriftTracker()
+        self._drift_streak = 0
+        self._nonfinite_streak = 0
+        self._round = 0
+
+    # ------------------------------------------------------------------
+    # Ring-buffer recording (cheap, every hook)
+    # ------------------------------------------------------------------
+    def wants_detail(self, round_index: int) -> bool:
+        # The black box records semantic events only; per-message detail is
+        # the causal tracer's job.
+        return False
+
+    def _record(self, kind: str, **fields: object) -> None:
+        self.events.append({"kind": kind, **fields})
+
+    def on_run_start(self, engine: "SynchronousEngine") -> None:
+        self._record("run_start", engine=type(engine).__name__)
+        if self.mass_tolerance is not None:
+            self._drift_tracker.start(engine)
+
+    def on_round_end(self, engine: "SynchronousEngine", round_index: int) -> None:
+        self._round = round_index
+        summary = self._estimate_summary(engine)
+        self._record(
+            "round",
+            round=round_index,
+            **summary,
+            messages_sent=int(getattr(engine, "messages_sent", 0)),
+            messages_delivered=int(getattr(engine, "messages_delivered", 0)),
+        )
+        if summary.get("finite") is False:
+            self._nonfinite_streak += 1
+            if self._nonfinite_streak == self.nonfinite_window:
+                self._trigger(
+                    engine,
+                    "non_finite",
+                    round_index,
+                    sustained_rounds=self._nonfinite_streak,
+                )
+            return
+        self._nonfinite_streak = 0
+        if self.mass_tolerance is None:
+            return
+        drift = self._drift_tracker.drift(engine)
+        if drift is None:
+            return
+        if drift > self.mass_tolerance:
+            self._drift_streak += 1
+            if self._drift_streak == self.mass_window:
+                self._trigger(
+                    engine,
+                    "mass_drift",
+                    round_index,
+                    drift=drift,
+                    sustained_rounds=self._drift_streak,
+                )
+        else:
+            self._drift_streak = 0
+
+    def on_message_dropped(
+        self, engine: "SynchronousEngine", message: "Message", reason: str
+    ) -> None:
+        self._record(
+            "drop",
+            round=message.round,
+            sender=message.sender,
+            receiver=message.receiver,
+            reason=reason,
+        )
+
+    def on_fault_injected(
+        self, engine: "SynchronousEngine", round_index: int, kind: str, detail: str
+    ) -> None:
+        self._record("fault", round=round_index, fault=kind, detail=detail)
+
+    def on_link_handled(
+        self, engine: "SynchronousEngine", round_index: int, u: int, v: int
+    ) -> None:
+        self._record("link_handled", round=round_index, u=u, v=v)
+        if self.dump_on_link_failure:
+            self._trigger(engine, "link_failure", round_index, edge=[u, v])
+
+    def on_run_end(self, engine: "SynchronousEngine", rounds_executed: int) -> None:
+        self._record("run_end", rounds=rounds_executed)
+
+    # ------------------------------------------------------------------
+    # Trigger evaluation
+    # ------------------------------------------------------------------
+    def _estimate_summary(self, engine: object) -> Dict[str, object]:
+        try:
+            estimates = np.array(
+                [
+                    float(np.max(np.atleast_1d(np.asarray(e, dtype=np.float64))))
+                    for e in engine.estimates()  # type: ignore[attr-defined]
+                ]
+            )
+        except (AttributeError, TypeError, ValueError):
+            return {}
+        if estimates.size == 0:
+            return {"live": 0, "finite": True}
+        finite = bool(np.all(np.isfinite(estimates)))
+        return {
+            "live": int(estimates.size),
+            "finite": finite,
+            "estimate_min": float(estimates.min()) if finite else None,
+            "estimate_max": float(estimates.max()) if finite else None,
+        }
+
+    def _trigger(
+        self,
+        engine: object,
+        reason: str,
+        round_index: int,
+        **detail: object,
+    ) -> Optional[pathlib.Path]:
+        if self.once_per_reason and reason in self._dumped_reasons:
+            return None
+        if len(self.dump_paths) >= self.max_dumps:
+            return None
+        self._dumped_reasons.add(reason)
+        return self.dump(engine, reason, round_index, **detail)
+
+    # ------------------------------------------------------------------
+    # Dumping
+    # ------------------------------------------------------------------
+    def dump(
+        self,
+        engine: object,
+        reason: str,
+        round_index: int,
+        **detail: object,
+    ) -> pathlib.Path:
+        """Write the black box now; returns the dump path."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.directory / f"flight_{reason}_r{round_index}.json"
+        payload = sanitize_record(
+            {
+                "reason": reason,
+                "round": round_index,
+                "engine": type(engine).__name__,
+                "detail": dict(detail),
+                "state": self._estimate_summary(engine),
+                "events": list(self.events),
+            }
+        )
+        path.write_text(json.dumps(payload, indent=1))
+        self.dump_paths.append(path)
+        return path
+
+    @contextlib.contextmanager
+    def watch(self, engine: object) -> Iterator["FlightRecorder"]:
+        """Dump the black box if an exception escapes the wrapped block."""
+        try:
+            yield self
+        except Exception as exc:
+            self._record("exception", error=f"{type(exc).__name__}: {exc}")
+            self._trigger(engine, "exception", self._round)
+            raise

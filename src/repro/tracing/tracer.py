@@ -1,0 +1,305 @@
+"""Causal tracer: builds the happens-before DAG of a run from engine hooks.
+
+Attach a :class:`CausalTracer` to any engine (sync, async or vectorized)
+and it records :class:`~repro.tracing.events.TraceEvent` records linked by
+causal parent edges — see :mod:`repro.tracing.events` for the model. On
+the object engines every send and delivery becomes an event, so an
+estimate can be traced back through the exact message chain that produced
+it (:meth:`CausalTracer.provenance`); the vectorized engines have no
+per-message hooks, so there the trace carries round markers, faults and
+alerts only.
+
+The tracer honours the telemetry-wide sampling contract: with a thinned
+:class:`~repro.telemetry.sampling.RoundSampler` it requests per-message
+detail only on sampled rounds (causal chains then have gaps — fine for
+dashboards, not for provenance; the ``trace`` CLI uses full sampling).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import pathlib
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.simulation.observers import Observer
+from repro.telemetry.sampling import RoundSampler, resolve_sampler
+from repro.tracing.events import TraceEvent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simulation.engine import SynchronousEngine
+    from repro.simulation.messages import Message
+
+
+def _estimate_summary(engine: object) -> Dict[str, object]:
+    """Cheap global estimate snapshot (same view TraceRecorder samples)."""
+    try:
+        estimates = [
+            float(np.max(np.atleast_1d(np.asarray(e, dtype=np.float64))))
+            for e in engine.estimates()  # type: ignore[attr-defined]
+        ]
+    except (AttributeError, TypeError, ValueError):
+        return {}
+    arr = np.asarray(estimates)
+    finite = bool(np.all(np.isfinite(arr))) if arr.size else True
+    return {
+        "live": int(arr.size),
+        "finite": finite,
+        "estimate_min": float(arr.min()) if arr.size and finite else None,
+        "estimate_max": float(arr.max()) if arr.size and finite else None,
+        "messages_sent": int(getattr(engine, "messages_sent", 0)),
+    }
+
+
+class CausalTracer(Observer):
+    """Records the causal event DAG of one engine run.
+
+    ``max_events`` bounds memory: when exceeded, the oldest events are
+    pruned (provenance walks simply stop at pruned parents; the count is
+    kept in ``pruned_events``).
+    """
+
+    def __init__(
+        self,
+        *,
+        sampler: Optional[RoundSampler] = None,
+        max_events: int = 200_000,
+    ) -> None:
+        self._sampler = resolve_sampler(sampler)
+        if max_events < 1:
+            raise ValueError(f"max_events must be >= 1, got {max_events}")
+        self._max_events = int(max_events)
+        self._eids = itertools.count()
+        self.events: Dict[int, TraceEvent] = {}
+        self.pruned_events = 0
+        # Per-node frontier: the last event that touched this node's state.
+        self._frontier: Dict[int, int] = {}
+        # In-flight sends: message identity -> send eid, with a per-channel
+        # fallback because fault injectors may substitute a corrupted copy
+        # (a different object) between send and delivery.
+        self._inflight: Dict[int, int] = {}
+        self._channel: Dict[Tuple[int, int], int] = {}
+        self._fault_eids: Dict[str, int] = {}
+        self._run_start_eid: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Event emission
+    # ------------------------------------------------------------------
+    def _emit(
+        self,
+        kind: str,
+        round_index: int,
+        node: Optional[int],
+        parents: Tuple[int, ...],
+        detail: Dict[str, object],
+    ) -> int:
+        eid = next(self._eids)
+        self.events[eid] = TraceEvent(
+            eid=eid,
+            kind=kind,
+            round=round_index,
+            node=node,
+            parents=parents,
+            detail=detail,
+        )
+        if len(self.events) > self._max_events:
+            oldest = next(iter(self.events))
+            del self.events[oldest]
+            self.pruned_events += 1
+        return eid
+
+    def _node_parent(self, node: int) -> Tuple[int, ...]:
+        parent = self._frontier.get(node, self._run_start_eid)
+        return (parent,) if parent is not None else ()
+
+    # ------------------------------------------------------------------
+    # Engine hooks
+    # ------------------------------------------------------------------
+    def wants_detail(self, round_index: int) -> bool:
+        return self._sampler.sample(round_index)
+
+    def on_run_start(self, engine: "SynchronousEngine") -> None:
+        self._run_start_eid = self._emit(
+            "run_start",
+            0,
+            None,
+            (),
+            {"engine": type(engine).__name__},
+        )
+
+    def on_message_sent(self, engine: "SynchronousEngine", message: "Message") -> None:
+        eid = self._emit(
+            "send",
+            message.round,
+            message.sender,
+            self._node_parent(message.sender),
+            {"receiver": message.receiver},
+        )
+        # The virtual send mutates sender state, so it advances the frontier.
+        self._frontier[message.sender] = eid
+        self._inflight[id(message)] = eid
+        self._channel[(message.sender, message.receiver)] = eid
+
+    def _send_eid(self, message: "Message") -> Optional[int]:
+        eid = self._inflight.pop(id(message), None)
+        if eid is None:
+            eid = self._channel.get((message.sender, message.receiver))
+        return eid if eid in self.events else None
+
+    def on_message_delivered(
+        self, engine: "SynchronousEngine", message: "Message"
+    ) -> None:
+        parents = self._node_parent(message.receiver)
+        send_eid = self._send_eid(message)
+        detail: Dict[str, object] = {"sender": message.sender}
+        if send_eid is not None:
+            # Name the matched send explicitly: the receiver's frontier
+            # parent can itself be a send event, so parent *kind* alone
+            # cannot identify which edge is the message arrow.
+            detail["send_eid"] = send_eid
+            if send_eid not in parents:
+                parents = parents + (send_eid,)
+        eid = self._emit(
+            "deliver",
+            message.round,
+            message.receiver,
+            parents,
+            detail,
+        )
+        self._frontier[message.receiver] = eid
+
+    def on_message_dropped(
+        self, engine: "SynchronousEngine", message: "Message", reason: str
+    ) -> None:
+        send_eid = self._send_eid(message)
+        self._emit(
+            "drop",
+            message.round,
+            None,
+            (send_eid,) if send_eid is not None else (),
+            {
+                "sender": message.sender,
+                "receiver": message.receiver,
+                "reason": reason,
+            },
+        )
+
+    def on_fault_injected(
+        self, engine: "SynchronousEngine", round_index: int, kind: str, detail: str
+    ) -> None:
+        eid = self._emit(
+            "fault", round_index, None, (), {"kind": kind, "detail": detail}
+        )
+        self._fault_eids[detail] = eid
+
+    def on_link_handled(
+        self, engine: "SynchronousEngine", round_index: int, u: int, v: int
+    ) -> None:
+        parents = tuple(
+            dict.fromkeys(self._node_parent(u) + self._node_parent(v))
+        )
+        fault_eid = self._fault_eids.get(f"link({u},{v})")
+        if fault_eid is not None and fault_eid in self.events:
+            parents = parents + (fault_eid,)
+        # Handling mutates both endpoints' protocol state (flow zeroing /
+        # cancellation), so the event becomes both nodes' new frontier.
+        eid = self._emit(
+            "link_handled", round_index, None, parents, {"u": u, "v": v}
+        )
+        self._frontier[u] = eid
+        self._frontier[v] = eid
+
+    def on_round_end(self, engine: "SynchronousEngine", round_index: int) -> None:
+        if not self._sampler.sample(round_index):
+            return
+        self._emit(
+            "round", round_index, None, (), _estimate_summary(engine)
+        )
+
+    def on_run_end(self, engine: "SynchronousEngine", rounds_executed: int) -> None:
+        self._emit(
+            "run_end",
+            rounds_executed,
+            None,
+            (),
+            _estimate_summary(engine),
+        )
+
+    # ------------------------------------------------------------------
+    # Alerts (fed by the anomaly detectors)
+    # ------------------------------------------------------------------
+    def record_alert(
+        self,
+        round_index: int,
+        detector: str,
+        detail: Dict[str, object],
+        *,
+        node: Optional[int] = None,
+    ) -> int:
+        """Insert an alert event, parented to ``node``'s frontier if given."""
+        parents = self._node_parent(node) if node is not None else ()
+        return self._emit(
+            "alert",
+            round_index,
+            node,
+            parents,
+            dict(detail, detector=detector),
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def frontier(self, node: int) -> Optional[TraceEvent]:
+        """The last recorded event that touched ``node``'s state."""
+        eid = self._frontier.get(node)
+        return self.events.get(eid) if eid is not None else None
+
+    def provenance(self, node: int, *, limit: int = 200) -> List[TraceEvent]:
+        """Causal history of ``node``'s current estimate, newest first.
+
+        Walks parent edges breadth-first from the node's frontier —
+        the sends, deliveries, faults and handlings that produced the
+        estimate — up to ``limit`` events (pruned parents end the walk).
+        """
+        start = self._frontier.get(node)
+        if start is None or start not in self.events:
+            return []
+        seen = {start}
+        queue = [start]
+        collected: List[TraceEvent] = []
+        while queue and len(collected) < limit:
+            eid = queue.pop(0)
+            event = self.events.get(eid)
+            if event is None:
+                continue  # pruned
+            collected.append(event)
+            for parent in event.parents:
+                if parent not in seen:
+                    seen.add(parent)
+                    queue.append(parent)
+        collected.sort(key=lambda e: e.eid, reverse=True)
+        return collected
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def dump_jsonl(self, path: Union[str, pathlib.Path]) -> int:
+        """Write all events as JSON lines; returns the event count."""
+        path = pathlib.Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        lines = [event.to_json() for event in self.events.values()]
+        path.write_text("\n".join(lines) + ("\n" if lines else ""))
+        return len(lines)
+
+
+def load_events(path: Union[str, pathlib.Path]) -> List[TraceEvent]:
+    """Read an ``events.jsonl`` file back into :class:`TraceEvent` records."""
+    from repro.tracing.events import event_from_dict
+
+    events = []
+    for line in pathlib.Path(path).read_text().splitlines():
+        if line.strip():
+            events.append(event_from_dict(json.loads(line)))
+    return events

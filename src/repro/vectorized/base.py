@@ -80,6 +80,10 @@ class VectorizedEngine(abc.ABC):
         self._round = 0
         self._messages_sent = 0
         self._messages_delivered = 0
+        # Message totals of unsampled rounds, flushed in one batched
+        # on_round_messages call at the next sampled round (or run end).
+        self._pending_sent = 0
+        self._pending_delivered = 0
         if targets is not None:
             targets = np.asarray(targets, dtype=np.int64)
             if targets.ndim != 2 or targets.shape[1] != n:
@@ -149,12 +153,15 @@ class VectorizedEngine(abc.ABC):
     def step(self) -> None:
         # Per-message callbacks are unaffordable at 2^15 nodes; observed
         # runs get the batched hooks plus per-round phase timings instead,
-        # and unobserved runs skip the timing calls entirely.
+        # and unobserved runs skip the timing calls entirely. Sampled
+        # telemetry thins further: unsampled rounds skip phase timing and
+        # accumulate their message totals for the next batched flush.
         observed = bool(self._observer)
         if observed and not self._run_started:
             self._run_started = True
             self._observer.on_run_start(self)
-        t0 = time.perf_counter() if observed else 0.0
+        detailed = observed and self._observer.wants_detail(self._round)
+        t0 = time.perf_counter() if detailed else 0.0
         n = self._arrays.n
         senders = np.arange(n)
         if self._scripted_targets is not None:
@@ -180,7 +187,7 @@ class VectorizedEngine(abc.ABC):
         delivered_count = int(delivered.sum())
         self._messages_sent += sent
         self._messages_delivered += delivered_count
-        if observed:
+        if detailed:
             t1 = time.perf_counter()
             self._observer.on_phase_end(self, "send", t1 - t0)
             t0 = t1
@@ -188,12 +195,21 @@ class VectorizedEngine(abc.ABC):
         round_index = self._round
         self._round += 1
         if observed:
-            self._observer.on_phase_end(
-                self, "deliver", time.perf_counter() - t0
-            )
-            self._observer.on_round_messages(
-                self, round_index, sent, delivered_count
-            )
+            if detailed:
+                self._observer.on_phase_end(
+                    self, "deliver", time.perf_counter() - t0
+                )
+                self._observer.on_round_messages(
+                    self,
+                    round_index,
+                    self._pending_sent + sent,
+                    self._pending_delivered + delivered_count,
+                )
+                self._pending_sent = 0
+                self._pending_delivered = 0
+            else:
+                self._pending_sent += sent
+                self._pending_delivered += delivered_count
             self._observer.on_round_end(self, round_index)
 
     def run(
@@ -222,6 +238,16 @@ class VectorizedEngine(abc.ABC):
             ):
                 break
         if self._observer:
+            if self._pending_sent or self._pending_delivered:
+                # Flush message totals accumulated on unsampled rounds.
+                self._observer.on_round_messages(
+                    self,
+                    self._round - 1,
+                    self._pending_sent,
+                    self._pending_delivered,
+                )
+                self._pending_sent = 0
+                self._pending_delivered = 0
             self._observer.on_run_end(self, executed)
         return executed
 

@@ -1,0 +1,170 @@
+"""End-to-end tests for the ``trace`` CLI: run, diff, query, validate.
+
+A small PF-vs-PCF pair on the same seed/topology exercises the whole
+pipeline the CI smoke job runs at larger scale: traced run with a link
+failure, Chrome export + strict validation, flight-recorder dump, alert
+export, cross-algorithm diff, and provenance query.
+"""
+
+import json
+
+import pytest
+
+from repro.tracing.chrome import validate_chrome_trace
+from repro.tracing.cli import (
+    _parse_fault,
+    diff_traces,
+    main,
+    query_provenance,
+    run_traced_cell,
+)
+
+
+@pytest.fixture(scope="module")
+def traced_pair(tmp_path_factory):
+    """PF and PCF traced on the identical cell (link failure at round 30)."""
+    base = tmp_path_factory.mktemp("traces")
+    summaries = {}
+    for alg in ("push_flow", "push_cancel_flow"):
+        summaries[alg] = run_traced_cell(
+            algorithm=alg,
+            topology_family="hypercube",
+            n=16,
+            rounds=60,
+            seed=0,
+            fault={"kind": "link_failure", "round": 30},
+            out_dir=base / alg,
+        )
+    return base, summaries
+
+
+class TestTracedRun:
+    def test_artifacts_exported(self, traced_pair):
+        base, summaries = traced_pair
+        for alg in summaries:
+            for name in ("events.jsonl", "chrome_trace.json", "alerts.json",
+                         "summary.json"):
+                assert (base / alg / name).is_file()
+
+    def test_chrome_trace_validates(self, traced_pair):
+        base, _ = traced_pair
+        for alg in ("push_flow", "push_cancel_flow"):
+            counts = validate_chrome_trace(base / alg / "chrome_trace.json")
+            assert counts["X"] > 0  # send/deliver slices
+            assert counts["f"] <= counts["s"]  # strict flow pairing
+
+    def test_flight_recorder_captured_the_link_failure(self, traced_pair):
+        base, summaries = traced_pair
+        for alg, summary in summaries.items():
+            dump = base / alg / "flight_link_failure_r30.json"
+            assert dump.is_file()
+            assert summary["flight_dumps"] == [str(dump)]
+            payload = json.loads(dump.read_text())
+            assert payload["reason"] == "link_failure"
+
+    def test_summary_reflects_the_run(self, traced_pair):
+        _, summaries = traced_pair
+        for alg, summary in summaries.items():
+            assert summary["rounds"] == 60
+            assert summary["events"] > 0
+            assert summary["fault"] == "link(0,1)@30"
+            assert summary["topology"] == "hypercube(n=16)"
+
+
+class TestDiff:
+    def test_reports_counts_alerts_and_divergence(self, traced_pair):
+        base, _ = traced_pair
+        report = diff_traces(base / "push_flow", base / "push_cancel_flow")
+        assert report["compared_rounds"] > 0
+        assert report["a"]["counts"]["send"] > 0
+        assert report["b"]["counts"]["send"] > 0
+        # PF and PCF are estimate-equivalent until the failure is handled
+        # (round 30); after it PF restarts and the traces diverge.
+        divergence = report["first_divergence"]
+        assert divergence is not None
+        assert divergence["round"] >= 30
+
+    def test_identical_traces_do_not_diverge(self, traced_pair):
+        base, _ = traced_pair
+        report = diff_traces(base / "push_flow", base / "push_flow")
+        assert report["first_divergence"] is None
+
+
+class TestQuery:
+    def test_provenance_chain_newest_first(self, traced_pair):
+        base, _ = traced_pair
+        chain = query_provenance(base / "push_flow", 0, limit=20)
+        assert 0 < len(chain) <= 20
+        eids = [event["eid"] for event in chain]
+        assert eids == sorted(eids, reverse=True)
+        kinds = {event["kind"] for event in chain}
+        assert "deliver" in kinds or "send" in kinds
+
+    def test_unknown_node_yields_empty_chain(self, traced_pair):
+        base, _ = traced_pair
+        assert query_provenance(base / "push_flow", 99) == []
+
+
+class TestCliEntrypoints:
+    def test_validate_subcommand(self, traced_pair, capsys):
+        base, _ = traced_pair
+        path = str(base / "push_flow" / "chrome_trace.json")
+        assert main(["validate", path]) == 0
+        assert capsys.readouterr().out.startswith("OK:")
+
+    def test_validate_rejects_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["validate", str(bad)]) == 1
+        assert capsys.readouterr().out.startswith("INVALID:")
+
+    def test_query_subcommand(self, traced_pair, capsys):
+        base, _ = traced_pair
+        code = main(["query", str(base / "push_flow"), "--node", "0",
+                     "--limit", "5"])
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert 0 < len(lines) <= 5
+        assert all(json.loads(line)["kind"] for line in lines)
+
+    def test_diff_subcommand(self, traced_pair, capsys):
+        base, _ = traced_pair
+        code = main([
+            "diff", str(base / "push_flow"), str(base / "push_cancel_flow")
+        ])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["first_divergence"] is not None
+
+    def test_experiments_cli_dispatches_trace(self, traced_pair, capsys):
+        from repro.experiments.cli import main as experiments_main
+
+        base, _ = traced_pair
+        path = str(base / "push_flow" / "chrome_trace.json")
+        assert experiments_main(["trace", "validate", path]) == 0
+
+
+class TestFaultShorthand:
+    def test_shorthand_forms(self):
+        assert _parse_fault("none") == {"kind": "none"}
+        assert _parse_fault("link_failure@75") == {
+            "kind": "link_failure", "round": 75,
+        }
+        assert _parse_fault("node_failure@30") == {
+            "kind": "node_failure", "round": 30,
+        }
+        assert _parse_fault("message_loss@0.05") == {
+            "kind": "message_loss", "rate": 0.05,
+        }
+
+    def test_json_passthrough(self):
+        spec = _parse_fault('{"kind": "burst_loss", "rate": 0.2}')
+        assert spec == {"kind": "burst_loss", "rate": 0.2}
+
+    def test_bad_shorthand_rejected(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            _parse_fault("link_failure")
+        with pytest.raises(ConfigurationError):
+            _parse_fault("volcano@3")

@@ -1,0 +1,179 @@
+"""Tests for the online anomaly detectors against real reproduction runs.
+
+Each detector is exercised on the exact scenario its paper figure
+describes — and, just as importantly, on the matched healthy run where it
+must stay silent. The PF-fires / PCF-silent contrasts are the detectors'
+whole value: an alert that also fires on the fixed algorithm would be
+noise.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.workloads import bus_case_study_data, uniform_data
+from repro.faults.events import FaultPlan, LinkFailure
+from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.sampling import RoundSampler
+from repro.topology import hypercube, standard
+from repro.tracing import (
+    CausalTracer,
+    FlowBlowupDetector,
+    PCFCancellationStallDetector,
+    RestartRegressionDetector,
+    default_detectors,
+)
+from repro.vectorized.parity import vector_engine_for
+from tests.conftest import build_engine
+
+
+def run_bus_case_study(algorithm, detector, *, n=32, rounds=500, seed=7):
+    """The Sec. II-B cancellation-disaster workload on a bus, vectorized."""
+    topo = standard.bus(n)
+    data = bus_case_study_data(n)
+    engine = vector_engine_for(algorithm)(
+        topo, data, np.ones(n), seed=seed, observers=[detector]
+    )
+    engine.run(rounds)
+    return engine
+
+
+class TestFlowBlowup:
+    """Figs. 2–3: PF's flows grow ~n while estimates stay O(1)."""
+
+    def test_fires_on_pf_bus_case_study(self):
+        det = FlowBlowupDetector(sampler=RoundSampler(every=8))
+        run_bus_case_study("push_flow", det)
+        assert det.fired
+        alert = det.alerts[0]
+        assert alert["detector"] == "flow_blowup"
+        assert alert["flow_weight_ratio"] >= det.ratio_threshold
+        assert alert["sustained_samples"] == det.patience
+
+    def test_silent_on_equivalent_pcf_run(self):
+        # Same topology, data, seed and rounds — only the algorithm
+        # differs. PCF keeps flows at the estimate scale.
+        det = FlowBlowupDetector(sampler=RoundSampler(every=8))
+        run_bus_case_study("push_cancel_flow_hardened", det)
+        assert not det.fired
+
+    def test_alert_once_per_excursion(self):
+        # PF's ratio stays above threshold for the whole run; the alert
+        # must not repeat every sample.
+        det = FlowBlowupDetector(sampler=RoundSampler(every=8))
+        run_bus_case_study("push_flow", det)
+        assert len(det.alerts) == 1
+
+    def test_silent_on_non_flow_algorithm(self):
+        det = FlowBlowupDetector()
+        run_bus_case_study("push_sum", det, rounds=100)
+        assert not det.fired
+
+
+class TestRestartRegression:
+    """Fig. 4: PF re-pays its convergence after a handled link failure."""
+
+    @staticmethod
+    def run_with_link_failure(algorithm, detector):
+        topo = hypercube(4)  # 16 nodes
+        plan = FaultPlan(
+            link_failures=[LinkFailure(round=40, u=0, v=1, detection_delay=1)]
+        )
+        engine, _ = build_engine(
+            topo, algorithm, uniform_data(16, seed=0),
+            fault_plan=plan, observers=[detector],
+        )
+        engine.run(100)
+        return engine
+
+    def test_fires_on_pf(self):
+        det = RestartRegressionDetector(sampler=RoundSampler(every=4))
+        self.run_with_link_failure("push_flow", det)
+        assert det.fired
+        alert = det.alerts[0]
+        assert alert["event_round"] == 41
+        assert alert["regression"] > det.regression_factor
+        assert alert["post_spread"] > alert["pre_spread"]
+
+    def test_silent_on_pcf_same_failure(self):
+        det = RestartRegressionDetector(sampler=RoundSampler(every=4))
+        self.run_with_link_failure("push_cancel_flow", det)
+        assert not det.fired
+
+    def test_silent_without_a_failure(self):
+        det = RestartRegressionDetector(sampler=RoundSampler(every=4))
+        engine, _ = build_engine(
+            hypercube(4), "push_flow", uniform_data(16, seed=0),
+            observers=[det],
+        )
+        engine.run(100)
+        assert not det.fired
+
+
+class TestPCFCancellationStall:
+    """Finding F1: crossing-deadlocked edges drain the weight mass."""
+
+    def test_fires_on_plain_pcf_bus(self):
+        det = PCFCancellationStallDetector(sampler=RoundSampler(every=8))
+        engine = run_bus_case_study(
+            "push_cancel_flow", det, n=64, rounds=1200
+        )
+        assert det.fired
+        alert = det.alerts[0]
+        assert alert["weight_mass"] < 0.5 * alert["baseline"]
+        # The drain is real: live mass is far below the healthy ~n.
+        _, weights = engine.estimate_pairs()
+        assert float(weights.sum()) < 40.0
+
+    def test_silent_on_hardened_pcf_same_setup(self):
+        det = PCFCancellationStallDetector(sampler=RoundSampler(every=8))
+        engine = run_bus_case_study(
+            "push_cancel_flow_hardened", det, n=64, rounds=1200
+        )
+        assert not det.fired
+        _, weights = engine.estimate_pairs()
+        assert float(weights.sum()) == pytest.approx(78.0, rel=0.2)
+
+    def test_silent_on_non_pcf_algorithm(self):
+        det = PCFCancellationStallDetector()
+        run_bus_case_study("push_flow", det, rounds=100)
+        assert not det.fired
+
+
+class TestAlertPlumbing:
+    def test_alerts_reach_registry_and_tracer(self):
+        registry = MetricsRegistry()
+        tracer = CausalTracer()
+        det = FlowBlowupDetector(
+            sampler=RoundSampler(every=8), registry=registry, tracer=tracer
+        )
+        run_bus_case_study("push_flow", det)
+        assert det.fired
+        counter = registry.counter(
+            "repro_anomaly_alerts_total", "Anomaly-detector alerts"
+        )
+        assert counter.value(detector="flow_blowup") == len(det.alerts)
+        alerts = [e for e in tracer.events.values() if e.kind == "alert"]
+        assert len(alerts) == len(det.alerts)
+        assert alerts[0].detail["detector"] == "flow_blowup"
+
+    def test_attach_tracer_after_construction(self):
+        tracer = CausalTracer()
+        det = FlowBlowupDetector(sampler=RoundSampler(every=8))
+        det.attach_tracer(tracer)
+        run_bus_case_study("push_flow", det)
+        assert any(e.kind == "alert" for e in tracer.events.values())
+
+    def test_default_detectors_cover_all_signatures(self):
+        sampler = RoundSampler(every=8)
+        detectors = default_detectors(sampler=sampler)
+        assert {d.name for d in detectors} == {
+            "flow_blowup",
+            "restart_regression",
+            "pcf_stall",
+        }
+
+    def test_detectors_never_force_the_detail_path(self):
+        # Detectors read state at round boundaries only; they must not
+        # push engines onto the slow per-message path.
+        for det in default_detectors():
+            assert det.wants_detail(0) is False

@@ -1,0 +1,197 @@
+"""Observer-hook ordering and emission on the asynchronous engine.
+
+The synchronous engine's hook contract is pinned in
+``test_observer_hooks.py``; this module pins the asynchronous engine's
+version of it — the one the tracing layer builds on — under message
+drops and link failures:
+
+- run/round boundaries bracket everything, with round indices complete
+  and increasing even though activations are Poisson events;
+- a link failure's ``on_fault_injected`` precedes its ``on_link_handled``,
+  which precedes the handle-round's ``on_round_end``;
+- drops are always reported individually (they are semantically
+  load-bearing), even for observers that never request detail;
+- sent totals stay exact under sampling: per-message hooks on sampled
+  rounds plus the batched ``on_round_messages`` elsewhere sum to the
+  engine counter.
+"""
+
+from collections import Counter
+
+from repro.algorithms.aggregates import AggregateKind, initial_mass_pairs
+from repro.algorithms.registry import instantiate
+from repro.faults.events import FaultPlan, LinkFailure
+from repro.simulation.async_engine import AsynchronousEngine
+from repro.simulation.observers import Observer
+from repro.telemetry.sampling import RoundSampler
+from repro.topology import ring
+from tests.unit.test_observer_hooks import DropFirstMessage, SequenceRecorder
+
+
+def build_async(algorithm, n=4, **kwargs):
+    topo = ring(n)
+    initial = initial_mass_pairs(AggregateKind.AVERAGE, [1.0] * n)
+    algs = instantiate(algorithm, topo, initial)
+    return AsynchronousEngine(topo, algs, **kwargs)
+
+
+def link_failure_plan(*, round, u=0, v=1, detection_delay=1):
+    return FaultPlan(
+        link_failures=[
+            LinkFailure(round=round, u=u, v=v, detection_delay=detection_delay)
+        ]
+    )
+
+
+class TestRunAndRoundBoundaries:
+    def test_run_boundaries_bracket_all_events(self):
+        events = []
+        engine = build_async(
+            "push_flow", seed=3, observers=[SequenceRecorder(events)]
+        )
+        engine.run(6.0)
+        assert events[0] == "run_start"
+        assert events[-1] == ("run_end", 6)
+
+    def test_round_indices_complete_and_increasing(self):
+        events = []
+        engine = build_async(
+            "push_flow", seed=3, observers=[SequenceRecorder(events)]
+        )
+        engine.run(6.0)
+        rounds = [e[1] for e in events if isinstance(e, tuple) and e[0] == "round_end"]
+        assert rounds == [0, 1, 2, 3, 4, 5]
+
+
+class TestLinkFailureOrdering:
+    def test_fault_then_handling_then_round_end(self):
+        events = []
+        engine = build_async(
+            "push_flow",
+            seed=3,
+            fault_plan=link_failure_plan(round=2),
+            observers=[SequenceRecorder(events)],
+        )
+        engine.run(6.0)
+        fault = events.index(("fault", 2, "link_failure", "link(0,1)"))
+        handled = events.index(("link_handled", 2, 0, 1))
+        handle_round_end = events.index(("round_end", 2))
+        assert fault < handled < handle_round_end
+
+    def test_handling_excludes_the_link_from_both_endpoints(self):
+        engine = build_async(
+            "push_flow", seed=3, fault_plan=link_failure_plan(round=2)
+        )
+        engine.run(6.0)
+        algs = engine.algorithms
+        assert 1 not in algs[0].neighbors
+        assert 0 not in algs[1].neighbors
+
+
+class TestDrops:
+    def test_injector_drop_reported_once(self):
+        events = []
+        engine = build_async(
+            "push_flow",
+            seed=3,
+            message_fault=DropFirstMessage(),
+            observers=[SequenceRecorder(events)],
+        )
+        engine.run(5.0)
+        drops = [e for e in events if isinstance(e, tuple) and e[0] == "dropped"]
+        assert len(drops) == 1
+        assert drops[0][3] == "injector"
+        assert engine.messages_delivered == engine.messages_sent - 1
+
+    def test_dead_edge_drops_reported_even_without_detail(self):
+        # A long detection delay keeps the physically dead link in every
+        # node's neighbor set, so sends into it keep happening — and every
+        # one must surface as a drop, even though the observer never asks
+        # for per-message detail.
+        class DropsOnly(Observer):
+            def __init__(self):
+                self.drops = []
+
+            def wants_detail(self, round_index):
+                return False
+
+            def on_message_dropped(self, engine, message, reason):
+                self.drops.append((message.sender, message.receiver, reason))
+
+        recorder = DropsOnly()
+        engine = build_async(
+            "push_flow",
+            n=6,
+            seed=5,
+            fault_plan=link_failure_plan(round=1, detection_delay=30),
+            observers=[recorder],
+        )
+        engine.run(10.0)
+        reasons = Counter(reason for _, _, reason in recorder.drops)
+        assert set(reasons) == {"dead_edge"}
+        assert reasons["dead_edge"] > 0
+        # Both directions of the dead edge are affected.
+        edges = {(u, v) for u, v, _ in recorder.drops}
+        assert edges == {(0, 1), (1, 0)}
+        assert (
+            engine.messages_delivered
+            == engine.messages_sent - len(recorder.drops)
+        )
+
+
+class _SampledCounter(Observer):
+    def __init__(self, sampler):
+        self._sampler = sampler
+        self.detail_sent = 0
+        self.detail_delivered = 0
+        self.batched_sent = 0
+        self.batched_delivered = 0
+        self.detail_rounds = set()
+        self.batched_rounds = []
+
+    def wants_detail(self, round_index):
+        return self._sampler.sample(round_index)
+
+    def on_message_sent(self, engine, message):
+        self.detail_sent += 1
+        self.detail_rounds.add(message.round)
+
+    def on_message_delivered(self, engine, message):
+        self.detail_delivered += 1
+
+    def on_round_messages(self, engine, round_index, sent, delivered):
+        assert not self._sampler.sample(round_index)
+        self.batched_sent += sent
+        self.batched_delivered += delivered
+        self.batched_rounds.append(round_index)
+
+
+class TestSampledTotals:
+    def test_sent_and_delivered_exact_at_zero_latency(self):
+        counter = _SampledCounter(RoundSampler(every=4))
+        engine = build_async("push_flow", n=6, seed=5, observers=[counter])
+        engine.run(12.0)
+        assert (
+            counter.detail_sent + counter.batched_sent == engine.messages_sent
+        )
+        assert (
+            counter.detail_delivered + counter.batched_delivered
+            == engine.messages_delivered
+        )
+        # Detail hooks fired only on sampled rounds; the batched hook
+        # covered exactly the unsampled ones.
+        assert counter.detail_rounds == {0, 4, 8}
+        assert counter.batched_rounds == [1, 2, 3, 5, 6, 7, 9, 10, 11]
+        assert counter.batched_sent > 0
+
+    def test_sent_totals_exact_under_latency(self):
+        # With in-flight latency the delivered==sent convention of the
+        # batched hook is approximate, but *sent* accounting stays exact.
+        counter = _SampledCounter(RoundSampler(every=4))
+        engine = build_async(
+            "push_flow", n=6, seed=5, latency=0.8, observers=[counter]
+        )
+        engine.run(12.0)
+        assert (
+            counter.detail_sent + counter.batched_sent == engine.messages_sent
+        )

@@ -173,3 +173,49 @@ class TestParallel:
         (record,) = load_results(tmp_path).values()
         assert record["status"] == "failed"
         assert "timeout" in record["error"]
+
+
+class TestObservabilityFields:
+    def test_cell_record_carries_alert_accounting(self):
+        cell = tiny_spec(rounds=40).expand()[0]
+        record = execute_cell(cell)
+        assert record["alerts_total"] == 0
+        assert record["alerts"] == {}
+        assert record["flight_dumps"] == []
+
+    def test_link_failure_cell_records_flight_dump(self, tmp_path):
+        cell = tiny_spec(
+            faults=[{"kind": "link_failure", "round": 20}], rounds=60
+        ).expand()[0]
+        cell["flight_dir"] = str(tmp_path / "flight")
+        record = execute_cell(cell)
+        assert record["status"] == "ok"
+        assert len(record["flight_dumps"]) == 1
+        dump = record["flight_dumps"][0]
+        assert "flight_link_failure_r20" in dump
+        assert json.loads(open(dump).read())["reason"] == "link_failure"
+
+    def test_run_campaign_results_include_dump_paths(self, tmp_path):
+        spec = tiny_spec(
+            faults=[{"kind": "link_failure", "round": 20}],
+            seeds=[0],
+            rounds=60,
+        )
+        run_campaign(spec, tmp_path)
+        (record,) = load_results(tmp_path).values()
+        assert record["flight_dumps"]
+        for dump in record["flight_dumps"]:
+            assert json.loads(open(dump).read())["reason"] == "link_failure"
+        # Dumps live under the campaign's own flight/<cell> directory.
+        assert str(tmp_path / "flight") in record["flight_dumps"][0]
+
+    def test_sample_rate_cell_still_detects(self, tmp_path):
+        # A thinned sampler must not break cell execution or accounting.
+        cell = tiny_spec(
+            faults=[{"kind": "link_failure", "round": 20}],
+            rounds=60,
+            telemetry_sample_rate=0.25,
+        ).expand()[0]
+        record = execute_cell(cell)
+        assert record["status"] == "ok"
+        assert "alerts_total" in record

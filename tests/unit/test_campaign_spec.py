@@ -189,3 +189,25 @@ class TestLoadSpec:
         spec = load_spec("smoke")
         assert spec.n_cells == 4
         assert all(t["n"] <= 16 for t in spec.topologies)
+
+
+class TestTelemetrySampleRate:
+    def test_default_is_unset(self):
+        spec = CampaignSpec.from_dict(minimal_spec())
+        assert spec.telemetry_sample_rate is None
+        assert spec.expand()[0]["telemetry_sample_rate"] is None
+
+    def test_valid_rate_propagates_to_every_cell(self):
+        spec = CampaignSpec.from_dict(
+            minimal_spec(telemetry_sample_rate=0.125, seeds=[0, 1])
+        )
+        assert spec.telemetry_sample_rate == 0.125
+        assert all(
+            cell["telemetry_sample_rate"] == 0.125 for cell in spec.expand()
+        )
+        assert spec.to_dict()["telemetry_sample_rate"] == 0.125
+
+    @pytest.mark.parametrize("rate", [0.0, -0.1, 1.5, "fast"])
+    def test_out_of_range_rate_rejected(self, rate):
+        with pytest.raises(ConfigurationError, match="telemetry_sample_rate"):
+            CampaignSpec.from_dict(minimal_spec(telemetry_sample_rate=rate))

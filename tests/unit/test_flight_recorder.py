@@ -1,0 +1,249 @@
+"""Tests for the flight recorder's triggers, bounds and dump hygiene.
+
+The trigger thresholds encode measured behavior: healthy flow-algorithm
+runs show non-finite estimate streaks up to ~4 rounds and a permanent
+mass-drift noise floor up to ~0.65, so the black box must stay silent on
+transients and fire only on *persistent* signatures. Stub engines let the
+tests walk the streak logic round by round.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.faults.events import FaultPlan, LinkFailure
+from repro.topology import ring
+from repro.tracing import FlightRecorder
+from tests.conftest import build_engine
+
+
+class StubVectorEngine:
+    """Duck-types the vectorized engine surface the recorder reads."""
+
+    def __init__(self, n=4, value=1.0):
+        self._values = np.full((n, 1), value)
+        self._weights = np.ones(n)
+
+    def estimates(self):
+        return self._values / self._weights[:, None]
+
+    def estimate_pairs(self):
+        return self._values, self._weights
+
+    def set_all(self, value):
+        self._values[:] = value
+
+    def drain_weights(self, factor):
+        self._weights *= factor
+
+
+def run_rounds(flight, engine, rounds, start=0):
+    for r in range(start, start + rounds):
+        flight.on_round_end(engine, r)
+
+
+class TestNonFiniteTrigger:
+    def test_fires_only_after_persistent_streak(self, tmp_path):
+        engine = StubVectorEngine()
+        flight = FlightRecorder(tmp_path, nonfinite_window=4)
+        flight.on_run_start(engine)
+        engine.set_all(np.nan)
+        run_rounds(flight, engine, 3)
+        assert flight.dump_paths == []  # streak shorter than the window
+        flight.on_round_end(engine, 3)
+        assert [p.name for p in flight.dump_paths] == ["flight_non_finite_r3.json"]
+
+    def test_transient_streak_resets(self, tmp_path):
+        # The healthy zero-crossing pattern: a few inf rounds, then finite.
+        engine = StubVectorEngine()
+        flight = FlightRecorder(tmp_path, nonfinite_window=4)
+        flight.on_run_start(engine)
+        engine.set_all(np.inf)
+        run_rounds(flight, engine, 3)
+        engine.set_all(1.0)
+        flight.on_round_end(engine, 3)  # recovery resets the streak
+        engine.set_all(np.inf)
+        run_rounds(flight, engine, 3, start=4)
+        assert flight.dump_paths == []
+
+    def test_dump_is_strict_json_despite_nan_state(self, tmp_path):
+        engine = StubVectorEngine()
+        flight = FlightRecorder(tmp_path, nonfinite_window=1)
+        flight.on_run_start(engine)
+        engine.set_all(np.nan)
+        flight.on_round_end(engine, 0)
+        (path,) = flight.dump_paths
+        payload = json.loads(
+            path.read_text(),
+            parse_constant=lambda name: pytest.fail(f"non-strict {name}"),
+        )
+        assert payload["reason"] == "non_finite"
+        assert payload["detail"]["sustained_rounds"] == 1
+        assert payload["state"]["finite"] is False
+        kinds = [e["kind"] for e in payload["events"]]
+        assert kinds[0] == "run_start"
+
+
+class TestMassDriftTrigger:
+    def test_sustained_drain_fires_after_window(self, tmp_path):
+        engine = StubVectorEngine()
+        flight = FlightRecorder(tmp_path, mass_tolerance=0.5, mass_window=3)
+        flight.on_run_start(engine)
+        run_rounds(flight, engine, 5)
+        assert flight.dump_paths == []  # healthy: zero drift
+        # Drain 90% of the conserved mass, persistently.
+        engine.set_all(0.1)
+        engine.drain_weights(0.1)
+        run_rounds(flight, engine, 2, start=5)
+        assert flight.dump_paths == []  # below the persistence window
+        flight.on_round_end(engine, 7)
+        assert [p.name for p in flight.dump_paths] == ["flight_mass_drift_r7.json"]
+        payload = json.loads(flight.dump_paths[0].read_text())
+        assert payload["detail"]["drift"] > 0.5
+        assert payload["detail"]["sustained_rounds"] == 3
+
+    def test_transient_spike_does_not_fire(self, tmp_path):
+        engine = StubVectorEngine()
+        flight = FlightRecorder(tmp_path, mass_tolerance=0.5, mass_window=3)
+        flight.on_run_start(engine)
+        engine.drain_weights(0.01)  # two-round spike...
+        run_rounds(flight, engine, 2)
+        engine.drain_weights(100.0)  # ...that self-heals
+        run_rounds(flight, engine, 10, start=2)
+        assert flight.dump_paths == []
+
+    def test_none_tolerance_disables_the_trigger(self, tmp_path):
+        engine = StubVectorEngine()
+        flight = FlightRecorder(tmp_path, mass_tolerance=None)
+        flight.on_run_start(engine)
+        engine.drain_weights(1e-6)
+        run_rounds(flight, engine, 64)
+        assert flight.dump_paths == []
+
+
+class TestLinkFailureTrigger:
+    def test_handled_failure_dumps_on_a_real_engine(self, tmp_path):
+        topo = ring(6)
+        flight = FlightRecorder(tmp_path)
+        plan = FaultPlan(
+            link_failures=[LinkFailure(round=2, u=0, v=1, detection_delay=1)]
+        )
+        engine, _ = build_engine(
+            topo, "push_flow", [float(i) for i in range(6)],
+            fault_plan=plan, observers=[flight],
+        )
+        engine.run(10)
+        assert [p.name for p in flight.dump_paths] == ["flight_link_failure_r3.json"]
+        payload = json.loads(flight.dump_paths[0].read_text())
+        assert payload["detail"]["edge"] == [0, 1]
+        kinds = [e["kind"] for e in payload["events"]]
+        assert "fault" in kinds and "link_handled" in kinds
+        # The ring buffer held the pre-failure rounds: context survives.
+        assert {"kind": "run_start", "engine": "SynchronousEngine"} in payload["events"]
+
+    def test_trigger_can_be_disabled(self, tmp_path):
+        topo = ring(6)
+        flight = FlightRecorder(tmp_path, dump_on_link_failure=False)
+        plan = FaultPlan(
+            link_failures=[LinkFailure(round=2, u=0, v=1, detection_delay=1)]
+        )
+        engine, _ = build_engine(
+            topo, "push_flow", [1.0] * 6, fault_plan=plan, observers=[flight]
+        )
+        engine.run(10)
+        assert flight.dump_paths == []
+
+
+class TestDumpBounds:
+    def test_once_per_reason_by_default(self, tmp_path):
+        topo = ring(6)
+        flight = FlightRecorder(tmp_path)
+        plan = FaultPlan(
+            link_failures=[
+                LinkFailure(round=1, u=0, v=1, detection_delay=1),
+                LinkFailure(round=4, u=2, v=3, detection_delay=1),
+            ]
+        )
+        engine, _ = build_engine(
+            topo, "push_flow", [1.0] * 6, fault_plan=plan, observers=[flight]
+        )
+        engine.run(10)
+        assert len(flight.dump_paths) == 1
+
+    def test_every_occurrence_when_disabled(self, tmp_path):
+        topo = ring(6)
+        flight = FlightRecorder(tmp_path, once_per_reason=False)
+        plan = FaultPlan(
+            link_failures=[
+                LinkFailure(round=1, u=0, v=1, detection_delay=1),
+                LinkFailure(round=4, u=2, v=3, detection_delay=1),
+            ]
+        )
+        engine, _ = build_engine(
+            topo, "push_flow", [1.0] * 6, fault_plan=plan, observers=[flight]
+        )
+        engine.run(10)
+        assert [p.name for p in flight.dump_paths] == [
+            "flight_link_failure_r2.json",
+            "flight_link_failure_r5.json",
+        ]
+
+    def test_max_dumps_caps_the_total(self, tmp_path):
+        engine = StubVectorEngine()
+        flight = FlightRecorder(
+            tmp_path, once_per_reason=False, max_dumps=2,
+            nonfinite_window=1,
+        )
+        flight.on_run_start(engine)
+        # Alternate nan/finite rounds so each nan round is a fresh streak.
+        for r in range(10):
+            engine.set_all(np.nan if r % 2 == 0 else 1.0)
+            flight.on_round_end(engine, r)
+        assert len(flight.dump_paths) == 2
+
+    def test_ring_buffer_capacity_bounds_events(self, tmp_path):
+        engine = StubVectorEngine()
+        flight = FlightRecorder(tmp_path, capacity=16)
+        flight.on_run_start(engine)
+        run_rounds(flight, engine, 100)
+        assert len(flight.events) == 16
+        # Oldest events fell off: only the most recent rounds remain.
+        assert flight.events[0]["round"] == 84
+        assert flight.events[-1]["round"] == 99
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"capacity": 0},
+            {"mass_window": 0},
+            {"nonfinite_window": 0},
+        ],
+    )
+    def test_bad_configuration_rejected(self, tmp_path, kwargs):
+        with pytest.raises(ValueError):
+            FlightRecorder(tmp_path, **kwargs)
+
+
+class TestWatch:
+    def test_escaping_exception_dumps_and_reraises(self, tmp_path):
+        engine = StubVectorEngine()
+        flight = FlightRecorder(tmp_path)
+        flight.on_run_start(engine)
+        run_rounds(flight, engine, 3)
+        with pytest.raises(RuntimeError, match="boom"):
+            with flight.watch(engine):
+                raise RuntimeError("boom")
+        assert [p.name for p in flight.dump_paths] == ["flight_exception_r2.json"]
+        payload = json.loads(flight.dump_paths[0].read_text())
+        assert payload["events"][-1] == {
+            "kind": "exception",
+            "error": "RuntimeError: boom",
+        }
+
+    def test_clean_exit_dumps_nothing(self, tmp_path):
+        engine = StubVectorEngine()
+        flight = FlightRecorder(tmp_path)
+        with flight.watch(engine):
+            pass
+        assert flight.dump_paths == []

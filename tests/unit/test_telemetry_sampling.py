@@ -1,0 +1,149 @@
+"""Tests for the shared round-sampling policy and its engine contract.
+
+The sampling layer's load-bearing promise is twofold: (1) every telemetry
+consumer thins on the *same* deterministic stride, so sampled traces stay
+diff-able across paired runs, and (2) message totals never degrade —
+unsampled rounds report their counts through the batched
+``on_round_messages`` hook, so counters stay exact while per-message
+detail is skipped.
+"""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.simulation.observers import Observer
+from repro.telemetry.sampling import (
+    ALWAYS,
+    DEFAULT_SAMPLE_EVERY,
+    RoundSampler,
+    resolve_sampler,
+)
+from repro.topology import ring
+from tests.conftest import build_engine
+
+
+class TestRoundSampler:
+    def test_stride_one_samples_everything(self):
+        sampler = RoundSampler(every=1)
+        assert all(sampler.sample(r) for r in range(100))
+
+    def test_stride_samples_multiples_and_round_zero(self):
+        sampler = RoundSampler(every=8)
+        sampled = [r for r in range(32) if sampler.sample(r)]
+        assert sampled == [0, 8, 16, 24]
+
+    def test_rate_converts_to_stride(self):
+        assert RoundSampler(rate=0.125).stride == 8
+        assert RoundSampler(rate=1.0).stride == 1
+        # Rates that don't divide evenly round to the nearest stride.
+        assert RoundSampler(rate=0.3).stride == 3
+
+    def test_effective_rate_property(self):
+        assert RoundSampler(every=4).rate == 0.25
+
+    def test_default_no_thinning(self):
+        assert RoundSampler().stride == 1
+
+    @pytest.mark.parametrize("rate", [0.0, -0.5, 1.5])
+    def test_rate_out_of_range_rejected(self, rate):
+        with pytest.raises(ConfigurationError):
+            RoundSampler(rate=rate)
+
+    def test_every_below_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RoundSampler(every=0)
+
+    def test_both_styles_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RoundSampler(every=4, rate=0.25)
+
+    def test_equality_and_hash_by_stride(self):
+        assert RoundSampler(every=8) == RoundSampler(rate=0.125)
+        assert RoundSampler(every=8) != RoundSampler(every=4)
+        assert hash(RoundSampler(every=8)) == hash(RoundSampler(rate=0.125))
+
+    def test_always_constant(self):
+        assert ALWAYS.stride == 1
+
+    def test_default_stride_matches_bench_budget(self):
+        # BENCH_engine.json's overhead_sampled entries are measured at this
+        # stride; changing it invalidates the committed numbers.
+        assert DEFAULT_SAMPLE_EVERY == 8
+
+
+class TestResolveSampler:
+    def test_explicit_sampler_wins(self):
+        sampler = RoundSampler(every=4)
+        assert resolve_sampler(sampler) is sampler
+
+    def test_sampler_plus_kwargs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_sampler(RoundSampler(every=4), every=2)
+        with pytest.raises(ConfigurationError):
+            resolve_sampler(RoundSampler(every=4), rate=0.5)
+
+    def test_kwargs_build_a_sampler(self):
+        assert resolve_sampler(every=6).stride == 6
+        assert resolve_sampler(rate=0.5).stride == 2
+
+    def test_nothing_given_samples_every_round(self):
+        assert resolve_sampler().stride == 1
+
+
+class _SampledCounter(Observer):
+    """Counts messages the way a sampled telemetry observer must: detail
+    hooks on sampled rounds, the batched hook everywhere else."""
+
+    def __init__(self, sampler):
+        self._sampler = sampler
+        self.detail_sent = 0
+        self.batched_sent = 0
+        self.batched_delivered = 0
+        self.delivered = 0
+        self.detail_rounds = set()
+
+    def wants_detail(self, round_index):
+        return self._sampler.sample(round_index)
+
+    def on_message_sent(self, engine, message):
+        self.detail_sent += 1
+        self.detail_rounds.add(message.round)
+
+    def on_message_delivered(self, engine, message):
+        self.delivered += 1
+
+    def on_round_messages(self, engine, round_index, sent, delivered):
+        assert not self._sampler.sample(round_index)
+        self.batched_sent += sent
+        self.batched_delivered += delivered
+
+
+class TestSampledTotalsStayExact:
+    def test_message_totals_equal_engine_counters(self):
+        topo = ring(8)
+        counter = _SampledCounter(RoundSampler(every=4))
+        engine, _ = build_engine(
+            topo, "push_flow", [float(i) for i in range(8)],
+            observers=[counter],
+        )
+        engine.run(21)
+        assert counter.detail_sent + counter.batched_sent == engine.messages_sent
+        assert (
+            counter.delivered + counter.batched_delivered
+            == engine.messages_delivered
+        )
+        # Per-message hooks fired only on sampled rounds.
+        assert counter.detail_rounds == {0, 4, 8, 12, 16, 20}
+        # Both paths genuinely carried traffic on a 21-round run.
+        assert counter.detail_sent > 0
+        assert counter.batched_sent > 0
+
+    def test_full_sampling_uses_detail_path_only(self):
+        topo = ring(8)
+        counter = _SampledCounter(ALWAYS)
+        engine, _ = build_engine(
+            topo, "push_sum", [1.0] * 8, observers=[counter]
+        )
+        engine.run(10)
+        assert counter.batched_sent == 0
+        assert counter.detail_sent == engine.messages_sent

@@ -11,6 +11,7 @@ from repro.exceptions import ConfigurationError
 from repro.metrics import LocalTermination
 from repro.metrics.errors import max_local_error
 from repro.simulation import SynchronousEngine, TraceRecorder, UniformGossipSchedule
+from repro.telemetry.sampling import RoundSampler
 from repro.faults.events import FaultPlan, LinkFailure
 from repro.topology import hypercube
 
@@ -90,7 +91,7 @@ class TestTraceRecorder:
     def test_thinning_keeps_failure_rounds(self):
         topo = hypercube(3)
         data = np.random.default_rng(4).uniform(size=topo.n)
-        trace = TraceRecorder(every=10)
+        trace = TraceRecorder(sampler=RoundSampler(every=10))
         plan = FaultPlan(link_failures=[LinkFailure(round=7, u=0, v=1)])
         engine, _ = build(topo, "push_flow", data, [trace], fault_plan=plan)
         engine.run(30)
@@ -114,8 +115,17 @@ class TestTraceRecorder:
         assert payload["round"] == 4
 
     def test_bad_every(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError), pytest.warns(DeprecationWarning):
             TraceRecorder(every=0)
+
+    def test_every_alias_warns_and_thins(self):
+        with pytest.warns(DeprecationWarning, match="sampler=RoundSampler"):
+            trace = TraceRecorder(every=10)
+        topo = hypercube(3)
+        data = np.random.default_rng(4).uniform(size=topo.n)
+        engine, _ = build(topo, "push_sum", data, [trace])
+        engine.run(30)
+        assert [r.round for r in trace.records] == [0, 10, 20]
 
     def test_to_json_sanitizes_non_finite(self):
         # Regression: NaN/inf serialized as bare NaN/Infinity (invalid

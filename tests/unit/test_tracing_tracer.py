@@ -1,0 +1,220 @@
+"""Tests for the causal tracer and the Chrome trace-event export.
+
+The tracer's contract is the happens-before DAG: a delivery is parented to
+the matching send *and* to the receiver's previous state-touching event,
+link handlings join both endpoints' histories, and provenance walks the
+DAG back through exactly the message chain that produced an estimate.
+"""
+
+import json
+
+import pytest
+
+from repro.algorithms.aggregates import AggregateKind, initial_mass_pairs
+from repro.algorithms.registry import instantiate
+from repro.faults.events import FaultPlan, LinkFailure
+from repro.simulation.engine import SynchronousEngine
+from repro.simulation.schedule import FixedSchedule
+from repro.telemetry.sampling import RoundSampler
+from repro.topology import ring
+from repro.tracing import (
+    CausalTracer,
+    export_chrome_trace,
+    load_events,
+    validate_chrome_trace,
+)
+from tests.conftest import build_engine
+from tests.unit.test_observer_hooks import DropFirstMessage
+
+
+def traced_ring_run(*, fault_plan=None, message_fault=None, rounds=2):
+    """ring(3) with a scripted schedule: node 0 sends to 1 every round."""
+    topo = ring(3)
+    initial = initial_mass_pairs(AggregateKind.AVERAGE, [3.0, 0.0, 0.0])
+    algs = instantiate("push_flow", topo, initial)
+    tracer = CausalTracer()
+    engine = SynchronousEngine(
+        topo,
+        algs,
+        FixedSchedule([[1, None, None]] * rounds),
+        fault_plan=fault_plan,
+        message_fault=message_fault,
+        observers=[tracer],
+    )
+    engine.run(rounds)
+    return tracer
+
+
+def events_of_kind(tracer, kind):
+    return [e for e in tracer.events.values() if e.kind == kind]
+
+
+class TestCausalDag:
+    def test_send_parented_to_sender_frontier(self):
+        tracer = traced_ring_run()
+        sends = events_of_kind(tracer, "send")
+        assert len(sends) == 2
+        run_start = events_of_kind(tracer, "run_start")[0]
+        # First send descends from run_start; the second from the first
+        # (the virtual send mutates sender state, advancing the frontier).
+        assert sends[0].parents == (run_start.eid,)
+        assert sends[1].parents == (sends[0].eid,)
+
+    def test_delivery_names_and_parents_its_send(self):
+        tracer = traced_ring_run()
+        sends = events_of_kind(tracer, "send")
+        delivers = events_of_kind(tracer, "deliver")
+        assert len(delivers) == 2
+        for send, deliver in zip(sends, delivers):
+            assert deliver.node == 1
+            assert deliver.detail["sender"] == 0
+            assert deliver.detail["send_eid"] == send.eid
+            assert send.eid in deliver.parents
+        # The second delivery is also parented to the receiver's previous
+        # frontier event — the first delivery.
+        assert delivers[0].eid in delivers[1].parents
+
+    def test_injector_drop_parented_to_send(self):
+        tracer = traced_ring_run(message_fault=DropFirstMessage())
+        drops = events_of_kind(tracer, "drop")
+        assert len(drops) == 1
+        assert drops[0].detail["reason"] == "injector"
+        send = events_of_kind(tracer, "send")[0]
+        assert drops[0].parents == (send.eid,)
+        # The dropped message produced no delivery in round 0.
+        delivers = events_of_kind(tracer, "deliver")
+        assert [d.round for d in delivers] == [1]
+
+    def test_link_handled_joins_fault_and_both_endpoints(self):
+        plan = FaultPlan(
+            link_failures=[LinkFailure(round=0, u=1, v=2, detection_delay=1)]
+        )
+        tracer = traced_ring_run(fault_plan=plan)
+        fault = events_of_kind(tracer, "fault")[0]
+        assert fault.detail == {"kind": "link_failure", "detail": "link(1,2)"}
+        handled = events_of_kind(tracer, "link_handled")[0]
+        assert handled.detail == {"u": 1, "v": 2}
+        assert fault.eid in handled.parents
+        # Handling mutates both endpoints, so it becomes their frontier.
+        assert tracer.frontier(1).eid == handled.eid
+        assert tracer.frontier(2).eid == handled.eid
+
+    def test_provenance_walks_back_through_the_message_chain(self):
+        tracer = traced_ring_run()
+        history = tracer.provenance(1)
+        kinds = [e.kind for e in history]
+        # Newest first: second delivery, second send, first delivery, ...
+        assert kinds[0] == "deliver"
+        assert kinds.count("send") == 2
+        assert kinds.count("deliver") == 2
+        assert kinds[-1] == "run_start"
+        assert all(a.eid > b.eid for a, b in zip(history, history[1:]))
+
+    def test_provenance_of_untouched_node_is_empty(self):
+        tracer = traced_ring_run()
+        assert tracer.provenance(2) == []
+
+    def test_pruning_bounds_memory_and_keeps_walks_safe(self):
+        topo = ring(4)
+        tracer = CausalTracer(max_events=10)
+        engine, _ = build_engine(
+            topo, "push_flow", [1.0] * 4, observers=[tracer]
+        )
+        engine.run(20)
+        assert len(tracer.events) == 10
+        assert tracer.pruned_events > 0
+        # Walks stop at pruned parents instead of crashing.
+        for node in range(4):
+            tracer.provenance(node)
+
+    def test_round_markers_respect_the_sampler(self):
+        topo = ring(4)
+        tracer = CausalTracer(sampler=RoundSampler(every=5))
+        engine, _ = build_engine(
+            topo, "push_sum", [1.0] * 4, observers=[tracer]
+        )
+        engine.run(12)
+        rounds = [e.round for e in events_of_kind(tracer, "round")]
+        assert rounds == [0, 5, 10]
+        # Unsampled rounds also skip per-message detail.
+        send_rounds = {e.round for e in events_of_kind(tracer, "send")}
+        assert send_rounds == {0, 5, 10}
+
+    def test_record_alert_parents_to_node_frontier(self):
+        tracer = traced_ring_run()
+        frontier = tracer.frontier(1)
+        eid = tracer.record_alert(5, "flow_blowup", {"ratio": 20.0}, node=1)
+        alert = tracer.events[eid]
+        assert alert.detail["detector"] == "flow_blowup"
+        assert alert.parents == (frontier.eid,)
+
+    def test_max_events_validated(self):
+        with pytest.raises(ValueError):
+            CausalTracer(max_events=0)
+
+
+class TestDumpAndReload:
+    def test_jsonl_round_trips(self, tmp_path):
+        tracer = traced_ring_run()
+        path = tmp_path / "events.jsonl"
+        count = tracer.dump_jsonl(path)
+        loaded = load_events(path)
+        assert len(loaded) == count == len(tracer.events)
+        by_eid = {e.eid: e for e in loaded}
+        for eid, event in tracer.events.items():
+            assert by_eid[eid].kind == event.kind
+            assert by_eid[eid].parents == event.parents
+
+
+class TestChromeExport:
+    def test_exported_trace_validates(self, tmp_path):
+        plan = FaultPlan(
+            link_failures=[LinkFailure(round=0, u=1, v=2, detection_delay=1)]
+        )
+        tracer = traced_ring_run(fault_plan=plan, rounds=3)
+        path = export_chrome_trace(tracer.events.values(), tmp_path / "t.json")
+        counts = validate_chrome_trace(path)
+        # One slice per send and per delivery.
+        sends = events_of_kind(tracer, "send")
+        delivers = events_of_kind(tracer, "deliver")
+        assert counts["X"] == len(sends) + len(delivers)
+        # One flow start per send; one finish per delivery whose send is
+        # known — never more finishes than starts (strict pairing).
+        assert counts["s"] == len(sends)
+        assert counts["f"] == len(delivers)
+
+    def test_flow_arrows_bind_to_the_matched_send(self, tmp_path):
+        tracer = traced_ring_run()
+        path = export_chrome_trace(tracer.events.values(), tmp_path / "t.json")
+        payload = json.loads(path.read_text())
+        send_eids = {e.eid for e in events_of_kind(tracer, "send")}
+        finishes = [
+            e for e in payload["traceEvents"] if e.get("ph") == "f"
+        ]
+        assert finishes
+        assert all(e["id"] in send_eids for e in finishes)
+
+    def test_unmatched_flow_finish_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({
+            "traceEvents": [
+                {"name": "m", "ph": "f", "id": 7, "ts": 0, "pid": 0, "tid": 0}
+            ]
+        }))
+        with pytest.raises(ValueError, match="no matching start"):
+            validate_chrome_trace(path)
+
+    def test_non_strict_json_rejected(self, tmp_path):
+        path = tmp_path / "nan.json"
+        path.write_text(
+            '{"traceEvents": [{"name": "r", "ph": "i", "ts": 0, '
+            '"pid": 0, "tid": 0, "s": "g", "args": {"x": NaN}}]}'
+        )
+        with pytest.raises(ValueError, match="non-strict"):
+            validate_chrome_trace(path)
+
+    def test_missing_envelope_rejected(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text("[]")
+        with pytest.raises(ValueError, match="envelope"):
+            validate_chrome_trace(path)
