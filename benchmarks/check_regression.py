@@ -21,6 +21,12 @@ throughput, also a same-machine ratio) must stay at or below
 ``--max-sampled-slowdown`` (default 1.5). This is the promise that keeps
 default-on observability affordable; the full-detail ``overhead`` numbers
 are informational only.
+
+The third gate is the batched-campaign throughput ratio: the ``batched``
+bench entry's ``speedup_vs_sequential_sync`` (one whole-array program for
+a 16-run seed axis vs the same runs sequentially on the object engine,
+again a same-machine ratio) must stay at or above
+``--min-batched-speedup`` (default 5).
 """
 
 from __future__ import annotations
@@ -66,6 +72,21 @@ def load_sampled_slowdowns(path: str) -> Dict[int, float]:
     return slowdowns
 
 
+def load_batched_speedups(path: str) -> Dict[int, float]:
+    """Map n -> ``speedup_vs_sequential_sync`` of batched bench entries."""
+    with open(path) as fh:
+        payload = json.load(fh)
+    speedups: Dict[int, float] = {}
+    for entry in payload.get("entries", []):
+        if entry.get("engine") != "batched":
+            continue
+        n = entry.get("n")
+        speedup = entry.get("speedup_vs_sequential_sync")
+        if n is not None and speedup is not None:
+            speedups[int(n)] = float(speedup)
+    return speedups
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         description="Compare vector/sync throughput ratios against a baseline."
@@ -91,6 +112,17 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "budget for the vectorized engine's default-sampled telemetry "
             "slowdown; 0 disables the gate (default: 1.5)"
+        ),
+    )
+    parser.add_argument(
+        "--min-batched-speedup",
+        type=float,
+        default=5.0,
+        metavar="X",
+        help=(
+            "required speedup of the batched seed-axis program over "
+            "sequential object-engine execution; 0 disables the gate "
+            "(default: 5)"
         ),
     )
     return parser
@@ -159,6 +191,33 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "error: default-sampled telemetry exceeds the "
                 f"{args.max_sampled_slowdown:.2f}x budget at "
                 f"n={sorted(over)} — the sampling fast path regressed.",
+                file=sys.stderr,
+            )
+            return 1
+
+    if args.min_batched_speedup > 0:
+        speedups = load_batched_speedups(args.current)
+        if not speedups:
+            print(
+                "error: current bench JSON carries no batched entries "
+                "to gate on",
+                file=sys.stderr,
+            )
+            return 1
+        under = {
+            n: s for n, s in speedups.items() if s < args.min_batched_speedup
+        }
+        for n in sorted(speedups):
+            verdict = "FAIL" if n in under else "ok"
+            print(
+                f"batched axis speedup n={n}: {speedups[n]:.1f}x "
+                f"(floor {args.min_batched_speedup:.1f}x) {verdict}"
+            )
+        if under:
+            print(
+                "error: batched seed-axis execution fell below the "
+                f"{args.min_batched_speedup:.1f}x floor over sequential "
+                f"object-engine cells at n={sorted(under)}.",
                 file=sys.stderr,
             )
             return 1

@@ -48,11 +48,19 @@ from repro.telemetry import (
 )
 from repro.telemetry.probes import FlowMagnitudeProbe, MassConservationProbe
 from repro.topology import hypercube
+from repro.vectorized.batched import BatchedEngine, BatchedRun
 from repro.vectorized.parity import vector_engine_for
 
 ALGORITHM = "push_flow"
 SIZES = (32, 128)  # hypercube(5), hypercube(7)
 MIN_SECONDS = 0.4
+#: The batched entry: one campaign-style seed axis of this many runs,
+#: executed as a single whole-array program, compared against running the
+#: same runs one-by-one on the object engine (the pre-batching campaign
+#: path). Same machine, same process — the speedup is a ratio, so it is
+#: hardware-independent and CI-gateable.
+BATCHED_RUNS = 16
+BATCHED_N = 1024  # hypercube(10); --quick drops to 128
 
 
 def _telemetry_observers(sampler=None):
@@ -84,6 +92,23 @@ def _vector_engine(n, observers=()):
     return vector_engine_for(ALGORITHM)(
         topo, data, np.ones(topo.n), seed=1, observers=list(observers)
     )
+
+
+def _batched_engine(n, runs=BATCHED_RUNS):
+    topo = hypercube(int(np.log2(n)))
+    children = np.random.SeedSequence(7).spawn(runs)
+    batch = []
+    for child in children:
+        rng = np.random.default_rng(child)
+        batch.append(
+            BatchedRun(
+                topology=topo,
+                values=rng.uniform(size=topo.n),
+                weights=np.ones(topo.n),
+                rng=rng,
+            )
+        )
+    return BatchedEngine(ALGORITHM, batch)
 
 
 def rounds_per_sec(factory, min_seconds: float = MIN_SECONDS) -> dict:
@@ -183,6 +208,37 @@ def main(argv=None) -> int:
                 f"sampled 1/{DEFAULT_SAMPLE_EVERY} "
                 f"{entries[-1]['overhead_sampled']['slowdown']:.2f}x)"
             )
+
+    # Batched campaign axis: BATCHED_RUNS independent runs as one program
+    # vs the same runs executed sequentially on the object engine. One
+    # batched "round" advances all runs, so the axis-level speedup is
+    # runs * batched_rps / sync_rps.
+    bn = 128 if args.quick else BATCHED_N
+    sync_ref = rounds_per_sec(lambda: _sync_engine(bn), min_seconds)
+    batched = rounds_per_sec(lambda: _batched_engine(bn), min_seconds)
+    speedup = round(
+        BATCHED_RUNS
+        * batched["rounds_per_sec"]
+        / max(sync_ref["rounds_per_sec"], 1e-9),
+        2,
+    )
+    entries.append(
+        {
+            "engine": "batched",
+            "algorithm": ALGORITHM,
+            "n": bn,
+            "runs": BATCHED_RUNS,
+            **batched,
+            "sync_rounds_per_sec": sync_ref["rounds_per_sec"],
+            "speedup_vs_sequential_sync": speedup,
+        }
+    )
+    print(
+        f"batched n={bn:4d} x{BATCHED_RUNS} runs  "
+        f"{batched['rounds_per_sec']:>10.1f} axis rounds/s  "
+        f"({speedup:.1f}x vs sequential object engine at "
+        f"{sync_ref['rounds_per_sec']:.1f} rounds/s)"
+    )
     payload = {
         "benchmark": "engine_throughput",
         "algorithm": ALGORITHM,
@@ -193,8 +249,11 @@ def main(argv=None) -> int:
             "rounds/sec with no observers attached; 'overhead' shows the "
             "same engine with a full telemetry observer set, "
             "'overhead_sampled' the default-on sampled configuration "
-            "(one round in DEFAULT_SAMPLE_EVERY). Compare ratios across "
-            "commits, not absolute wall-clock."
+            "(one round in DEFAULT_SAMPLE_EVERY). The 'batched' entry runs "
+            "a whole seed axis as one whole-array program; its "
+            "speedup_vs_sequential_sync is a same-machine ratio against "
+            "the object engine. Compare ratios across commits, not "
+            "absolute wall-clock."
         ),
         "entries": entries,
     }

@@ -56,8 +56,18 @@ LOSS_GRID: Dict[str, object] = {
     "epsilon": 1e-9,
 }
 
+#: The smoke grid on the batched whole-array engine: same cells, one
+#: NumPy program per (algorithm, topology) group. CI runs both and the
+#: report tool checks the records line up schema-wise.
+SMOKE_BATCHED: Dict[str, object] = {
+    **SMOKE,
+    "name": "smoke-batched",
+    "engine": "batched",
+}
+
 BUILTIN_SPECS: Dict[str, Dict[str, object]] = {
     "fig4-recovery": FIG4_RECOVERY,
     "smoke": SMOKE,
+    "smoke-batched": SMOKE_BATCHED,
     "loss-grid": LOSS_GRID,
 }

@@ -52,17 +52,37 @@ from repro.algorithms.aggregates import (
 from repro.algorithms.registry import instantiate
 from repro.exceptions import ConfigurationError
 from repro.experiments.workloads import bus_case_study_data, uniform_data
-from repro.faults.specs import build_faults
+from repro.faults.events import LinkFailure
+from repro.faults.specs import build_faults, validate_fault_spec
 from repro.metrics.convergence import fallback_report
 from repro.metrics.history import ErrorHistory
-from repro.campaigns.spec import CampaignSpec
+from repro.campaigns.spec import _VECTOR_FAULT_KINDS, CampaignSpec
 from repro.simulation.engine import SynchronousEngine
 from repro.simulation.schedule import UniformGossipSchedule
 from repro.telemetry.probes import MassConservationProbe
 from repro.topology import registry as topology_registry
 
-_SCHEDULE_SEED_OFFSET = 1000
 _MASS_TOLERANCE = 1e-6
+
+
+def _cell_seed_streams(seed: int):
+    """Independent child streams for one cell's random components.
+
+    The cell seed used to feed topology build, data generation, fault RNG
+    and (offset by a constant) the gossip schedule directly, which starts
+    several of those streams from correlated state. SeedSequence spawning
+    gives statistically independent children while keeping cell ids — and
+    the paper's paired-comparison property (same seed ⇒ same topology,
+    data and fault timeline across algorithms) — intact.
+
+    Returns ``(topology, data, fault, schedule)`` SeedSequence children.
+    """
+    return np.random.SeedSequence(seed).spawn(4)
+
+
+def _stream_seed(stream: np.random.SeedSequence) -> int:
+    """A plain integer seed drawn from a SeedSequence child."""
+    return int(stream.generate_state(1)[0])
 
 
 def _json_float(value: Optional[float]) -> object:
@@ -102,7 +122,16 @@ def _make_data(kind: str, n: int, seed: int) -> np.ndarray:
 
 
 def execute_cell(cell: Dict[str, object]) -> Dict[str, object]:
-    """Run one campaign cell to completion and measure its outcome."""
+    """Run one campaign cell to completion and measure its outcome.
+
+    Cells carrying ``engine: vectorized`` or ``engine: batched`` run on
+    the whole-array engines as a batch of one (so per-cell execution —
+    e.g. under multiprocessing workers — produces records bit-identical
+    to grouped batched execution); everything else takes the per-message
+    object engine below.
+    """
+    if str(cell.get("engine", "object")) != "object":
+        return _execute_cells_batched([cell])[0]
     t0 = time.perf_counter()
     topo_spec: Dict[str, object] = dict(cell["topology"])  # type: ignore[arg-type]
     family = str(topo_spec.pop("family"))
@@ -111,14 +140,19 @@ def execute_cell(cell: Dict[str, object]) -> Dict[str, object]:
     rounds = int(cell["rounds"])  # type: ignore[arg-type]
     epsilon = float(cell["epsilon"])  # type: ignore[arg-type]
 
-    topology = topology_registry.build(family, n, seed=seed, **topo_spec)
-    data = _make_data(str(cell["data"]), n, seed)
+    topo_stream, data_stream, fault_stream, sched_stream = _cell_seed_streams(
+        seed
+    )
+    topology = topology_registry.build(
+        family, n, seed=_stream_seed(topo_stream), **topo_spec
+    )
+    data = _make_data(str(cell["data"]), n, _stream_seed(data_stream))
     kind = AggregateKind(str(cell["aggregate"]))
     truth = true_aggregate(kind, list(data))
     initial = initial_mass_pairs(kind, list(data))
     algorithms = instantiate(str(cell["algorithm"]), topology, initial)
 
-    built = build_faults(cell["fault"], seed=seed)  # type: ignore[arg-type]
+    built = build_faults(cell["fault"], seed=_stream_seed(fault_stream))  # type: ignore[arg-type]
     history = ErrorHistory(truth)
     mass_probe = MassConservationProbe(tolerance=_MASS_TOLERANCE)
 
@@ -148,7 +182,7 @@ def execute_cell(cell: Dict[str, object]) -> Dict[str, object]:
     engine = SynchronousEngine(
         topology,
         algorithms,
-        UniformGossipSchedule(topology.n, seed + _SCHEDULE_SEED_OFFSET),
+        UniformGossipSchedule(topology.n, _stream_seed(sched_stream)),
         message_fault=built.message_fault,
         fault_plan=built.fault_plan,
         observers=[history, mass_probe, *extra_observers] + built.observers,
@@ -207,6 +241,7 @@ def execute_cell(cell: Dict[str, object]) -> Dict[str, object]:
         "topology": cell["topology_label"],
         "fault": cell["fault"]["name"],  # type: ignore[index]
         "seed": seed,
+        "engine": "object",
         "n": n,
         "rounds": engine.round,
         "epsilon": epsilon,
@@ -235,6 +270,204 @@ def execute_cell(cell: Dict[str, object]) -> Dict[str, object]:
     }
 
 
+def _vector_fault_params(spec: Dict[str, object]):
+    """Map a fault spec onto the batched engine's fault surface.
+
+    Supported kinds: ``none``, ``message_loss`` (composed rates combine
+    into one i.i.d. loss probability) and ``link_failure``. Everything
+    else needs the per-message object engine — the spec validator rejects
+    such grids up front; this guard catches hand-built cells.
+    """
+    normalized = validate_fault_spec(spec)
+    parts = normalized.get("compose") or [normalized]
+    keep = 1.0
+    links: List[LinkFailure] = []
+    for part in parts:  # type: ignore[union-attr]
+        kind = str(part["kind"])  # type: ignore[index]
+        if kind == "none":
+            continue
+        if kind == "message_loss":
+            keep *= 1.0 - float(part["rate"])  # type: ignore[index]
+        elif kind == "link_failure":
+            u, v = part["edge"]  # type: ignore[index]
+            links.append(
+                LinkFailure(
+                    round=int(part["round"]),  # type: ignore[index]
+                    u=int(u),
+                    v=int(v),
+                    detection_delay=int(part.get("detection_delay", 0)),  # type: ignore[union-attr]
+                )
+            )
+        else:
+            raise ConfigurationError(
+                f"fault kind {kind!r} is not supported on the vectorized/"
+                f"batched engines; supported kinds: "
+                f"{sorted(_VECTOR_FAULT_KINDS)}"
+            )
+    return 1.0 - keep, links
+
+
+def _execute_cells_batched(
+    cells: List[Dict[str, object]],
+) -> List[Dict[str, object]]:
+    """Run same-signature cells as one batched whole-array program.
+
+    Every cell becomes one run of a
+    :class:`repro.vectorized.batched.BatchedEngine`; per-cell seed streams
+    are derived exactly as in :func:`execute_cell` (same SeedSequence
+    children), so topology and data match the object-engine path for the
+    same seed. Converged fault-free runs retire early; cells with message
+    loss or pending link failures run their full round budget, since
+    their recovery/drift series must cover the horizon. Returned records
+    are schema-identical to the object-engine records (observability
+    fields are present but empty: the anomaly detectors and the flight
+    recorder are per-message object-engine instruments).
+    """
+    from repro.vectorized.batched import (
+        BatchedEngine,
+        BatchedErrorHistory,
+        BatchedMassProbe,
+        BatchedRun,
+    )
+
+    t0 = time.perf_counter()
+    first = cells[0]
+    algorithm = str(first["algorithm"])
+    rounds = int(first["rounds"])  # type: ignore[arg-type]
+    epsilon = float(first["epsilon"])  # type: ignore[arg-type]
+    kind = AggregateKind(str(first["aggregate"]))
+    data_kind = str(first["data"])
+    engine_kind = str(first.get("engine", "vectorized"))
+
+    runs: List[BatchedRun] = []
+    truths: List[float] = []
+    event_rounds: List[Optional[int]] = []
+    retire_ok: List[bool] = []
+    sizes: List[int] = []
+    for cell in cells:
+        topo_spec: Dict[str, object] = dict(cell["topology"])  # type: ignore[arg-type]
+        family = str(topo_spec.pop("family"))
+        n = int(topo_spec.pop("n"))  # type: ignore[arg-type]
+        seed = int(cell["seed"])  # type: ignore[arg-type]
+        topo_stream, data_stream, _fault_stream, sched_stream = (
+            _cell_seed_streams(seed)
+        )
+        topology = topology_registry.build(
+            family, n, seed=_stream_seed(topo_stream), **topo_spec
+        )
+        data = _make_data(data_kind, n, _stream_seed(data_stream))
+        truths.append(float(true_aggregate(kind, list(data))))
+        initial = initial_mass_pairs(kind, list(data))
+        loss, links = _vector_fault_params(cell["fault"])  # type: ignore[arg-type]
+        handle_rounds = [lf.handle_round for lf in links]
+        event_rounds.append(min(handle_rounds) if handle_rounds else None)
+        retire_ok.append(loss == 0.0 and not links)
+        sizes.append(n)
+        runs.append(
+            BatchedRun(
+                topology=topology,
+                values=np.array([float(p.value) for p in initial]),
+                weights=np.array([float(p.weight) for p in initial]),
+                rng=np.random.default_rng(sched_stream),
+                loss_probability=loss,
+                link_failures=tuple(links),
+            )
+        )
+
+    engine = BatchedEngine(algorithm, runs)
+    history = BatchedErrorHistory(truths)
+    mass_probe = BatchedMassProbe(tolerance=_MASS_TOLERANCE)
+    mass_probe.start(engine)
+
+    def on_round(eng, round_index: int) -> None:
+        history.on_round_end(eng, round_index)
+        mass_probe.on_round_end(eng, round_index)
+
+    eligible = np.array(retire_ok, dtype=bool)
+    stop_when = None
+    if eligible.any():
+
+        def stop_when(eng, round_index: int):
+            current = history.current_max_errors()
+            return eligible & np.isfinite(current) & (current <= epsilon)
+
+    engine.run(rounds, stop_when=stop_when, on_round=on_round)
+
+    wall = round((time.perf_counter() - t0) / len(cells), 4)
+    sent = engine.messages_sent
+    delivered = engine.messages_delivered
+    run_rounds = engine.run_rounds
+    records: List[Dict[str, object]] = []
+    for r, cell in enumerate(cells):
+        errors = history.max_errors[r]
+        final_error = errors[-1] if errors else float("inf")
+        converged = math.isfinite(final_error) and final_error <= epsilon
+        finite_errors = [e for e in errors if math.isfinite(e)]
+        best_error = min(finite_errors) if finite_errors else float("inf")
+
+        recovery: Dict[str, object] = {
+            "event_round": event_rounds[r],
+            "recovery_rounds": None,
+            "recovered": None,
+            "jump_factor": None,
+            "restart_fraction": None,
+        }
+        event_round = event_rounds[r]
+        if event_round is not None and event_round < len(errors):
+            report = fallback_report(errors, event_round)
+            recovered = report.recovery_rounds is not None
+            recovery.update(
+                {
+                    "recovery_rounds": report.recovery_rounds
+                    if recovered
+                    else len(errors) - event_round,
+                    "recovered": recovered,
+                    "jump_factor": _json_float(report.jump_factor),
+                    "restart_fraction": _json_float(report.restart_fraction),
+                }
+            )
+
+        mass_records = mass_probe.records[r]
+        cell_rounds = int(run_rounds[r])
+        tail_start = max(0, cell_rounds - max(cell_rounds // 4, 1))
+        tail_drifts = [d for rnd, d in mass_records if rnd >= tail_start]
+        records.append(
+            {
+                "cell_id": cell["cell_id"],
+                "status": "ok",
+                "algorithm": cell["algorithm"],
+                "topology": cell["topology_label"],
+                "fault": cell["fault"]["name"],  # type: ignore[index]
+                "seed": int(cell["seed"]),  # type: ignore[arg-type]
+                "engine": engine_kind,
+                "n": sizes[r],
+                "rounds": cell_rounds,
+                "epsilon": epsilon,
+                "converged": converged,
+                "rounds_to_tolerance": history.first_round_below(r, epsilon),
+                "final_error": _json_float(final_error),
+                "best_error": _json_float(best_error),
+                **recovery,
+                "mass_drift_final": _json_float(
+                    mass_records[-1][1] if mass_records else None
+                ),
+                "mass_drift_floor": _json_float(
+                    min(tail_drifts) if tail_drifts else None
+                ),
+                "mass_drift_worst": _json_float(mass_probe.worst_drift(r)),
+                "mass_violations": int(mass_probe.violations[r]),
+                "alerts_total": 0,
+                "alerts": {},
+                "flight_dumps": [],
+                "messages_sent": int(sent[r]),
+                "messages_delivered": int(delivered[r]),
+                "wall_s": wall,
+                "error": None,
+            }
+        )
+    return records
+
+
 def _safe_cell_dir(cell_id: str) -> str:
     """Filesystem-safe directory name for a cell's flight dumps."""
     return "".join(c if c.isalnum() or c in "-_." else "_" for c in cell_id)
@@ -260,6 +493,7 @@ def _failure_record(
         "topology": cell.get("topology_label"),
         "fault": cell["fault"].get("name"),  # type: ignore[union-attr]
         "seed": cell["seed"],
+        "engine": cell.get("engine", "object"),
         "attempts": attempts,
         "flight_dumps": dumps,
         "error": error,
@@ -363,6 +597,55 @@ def _run_serial(
         else:
             stats["ok"] += 1
         on_record(record)
+    return stats
+
+
+def _run_batched(
+    pending: List[Dict[str, object]],
+    retries: int,
+    on_record: Callable[[Dict[str, object]], None],
+) -> Dict[str, int]:
+    """Serial batched execution: one whole-array program per cell group.
+
+    Pending cells are grouped by (algorithm, topology) — the run keys
+    (rounds, epsilon, aggregate, data) are campaign-wide already — and
+    each group executes as a single :class:`BatchedEngine` program. A
+    failing group is retried whole; per-cell records land individually,
+    so a partially completed campaign still resumes cell by cell.
+    """
+    stats = {"ok": 0, "failed": 0, "retries_used": 0}
+    groups: Dict[tuple, List[Dict[str, object]]] = {}
+    order: List[tuple] = []
+    for cell in pending:
+        key = (str(cell["algorithm"]), str(cell["topology_label"]))
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(cell)
+    for key in order:
+        cells = groups[key]
+        last_error = "unknown"
+        records: Optional[List[Dict[str, object]]] = None
+        attempts = 0
+        for attempt in range(1, retries + 2):
+            attempts = attempt
+            if attempt > 1:
+                stats["retries_used"] += 1
+            try:
+                records = _execute_cells_batched(cells)
+                break
+            except Exception as exc:  # noqa: BLE001 - accounted per attempt
+                last_error = f"{type(exc).__name__}: {exc}"
+                records = None
+        if records is None:
+            for cell in cells:
+                on_record(_failure_record(cell, retries + 1, last_error))
+            stats["failed"] += len(cells)
+        else:
+            for record in records:
+                record["attempts"] = attempts
+                on_record(record)
+            stats["ok"] += len(cells)
     return stats
 
 
@@ -475,9 +758,10 @@ def run_campaign(
     spec_dict = spec.to_dict()
     if spec_path.exists():
         existing = json.loads(spec_path.read_text())
-        # Older campaign dirs predate the telemetry_sample_rate run key;
-        # let them resume under the default rather than refusing.
+        # Older campaign dirs predate the telemetry_sample_rate and engine
+        # run keys; let them resume under the defaults rather than refusing.
         existing.setdefault("telemetry_sample_rate", None)
+        existing.setdefault("engine", "object")
         if existing != spec_dict:
             raise ConfigurationError(
                 f"{out_path} already holds results for a different campaign "
@@ -516,8 +800,19 @@ def run_campaign(
 
     if pending:
         if workers == 0:
-            stats = _run_serial(pending, retries, on_record, executor)
+            # The batched engine gets its speedup from grouping cells into
+            # one whole-array program; an injected executor (tests) keeps
+            # the per-cell serial path, where batched cells run one by one.
+            if spec.engine == "batched" and executor is execute_cell:
+                stats = _run_batched(pending, retries, on_record)
+            else:
+                stats = _run_serial(pending, retries, on_record, executor)
         else:
+            if spec.engine == "batched":
+                say(
+                    "  note: workers>0 runs batched cells as single-run "
+                    "batches per process; workers=0 batches whole groups"
+                )
             stats = _run_parallel(pending, workers, timeout, retries, on_record)
     else:
         stats = {"ok": 0, "failed": 0, "retries_used": 0}

@@ -48,9 +48,16 @@ _RUN_KEYS = (
     "aggregate",
     "data",
     "telemetry_sample_rate",
+    "engine",
 )
 _DATA_KINDS = ("uniform", "spike", "log_uniform")
 _AGGREGATES = ("average", "sum")
+_ENGINES = ("object", "vectorized", "batched")
+#: Fault kinds the vectorized/batched engines can express (i.i.d. loss
+#: folds into the engine's transport mask; link failures map onto
+#: transport blocking + edge-state zeroing). Everything else needs the
+#: per-message object engine.
+_VECTOR_FAULT_KINDS = ("link_failure", "message_loss", "none")
 
 
 def _topology_label(topo: Mapping[str, object]) -> str:
@@ -80,6 +87,13 @@ class CampaignSpec:
     #: :data:`repro.telemetry.sampling.DEFAULT_SAMPLE_EVERY`. Raising it
     #: toward 1.0 tightens detector latency at proportional overhead.
     telemetry_sample_rate: Union[float, None] = None
+    #: Execution engine: ``object`` (per-message, full fault surface,
+    #: default), ``vectorized`` (whole-array per cell), or ``batched``
+    #: (whole-array across every compatible cell of an (algorithm,
+    #: topology) group at once). Non-object engines require algorithms
+    #: with a vectorized implementation and fault kinds in
+    #: :data:`_VECTOR_FAULT_KINDS`.
+    engine: str = "object"
 
     # ------------------------------------------------------------------
     # Construction
@@ -185,6 +199,31 @@ class CampaignSpec:
                 raise ConfigurationError(
                     f"telemetry_sample_rate must be in (0, 1], got {sample_rate}"
                 )
+        engine = str(raw.get("engine", "object"))
+        if engine not in _ENGINES:
+            raise ConfigurationError(
+                f"engine must be one of {_ENGINES}, got {engine!r}"
+            )
+        if engine != "object":
+            from repro.vectorized.parity import vector_engine_for
+
+            for alg in algorithms:
+                try:
+                    vector_engine_for(alg)
+                except ConfigurationError as exc:
+                    raise ConfigurationError(
+                        f"engine {engine!r}: {exc}"
+                    ) from None
+            for i, fault in enumerate(faults):
+                parts = fault.get("compose") or [fault]
+                for part in parts:  # type: ignore[union-attr]
+                    kind = str(part["kind"])  # type: ignore[index]
+                    if kind not in _VECTOR_FAULT_KINDS:
+                        raise ConfigurationError(
+                            f"axis 'faults'[{i}]: fault kind {kind!r} is not "
+                            f"supported on engine {engine!r}; supported "
+                            f"kinds: {sorted(_VECTOR_FAULT_KINDS)}"
+                        )
         return cls(
             name=str(raw.get("name", "campaign")),
             algorithms=algorithms,
@@ -196,6 +235,7 @@ class CampaignSpec:
             aggregate=aggregate,
             data=data,
             telemetry_sample_rate=sample_rate,
+            engine=engine,
         )
 
     @classmethod
@@ -247,6 +287,7 @@ class CampaignSpec:
             "aggregate": self.aggregate,
             "data": self.data,
             "telemetry_sample_rate": self.telemetry_sample_rate,
+            "engine": self.engine,
         }
 
     @property
@@ -289,6 +330,7 @@ class CampaignSpec:
                                 "telemetry_sample_rate": (
                                     self.telemetry_sample_rate
                                 ),
+                                "engine": self.engine,
                             }
                         )
         return cells

@@ -6,6 +6,12 @@ distributed QR factorization run on these engines.
 """
 
 from repro.vectorized.base import VectorizedEngine
+from repro.vectorized.batched import (
+    BatchedEngine,
+    BatchedErrorHistory,
+    BatchedMassProbe,
+    BatchedRun,
+)
 from repro.vectorized.engines import (
     VectorPushCancelFlow,
     VectorPushFlow,
@@ -22,6 +28,10 @@ from repro.vectorized.parity import (
 from repro.vectorized.topology_arrays import TopologyArrays
 
 __all__ = [
+    "BatchedEngine",
+    "BatchedErrorHistory",
+    "BatchedMassProbe",
+    "BatchedRun",
     "VectorizedEngine",
     "VectorPushSum",
     "VectorPushFlow",

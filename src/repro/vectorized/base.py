@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import abc
 import time
-from typing import Callable, Optional, Sequence, Tuple
+from typing import Callable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -51,7 +51,7 @@ class VectorizedEngine(abc.ABC):
 
     def __init__(
         self,
-        topology: Topology,
+        topology: Union[Topology, TopologyArrays],
         values: np.ndarray,
         weights: np.ndarray,
         *,
@@ -60,7 +60,12 @@ class VectorizedEngine(abc.ABC):
         targets: Optional[np.ndarray] = None,
         observers: Sequence[Observer] = (),
     ) -> None:
-        self._arrays = TopologyArrays.from_topology(topology)
+        # The batched executor pre-assembles a stacked TopologyArrays for a
+        # whole run batch; single runs pass a Topology as before.
+        if isinstance(topology, TopologyArrays):
+            self._arrays = topology
+        else:
+            self._arrays = TopologyArrays.from_topology(topology)
         n = self._arrays.n
         self._v0 = _as_matrix(values, n)
         self._w0 = np.asarray(weights, dtype=np.float64).reshape(n).copy()
@@ -91,6 +96,7 @@ class VectorizedEngine(abc.ABC):
                     f"scripted targets must be (rounds, {n}), got {targets.shape}"
                 )
         self._scripted_targets = targets
+        self._slot_lookup: Optional[Tuple[np.ndarray, int]] = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -231,14 +237,17 @@ class VectorizedEngine(abc.ABC):
         while executed < max_rounds:
             self.step()
             executed += 1
+            # The horizon itself is always checked, even when it is not a
+            # multiple of check_every — otherwise convergence in the final
+            # max_rounds % check_every rounds would be misreported.
             if (
                 stop_when is not None
-                and executed % check_every == 0
+                and (executed % check_every == 0 or executed == max_rounds)
                 and stop_when(self, self._round - 1)
             ):
                 break
         if self._observer:
-            if self._pending_sent or self._pending_delivered:
+            if self._round > 0 and (self._pending_sent or self._pending_delivered):
                 # Flush message totals accumulated on unsampled rounds.
                 self._observer.on_round_messages(
                     self,
@@ -257,17 +266,48 @@ class VectorizedEngine(abc.ABC):
     def _slots_for_targets(
         self, senders: np.ndarray, targets: np.ndarray
     ) -> np.ndarray:
-        """Translate absolute target node ids into neighbor slots."""
-        nbr = self._arrays.nbr
-        slots = np.empty(len(senders), dtype=np.int64)
-        for k, (i, j) in enumerate(zip(senders, targets)):
-            matches = np.nonzero(nbr[i] == j)[0]
-            if len(matches) != 1:
+        """Translate absolute target node ids into neighbor slots.
+
+        Uses a precomputed inverse lookup: each row of ``nbr`` is sorted
+        ascending (padding mapped past every valid id), so flattening with a
+        per-row offset yields one globally ascending key array and a single
+        ``searchsorted`` resolves every (sender, target) pair at once.
+        """
+        arrays = self._arrays
+        n, max_degree = arrays.n, arrays.max_degree
+        if max_degree == 0:
+            if len(senders):
+                i, j = int(senders[0]), int(targets[0])
                 raise ConfigurationError(
                     f"scripted target {j} is not a neighbor of {i}"
                 )
-            slots[k] = matches[0]
-        return slots
+            return np.empty(0, dtype=np.int64)
+        if self._slot_lookup is None:
+            # Padding (-1) becomes key i*(n+1)+n, which no valid target
+            # i*(n+1)+j with j in [0, n) can ever equal.
+            padded = np.where(arrays.nbr >= 0, arrays.nbr, n).astype(np.int64)
+            keys = (padded + np.arange(n, dtype=np.int64)[:, None] * (n + 1)).ravel()
+            self._slot_lookup = (keys, n + 1)
+        keys, stride = self._slot_lookup
+        senders = np.asarray(senders, dtype=np.int64)
+        targets = np.asarray(targets, dtype=np.int64)
+        in_range = (targets >= 0) & (targets < n)
+        wanted = senders * stride + np.where(in_range, targets, 0)
+        pos = np.searchsorted(keys, wanted)
+        row_start = senders * max_degree
+        valid = (
+            in_range
+            & (pos >= row_start)
+            & (pos < row_start + max_degree)
+            & (keys[np.minimum(pos, len(keys) - 1)] == wanted)
+        )
+        if not valid.all():
+            k = int(np.nonzero(~valid)[0][0])
+            i, j = int(senders[k]), int(targets[k])
+            raise ConfigurationError(
+                f"scripted target {j} is not a neighbor of {i}"
+            )
+        return (pos - row_start).astype(np.int64)
 
     def _receiver_indices(
         self, senders: np.ndarray, slots: np.ndarray
@@ -276,3 +316,13 @@ class VectorizedEngine(abc.ABC):
         receivers = self._arrays.nbr[senders, slots].astype(np.int64)
         receiver_slots = self._arrays.slot_of[senders, slots].astype(np.int64)
         return receivers, receiver_slots
+
+    def _zero_failed_links(self, nodes: np.ndarray, slots: np.ndarray) -> None:
+        """Forget per-edge protocol state at ``(nodes[k], slots[k])``.
+
+        Mirrors the object engines' ``on_link_failed`` handling for the
+        batched executor: each endpoint discards its edge state when a
+        permanent link failure is detected. Push-sum keeps no per-edge
+        state, so the base implementation is a no-op. The (node, slot)
+        pairs passed in are distinct, so fancy-indexed updates are safe.
+        """

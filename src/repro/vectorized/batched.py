@@ -1,0 +1,510 @@
+"""Batched vectorized execution: R independent runs as one NumPy program.
+
+Campaign sweeps execute the same (algorithm, topology-shape, rounds)
+signature across a whole seed axis; running those cells one at a time
+leaves most of the speedup of the vectorized engines on the table. This
+module stacks R independent runs into a single disjoint-union graph —
+run ``r``'s node ``i`` becomes global node ``r*n + i`` — and drives the
+*existing* vectorized engine kernels over the union, so an entire
+campaign axis executes as one whole-array program.
+
+Correctness rests on two observations:
+
+- the union graph has no edges between runs, so per-round scatters for
+  different runs touch disjoint state; and
+- messages are assembled run-major (run 0's senders first, then run 1's,
+  ...), so within each run the accumulation order of ``np.add.at``
+  collisions is exactly the order a single-run engine would use. Padded
+  slots hold exact zeros. Together this makes every run's state
+  *bit-for-bit identical* to running it alone (the parity tests assert
+  this for push-sum, PF, PCF and hardened PCF).
+
+Per-run features on top of the stacked kernels:
+
+- independent RNG streams (one ``np.random.Generator`` per run, spawned
+  by the caller — e.g. via ``np.random.SeedSequence.spawn``);
+- per-run i.i.d. message-loss probabilities;
+- per-run scripted schedules (for parity testing);
+- per-run permanent link failures with the object engine's two-instant
+  semantics: from ``round`` the link swallows messages (senders still
+  pick it), at ``round + detection_delay`` both endpoints discard their
+  edge state (:meth:`VectorizedEngine._zero_failed_links`) and exclude
+  the neighbor from future schedule draws;
+- early retirement: ``stop_when`` returns a per-run mask and retired
+  (e.g. converged) runs stop sending while the rest of the batch keeps
+  going, freezing their state at the retirement round.
+
+:class:`BatchedErrorHistory` and :class:`BatchedMassProbe` are the
+whole-batch equivalents of :class:`repro.metrics.history.ErrorHistory`
+and :class:`repro.telemetry.probes.MassConservationProbe`, so the
+campaign runner can emit records that are schema-identical to the
+object-engine path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.faults.events import LinkFailure
+from repro.topology.base import Topology
+from repro.vectorized.base import _as_matrix
+from repro.vectorized.parity import vector_engine_for
+from repro.vectorized.topology_arrays import TopologyArrays
+
+#: ``stop_when(engine, round_index)`` returns a per-run retirement mask
+#: (shape ``(n_runs,)``; True retires the run) or None to keep going.
+BatchStopCondition = Callable[
+    ["BatchedEngine", int], Optional[np.ndarray]
+]
+
+#: ``on_round(engine, round_index)`` — invoked after every executed round,
+#: before the stop condition; batched observers record their series here.
+BatchRoundHook = Callable[["BatchedEngine", int], None]
+
+
+@dataclasses.dataclass
+class BatchedRun:
+    """One run of a batch: its topology, initial state, and fault setup."""
+
+    topology: Topology
+    values: np.ndarray
+    weights: np.ndarray
+    #: Seed material for this run's private stream — anything
+    #: ``np.random.default_rng`` accepts (Generator, SeedSequence, int).
+    rng: Union[np.random.Generator, np.random.SeedSequence, int, None] = None
+    loss_probability: float = 0.0
+    #: Scripted ``(rounds, n)`` targets (-1 = silent), or None for the
+    #: native uniform-gossip schedule drawn from ``rng``.
+    targets: Optional[np.ndarray] = None
+    link_failures: Tuple[LinkFailure, ...] = ()
+
+
+def _stack_topologies(
+    arrays: Sequence[TopologyArrays],
+) -> TopologyArrays:
+    """Disjoint union of per-run topologies, run ``r`` offset by ``r*n``."""
+    n = arrays[0].n
+    runs = len(arrays)
+    max_degree = max(a.max_degree for a in arrays)
+    total = runs * n
+    nbr = np.full((total, max_degree), -1, dtype=np.int32)
+    slot_of = np.full((total, max_degree), -1, dtype=np.int32)
+    degree = np.zeros(total, dtype=np.int32)
+    for r, a in enumerate(arrays):
+        base = r * n
+        block = a.nbr.astype(np.int64)
+        nbr[base : base + n, : a.max_degree] = np.where(
+            block >= 0, block + base, -1
+        ).astype(np.int32)
+        slot_of[base : base + n, : a.max_degree] = a.slot_of
+        degree[base : base + n] = a.degree
+    nbr.setflags(write=False)
+    slot_of.setflags(write=False)
+    degree.setflags(write=False)
+    return TopologyArrays(
+        n=total, max_degree=max_degree, nbr=nbr, slot_of=slot_of, degree=degree
+    )
+
+
+class BatchedEngine:
+    """Execute R independent runs of one algorithm as a single program."""
+
+    def __init__(self, algorithm: str, runs: Sequence[BatchedRun]) -> None:
+        if not runs:
+            raise ConfigurationError("a batch needs at least one run")
+        self._runs = len(runs)
+        n = runs[0].topology.n
+        self._n = n
+        per_arrays = []
+        values_parts = []
+        weights_parts = []
+        for r, run in enumerate(runs):
+            if run.topology.n != n:
+                raise ConfigurationError(
+                    f"batch run {r} has n={run.topology.n}, expected {n} — "
+                    "all runs of a batch must share the node count"
+                )
+            per_arrays.append(TopologyArrays.from_topology(run.topology))
+            values_parts.append(_as_matrix(run.values, n))
+            weights_parts.append(
+                np.asarray(run.weights, dtype=np.float64).reshape(n)
+            )
+            if not 0.0 <= float(run.loss_probability) <= 1.0:
+                raise ConfigurationError(
+                    f"batch run {r}: loss_probability must be in [0, 1], "
+                    f"got {run.loss_probability}"
+                )
+        d = values_parts[0].shape[1]
+        for r, v in enumerate(values_parts):
+            if v.shape[1] != d:
+                raise ConfigurationError(
+                    f"batch run {r} has value dimension {v.shape[1]}, "
+                    f"expected {d}"
+                )
+        self._d = d
+        arrays = _stack_topologies(per_arrays)
+        cls = vector_engine_for(algorithm)
+        self._engine = cls(
+            arrays,
+            np.vstack(values_parts),
+            np.concatenate(weights_parts),
+            seed=0,
+        )
+        self._rngs = [np.random.default_rng(run.rng) for run in runs]
+        self._loss = np.array(
+            [float(run.loss_probability) for run in runs]
+        )
+        self._targets: List[Optional[np.ndarray]] = []
+        for r, run in enumerate(runs):
+            targets = run.targets
+            if targets is not None:
+                targets = np.asarray(targets, dtype=np.int64)
+                if targets.ndim != 2 or targets.shape[1] != n:
+                    raise ConfigurationError(
+                        f"batch run {r}: scripted targets must be "
+                        f"(rounds, {n}), got {targets.shape}"
+                    )
+            self._targets.append(targets)
+
+        # Schedule-visible neighborhood: live_list[i, :live_degree[i]] are
+        # the slots node i may still draw; handled link failures shrink it.
+        total = arrays.n
+        md = arrays.max_degree
+        self._slot_alive = (
+            np.arange(md)[None, :] < arrays.degree[:, None]
+        )
+        self._live_degree = arrays.degree.astype(np.int64).copy()
+        self._live_list = np.where(
+            self._slot_alive, np.arange(md)[None, :], 0
+        ).astype(np.int64)
+        # Transport-dead slots: messages sent on them vanish (the sender
+        # still spends its round on them until the failure is handled).
+        self._blocked = np.zeros((total, md), dtype=bool)
+        self._fail_events: Dict[int, List[Tuple[int, int]]] = {}
+        self._handle_events: Dict[int, List[Tuple[int, int, int, int]]] = {}
+        for r, run in enumerate(runs):
+            base = r * n
+            seen_edges = set()
+            for lf in run.link_failures:
+                u, v = lf.u, lf.v
+                if lf.edge in seen_edges:
+                    raise ConfigurationError(
+                        f"batch run {r}: duplicate link failure on {lf.edge}"
+                    )
+                seen_edges.add(lf.edge)
+                if not (0 <= u < n and 0 <= v < n) or v not in run.topology.neighbors(u):
+                    raise ConfigurationError(
+                        f"batch run {r}: link failure ({u}, {v}) is not an "
+                        "edge of the run's topology"
+                    )
+                su = run.topology.neighbor_index(u, v)
+                sv = run.topology.neighbor_index(v, u)
+                gi, gj = base + u, base + v
+                self._fail_events.setdefault(lf.round, []).extend(
+                    [(gi, su), (gj, sv)]
+                )
+                self._handle_events.setdefault(lf.handle_round, []).append(
+                    (gi, gj, su, sv)
+                )
+
+        self._round = 0
+        self._retired = np.zeros(self._runs, dtype=bool)
+        self._executed = np.zeros(self._runs, dtype=np.int64)
+        self._messages_sent = np.zeros(self._runs, dtype=np.int64)
+        self._messages_delivered = np.zeros(self._runs, dtype=np.int64)
+        self._last_active = np.zeros(self._runs, dtype=bool)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_runs(self) -> int:
+        return self._runs
+
+    @property
+    def n(self) -> int:
+        """Nodes per run (the union graph holds ``n_runs * n``)."""
+        return self._n
+
+    @property
+    def dimension(self) -> int:
+        return self._d
+
+    @property
+    def round(self) -> int:
+        return self._round
+
+    @property
+    def retired(self) -> np.ndarray:
+        return self._retired.copy()
+
+    @property
+    def last_round_active(self) -> np.ndarray:
+        """Runs that participated in the most recent :meth:`step`."""
+        return self._last_active.copy()
+
+    @property
+    def run_rounds(self) -> np.ndarray:
+        """Rounds each run has executed (retired runs stop counting)."""
+        return self._executed.copy()
+
+    @property
+    def messages_sent(self) -> np.ndarray:
+        return self._messages_sent.copy()
+
+    @property
+    def messages_delivered(self) -> np.ndarray:
+        return self._messages_delivered.copy()
+
+    def estimate_pairs(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-run ``(values (R, n, d), weights (R, n))`` estimate pairs."""
+        values, weights = self._engine.estimate_pairs()
+        return (
+            values.reshape(self._runs, self._n, self._d),
+            weights.reshape(self._runs, self._n),
+        )
+
+    def estimates(self) -> np.ndarray:
+        """Per-node aggregate estimates, shape (R, n, d)."""
+        return self._engine.estimates().reshape(self._runs, self._n, self._d)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def retire(self, mask: np.ndarray) -> None:
+        """Retire runs where ``mask`` is True; their state freezes."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (self._runs,):
+            raise ConfigurationError(
+                f"retirement mask must have shape ({self._runs},), "
+                f"got {mask.shape}"
+            )
+        self._retired |= mask
+
+    def step(self) -> None:
+        """Execute one synchronous round for every non-retired run."""
+        rnd = self._round
+        for node, slot in self._fail_events.get(rnd, ()):
+            self._blocked[node, slot] = True
+
+        n = self._n
+        active = np.nonzero(~self._retired)[0]
+        sender_parts: List[np.ndarray] = []
+        slot_parts: List[np.ndarray] = []
+        delivered_parts: List[np.ndarray] = []
+        for r in active:
+            base = r * n
+            targets = self._targets[r]
+            if targets is not None:
+                if rnd >= len(targets):
+                    raise ConfigurationError(
+                        f"scripted schedule exhausted at round {rnd}"
+                    )
+                row = targets[rnd]
+                local = np.nonzero(row >= 0)[0]
+                senders_r = local + base
+                slots_r = self._engine._slots_for_targets(
+                    senders_r, row[local] + base
+                )
+            else:
+                # Same stream consumption as a single vectorized engine:
+                # one uniform draw per node per round. Failure-free runs
+                # have live_degree == degree and live_list[i, s] == s, so
+                # the chosen slots match the single engine bit-for-bit.
+                draws = self._rngs[r].random(n)
+                live_deg = self._live_degree[base : base + n]
+                local = np.nonzero(live_deg > 0)[0]
+                senders_r = local + base
+                picks = np.floor(draws[local] * live_deg[local]).astype(
+                    np.int64
+                )
+                slots_r = self._live_list[senders_r, picks]
+            loss = self._loss[r]
+            if loss > 0.0:
+                delivered_r = self._rngs[r].random(len(senders_r)) >= loss
+            else:
+                delivered_r = np.ones(len(senders_r), dtype=bool)
+            # Physically dead links swallow the message in transport; the
+            # sender still spent its round on it (object-engine semantics).
+            delivered_r = delivered_r & ~self._blocked[senders_r, slots_r]
+            self._messages_sent[r] += len(senders_r)
+            self._messages_delivered[r] += int(delivered_r.sum())
+            sender_parts.append(senders_r)
+            slot_parts.append(slots_r)
+            delivered_parts.append(delivered_r)
+
+        if sender_parts:
+            # Run-major concatenation: within each run, messages keep the
+            # ascending-sender order a single-run engine would use, which
+            # preserves the np.add.at accumulation order bit-for-bit.
+            senders = np.concatenate(sender_parts)
+            slots = np.concatenate(slot_parts)
+            delivered = np.concatenate(delivered_parts)
+            self._engine._apply_round(senders, slots, delivered)
+
+        for gi, gj, si, sj in self._handle_events.get(rnd, ()):
+            self._handle_link(gi, gj, si, sj)
+
+        self._last_active = ~self._retired
+        self._executed[active] += 1
+        self._round += 1
+
+    def _handle_link(self, gi: int, gj: int, si: int, sj: int) -> None:
+        """Failure-detector handling: discard edge state, shrink schedules."""
+        if not self._slot_alive[gi, si]:
+            return
+        self._engine._zero_failed_links(
+            np.array([gi, gj]), np.array([si, sj])
+        )
+        for node, slot in ((gi, si), (gj, sj)):
+            self._slot_alive[node, slot] = False
+            self._blocked[node, slot] = True
+            live = np.nonzero(self._slot_alive[node])[0]
+            self._live_list[node, : len(live)] = live
+            self._live_list[node, len(live) :] = 0
+            self._live_degree[node] = len(live)
+
+    def run(
+        self,
+        max_rounds: int,
+        *,
+        stop_when: Optional[BatchStopCondition] = None,
+        check_every: int = 1,
+        on_round: Optional[BatchRoundHook] = None,
+    ) -> np.ndarray:
+        """Run up to ``max_rounds`` rounds; returns per-run executed counts.
+
+        ``stop_when(engine, round_index)`` returns a per-run boolean mask
+        (True retires the run) and is consulted every ``check_every``
+        rounds plus at the horizon; the loop ends early once every run is
+        retired. ``on_round`` fires after each executed round, before the
+        stop condition — batched observers hook in here.
+        """
+        if max_rounds < 0:
+            raise ConfigurationError(
+                f"max_rounds must be >= 0, got {max_rounds}"
+            )
+        start = self._executed.copy()
+        executed = 0
+        while executed < max_rounds and not self._retired.all():
+            self.step()
+            executed += 1
+            if on_round is not None:
+                on_round(self, self._round - 1)
+            if stop_when is not None and (
+                executed % check_every == 0 or executed == max_rounds
+            ):
+                mask = stop_when(self, self._round - 1)
+                if mask is not None:
+                    self.retire(mask)
+        return self._executed - start
+
+
+class BatchedErrorHistory:
+    """Per-run error series — :class:`ErrorHistory` for a whole batch.
+
+    ``max_errors[r][t]`` is run ``r``'s max local relative error after its
+    round ``t``, with the exact semantics of
+    :func:`repro.algorithms.aggregates.relative_error`: per node, the
+    max-norm deviation over components divided by the truth's max-norm
+    scale (1.0 when the truth is exactly zero), ``inf`` for non-finite
+    estimates. Retired runs stop recording, so their series end at their
+    retirement round.
+    """
+
+    def __init__(self, truths: Sequence[float]) -> None:
+        truth = np.asarray(truths, dtype=np.float64)
+        if truth.ndim == 1:
+            truth = truth[:, None]
+        self._truth = truth  # (R, d)
+        scale = np.abs(truth).max(axis=1)
+        self._scale = np.where(scale > 0.0, scale, 1.0)
+        self.max_errors: List[List[float]] = [[] for _ in range(len(truth))]
+
+    def on_round_end(self, engine: BatchedEngine, round_index: int) -> None:
+        est = engine.estimates()
+        with np.errstate(invalid="ignore"):
+            diff = np.abs(est - self._truth[:, None, :]).max(axis=2)
+        finite = np.isfinite(est).all(axis=2)
+        node_err = np.where(
+            finite, diff / self._scale[:, None], np.inf
+        )
+        run_max = node_err.max(axis=1)
+        for r in np.nonzero(engine.last_round_active)[0]:
+            self.max_errors[int(r)].append(float(run_max[r]))
+
+    def current_max_errors(self) -> np.ndarray:
+        """Latest recorded error per run (inf before any round)."""
+        return np.array(
+            [series[-1] if series else np.inf for series in self.max_errors]
+        )
+
+    def final_max_error(self, run: int) -> float:
+        series = self.max_errors[run]
+        if not series:
+            raise ValueError("no rounds recorded")
+        return series[-1]
+
+    def first_round_below(self, run: int, threshold: float) -> Optional[int]:
+        """First round whose max error is <= threshold (None if never)."""
+        for t, err in enumerate(self.max_errors[run]):
+            if err <= threshold:
+                return t
+        return None
+
+
+class BatchedMassProbe:
+    """Per-run mass-conservation drift — the batch's mass probe.
+
+    Mirrors :class:`repro.telemetry.probes.MassDriftTracker`'s vectorized
+    branch: the baseline is the run's initial (sum of values, sum of
+    weights), drift is the max absolute deviation of either sum from its
+    baseline, normalized by the baseline magnitude. ``records[r]`` holds
+    ``(round, drift)`` pairs; ``violations[r]`` counts drifts above the
+    tolerance.
+    """
+
+    def __init__(self, tolerance: float = 1e-6) -> None:
+        self.tolerance = float(tolerance)
+        self._exp_val: Optional[np.ndarray] = None
+        self._exp_w: Optional[np.ndarray] = None
+        self._scale: Optional[np.ndarray] = None
+        self.records: List[List[Tuple[int, float]]] = []
+        self.violations: Optional[np.ndarray] = None
+
+    def start(self, engine: BatchedEngine) -> None:
+        values, weights = engine.estimate_pairs()
+        self._exp_val = values.sum(axis=1)  # (R, d)
+        self._exp_w = weights.sum(axis=1)  # (R,)
+        self._scale = np.maximum(
+            np.maximum(np.abs(self._exp_val).max(axis=1), np.abs(self._exp_w)),
+            1e-300,
+        )
+        self.records = [[] for _ in range(engine.n_runs)]
+        self.violations = np.zeros(engine.n_runs, dtype=np.int64)
+
+    def on_round_end(self, engine: BatchedEngine, round_index: int) -> None:
+        if self._exp_val is None:
+            self.start(engine)
+        values, weights = engine.estimate_pairs()
+        cur_val = values.sum(axis=1)
+        cur_w = weights.sum(axis=1)
+        deviation = np.maximum(
+            np.abs(cur_val - self._exp_val).max(axis=1),
+            np.abs(cur_w - self._exp_w),
+        )
+        finite = np.isfinite(cur_val).all(axis=1) & np.isfinite(cur_w)
+        drift = np.where(finite, deviation / self._scale, np.inf)
+        violated = drift > self.tolerance
+        for r in np.nonzero(engine.last_round_active)[0]:
+            self.records[int(r)].append((round_index, float(drift[r])))
+            if violated[r]:
+                self.violations[int(r)] += 1
+
+    def worst_drift(self, run: int) -> Optional[float]:
+        series = self.records[run]
+        return max(d for _, d in series) if series else None

@@ -77,6 +77,12 @@ class VectorPushFlow(VectorizedEngine):
         per_w = np.max(np.abs(self._fw), axis=1)
         return np.maximum(per_val, per_w)
 
+    def _zero_failed_links(self, nodes, slots) -> None:
+        # Object PF (recompute) drops the edge's flow record entirely, which
+        # is equivalent to an exact-zero flow on that slot.
+        self._fval[nodes, slots] = 0.0
+        self._fw[nodes, slots] = 0.0
+
     def _apply_round(self, senders, slots, delivered) -> None:
         est_val, est_w = self.estimate_pairs()
         receivers, r_slots = self._receiver_indices(senders, slots)
@@ -142,6 +148,18 @@ class VectorPushCancelFlow(VectorizedEngine):
     def max_era(self) -> int:
         """Highest role-swap era counter reached on any edge."""
         return int(np.max(self._r)) if self._r.size else 0
+
+    def _zero_failed_links(self, nodes, slots) -> None:
+        # Object PCF (efficient) folds the edge's total flow back out of phi
+        # (phi = phi - (flow[0] + flow[1])) before dropping the edge state.
+        total_val = self._fval[nodes, slots, 0] + self._fval[nodes, slots, 1]
+        total_w = self._fw[nodes, slots, 0] + self._fw[nodes, slots, 1]
+        self._phi_val[nodes] = self._phi_val[nodes] - total_val
+        self._phi_w[nodes] = self._phi_w[nodes] - total_w
+        self._fval[nodes, slots] = 0.0
+        self._fw[nodes, slots] = 0.0
+        self._c[nodes, slots] = 0
+        self._r[nodes, slots] = 0
 
     def _apply_round(self, senders, slots, delivered) -> None:
         est_val, est_w = self.estimate_pairs()

@@ -70,6 +70,19 @@ class VectorPushCancelFlowHardened(VectorizedEngine):
         """Highest role-swap era counter reached on any edge."""
         return int(np.max(self._r)) if self._r.size else 0
 
+    def _zero_failed_links(self, nodes, slots) -> None:
+        # Same phi fold-out as PCF (phi = phi - (flow[0] + flow[1])), plus
+        # the hardened engine's frozen reference copies are discarded.
+        total_val = self._fval[nodes, slots, 0] + self._fval[nodes, slots, 1]
+        total_w = self._fw[nodes, slots, 0] + self._fw[nodes, slots, 1]
+        self._phi_val[nodes] = self._phi_val[nodes] - total_val
+        self._phi_w[nodes] = self._phi_w[nodes] - total_w
+        self._fval[nodes, slots] = 0.0
+        self._fw[nodes, slots] = 0.0
+        self._r[nodes, slots] = 0
+        self._frozen_val[nodes, slots] = 0.0
+        self._frozen_w[nodes, slots] = 0.0
+
     def _apply_round(self, senders, slots, delivered) -> None:
         est_val, est_w = self.estimate_pairs()
         receivers, r_slots = self._receiver_indices(senders, slots)
