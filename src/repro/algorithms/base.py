@@ -106,6 +106,37 @@ class GossipAlgorithm(abc.ABC):
         """
         self._remove_neighbor(neighbor)
 
+    def on_link_restored(self, neighbor: int) -> None:
+        """Handle restoration of a previously excluded link to ``neighbor``.
+
+        Dynamic-topology runs call this when a downed edge comes back up or
+        a departed neighbor rejoins. Default: re-insert the neighbor into
+        the live set (in sorted position, so neighbor iteration order keeps
+        matching the vectorized engines' slot order). Flow-based algorithms
+        additionally create a fresh exact-zero flow toward the neighbor.
+        """
+        self._insert_neighbor(neighbor)
+
+    def reset_for_join(self, neighbors: Sequence[int]) -> None:
+        """Rejoin the network with a fresh protocol state.
+
+        A joining node enters like a brand-new participant: its mass is the
+        initial pair again and every flow starts at exact zero (the join
+        semantics of the dynamic-aggregation literature). ``neighbors`` is
+        the set of *currently live* links the engine grants the node.
+        """
+        if len(set(neighbors)) != len(neighbors):
+            raise ProtocolError(f"duplicate neighbors for node {self._node_id}")
+        if self._node_id in neighbors:
+            raise ProtocolError(
+                f"node {self._node_id} cannot neighbor itself"
+            )
+        self._neighbors = sorted(int(j) for j in neighbors)
+        self._reset_join_state()
+
+    def _reset_join_state(self) -> None:
+        """Protocol-specific state reset on rejoin (default: nothing)."""
+
     # ------------------------------------------------------------------
     # Conservation diagnostics (used by invariants/tests, not the protocol)
     # ------------------------------------------------------------------
@@ -135,6 +166,21 @@ class GossipAlgorithm(abc.ABC):
     def _remove_neighbor(self, neighbor: int) -> None:
         self._require_neighbor(neighbor)
         self._neighbors.remove(neighbor)
+
+    def _insert_neighbor(self, neighbor: int) -> None:
+        neighbor = int(neighbor)
+        if neighbor == self._node_id:
+            raise ProtocolError(
+                f"node {self._node_id} cannot neighbor itself"
+            )
+        if neighbor in self._neighbors:
+            raise ProtocolError(
+                f"node {self._node_id}: {neighbor} is already a live neighbor"
+            )
+        # Keep the live set sorted (Topology hands out sorted neighbor
+        # tuples, and the vectorized engines' slot order depends on it).
+        self._neighbors.append(neighbor)
+        self._neighbors.sort()
 
     def __repr__(self) -> str:
         return (

@@ -136,6 +136,22 @@ class PushCancelFlow(GossipAlgorithm):
             self._phi = self._phi - edge.total_flow()
         self._remove_neighbor(neighbor)
 
+    def on_link_restored(self, neighbor: int) -> None:
+        """Re-add a restored link with fresh (all-zero) edge state.
+
+        The edge dict is rebuilt in sorted-neighbor order so the robust
+        variant's estimate summation keeps matching the vectorized slot
+        order.
+        """
+        self._insert_neighbor(neighbor)
+        self._edges[neighbor] = PCFEdgeState(self._initial.zero_like())
+        self._edges = {j: self._edges[j] for j in self._neighbors}
+
+    def _reset_join_state(self) -> None:
+        zero = self._initial.zero_like()
+        self._edges = {j: PCFEdgeState(zero) for j in self._neighbors}
+        self._phi = zero.copy()
+
     # ------------------------------------------------------------------
     # Diagnostics
     # ------------------------------------------------------------------

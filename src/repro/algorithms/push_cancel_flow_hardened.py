@@ -115,6 +115,26 @@ class PushCancelFlowHardened(GossipAlgorithm):
             self._phi = self._phi - edge.total_flow()
         self._remove_neighbor(neighbor)
 
+    def on_link_restored(self, neighbor: int) -> None:
+        """Re-add a restored link with fresh edge state (same as PCF).
+
+        The initiator role is re-derived from the node ids, so both
+        endpoints restart the handshake from a consistent era 0.
+        """
+        self._insert_neighbor(neighbor)
+        self._edges[neighbor] = HardenedEdgeState(
+            self._initial.zero_like(), initiator=self._node_id < neighbor
+        )
+        self._edges = {j: self._edges[j] for j in self._neighbors}
+
+    def _reset_join_state(self) -> None:
+        zero = self._initial.zero_like()
+        self._edges = {
+            j: HardenedEdgeState(zero, initiator=self._node_id < j)
+            for j in self._neighbors
+        }
+        self._phi = zero.copy()
+
     # ------------------------------------------------------------------
     # Diagnostics
     # ------------------------------------------------------------------

@@ -120,6 +120,22 @@ class PushFlow(GossipAlgorithm):
         del self._flows[neighbor]
         self._remove_neighbor(neighbor)
 
+    def on_link_restored(self, neighbor: int) -> None:
+        """Re-add a restored link with an exact-zero flow.
+
+        The flow dict is rebuilt in sorted-neighbor order so the estimate's
+        summation order stays identical to the vectorized engines' slot
+        order (dict insertion order is summation order in ``recompute``).
+        """
+        self._insert_neighbor(neighbor)
+        self._flows[neighbor] = self._initial.zero_like()
+        self._flows = {j: self._flows[j] for j in self._neighbors}
+
+    def _reset_join_state(self) -> None:
+        zero = self._initial.zero_like()
+        self._flows = {j: zero.copy() for j in self._neighbors}
+        self._phi = zero.copy()
+
     # ------------------------------------------------------------------
     # Diagnostics
     # ------------------------------------------------------------------

@@ -54,6 +54,13 @@ class PushSum(GossipAlgorithm):
     def estimate_pair(self) -> MassPair:
         return self._mass.copy()
 
+    def _reset_join_state(self) -> None:
+        # A rejoining node enters as a fresh participant with its initial
+        # mass; the mass it carried away at departure is simply gone —
+        # push-sum has no mechanism to reconcile membership changes, which
+        # is exactly the fragility the churn experiments demonstrate.
+        self._mass = self._initial.copy()
+
     def conserved_mass(self) -> MassPair:
         # For push-sum the conserved quantity IS the current local mass
         # (plus anything in flight, which synchronous engines deliver within

@@ -65,9 +65,31 @@ SMOKE_BATCHED: Dict[str, object] = {
     "engine": "batched",
 }
 
+#: Dynamic-network grid: membership churn, partition-and-heal and a
+#: correlated regional outage against the fault-free baseline. The summary
+#: shows the robustness gradient under churn — push-sum converges to the
+#: wrong value (departed mass is gone), PCF carries a small residual offset
+#: (orphaned cancelled-flow mass), PF reconverges exactly — while the
+#: edge-only partition reconverges for every algorithm after the heal.
+CHURN_GRID: Dict[str, object] = {
+    "name": "churn-grid",
+    "algorithms": ["push_sum", "push_flow", "push_cancel_flow"],
+    "topologies": [{"family": "hypercube", "n": 32}],
+    "faults": [
+        {"kind": "none"},
+        {"kind": "churn", "rate": 0.05, "start": 20, "end": 100},
+        {"kind": "partition", "round": 40, "heal_round": 80},
+        {"kind": "regional_outage", "round": 40, "duration": 30},
+    ],
+    "seeds": [0, 1],
+    "rounds": 160,
+    "epsilon": 1e-6,
+}
+
 BUILTIN_SPECS: Dict[str, Dict[str, object]] = {
     "fig4-recovery": FIG4_RECOVERY,
     "smoke": SMOKE,
     "smoke-batched": SMOKE_BATCHED,
     "loss-grid": LOSS_GRID,
+    "churn-grid": CHURN_GRID,
 }

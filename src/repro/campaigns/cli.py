@@ -59,6 +59,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="retries per cell after a failed/timed-out attempt (default: 1)",
     )
     parser.add_argument(
+        "--engine",
+        choices=("object", "vectorized", "batched"),
+        default=None,
+        help=(
+            "override the spec's execution engine; the default output "
+            "directory gains a -<engine> suffix so the runs don't collide"
+        ),
+    )
+    parser.add_argument(
         "--fresh",
         action="store_true",
         help="discard any existing results.jsonl instead of resuming",
@@ -79,10 +88,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         spec = load_spec(args.spec)
+        if args.engine is not None and args.engine != spec.engine:
+            from repro.campaigns.spec import CampaignSpec
+
+            spec = CampaignSpec.from_dict(
+                {**spec.to_dict(), "engine": args.engine}
+            )
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    out_dir = pathlib.Path(args.out or f"results/campaigns/{spec.name}")
+    default_out = f"results/campaigns/{spec.name}"
+    if args.engine is not None and args.engine != "object":
+        default_out += f"-{args.engine}"
+    out_dir = pathlib.Path(args.out or default_out)
     log = (lambda _msg: None) if args.quiet else print
     try:
         run = run_campaign(

@@ -53,7 +53,12 @@ from repro.algorithms.registry import instantiate
 from repro.exceptions import ConfigurationError
 from repro.experiments.workloads import bus_case_study_data, uniform_data
 from repro.faults.events import LinkFailure
-from repro.faults.specs import build_faults, validate_fault_spec
+from repro.faults.specs import (
+    DYNAMIC_FAULT_KINDS,
+    build_faults,
+    build_topology_schedule,
+    validate_fault_spec,
+)
 from repro.metrics.convergence import fallback_report
 from repro.metrics.history import ErrorHistory
 from repro.campaigns.spec import _VECTOR_FAULT_KINDS, CampaignSpec
@@ -152,7 +157,12 @@ def execute_cell(cell: Dict[str, object]) -> Dict[str, object]:
     initial = initial_mass_pairs(kind, list(data))
     algorithms = instantiate(str(cell["algorithm"]), topology, initial)
 
-    built = build_faults(cell["fault"], seed=_stream_seed(fault_stream))  # type: ignore[arg-type]
+    built = build_faults(
+        cell["fault"],  # type: ignore[arg-type]
+        seed=_stream_seed(fault_stream),
+        topology=topology,
+        horizon=rounds,
+    )
     history = ErrorHistory(truth)
     mass_probe = MassConservationProbe(tolerance=_MASS_TOLERANCE)
 
@@ -185,6 +195,7 @@ def execute_cell(cell: Dict[str, object]) -> Dict[str, object]:
         UniformGossipSchedule(topology.n, _stream_seed(sched_stream)),
         message_fault=built.message_fault,
         fault_plan=built.fault_plan,
+        topology_schedule=built.topology_schedule,
         observers=[history, mass_probe, *extra_observers] + built.observers,
     )
     if flight is not None:
@@ -249,6 +260,7 @@ def execute_cell(cell: Dict[str, object]) -> Dict[str, object]:
         "rounds_to_tolerance": history.first_round_below(epsilon),
         "final_error": _json_float(final_error),
         "best_error": _json_float(best_error),
+        "dynamics": built.dynamics_meta,
         **recovery,
         "mass_drift_final": _json_float(
             float(mass_records[-1]["drift"]) if mass_records else None  # type: ignore[arg-type]
@@ -284,7 +296,9 @@ def _vector_fault_params(spec: Dict[str, object]):
     links: List[LinkFailure] = []
     for part in parts:  # type: ignore[union-attr]
         kind = str(part["kind"])  # type: ignore[index]
-        if kind == "none":
+        if kind == "none" or kind in DYNAMIC_FAULT_KINDS:
+            # Dynamic kinds map onto the engine's topology-delta support
+            # (built separately via build_topology_schedule).
             continue
         if kind == "message_loss":
             keep *= 1.0 - float(part["rate"])  # type: ignore[index]
@@ -344,12 +358,13 @@ def _execute_cells_batched(
     event_rounds: List[Optional[int]] = []
     retire_ok: List[bool] = []
     sizes: List[int] = []
+    schedules: List[object] = []
     for cell in cells:
         topo_spec: Dict[str, object] = dict(cell["topology"])  # type: ignore[arg-type]
         family = str(topo_spec.pop("family"))
         n = int(topo_spec.pop("n"))  # type: ignore[arg-type]
         seed = int(cell["seed"])  # type: ignore[arg-type]
-        topo_stream, data_stream, _fault_stream, sched_stream = (
+        topo_stream, data_stream, fault_stream, sched_stream = (
             _cell_seed_streams(seed)
         )
         topology = topology_registry.build(
@@ -359,9 +374,23 @@ def _execute_cells_batched(
         truths.append(float(true_aggregate(kind, list(data))))
         initial = initial_mass_pairs(kind, list(data))
         loss, links = _vector_fault_params(cell["fault"])  # type: ignore[arg-type]
+        # Same fault-stream seed as the object path, so a dynamic cell
+        # builds the identical topology schedule on either engine.
+        schedule = build_topology_schedule(
+            cell["fault"],  # type: ignore[arg-type]
+            topology=topology,
+            seed=_stream_seed(fault_stream),
+            horizon=rounds,
+        )
+        schedules.append(schedule)
         handle_rounds = [lf.handle_round for lf in links]
-        event_rounds.append(min(handle_rounds) if handle_rounds else None)
-        retire_ok.append(loss == 0.0 and not links)
+        if handle_rounds:
+            event_rounds.append(min(handle_rounds))
+        elif schedule is not None:
+            event_rounds.append(schedule.last_round)
+        else:
+            event_rounds.append(None)
+        retire_ok.append(loss == 0.0 and not links and schedule is None)
         sizes.append(n)
         runs.append(
             BatchedRun(
@@ -371,6 +400,7 @@ def _execute_cells_batched(
                 rng=np.random.default_rng(sched_stream),
                 loss_probability=loss,
                 link_failures=tuple(links),
+                topology_schedule=schedule,
             )
         )
 
@@ -447,6 +477,9 @@ def _execute_cells_batched(
                 "rounds_to_tolerance": history.first_round_below(r, epsilon),
                 "final_error": _json_float(final_error),
                 "best_error": _json_float(best_error),
+                "dynamics": (
+                    schedules[r].meta() if schedules[r] is not None else None  # type: ignore[attr-defined]
+                ),
                 **recovery,
                 "mass_drift_final": _json_float(
                     mass_records[-1][1] if mass_records else None

@@ -37,7 +37,10 @@ from typing import Dict, List, Mapping, Tuple, Union
 
 from repro.algorithms.registry import ALGORITHMS
 from repro.exceptions import ConfigurationError, TopologyError
-from repro.faults.specs import validate_fault_spec
+from repro.faults.specs import (
+    validate_fault_against_topology,
+    validate_fault_spec,
+)
 from repro.topology import registry as topology_registry
 
 _AXES = ("algorithms", "topologies", "faults", "seeds")
@@ -55,9 +58,17 @@ _AGGREGATES = ("average", "sum")
 _ENGINES = ("object", "vectorized", "batched")
 #: Fault kinds the vectorized/batched engines can express (i.i.d. loss
 #: folds into the engine's transport mask; link failures map onto
-#: transport blocking + edge-state zeroing). Everything else needs the
-#: per-message object engine.
-_VECTOR_FAULT_KINDS = ("link_failure", "message_loss", "none")
+#: transport blocking + edge-state zeroing; the dynamic kinds map onto
+#: the batched engine's topology-delta support). Trace replays and
+#: per-message injectors need the object engine.
+_VECTOR_FAULT_KINDS = (
+    "link_failure",
+    "message_loss",
+    "none",
+    "churn",
+    "partition",
+    "regional_outage",
+)
 
 
 def _topology_label(topo: Mapping[str, object]) -> str:
@@ -165,6 +176,19 @@ class CampaignSpec:
                 f"axis 'faults' has duplicate schedule names {fault_names}; "
                 "give colliding entries an explicit 'name'"
             )
+        # Cross-axis check: every fault must fit every topology it will be
+        # paired with (node/edge ids in range, regions not larger than n),
+        # so bad grids fail at load time instead of mid-sweep.
+        for i, fault in enumerate(faults):
+            for j, topo in enumerate(topologies):
+                validate_fault_against_topology(
+                    fault,
+                    int(topo["n"]),  # type: ignore[arg-type]
+                    where=(
+                        f"axis 'faults'[{i}] vs 'topologies'[{j}] "
+                        f"({_topology_label(topo)})"
+                    ),
+                )
 
         seeds = tuple(int(s) for s in raw["seeds"])
         if len(set(seeds)) != len(seeds):

@@ -1,0 +1,44 @@
+"""Time-varying topology support: schedules, scenario builders, traces.
+
+This package converts the simulator from a static-world to a
+dynamic-world model: a :class:`TopologySchedule` describes when edges and
+nodes come and go, the scenario builders generate the schedules the
+related dynamic-aggregation papers study (churn, partitions, correlated
+outages), and the trace module records and replays concrete per-round
+fault schedules. The engines apply schedules via their
+``topology_schedule`` hook; the campaign layer exposes them as the
+declarative fault kinds ``churn``, ``partition``, ``regional_outage``
+and ``trace``.
+"""
+
+from repro.dynamics.builders import (
+    partition_and_heal,
+    poisson_churn,
+    random_edge_flaps,
+    regional_outage,
+    scripted_churn,
+)
+from repro.dynamics.schedule import DELTA_KINDS, TopologyDelta, TopologySchedule
+from repro.dynamics.trace import (
+    TraceRecorder,
+    TraceReplay,
+    TraceReplayFault,
+    load_trace,
+    replay_from_trace,
+)
+
+__all__ = [
+    "DELTA_KINDS",
+    "TopologyDelta",
+    "TopologySchedule",
+    "TraceRecorder",
+    "TraceReplay",
+    "TraceReplayFault",
+    "load_trace",
+    "partition_and_heal",
+    "poisson_churn",
+    "random_edge_flaps",
+    "regional_outage",
+    "replay_from_trace",
+    "scripted_churn",
+]

@@ -1,0 +1,198 @@
+"""Time-varying topology: declarative round → adjacency-delta schedules.
+
+The paper evaluates its algorithms on static topologies; the related
+dynamic-aggregation literature (Jesus/Baquero/Almeida, "Flow-Updating Meets
+Mass-Distribution" and "Dependability in Aggregation by Averaging") studies
+the regime a real deployment faces: node churn, correlated regional
+outages, and network partitions that later heal. A
+:class:`TopologySchedule` expresses such a regime as a sorted list of
+:class:`TopologyDelta` events that the engines apply at the *start* of the
+named round, before any send of that round.
+
+Semantics at the transition instant (see DESIGN.md for the full note):
+
+- the synchronous engines deliver every message within its round, so there
+  are never in-flight messages across a delta;
+- ``edge_down`` / ``node_leave`` run the same algorithmic exclusion path as
+  a handled ``link_failure`` (``on_link_failed`` — flows zeroed/absorbed);
+- ``edge_up`` re-adds the neighbor with an exact-zero flow on both sides;
+- ``node_join`` resets the joining node to its initial mass with zero
+  flows (``reset_for_join``) and re-adds it to each live neighbor.
+
+Deltas describe changes relative to the *universe* graph — the static
+:class:`~repro.topology.base.Topology` the run was built on. Edges taken
+up must exist in the universe; nodes are identified by universe ids.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.topology.base import Topology
+
+#: The delta kinds engines understand.
+DELTA_KINDS = ("edge_down", "edge_up", "node_leave", "node_join")
+
+Edge = Tuple[int, int]
+
+
+@dataclasses.dataclass(frozen=True)
+class TopologyDelta:
+    """One adjacency change, applied at the start of ``round``.
+
+    ``label`` groups deltas into named episodes ("partition", "heal",
+    "churn", "outage", ...) for telemetry and the
+    :class:`~repro.tracing.anomaly.PartitionHealDetector`.
+    """
+
+    round: int
+    kind: str
+    edge: Optional[Edge] = None
+    node: Optional[int] = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.round < 0:
+            raise ConfigurationError(
+                f"topology delta round must be >= 0, got {self.round}"
+            )
+        if self.kind not in DELTA_KINDS:
+            raise ConfigurationError(
+                f"unknown topology delta kind {self.kind!r}; "
+                f"expected one of {DELTA_KINDS}"
+            )
+        if self.kind in ("edge_down", "edge_up"):
+            edge = self.edge
+            if (
+                edge is None
+                or len(edge) != 2
+                or not all(isinstance(e, int) for e in edge)
+            ):
+                raise ConfigurationError(
+                    f"{self.kind} delta needs an (u, v) edge, got {edge!r}"
+                )
+            u, v = int(edge[0]), int(edge[1])
+            if u == v:
+                raise ConfigurationError(f"self-edge ({u}, {v}) in topology delta")
+            if u < 0 or v < 0:
+                raise ConfigurationError(
+                    f"negative node id in topology delta edge ({u}, {v})"
+                )
+            object.__setattr__(self, "edge", (u, v) if u < v else (v, u))
+            if self.node is not None:
+                raise ConfigurationError(f"{self.kind} delta must not carry a node")
+        else:
+            if self.node is None or not isinstance(self.node, int):
+                raise ConfigurationError(
+                    f"{self.kind} delta needs a node id, got {self.node!r}"
+                )
+            if self.node < 0:
+                raise ConfigurationError(
+                    f"negative node id {self.node} in topology delta"
+                )
+            if self.edge is not None:
+                raise ConfigurationError(f"{self.kind} delta must not carry an edge")
+
+    def to_event(self) -> Dict[str, object]:
+        """JSON-safe dict form (used by trace recording)."""
+        out: Dict[str, object] = {"round": self.round, "kind": self.kind}
+        if self.edge is not None:
+            out["u"], out["v"] = self.edge
+        if self.node is not None:
+            out["node"] = self.node
+        if self.label:
+            out["label"] = self.label
+        return out
+
+    @classmethod
+    def from_event(cls, event: Mapping[str, object]) -> "TopologyDelta":
+        kind = str(event["kind"])
+        edge = None
+        if "u" in event and event.get("u") is not None and event.get("u") != "":
+            edge = (int(event["u"]), int(event["v"]))  # type: ignore[arg-type]
+        node = event.get("node")
+        node = int(node) if node not in (None, "") else None
+        return cls(
+            round=int(event["round"]),  # type: ignore[arg-type]
+            kind=kind,
+            edge=edge,
+            node=node,
+            label=str(event.get("label") or ""),
+        )
+
+
+class TopologySchedule:
+    """Immutable, round-sorted collection of :class:`TopologyDelta` events.
+
+    Within one round, deltas apply in insertion order (the sort is stable),
+    so builders control e.g. leave-before-join toggles deterministically.
+    """
+
+    def __init__(self, deltas: Iterable[TopologyDelta] = ()) -> None:
+        ordered = sorted(deltas, key=lambda d: d.round)
+        self._deltas: Tuple[TopologyDelta, ...] = tuple(ordered)
+        self._by_round: Dict[int, List[TopologyDelta]] = {}
+        for delta in self._deltas:
+            self._by_round.setdefault(delta.round, []).append(delta)
+
+    @property
+    def deltas(self) -> Tuple[TopologyDelta, ...]:
+        return self._deltas
+
+    def __len__(self) -> int:
+        return len(self._deltas)
+
+    def is_empty(self) -> bool:
+        return not self._deltas
+
+    @property
+    def last_round(self) -> int:
+        """Latest delta round (-1 when empty)."""
+        return self._deltas[-1].round if self._deltas else -1
+
+    def deltas_at(self, round_index: int) -> Tuple[TopologyDelta, ...]:
+        return tuple(self._by_round.get(round_index, ()))
+
+    def validate_against(self, topology: Topology) -> None:
+        """Check every delta names nodes/edges of the universe graph."""
+        n = topology.n
+        for delta in self._deltas:
+            if delta.edge is not None:
+                u, v = delta.edge
+                if not (0 <= u < n and 0 <= v < n) or not topology.has_edge(u, v):
+                    raise ConfigurationError(
+                        f"topology delta {delta.kind} names edge ({u}, {v}) "
+                        f"which is not an edge of topology {topology.name!r}"
+                    )
+            if delta.node is not None and not 0 <= delta.node < n:
+                raise ConfigurationError(
+                    f"topology delta {delta.kind} names node {delta.node} "
+                    f"outside topology (n={n})"
+                )
+
+    def meta(self) -> Dict[str, object]:
+        """JSON-safe summary for results.jsonl records."""
+        kinds: Dict[str, int] = {}
+        labels: Dict[str, int] = {}
+        for delta in self._deltas:
+            kinds[delta.kind] = kinds.get(delta.kind, 0) + 1
+            if delta.label:
+                labels[delta.label] = labels.get(delta.label, 0) + 1
+        return {
+            "deltas": len(self._deltas),
+            "kinds": kinds,
+            "labels": labels,
+            "first_round": self._deltas[0].round if self._deltas else None,
+            "last_round": self._deltas[-1].round if self._deltas else None,
+        }
+
+    def to_events(self) -> List[Dict[str, object]]:
+        return [delta.to_event() for delta in self._deltas]
+
+    @classmethod
+    def from_events(
+        cls, events: Iterable[Mapping[str, object]]
+    ) -> "TopologySchedule":
+        return cls(TopologyDelta.from_event(e) for e in events)

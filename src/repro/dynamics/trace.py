@@ -1,0 +1,263 @@
+"""Record fault/topology schedules from live runs and replay them.
+
+:class:`TraceRecorder` is an engine observer that captures, per round:
+
+- transport drops caused by message-fault injectors (reason ``injector``);
+- permanent-failure injections (``link_failure`` / ``node_failure``) and
+  their handling rounds;
+- topology deltas applied by a dynamic schedule.
+
+The captured schedule round-trips through JSONL or CSV
+(:meth:`TraceRecorder.save` / :func:`load_trace`) and
+:func:`replay_from_trace` turns it back into the engine-facing triple
+(message fault, fault plan, topology schedule). Replay is exact and
+deterministic: the drop schedule is keyed on ``(round, sender,
+receiver)``, so two replays of the same trace against the same run
+configuration produce bit-identical executions — the campaign CI gates on
+this.
+
+Corruption faults (bit flips) mutate payloads rather than dropping
+messages; a trace records that they happened but cannot replay the
+mutated bits, so they are intentionally excluded from replay.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import json
+import re
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple, Union
+
+from repro.dynamics.schedule import TopologySchedule
+from repro.exceptions import ConfigurationError
+from repro.faults.base import MessageFault
+from repro.faults.events import FaultPlan, LinkFailure, NodeFailure
+from repro.simulation.observers import Observer
+
+#: Column order of the CSV trace form (blank cells mean "not applicable").
+CSV_FIELDS = ("type", "round", "kind", "u", "v", "node", "reason", "label")
+
+_LINK_DETAIL = re.compile(r"link\((\d+),(\d+)\)")
+_NODE_DETAIL = re.compile(r"node\((\d+)\)")
+
+
+class TraceRecorder(Observer):
+    """Capture a replayable per-round loss/failure schedule from a run."""
+
+    def __init__(self) -> None:
+        self.events: List[Dict[str, object]] = []
+
+    def wants_detail(self, round_index: int) -> bool:
+        # Drops, faults, handlings and topology events fire on every round
+        # regardless of sampling, so the recorder never needs detail hooks.
+        return False
+
+    def on_message_dropped(self, engine, message, reason: str) -> None:
+        # dead_edge / dead_node drops are consequences of the recorded
+        # fault/topology events and would double-apply on replay.
+        if reason != "injector":
+            return
+        self.events.append(
+            {
+                "type": "drop",
+                "round": message.round,
+                "u": message.sender,
+                "v": message.receiver,
+                "reason": reason,
+            }
+        )
+
+    def on_fault_injected(self, engine, round_index, kind, detail) -> None:
+        if kind == "link_failure":
+            match = _LINK_DETAIL.fullmatch(detail)
+            if match:
+                self.events.append(
+                    {
+                        "type": "fault",
+                        "round": round_index,
+                        "kind": kind,
+                        "u": int(match.group(1)),
+                        "v": int(match.group(2)),
+                    }
+                )
+        elif kind == "node_failure":
+            match = _NODE_DETAIL.fullmatch(detail)
+            if match:
+                self.events.append(
+                    {
+                        "type": "fault",
+                        "round": round_index,
+                        "kind": kind,
+                        "node": int(match.group(1)),
+                    }
+                )
+        # message_corruption is observable but not replayable (see module
+        # docstring) — skip it.
+
+    def on_link_handled(self, engine, round_index, u, v) -> None:
+        self.events.append(
+            {"type": "handled", "round": round_index, "u": u, "v": v}
+        )
+
+    def on_topology_event(self, engine, round_index, kind, detail) -> None:
+        event: Dict[str, object] = {
+            "type": "topology",
+            "round": round_index,
+            "kind": kind,
+        }
+        edge = detail.get("edge")
+        if edge is not None:
+            event["u"], event["v"] = int(edge[0]), int(edge[1])
+        if detail.get("node") is not None:
+            event["node"] = int(detail["node"])
+        if detail.get("label"):
+            event["label"] = str(detail["label"])
+        self.events.append(event)
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the trace as JSONL, or CSV when ``path`` ends in .csv."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        if path.suffix.lower() == ".csv":
+            with path.open("w", newline="") as fh:
+                writer = csv.DictWriter(fh, fieldnames=CSV_FIELDS)
+                writer.writeheader()
+                for event in self.events:
+                    writer.writerow({k: event.get(k, "") for k in CSV_FIELDS})
+        else:
+            with path.open("w") as fh:
+                for event in self.events:
+                    fh.write(json.dumps(event) + "\n")
+        return path
+
+
+def load_trace(path: Union[str, Path]) -> List[Dict[str, object]]:
+    """Load a trace saved by :meth:`TraceRecorder.save` (JSONL or CSV)."""
+    path = Path(path)
+    if not path.exists():
+        raise ConfigurationError(f"trace file {path} does not exist")
+    events: List[Dict[str, object]] = []
+    if path.suffix.lower() == ".csv":
+        with path.open(newline="") as fh:
+            for row in csv.DictReader(fh):
+                event: Dict[str, object] = {}
+                for key, value in row.items():
+                    if value is None or value == "":
+                        continue
+                    if key in ("round", "u", "v", "node"):
+                        event[key] = int(value)
+                    else:
+                        event[key] = value
+                events.append(event)
+    else:
+        with path.open() as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    events.append(json.loads(line))
+    return events
+
+
+class TraceReplayFault(MessageFault):
+    """Replay a recorded drop schedule, keyed on (round, sender, receiver).
+
+    Stateless and deterministic: the same trace applied to the same run
+    configuration reproduces the recorded loss pattern exactly.
+    """
+
+    def __init__(self, drops: Iterable[Tuple[int, int, int]]) -> None:
+        self._drops: FrozenSet[Tuple[int, int, int]] = frozenset(
+            (int(r), int(u), int(v)) for r, u, v in drops
+        )
+
+    @property
+    def drops(self) -> FrozenSet[Tuple[int, int, int]]:
+        return self._drops
+
+    def apply(self, message):
+        key = (message.round, message.sender, message.receiver)
+        return None if key in self._drops else message
+
+    def reset(self) -> None:
+        pass
+
+
+@dataclasses.dataclass
+class TraceReplay:
+    """Engine-facing reconstruction of a recorded trace."""
+
+    message_fault: Optional[TraceReplayFault]
+    fault_plan: FaultPlan
+    topology_schedule: TopologySchedule
+    event_round: Optional[int]
+
+
+def replay_from_trace(
+    events: Iterable[Mapping[str, object]],
+) -> TraceReplay:
+    """Rebuild the (message fault, fault plan, topology schedule) triple."""
+    drops: List[Tuple[int, int, int]] = []
+    handled: List[Tuple[int, int, int]] = []  # (round, u, v) canonical
+    link_events: List[Tuple[int, int, int]] = []  # (round, u, v)
+    node_events: List[Tuple[int, int]] = []  # (round, node)
+    topology_events: List[Mapping[str, object]] = []
+    for event in events:
+        etype = event.get("type")
+        if etype == "drop":
+            drops.append(
+                (int(event["round"]), int(event["u"]), int(event["v"]))
+            )
+        elif etype == "handled":
+            u, v = int(event["u"]), int(event["v"])
+            edge = (u, v) if u < v else (v, u)
+            handled.append((int(event["round"]), edge[0], edge[1]))
+        elif etype == "fault":
+            if event.get("kind") == "link_failure":
+                link_events.append(
+                    (int(event["round"]), int(event["u"]), int(event["v"]))
+                )
+            elif event.get("kind") == "node_failure":
+                node_events.append((int(event["round"]), int(event["node"])))
+        elif etype == "topology":
+            topology_events.append(event)
+
+    def _handle_round_for_edge(fail_round: int, u: int, v: int) -> int:
+        edge = (u, v) if u < v else (v, u)
+        candidates = [
+            r for r, hu, hv in handled if (hu, hv) == edge and r >= fail_round
+        ]
+        return min(candidates) if candidates else fail_round
+
+    def _handle_round_for_node(fail_round: int, node: int) -> int:
+        candidates = [
+            r
+            for r, hu, hv in handled
+            if node in (hu, hv) and r >= fail_round
+        ]
+        return min(candidates) if candidates else fail_round
+
+    link_failures = [
+        LinkFailure(
+            round=r, u=u, v=v, detection_delay=_handle_round_for_edge(r, u, v) - r
+        )
+        for r, u, v in link_events
+    ]
+    node_failures = [
+        NodeFailure(
+            round=r,
+            node=node,
+            detection_delay=_handle_round_for_node(r, node) - r,
+        )
+        for r, node in node_events
+    ]
+    plan = FaultPlan(link_failures=link_failures, node_failures=node_failures)
+    handle_rounds = [lf.handle_round for lf in link_failures]
+    handle_rounds += [nf.handle_round for nf in node_failures]
+    return TraceReplay(
+        message_fault=TraceReplayFault(drops) if drops else None,
+        fault_plan=plan,
+        topology_schedule=TopologySchedule.from_events(topology_events),
+        event_round=min(handle_rounds) if handle_rounds else None,
+    )

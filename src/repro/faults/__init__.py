@@ -10,9 +10,12 @@ from repro.faults.events import (
 )
 from repro.faults.message_loss import BurstMessageLoss, IidMessageLoss
 from repro.faults.specs import (
+    DYNAMIC_FAULT_KINDS,
     FAULT_KINDS,
     BuiltFaults,
     build_faults,
+    build_topology_schedule,
+    validate_fault_against_topology,
     validate_fault_spec,
 )
 from repro.faults.state_flip import StateBitFlipInjector
@@ -31,8 +34,11 @@ __all__ = [
     "NodeFailure",
     "single_link_failure",
     "StateBitFlipInjector",
+    "DYNAMIC_FAULT_KINDS",
     "FAULT_KINDS",
     "BuiltFaults",
     "build_faults",
+    "build_topology_schedule",
+    "validate_fault_against_topology",
     "validate_fault_spec",
 ]

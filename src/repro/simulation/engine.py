@@ -28,6 +28,7 @@ import time
 from typing import Callable, List, Optional, Sequence, Set, Tuple
 
 from repro.algorithms.base import GossipAlgorithm
+from repro.dynamics.schedule import TopologyDelta, TopologySchedule
 from repro.exceptions import ConfigurationError, SimulationError
 from repro.faults.base import MessageFault, NoFault
 from repro.faults.events import FaultPlan
@@ -50,6 +51,7 @@ class SynchronousEngine:
         *,
         message_fault: Optional[MessageFault] = None,
         fault_plan: Optional[FaultPlan] = None,
+        topology_schedule: Optional[TopologySchedule] = None,
         observers: Sequence[Observer] = (),
     ) -> None:
         if len(algorithms) != topology.n:
@@ -78,6 +80,14 @@ class SynchronousEngine:
         self._dead_edges: Set[Tuple[int, int]] = set()
         self._dead_nodes: Set[int] = set()
         self._handled_edges: Set[Tuple[int, int]] = set()
+        # Dynamic-topology overlay: temporarily absent nodes and downed
+        # edges, disjoint from the permanent-failure sets above (permanent
+        # failures win on conflicts and are never revived).
+        self._topology_schedule = topology_schedule
+        self._departed: Set[int] = set()
+        self._down_edges: Set[Tuple[int, int]] = set()
+        if topology_schedule is not None:
+            topology_schedule.validate_against(topology)
         self._validate_fault_plan()
 
     # ------------------------------------------------------------------
@@ -108,8 +118,22 @@ class SynchronousEngine:
     def dead_nodes(self) -> frozenset:
         return frozenset(self._dead_nodes)
 
+    @property
+    def departed_nodes(self) -> frozenset:
+        """Nodes currently absent due to the dynamic topology schedule."""
+        return frozenset(self._departed)
+
+    @property
+    def down_edges(self) -> frozenset:
+        """Edges currently down due to the dynamic topology schedule."""
+        return frozenset(self._down_edges)
+
     def live_nodes(self) -> List[int]:
-        return [i for i in self._topology.nodes() if i not in self._dead_nodes]
+        return [
+            i
+            for i in self._topology.nodes()
+            if i not in self._dead_nodes and i not in self._departed
+        ]
 
     def estimates(self) -> List[object]:
         """Current estimate of every *live* node (dead nodes excluded)."""
@@ -157,6 +181,14 @@ class SynchronousEngine:
         observed = bool(self._observer)
         detailed = observed and self._observer.wants_detail(round_index)
 
+        # Dynamic topology deltas apply at the very start of the round,
+        # before any fault activation or send — the transition instant has
+        # no in-flight messages (the synchronous model delivers within the
+        # round), so flows and phi change only through the handled
+        # exclusion/restoration paths.
+        if self._topology_schedule is not None:
+            self._apply_topology_deltas(round_index)
+
         # Phase 0: components whose physical failure starts this round.
         for lf in self._fault_plan.link_failures:
             if lf.round == round_index:
@@ -177,7 +209,7 @@ class SynchronousEngine:
         t0 = time.perf_counter() if detailed else 0.0
         outbox: List[Message] = []
         for node in self._topology.nodes():
-            if node in self._dead_nodes:
+            if node in self._dead_nodes or node in self._departed:
                 continue
             alg = self._algorithms[node]
             live = alg.neighbors
@@ -207,11 +239,15 @@ class SynchronousEngine:
         # Phase 2: transport — permanent failures swallow, injectors filter.
         delivered: List[Message] = []
         for message in outbox:
-            if message.edge() in self._dead_edges:
+            edge = message.edge()
+            if edge in self._dead_edges or edge in self._down_edges:
                 if observed:
                     self._observer.on_message_dropped(self, message, "dead_edge")
                 continue
-            if message.receiver in self._dead_nodes:
+            if (
+                message.receiver in self._dead_nodes
+                or message.receiver in self._departed
+            ):
                 if observed:
                     self._observer.on_message_dropped(self, message, "dead_node")
                 continue
@@ -277,12 +313,118 @@ class SynchronousEngine:
         self._handled_edges.add(edge)
         self._dead_edges.add(edge)
         for endpoint, other in ((u, v), (v, u)):
-            if endpoint in self._dead_nodes:
+            if endpoint in self._dead_nodes or endpoint in self._departed:
                 continue
             alg = self._algorithms[endpoint]
             if other in alg.neighbors:
                 alg.on_link_failed(other)
         self._observer.on_link_handled(self, round_index, edge[0], edge[1])
+
+    # ------------------------------------------------------------------
+    # Dynamic topology (repro.dynamics)
+    # ------------------------------------------------------------------
+    def _apply_topology_deltas(self, round_index: int) -> None:
+        for delta in self._topology_schedule.deltas_at(round_index):
+            if delta.kind == "edge_down":
+                self._dyn_edge_down(delta, round_index)
+            elif delta.kind == "edge_up":
+                self._dyn_edge_up(delta, round_index)
+            elif delta.kind == "node_leave":
+                self._dyn_node_leave(delta, round_index)
+            else:
+                self._dyn_node_join(delta, round_index)
+
+    def _emit_topology_event(
+        self, round_index: int, delta: TopologyDelta
+    ) -> None:
+        detail: dict = {"label": delta.label}
+        if delta.edge is not None:
+            detail["edge"] = list(delta.edge)
+        if delta.node is not None:
+            detail["node"] = delta.node
+        self._observer.on_topology_event(self, round_index, delta.kind, detail)
+
+    def _dyn_edge_down(self, delta: TopologyDelta, round_index: int) -> None:
+        edge = delta.edge
+        if edge in self._down_edges or edge in self._dead_edges:
+            return
+        self._down_edges.add(edge)
+        u, v = edge
+        for endpoint, other in ((u, v), (v, u)):
+            if endpoint in self._dead_nodes or endpoint in self._departed:
+                continue
+            alg = self._algorithms[endpoint]
+            if other in alg.neighbors:
+                alg.on_link_failed(other)
+        if self._observer:
+            # Downing an edge runs the exact link-failure recovery path, so
+            # the same telemetry fires (restart detectors, fault timelines).
+            self._observer.on_link_handled(self, round_index, u, v)
+            self._emit_topology_event(round_index, delta)
+
+    def _dyn_edge_up(self, delta: TopologyDelta, round_index: int) -> None:
+        edge = delta.edge
+        if edge not in self._down_edges:
+            return
+        self._down_edges.discard(edge)
+        u, v = edge
+        if not (
+            u in self._dead_nodes
+            or v in self._dead_nodes
+            or u in self._departed
+            or v in self._departed
+        ):
+            for endpoint, other in ((u, v), (v, u)):
+                alg = self._algorithms[endpoint]
+                if other not in alg.neighbors:
+                    alg.on_link_restored(other)
+        if self._observer:
+            self._emit_topology_event(round_index, delta)
+
+    def _dyn_node_leave(self, delta: TopologyDelta, round_index: int) -> None:
+        node = delta.node
+        if node in self._departed or node in self._dead_nodes:
+            return
+        self._departed.add(node)
+        for neighbor in self._topology.neighbors(node):
+            edge = (node, neighbor) if node < neighbor else (neighbor, node)
+            if edge in self._dead_edges or edge in self._down_edges:
+                continue
+            if neighbor in self._dead_nodes or neighbor in self._departed:
+                continue
+            # The survivor runs the same recovery as a handled link failure;
+            # the departing node's state is frozen as-is (it is reset
+            # wholesale if it ever rejoins).
+            alg = self._algorithms[neighbor]
+            if node in alg.neighbors:
+                alg.on_link_failed(node)
+                if self._observer:
+                    self._observer.on_link_handled(
+                        self, round_index, edge[0], edge[1]
+                    )
+        if self._observer:
+            self._emit_topology_event(round_index, delta)
+
+    def _dyn_node_join(self, delta: TopologyDelta, round_index: int) -> None:
+        node = delta.node
+        if node not in self._departed or node in self._dead_nodes:
+            return
+        self._departed.discard(node)
+        live_neighbors = []
+        for neighbor in self._topology.neighbors(node):
+            edge = (node, neighbor) if node < neighbor else (neighbor, node)
+            if edge in self._dead_edges or edge in self._down_edges:
+                continue
+            if neighbor in self._dead_nodes or neighbor in self._departed:
+                continue
+            live_neighbors.append(neighbor)
+        self._algorithms[node].reset_for_join(live_neighbors)
+        for neighbor in live_neighbors:
+            alg = self._algorithms[neighbor]
+            if node not in alg.neighbors:
+                alg.on_link_restored(node)
+        if self._observer:
+            self._emit_topology_event(round_index, delta)
 
     def _validate_fault_plan(self) -> None:
         for lf in self._fault_plan.link_failures:

@@ -111,6 +111,23 @@ class Observer:
         message without dropping it.
         """
 
+    def on_topology_event(
+        self,
+        engine: "SynchronousEngine",
+        round_index: int,
+        kind: str,
+        detail: dict,
+    ) -> None:
+        """Called when a dynamic topology delta was applied this round.
+
+        ``kind`` is one of :data:`repro.dynamics.schedule.DELTA_KINDS`
+        (``edge_down``/``edge_up``/``node_leave``/``node_join``);
+        ``detail`` is a JSON-safe dict with ``edge`` or ``node`` plus the
+        delta's ``label`` (e.g. ``partition``/``heal``/``churn``). Fires on
+        every round regardless of sampling — topology changes are
+        semantically load-bearing, like faults and link handlings.
+        """
+
     def on_phase_end(
         self, engine: "SynchronousEngine", phase: str, seconds: float
     ) -> None:
@@ -222,6 +239,18 @@ class ObserverList(Observer):
     ) -> None:
         for obs in self._observers:
             hook = getattr(obs, "on_fault_injected", None)
+            if hook is not None:
+                hook(engine, round_index, kind, detail)
+
+    def on_topology_event(
+        self,
+        engine: "SynchronousEngine",
+        round_index: int,
+        kind: str,
+        detail: dict,
+    ) -> None:
+        for obs in self._observers:
+            hook = getattr(obs, "on_topology_event", None)
             if hook is not None:
                 hook(engine, round_index, kind, detail)
 

@@ -113,6 +113,12 @@ def _object_algorithms(engine: object):
     return list(algorithms)
 
 
+def _live_node_ids(engine: object) -> Optional[frozenset]:
+    """The live-node id set of an object engine (None when not exposed)."""
+    live = getattr(engine, "live_nodes", None)
+    return frozenset(live()) if live is not None else None
+
+
 def flow_stats(engine: object) -> Optional[Tuple[float, float, float]]:
     """``(max_flow, mean_flow, flow_weight_ratio)`` for any engine.
 
@@ -245,8 +251,13 @@ class MassDriftTracker:
     Captures the conserved-mass baseline at run start (``start``) and
     reports the relative deviation of the current live totals from it
     (``drift``), duck-typed over vectorized and object engines. The
-    object-engine baseline is re-based whenever the live-node count
-    changes, since fail-stop legitimately removes mass. Used by
+    object-engine baseline is re-based whenever the live-node *membership*
+    changes (not merely the count, so a same-round leave-plus-join under
+    churn still re-bases), since fail-stop removal and dynamic-topology
+    churn both legitimately move mass. A rejoining node re-enters with its
+    initial conserved share, so post-rejoin drift measures exactly the
+    mass the protocol failed to restore — zero for push-flow, the
+    orphaned cancelled-flow residual for PCF. Used by
     :class:`MassConservationProbe` for violation records and by
     :class:`repro.tracing.flight.FlightRecorder` for its black-box
     trigger, so both agree on what "drift" means.
@@ -254,7 +265,8 @@ class MassDriftTracker:
 
     def __init__(self) -> None:
         self._baseline: Optional[Tuple[np.ndarray, float]] = None
-        self._obj_baseline: Optional[Tuple[MassPair, int]] = None
+        self._obj_baseline: Optional[MassPair] = None
+        self._obj_members: Optional[frozenset] = None
 
     def start(self, engine: object) -> None:
         """Capture the baseline from a freshly constructed engine."""
@@ -268,7 +280,13 @@ class MassDriftTracker:
             return
         algorithms = _object_algorithms(engine)
         if algorithms:
-            self._obj_baseline = _conserved_total(algorithms)
+            self._obj_baseline = _conserved_total(algorithms)[0]
+            members = _live_node_ids(engine)
+            self._obj_members = (
+                members
+                if members is not None
+                else frozenset(range(len(algorithms)))
+            )
 
     def drift(self, engine: object) -> Optional[float]:
         """Relative deviation from the baseline; inf when non-finite."""
@@ -296,11 +314,16 @@ class MassDriftTracker:
         algorithms = _object_algorithms(engine)
         if not algorithms:
             return None
-        if self._obj_baseline is None or self._obj_baseline[1] != len(algorithms):
-            # First sample, or the live set changed: (re-)base the expected
-            # total on the survivors' conserved shares.
-            self._obj_baseline = _conserved_total(algorithms)
-        expected = self._obj_baseline[0]
+        members = _live_node_ids(engine)
+        if members is None:
+            members = frozenset(range(len(algorithms)))
+        if self._obj_baseline is None or members != self._obj_members:
+            # First sample, or the live membership changed (fail-stop or
+            # churn): (re-)base the expected total on the survivors'
+            # conserved shares.
+            self._obj_baseline = _conserved_total(algorithms)[0]
+            self._obj_members = members
+        expected = self._obj_baseline
         current_pair: Optional[MassPair] = None
         for alg in algorithms:
             estimate = alg.estimate_pair()

@@ -27,6 +27,14 @@ repo's own reproduction runs (see the class docstrings).
   weight mass below ``drain_fraction`` of its baseline for ``patience``
   consecutive samples (bus n=64: plain PCF drains 78 -> 0.003 by round
   20000; the hardened handshake stays at ~80).
+- :class:`PartitionHealDetector` — dynamic networks (repro.dynamics): a
+  partition or regional outage opens an *episode*; the detector alerts
+  ``never_healed`` when no restoring topology event arrives within
+  ``heal_window`` rounds, and ``no_reconvergence`` when the estimate
+  spread fails to collapse back down within ``reconverge_window`` rounds
+  after the heal (push-flow reconverges exactly; a diverged component
+  that never reconnects keeps the global spread pinned at the gap
+  between the component averages).
 """
 
 from __future__ import annotations
@@ -270,6 +278,106 @@ class PCFCancellationStallDetector(AnomalyDetector):
             self._under = 0
 
 
+class PartitionHealDetector(AnomalyDetector):
+    """Dynamic networks: partitions that never heal, or heal without
+    the estimates reconverging.
+
+    A topology event labelled ``partition`` or ``outage`` opens an
+    episode and snapshots the pre-partition estimate spread; any
+    restoring event (``edge_up`` / ``node_join``) marks the heal. The
+    detector alerts ``never_healed`` when the heal does not arrive
+    within ``heal_window`` rounds, and ``no_reconvergence`` when, after
+    the heal, the spread stays above
+    ``max(reconverge_factor * pre_spread, spread_floor)`` for
+    ``reconverge_window`` rounds. One episode is tracked at a time
+    (overlapping cuts extend the open episode).
+    """
+
+    name = "partition_heal"
+
+    #: Topology-event labels that open an episode. Per-node churn is
+    #: excluded on purpose: individual leave/join pairs are routine, the
+    #: detector watches *correlated* cuts.
+    partition_labels = ("partition", "outage")
+
+    def __init__(
+        self,
+        *,
+        heal_window: int = 60,
+        reconverge_window: int = 60,
+        reconverge_factor: float = 10.0,
+        spread_floor: float = 1e-6,
+        **kwargs: object,
+    ) -> None:
+        super().__init__(**kwargs)  # type: ignore[arg-type]
+        self.heal_window = int(heal_window)
+        self.reconverge_window = int(reconverge_window)
+        self.reconverge_factor = float(reconverge_factor)
+        self.spread_floor = float(spread_floor)
+        self._last_spread: Optional[float] = None
+        self._episode: Optional[Dict[str, object]] = None
+
+    def on_topology_event(
+        self,
+        engine: "SynchronousEngine",
+        round_index: int,
+        kind: str,
+        detail: Dict[str, object],
+    ) -> None:
+        label = str(detail.get("label", ""))
+        if kind in ("edge_down", "node_leave") and label in self.partition_labels:
+            if self._episode is None:
+                self._episode = {
+                    "open_round": round_index,
+                    "pre_spread": self._last_spread,
+                    "heal_round": None,
+                }
+        elif kind in ("edge_up", "node_join"):
+            if self._episode is not None and self._episode["heal_round"] is None:
+                self._episode["heal_round"] = round_index
+
+    def observe(self, engine: "SynchronousEngine", round_index: int) -> None:
+        spread = _estimate_spread(engine)
+        if spread is not None:
+            self._last_spread = spread
+        episode = self._episode
+        if episode is None:
+            return
+        open_round = int(episode["open_round"])  # type: ignore[arg-type]
+        heal_round = episode["heal_round"]
+        if heal_round is None:
+            if round_index - open_round > self.heal_window:
+                self._alert(
+                    round_index,
+                    reason="never_healed",
+                    partition_round=open_round,
+                    heal_window=self.heal_window,
+                    spread=spread,
+                )
+                self._episode = None
+            return
+        if spread is None:
+            return
+        pre = episode["pre_spread"]
+        target = max(
+            self.reconverge_factor * float(pre) if pre is not None else 0.0,
+            self.spread_floor,
+        )
+        if spread <= target:
+            self._episode = None  # reconverged after the heal
+        elif round_index - int(heal_round) > self.reconverge_window:  # type: ignore[arg-type]
+            self._alert(
+                round_index,
+                reason="no_reconvergence",
+                partition_round=open_round,
+                heal_round=int(heal_round),  # type: ignore[arg-type]
+                pre_spread=pre,
+                post_spread=spread,
+                target_spread=target,
+            )
+            self._episode = None
+
+
 def default_detectors(
     *,
     sampler: Optional[RoundSampler] = None,
@@ -282,4 +390,5 @@ def default_detectors(
         FlowBlowupDetector(**kwargs),  # type: ignore[arg-type]
         RestartRegressionDetector(**kwargs),  # type: ignore[arg-type]
         PCFCancellationStallDetector(**kwargs),  # type: ignore[arg-type]
+        PartitionHealDetector(**kwargs),  # type: ignore[arg-type]
     ]

@@ -36,6 +36,7 @@ EVENT_KINDS = (
     "drop",
     "fault",
     "link_handled",
+    "topology",
     "alert",
     "run_end",
 )

@@ -211,6 +211,33 @@ class CausalTracer(Observer):
         self._frontier[u] = eid
         self._frontier[v] = eid
 
+    def on_topology_event(
+        self,
+        engine: "SynchronousEngine",
+        round_index: int,
+        kind: str,
+        detail: Dict[str, object],
+    ) -> None:
+        # Joins reset the node's protocol state and leaves/edge-downs run
+        # the link-failure recovery on the named endpoints, so the event
+        # becomes the new frontier of every directly named node. (Survivor
+        # neighbours mutated by a leave get their own link_handled events.)
+        edge = detail.get("edge")
+        if edge is not None:
+            affected: Tuple[int, ...] = (int(edge[0]), int(edge[1]))  # type: ignore[index]
+        elif detail.get("node") is not None:
+            affected = (int(detail["node"]),)  # type: ignore[arg-type]
+        else:
+            affected = ()
+        parents: Tuple[int, ...] = ()
+        for node in affected:
+            parents = tuple(dict.fromkeys(parents + self._node_parent(node)))
+        eid = self._emit(
+            "topology", round_index, None, parents, dict(detail, kind=kind)
+        )
+        for node in affected:
+            self._frontier[node] = eid
+
     def on_round_end(self, engine: "SynchronousEngine", round_index: int) -> None:
         if not self._sampler.sample(round_index):
             return

@@ -326,3 +326,14 @@ class VectorizedEngine(abc.ABC):
         state, so the base implementation is a no-op. The (node, slot)
         pairs passed in are distinct, so fancy-indexed updates are safe.
         """
+
+    def _reset_nodes(self, nodes: np.ndarray) -> None:
+        """Reset ``nodes`` to their initial protocol state (node rejoin).
+
+        Mirrors the object algorithms' ``reset_for_join``: a rejoining node
+        re-enters with its initial mass and all-zero per-edge state. Used by
+        the batched executor's dynamic-topology support.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support node rejoin"
+        )

@@ -48,6 +48,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.dynamics.schedule import TopologySchedule
 from repro.exceptions import ConfigurationError
 from repro.faults.events import LinkFailure
 from repro.topology.base import Topology
@@ -81,6 +82,9 @@ class BatchedRun:
     #: native uniform-gossip schedule drawn from ``rng``.
     targets: Optional[np.ndarray] = None
     link_failures: Tuple[LinkFailure, ...] = ()
+    #: Dynamic-topology schedule (churn / partition / outage) applied to
+    #: this run with the object engine's transition-instant semantics.
+    topology_schedule: Optional[TopologySchedule] = None
 
 
 def _stack_topologies(
@@ -147,6 +151,7 @@ class BatchedEngine:
                 )
         self._d = d
         arrays = _stack_topologies(per_arrays)
+        self._arrays = arrays
         cls = vector_engine_for(algorithm)
         self._engine = cls(
             arrays,
@@ -184,8 +189,37 @@ class BatchedEngine:
         # Transport-dead slots: messages sent on them vanish (the sender
         # still spends its round on them until the failure is handled).
         self._blocked = np.zeros((total, md), dtype=bool)
+        # Dynamic-topology state. node_alive tracks join/leave membership;
+        # perm_dead marks slots taken by *permanent* link failures (which
+        # dynamics must never revive); dyn_down holds the currently-downed
+        # transient edges as canonical global (min, max) pairs.
+        self._node_alive = np.ones(total, dtype=bool)
+        self._perm_dead = np.zeros((total, md), dtype=bool)
+        self._dyn_down: set = set()
+        self._dyn_events: Dict[int, List[Tuple]] = {}
         self._fail_events: Dict[int, List[Tuple[int, int]]] = {}
         self._handle_events: Dict[int, List[Tuple[int, int, int, int]]] = {}
+        for r, run in enumerate(runs):
+            schedule = run.topology_schedule
+            if schedule is not None and not schedule.is_empty():
+                schedule.validate_against(run.topology)
+                base = r * n
+                for delta in schedule.deltas:
+                    if delta.kind in ("edge_down", "edge_up"):
+                        u, v = delta.edge
+                        self._dyn_events.setdefault(delta.round, []).append(
+                            (
+                                delta.kind,
+                                base + u,
+                                base + v,
+                                run.topology.neighbor_index(u, v),
+                                run.topology.neighbor_index(v, u),
+                            )
+                        )
+                    else:
+                        self._dyn_events.setdefault(delta.round, []).append(
+                            (delta.kind, base + delta.node)
+                        )
         for r, run in enumerate(runs):
             base = r * n
             seen_edges = set()
@@ -260,6 +294,11 @@ class BatchedEngine:
     def messages_delivered(self) -> np.ndarray:
         return self._messages_delivered.copy()
 
+    @property
+    def node_alive(self) -> np.ndarray:
+        """Per-run node membership, shape (R, n) — False while departed."""
+        return self._node_alive.reshape(self._runs, self._n).copy()
+
     def estimate_pairs(self) -> Tuple[np.ndarray, np.ndarray]:
         """Per-run ``(values (R, n, d), weights (R, n))`` estimate pairs."""
         values, weights = self._engine.estimate_pairs()
@@ -288,8 +327,15 @@ class BatchedEngine:
     def step(self) -> None:
         """Execute one synchronous round for every non-retired run."""
         rnd = self._round
+        # Topology deltas apply at the very start of the round — between
+        # rounds no messages are in flight, so the transition instant is
+        # unambiguous (same semantics as the object engine).
+        for event in self._dyn_events.get(rnd, ()):
+            if not self._retired[event[1] // self._n]:
+                self._apply_dyn_event(event)
         for node, slot in self._fail_events.get(rnd, ()):
             self._blocked[node, slot] = True
+            self._perm_dead[node, slot] = True
 
         n = self._n
         active = np.nonzero(~self._retired)[0]
@@ -355,6 +401,11 @@ class BatchedEngine:
 
     def _handle_link(self, gi: int, gj: int, si: int, sj: int) -> None:
         """Failure-detector handling: discard edge state, shrink schedules."""
+        # Mark the slots permanently dead first: even when dynamics already
+        # downed the edge (slot not alive), a later edge_up / node_join must
+        # not revive a permanently failed link.
+        self._perm_dead[gi, si] = True
+        self._perm_dead[gj, sj] = True
         if not self._slot_alive[gi, si]:
             return
         self._engine._zero_failed_links(
@@ -363,10 +414,101 @@ class BatchedEngine:
         for node, slot in ((gi, si), (gj, sj)):
             self._slot_alive[node, slot] = False
             self._blocked[node, slot] = True
-            live = np.nonzero(self._slot_alive[node])[0]
-            self._live_list[node, : len(live)] = live
-            self._live_list[node, len(live) :] = 0
-            self._live_degree[node] = len(live)
+            self._recompute_live(node)
+
+    # ------------------------------------------------------------------
+    # Dynamic topology (churn / partition / outage)
+    # ------------------------------------------------------------------
+    def _recompute_live(self, node: int) -> None:
+        live = np.nonzero(self._slot_alive[node])[0]
+        self._live_list[node, : len(live)] = live
+        self._live_list[node, len(live) :] = 0
+        self._live_degree[node] = len(live)
+
+    def _apply_dyn_event(self, event: Tuple) -> None:
+        kind = event[0]
+        if kind == "edge_down":
+            self._dyn_edge_down(*event[1:])
+        elif kind == "edge_up":
+            self._dyn_edge_up(*event[1:])
+        elif kind == "node_leave":
+            self._dyn_node_leave(event[1])
+        else:
+            self._dyn_node_join(event[1])
+
+    def _dyn_edge_down(self, gi: int, gj: int, si: int, sj: int) -> None:
+        key = (gi, gj) if gi < gj else (gj, gi)
+        if key in self._dyn_down or self._perm_dead[gi, si]:
+            return
+        self._dyn_down.add(key)
+        if not self._slot_alive[gi, si]:
+            # An endpoint already departed — the edge state was discarded
+            # at its departure; only the down marker is recorded.
+            return
+        self._engine._zero_failed_links(
+            np.array([gi, gj]), np.array([si, sj])
+        )
+        for node, slot in ((gi, si), (gj, sj)):
+            self._slot_alive[node, slot] = False
+            self._blocked[node, slot] = True
+            self._recompute_live(node)
+
+    def _dyn_edge_up(self, gi: int, gj: int, si: int, sj: int) -> None:
+        key = (gi, gj) if gi < gj else (gj, gi)
+        if key not in self._dyn_down:
+            return
+        self._dyn_down.discard(key)
+        if self._perm_dead[gi, si]:
+            return
+        if not (self._node_alive[gi] and self._node_alive[gj]):
+            # A departed endpoint keeps the edge down; its node_join will
+            # revive the slot once both ends are live again.
+            return
+        for node, slot in ((gi, si), (gj, sj)):
+            self._slot_alive[node, slot] = True
+            self._blocked[node, slot] = False
+            self._recompute_live(node)
+
+    def _dyn_node_leave(self, g: int) -> None:
+        if not self._node_alive[g]:
+            return
+        self._node_alive[g] = False
+        for s in range(int(self._arrays.degree[g])):
+            if not self._slot_alive[g, s]:
+                continue
+            gj = int(self._arrays.nbr[g, s])
+            sj = int(self._arrays.slot_of[g, s])
+            # Survivor discards its edge state (object: on_link_failed);
+            # the departing side is frozen and fully reset at rejoin.
+            self._engine._zero_failed_links(np.array([gj]), np.array([sj]))
+            self._slot_alive[g, s] = False
+            self._blocked[g, s] = True
+            self._slot_alive[gj, sj] = False
+            self._blocked[gj, sj] = True
+            self._recompute_live(gj)
+        self._recompute_live(g)
+
+    def _dyn_node_join(self, g: int) -> None:
+        if self._node_alive[g]:
+            return
+        self._node_alive[g] = True
+        self._engine._reset_nodes(np.array([g]))
+        for s in range(int(self._arrays.degree[g])):
+            if self._perm_dead[g, s]:
+                continue
+            gj = int(self._arrays.nbr[g, s])
+            sj = int(self._arrays.slot_of[g, s])
+            if not self._node_alive[gj]:
+                continue
+            key = (g, gj) if g < gj else (gj, g)
+            if key in self._dyn_down:
+                continue
+            self._slot_alive[g, s] = True
+            self._blocked[g, s] = False
+            self._slot_alive[gj, sj] = True
+            self._blocked[gj, sj] = False
+            self._recompute_live(gj)
+        self._recompute_live(g)
 
     def run(
         self,
@@ -433,6 +575,9 @@ class BatchedErrorHistory:
         node_err = np.where(
             finite, diff / self._scale[:, None], np.inf
         )
+        # Departed nodes hold frozen (or reset) state that is not part of
+        # the computation; exclude them from the run maximum.
+        node_err = np.where(engine.node_alive, node_err, -np.inf)
         run_max = node_err.max(axis=1)
         for r in np.nonzero(engine.last_round_active)[0]:
             self.max_errors[int(r)].append(float(run_max[r]))
@@ -473,13 +618,27 @@ class BatchedMassProbe:
         self._exp_val: Optional[np.ndarray] = None
         self._exp_w: Optional[np.ndarray] = None
         self._scale: Optional[np.ndarray] = None
+        self._alive_prev: Optional[np.ndarray] = None
         self.records: List[List[Tuple[int, float]]] = []
         self.violations: Optional[np.ndarray] = None
 
-    def start(self, engine: BatchedEngine) -> None:
+    @staticmethod
+    def _masked_sums(
+        engine: BatchedEngine,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Mass sums over live nodes only (departed mass left the system)."""
         values, weights = engine.estimate_pairs()
-        self._exp_val = values.sum(axis=1)  # (R, d)
-        self._exp_w = weights.sum(axis=1)  # (R,)
+        alive = engine.node_alive
+        return (
+            np.where(alive[:, :, None], values, 0.0).sum(axis=1),
+            np.where(alive, weights, 0.0).sum(axis=1),
+            alive,
+        )
+
+    def start(self, engine: BatchedEngine) -> None:
+        self._exp_val, self._exp_w, self._alive_prev = self._masked_sums(
+            engine
+        )
         self._scale = np.maximum(
             np.maximum(np.abs(self._exp_val).max(axis=1), np.abs(self._exp_w)),
             1e-300,
@@ -490,9 +649,22 @@ class BatchedMassProbe:
     def on_round_end(self, engine: BatchedEngine, round_index: int) -> None:
         if self._exp_val is None:
             self.start(engine)
-        values, weights = engine.estimate_pairs()
-        cur_val = values.sum(axis=1)
-        cur_w = weights.sum(axis=1)
+        cur_val, cur_w, alive = self._masked_sums(engine)
+        changed = (alive != self._alive_prev).any(axis=1)
+        if changed.any():
+            # A membership change legitimately moves the conserved
+            # quantity (mass enters/leaves with the node); re-base the
+            # affected runs on the post-change live population.
+            self._exp_val[changed] = cur_val[changed]
+            self._exp_w[changed] = cur_w[changed]
+            self._scale[changed] = np.maximum(
+                np.maximum(
+                    np.abs(cur_val[changed]).max(axis=1),
+                    np.abs(cur_w[changed]),
+                ),
+                1e-300,
+            )
+            self._alive_prev = alive
         deviation = np.maximum(
             np.abs(cur_val - self._exp_val).max(axis=1),
             np.abs(cur_w - self._exp_w),

@@ -28,6 +28,12 @@ class VectorPushSum(VectorizedEngine):
     def estimate_pairs(self) -> Tuple[np.ndarray, np.ndarray]:
         return self._val.copy(), self._w.copy()
 
+    def _reset_nodes(self, nodes) -> None:
+        # Rejoin with the initial mass; whatever mass the node carried away
+        # at departure is gone — push-sum's churn fragility.
+        self._val[nodes] = self._v0[nodes]
+        self._w[nodes] = self._w0[nodes]
+
     def _apply_round(self, senders, slots, delivered) -> None:
         receivers, _ = self._receiver_indices(senders, slots)
         # Keep half, send half — the send-side halving happens regardless of
@@ -82,6 +88,11 @@ class VectorPushFlow(VectorizedEngine):
         # is equivalent to an exact-zero flow on that slot.
         self._fval[nodes, slots] = 0.0
         self._fw[nodes, slots] = 0.0
+
+    def _reset_nodes(self, nodes) -> None:
+        # Fresh zero flows; the estimate reverts to the initial data.
+        self._fval[nodes] = 0.0
+        self._fw[nodes] = 0.0
 
     def _apply_round(self, senders, slots, delivered) -> None:
         est_val, est_w = self.estimate_pairs()
@@ -160,6 +171,16 @@ class VectorPushCancelFlow(VectorizedEngine):
         self._fw[nodes, slots] = 0.0
         self._c[nodes, slots] = 0
         self._r[nodes, slots] = 0
+
+    def _reset_nodes(self, nodes) -> None:
+        # Fresh zero flows, handshake state and phi — same as the object
+        # algorithm's reset_for_join.
+        self._fval[nodes] = 0.0
+        self._fw[nodes] = 0.0
+        self._c[nodes] = 0
+        self._r[nodes] = 0
+        self._phi_val[nodes] = 0.0
+        self._phi_w[nodes] = 0.0
 
     def _apply_round(self, senders, slots, delivered) -> None:
         est_val, est_w = self.estimate_pairs()

@@ -83,6 +83,18 @@ class VectorPushCancelFlowHardened(VectorizedEngine):
         self._frozen_val[nodes, slots] = 0.0
         self._frozen_w[nodes, slots] = 0.0
 
+    def _reset_nodes(self, nodes) -> None:
+        # Fresh zero flows, eras, frozen copies and phi — same as the object
+        # algorithm's reset_for_join (initiator flags are id-derived and
+        # unchanged).
+        self._fval[nodes] = 0.0
+        self._fw[nodes] = 0.0
+        self._r[nodes] = 0
+        self._frozen_val[nodes] = 0.0
+        self._frozen_w[nodes] = 0.0
+        self._phi_val[nodes] = 0.0
+        self._phi_w[nodes] = 0.0
+
     def _apply_round(self, senders, slots, delivered) -> None:
         est_val, est_w = self.estimate_pairs()
         receivers, r_slots = self._receiver_indices(senders, slots)

@@ -1,0 +1,262 @@
+"""Integration: dynamic networks — churn, partition-and-heal, outages.
+
+The reproduction's dynamic-network findings as executable assertions:
+
+- push-flow reconverges *exactly* after any membership change: its flows
+  are antisymmetric at round boundaries, so excluding a node (and zeroing
+  the incident flows on the survivor side) restores exactly the
+  survivors' conserved mass, and a rejoin restores the full total.
+- push-sum is exact under edge-only partitions (no mass ever leaves) but
+  converges to the wrong value under node churn — the departed node's
+  in-protocol mass is simply gone.
+- PCF under node churn/outage carries a permanent residual offset: the
+  survivors' phi retains cancelled mass whose counterpart lived on the
+  departed node and was wiped by ``reset_for_join``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.aggregates import AggregateKind, initial_mass_pairs
+from repro.algorithms.registry import instantiate
+from repro.dynamics import (
+    TraceRecorder,
+    load_trace,
+    partition_and_heal,
+    regional_outage,
+    replay_from_trace,
+    scripted_churn,
+)
+from repro.faults import IidMessageLoss
+from repro.simulation.engine import SynchronousEngine
+from repro.simulation.schedule import FixedSchedule, UniformGossipSchedule
+from repro.topology import hypercube, ring
+from repro.tracing.anomaly import PartitionHealDetector
+from repro.vectorized.batched import BatchedEngine, BatchedRun
+from repro.vectorized.parity import materialize_schedule
+
+TOPO = hypercube(4)
+DATA = list(np.arange(float(TOPO.n)))
+TRUTH = float(np.mean(DATA))
+INITIAL = initial_mass_pairs(AggregateKind.AVERAGE, DATA)
+
+
+def run_dynamic(
+    algorithm,
+    schedule,
+    *,
+    rounds=200,
+    observers=(),
+    message_fault=None,
+    sched_seed=5,
+):
+    algs = instantiate(algorithm, TOPO, INITIAL)
+    engine = SynchronousEngine(
+        TOPO,
+        algs,
+        UniformGossipSchedule(TOPO.n, sched_seed),
+        observers=list(observers),
+        message_fault=message_fault,
+        topology_schedule=schedule,
+    )
+    engine.run(rounds)
+    return engine, algs
+
+
+def live_errors(engine, algs):
+    return [
+        abs(float(np.max(np.atleast_1d(np.asarray(algs[i].estimate())))) - TRUTH)
+        for i in engine.live_nodes()
+    ]
+
+
+CHURN = scripted_churn([(30, "leave", 3), (60, "join", 3)])
+PARTITION = partition_and_heal(TOPO, round=40, heal_round=80, seed=2)
+OUTAGE = regional_outage(TOPO, round=40, duration=30, region_count=4, region=1)
+
+
+class TestChurnMassConservation:
+    def test_push_flow_reconverges_exactly_after_churn(self):
+        engine, algs = run_dynamic("push_flow", CHURN)
+        assert max(live_errors(engine, algs)) < 1e-9
+
+    def test_push_sum_loses_departed_mass_under_churn(self):
+        engine, algs = run_dynamic("push_sum", CHURN)
+        errors = live_errors(engine, algs)
+        # All nodes agree on a *wrong* value: the leaving node took its
+        # in-protocol mass with it, the rejoin restored only the initial
+        # share.
+        assert min(errors) > 0.05
+        assert max(errors) - min(errors) < 1e-9
+
+    def test_pcf_carries_orphaned_cancellation_residual(self):
+        engine, algs = run_dynamic("push_cancel_flow", CHURN)
+        errors = live_errors(engine, algs)
+        # Converged (tiny spread) but offset: cancelled mass paired with
+        # the departed node's phi was wiped by reset_for_join.
+        assert 1e-3 < max(errors) < 1.0
+        assert max(errors) - min(errors) < 1e-6
+
+    def test_push_flow_survives_regional_outage_exactly(self):
+        engine, algs = run_dynamic("push_flow", OUTAGE)
+        assert max(live_errors(engine, algs)) < 1e-9
+
+
+class TestPartitionAndHeal:
+    @pytest.mark.parametrize(
+        "algorithm,bound",
+        [
+            ("push_sum", 1e-9),  # edge-only cut: mass never leaves
+            ("push_flow", 1e-6),
+            ("push_cancel_flow", 1e-2),
+            ("push_cancel_flow_hardened", 5e-2),
+        ],
+    )
+    def test_reconverges_after_heal(self, algorithm, bound):
+        engine, algs = run_dynamic(algorithm, PARTITION)
+        assert max(live_errors(engine, algs)) < bound
+
+    def test_detector_stays_quiet_when_partition_heals(self):
+        detector = PartitionHealDetector()
+        run_dynamic("push_flow", PARTITION, observers=[detector])
+        assert not detector.fired
+
+    def test_detector_fires_when_heal_never_comes(self):
+        from repro.dynamics import TopologySchedule
+
+        never_heal = TopologySchedule(
+            [d for d in PARTITION.deltas if d.round == 40]
+        )
+        detector = PartitionHealDetector()
+        run_dynamic("push_flow", never_heal, observers=[detector])
+        assert detector.fired
+        assert detector.alerts[0]["reason"] == "never_healed"
+
+
+class TestObjectBatchedParity:
+    @pytest.mark.parametrize(
+        "algorithm",
+        [
+            "push_sum",
+            "push_flow",
+            "push_cancel_flow",
+            "push_cancel_flow_hardened",
+        ],
+    )
+    def test_scripted_churn_parity_bit_for_bit(self, algorithm):
+        topo = ring(8)
+        rounds = 60
+        leave, rejoin, node = 20, 40, 3
+        schedule = scripted_churn([(leave, "leave", node), (rejoin, "join", node)])
+        targets = materialize_schedule(
+            UniformGossipSchedule(topo.n, 7), topo, rounds
+        )
+        # While the node is away it is silent and never targeted, so both
+        # engines face the identical message pattern.
+        away = slice(leave, rejoin)
+        targets[away, node] = -1
+        block = targets[away]
+        block[block == node] = -1
+        targets[away] = block
+
+        data = np.random.default_rng(4).uniform(size=topo.n)
+        initial = initial_mass_pairs(AggregateKind.AVERAGE, list(data))
+        algs = instantiate(algorithm, topo, initial)
+        obj_engine = SynchronousEngine(
+            topo,
+            algs,
+            FixedSchedule(targets.tolist()),
+            topology_schedule=schedule,
+        )
+        obj_engine.run(rounds)
+        obj = np.stack(
+            [np.atleast_1d(np.asarray(alg.estimate())) for alg in algs]
+        )
+
+        batch = BatchedEngine(
+            algorithm,
+            [
+                BatchedRun(
+                    topology=topo,
+                    values=data,
+                    weights=np.ones(topo.n),
+                    targets=targets,
+                    topology_schedule=schedule,
+                )
+            ],
+        )
+        batch.run(rounds)
+        vec = batch.estimates()[0]
+        np.testing.assert_array_equal(obj, vec)
+
+
+class TestTraceRecordReplay:
+    def _replay(self, path, sched_seed):
+        replay = replay_from_trace(load_trace(path))
+        engine, algs = run_dynamic(
+            "push_flow",
+            replay.topology_schedule,
+            message_fault=replay.message_fault,
+            sched_seed=sched_seed,
+        )
+        return np.stack(
+            [np.atleast_1d(np.asarray(alg.estimate())) for alg in algs]
+        )
+
+    @pytest.mark.parametrize("suffix", [".jsonl", ".csv"])
+    def test_replay_reproduces_recorded_run_exactly(self, tmp_path, suffix):
+        recorder = TraceRecorder()
+        engine, algs = run_dynamic(
+            "push_flow",
+            CHURN,
+            observers=[recorder],
+            message_fault=IidMessageLoss(0.2, seed=13),
+        )
+        original = np.stack(
+            [np.atleast_1d(np.asarray(alg.estimate())) for alg in algs]
+        )
+        path = recorder.save(tmp_path / f"trace{suffix}")
+
+        first = self._replay(path, sched_seed=5)
+        second = self._replay(path, sched_seed=5)
+        np.testing.assert_array_equal(first, second)
+        np.testing.assert_array_equal(first, original)
+
+
+class TestChurnGridCampaign:
+    def test_churn_grid_runs_on_object_and_vectorized(self, tmp_path):
+        import json
+
+        from repro.campaigns.builtin import CHURN_GRID
+        from repro.campaigns.runner import run_campaign
+        from repro.campaigns.spec import CampaignSpec
+
+        base = {
+            **CHURN_GRID,
+            "algorithms": ["push_sum", "push_flow"],
+            "seeds": [0],
+            "rounds": 60,
+        }
+        records = {}
+        for engine in ("object", "vectorized"):
+            spec = CampaignSpec.from_dict({**base, "engine": engine})
+            run = run_campaign(spec, tmp_path / engine, log=lambda _m: None)
+            assert run.failed == 0
+            lines = [
+                json.loads(line)
+                for line in (tmp_path / engine / "results.jsonl")
+                .read_text()
+                .splitlines()
+            ]
+            records[engine] = lines
+        obj, vec = records["object"], records["vectorized"]
+        assert len(obj) == len(vec) == 8
+        assert {frozenset(r) for r in obj} == {frozenset(r) for r in vec}
+        by_fault = {
+            (r["algorithm"], r["fault"]): r for r in obj
+        }
+        for (algorithm, fault), record in by_fault.items():
+            if fault == "none":
+                assert record["dynamics"] is None
+            else:
+                assert record["dynamics"]["deltas"] > 0

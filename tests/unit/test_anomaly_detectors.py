@@ -170,6 +170,7 @@ class TestAlertPlumbing:
             "flow_blowup",
             "restart_regression",
             "pcf_stall",
+            "partition_heal",
         }
 
     def test_detectors_never_force_the_detail_path(self):

@@ -1,0 +1,254 @@
+"""Unit tests for repro.dynamics: deltas, schedules, builders, traces."""
+
+import pytest
+
+from repro.dynamics import (
+    TopologyDelta,
+    TopologySchedule,
+    TraceRecorder,
+    load_trace,
+    partition_and_heal,
+    poisson_churn,
+    random_edge_flaps,
+    regional_outage,
+    replay_from_trace,
+    scripted_churn,
+)
+from repro.exceptions import ConfigurationError
+from repro.topology import hypercube, ring
+
+
+class TestTopologyDelta:
+    def test_edge_is_canonicalized(self):
+        delta = TopologyDelta(round=5, kind="edge_down", edge=(3, 1))
+        assert delta.edge == (1, 3)
+
+    def test_self_edge_rejected(self):
+        with pytest.raises(ConfigurationError, match="self-edge"):
+            TopologyDelta(round=0, kind="edge_down", edge=(2, 2))
+
+    def test_negative_round_rejected(self):
+        with pytest.raises(ConfigurationError, match="round"):
+            TopologyDelta(round=-1, kind="node_leave", node=0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown topology delta"):
+            TopologyDelta(round=0, kind="node_explode", node=0)
+
+    def test_node_kind_rejects_edge_and_vice_versa(self):
+        with pytest.raises(ConfigurationError, match="needs a node"):
+            TopologyDelta(round=0, kind="node_join", edge=(0, 1))
+        with pytest.raises(ConfigurationError, match="needs an"):
+            TopologyDelta(round=0, kind="edge_up", node=3)
+
+    def test_event_round_trip(self):
+        delta = TopologyDelta(
+            round=7, kind="edge_up", edge=(0, 4), label="heal"
+        )
+        assert TopologyDelta.from_event(delta.to_event()) == delta
+
+
+class TestTopologySchedule:
+    def test_sorted_and_queryable_by_round(self):
+        schedule = TopologySchedule(
+            [
+                TopologyDelta(round=9, kind="node_leave", node=1),
+                TopologyDelta(round=2, kind="edge_down", edge=(0, 1)),
+                TopologyDelta(round=9, kind="node_join", node=2),
+            ]
+        )
+        assert [d.round for d in schedule.deltas] == [2, 9, 9]
+        assert len(schedule.deltas_at(9)) == 2
+        assert schedule.deltas_at(3) == ()
+        assert schedule.last_round == 9
+        assert not schedule.is_empty()
+
+    def test_same_round_keeps_insertion_order(self):
+        # Leave-before-join toggles within one round must stay ordered.
+        schedule = TopologySchedule(
+            [
+                TopologyDelta(round=4, kind="node_leave", node=5),
+                TopologyDelta(round=4, kind="node_join", node=5),
+            ]
+        )
+        kinds = [d.kind for d in schedule.deltas_at(4)]
+        assert kinds == ["node_leave", "node_join"]
+
+    def test_validate_against_rejects_foreign_edges_and_nodes(self):
+        topo = ring(6)
+        TopologySchedule(
+            [TopologyDelta(round=0, kind="edge_down", edge=(0, 1))]
+        ).validate_against(topo)
+        with pytest.raises(ConfigurationError, match="not an edge"):
+            TopologySchedule(
+                [TopologyDelta(round=0, kind="edge_down", edge=(0, 3))]
+            ).validate_against(topo)
+        with pytest.raises(ConfigurationError, match="outside topology"):
+            TopologySchedule(
+                [TopologyDelta(round=0, kind="node_leave", node=6)]
+            ).validate_against(topo)
+
+    def test_meta_summarizes_kinds_and_labels(self):
+        schedule = scripted_churn([(10, "leave", 2), (20, "join", 2)])
+        meta = schedule.meta()
+        assert meta["deltas"] == 2
+        assert meta["kinds"] == {"node_leave": 1, "node_join": 1}
+        assert meta["labels"] == {"churn": 2}
+        assert (meta["first_round"], meta["last_round"]) == (10, 20)
+
+    def test_events_round_trip(self):
+        schedule = partition_and_heal(ring(8), round=10, heal_round=30)
+        rebuilt = TopologySchedule.from_events(schedule.to_events())
+        assert rebuilt.deltas == schedule.deltas
+
+
+class TestBuilders:
+    def test_scripted_churn_validates_actions(self):
+        with pytest.raises(ConfigurationError, match="leave"):
+            scripted_churn([(5, "vanish", 1)])
+
+    def test_poisson_churn_is_deterministic_per_seed(self):
+        topo = hypercube(4)
+        a = poisson_churn(topo, rate=0.2, start=5, end=60, seed=9)
+        b = poisson_churn(topo, rate=0.2, start=5, end=60, seed=9)
+        c = poisson_churn(topo, rate=0.2, start=5, end=60, seed=10)
+        assert a.deltas == b.deltas
+        assert a.deltas != c.deltas
+
+    def test_poisson_churn_heals_and_respects_live_floor(self):
+        topo = hypercube(4)
+        schedule = poisson_churn(
+            topo, rate=1.0, end=80, seed=3, min_live_fraction=0.75
+        )
+        departed = set()
+        for delta in schedule.deltas:
+            if delta.kind == "node_leave":
+                departed.add(delta.node)
+                assert topo.n - len(departed) >= int(0.75 * topo.n)
+            else:
+                departed.discard(delta.node)
+        # The end-of-window heal restores the full population.
+        assert not departed
+
+    def test_partition_cut_disconnects_and_heal_restores(self):
+        topo = hypercube(4)
+        schedule = partition_and_heal(topo, round=10, heal_round=40, seed=2)
+        downs = [d for d in schedule.deltas if d.kind == "edge_down"]
+        ups = [d for d in schedule.deltas if d.kind == "edge_up"]
+        assert {d.edge for d in downs} == {d.edge for d in ups}
+        assert all(d.round == 10 for d in downs)
+        assert all(d.round == 40 for d in ups)
+        # The cut separates the node set into two non-empty sides with no
+        # surviving cross edges.
+        cut = {d.edge for d in downs}
+        adjacency = {i: set() for i in topo.nodes()}
+        for u, v in topo.edges:
+            if (min(u, v), max(u, v)) not in cut:
+                adjacency[u].add(v)
+                adjacency[v].add(u)
+        seen = {0}
+        stack = [0]
+        while stack:
+            for nbr in adjacency[stack.pop()]:
+                if nbr not in seen:
+                    seen.add(nbr)
+                    stack.append(nbr)
+        assert 0 < len(seen) < topo.n
+
+    def test_regional_outage_takes_down_a_contiguous_block(self):
+        topo = hypercube(4)
+        schedule = regional_outage(
+            topo, round=30, duration=20, region_count=4, region=1
+        )
+        leaves = sorted(
+            d.node for d in schedule.deltas if d.kind == "node_leave"
+        )
+        joins = sorted(
+            d.node for d in schedule.deltas if d.kind == "node_join"
+        )
+        assert leaves == [4, 5, 6, 7]
+        assert joins == leaves
+        assert all(
+            d.round == 30
+            for d in schedule.deltas
+            if d.kind == "node_leave"
+        )
+        assert all(
+            d.round == 50 for d in schedule.deltas if d.kind == "node_join"
+        )
+
+    def test_edge_flaps_pair_down_with_up(self):
+        topo = hypercube(4)
+        schedule = random_edge_flaps(
+            topo, rate=0.3, start=0, end=40, duration=5, seed=7
+        )
+        downs = {}
+        for delta in schedule.deltas:
+            if delta.kind == "edge_down":
+                downs.setdefault(delta.edge, []).append(delta.round)
+        for delta in schedule.deltas:
+            if delta.kind == "edge_up":
+                assert any(
+                    delta.round - r == 5 for r in downs.get(delta.edge, [])
+                )
+
+
+class TestTraceRoundTrip:
+    def _schedule(self):
+        return TopologySchedule(
+            [
+                TopologyDelta(
+                    round=3, kind="edge_down", edge=(0, 1), label="partition"
+                ),
+                TopologyDelta(
+                    round=8, kind="edge_up", edge=(0, 1), label="heal"
+                ),
+                TopologyDelta(
+                    round=5, kind="node_leave", node=4, label="churn"
+                ),
+            ]
+        )
+
+    def _recorder_with_events(self):
+        recorder = TraceRecorder()
+        for delta in self._schedule().deltas:
+            detail = {"label": delta.label}
+            if delta.edge is not None:
+                detail["edge"] = list(delta.edge)
+            if delta.node is not None:
+                detail["node"] = delta.node
+            recorder.on_topology_event(None, delta.round, delta.kind, detail)
+        return recorder
+
+    @pytest.mark.parametrize("suffix", [".jsonl", ".csv"])
+    def test_topology_events_round_trip(self, tmp_path, suffix):
+        recorder = self._recorder_with_events()
+        path = recorder.save(tmp_path / f"trace{suffix}")
+        replay = replay_from_trace(load_trace(path))
+        assert replay.topology_schedule.deltas == self._schedule().deltas
+
+    @pytest.mark.parametrize("suffix", [".jsonl", ".csv"])
+    def test_drops_round_trip(self, tmp_path, suffix):
+        from repro.simulation.messages import Message
+
+        recorder = TraceRecorder()
+        for rnd, (u, v) in [(2, (0, 3)), (2, (1, 2)), (9, (5, 4))]:
+            recorder.on_message_dropped(
+                None,
+                Message(sender=u, receiver=v, round=rnd, payload=None),
+                "injector",
+            )
+        # Non-injector drops are consequences of recorded events and must
+        # not be re-applied on replay.
+        recorder.on_message_dropped(
+            None,
+            Message(sender=7, receiver=6, round=4, payload=None),
+            "dead_edge",
+        )
+        path = recorder.save(tmp_path / f"trace{suffix}")
+        replay = replay_from_trace(load_trace(path))
+        assert replay.message_fault.drops == {(2, 0, 3), (2, 1, 2), (9, 5, 4)}
+
+    def test_missing_trace_file_raises(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="does not exist"):
+            load_trace(tmp_path / "nope.jsonl")

@@ -4,12 +4,15 @@ import pytest
 
 from repro.exceptions import ConfigurationError
 from repro.faults import (
+    DYNAMIC_FAULT_KINDS,
     FAULT_KINDS,
     BurstMessageLoss,
     CompositeFault,
     IidMessageLoss,
     StateBitFlipInjector,
     build_faults,
+    build_topology_schedule,
+    validate_fault_against_topology,
     validate_fault_spec,
 )
 
@@ -58,11 +61,138 @@ class TestValidation:
             "link_failure": {"round": 10},
             "node_failure": {"round": 10, "node": 3},
             "state_flip": {"rounds": [5]},
+            "churn": {"rate": 0.1},
+            "partition": {"round": 10},
+            "regional_outage": {"round": 10, "duration": 5},
+            "trace": {"path": "recorded.jsonl"},
         }
         assert set(minimal) == set(FAULT_KINDS)
         for kind, params in minimal.items():
             normalized = validate_fault_spec({"kind": kind, **params})
             assert normalized["name"]
+
+
+class TestSpecRanges:
+    def test_negative_round_rejected(self):
+        for spec in (
+            {"kind": "link_failure", "round": -1},
+            {"kind": "node_failure", "round": -5, "node": 0},
+            {"kind": "partition", "round": -2},
+            {"kind": "regional_outage", "round": -1, "duration": 5},
+        ):
+            with pytest.raises(ConfigurationError, match="round must be >= 0"):
+                validate_fault_spec(spec)
+
+    def test_node_failure_outside_topology_rejected(self):
+        with pytest.raises(ConfigurationError, match="outside the"):
+            validate_fault_against_topology(
+                {"kind": "node_failure", "round": 10, "node": 16}, 16
+            )
+        validate_fault_against_topology(
+            {"kind": "node_failure", "round": 10, "node": 15}, 16
+        )
+
+    def test_link_failure_edge_outside_topology_rejected(self):
+        with pytest.raises(ConfigurationError, match="outside the"):
+            validate_fault_against_topology(
+                {"kind": "link_failure", "round": 10, "edge": [0, 16]}, 16
+            )
+
+    def test_churn_event_node_outside_topology_rejected(self):
+        with pytest.raises(ConfigurationError, match="outside"):
+            validate_fault_against_topology(
+                {"kind": "churn", "events": [[5, "leave", 99]]}, 16
+            )
+
+    def test_composed_parts_are_range_checked(self):
+        spec = {
+            "compose": [
+                {"kind": "message_loss", "rate": 0.1},
+                {"kind": "node_failure", "round": 10, "node": 40},
+            ]
+        }
+        with pytest.raises(ConfigurationError, match="outside the"):
+            validate_fault_against_topology(spec, 32)
+
+    def test_region_count_larger_than_topology_rejected(self):
+        with pytest.raises(ConfigurationError, match="region_count"):
+            validate_fault_against_topology(
+                {
+                    "kind": "regional_outage",
+                    "round": 10,
+                    "duration": 5,
+                    "region_count": 8,
+                },
+                4,
+            )
+
+
+class TestSeedDerivation:
+    def test_part_seeds_are_seedsequence_spawned(self):
+        import numpy as np
+
+        from repro.faults.specs import _part_seeds
+
+        seeds = _part_seeds(42, 3)
+        children = np.random.SeedSequence(42).spawn(3)
+        assert seeds == [int(c.generate_state(1)[0]) for c in children]
+        assert len(set(seeds)) == 3
+        assert _part_seeds(42, 3) == seeds  # pure function of the seed
+
+    def test_composed_identical_parts_get_independent_streams(self):
+        from repro.simulation.messages import Message
+
+        spec = {
+            "compose": [
+                {"kind": "message_loss", "rate": 0.5},
+                {"kind": "message_loss", "rate": 0.5},
+            ]
+        }
+        built = build_faults(spec, seed=11)
+        part_a, part_b = built.message_fault._faults
+        messages = [
+            Message(sender=0, receiver=1, round=r, payload=None)
+            for r in range(200)
+        ]
+        drops_a = [part_a.apply(m) is None for m in messages]
+        part_a.reset()
+        drops_b = [part_b.apply(m) is None for m in messages]
+        assert drops_a != drops_b
+
+
+class TestDynamicKinds:
+    def test_dynamic_kinds_build_topology_schedules(self):
+        from repro.topology import hypercube
+
+        topo = hypercube(4)
+        for spec in (
+            {"kind": "churn", "rate": 0.1, "end": 50},
+            {"kind": "partition", "round": 10, "heal_round": 30},
+            {"kind": "regional_outage", "round": 10, "duration": 5},
+        ):
+            assert spec["kind"] in DYNAMIC_FAULT_KINDS
+            built = build_faults(spec, seed=3, topology=topo)
+            assert built.topology_schedule is not None
+            assert not built.topology_schedule.is_empty()
+            assert built.dynamics_meta["deltas"] > 0
+            # build_topology_schedule is the batched path's shortcut and
+            # must agree exactly with the full build.
+            schedule = build_topology_schedule(spec, topology=topo, seed=3)
+            assert schedule.deltas == built.topology_schedule.deltas
+
+    def test_rate_churn_without_end_needs_horizon(self):
+        from repro.topology import hypercube
+
+        spec = {"kind": "churn", "rate": 0.1}
+        with pytest.raises(ConfigurationError, match="horizon"):
+            build_faults(spec, topology=hypercube(4))
+        built = build_faults(spec, topology=hypercube(4), horizon=40)
+        assert built.topology_schedule.last_round <= 40
+
+    def test_static_kinds_have_no_schedule(self):
+        built = build_faults({"kind": "message_loss", "rate": 0.1}, seed=1)
+        assert built.topology_schedule is None
+        assert built.dynamics_meta is None
 
 
 class TestNaming:
