@@ -1,0 +1,89 @@
+"""Microbenchmarks: campaign analytics throughput.
+
+Not a paper figure — these quantify the cost of the analysis layer on a
+synthetic 10k-cell ``results.jsonl``: loading (parse + era-normalize +
+dedup) and summarizing (groupby + scenario aggregation). The rows/sec
+numbers bound how quickly a dashboard refresh tracks a large in-flight
+sweep; the BENCH_engine.json ``analysis`` entry records the baseline.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.analysis.campaigns.frame import Frame
+from repro.analysis.campaigns.loader import load_records, normalize_record
+from repro.analysis.campaigns.summary import scenario_summary
+
+N_CELLS = 10_000
+ALGORITHMS = ("push_sum", "push_flow", "push_cancel_flow")
+FAULTS = ("none", "churn0.05", "partition@40-heal@80", "outage@40+30")
+
+
+def _synthetic_record(i: int) -> dict:
+    algorithm = ALGORITHMS[i % len(ALGORITHMS)]
+    fault = FAULTS[i % len(FAULTS)]
+    converged = i % 5 != 0
+    return {
+        "cell_id": f"{algorithm}|hypercube-32|{fault}|s{i}",
+        "status": "ok",
+        "algorithm": algorithm,
+        "topology": "hypercube-32",
+        "fault": fault,
+        "seed": i,
+        "n": 32,
+        "rounds": 160,
+        "epsilon": 1e-6,
+        "converged": converged,
+        "rounds_to_tolerance": 60 + i % 40 if converged else None,
+        "final_error": 10.0 ** (-(i % 12) - 1),
+        "mass_drift_floor": "nan" if i % 97 == 0 else 1e-15 * (i % 7),
+        "recovery_rounds": float(i % 30) if fault != "none" else None,
+        "recovered": fault == "none" or i % 3 != 0,
+        "alerts": {"restart_regression": i % 11 == 0 and 1 or 0},
+        "alerts_total": 1 if i % 11 == 0 else 0,
+        "flight_dumps": [],
+        "wall_s": 0.1 + (i % 10) / 100.0,
+        "recorded_at": 1_700_000_000.0 + i * 0.25,
+        "attempts": 1,
+        "engine": "object",
+    }
+
+
+@pytest.fixture(scope="module")
+def synthetic_results(tmp_path_factory):
+    path = tmp_path_factory.mktemp("analysis_bench") / "results.jsonl"
+    with path.open("w") as fh:
+        for i in range(N_CELLS):
+            fh.write(json.dumps(_synthetic_record(i)) + "\n")
+    return path
+
+
+def test_load_results_jsonl_rows_per_sec(benchmark, synthetic_results):
+    """Parse + normalize + dedup a 10k-cell results.jsonl."""
+    records, duplicates, skipped = benchmark(load_records, synthetic_results)
+    assert len(records) == N_CELLS
+    assert duplicates == 0 and skipped == 0
+    stats = benchmark.stats.stats
+    benchmark.extra_info["rows_per_sec"] = round(N_CELLS / stats.mean, 1)
+
+
+def test_scenario_summary_rows_per_sec(benchmark, synthetic_results):
+    """Groupby + aggregate 10k normalized rows into the scenario table."""
+    records, _dup, _skip = load_records(synthetic_results)
+    frame = Frame.from_records(records)
+
+    summary = benchmark(scenario_summary, frame)
+    assert len(summary) == len(ALGORITHMS) * len(FAULTS)
+    for row in summary.rows():
+        assert math.isfinite(float(row["median_final_error"]))
+    stats = benchmark.stats.stats
+    benchmark.extra_info["rows_per_sec"] = round(N_CELLS / stats.mean, 1)
+
+
+def test_normalize_record_cost(benchmark):
+    """Per-record era detection + tagged-float parsing cost."""
+    raw = _synthetic_record(123)
+    record = benchmark(normalize_record, dict(raw))
+    assert record["schema_era"] == 4

@@ -1,0 +1,90 @@
+"""Campaign analytics: dataframe layer, figure registry, dashboards.
+
+Public surface of the analysis stack built on top of the sweep output
+(``results.jsonl`` + ``campaign.json``):
+
+- :mod:`repro.analysis.campaigns.frame` — the dependency-free columnar
+  :class:`Frame` (pandas is an optional export target, never required).
+- :mod:`repro.analysis.campaigns.loader` — schema-versioned loading of
+  mixed-era result records into a :class:`CampaignData`.
+- :mod:`repro.analysis.campaigns.summary` — scenario/coverage/progress
+  aggregations shared by the text report, dashboard, and metrics export.
+- :mod:`repro.analysis.campaigns.figures` — the named-figure registry
+  (``FIGURES``) mapping figure names to spec generators.
+- :mod:`repro.analysis.campaigns.render` — publication matplotlib theme
+  plus the built-in pure-stdlib SVG renderer.
+- :mod:`repro.analysis.campaigns.dashboard` — self-contained HTML
+  dashboards per campaign directory.
+- :mod:`repro.analysis.campaigns.export` — campaign aggregates through
+  the telemetry Prometheus/JSONL/CSV exporters.
+"""
+
+from repro.analysis.campaigns.dashboard import build_dashboard, write_dashboard
+from repro.analysis.campaigns.export import (
+    campaign_metrics_registry,
+    export_campaign_metrics,
+)
+from repro.analysis.campaigns.figures import (
+    FIGURE_INFO,
+    FIGURES,
+    FigureSpec,
+    Series,
+    generate_figure,
+)
+from repro.analysis.campaigns.frame import Frame, pandas_available
+from repro.analysis.campaigns.loader import (
+    COLUMNS,
+    SCHEMA_VERSION,
+    CampaignData,
+    load_campaign,
+    load_records,
+    normalize_record,
+    record_era,
+)
+from repro.analysis.campaigns.render import (
+    PALETTE,
+    PUBLICATION_RC,
+    matplotlib_available,
+    render_figure,
+    render_svg,
+)
+from repro.analysis.campaigns.summary import (
+    SCENARIO_COLUMNS,
+    alert_summary,
+    coverage_summary,
+    flight_dump_index,
+    progress_stats,
+    scenario_summary,
+)
+
+__all__ = [
+    "COLUMNS",
+    "FIGURE_INFO",
+    "FIGURES",
+    "PALETTE",
+    "PUBLICATION_RC",
+    "SCENARIO_COLUMNS",
+    "SCHEMA_VERSION",
+    "CampaignData",
+    "FigureSpec",
+    "Frame",
+    "Series",
+    "alert_summary",
+    "build_dashboard",
+    "campaign_metrics_registry",
+    "coverage_summary",
+    "export_campaign_metrics",
+    "flight_dump_index",
+    "generate_figure",
+    "load_campaign",
+    "load_records",
+    "matplotlib_available",
+    "normalize_record",
+    "pandas_available",
+    "progress_stats",
+    "record_era",
+    "render_figure",
+    "render_svg",
+    "scenario_summary",
+    "write_dashboard",
+]

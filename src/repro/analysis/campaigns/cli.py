@@ -1,0 +1,216 @@
+"""CLI: ``python -m repro.experiments analyze <campaign-dir>``.
+
+Loads a campaign's ``results.jsonl``, prints the coverage / progress /
+scenario summary, regenerates every registered figure (or a ``--figures``
+subset) into ``<out>/``, writes the self-contained HTML dashboard, and
+exports campaign-level metrics. Any registered figure that fails to
+render makes the exit code 1 — the CI analyze-smoke job keys on that.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import Dict, List, Optional
+
+from repro.analysis.campaigns.dashboard import build_dashboard
+from repro.analysis.campaigns.figures import FIGURE_INFO, FIGURES
+from repro.analysis.campaigns.loader import load_campaign
+from repro.analysis.campaigns.render import (
+    matplotlib_available,
+    render_figure,
+    render_svg,
+)
+from repro.analysis.campaigns.summary import (
+    SCENARIO_COLUMNS,
+    coverage_summary,
+    progress_lines,
+    progress_stats,
+    scenario_summary,
+)
+from repro.exceptions import ExperimentError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments analyze",
+        description=(
+            "Analyze a campaign result directory: summary tables, "
+            "regenerated figures, HTML dashboard, metrics export."
+        ),
+    )
+    parser.add_argument("path", nargs="?", help="campaign output directory")
+    parser.add_argument(
+        "--out",
+        metavar="DIR",
+        default=None,
+        help="analysis output directory (default: <path>/analysis)",
+    )
+    parser.add_argument(
+        "--figures",
+        metavar="NAMES",
+        default=None,
+        help=(
+            "comma-separated figure names to regenerate "
+            "(default: every registered figure)"
+        ),
+    )
+    parser.add_argument(
+        "--format",
+        choices=("auto", "svg", "png"),
+        default="auto",
+        help=(
+            "figure file format: auto prefers matplotlib PNG and falls "
+            "back to the built-in SVG renderer (default: auto)"
+        ),
+    )
+    parser.add_argument(
+        "--no-dashboard",
+        action="store_true",
+        help="skip writing the HTML dashboard",
+    )
+    parser.add_argument(
+        "--no-metrics",
+        action="store_true",
+        help="skip the campaign metrics export",
+    )
+    parser.add_argument(
+        "--allow-missing-data",
+        action="store_true",
+        help=(
+            "exit 0 even when some registered figures cannot be produced "
+            "from this campaign's data (they are listed either way)"
+        ),
+    )
+    parser.add_argument(
+        "--csv",
+        action="store_true",
+        help="also write cells.csv and scenarios.csv next to the figures",
+    )
+    parser.add_argument(
+        "--list-figures",
+        action="store_true",
+        help="list the registered figures and exit",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress the summary tables"
+    )
+    return parser
+
+
+def _list_figures() -> str:
+    lines = ["Registered figures (name — reproduces — source columns):"]
+    for name in FIGURES:
+        paper, columns = FIGURE_INFO[name]
+        lines.append(f"  {name:28s} {paper} [{', '.join(columns)}]")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_figures:
+        print(_list_figures())
+        return 0
+    if args.path is None:
+        parser.error("a campaign directory is required (or --list-figures)")
+
+    directory = pathlib.Path(args.path)
+    try:
+        data = load_campaign(directory)
+    except ExperimentError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    out_dir = pathlib.Path(args.out) if args.out else directory / "analysis"
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    wanted = (
+        [name.strip() for name in args.figures.split(",") if name.strip()]
+        if args.figures is not None
+        else list(FIGURES)
+    )
+    unknown = sorted(set(wanted) - set(FIGURES))
+    if unknown:
+        print(
+            f"error: unknown figure(s) {unknown}; registered: "
+            f"{sorted(FIGURES)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    say = (lambda _msg: None) if args.quiet else print
+    say(f"Campaign analysis — {data.name} ({directory})")
+    coverage = coverage_summary(data)
+    say(
+        "coverage: "
+        + ", ".join(f"{k}={v}" for k, v in coverage.items() if v is not None)
+    )
+    for line in progress_lines(progress_stats(data)):
+        say("progress: " + line)
+    scenarios = scenario_summary(data.ok)
+    if not args.quiet and len(scenarios):
+        from repro.experiments.tables import render_table
+
+        say("")
+        say(
+            render_table(
+                SCENARIO_COLUMNS,
+                [[row[c] for c in SCENARIO_COLUMNS] for row in scenarios.rows()],
+            )
+        )
+        say("")
+
+    # Figures ------------------------------------------------------------
+    svgs: Dict[str, str] = {}
+    errors: Dict[str, str] = {}
+    for name in wanted:
+        try:
+            spec = FIGURES[name](data)
+            path = render_figure(spec, out_dir, fmt=args.format)
+            svgs[name] = render_svg(spec)  # dashboard always embeds SVG
+            say(f"figure {name}: {path}")
+        except ExperimentError as exc:
+            errors[name] = str(exc)
+            print(f"figure {name}: NOT RENDERED — {exc}", file=sys.stderr)
+
+    if args.csv:
+        (out_dir / "cells.csv").write_text(data.frame.to_csv())
+        (out_dir / "scenarios.csv").write_text(scenarios.to_csv())
+        say(f"tables: {out_dir / 'cells.csv'}, {out_dir / 'scenarios.csv'}")
+
+    if not args.no_dashboard:
+        dashboard_path = out_dir / "dashboard.html"
+        dashboard_path.write_text(
+            build_dashboard(
+                data,
+                figure_svgs=svgs,
+                figure_errors=errors,
+                base_dir=out_dir,
+            )
+        )
+        say(f"dashboard: {dashboard_path}")
+
+    if not args.no_metrics:
+        from repro.analysis.campaigns.export import campaign_metrics_registry
+
+        metrics_dir = campaign_metrics_registry(data).dump(out_dir / "metrics")
+        say(f"metrics: {metrics_dir} (jsonl/csv/prom)")
+
+    if errors and not args.allow_missing_data:
+        print(
+            f"error: {len(errors)} registered figure(s) failed to render: "
+            f"{sorted(errors)}",
+            file=sys.stderr,
+        )
+        return 1
+    if not matplotlib_available() and args.format == "auto":
+        say(
+            "note: matplotlib not installed — figures rendered with the "
+            "built-in SVG backend"
+        )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,314 @@
+"""Self-contained HTML summary dashboard for one campaign directory.
+
+One file, no external assets: inline CSS, inline (built-in renderer) SVG
+figures, and plain tables. Sections: header with the campaign spec,
+coverage + live-progress tiles (throughput/ETA from record timestamps),
+the scenario summary, every registered figure that renders from this
+campaign's data, anomaly-alert totals with per-cell drill-down, flight
+dump links, and the failure table.
+"""
+
+from __future__ import annotations
+
+import html
+import os
+import pathlib
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.analysis.campaigns.figures import FIGURES
+from repro.analysis.campaigns.frame import Frame
+from repro.analysis.campaigns.loader import CampaignData, load_campaign
+from repro.analysis.campaigns.render import render_svg
+from repro.analysis.campaigns.summary import (
+    SCENARIO_COLUMNS,
+    alert_summary,
+    coverage_summary,
+    flight_dump_index,
+    progress_stats,
+    scenario_summary,
+)
+from repro.exceptions import ExperimentError
+
+_CSS = """
+body { font-family: Georgia, 'Times New Roman', serif; margin: 2rem auto;
+       max-width: 72rem; color: #1a1a1a; padding: 0 1rem; }
+h1 { font-size: 1.5rem; border-bottom: 2px solid #0072B2; padding-bottom: .3rem; }
+h2 { font-size: 1.15rem; margin-top: 2rem; color: #0b3d61; }
+table { border-collapse: collapse; margin: .8rem 0; font-size: .85rem; }
+th, td { border: 1px solid #ccc; padding: .25rem .6rem; text-align: left; }
+th { background: #eef4f9; }
+tr:nth-child(even) td { background: #fafafa; }
+.tiles { display: flex; flex-wrap: wrap; gap: .8rem; margin: 1rem 0; }
+.tile { border: 1px solid #ccc; border-radius: 6px; padding: .6rem 1rem;
+        min-width: 8rem; background: #fafcfe; }
+.tile .value { font-size: 1.4rem; font-weight: bold; color: #0b3d61; }
+.tile .label { font-size: .75rem; color: #555; }
+.figure { margin: 1.2rem 0; }
+.figure .caption { font-size: .8rem; color: #555; max-width: 42rem; }
+.warn { color: #b00020; font-weight: bold; }
+.ok { color: #007020; }
+code { font-family: monospace; background: #f4f4f4; padding: 0 .25rem; }
+footer { margin-top: 2.5rem; font-size: .75rem; color: #888; }
+"""
+
+
+def _esc(value: object) -> str:
+    return html.escape("-" if value is None else str(value))
+
+
+def _fmt_number(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        from repro.experiments.tables import format_cell
+
+        return format_cell(value)
+    return str(value)
+
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    parts = ["<table><thead><tr>"]
+    parts.extend(f"<th>{_esc(h)}</th>" for h in headers)
+    parts.append("</tr></thead><tbody>")
+    for row in rows:
+        parts.append("<tr>")
+        parts.extend(f"<td>{_esc(_fmt_number(cell))}</td>" for cell in row)
+        parts.append("</tr>")
+    parts.append("</tbody></table>")
+    return "".join(parts)
+
+
+def _frame_table(frame: Frame, columns: Sequence[str]) -> str:
+    rows = [[row[c] for c in columns] for row in frame.rows()]
+    return _table(columns, rows)
+
+
+def _tile(label: str, value: object, *, warn: bool = False) -> str:
+    cls = "value warn" if warn else "value"
+    return (
+        f'<div class="tile"><div class="{cls}">{_esc(_fmt_number(value))}'
+        f'</div><div class="label">{_esc(label)}</div></div>'
+    )
+
+
+def _fmt_seconds(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value >= 3600:
+        return f"{value / 3600:.1f} h"
+    if value >= 120:
+        return f"{value / 60:.1f} min"
+    return f"{value:.3g} s"
+
+
+def _spec_block(data: CampaignData) -> str:
+    if not data.spec:
+        return "<p>No <code>campaign.json</code> found next to the results.</p>"
+    spec = data.spec
+    axes = [
+        ("algorithms", spec.get("algorithms")),
+        ("topologies", spec.get("topologies")),
+        ("faults", [f.get("name", f) for f in spec.get("faults", [])
+                    if isinstance(f, dict)] or spec.get("faults")),
+        ("seeds", spec.get("seeds")),
+    ]
+    rows = [[axis, _esc(value)] for axis, value in axes]
+    rows.extend(
+        [key, spec.get(key)]
+        for key in ("rounds", "epsilon", "engine", "aggregate", "data")
+        if key in spec
+    )
+    return _table(["axis / key", "value"], rows)
+
+
+def _relative_link(target: str, base: pathlib.Path) -> str:
+    """Link text for a flight dump: relative to the dashboard when possible."""
+    try:
+        return os.path.relpath(target, base)
+    except ValueError:  # different drive (Windows)
+        return target
+
+
+def build_dashboard(
+    data: CampaignData,
+    *,
+    figure_svgs: Optional[Dict[str, str]] = None,
+    figure_errors: Optional[Dict[str, str]] = None,
+    base_dir: Optional[pathlib.Path] = None,
+) -> str:
+    """Assemble the dashboard HTML for a loaded campaign.
+
+    ``figure_svgs`` maps figure name -> inline SVG markup; when omitted,
+    every registered figure is generated and rendered here (generators
+    whose data requirements the campaign cannot meet are listed with
+    their reason instead — mirroring ``figure_errors`` from the CLI).
+    """
+    base = base_dir or data.directory
+    if figure_svgs is None:
+        figure_svgs = {}
+        figure_errors = dict(figure_errors or {})
+        for name, generator in FIGURES.items():
+            try:
+                figure_svgs[name] = render_svg(generator(data))
+            except ExperimentError as exc:
+                figure_errors[name] = str(exc)
+    else:
+        figure_errors = dict(figure_errors or {})
+
+    coverage = coverage_summary(data)
+    progress = progress_stats(data)
+    scenarios = scenario_summary(data.ok)
+    alerts = alert_summary(data.frame)
+    dumps = flight_dump_index(data.frame)
+    failed = data.failed
+
+    out: List[str] = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f"<title>Campaign — {_esc(data.name)}</title>",
+        f"<style>{_CSS}</style></head><body>",
+        f"<h1>Campaign dashboard — {_esc(data.name)}</h1>",
+        f"<p>Source: <code>{_esc(data.directory)}</code> · schema v"
+        f"{data.schema_version}</p>",
+    ]
+
+    # Coverage + progress tiles -------------------------------------------
+    out.append("<h2>Coverage &amp; progress</h2>")
+    out.append('<div class="tiles">')
+    out.append(_tile("expected cells", coverage["expected"]))
+    out.append(_tile("recorded", coverage["recorded"]))
+    out.append(_tile("ok", coverage["ok"]))
+    out.append(
+        _tile("failed", coverage["failed"], warn=bool(coverage["failed"]))
+    )
+    if coverage["missing"]:
+        out.append(_tile("missing", coverage["missing"], warn=True))
+    if coverage["duplicates"]:
+        out.append(_tile("resume-shadowed", coverage["duplicates"]))
+    alerts_total = sum(
+        v for v in data.frame.column("alerts_total")
+        if isinstance(v, (int, float))
+    )
+    out.append(_tile("anomaly alerts", alerts_total, warn=alerts_total > 0))
+    out.append(_tile("flight dumps", len(dumps), warn=len(dumps) > 0))
+    out.append("</div>")
+    out.append('<div class="tiles">')
+    out.append(
+        _tile("mean wall / cell", _fmt_seconds(progress.get("mean_wall_s")))
+    )
+    cps = progress.get("cells_per_sec")
+    out.append(
+        _tile("throughput", f"{cps:.3g} cells/s" if cps else "-")
+    )
+    out.append(_tile("elapsed", _fmt_seconds(progress.get("elapsed_s"))))
+    out.append(_tile("ETA (remaining)", _fmt_seconds(progress.get("eta_s"))))
+    out.append("</div>")
+
+    # Spec ----------------------------------------------------------------
+    out.append("<h2>Campaign spec</h2>")
+    out.append(_spec_block(data))
+
+    # Scenario summary ----------------------------------------------------
+    out.append("<h2>Scenario summary</h2>")
+    if len(scenarios):
+        out.append(_frame_table(scenarios, SCENARIO_COLUMNS))
+    else:
+        out.append("<p>No successful cells recorded yet.</p>")
+
+    # Figures -------------------------------------------------------------
+    out.append("<h2>Figures</h2>")
+    for name in FIGURES:
+        if name in figure_svgs:
+            out.append(f'<div class="figure" id="fig-{_esc(name)}">')
+            out.append(figure_svgs[name])
+            out.append("</div>")
+        elif name in figure_errors:
+            out.append(
+                f'<p id="fig-{_esc(name)}">figure <code>{_esc(name)}</code> '
+                f"not rendered: {_esc(figure_errors[name])}</p>"
+            )
+
+    # Alerts --------------------------------------------------------------
+    out.append("<h2>Anomaly alerts</h2>")
+    if len(alerts):
+        out.append(_frame_table(alerts, ("detector", "alerts", "cells")))
+        alert_cells = data.frame.filter(
+            lambda r: bool(r["alerts_total"])
+        )
+        rows = [
+            [r["cell_id"], r["alerts_total"],
+             ", ".join(f"{k}={v}" for k, v in sorted(r["alerts"].items()))]
+            for r in alert_cells.rows()
+        ]
+        out.append(_table(["cell", "alerts", "by detector"], rows))
+    else:
+        out.append('<p class="ok">No anomaly-detector alerts.</p>')
+
+    # Flight dumps --------------------------------------------------------
+    out.append("<h2>Flight-recorder dumps</h2>")
+    if dumps:
+        rows = []
+        for entry in dumps:
+            links = ", ".join(
+                f'<a href="{html.escape(_relative_link(p, base), quote=True)}">'
+                f"{_esc(pathlib.Path(p).name)}</a>"
+                for p in entry["flight_dumps"]  # type: ignore[union-attr]
+            )
+            rows.append(
+                f"<tr><td>{_esc(entry['cell_id'])}</td>"
+                f"<td>{_esc(entry['status'])}</td><td>{links}</td></tr>"
+            )
+        out.append(
+            "<table><thead><tr><th>cell</th><th>status</th>"
+            "<th>black-box dumps</th></tr></thead><tbody>"
+            + "".join(rows)
+            + "</tbody></table>"
+        )
+    else:
+        out.append('<p class="ok">No black-box dumps were written.</p>')
+
+    # Failures ------------------------------------------------------------
+    out.append("<h2>Failures</h2>")
+    if len(failed):
+        rows = [
+            [r["cell_id"], r["attempts"], r["error"]]
+            for r in failed.sort_by("cell_id").rows()
+        ]
+        out.append(_table(["cell", "attempts", "error"], rows))
+    else:
+        out.append('<p class="ok">Every recorded cell succeeded.</p>')
+
+    out.append(
+        "<footer>Generated by <code>python -m repro.experiments analyze"
+        "</code> — repro campaign analytics.</footer>"
+    )
+    out.append("</body></html>")
+    return "\n".join(out)
+
+
+def write_dashboard(
+    directory: Union[str, pathlib.Path],
+    out_path: Optional[Union[str, pathlib.Path]] = None,
+    *,
+    figure_svgs: Optional[Dict[str, str]] = None,
+    figure_errors: Optional[Dict[str, str]] = None,
+) -> pathlib.Path:
+    """Load a campaign directory and write its dashboard HTML."""
+    data = load_campaign(directory)
+    out_path = (
+        pathlib.Path(out_path)
+        if out_path is not None
+        else data.directory / "dashboard.html"
+    )
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(
+        build_dashboard(
+            data,
+            figure_svgs=figure_svgs,
+            figure_errors=figure_errors,
+            base_dir=out_path.parent,
+        )
+    )
+    return out_path

@@ -1,0 +1,150 @@
+"""Campaign-level metrics export through the telemetry exporters.
+
+Long-running sweeps need to be observable *while still in flight*:
+:func:`campaign_metrics_registry` folds campaign aggregates (coverage,
+alert totals, throughput/ETA, per-scenario accuracy) into the existing
+:class:`~repro.telemetry.registry.MetricsRegistry`, so its JSONL / CSV /
+Prometheus exporters serve campaign progress exactly like per-run
+telemetry. The runner re-exports into ``<out>/metrics/`` on an interval
+as records land; point a Prometheus file scraper (or ``watch cat``) at
+``metrics.prom`` to follow a million-cell sweep live.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict, List, Optional, Union
+
+from repro.analysis.campaigns.frame import Frame
+from repro.analysis.campaigns.loader import (
+    CampaignData,
+    expected_cell_count,
+    load_campaign,
+    normalize_record,
+)
+from repro.analysis.campaigns.summary import (
+    alert_summary,
+    coverage_summary,
+    progress_stats,
+    scenario_summary,
+)
+from repro.telemetry.registry import MetricsRegistry
+
+
+def campaign_metrics_registry(data: CampaignData) -> MetricsRegistry:
+    """Aggregate a loaded campaign into a metrics registry."""
+    registry = MetricsRegistry()
+    coverage = coverage_summary(data)
+    cells = registry.gauge(
+        "campaign_cells", "campaign cells by status (expected/recorded/ok/failed)"
+    )
+    for key in ("expected", "recorded", "ok", "failed", "missing", "duplicates"):
+        value = coverage.get(key)
+        if value is not None:
+            cells.set(float(value), status=key, campaign=data.name)
+
+    progress = progress_stats(data)
+    gauges = {
+        "campaign_progress_fraction": (
+            None
+            if not coverage["expected"]
+            else coverage["recorded"] / coverage["expected"]
+        ),
+        "campaign_cells_per_sec": progress.get("cells_per_sec"),
+        "campaign_eta_seconds": progress.get("eta_s"),
+        "campaign_mean_cell_wall_seconds": progress.get("mean_wall_s"),
+        "campaign_elapsed_seconds": progress.get("elapsed_s"),
+    }
+    for name, value in gauges.items():
+        if value is not None:
+            registry.gauge(name).set(float(value), campaign=data.name)
+
+    alerts = registry.counter(
+        "campaign_alerts_total", "anomaly-detector alerts across all cells"
+    )
+    for row in alert_summary(data.frame).rows():
+        alerts.inc(
+            float(row["alerts"]),  # type: ignore[arg-type]
+            detector=str(row["detector"]),
+            campaign=data.name,
+        )
+    dumps_total = sum(
+        v
+        for v in data.frame.column("n_flight_dumps")
+        if isinstance(v, (int, float))
+    )
+    registry.counter(
+        "campaign_flight_dumps_total", "black-box dumps across all cells"
+    ).inc(float(dumps_total), campaign=data.name)
+
+    converged = registry.gauge(
+        "campaign_scenario_converged_runs", "converged seeds per scenario"
+    )
+    error = registry.gauge(
+        "campaign_scenario_median_final_error",
+        "median final max error per scenario",
+    )
+    recovery = registry.gauge(
+        "campaign_scenario_mean_recovery_rounds",
+        "censored mean recovery rounds per scenario",
+    )
+    for row in scenario_summary(data.ok).rows():
+        labels = {
+            "algorithm": str(row["algorithm"]),
+            "topology": str(row["topology"]),
+            "fault": str(row["fault"]),
+        }
+        k = str(row["converged"]).partition("/")[0]
+        converged.set(float(k or 0), **labels)
+        if row["median_final_error"] is not None:
+            error.set(float(row["median_final_error"]), **labels)  # type: ignore[arg-type]
+        if row["mean_recovery_rounds"] is not None:
+            recovery.set(float(row["mean_recovery_rounds"]), **labels)  # type: ignore[arg-type]
+
+    wall = registry.histogram(
+        "campaign_cell_wall_seconds", "per-cell wall time distribution"
+    )
+    for value in data.frame.column("wall_s"):
+        if isinstance(value, (int, float)):
+            wall.observe(float(value), campaign=data.name)
+    return registry
+
+
+def export_campaign_metrics(
+    directory: Union[str, pathlib.Path],
+    out_dir: Optional[Union[str, pathlib.Path]] = None,
+) -> pathlib.Path:
+    """Load a campaign directory and dump metrics.{jsonl,csv,prom}."""
+    data = load_campaign(directory)
+    target = (
+        pathlib.Path(out_dir)
+        if out_dir is not None
+        else data.directory / "metrics"
+    )
+    return campaign_metrics_registry(data).dump(target)
+
+
+def export_records_metrics(
+    records: List[Dict[str, object]],
+    *,
+    name: str,
+    spec: Optional[Dict[str, object]],
+    out_dir: Union[str, pathlib.Path],
+) -> pathlib.Path:
+    """In-flight export for the runner: raw record dicts -> metrics dump.
+
+    The runner holds the records it has appended so far in memory; this
+    avoids re-reading results.jsonl on every export tick.
+    """
+    frame = Frame.from_records(
+        [normalize_record(dict(r)) for r in records],
+    )
+    data = CampaignData(
+        directory=pathlib.Path(out_dir),
+        frame=frame,
+        spec=spec if spec is not None else {"name": name},
+        expected_cells=expected_cell_count(spec),
+        duplicates=0,
+        skipped_lines=0,
+    )
+    return campaign_metrics_registry(data).dump(out_dir)

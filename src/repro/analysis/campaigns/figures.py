@@ -1,0 +1,479 @@
+"""Named-figure registry: campaign dataframes -> declarative figure specs.
+
+Every entry in :data:`FIGURES` maps a figure name to a generator taking a
+loaded :class:`~repro.analysis.campaigns.loader.CampaignData` and
+returning a :class:`FigureSpec` — a *declarative* description (series,
+axes, scales) that the rendering layer turns into matplotlib output when
+available or a built-in SVG otherwise. Keeping specs declarative is what
+lets the same figure definitions drive both backends and makes every
+figure unit-testable without a plotting dependency.
+
+The registry regenerates the paper's campaign-visible figures (the
+accuracy-vs-scale curves of Figs. 3/6, the link-failure fallback of
+Figs. 4/7) plus the dynamic-network figures the Minho papers motivate
+(churn grid, partition-heal reconvergence, mass-drift floor). DESIGN.md
+carries the full name -> columns -> paper-figure table.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.campaigns.frame import Frame
+from repro.analysis.campaigns.loader import CampaignData
+from repro.exceptions import ExperimentError
+from repro.util.stats import finite_mean, finite_median
+
+
+@dataclasses.dataclass
+class Series:
+    """One plotted series: numeric x/y for lines, category-aligned y for bars."""
+
+    label: str
+    y: List[Optional[float]]
+    x: Optional[List[float]] = None  # line figures only
+
+
+@dataclasses.dataclass
+class FigureSpec:
+    """Declarative figure: what to draw, not how to draw it."""
+
+    name: str
+    title: str
+    kind: str  # "line" | "bar" | "heatmap"
+    xlabel: str = ""
+    ylabel: str = ""
+    series: List[Series] = dataclasses.field(default_factory=list)
+    categories: List[str] = dataclasses.field(default_factory=list)  # bar
+    row_labels: List[str] = dataclasses.field(default_factory=list)  # heatmap
+    col_labels: List[str] = dataclasses.field(default_factory=list)  # heatmap
+    values: List[List[Optional[float]]] = dataclasses.field(
+        default_factory=list
+    )  # heatmap
+    ylog: bool = False
+    xlog: bool = False
+    caption: str = ""
+    paper_figure: str = ""
+
+
+FigureGenerator = Callable[[CampaignData], FigureSpec]
+
+#: The named-figure registry: ``python -m repro.experiments analyze`` and
+#: the dashboard iterate this.
+FIGURES: Dict[str, FigureGenerator] = {}
+
+#: name -> (paper figure reproduced, source dataframe columns) — the
+#: DESIGN.md table is generated from the same metadata.
+FIGURE_INFO: Dict[str, Tuple[str, Tuple[str, ...]]] = {}
+
+
+def register_figure(
+    name: str, *, paper: str, columns: Tuple[str, ...]
+) -> Callable[[FigureGenerator], FigureGenerator]:
+    def wrap(func: FigureGenerator) -> FigureGenerator:
+        if name in FIGURES:
+            raise ExperimentError(f"figure {name!r} registered twice")
+        FIGURES[name] = func
+        FIGURE_INFO[name] = (paper, columns)
+        return func
+
+    return wrap
+
+
+def _numbers(values: Sequence[object]) -> List[float]:
+    return [float(v) for v in values if isinstance(v, (int, float))]
+
+
+def _require_ok(data: CampaignData, name: str) -> Frame:
+    ok = data.ok
+    if len(ok) == 0:
+        raise ExperimentError(
+            f"figure {name!r}: campaign {data.name!r} has no successful cells"
+        )
+    return ok
+
+
+def _fault_order(ok: Frame) -> List[str]:
+    return [str(f) for f in ok.unique("fault")]
+
+
+# ----------------------------------------------------------------------
+# Paper figures, regenerated from campaign output
+# ----------------------------------------------------------------------
+@register_figure(
+    "accuracy-vs-scale",
+    paper="Figs. 3 & 6 (achievable accuracy vs problem size)",
+    columns=("algorithm", "n", "final_error"),
+)
+def accuracy_vs_scale(data: CampaignData) -> FigureSpec:
+    """Median final error against network size, one curve per algorithm."""
+    ok = _require_ok(data, "accuracy-vs-scale")
+    series: List[Series] = []
+    for (algorithm,), group in ok.groupby("algorithm"):
+        points: List[Tuple[float, float]] = []
+        for (n,), sub in group.groupby("n"):
+            if n is None:
+                continue
+            med = finite_median(_numbers(sub.column("final_error")))
+            if med is not None:
+                points.append((float(n), med))  # type: ignore[arg-type]
+        if points:
+            points.sort()
+            series.append(
+                Series(
+                    label=str(algorithm),
+                    x=[p[0] for p in points],
+                    y=[p[1] for p in points],
+                )
+            )
+    if not series:
+        raise ExperimentError(
+            "figure 'accuracy-vs-scale': no finite final_error values"
+        )
+    return FigureSpec(
+        name="accuracy-vs-scale",
+        title="Achievable accuracy vs network size",
+        kind="line",
+        xlabel="nodes n",
+        ylabel="median final max error",
+        series=series,
+        ylog=True,
+        caption=(
+            "Median oracle-relative final error per algorithm and size, "
+            "aggregated over seeds and fault scenarios (paper Figs. 3/6)."
+        ),
+        paper_figure="Figs. 3 & 6",
+    )
+
+
+@register_figure(
+    "convergence-rounds",
+    paper="Fig. 2 (cost of reaching tolerance, per scenario)",
+    columns=("algorithm", "fault", "rounds_to_tolerance"),
+)
+def convergence_rounds(data: CampaignData) -> FigureSpec:
+    """Mean rounds-to-tolerance per algorithm across fault scenarios."""
+    ok = _require_ok(data, "convergence-rounds")
+    faults = _fault_order(ok)
+    series = []
+    for (algorithm,), group in ok.groupby("algorithm"):
+        row: List[Optional[float]] = []
+        for fault in faults:
+            sub = group.where(fault=fault)
+            row.append(
+                finite_mean(_numbers(sub.column("rounds_to_tolerance")))
+            )
+        series.append(Series(label=str(algorithm), y=row))
+    return FigureSpec(
+        name="convergence-rounds",
+        title="Rounds to tolerance by fault scenario",
+        kind="bar",
+        xlabel="fault scenario",
+        ylabel="mean rounds to ε",
+        categories=faults,
+        series=series,
+        caption=(
+            "Mean rounds until the max error first drops below the "
+            "campaign ε; cells that never reach it are excluded."
+        ),
+        paper_figure="Fig. 2",
+    )
+
+
+@register_figure(
+    "recovery-rounds",
+    paper="Fig. 4 (PF fallback) vs Fig. 7 (PCF resilience)",
+    columns=("algorithm", "fault", "recovery_rounds", "recovered"),
+)
+def recovery_rounds(data: CampaignData) -> FigureSpec:
+    """Censored mean recovery cost after the fault event, per scenario."""
+    ok = _require_ok(data, "recovery-rounds")
+    with_event = ok.filter(lambda r: r["event_round"] is not None)
+    if len(with_event) == 0:
+        raise ExperimentError(
+            "figure 'recovery-rounds': no cells carry a fault event "
+            "(fault-free campaign?)"
+        )
+    faults = _fault_order(with_event)
+    series = []
+    unrecovered_total = 0
+    for (algorithm,), group in with_event.groupby("algorithm"):
+        row: List[Optional[float]] = []
+        for fault in faults:
+            sub = group.where(fault=fault)
+            row.append(finite_mean(_numbers(sub.column("recovery_rounds"))))
+            unrecovered_total += sum(
+                1 for v in sub.column("recovered") if v is False
+            )
+        series.append(Series(label=str(algorithm), y=row))
+    return FigureSpec(
+        name="recovery-rounds",
+        title="Recovery rounds after the fault event",
+        kind="bar",
+        xlabel="fault scenario",
+        ylabel="mean recovery rounds (censored)",
+        categories=faults,
+        series=series,
+        caption=(
+            "Rounds to regain pre-event accuracy, censored at the "
+            f"remaining budget when never regained ({unrecovered_total} "
+            "unrecovered runs in this campaign) — the Fig. 4 vs Fig. 7 "
+            "headline contrast."
+        ),
+        paper_figure="Figs. 4 & 7",
+    )
+
+
+@register_figure(
+    "fallback-jump",
+    paper="Figs. 4 & 7 (error jump at the failure instant)",
+    columns=("algorithm", "fault", "jump_factor"),
+)
+def fallback_jump(data: CampaignData) -> FigureSpec:
+    """Mean error jump factor at the fault event: PF large, PCF ~1."""
+    ok = _require_ok(data, "fallback-jump")
+    with_event = ok.filter(lambda r: r["event_round"] is not None)
+    if len(with_event) == 0:
+        raise ExperimentError(
+            "figure 'fallback-jump': no cells carry a fault event"
+        )
+    faults = _fault_order(with_event)
+    series = []
+    for (algorithm,), group in with_event.groupby("algorithm"):
+        row: List[Optional[float]] = []
+        for fault in faults:
+            sub = group.where(fault=fault)
+            row.append(finite_mean(_numbers(sub.column("jump_factor"))))
+        series.append(Series(label=str(algorithm), y=row))
+    return FigureSpec(
+        name="fallback-jump",
+        title="Error jump factor at the fault event",
+        kind="bar",
+        xlabel="fault scenario",
+        ylabel="mean jump factor",
+        categories=faults,
+        series=series,
+        ylog=True,
+        caption=(
+            "How far the max error jumps when the fault lands (post/pre "
+            "ratio): PF re-pays its convergence, PCF stays near 1."
+        ),
+        paper_figure="Figs. 4 & 7",
+    )
+
+
+# ----------------------------------------------------------------------
+# Dynamic-network figures (Minho papers; ROADMAP item 3 results section)
+# ----------------------------------------------------------------------
+@register_figure(
+    "churn-grid",
+    paper="new (Flow-Updating Meets Mass-Distribution, churn regime)",
+    columns=("algorithm", "fault", "converged"),
+)
+def churn_grid(data: CampaignData) -> FigureSpec:
+    """Convergence-fraction heatmap: algorithm x fault scenario."""
+    ok = _require_ok(data, "churn-grid")
+    algorithms = [str(a) for a in ok.unique("algorithm")]
+    faults = _fault_order(ok)
+    values: List[List[Optional[float]]] = []
+    for algorithm in algorithms:
+        row: List[Optional[float]] = []
+        for fault in faults:
+            sub = ok.where(algorithm=algorithm, fault=fault)
+            if len(sub) == 0:
+                row.append(None)
+            else:
+                conv = [bool(v) for v in sub.column("converged")]
+                row.append(sum(conv) / len(conv))
+        values.append(row)
+    return FigureSpec(
+        name="churn-grid",
+        title="Convergence fraction under dynamic faults",
+        kind="heatmap",
+        xlabel="fault scenario",
+        ylabel="algorithm",
+        row_labels=algorithms,
+        col_labels=faults,
+        values=values,
+        caption=(
+            "Fraction of seeds that reached the campaign ε per "
+            "(algorithm, fault) — the churn robustness gradient: push-sum "
+            "loses departed mass, PCF keeps a residual, PF reconverges."
+        ),
+        paper_figure="new (churn grid)",
+    )
+
+
+@register_figure(
+    "partition-heal-reconvergence",
+    paper="new (Dependability in Aggregation by Averaging, partition-heal)",
+    columns=("algorithm", "fault", "dynamics", "recovery_rounds", "recovered"),
+)
+def partition_heal_reconvergence(data: CampaignData) -> FigureSpec:
+    """Reconvergence cost after dynamic-topology events, per algorithm."""
+    ok = _require_ok(data, "partition-heal-reconvergence")
+    dynamic = ok.filter(
+        lambda r: r["dynamics"] is not None and r["event_round"] is not None
+    )
+    if len(dynamic) == 0:
+        raise ExperimentError(
+            "figure 'partition-heal-reconvergence': campaign has no "
+            "dynamic-topology cells (churn/partition/regional_outage)"
+        )
+    faults = _fault_order(dynamic)
+    algorithms = [str(a) for a in dynamic.unique("algorithm")]
+    series = []
+    for fault in faults:
+        row: List[Optional[float]] = []
+        for algorithm in algorithms:
+            sub = dynamic.where(algorithm=algorithm, fault=fault)
+            row.append(finite_mean(_numbers(sub.column("recovery_rounds"))))
+        series.append(Series(label=fault, y=row))
+    unrecovered = sum(
+        1 for v in dynamic.column("recovered") if v is False
+    )
+    return FigureSpec(
+        name="partition-heal-reconvergence",
+        title="Reconvergence after dynamic-topology events",
+        kind="bar",
+        xlabel="algorithm",
+        ylabel="mean rounds to regain accuracy (censored)",
+        categories=algorithms,
+        series=series,
+        caption=(
+            "Rounds from the last topology transition until pre-event "
+            f"accuracy returns ({unrecovered} runs never reconverged and "
+            "are censored at the remaining budget)."
+        ),
+        paper_figure="new (partition heal)",
+    )
+
+
+@register_figure(
+    "mass-drift-floor",
+    paper="new (finding F4: orphaned mass under churn)",
+    columns=("algorithm", "fault", "mass_drift_floor"),
+)
+def mass_drift_floor(data: CampaignData) -> FigureSpec:
+    """Persistent mass-conservation drift floor per algorithm x fault."""
+    ok = _require_ok(data, "mass-drift-floor")
+    faults = _fault_order(ok)
+    floor = 1e-16  # display clamp so exact-zero drift renders on a log axis
+    series = []
+    for (algorithm,), group in ok.groupby("algorithm"):
+        row: List[Optional[float]] = []
+        for fault in faults:
+            sub = group.where(fault=fault)
+            drifts = [
+                abs(v)
+                for v in _numbers(sub.column("mass_drift_floor"))
+                if math.isfinite(v)
+            ]
+            row.append(max(max(drifts), floor) if drifts else None)
+        series.append(Series(label=str(algorithm), y=row))
+    return FigureSpec(
+        name="mass-drift-floor",
+        title="Persistent mass-drift floor",
+        kind="bar",
+        xlabel="fault scenario",
+        ylabel="worst |mass drift floor|",
+        categories=faults,
+        series=series,
+        ylog=True,
+        caption=(
+            "Worst tail-minimum of global mass drift per scenario "
+            "(crossing spikes self-heal; a floor above ~1e-12 is genuine "
+            "mass loss — push-sum under loss/churn, PCF's orphaned "
+            "cancelled flows)."
+        ),
+        paper_figure="new (mass drift)",
+    )
+
+
+# ----------------------------------------------------------------------
+# Distribution + observability figures
+# ----------------------------------------------------------------------
+@register_figure(
+    "final-error-cdf",
+    paper="Figs. 3 & 6 (error distributions, CDF form)",
+    columns=("algorithm", "final_error"),
+)
+def final_error_cdf(data: CampaignData) -> FigureSpec:
+    """Empirical CDF of final errors, one curve per algorithm."""
+    ok = _require_ok(data, "final-error-cdf")
+    floor = 1e-17
+    series = []
+    for (algorithm,), group in ok.groupby("algorithm"):
+        errors = sorted(
+            max(v, floor)
+            for v in _numbers(group.column("final_error"))
+            if math.isfinite(v)
+        )
+        if not errors:
+            continue
+        n = len(errors)
+        series.append(
+            Series(
+                label=str(algorithm),
+                x=errors,
+                y=[(i + 1) / n for i in range(n)],
+            )
+        )
+    if not series:
+        raise ExperimentError(
+            "figure 'final-error-cdf': no finite final_error values"
+        )
+    return FigureSpec(
+        name="final-error-cdf",
+        title="Final-error distribution",
+        kind="line",
+        xlabel="final max error",
+        ylabel="fraction of runs ≤ x",
+        series=series,
+        xlog=True,
+        caption="Empirical CDF over every successful cell of the campaign.",
+        paper_figure="Figs. 3 & 6",
+    )
+
+
+@register_figure(
+    "cell-wall-time",
+    paper="new (observability: campaign cost profile)",
+    columns=("algorithm", "engine", "wall_s"),
+)
+def cell_wall_time(data: CampaignData) -> FigureSpec:
+    """Mean per-cell wall time by algorithm and engine."""
+    ok = _require_ok(data, "cell-wall-time")
+    algorithms = [str(a) for a in ok.unique("algorithm")]
+    series = []
+    for (engine,), group in ok.groupby("engine"):
+        row: List[Optional[float]] = []
+        for algorithm in algorithms:
+            sub = group.where(algorithm=algorithm)
+            row.append(finite_mean(_numbers(sub.column("wall_s"))))
+        series.append(Series(label=str(engine), y=row))
+    return FigureSpec(
+        name="cell-wall-time",
+        title="Per-cell wall time",
+        kind="bar",
+        xlabel="algorithm",
+        ylabel="mean wall seconds per cell",
+        categories=algorithms,
+        series=series,
+        caption=(
+            "Execution cost per campaign cell — the number that sets "
+            "sweep throughput and the dashboard's ETA."
+        ),
+        paper_figure="new (cost profile)",
+    )
+
+
+def generate_figure(name: str, data: CampaignData) -> FigureSpec:
+    """Look up and run one registered generator."""
+    if name not in FIGURES:
+        raise ExperimentError(
+            f"unknown figure {name!r}; registered: {sorted(FIGURES)}"
+        )
+    return FIGURES[name](data)

@@ -1,0 +1,197 @@
+"""A small columnar table for campaign analytics.
+
+Campaign analysis wants dataframe ergonomics — column selection, row
+filtering, group-by aggregation — but the repo must stay runnable in a
+bare NumPy environment. :class:`Frame` is a deliberately tiny columnar
+container covering exactly the operations the analysis layer uses; when
+pandas *is* installed, :meth:`Frame.to_pandas` hands the same columns to a
+real ``DataFrame`` for ad-hoc exploration. Every summary number the
+analysis layer reports is computed on :class:`Frame` itself, so results
+are identical with and without pandas.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.exceptions import ExperimentError
+
+
+def pandas_available() -> bool:
+    """True when pandas can be imported (checked lazily, never required)."""
+    try:
+        import pandas  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+class Frame:
+    """An ordered mapping of equally long columns.
+
+    Columns are plain Python lists (records carry mixed types — strings,
+    bools, floats, None), which keeps construction cheap for the tens of
+    thousands of rows a large campaign produces while staying trivially
+    serializable.
+    """
+
+    def __init__(self, columns: Dict[str, List[object]]) -> None:
+        lengths = {name: len(values) for name, values in columns.items()}
+        if len(set(lengths.values())) > 1:
+            raise ExperimentError(
+                f"frame columns have unequal lengths: {lengths}"
+            )
+        self._columns: Dict[str, List[object]] = dict(columns)
+        self._length = next(iter(lengths.values()), 0)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_records(
+        cls,
+        records: Sequence[Dict[str, object]],
+        columns: Optional[Sequence[str]] = None,
+    ) -> "Frame":
+        """Build from row dicts; missing keys become None.
+
+        ``columns`` fixes the column set and order; by default it is the
+        union of keys in first-seen order, so mixed-era record sets still
+        produce one rectangular table.
+        """
+        if columns is None:
+            seen: Dict[str, None] = {}
+            for record in records:
+                for key in record:
+                    seen.setdefault(key, None)
+            columns = list(seen)
+        data: Dict[str, List[object]] = {
+            name: [record.get(name) for record in records]
+            for name in columns
+        }
+        return cls(data)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def columns(self) -> Tuple[str, ...]:
+        return tuple(self._columns)
+
+    def column(self, name: str) -> List[object]:
+        if name not in self._columns:
+            raise ExperimentError(
+                f"frame has no column {name!r}; columns: {self.columns}"
+            )
+        return self._columns[name]
+
+    def row(self, index: int) -> Dict[str, object]:
+        return {name: values[index] for name, values in self._columns.items()}
+
+    def rows(self) -> Iterator[Dict[str, object]]:
+        for index in range(self._length):
+            yield self.row(index)
+
+    def unique(self, name: str) -> List[object]:
+        """Distinct values of a column, sorted by string form (stable)."""
+        return sorted(set(self.column(name)), key=str)
+
+    # ------------------------------------------------------------------
+    # Transformation
+    # ------------------------------------------------------------------
+    def select(self, *names: str) -> "Frame":
+        return Frame({name: self.column(name) for name in names})
+
+    def with_column(self, name: str, values: Sequence[object]) -> "Frame":
+        if len(values) != self._length:
+            raise ExperimentError(
+                f"column {name!r} has {len(values)} values, frame has "
+                f"{self._length} rows"
+            )
+        data = dict(self._columns)
+        data[name] = list(values)
+        return Frame(data)
+
+    def filter(self, predicate: Callable[[Dict[str, object]], bool]) -> "Frame":
+        keep = [i for i in range(self._length) if predicate(self.row(i))]
+        return self._take(keep)
+
+    def where(self, **equals: object) -> "Frame":
+        """Rows where every named column equals the given value."""
+        cols = {name: self.column(name) for name in equals}
+        keep = [
+            i
+            for i in range(self._length)
+            if all(cols[name][i] == value for name, value in equals.items())
+        ]
+        return self._take(keep)
+
+    def sort_by(self, *names: str) -> "Frame":
+        """Rows ordered by the string form of the named columns (total order
+        over the mixed types a record column may hold)."""
+        cols = [self.column(name) for name in names]
+        order = sorted(
+            range(self._length),
+            key=lambda i: tuple(str(col[i]) for col in cols),
+        )
+        return self._take(order)
+
+    def _take(self, indices: Sequence[int]) -> "Frame":
+        return Frame(
+            {
+                name: [values[i] for i in indices]
+                for name, values in self._columns.items()
+            }
+        )
+
+    def groupby(
+        self, *names: str
+    ) -> List[Tuple[Tuple[object, ...], "Frame"]]:
+        """Group rows by the named columns; groups sorted by key strings."""
+        cols = [self.column(name) for name in names]
+        groups: Dict[Tuple[object, ...], List[int]] = {}
+        for i in range(self._length):
+            key = tuple(col[i] for col in cols)
+            groups.setdefault(key, []).append(i)
+        ordered = sorted(groups, key=lambda key: tuple(str(k) for k in key))
+        return [(key, self._take(groups[key])) for key in ordered]
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def to_csv(self) -> str:
+        import csv
+        import io
+
+        buf = io.StringIO()
+        writer = csv.writer(buf)
+        writer.writerow(self.columns)
+        for row in zip(*self._columns.values()) if self._columns else ():
+            writer.writerow(["" if v is None else v for v in row])
+        return buf.getvalue()
+
+    def to_pandas(self):
+        """The same columns as a pandas DataFrame (optional dependency)."""
+        try:
+            import pandas
+        except ImportError:
+            raise ExperimentError(
+                "pandas is not installed; Frame itself covers every "
+                "aggregation the analysis layer performs — to_pandas is "
+                "only for ad-hoc exploration"
+            ) from None
+        return pandas.DataFrame(self._columns)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Frame({self._length} rows x {len(self._columns)} cols)"

@@ -1,0 +1,236 @@
+"""Load a campaign directory into a normalized, schema-versioned Frame.
+
+``results.jsonl`` has grown across PRs: early records had no anomaly-alert
+or flight-dump fields (pre-tracing), later ones gained ``dynamics``
+metadata, and the current runner stamps ``recorded_at`` on every line.
+Resumed campaigns can also append a cell id twice. The loader absorbs all
+of that:
+
+- every record is normalized to one fixed column set (missing fields get
+  typed defaults) and tagged with the ``schema_era`` it was written under;
+- duplicate cell ids keep the **latest** record, exactly matching
+  :func:`repro.campaigns.runner.load_results` (and the count of shadowed
+  records is reported, since it is a resume-health signal);
+- tagged non-finite values (``"nan"``/``"inf"``/``"-inf"``, written by the
+  runner's JSONL sanitizer) come back as real floats.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.analysis.campaigns.frame import Frame
+from repro.campaigns.runner import as_float
+from repro.exceptions import ExperimentError
+
+#: Version of the normalized column set this loader emits.
+SCHEMA_VERSION = 4
+
+#: Eras of results.jsonl records, detected per record from key presence.
+ERA_PRE_TRACING = 1  # no alerts / flight_dumps (pre anomaly detectors)
+ERA_PRE_DYNAMICS = 2  # alerts present, no dynamics metadata
+ERA_DYNAMICS = 3  # dynamics present, no recorded_at timestamp
+ERA_TIMESTAMPED = 4  # current: recorded_at stamped at append time
+
+_STR_COLUMNS = ("cell_id", "status", "algorithm", "topology", "fault", "engine")
+_INT_COLUMNS = (
+    "seed",
+    "n",
+    "rounds",
+    "rounds_to_tolerance",
+    "event_round",
+    "mass_violations",
+    "attempts",
+    "alerts_total",
+    "messages_sent",
+    "messages_delivered",
+)
+_FLOAT_COLUMNS = (
+    "epsilon",
+    "final_error",
+    "best_error",
+    "recovery_rounds",
+    "jump_factor",
+    "restart_fraction",
+    "mass_drift_final",
+    "mass_drift_floor",
+    "mass_drift_worst",
+    "wall_s",
+    "recorded_at",
+)
+_BOOL_COLUMNS = ("converged", "recovered")
+
+#: Full normalized column order (the loader's public schema).
+COLUMNS: Tuple[str, ...] = (
+    _STR_COLUMNS
+    + _INT_COLUMNS
+    + _FLOAT_COLUMNS
+    + _BOOL_COLUMNS
+    + ("alerts", "flight_dumps", "n_flight_dumps", "dynamics", "error", "schema_era")
+)
+
+
+def record_era(raw: Dict[str, object]) -> int:
+    """Which era of the results schema wrote this record."""
+    if "recorded_at" in raw:
+        return ERA_TIMESTAMPED
+    if "dynamics" in raw:
+        return ERA_DYNAMICS
+    if "alerts" in raw or "alerts_total" in raw or "flight_dumps" in raw:
+        return ERA_PRE_DYNAMICS
+    return ERA_PRE_TRACING
+
+
+def _opt_int(value: object) -> Optional[int]:
+    if value is None:
+        return None
+    try:
+        return int(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return None
+
+
+def _opt_float(value: object) -> Optional[float]:
+    if value is None:
+        return None
+    try:
+        return as_float(value)
+    except (TypeError, ValueError):
+        return None
+
+
+def normalize_record(raw: Dict[str, object]) -> Dict[str, object]:
+    """One raw results.jsonl record -> the fixed COLUMNS schema."""
+    out: Dict[str, object] = {}
+    for name in _STR_COLUMNS:
+        value = raw.get(name)
+        out[name] = None if value is None else str(value)
+    if out["engine"] is None:
+        out["engine"] = "object"  # pre-batched records ran the object engine
+    for name in _INT_COLUMNS:
+        out[name] = _opt_int(raw.get(name))
+    if out["alerts_total"] is None:
+        out["alerts_total"] = 0
+    for name in _FLOAT_COLUMNS:
+        out[name] = _opt_float(raw.get(name))
+    for name in _BOOL_COLUMNS:
+        value = raw.get(name)
+        out[name] = None if value is None else bool(value)
+    alerts = raw.get("alerts")
+    out["alerts"] = dict(alerts) if isinstance(alerts, dict) else {}
+    dumps = raw.get("flight_dumps")
+    out["flight_dumps"] = (
+        [str(p) for p in dumps] if isinstance(dumps, list) else []
+    )
+    out["n_flight_dumps"] = len(out["flight_dumps"])  # type: ignore[arg-type]
+    dynamics = raw.get("dynamics")
+    out["dynamics"] = dict(dynamics) if isinstance(dynamics, dict) else None
+    error = raw.get("error")
+    out["error"] = None if error is None else str(error)
+    out["schema_era"] = record_era(raw)
+    return out
+
+
+@dataclasses.dataclass
+class CampaignData:
+    """A loaded campaign: normalized cell table plus directory metadata."""
+
+    directory: pathlib.Path
+    frame: Frame
+    spec: Optional[Dict[str, object]]
+    expected_cells: Optional[int]
+    duplicates: int
+    skipped_lines: int
+    schema_version: int = SCHEMA_VERSION
+
+    @property
+    def name(self) -> str:
+        if self.spec and self.spec.get("name"):
+            return str(self.spec["name"])
+        return self.directory.name
+
+    @property
+    def ok(self) -> Frame:
+        return self.frame.where(status="ok")
+
+    @property
+    def failed(self) -> Frame:
+        return self.frame.filter(lambda r: r["status"] != "ok")
+
+
+def load_records(
+    path: Union[str, pathlib.Path],
+) -> Tuple[List[Dict[str, object]], int, int]:
+    """Read a results.jsonl: (deduped normalized records, duplicates, skipped).
+
+    Latest record per cell id wins (the resume contract of
+    :func:`repro.campaigns.runner.load_results`); unparseable or
+    id-less lines are skipped, as a crash may truncate the final line.
+    """
+    path = pathlib.Path(path)
+    by_cell: Dict[str, Dict[str, object]] = {}
+    duplicates = 0
+    skipped = 0
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            raw = json.loads(line)
+        except json.JSONDecodeError:
+            skipped += 1
+            continue
+        if not isinstance(raw, dict) or "cell_id" not in raw:
+            skipped += 1
+            continue
+        cell_id = str(raw["cell_id"])
+        if cell_id in by_cell:
+            duplicates += 1
+        by_cell[cell_id] = normalize_record(raw)
+    return list(by_cell.values()), duplicates, skipped
+
+
+def expected_cell_count(spec: Optional[Dict[str, object]]) -> Optional[int]:
+    """Grid size implied by a campaign.json dict (None when unknowable)."""
+    if not spec:
+        return None
+    try:
+        return (
+            len(spec["algorithms"])  # type: ignore[arg-type]
+            * len(spec["topologies"])  # type: ignore[arg-type]
+            * len(spec["faults"])  # type: ignore[arg-type]
+            * len(spec["seeds"])  # type: ignore[arg-type]
+        )
+    except (KeyError, TypeError):
+        return None
+
+
+def load_campaign(directory: Union[str, pathlib.Path]) -> CampaignData:
+    """Load ``directory/results.jsonl`` (+ campaign.json) into a CampaignData."""
+    directory = pathlib.Path(directory)
+    results_path = directory / "results.jsonl"
+    if not results_path.exists():
+        raise ExperimentError(
+            f"{directory} has no results.jsonl — not a campaign directory?"
+        )
+    records, duplicates, skipped = load_records(results_path)
+    spec: Optional[Dict[str, object]] = None
+    spec_path = directory / "campaign.json"
+    if spec_path.exists():
+        try:
+            loaded = json.loads(spec_path.read_text())
+        except json.JSONDecodeError:
+            loaded = None
+        if isinstance(loaded, dict):
+            spec = loaded
+    return CampaignData(
+        directory=directory,
+        frame=Frame.from_records(records, columns=COLUMNS),
+        spec=spec,
+        expected_cells=expected_cell_count(spec),
+        duplicates=duplicates,
+        skipped_lines=skipped,
+    )

@@ -1,0 +1,531 @@
+"""Render FigureSpecs: matplotlib (publication theme) or built-in SVG.
+
+Two backends, one declarative input:
+
+- With matplotlib installed, :func:`render_figure` draws through it under
+  :data:`PUBLICATION_RC` (serif text, thin spines, subtle grid — the
+  paper-figure look) and writes PNG + SVG.
+- Without it, a small built-in SVG renderer covers the three spec kinds
+  (line, bar, heatmap) with log axes, legends and value labels. The
+  dashboard always embeds the built-in SVG so its HTML is byte-stable
+  across environments and fully self-contained.
+"""
+
+from __future__ import annotations
+
+import math
+import pathlib
+from typing import List, Optional, Sequence, Tuple, Union
+from xml.sax.saxutils import escape
+
+from repro.analysis.campaigns.figures import FigureSpec
+from repro.exceptions import ExperimentError
+
+#: Categorical palette (colorblind-safe Okabe-Ito ordering).
+PALETTE = (
+    "#0072B2",
+    "#D55E00",
+    "#009E73",
+    "#CC79A7",
+    "#E69F00",
+    "#56B4E9",
+    "#F0E442",
+    "#000000",
+)
+
+#: Publication matplotlib theme, applied around every mpl render.
+PUBLICATION_RC = {
+    "figure.figsize": (6.4, 4.2),
+    "figure.dpi": 150,
+    "font.family": "serif",
+    "font.size": 10,
+    "axes.titlesize": 11,
+    "axes.labelsize": 10,
+    "axes.spines.top": False,
+    "axes.spines.right": False,
+    "axes.grid": True,
+    "grid.alpha": 0.3,
+    "grid.linewidth": 0.5,
+    "legend.frameon": False,
+    "legend.fontsize": 9,
+    "lines.linewidth": 1.4,
+    "lines.markersize": 4,
+    "savefig.bbox": "tight",
+}
+
+
+def matplotlib_available() -> bool:
+    try:
+        import matplotlib  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Built-in SVG backend
+# ----------------------------------------------------------------------
+_W, _H = 660, 420
+_ML, _MR, _MT, _MB = 76, 150, 46, 60  # margins: left/right/top/bottom
+
+
+def _fmt(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1e4 or abs(value) < 1e-3:
+        exponent = math.floor(math.log10(abs(value)))
+        mantissa = value / 10.0**exponent
+        if abs(mantissa - 1.0) < 1e-9:
+            return f"1e{exponent:d}"
+        return f"{mantissa:.3g}e{exponent:d}"
+    return f"{value:.4g}"
+
+
+class _Scale:
+    """Maps data values onto pixel coordinates, linear or log10."""
+
+    def __init__(
+        self,
+        lo: float,
+        hi: float,
+        pix_lo: float,
+        pix_hi: float,
+        *,
+        log: bool = False,
+    ) -> None:
+        if log:
+            lo = math.log10(lo)
+            hi = math.log10(hi)
+        if hi <= lo:  # degenerate range: pad symmetrically
+            pad = max(abs(lo) * 0.5, 1.0)
+            lo, hi = lo - pad, hi + pad
+        self.lo, self.hi = lo, hi
+        self.pix_lo, self.pix_hi = pix_lo, pix_hi
+        self.log = log
+
+    def __call__(self, value: float) -> float:
+        v = math.log10(value) if self.log else value
+        frac = (v - self.lo) / (self.hi - self.lo)
+        return self.pix_lo + frac * (self.pix_hi - self.pix_lo)
+
+    def ticks(self, target: int = 5) -> List[float]:
+        if self.log:
+            first = math.ceil(self.lo - 1e-9)
+            last = math.floor(self.hi + 1e-9)
+            decades = list(range(first, last + 1))
+            stride = max(1, math.ceil(len(decades) / max(target, 2)))
+            return [10.0**d for d in decades[::stride]]
+        span = self.hi - self.lo
+        raw = span / max(target, 2)
+        mag = 10.0 ** math.floor(math.log10(raw)) if raw > 0 else 1.0
+        for mult in (1.0, 2.0, 2.5, 5.0, 10.0):
+            if raw <= mult * mag:
+                step = mult * mag
+                break
+        first = math.ceil(self.lo / step) * step
+        ticks = []
+        t = first
+        while t <= self.hi + step * 1e-9:
+            ticks.append(0.0 if abs(t) < step * 1e-9 else t)
+            t += step
+        return ticks
+
+
+def _finite(values: Sequence[Optional[float]]) -> List[float]:
+    return [
+        v
+        for v in values
+        if isinstance(v, (int, float)) and math.isfinite(v)
+    ]
+
+
+def _data_ranges(spec: FigureSpec) -> Tuple[List[float], List[float]]:
+    xs: List[float] = []
+    ys: List[float] = []
+    for series in spec.series:
+        ys.extend(_finite(series.y))
+        if series.x is not None:
+            xs.extend(_finite(series.x))
+    return xs, ys
+
+
+def _axis_range(
+    values: List[float], *, log: bool, pad_frac: float = 0.06
+) -> Tuple[float, float]:
+    if log:
+        positive = [v for v in values if v > 0]
+        if not positive:
+            raise ExperimentError("log axis needs at least one positive value")
+        lo, hi = min(positive), max(positive)
+        return lo / 1.6, hi * 1.6
+    lo, hi = min(values), max(values)
+    pad = (hi - lo) * pad_frac
+    if pad == 0:
+        pad = max(abs(hi) * 0.1, 0.5)
+    lo = min(lo - pad, 0.0 if lo >= 0 else lo - pad)
+    return lo, hi + pad
+
+
+def _svg_header(spec: FigureSpec) -> List[str]:
+    return [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_W}" '
+        f'height="{_H}" viewBox="0 0 {_W} {_H}" role="img" '
+        f'aria-label="{escape(spec.title)}">',
+        f'<rect width="{_W}" height="{_H}" fill="white"/>',
+        f'<text x="{_ML}" y="24" font-size="14" font-weight="bold" '
+        f'font-family="Georgia,serif">{escape(spec.title)}</text>',
+    ]
+
+
+def _svg_axes(spec: FigureSpec) -> List[str]:
+    parts = [
+        f'<rect x="{_ML}" y="{_MT}" width="{_W - _ML - _MR}" '
+        f'height="{_H - _MT - _MB}" fill="none" stroke="#444" '
+        'stroke-width="1"/>',
+        f'<text x="{(_ML + _W - _MR) / 2:.0f}" y="{_H - 14}" '
+        'font-size="11" text-anchor="middle" '
+        f'font-family="Georgia,serif">{escape(spec.xlabel)}</text>',
+        f'<text x="16" y="{(_MT + _H - _MB) / 2:.0f}" font-size="11" '
+        'text-anchor="middle" font-family="Georgia,serif" '
+        f'transform="rotate(-90 16 {(_MT + _H - _MB) / 2:.0f})">'
+        f"{escape(spec.ylabel)}</text>",
+    ]
+    return parts
+
+
+def _svg_yticks(yscale: _Scale) -> List[str]:
+    parts = []
+    for tick in yscale.ticks():
+        value = tick
+        py = yscale(value)
+        if not _MT - 1 <= py <= _H - _MB + 1:
+            continue
+        parts.append(
+            f'<line x1="{_ML}" y1="{py:.1f}" x2="{_W - _MR}" y2="{py:.1f}" '
+            'stroke="#ddd" stroke-width="0.6"/>'
+        )
+        parts.append(
+            f'<text x="{_ML - 6}" y="{py + 3.5:.1f}" font-size="9" '
+            'text-anchor="end" font-family="Georgia,serif">'
+            f"{_fmt(value)}</text>"
+        )
+    return parts
+
+
+def _svg_legend(labels: Sequence[str]) -> List[str]:
+    parts = []
+    x = _W - _MR + 12
+    for i, label in enumerate(labels):
+        y = _MT + 10 + i * 18
+        color = PALETTE[i % len(PALETTE)]
+        parts.append(
+            f'<rect x="{x}" y="{y - 8}" width="10" height="10" '
+            f'fill="{color}"/>'
+        )
+        parts.append(
+            f'<text x="{x + 15}" y="{y + 1}" font-size="10" '
+            f'font-family="Georgia,serif">{escape(str(label))}</text>'
+        )
+    return parts
+
+
+def _render_line(spec: FigureSpec) -> List[str]:
+    xs, ys = _data_ranges(spec)
+    if not xs or not ys:
+        raise ExperimentError(
+            f"figure {spec.name!r}: no finite points to draw"
+        )
+    if spec.ylog:
+        ys = [v for v in ys if v > 0] or ys
+    xlo, xhi = _axis_range(xs, log=spec.xlog)
+    ylo, yhi = _axis_range(ys, log=spec.ylog)
+    xscale = _Scale(xlo, xhi, _ML, _W - _MR, log=spec.xlog)
+    yscale = _Scale(ylo, yhi, _H - _MB, _MT, log=spec.ylog)
+
+    parts = _svg_yticks(yscale)
+    for tick in xscale.ticks():
+        px = xscale(tick)
+        if not _ML - 1 <= px <= _W - _MR + 1:
+            continue
+        parts.append(
+            f'<line x1="{px:.1f}" y1="{_MT}" x2="{px:.1f}" '
+            f'y2="{_H - _MB}" stroke="#eee" stroke-width="0.6"/>'
+        )
+        parts.append(
+            f'<text x="{px:.1f}" y="{_H - _MB + 14}" font-size="9" '
+            'text-anchor="middle" font-family="Georgia,serif">'
+            f"{_fmt(tick)}</text>"
+        )
+    for i, series in enumerate(spec.series):
+        color = PALETTE[i % len(PALETTE)]
+        points = []
+        for x, y in zip(series.x or [], series.y):
+            if not isinstance(y, (int, float)) or not math.isfinite(y):
+                continue
+            if (spec.ylog and y <= 0) or (spec.xlog and x <= 0):
+                continue
+            points.append((xscale(x), yscale(y)))
+        if len(points) >= 2:
+            path = " ".join(f"{px:.1f},{py:.1f}" for px, py in points)
+            parts.append(
+                f'<polyline points="{path}" fill="none" stroke="{color}" '
+                'stroke-width="1.6"/>'
+            )
+        for px, py in points:
+            parts.append(
+                f'<circle cx="{px:.1f}" cy="{py:.1f}" r="2.6" '
+                f'fill="{color}"/>'
+            )
+    parts.extend(_svg_legend([s.label for s in spec.series]))
+    return parts
+
+
+def _render_bar(spec: FigureSpec) -> List[str]:
+    _, ys = _data_ranges(spec)
+    if not ys:
+        raise ExperimentError(f"figure {spec.name!r}: no finite bars to draw")
+    if spec.ylog:
+        positive = [v for v in ys if v > 0]
+        if not positive:
+            raise ExperimentError(
+                f"figure {spec.name!r}: log bars need positive values"
+            )
+        ylo, yhi = min(positive) / 2.0, max(positive) * 1.6
+    else:
+        ylo, yhi = 0.0, (max(ys) if max(ys) > 0 else 1.0) * 1.08
+    yscale = _Scale(ylo, yhi, _H - _MB, _MT, log=spec.ylog)
+    baseline = _H - _MB
+
+    parts = _svg_yticks(yscale)
+    n_cat = max(len(spec.categories), 1)
+    n_ser = max(len(spec.series), 1)
+    slot = (_W - _ML - _MR) / n_cat
+    bar_w = min(slot * 0.8 / n_ser, 40.0)
+    group_w = bar_w * n_ser
+    for c, category in enumerate(spec.categories):
+        cx = _ML + (c + 0.5) * slot
+        parts.append(
+            f'<text x="{cx:.1f}" y="{_H - _MB + 14}" font-size="9" '
+            'text-anchor="middle" font-family="Georgia,serif">'
+            f"{escape(str(category))}</text>"
+        )
+        for s, series in enumerate(spec.series):
+            value = series.y[c] if c < len(series.y) else None
+            if not isinstance(value, (int, float)) or not math.isfinite(
+                value
+            ):
+                continue
+            if spec.ylog and value <= 0:
+                continue
+            color = PALETTE[s % len(PALETTE)]
+            top = yscale(value)
+            x = cx - group_w / 2 + s * bar_w
+            height = max(baseline - top, 0.5)
+            parts.append(
+                f'<rect x="{x:.1f}" y="{top:.1f}" width="{bar_w - 2:.1f}" '
+                f'height="{height:.1f}" fill="{color}"/>'
+            )
+            parts.append(
+                f'<text x="{x + (bar_w - 2) / 2:.1f}" y="{top - 3:.1f}" '
+                'font-size="7.5" text-anchor="middle" fill="#555" '
+                f'font-family="Georgia,serif">{_fmt(float(value))}</text>'
+            )
+    parts.extend(_svg_legend([s.label for s in spec.series]))
+    return parts
+
+
+def _heat_color(frac: float) -> str:
+    """White -> deep blue ramp."""
+    frac = min(max(frac, 0.0), 1.0)
+    r = round(255 - frac * (255 - 0x00))
+    g = round(255 - frac * (255 - 0x45))
+    b = round(255 - frac * (255 - 0x8A))
+    return f"rgb({r},{g},{b})"
+
+
+def _render_heatmap(spec: FigureSpec) -> List[str]:
+    finite = [
+        v
+        for row in spec.values
+        for v in row
+        if isinstance(v, (int, float)) and math.isfinite(v)
+    ]
+    if not finite:
+        raise ExperimentError(
+            f"figure {spec.name!r}: no finite heatmap values"
+        )
+    lo, hi = min(finite), max(finite)
+    span = hi - lo or 1.0
+    n_rows = len(spec.row_labels)
+    n_cols = len(spec.col_labels)
+    cell_w = (_W - _ML - _MR) / max(n_cols, 1)
+    cell_h = (_H - _MT - _MB) / max(n_rows, 1)
+    parts: List[str] = []
+    for r, row_label in enumerate(spec.row_labels):
+        y = _MT + r * cell_h
+        parts.append(
+            f'<text x="{_ML - 6}" y="{y + cell_h / 2 + 3:.1f}" '
+            'font-size="9" text-anchor="end" '
+            f'font-family="Georgia,serif">{escape(str(row_label))}</text>'
+        )
+        for c in range(n_cols):
+            x = _ML + c * cell_w
+            value = spec.values[r][c] if c < len(spec.values[r]) else None
+            if isinstance(value, (int, float)) and math.isfinite(value):
+                fill = _heat_color((value - lo) / span)
+                label = _fmt(float(value))
+            else:
+                fill, label = "#eee", "-"
+            parts.append(
+                f'<rect x="{x:.1f}" y="{y:.1f}" width="{cell_w:.1f}" '
+                f'height="{cell_h:.1f}" fill="{fill}" stroke="white" '
+                'stroke-width="1.5"/>'
+            )
+            dark = (
+                isinstance(value, (int, float))
+                and math.isfinite(value)
+                and (value - lo) / span > 0.55
+            )
+            parts.append(
+                f'<text x="{x + cell_w / 2:.1f}" '
+                f'y="{y + cell_h / 2 + 3:.1f}" font-size="10" '
+                f'text-anchor="middle" fill="{"white" if dark else "#222"}" '
+                f'font-family="Georgia,serif">{label}</text>'
+            )
+    for c, col_label in enumerate(spec.col_labels):
+        x = _ML + (c + 0.5) * cell_w
+        parts.append(
+            f'<text x="{x:.1f}" y="{_H - _MB + 14}" font-size="9" '
+            'text-anchor="middle" font-family="Georgia,serif">'
+            f"{escape(str(col_label))}</text>"
+        )
+    return parts
+
+
+def render_svg(spec: FigureSpec) -> str:
+    """Render a FigureSpec with the built-in SVG backend (no dependencies)."""
+    if spec.kind == "line":
+        body = _render_line(spec)
+    elif spec.kind == "bar":
+        body = _render_bar(spec)
+    elif spec.kind == "heatmap":
+        body = _render_heatmap(spec)
+    else:
+        raise ExperimentError(
+            f"figure {spec.name!r} has unknown kind {spec.kind!r}"
+        )
+    parts = _svg_header(spec)
+    if spec.kind != "heatmap":
+        parts.extend(_svg_axes(spec))
+    else:
+        parts.extend(_svg_axes(spec)[1:])  # labels only, no frame
+    parts.extend(body)
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+# ----------------------------------------------------------------------
+# matplotlib backend
+# ----------------------------------------------------------------------
+def _render_matplotlib(spec: FigureSpec, path: pathlib.Path) -> None:
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    with matplotlib.rc_context(PUBLICATION_RC):
+        fig, ax = plt.subplots()
+        if spec.kind == "line":
+            for i, series in enumerate(spec.series):
+                ax.plot(
+                    series.x,
+                    [
+                        v if isinstance(v, (int, float)) else math.nan
+                        for v in series.y
+                    ],
+                    marker="o",
+                    label=str(series.label),
+                    color=PALETTE[i % len(PALETTE)],
+                )
+            if spec.series:
+                ax.legend()
+        elif spec.kind == "bar":
+            n_ser = max(len(spec.series), 1)
+            width = 0.8 / n_ser
+            for s, series in enumerate(spec.series):
+                positions = [
+                    c - 0.4 + (s + 0.5) * width
+                    for c in range(len(spec.categories))
+                ]
+                heights = [
+                    v
+                    if isinstance(v, (int, float)) and math.isfinite(v)
+                    else 0.0
+                    for v in series.y
+                ]
+                ax.bar(
+                    positions,
+                    heights,
+                    width=width,
+                    label=str(series.label),
+                    color=PALETTE[s % len(PALETTE)],
+                )
+            ax.set_xticks(range(len(spec.categories)))
+            ax.set_xticklabels(spec.categories, rotation=20, ha="right")
+            if spec.series:
+                ax.legend()
+        elif spec.kind == "heatmap":
+            grid = [
+                [
+                    v
+                    if isinstance(v, (int, float)) and math.isfinite(v)
+                    else math.nan
+                    for v in row
+                ]
+                for row in spec.values
+            ]
+            image = ax.imshow(grid, aspect="auto", cmap="Blues")
+            ax.set_xticks(range(len(spec.col_labels)))
+            ax.set_xticklabels(spec.col_labels, rotation=20, ha="right")
+            ax.set_yticks(range(len(spec.row_labels)))
+            ax.set_yticklabels(spec.row_labels)
+            fig.colorbar(image, ax=ax)
+        if spec.ylog:
+            ax.set_yscale("log")
+        if spec.xlog:
+            ax.set_xscale("log")
+        ax.set_title(spec.title)
+        ax.set_xlabel(spec.xlabel)
+        ax.set_ylabel(spec.ylabel)
+        fig.savefig(path)
+        plt.close(fig)
+
+
+def render_figure(
+    spec: FigureSpec,
+    out_dir: Union[str, pathlib.Path],
+    *,
+    fmt: str = "auto",
+) -> pathlib.Path:
+    """Write one figure file; returns its path.
+
+    ``fmt``: ``"svg"`` forces the built-in backend, ``"png"`` requires
+    matplotlib, ``"auto"`` prefers matplotlib PNG and falls back to SVG.
+    """
+    out_dir = pathlib.Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    if fmt not in ("auto", "svg", "png"):
+        raise ExperimentError(f"unknown figure format {fmt!r}")
+    use_mpl = fmt == "png" or (fmt == "auto" and matplotlib_available())
+    if fmt == "png" and not matplotlib_available():
+        raise ExperimentError(
+            "figure format 'png' requires matplotlib; use 'svg' "
+            "(built-in renderer) instead"
+        )
+    if use_mpl:
+        path = out_dir / f"{spec.name}.png"
+        _render_matplotlib(spec, path)
+        return path
+    path = out_dir / f"{spec.name}.svg"
+    path.write_text(render_svg(spec))
+    return path

@@ -1,0 +1,210 @@
+"""Aggregations over a loaded campaign: scenarios, coverage, progress, alerts.
+
+Everything here reduces the normalized :class:`~repro.analysis.campaigns.
+loader.CampaignData` frame with plain Python (via the shared non-finite
+filtering helpers in :mod:`repro.util.stats`), so the numbers are
+identical whether or not pandas is installed. The text report
+(:mod:`repro.campaigns.report`) and the HTML dashboard both render these
+same tables.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+from repro.analysis.campaigns.frame import Frame
+from repro.analysis.campaigns.loader import CampaignData
+from repro.util.stats import finite_mean, finite_median
+
+#: Column order of :func:`scenario_summary` rows.
+SCENARIO_COLUMNS = (
+    "algorithm",
+    "topology",
+    "fault",
+    "runs",
+    "converged",
+    "mean_rounds_to_eps",
+    "median_final_error",
+    "mean_recovery_rounds",
+    "unrecovered",
+    "worst_mass_drift_floor",
+    "alerts",
+    "flight_dumps",
+)
+
+
+def _numbers(values: List[object]) -> List[float]:
+    return [float(v) for v in values if isinstance(v, (int, float))]
+
+
+def _finite_max(values: List[object]) -> Optional[float]:
+    import math
+
+    finite = [v for v in _numbers(values) if math.isfinite(v)]
+    return max(finite) if finite else None
+
+
+def scenario_summary(ok: Frame) -> Frame:
+    """One row per (algorithm, topology, fault), aggregated over seeds.
+
+    ``converged`` is the "k/n" seed fraction; ``mean_recovery_rounds``
+    averages the censored recovery costs (the Fig. 4 vs Fig. 7 headline);
+    ``worst_mass_drift_floor`` is the largest finite drift floor in the
+    group (the persistent mass-loss signal); ``alerts``/``flight_dumps``
+    total the anomaly-detector hits and black-box dumps across seeds.
+    """
+    rows: List[Dict[str, object]] = []
+    for (algorithm, topology, fault), group in ok.groupby(
+        "algorithm", "topology", "fault"
+    ):
+        converged = [bool(v) for v in group.column("converged")]
+        rows.append(
+            {
+                "algorithm": algorithm,
+                "topology": topology,
+                "fault": fault,
+                "runs": len(group),
+                "converged": f"{sum(converged)}/{len(converged)}",
+                "mean_rounds_to_eps": finite_mean(
+                    _numbers(group.column("rounds_to_tolerance"))
+                ),
+                "median_final_error": finite_median(
+                    _numbers(group.column("final_error"))
+                ),
+                "mean_recovery_rounds": finite_mean(
+                    _numbers(group.column("recovery_rounds"))
+                ),
+                "unrecovered": sum(
+                    1 for v in group.column("recovered") if v is False
+                ),
+                "worst_mass_drift_floor": _finite_max(
+                    group.column("mass_drift_floor")
+                ),
+                "alerts": sum(_numbers(group.column("alerts_total"))),
+                "flight_dumps": sum(_numbers(group.column("n_flight_dumps"))),
+            }
+        )
+    return Frame.from_records(rows, columns=SCENARIO_COLUMNS)
+
+
+def coverage_summary(data: CampaignData) -> Dict[str, object]:
+    """Expected vs recorded vs ok/failed cells, plus resume-health counts."""
+    ok = len(data.ok)
+    failed = len(data.frame) - ok
+    missing = (
+        max(0, data.expected_cells - len(data.frame))
+        if data.expected_cells is not None
+        else None
+    )
+    return {
+        "expected": data.expected_cells,
+        "recorded": len(data.frame),
+        "ok": ok,
+        "failed": failed,
+        "missing": missing,
+        "duplicates": data.duplicates,
+        "skipped_lines": data.skipped_lines,
+    }
+
+
+def alert_summary(frame: Frame) -> Frame:
+    """Per-detector totals: how many alerts fired, across how many cells."""
+    totals: Dict[str, float] = {}
+    cells: Dict[str, int] = {}
+    for alerts in frame.column("alerts"):
+        if not isinstance(alerts, dict):
+            continue
+        for detector, count in alerts.items():
+            totals[detector] = totals.get(detector, 0) + float(count)  # type: ignore[arg-type]
+            cells[detector] = cells.get(detector, 0) + 1
+    rows = [
+        {"detector": name, "alerts": totals[name], "cells": cells[name]}
+        for name in sorted(totals)
+    ]
+    return Frame.from_records(rows, columns=("detector", "alerts", "cells"))
+
+
+def flight_dump_index(frame: Frame) -> List[Dict[str, object]]:
+    """Cells that wrote black-box dumps: (cell_id, status, dump paths)."""
+    out: List[Dict[str, object]] = []
+    for row in frame.rows():
+        dumps = row["flight_dumps"]
+        if dumps:
+            out.append(
+                {
+                    "cell_id": row["cell_id"],
+                    "status": row["status"],
+                    "flight_dumps": dumps,
+                }
+            )
+    return sorted(out, key=lambda r: str(r["cell_id"]))
+
+
+def progress_stats(
+    data: CampaignData, *, now: Optional[float] = None
+) -> Dict[str, Optional[float]]:
+    """Live-progress numbers from record timestamps and per-cell wall times.
+
+    Works on a *partially complete* campaign directory, which is the point:
+    a long sweep can be analyzed mid-flight. ``recorded_at`` only exists on
+    current-era records; older records degrade to wall-time stats only.
+    """
+    frame = data.frame
+    walls = _numbers(frame.column("wall_s"))
+    stamps = sorted(_numbers(frame.column("recorded_at")))
+    stats: Dict[str, Optional[float]] = {
+        "cells_recorded": float(len(frame)),
+        "mean_wall_s": finite_mean(walls),
+        "median_wall_s": finite_median(walls),
+        "total_wall_s": sum(walls) if walls else None,
+        "elapsed_s": None,
+        "cells_per_sec": None,
+        "eta_s": None,
+        "remaining_cells": None,
+    }
+    if data.expected_cells is not None:
+        stats["remaining_cells"] = float(
+            max(0, data.expected_cells - len(frame))
+        )
+    if len(stamps) >= 2 and stamps[-1] > stamps[0]:
+        span = stamps[-1] - stamps[0]
+        stats["elapsed_s"] = span
+        # (count - 1) intervals landed inside the span; resumed campaigns
+        # with long gaps under-report, which is the honest reading.
+        stats["cells_per_sec"] = (len(stamps) - 1) / span
+    if stats["cells_per_sec"] and stats["remaining_cells"] is not None:
+        stats["eta_s"] = stats["remaining_cells"] / stats["cells_per_sec"]
+    if now is not None and stamps:
+        stats["since_last_record_s"] = now - stamps[-1]
+    return stats
+
+
+def progress_lines(stats: Dict[str, Optional[float]]) -> List[str]:
+    """Human lines for the progress block (report footer + dashboard)."""
+
+    def fmt(value: Optional[float], unit: str = "") -> str:
+        if value is None:
+            return "-"
+        if unit == "s" and value >= 120:
+            return f"{value / 60.0:.1f} min"
+        return f"{value:.3g}{(' ' + unit) if unit else ''}"
+
+    lines = [
+        f"cells recorded: {fmt(stats.get('cells_recorded'))}",
+        f"per-cell wall time: mean {fmt(stats.get('mean_wall_s'), 's')}, "
+        f"median {fmt(stats.get('median_wall_s'), 's')}",
+        f"throughput: {fmt(stats.get('cells_per_sec'))} cells/s "
+        f"over {fmt(stats.get('elapsed_s'), 's')}",
+    ]
+    if stats.get("remaining_cells"):
+        lines.append(
+            f"remaining: {fmt(stats.get('remaining_cells'))} cells, "
+            f"ETA {fmt(stats.get('eta_s'), 's')}"
+        )
+    return lines
+
+
+def utcnow() -> float:
+    """Seconds since the epoch (separate for test monkeypatching)."""
+    return time.time()

@@ -80,6 +80,25 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the scenario summary after the sweep",
     )
+    parser.add_argument(
+        "--metrics-every",
+        type=int,
+        metavar="N",
+        default=0,
+        help=(
+            "re-export campaign aggregates to <out>/metrics/ "
+            "(Prometheus/JSONL/CSV) after every N recorded cells, for "
+            "in-flight observability; 0 disables (default)"
+        ),
+    )
+    parser.add_argument(
+        "--strict-alerts",
+        action="store_true",
+        help=(
+            "exit nonzero when any anomaly-detector alert fired during "
+            "the sweep (implies the post-sweep report)"
+        ),
+    )
     return parser
 
 
@@ -111,6 +130,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             retries=args.retries,
             resume=not args.fresh,
             log=log,
+            metrics_every=args.metrics_every,
         )
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -121,10 +141,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"{run.failed} failed, {run.retries_used} retries "
         f"-> {run.results_path}"
     )
-    if not args.no_report:
+    if not args.no_report or args.strict_alerts:
         text, _problems = render_report(out_dir)
-        print()
-        print(text)
+        if not args.no_report:
+            print()
+            print(text)
+    if args.strict_alerts:
+        from repro.campaigns.report import total_alerts
+
+        alerts = total_alerts(out_dir)
+        if alerts:
+            print(f"error: {alerts} anomaly alert(s) fired", file=sys.stderr)
+            return 1
     return 1 if run.failed else 0
 
 

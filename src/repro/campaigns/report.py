@@ -9,37 +9,45 @@ Reads the ``results.jsonl`` + ``campaign.json`` a
 2. **Scenario summary** — one row per (algorithm, topology, fault) group,
    aggregated over seeds: convergence fraction, rounds-to-tolerance,
    final error (median), recovery rounds after the fault (censored mean —
-   the Fig. 4 vs Fig. 7 headline number), worst mass-conservation drift;
-3. **Failures** — per-cell errors for anything that did not finish.
+   the Fig. 4 vs Fig. 7 headline number), worst mass-conservation drift,
+   anomaly-alert and flight-dump counts;
+3. **Anomaly alerts / flight dumps** — per-cell detector counts and the
+   black-box dump paths (``--strict-alerts`` turns any fired alert into
+   exit code 1);
+4. **Failures** — per-cell errors for anything that did not finish.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
-import math
 import pathlib
 import sys
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.exceptions import ExperimentError
 from repro.experiments.tables import render_table
 from repro.campaigns.runner import as_float, load_results
+from repro.util.stats import finite_mean as _mean
+from repro.util.stats import finite_median as _median
 
 
-def _mean(values: Sequence[float]) -> Optional[float]:
-    finite = [v for v in values if math.isfinite(v)]
-    return sum(finite) / len(finite) if finite else None
+def _alert_count(record: Dict[str, object]) -> int:
+    """Anomaly alerts in one record; 0 for pre-tracing-era records."""
+    total = record.get("alerts_total")
+    if isinstance(total, (int, float)):
+        return int(total)
+    alerts = record.get("alerts")
+    if isinstance(alerts, dict):
+        return int(sum(v for v in alerts.values() if isinstance(v, (int, float))))
+    return 0
 
 
-def _median(values: Sequence[float]) -> Optional[float]:
-    finite = sorted(v for v in values if math.isfinite(v))
-    if not finite:
-        return None
-    mid = len(finite) // 2
-    if len(finite) % 2:
-        return finite[mid]
-    return 0.5 * (finite[mid - 1] + finite[mid])
+def _flight_dumps(record: Dict[str, object]) -> List[str]:
+    dumps = record.get("flight_dumps")
+    if isinstance(dumps, list):
+        return [str(p) for p in dumps]
+    return []
 
 
 def summarize(
@@ -54,6 +62,8 @@ def summarize(
         ["recorded", len(records)],
         ["ok", len(ok)],
         ["failed", len(failed)],
+        ["anomaly alerts", sum(_alert_count(r) for r in records.values())],
+        ["flight dumps", sum(len(_flight_dumps(r)) for r in records.values())],
     ]
     sections = [
         "Coverage\n" + render_table(["quantity", "value"], coverage_rows)
@@ -96,6 +106,8 @@ def summarize(
                 _mean(recoveries),
                 unrecovered,
                 max(drifts) if drifts else None,
+                sum(_alert_count(r) for r in group),
+                sum(len(_flight_dumps(r)) for r in group),
             ]
         )
     if rows:
@@ -115,12 +127,37 @@ def summarize(
                     "mean_recovery_rounds",
                     "unrecovered",
                     "worst_mass_drift_floor",
+                    "alerts",
+                    "flight_dumps",
                 ],
                 rows,
             )
         )
     else:
         sections.append("Scenario summary: no successful runs recorded.")
+
+    alert_rows = [
+        [
+            r.get("cell_id"),
+            _alert_count(r),
+            ", ".join(
+                f"{k}={v}"
+                for k, v in sorted(r.get("alerts", {}).items())  # type: ignore[union-attr]
+            )
+            if isinstance(r.get("alerts"), dict)
+            else "-",
+            "; ".join(_flight_dumps(r)) or "-",
+        ]
+        for r in sorted(records.values(), key=lambda r: str(r.get("cell_id")))
+        if _alert_count(r) or _flight_dumps(r)
+    ]
+    if alert_rows:
+        sections.append(
+            "Anomaly alerts & flight-recorder dumps\n"
+            + render_table(
+                ["cell", "alerts", "by detector", "dump paths"], alert_rows
+            )
+        )
 
     if failed:
         fail_rows = [
@@ -170,21 +207,39 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="exit 1 when cells failed or the campaign is incomplete",
     )
+    parser.add_argument(
+        "--strict-alerts",
+        action="store_true",
+        help="exit 1 when any anomaly-detector alert fired",
+    )
     return parser
+
+
+def total_alerts(directory: pathlib.Path) -> int:
+    """Total anomaly-detector alerts recorded across a campaign."""
+    records = load_results(directory)
+    return sum(_alert_count(r) for r in records.values())
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    path = pathlib.Path(args.path)
     try:
-        text, problems = render_report(pathlib.Path(args.path))
+        text, problems = render_report(path)
     except ExperimentError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     print(text)
+    status = 0
     if args.strict and problems:
         print(f"error: {problems} problem cell(s)", file=sys.stderr)
-        return 1
-    return 0
+        status = 1
+    if args.strict_alerts:
+        alerts = total_alerts(path)
+        if alerts:
+            print(f"error: {alerts} anomaly alert(s) fired", file=sys.stderr)
+            status = 1
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -765,6 +765,7 @@ def run_campaign(
     resume: bool = True,
     log: Optional[Callable[[str], None]] = None,
     executor: Callable[[Dict[str, object]], Dict[str, object]] = execute_cell,
+    metrics_every: int = 0,
 ) -> CampaignRun:
     """Sweep the full campaign grid, checkpointing into ``out_dir``.
 
@@ -776,6 +777,12 @@ def run_campaign(
     ``out_dir/results.jsonl`` are skipped — delete the file (or pass
     ``resume=False``) for a fresh sweep. ``executor`` is injectable for
     tests; the parallel path always runs :func:`execute_cell`.
+
+    Every appended record is stamped with ``recorded_at`` (unix seconds)
+    so the analysis layer can derive throughput and ETA. With
+    ``metrics_every=N > 0``, campaign aggregates are re-exported to
+    ``out_dir/metrics/`` (Prometheus/JSONL/CSV) after every N records —
+    and once more when the sweep finishes — for in-flight observability.
     """
     if workers < 0:
         raise ConfigurationError(f"workers must be >= 0, got {workers}")
@@ -821,8 +828,33 @@ def run_campaign(
         f"workers={workers or 'serial'})"
     )
 
+    if metrics_every < 0:
+        raise ConfigurationError(
+            f"metrics_every must be >= 0, got {metrics_every}"
+        )
+    seen_records: List[Dict[str, object]] = list(completed.values())
+
+    def export_metrics() -> None:
+        # Lazy import: the analysis layer depends on this module, and the
+        # runner must stay importable without the analytics stack loaded.
+        from repro.analysis.campaigns.export import export_records_metrics
+
+        try:
+            export_records_metrics(
+                seen_records,
+                name=spec.name,
+                spec=spec_dict,
+                out_dir=out_path / "metrics",
+            )
+        except Exception as exc:  # noqa: BLE001 - observability never kills a sweep
+            say(f"  note: in-flight metrics export failed: {exc}")
+
     def on_record(record: Dict[str, object]) -> None:
+        record["recorded_at"] = time.time()
         _append_record(results_path, record)
+        seen_records.append(record)
+        if metrics_every and len(seen_records) % metrics_every == 0:
+            export_metrics()
         status = record.get("status")
         detail = (
             f"err={record.get('final_error')}"
@@ -849,6 +881,8 @@ def run_campaign(
             stats = _run_parallel(pending, workers, timeout, retries, on_record)
     else:
         stats = {"ok": 0, "failed": 0, "retries_used": 0}
+    if metrics_every:
+        export_metrics()
 
     return CampaignRun(
         spec=spec,

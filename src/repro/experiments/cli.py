@@ -41,7 +41,10 @@ def build_parser() -> argparse.ArgumentParser:
             "runs a fault-injection campaign grid (see repro.campaigns; "
             "'campaign --help' for options). Causal tracing: 'python -m "
             "repro.experiments trace run|diff|query|validate' (see "
-            "repro.tracing; 'trace --help' for options)."
+            "repro.tracing; 'trace --help' for options). Campaign "
+            "analytics: 'python -m repro.experiments analyze <dir>' "
+            "regenerates registry figures and writes an HTML dashboard "
+            "(see repro.analysis.campaigns; 'analyze --help')."
         ),
     )
     parser.add_argument(
@@ -142,6 +145,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.tracing.cli import main as trace_main
 
         return trace_main(argv[1:])
+    if argv and argv[0] == "analyze":
+        from repro.analysis.campaigns.cli import main as analyze_main
+
+        return analyze_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.telemetry_every is not None and args.telemetry_every < 1:

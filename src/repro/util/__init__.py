@@ -1,7 +1,13 @@
 """Shared utilities: bit manipulation, validation, statistics, timing."""
 
 from repro.util.float_bits import flip_bit, float_to_bits, bits_to_float
-from repro.util.stats import RunningStats, median, percentile
+from repro.util.stats import (
+    RunningStats,
+    finite_mean,
+    finite_median,
+    median,
+    percentile,
+)
 from repro.util.timer import Timer
 from repro.util.validation import (
     check_positive_int,
@@ -15,6 +21,8 @@ __all__ = [
     "float_to_bits",
     "bits_to_float",
     "RunningStats",
+    "finite_mean",
+    "finite_median",
     "median",
     "percentile",
     "Timer",

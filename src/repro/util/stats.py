@@ -9,7 +9,25 @@ single, tested definition of median/percentile used everywhere (so the
 from __future__ import annotations
 
 import math
-from typing import Iterable, Sequence
+from typing import Iterable, Optional, Sequence
+
+
+def finite_mean(values: Sequence[float]) -> Optional[float]:
+    """Mean over the finite entries of ``values``; None if none are finite.
+
+    Campaign records sanitize non-finite outcomes into tagged strings and
+    back into ``nan``/``inf`` floats, so every aggregation over them must
+    filter before reducing. This is the single shared definition used by
+    the campaign report and the analysis layer.
+    """
+    finite = [float(v) for v in values if math.isfinite(v)]
+    return sum(finite) / len(finite) if finite else None
+
+
+def finite_median(values: Sequence[float]) -> Optional[float]:
+    """Median over the finite entries of ``values``; None if none are finite."""
+    finite = [float(v) for v in values if math.isfinite(v)]
+    return median(finite) if finite else None
 
 
 def median(values: Sequence[float]) -> float:

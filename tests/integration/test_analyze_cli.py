@@ -1,0 +1,96 @@
+"""End-to-end analytics: campaign sweep -> analyze CLI -> figures/dashboard.
+
+The same path the CI ``analyze-smoke`` job drives: run the builtin smoke
+campaign, then ``python -m repro.experiments analyze`` must regenerate the
+registered figures, write a self-contained HTML dashboard, and export the
+campaign metrics — failing on any unrenderable figure unless told not to.
+"""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.analysis.campaigns.cli import main as analyze_cli
+from repro.analysis.campaigns.figures import FIGURES
+from repro.campaigns import load_spec, run_campaign
+from repro.campaigns.cli import main as campaign_cli
+
+
+@pytest.fixture(scope="module")
+def smoke_dir(tmp_path_factory):
+    out = tmp_path_factory.mktemp("smoke-campaign")
+    run = run_campaign(load_spec("smoke"), out, log=lambda _m: None)
+    assert run.failed == 0
+    return out
+
+
+def test_analyze_regenerates_figures_and_dashboard(smoke_dir, capsys):
+    # The static smoke campaign cannot feed the dynamic-topology figure, so
+    # --allow-missing-data keeps exit 0; churn-grid campaigns render all.
+    code = analyze_cli([str(smoke_dir), "--allow-missing-data", "--csv"])
+    assert code == 0
+
+    out_dir = smoke_dir / "analysis"
+    svgs = sorted(p.name for p in out_dir.glob("*.svg"))
+    assert len(svgs) >= len(FIGURES) - 1
+    for svg in out_dir.glob("*.svg"):
+        ET.fromstring(svg.read_text())
+
+    dashboard = (out_dir / "dashboard.html").read_text()
+    assert "<svg" in dashboard
+    assert 'id="fig-recovery-rounds"' in dashboard
+    assert "push_cancel_flow" in dashboard
+
+    assert (out_dir / "metrics" / "metrics.prom").stat().st_size > 0
+    assert (out_dir / "cells.csv").read_text().count("\n") >= 4
+
+    stdout = capsys.readouterr().out
+    assert "coverage: expected=4, recorded=4, ok=4" in stdout
+
+
+def test_analyze_strict_fails_on_unrenderable_figure(smoke_dir, capsys):
+    code = analyze_cli([str(smoke_dir), "--out", str(smoke_dir / "strict")])
+    assert code == 1
+    assert "NOT RENDERED" in capsys.readouterr().err
+
+
+def test_analyze_subset_and_unknown_figures(smoke_dir, capsys):
+    code = analyze_cli(
+        [str(smoke_dir), "--figures", "recovery-rounds", "--quiet",
+         "--no-metrics", "--no-dashboard"]
+    )
+    assert code == 0
+    assert analyze_cli([str(smoke_dir), "--figures", "bogus"]) == 2
+
+
+def test_analyze_list_figures(capsys):
+    assert analyze_cli(["--list-figures"]) == 0
+    out = capsys.readouterr().out
+    for name in FIGURES:
+        assert name in out
+
+
+def test_analyze_missing_directory(tmp_path, capsys):
+    assert analyze_cli([str(tmp_path / "nope")]) == 1
+
+
+def test_experiments_cli_dispatches_analyze(smoke_dir, capsys):
+    from repro.experiments.cli import main as experiments_cli
+
+    code = experiments_cli(
+        ["analyze", str(smoke_dir), "--quiet", "--allow-missing-data",
+         "--no-metrics", "--out", str(smoke_dir / "dispatch")]
+    )
+    assert code == 0
+    assert (smoke_dir / "dispatch" / "dashboard.html").exists()
+
+
+def test_campaign_cli_strict_alerts_exit(smoke_dir, tmp_path, capsys):
+    # The smoke campaign's PF cells trip the restart-regression detector, so
+    # --strict-alerts must turn an otherwise green sweep into exit 1.
+    code = campaign_cli(
+        ["smoke", "--out", str(smoke_dir), "--quiet", "--no-report",
+         "--strict-alerts"]
+    )
+    assert code == 1
+    assert "anomaly alert" in capsys.readouterr().err

@@ -75,7 +75,7 @@ class TestSchemaIdentity:
     def test_vectorized_and_batched_agree_bit_for_bit(self, engine_results):
         # Same seed streams, same kernels: everything but the engine tag
         # and wall-clock must be *identical*, not merely close.
-        varying = {"engine", "wall_s"}
+        varying = {"engine", "wall_s", "recorded_at"}
         for cell_id, vec in engine_results["vectorized"].items():
             bat = engine_results["batched"][cell_id]
             for key in vec:

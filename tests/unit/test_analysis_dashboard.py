@@ -1,0 +1,99 @@
+"""HTML dashboard assembly: self-contained output, drill-down, escaping."""
+
+import json
+
+import pytest
+
+from repro.analysis.campaigns.dashboard import build_dashboard, write_dashboard
+from repro.analysis.campaigns.loader import load_campaign
+from repro.exceptions import ExperimentError
+from tests.unit.test_analysis_figures import synthetic_campaign
+
+
+@pytest.fixture()
+def campaign(tmp_path):
+    return synthetic_campaign(tmp_path)
+
+
+class TestBuildDashboard:
+    def test_self_contained_with_inline_figures(self, campaign):
+        html_text = build_dashboard(campaign)
+        assert html_text.startswith("<!DOCTYPE html>")
+        # Inline SVG for every renderable registered figure, by anchor id.
+        for name in ("churn-grid", "accuracy-vs-scale", "mass-drift-floor"):
+            assert f'id="fig-{name}"' in html_text
+        assert "<svg" in html_text
+        # No external asset references — the file must travel alone.
+        assert "<img" not in html_text
+        assert "<script src" not in html_text
+        assert "<link" not in html_text
+
+    def test_unrenderable_figures_listed_with_reason(self, campaign):
+        html_text = build_dashboard(
+            campaign,
+            figure_svgs={"churn-grid": "<svg></svg>"},
+            figure_errors={"accuracy-vs-scale": "no finite values"},
+        )
+        assert 'id="fig-churn-grid"' in html_text
+        assert "no finite values" in html_text
+
+    def test_coverage_progress_alert_sections(self, campaign):
+        html_text = build_dashboard(campaign)
+        for token in (
+            "Coverage &amp; progress",
+            "expected cells",
+            "anomaly alerts",
+            "flight dumps",
+            "ETA (remaining)",
+            "Scenario summary",
+            "Failures",
+        ):
+            assert token in html_text, token
+
+    def test_html_escaping_of_record_content(self, campaign):
+        # Error strings from failed cells flow into the failure table.
+        frame = campaign.frame
+        rows = [dict(r) for r in frame.rows()]
+        rows[0]["status"] = "failed"
+        rows[0]["error"] = "<script>alert('xss')</script>"
+        from repro.analysis.campaigns.frame import Frame
+        from repro.analysis.campaigns.loader import COLUMNS, CampaignData
+
+        data = CampaignData(
+            directory=campaign.directory,
+            frame=Frame.from_records(rows, columns=COLUMNS),
+            spec=campaign.spec,
+            expected_cells=campaign.expected_cells,
+            duplicates=0,
+            skipped_lines=0,
+        )
+        html_text = build_dashboard(data)
+        assert "<script>alert" not in html_text
+        assert "&lt;script&gt;" in html_text
+
+
+class TestWriteDashboard:
+    def test_writes_from_directory(self, tmp_path):
+        record = {
+            "cell_id": "push_sum|hc-8|none|s0",
+            "status": "ok",
+            "algorithm": "push_sum",
+            "topology": "hypercube-8",
+            "fault": "none",
+            "n": 8,
+            "converged": True,
+            "final_error": 1e-9,
+            "flight_dumps": [str(tmp_path / "flight" / "dump.json")],
+        }
+        (tmp_path / "results.jsonl").write_text(json.dumps(record) + "\n")
+        out = write_dashboard(tmp_path)
+        assert out == tmp_path / "dashboard.html"
+        text = out.read_text()
+        # Flight-dump link is relative to the dashboard's own directory.
+        assert 'href="flight/dump.json"' in text
+        data = load_campaign(tmp_path)
+        assert len(data.frame) == 1
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            write_dashboard(tmp_path / "nope")

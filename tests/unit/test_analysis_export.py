@@ -1,0 +1,77 @@
+"""Campaign aggregates through the telemetry metrics exporters."""
+
+import json
+
+from repro.analysis.campaigns.export import (
+    campaign_metrics_registry,
+    export_campaign_metrics,
+    export_records_metrics,
+)
+from tests.unit.test_analysis_figures import synthetic_campaign
+
+
+class TestCampaignMetricsRegistry:
+    def test_coverage_and_scenario_gauges(self, tmp_path):
+        data = synthetic_campaign(tmp_path)
+        registry = campaign_metrics_registry(data)
+        prom = registry.to_prometheus()
+        for metric in (
+            "campaign_cells",
+            "campaign_progress_fraction",
+            "campaign_cells_per_sec",
+            "campaign_eta_seconds",
+            "campaign_alerts_total",
+            "campaign_flight_dumps_total",
+            "campaign_scenario_converged_runs",
+            "campaign_scenario_median_final_error",
+            "campaign_cell_wall_seconds",
+        ):
+            assert metric in prom, metric
+        assert 'status="expected"' in prom
+        assert 'algorithm="push_sum"' in prom
+
+    def test_progress_fraction_value(self, tmp_path):
+        data = synthetic_campaign(tmp_path)
+        registry = campaign_metrics_registry(data)
+        line = next(
+            ln
+            for ln in registry.to_prometheus().splitlines()
+            if ln.startswith("campaign_progress_fraction{")
+        )
+        value = float(line.rsplit(" ", 1)[1])
+        assert 0.0 < value < 1.0  # synthetic campaign has cells in flight
+
+
+class TestExports:
+    def test_export_campaign_metrics_files(self, tmp_path):
+        data = synthetic_campaign(tmp_path)
+        results = tmp_path / "results.jsonl"
+        with results.open("w") as fh:
+            for row in data.frame.rows():
+                fh.write(json.dumps(row) + "\n")
+        out = export_campaign_metrics(tmp_path)
+        assert out == tmp_path / "metrics"
+        for suffix in ("jsonl", "csv", "prom"):
+            assert (out / f"metrics.{suffix}").stat().st_size > 0
+
+    def test_export_records_metrics_in_flight(self, tmp_path):
+        records = [
+            {
+                "cell_id": f"push_sum|hc-8|none|s{i}",
+                "status": "ok",
+                "algorithm": "push_sum",
+                "topology": "hypercube-8",
+                "fault": "none",
+                "converged": True,
+                "final_error": 1e-9,
+                "wall_s": 0.1,
+                "recorded_at": 100.0 + i,
+            }
+            for i in range(3)
+        ]
+        out = export_records_metrics(
+            records, name="inflight", spec=None, out_dir=tmp_path / "metrics"
+        )
+        prom = (out / "metrics.prom").read_text()
+        assert 'campaign="inflight"' in prom
+        assert "campaign_cells_per_sec" in prom

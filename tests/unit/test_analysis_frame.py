@@ -1,0 +1,97 @@
+"""Unit tests for the stdlib columnar Frame behind the analysis layer."""
+
+import pytest
+
+from repro.analysis.campaigns.frame import Frame, pandas_available
+from repro.exceptions import ExperimentError
+
+RECORDS = [
+    {"algorithm": "push_sum", "fault": "none", "err": 1e-9, "seed": 0},
+    {"algorithm": "push_flow", "fault": "none", "err": 1e-7, "seed": 0},
+    {"algorithm": "push_sum", "fault": "churn", "err": 1e-2, "seed": 1},
+    {"algorithm": "push_flow", "fault": "churn", "err": 1e-4, "seed": 1},
+]
+
+
+class TestConstruction:
+    def test_from_records_unions_keys(self):
+        frame = Frame.from_records(
+            [{"a": 1}, {"b": 2}],
+        )
+        assert frame.columns == ("a", "b")
+        assert frame.row(0) == {"a": 1, "b": None}
+        assert frame.row(1) == {"a": None, "b": 2}
+
+    def test_explicit_columns_fix_order_and_fill(self):
+        frame = Frame.from_records([{"b": 2}], columns=("a", "b", "c"))
+        assert frame.columns == ("a", "b", "c")
+        assert frame.row(0) == {"a": None, "b": 2, "c": None}
+
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(ExperimentError):
+            Frame({"a": [1, 2], "b": [1]})
+
+    def test_empty(self):
+        frame = Frame.from_records([])
+        assert len(frame) == 0
+        assert frame.columns == ()
+
+
+class TestOps:
+    def test_where_and_filter(self):
+        frame = Frame.from_records(RECORDS)
+        churn = frame.where(fault="churn")
+        assert len(churn) == 2
+        assert set(churn.column("algorithm")) == {"push_sum", "push_flow"}
+        small = frame.filter(lambda r: r["err"] < 1e-5)
+        assert len(small) == 2
+        assert len(frame.filter(lambda r: r["err"] < 1e-3)) == 3
+
+    def test_unique_sorted(self):
+        frame = Frame.from_records(RECORDS)
+        assert frame.unique("algorithm") == ["push_flow", "push_sum"]
+
+    def test_sort_by(self):
+        frame = Frame.from_records(RECORDS).sort_by("fault", "algorithm")
+        assert frame.column("fault") == ["churn", "churn", "none", "none"]
+
+    def test_groupby_keys_and_sizes(self):
+        frame = Frame.from_records(RECORDS)
+        groups = dict(
+            (key, len(g)) for key, g in frame.groupby("fault")
+        )
+        assert groups == {("churn",): 2, ("none",): 2}
+
+    def test_with_column(self):
+        frame = Frame.from_records(RECORDS).with_column(
+            "big", [e > 1e-5 for e in [1e-9, 1e-7, 1e-2, 1e-4]]
+        )
+        assert frame.column("big") == [False, False, True, True]
+
+    def test_select(self):
+        frame = Frame.from_records(RECORDS).select("err", "algorithm")
+        assert frame.columns == ("err", "algorithm")
+        assert len(frame) == len(RECORDS)
+
+    def test_missing_column_raises(self):
+        frame = Frame.from_records(RECORDS)
+        with pytest.raises(ExperimentError):
+            frame.column("nope")
+
+
+class TestExports:
+    def test_to_csv_roundtrip_shape(self):
+        csv_text = Frame.from_records(RECORDS).to_csv()
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "algorithm,fault,err,seed"
+        assert len(lines) == 1 + len(RECORDS)
+
+    def test_to_pandas_gated(self):
+        frame = Frame.from_records(RECORDS)
+        if pandas_available():
+            df = frame.to_pandas()
+            assert list(df.columns) == list(frame.columns)
+            assert len(df) == len(frame)
+        else:
+            with pytest.raises(ExperimentError):
+                frame.to_pandas()

@@ -1,0 +1,178 @@
+"""Loader tolerance: mixed-era records, duplicate cells, non-finite values."""
+
+import json
+import math
+
+import pytest
+
+from repro.analysis.campaigns.loader import (
+    ERA_DYNAMICS,
+    ERA_PRE_DYNAMICS,
+    ERA_PRE_TRACING,
+    ERA_TIMESTAMPED,
+    SCHEMA_VERSION,
+    load_campaign,
+    load_records,
+    normalize_record,
+    record_era,
+)
+from repro.exceptions import ExperimentError
+
+# One record per schema era, as the runner actually wrote them over time.
+LEGACY_PRE_TRACING = {
+    "cell_id": "push_sum|hypercube-8|none|s0",
+    "status": "ok",
+    "algorithm": "push_sum",
+    "topology": "hypercube-8",
+    "fault": "none",
+    "seed": 0,
+    "n": 8,
+    "converged": True,
+    "final_error": 1e-9,
+}
+LEGACY_PRE_DYNAMICS = {
+    **LEGACY_PRE_TRACING,
+    "cell_id": "push_sum|hypercube-8|none|s1",
+    "seed": 1,
+    "alerts": {"restart_regression": 2},
+    "alerts_total": 2,
+    "flight_dumps": ["flight/a.json", "flight/b.json"],
+}
+LEGACY_DYNAMICS = {
+    **LEGACY_PRE_TRACING,
+    "cell_id": "push_sum|hypercube-8|churn|s0",
+    "fault": "churn",
+    "alerts": {},
+    "alerts_total": 0,
+    "flight_dumps": [],
+    "dynamics": {"transitions": 4, "final_nodes": 7},
+}
+CURRENT = {
+    **LEGACY_DYNAMICS,
+    "cell_id": "push_sum|hypercube-8|churn|s1",
+    "seed": 1,
+    "recorded_at": 1.7e9,
+}
+
+
+class TestRecordEra:
+    def test_each_era_detected(self):
+        assert record_era(LEGACY_PRE_TRACING) == ERA_PRE_TRACING
+        assert record_era(LEGACY_PRE_DYNAMICS) == ERA_PRE_DYNAMICS
+        assert record_era(LEGACY_DYNAMICS) == ERA_DYNAMICS
+        assert record_era(CURRENT) == ERA_TIMESTAMPED
+
+
+class TestNormalize:
+    def test_legacy_record_gets_typed_defaults(self):
+        out = normalize_record(dict(LEGACY_PRE_TRACING))
+        assert out["alerts_total"] == 0
+        assert out["alerts"] == {}
+        assert out["flight_dumps"] == []
+        assert out["n_flight_dumps"] == 0
+        assert out["dynamics"] is None
+        assert out["recorded_at"] is None
+        assert out["engine"] == "object"
+        assert out["schema_era"] == ERA_PRE_TRACING
+
+    def test_tagged_non_finite_floats_parse(self):
+        raw = {
+            **LEGACY_PRE_TRACING,
+            "final_error": "inf",
+            "mass_drift_floor": "nan",
+            "recovery_rounds": "-inf",
+        }
+        out = normalize_record(raw)
+        assert out["final_error"] == math.inf
+        assert math.isnan(out["mass_drift_floor"])
+        assert out["recovery_rounds"] == -math.inf
+
+    def test_flight_dump_accounting(self):
+        out = normalize_record(dict(LEGACY_PRE_DYNAMICS))
+        assert out["n_flight_dumps"] == 2
+        assert out["alerts"] == {"restart_regression": 2}
+
+
+class TestLoadRecords:
+    def _write(self, tmp_path, lines):
+        path = tmp_path / "results.jsonl"
+        path.write_text("\n".join(lines) + "\n")
+        return path
+
+    def test_mixed_eras_in_one_file(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            [
+                json.dumps(r)
+                for r in (
+                    LEGACY_PRE_TRACING,
+                    LEGACY_PRE_DYNAMICS,
+                    LEGACY_DYNAMICS,
+                    CURRENT,
+                )
+            ],
+        )
+        records, duplicates, skipped = load_records(path)
+        assert len(records) == 4
+        assert duplicates == 0 and skipped == 0
+        assert sorted(r["schema_era"] for r in records) == [1, 2, 3, 4]
+        # Every record lands on the same column set regardless of era.
+        keys = {tuple(sorted(r)) for r in records}
+        assert len(keys) == 1
+
+    def test_duplicate_cell_latest_wins(self, tmp_path):
+        first = dict(CURRENT, final_error=0.5, converged=False)
+        second = dict(CURRENT, final_error=1e-9, converged=True)
+        path = self._write(tmp_path, [json.dumps(first), json.dumps(second)])
+        records, duplicates, skipped = load_records(path)
+        assert len(records) == 1
+        assert duplicates == 1
+        assert records[0]["final_error"] == 1e-9
+        assert records[0]["converged"] is True
+
+    def test_garbage_and_truncated_lines_skipped(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            [
+                json.dumps(CURRENT),
+                '{"cell_id": "push_sum|hyp',  # crash-truncated line
+                json.dumps({"no_cell_id": True}),
+                "",
+            ],
+        )
+        records, duplicates, skipped = load_records(path)
+        assert len(records) == 1
+        assert skipped == 2
+
+
+class TestLoadCampaign:
+    def test_missing_results_raises(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            load_campaign(tmp_path)
+
+    def test_spec_drives_expected_cells_and_name(self, tmp_path):
+        (tmp_path / "results.jsonl").write_text(json.dumps(CURRENT) + "\n")
+        (tmp_path / "campaign.json").write_text(
+            json.dumps(
+                {
+                    "name": "demo",
+                    "algorithms": ["push_sum", "push_flow"],
+                    "topologies": [{"family": "hypercube", "n": 8}],
+                    "faults": [{"kind": "none"}],
+                    "seeds": [0, 1, 2],
+                }
+            )
+        )
+        data = load_campaign(tmp_path)
+        assert data.name == "demo"
+        assert data.expected_cells == 6
+        assert data.schema_version == SCHEMA_VERSION
+        assert len(data.ok) == 1 and len(data.failed) == 0
+
+    def test_corrupt_spec_degrades_gracefully(self, tmp_path):
+        (tmp_path / "results.jsonl").write_text(json.dumps(CURRENT) + "\n")
+        (tmp_path / "campaign.json").write_text("{not json")
+        data = load_campaign(tmp_path)
+        assert data.spec is None
+        assert data.expected_cells is None
+        assert data.name == tmp_path.name

@@ -1,0 +1,148 @@
+"""Scenario/coverage/progress aggregations over the normalized frame."""
+
+import math
+import pathlib
+
+import pytest
+
+from repro.analysis.campaigns.frame import Frame
+from repro.analysis.campaigns.loader import COLUMNS, CampaignData, normalize_record
+from repro.analysis.campaigns.summary import (
+    alert_summary,
+    coverage_summary,
+    flight_dump_index,
+    progress_stats,
+    scenario_summary,
+)
+
+
+def _cell(cell_id, **fields):
+    raw = {
+        "cell_id": cell_id,
+        "status": "ok",
+        "algorithm": cell_id.split("|")[0],
+        "topology": "hypercube-8",
+        "fault": cell_id.split("|")[2],
+        "converged": True,
+        "final_error": 1e-9,
+    }
+    raw.update(fields)
+    return normalize_record(raw)
+
+
+def _data(records, expected=None, duplicates=0, skipped=0):
+    return CampaignData(
+        directory=pathlib.Path("."),
+        frame=Frame.from_records(records, columns=COLUMNS),
+        spec={"name": "t"},
+        expected_cells=expected,
+        duplicates=duplicates,
+        skipped_lines=skipped,
+    )
+
+
+class TestScenarioSummary:
+    def test_aggregates_and_censoring(self):
+        records = [
+            _cell(
+                "push_flow|hc|link|s0",
+                rounds_to_tolerance=100,
+                recovery_rounds=10.0,
+                recovered=True,
+                alerts={"restart_regression": 1},
+                alerts_total=1,
+                flight_dumps=["a.json"],
+            ),
+            _cell(
+                "push_flow|hc|link|s1",
+                converged=False,
+                rounds_to_tolerance=None,
+                final_error=0.5,
+                recovery_rounds=120.0,
+                recovered=False,
+            ),
+        ]
+        summary = scenario_summary(_data(records).ok)
+        assert len(summary) == 1
+        row = summary.row(0)
+        assert row["runs"] == 2
+        assert row["converged"] == "1/2"
+        assert row["mean_rounds_to_eps"] == 100.0  # non-reaching cell excluded
+        assert row["mean_recovery_rounds"] == 65.0
+        assert row["unrecovered"] == 1
+        assert row["alerts"] == 1
+        assert row["flight_dumps"] == 1
+
+    def test_non_finite_values_excluded(self):
+        records = [
+            _cell("push_sum|hc|none|s0", final_error="inf"),
+            _cell("push_sum|hc|none|s1", final_error=1e-8, mass_drift_floor=1e-15),
+            _cell("push_sum|hc|none|s2", mass_drift_floor="nan"),
+        ]
+        row = scenario_summary(_data(records).ok).row(0)
+        # inf is filtered; the nan-drift row still contributes its 1e-9
+        # final error, so the median interpolates 1e-8 and 1e-9.
+        assert row["median_final_error"] == pytest.approx(5.5e-9)
+        # The nan drift is filtered; the finite 1e-15 survives as the worst.
+        assert math.isfinite(row["worst_mass_drift_floor"])
+        assert row["worst_mass_drift_floor"] == 1e-15
+
+
+class TestCoverage:
+    def test_counts(self):
+        records = [
+            _cell("a|hc|none|s0"),
+            _cell("b|hc|none|s0", status="failed", error="boom"),
+        ]
+        cov = coverage_summary(_data(records, expected=5, duplicates=1, skipped=2))
+        assert cov == {
+            "expected": 5,
+            "recorded": 2,
+            "ok": 1,
+            "failed": 1,
+            "missing": 3,
+            "duplicates": 1,
+            "skipped_lines": 2,
+        }
+
+
+class TestAlertsAndDumps:
+    def test_alert_summary_per_detector(self):
+        records = [
+            _cell("a|hc|none|s0", alerts={"x": 2, "y": 1}, alerts_total=3),
+            _cell("a|hc|none|s1", alerts={"x": 1}, alerts_total=1),
+        ]
+        summary = alert_summary(_data(records).frame)
+        rows = {r["detector"]: r for r in summary.rows()}
+        assert rows["x"]["alerts"] == 3 and rows["x"]["cells"] == 2
+        assert rows["y"]["alerts"] == 1 and rows["y"]["cells"] == 1
+
+    def test_flight_dump_index_sorted(self):
+        records = [
+            _cell("b|hc|none|s0", flight_dumps=["f2.json"]),
+            _cell("a|hc|none|s0", flight_dumps=["f1.json"]),
+            _cell("c|hc|none|s0"),
+        ]
+        index = flight_dump_index(_data(records).frame)
+        assert [e["cell_id"] for e in index] == ["a|hc|none|s0", "b|hc|none|s0"]
+
+
+class TestProgress:
+    def test_throughput_and_eta_from_timestamps(self):
+        records = [
+            _cell(f"a|hc|none|s{i}", wall_s=0.5, recorded_at=100.0 + i * 2.0)
+            for i in range(5)
+        ]
+        stats = progress_stats(_data(records, expected=9))
+        assert stats["mean_wall_s"] == 0.5
+        assert stats["elapsed_s"] == 8.0
+        assert stats["cells_per_sec"] == 0.5
+        assert stats["remaining_cells"] == 4.0
+        assert stats["eta_s"] == 8.0
+
+    def test_legacy_records_degrade_to_wall_stats(self):
+        records = [_cell("a|hc|none|s0", wall_s=1.0)]
+        stats = progress_stats(_data(records))
+        assert stats["mean_wall_s"] == 1.0
+        assert stats["cells_per_sec"] is None
+        assert stats["eta_s"] is None

@@ -219,3 +219,34 @@ class TestObservabilityFields:
         record = execute_cell(cell)
         assert record["status"] == "ok"
         assert "alerts_total" in record
+
+
+class TestTimestampsAndMetrics:
+    def test_records_are_stamped_at_append_time(self, tmp_path):
+        run_campaign(tiny_spec(), tmp_path)
+        records = load_results(tmp_path)
+        stamps = [r["recorded_at"] for r in records.values()]
+        assert all(isinstance(s, float) and s > 0 for s in stamps)
+        # Appends happen in execution order, so stamps are monotone.
+        ordered = [
+            json.loads(line)["recorded_at"]
+            for line in (tmp_path / "results.jsonl").read_text().splitlines()
+        ]
+        assert ordered == sorted(ordered)
+
+    def test_metrics_every_exports_in_flight(self, tmp_path):
+        run_campaign(tiny_spec(), tmp_path, metrics_every=1)
+        metrics_dir = tmp_path / "metrics"
+        for suffix in ("jsonl", "csv", "prom"):
+            assert (metrics_dir / f"metrics.{suffix}").stat().st_size > 0
+        prom = (metrics_dir / "metrics.prom").read_text()
+        assert 'campaign="tiny"' in prom
+        assert "campaign_cells" in prom
+
+    def test_metrics_disabled_by_default(self, tmp_path):
+        run_campaign(tiny_spec(), tmp_path)
+        assert not (tmp_path / "metrics").exists()
+
+    def test_negative_metrics_every_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            run_campaign(tiny_spec(), tmp_path, metrics_every=-1)

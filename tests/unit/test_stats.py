@@ -5,7 +5,14 @@ import math
 import numpy as np
 import pytest
 
-from repro.util.stats import RunningStats, geometric_mean, median, percentile
+from repro.util.stats import (
+    RunningStats,
+    finite_mean,
+    finite_median,
+    geometric_mean,
+    median,
+    percentile,
+)
 
 
 class TestMedian:
@@ -111,3 +118,23 @@ class TestGeometricMean:
 
     def test_no_overflow(self):
         assert math.isfinite(geometric_mean([1e300, 1e300, 1e300]))
+
+
+class TestFiniteMeanMedian:
+    def test_filters_non_finite(self):
+        values = [1.0, float("nan"), 3.0, float("inf"), float("-inf")]
+        assert finite_mean(values) == 2.0
+        assert finite_median(values) == 2.0
+
+    def test_all_non_finite_returns_none(self):
+        assert finite_mean([float("nan"), float("inf")]) is None
+        assert finite_median([float("nan")]) is None
+
+    def test_empty_returns_none(self):
+        assert finite_mean([]) is None
+        assert finite_median([]) is None
+
+    def test_agrees_with_plain_median_when_finite(self):
+        values = [4.0, 1.0, 3.0, 2.0]
+        assert finite_median(values) == median(values)
+        assert finite_mean(values) == 2.5
