@@ -29,8 +29,11 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
+import pathlib
 import platform
 import sys
+import tempfile
 import time
 
 import numpy as np
@@ -48,6 +51,7 @@ from repro.telemetry import (
 )
 from repro.telemetry.probes import FlowMagnitudeProbe, MassConservationProbe
 from repro.topology import hypercube
+from repro.vectorized.backends import available_backends
 from repro.vectorized.batched import BatchedEngine, BatchedRun
 from repro.vectorized.parity import vector_engine_for
 
@@ -58,9 +62,22 @@ MIN_SECONDS = 0.4
 #: executed as a single whole-array program, compared against running the
 #: same runs one-by-one on the object engine (the pre-batching campaign
 #: path). Same machine, same process — the speedup is a ratio, so it is
-#: hardware-independent and CI-gateable.
+#: hardware-independent and CI-gateable. The entry is measured once per
+#: available kernel backend (numpy always; numba when installed, with an
+#: informational numba-vs-numpy ratio).
 BATCHED_RUNS = 16
 BATCHED_N = 1024  # hypercube(10); --quick drops to 128
+#: The batched-groups entry: a whole campaign (all four algorithms as
+#: separate (algorithm, topology) groups) executed with multiprocess
+#: workers, vs the estimated sequential object-engine cost of the same
+#: cells. Informational — absolute scaling depends on core count.
+GROUPS_N = 4096  # hypercube(12); --quick drops to 128
+GROUPS_ALGORITHMS = (
+    "push_sum",
+    "push_flow",
+    "push_cancel_flow",
+    "push_cancel_flow_hardened",
+)
 
 
 def _telemetry_observers(sampler=None):
@@ -94,7 +111,7 @@ def _vector_engine(n, observers=()):
     )
 
 
-def _batched_engine(n, runs=BATCHED_RUNS):
+def _batched_engine(n, runs=BATCHED_RUNS, backend=None):
     topo = hypercube(int(np.log2(n)))
     children = np.random.SeedSequence(7).spawn(runs)
     batch = []
@@ -108,7 +125,70 @@ def _batched_engine(n, runs=BATCHED_RUNS):
                 rng=rng,
             )
         )
-    return BatchedEngine(ALGORITHM, batch)
+    return BatchedEngine(ALGORITHM, batch, backend=backend)
+
+
+def _groups_entry(bn, rounds, sync_rps, workers):
+    """Multiprocess batched groups: one whole campaign, all cores.
+
+    Runs the same four-algorithm campaign twice — serial batched
+    (``workers=0``) and with one worker process per (algorithm, topology)
+    group — and reports the group-parallel scaling plus the combined
+    speedup over the estimated cost of executing every cell sequentially
+    on the object engine (``cells * rounds / sync_rps``, with ``sync_rps``
+    measured on this machine in this process).
+    """
+    from repro.campaigns import CampaignSpec, run_campaign
+
+    def spec(tag):
+        # epsilon far below the attainable error floor: no cell retires
+        # early, so both runs execute exactly cells * rounds work.
+        return CampaignSpec.from_dict(
+            {
+                "name": f"bench-groups-{tag}",
+                "engine": "batched",
+                "algorithms": list(GROUPS_ALGORITHMS),
+                "topologies": [{"family": "hypercube", "n": bn}],
+                "faults": [{"kind": "none"}],
+                "seeds": list(range(BATCHED_RUNS)),
+                "rounds": rounds,
+                "epsilon": 1e-300,
+            }
+        )
+
+    cells = len(GROUPS_ALGORITHMS) * BATCHED_RUNS
+    with tempfile.TemporaryDirectory() as tmp:
+        root = pathlib.Path(tmp)
+        t0 = time.perf_counter()
+        serial = run_campaign(spec("serial"), root / "serial")
+        serial_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        parallel = run_campaign(
+            spec("parallel"), root / "parallel", workers=workers
+        )
+        parallel_s = time.perf_counter() - t0
+    assert (serial.failed, parallel.failed) == (0, 0)
+    sequential_sync_s = cells * rounds / max(sync_rps, 1e-9)
+    return {
+        "engine": "batched-groups",
+        "algorithm": "all",
+        "n": bn,
+        "runs": BATCHED_RUNS,
+        "groups": len(GROUPS_ALGORITHMS),
+        "workers": workers,
+        "rounds": rounds,
+        "serial_seconds": round(serial_s, 6),
+        "parallel_seconds": round(parallel_s, 6),
+        "group_parallel_speedup": round(serial_s / max(parallel_s, 1e-9), 2),
+        "sync_rounds_per_sec": sync_rps,
+        "estimated_sequential_sync_seconds": round(sequential_sync_s, 6),
+        # Informational: how much faster the whole multiprocess campaign
+        # is than sequential object-engine cells. CI gates the in-process
+        # batched ratio instead (see check_regression.py).
+        "speedup_vs_sequential_sync": round(
+            sequential_sync_s / max(parallel_s, 1e-9), 2
+        ),
+    }
 
 
 def rounds_per_sec(factory, min_seconds: float = MIN_SECONDS) -> dict:
@@ -212,32 +292,67 @@ def main(argv=None) -> int:
     # Batched campaign axis: BATCHED_RUNS independent runs as one program
     # vs the same runs executed sequentially on the object engine. One
     # batched "round" advances all runs, so the axis-level speedup is
-    # runs * batched_rps / sync_rps.
+    # runs * batched_rps / sync_rps. Measured once per available kernel
+    # backend; the numpy entry is the CI-gated reference, the numba entry
+    # carries an informational numba-vs-numpy ratio.
     bn = 128 if args.quick else BATCHED_N
     sync_ref = rounds_per_sec(lambda: _sync_engine(bn), min_seconds)
-    batched = rounds_per_sec(lambda: _batched_engine(bn), min_seconds)
-    speedup = round(
-        BATCHED_RUNS
-        * batched["rounds_per_sec"]
-        / max(sync_ref["rounds_per_sec"], 1e-9),
-        2,
-    )
-    entries.append(
-        {
+    numpy_rps = None
+    for backend in available_backends():
+        batched = rounds_per_sec(
+            lambda: _batched_engine(bn, backend=backend), min_seconds
+        )
+        speedup = round(
+            BATCHED_RUNS
+            * batched["rounds_per_sec"]
+            / max(sync_ref["rounds_per_sec"], 1e-9),
+            2,
+        )
+        entry = {
             "engine": "batched",
             "algorithm": ALGORITHM,
+            "backend": backend,
             "n": bn,
             "runs": BATCHED_RUNS,
             **batched,
             "sync_rounds_per_sec": sync_ref["rounds_per_sec"],
             "speedup_vs_sequential_sync": speedup,
         }
+        if backend == "numpy":
+            numpy_rps = batched["rounds_per_sec"]
+        elif numpy_rps:
+            entry["numba_speedup_vs_numpy"] = round(
+                batched["rounds_per_sec"] / numpy_rps, 3
+            )
+        entries.append(entry)
+        print(
+            f"batched[{backend}] n={bn:4d} x{BATCHED_RUNS} runs  "
+            f"{batched['rounds_per_sec']:>10.1f} axis rounds/s  "
+            f"({speedup:.1f}x vs sequential object engine at "
+            f"{sync_ref['rounds_per_sec']:.1f} rounds/s)"
+        )
+
+    # Multiprocess batched groups: a whole four-algorithm campaign with
+    # one worker per group, vs the estimated sequential object-engine
+    # cost of the same cells. Informational — scaling tracks core count.
+    gn = 128 if args.quick else GROUPS_N
+    groups_rounds = 40 if args.quick else 120
+    groups_sync = (
+        sync_ref
+        if gn == bn
+        else rounds_per_sec(lambda: _sync_engine(gn), min_seconds)
     )
+    workers = max(1, min(len(GROUPS_ALGORITHMS), os.cpu_count() or 1))
+    groups = _groups_entry(
+        gn, groups_rounds, groups_sync["rounds_per_sec"], workers
+    )
+    entries.append(groups)
     print(
-        f"batched n={bn:4d} x{BATCHED_RUNS} runs  "
-        f"{batched['rounds_per_sec']:>10.1f} axis rounds/s  "
-        f"({speedup:.1f}x vs sequential object engine at "
-        f"{sync_ref['rounds_per_sec']:.1f} rounds/s)"
+        f"batched-groups n={gn:4d} {groups['groups']} groups x "
+        f"{BATCHED_RUNS} runs, {workers} workers  "
+        f"{groups['group_parallel_speedup']:.2f}x group scaling, "
+        f"{groups['speedup_vs_sequential_sync']:.1f}x vs sequential "
+        "object engine (informational)"
     )
     payload = {
         "benchmark": "engine_throughput",
@@ -249,11 +364,14 @@ def main(argv=None) -> int:
             "rounds/sec with no observers attached; 'overhead' shows the "
             "same engine with a full telemetry observer set, "
             "'overhead_sampled' the default-on sampled configuration "
-            "(one round in DEFAULT_SAMPLE_EVERY). The 'batched' entry runs "
-            "a whole seed axis as one whole-array program; its "
-            "speedup_vs_sequential_sync is a same-machine ratio against "
-            "the object engine. Compare ratios across commits, not "
-            "absolute wall-clock."
+            "(one round in DEFAULT_SAMPLE_EVERY). The 'batched' entries "
+            "run a whole seed axis as one whole-array program, once per "
+            "available kernel backend; speedup_vs_sequential_sync is a "
+            "same-machine ratio against the object engine (CI gates the "
+            "numpy entry; numba and batched-groups are informational). "
+            "The 'batched-groups' entry runs a four-algorithm campaign "
+            "with one worker process per group. Compare ratios across "
+            "commits, not absolute wall-clock."
         ),
         "entries": entries,
     }

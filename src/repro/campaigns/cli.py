@@ -68,6 +68,26 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--backend",
+        choices=("numpy", "numba"),
+        default=None,
+        help=(
+            "override the spec's kernel backend (vectorized/batched "
+            "engines only); 'numba' falls back to numpy with a warning "
+            "when numba is not installed. The default output directory "
+            "gains a -<backend> suffix so the runs don't collide"
+        ),
+    )
+    parser.add_argument(
+        "--start-method",
+        choices=("fork", "spawn", "forkserver"),
+        default=None,
+        help=(
+            "multiprocessing start method for --workers > 0 "
+            "(default: fork on Linux, spawn elsewhere)"
+        ),
+    )
+    parser.add_argument(
         "--fresh",
         action="store_true",
         help="discard any existing results.jsonl instead of resuming",
@@ -107,18 +127,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         spec = load_spec(args.spec)
+        overrides = {}
         if args.engine is not None and args.engine != spec.engine:
+            overrides["engine"] = args.engine
+        if args.backend is not None and args.backend != spec.backend:
+            overrides["backend"] = args.backend
+        if overrides:
             from repro.campaigns.spec import CampaignSpec
 
-            spec = CampaignSpec.from_dict(
-                {**spec.to_dict(), "engine": args.engine}
-            )
+            spec = CampaignSpec.from_dict({**spec.to_dict(), **overrides})
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     default_out = f"results/campaigns/{spec.name}"
     if args.engine is not None and args.engine != "object":
         default_out += f"-{args.engine}"
+    if args.backend is not None:
+        default_out += f"-{args.backend}"
     out_dir = pathlib.Path(args.out or default_out)
     log = (lambda _msg: None) if args.quiet else print
     try:
@@ -131,6 +156,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             resume=not args.fresh,
             log=log,
             metrics_every=args.metrics_every,
+            start_method=args.start_method,
         )
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)

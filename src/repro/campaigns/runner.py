@@ -37,10 +37,12 @@ import dataclasses
 import json
 import math
 import multiprocessing
+import os
 import pathlib
 import queue as queue_module
+import sys
 import time
-from typing import Callable, Dict, List, Optional, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -253,6 +255,7 @@ def execute_cell(cell: Dict[str, object]) -> Dict[str, object]:
         "fault": cell["fault"]["name"],  # type: ignore[index]
         "seed": seed,
         "engine": "object",
+        "backend": None,
         "n": n,
         "rounds": engine.round,
         "epsilon": epsilon,
@@ -352,6 +355,7 @@ def _execute_cells_batched(
     kind = AggregateKind(str(first["aggregate"]))
     data_kind = str(first["data"])
     engine_kind = str(first.get("engine", "vectorized"))
+    backend = first.get("backend")
 
     runs: List[BatchedRun] = []
     truths: List[float] = []
@@ -404,7 +408,9 @@ def _execute_cells_batched(
             )
         )
 
-    engine = BatchedEngine(algorithm, runs)
+    engine = BatchedEngine(
+        algorithm, runs, backend=str(backend) if backend is not None else None
+    )
     history = BatchedErrorHistory(truths)
     mass_probe = BatchedMassProbe(tolerance=_MASS_TOLERANCE)
     mass_probe.start(engine)
@@ -470,6 +476,9 @@ def _execute_cells_batched(
                 "fault": cell["fault"]["name"],  # type: ignore[index]
                 "seed": int(cell["seed"]),  # type: ignore[arg-type]
                 "engine": engine_kind,
+                # The *resolved* backend: a numba spec that fell back to
+                # numpy records "numpy", so results say what actually ran.
+                "backend": engine.backend_name,
                 "n": sizes[r],
                 "rounds": cell_rounds,
                 "epsilon": epsilon,
@@ -527,6 +536,7 @@ def _failure_record(
         "fault": cell["fault"].get("name"),  # type: ignore[union-attr]
         "seed": cell["seed"],
         "engine": cell.get("engine", "object"),
+        "backend": cell.get("backend"),
         "attempts": attempts,
         "flight_dumps": dumps,
         "error": error,
@@ -579,6 +589,27 @@ def _append_record(path: pathlib.Path, record: Dict[str, object]) -> None:
     with path.open("a") as fh:
         fh.write(json.dumps(record) + "\n")
         fh.flush()
+
+
+def _mp_context(start_method: Optional[str] = None):
+    """Explicit multiprocessing context selection.
+
+    The start method used to be chosen as fork-if-available, which made
+    the execution model platform-implicit (and silently picked ``fork``
+    on macOS, where forking a threaded Python is unsafe). Now the choice
+    is explicit: ``fork`` on Linux (cheap, inherits the imported NumPy),
+    ``spawn`` everywhere else. Pass ``start_method`` to force one — e.g.
+    ``spawn`` on Linux to mirror macOS/Windows behavior in tests.
+    """
+    if start_method is None:
+        start_method = "fork" if sys.platform.startswith("linux") else "spawn"
+    available = multiprocessing.get_all_start_methods()
+    if start_method not in available:
+        raise ConfigurationError(
+            f"multiprocessing start method {start_method!r} is not "
+            f"available on this platform; available: {available}"
+        )
+    return multiprocessing.get_context(start_method)
 
 
 def _worker_entry(cell: Dict[str, object], result_queue) -> None:
@@ -688,9 +719,9 @@ def _run_parallel(
     timeout: Optional[float],
     retries: int,
     on_record: Callable[[Dict[str, object]], None],
+    start_method: Optional[str] = None,
 ) -> Dict[str, int]:
-    methods = multiprocessing.get_all_start_methods()
-    ctx = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+    ctx = _mp_context(start_method)
     stats = {"ok": 0, "failed": 0, "retries_used": 0}
     todo: List[_Attempt] = [_Attempt(cell=c, attempt=1) for c in pending]
     todo.reverse()  # pop() keeps the original submission order
@@ -755,6 +786,227 @@ def _run_parallel(
     return stats
 
 
+# ----------------------------------------------------------------------
+# Parallel batched groups: one whole-array program per worker process,
+# results shipped home through a parent-owned shared-memory segment.
+# ----------------------------------------------------------------------
+
+#: Per-cell capacity estimate for a group's result payload. Records are
+#: ~1-2 KB of JSON; 8 KB per cell leaves generous headroom, and a group
+#: whose payload still exceeds its segment falls back to the queue.
+_SHM_BYTES_PER_CELL = 8192
+_SHM_MIN_BYTES = 65536
+
+
+def _attach_shm(name: str):
+    """Child-side attach to the parent-owned result segment.
+
+    Ownership stays with the parent: it created the segment and unlinks
+    it in *every* outcome path (success, worker error, crash, timeout,
+    retry). On Python 3.13+ the child attaches with ``track=False`` so it
+    never becomes co-responsible. Earlier versions register the attach
+    with the resource tracker unconditionally — which is safe here:
+    fork, spawn and forkserver children all inherit the parent's tracker
+    fd, registration is set-idempotent, and the parent's unlink balances
+    the books (the child must NOT unregister, or the parent's later
+    unlink-unregister trips a tracker KeyError).
+    """
+    from multiprocessing import shared_memory
+
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python <= 3.12: no track parameter
+        return shared_memory.SharedMemory(name=name)
+
+
+def _group_worker_entry(
+    cells: List[Dict[str, object]], shm_name: str, result_queue
+) -> None:
+    """Subprocess body for one batched group.
+
+    Writes the group's records as JSON into the parent's shared-memory
+    segment and signals the payload size on the queue; oversized payloads
+    fall back to shipping the records inline through the queue.
+    """
+    try:
+        records = _execute_cells_batched(cells)
+        payload = json.dumps(records).encode()
+        shm = _attach_shm(shm_name)
+        try:
+            if len(payload) <= shm.size:
+                shm.buf[: len(payload)] = payload
+                result_queue.put(("shm", len(payload)))
+            else:
+                result_queue.put(("inline", records))
+        finally:
+            shm.close()
+    except Exception as exc:  # noqa: BLE001 - forwarded to the parent
+        result_queue.put(("error", f"{type(exc).__name__}: {exc}"))
+
+
+@dataclasses.dataclass
+class _GroupAttempt:
+    cells: List[Dict[str, object]]
+    attempt: int  # 1-based
+    process: object = None
+    queue: object = None
+    shm: object = None
+    deadline: Optional[float] = None
+
+
+def _group_pending(
+    pending: List[Dict[str, object]],
+) -> List[List[Dict[str, object]]]:
+    """Group cells by (algorithm, topology) in first-seen order."""
+    groups: Dict[Tuple[str, str], List[Dict[str, object]]] = {}
+    order: List[Tuple[str, str]] = []
+    for cell in pending:
+        key = (str(cell["algorithm"]), str(cell["topology_label"]))
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(cell)
+    return [groups[key] for key in order]
+
+
+def _run_parallel_batched(
+    pending: List[Dict[str, object]],
+    workers: int,
+    timeout: Optional[float],
+    retries: int,
+    on_record: Callable[[Dict[str, object]], None],
+    start_method: Optional[str] = None,
+) -> Dict[str, int]:
+    """Parallel batched execution: whole (algorithm, topology) groups per
+    worker process, so a multi-group campaign saturates the machine while
+    every group keeps the full whole-array speedup.
+
+    Result transport is a parent-owned shared-memory segment per running
+    group (created before the worker starts, unlinked by the parent in
+    *every* outcome path — success, worker error, crash, timeout and
+    retry — so no segment outlives its attempt). The per-cell ``timeout``
+    scales with group size: a group of k cells gets ``k * timeout``
+    seconds, preserving per-cell semantics.
+    """
+    from multiprocessing import shared_memory
+
+    ctx = _mp_context(start_method)
+    stats = {"ok": 0, "failed": 0, "retries_used": 0}
+    todo: List[_GroupAttempt] = [
+        _GroupAttempt(cells=g, attempt=1) for g in _group_pending(pending)
+    ]
+    todo.reverse()  # pop() keeps the original submission order
+    running: List[_GroupAttempt] = []
+    seq = 0
+
+    def release(item: _GroupAttempt) -> None:
+        shm = item.shm
+        if shm is None:
+            return
+        item.shm = None
+        shm.close()  # type: ignore[union-attr]
+        try:
+            shm.unlink()  # type: ignore[union-attr]
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+    def settle(item: _GroupAttempt, error: str) -> None:
+        release(item)
+        if item.attempt <= retries:
+            stats["retries_used"] += 1
+            todo.append(_GroupAttempt(cells=item.cells, attempt=item.attempt + 1))
+        else:
+            stats["failed"] += len(item.cells)
+            for cell in item.cells:
+                on_record(_failure_record(cell, item.attempt, error))
+
+    def finish(item: _GroupAttempt, records: List[Dict[str, object]]) -> None:
+        release(item)
+        stats["ok"] += len(item.cells)
+        for record in records:
+            record["attempts"] = item.attempt
+            on_record(record)
+
+    try:
+        while todo or running:
+            while todo and len(running) < workers:
+                item = todo.pop()
+                seq += 1
+                item.shm = shared_memory.SharedMemory(
+                    # PID-prefixed so stale segments are attributable (and
+                    # the cleanup tests can scan for this process's leaks).
+                    name=f"repro-grp-{os.getpid()}-{seq}",
+                    create=True,
+                    size=max(
+                        _SHM_MIN_BYTES, _SHM_BYTES_PER_CELL * len(item.cells)
+                    ),
+                )
+                item.queue = ctx.Queue(maxsize=1)
+                item.process = ctx.Process(
+                    target=_group_worker_entry,
+                    args=(item.cells, item.shm.name, item.queue),
+                    daemon=True,
+                )
+                item.process.start()
+                item.deadline = (
+                    time.monotonic() + timeout * len(item.cells)
+                    if timeout is not None
+                    else None
+                )
+                running.append(item)
+
+            time.sleep(0.02)
+            still_running: List[_GroupAttempt] = []
+            for item in running:
+                proc = item.process
+                msg: Optional[Tuple[str, object]] = None
+                try:
+                    msg = item.queue.get_nowait()  # type: ignore[union-attr]
+                except queue_module.Empty:
+                    msg = None
+                if msg is not None:
+                    proc.join()  # type: ignore[union-attr]
+                    tag, payload = msg
+                    if tag == "shm":
+                        nbytes = int(payload)  # type: ignore[arg-type]
+                        raw = bytes(item.shm.buf[:nbytes])  # type: ignore[union-attr]
+                        finish(item, json.loads(raw.decode()))
+                    elif tag == "inline":
+                        finish(item, payload)  # type: ignore[arg-type]
+                    else:  # the worker caught an in-run exception
+                        settle(item, str(payload))
+                elif not proc.is_alive():  # type: ignore[union-attr]
+                    proc.join()  # type: ignore[union-attr]
+                    settle(
+                        item,
+                        f"worker crashed (exit code {proc.exitcode})",  # type: ignore[union-attr]
+                    )
+                elif (
+                    item.deadline is not None
+                    and time.monotonic() > item.deadline
+                ):
+                    proc.terminate()  # type: ignore[union-attr]
+                    proc.join()  # type: ignore[union-attr]
+                    settle(
+                        item,
+                        f"group timeout after "
+                        f"{timeout * len(item.cells):g}s "  # type: ignore[operator]
+                        f"({len(item.cells)} cells x {timeout:g}s)",
+                    )
+                else:
+                    still_running.append(item)
+            running = still_running
+    finally:
+        # Belt and braces: a raising on_record (or KeyboardInterrupt) must
+        # not leak segments of still-running groups.
+        for item in running:
+            if item.process is not None and item.process.is_alive():  # type: ignore[union-attr]
+                item.process.terminate()  # type: ignore[union-attr]
+                item.process.join()  # type: ignore[union-attr]
+            release(item)
+    return stats
+
+
 def run_campaign(
     spec: CampaignSpec,
     out_dir: Union[str, pathlib.Path],
@@ -766,13 +1018,19 @@ def run_campaign(
     log: Optional[Callable[[str], None]] = None,
     executor: Callable[[Dict[str, object]], Dict[str, object]] = execute_cell,
     metrics_every: int = 0,
+    start_method: Optional[str] = None,
 ) -> CampaignRun:
     """Sweep the full campaign grid, checkpointing into ``out_dir``.
 
     ``workers=0`` runs every cell in-process (deterministic, no timeout
     enforcement — the mode tests and small sweeps use); ``workers >= 1``
     fans cells out to that many OS processes, each attempt bounded by
-    ``timeout`` seconds and retried up to ``retries`` times. With
+    ``timeout`` seconds and retried up to ``retries`` times. On the
+    batched engine, parallel workers execute whole (algorithm, topology)
+    groups — one whole-array program per process, results returned
+    through shared memory — so grouping and multiprocessing compose
+    instead of competing. ``start_method`` forces the multiprocessing
+    start method (default: ``fork`` on Linux, ``spawn`` elsewhere). With
     ``resume=True`` (default), cells already recorded in
     ``out_dir/results.jsonl`` are skipped — delete the file (or pass
     ``resume=False``) for a fresh sweep. ``executor`` is injectable for
@@ -798,10 +1056,12 @@ def run_campaign(
     spec_dict = spec.to_dict()
     if spec_path.exists():
         existing = json.loads(spec_path.read_text())
-        # Older campaign dirs predate the telemetry_sample_rate and engine
-        # run keys; let them resume under the defaults rather than refusing.
+        # Older campaign dirs predate the telemetry_sample_rate, engine
+        # and backend run keys; let them resume under the defaults rather
+        # than refusing.
         existing.setdefault("telemetry_sample_rate", None)
         existing.setdefault("engine", "object")
+        existing.setdefault("backend", None)
         if existing != spec_dict:
             raise ConfigurationError(
                 f"{out_path} already holds results for a different campaign "
@@ -872,13 +1132,24 @@ def run_campaign(
                 stats = _run_batched(pending, retries, on_record)
             else:
                 stats = _run_serial(pending, retries, on_record, executor)
+        elif spec.engine == "batched":
+            stats = _run_parallel_batched(
+                pending,
+                workers,
+                timeout,
+                retries,
+                on_record,
+                start_method=start_method,
+            )
         else:
-            if spec.engine == "batched":
-                say(
-                    "  note: workers>0 runs batched cells as single-run "
-                    "batches per process; workers=0 batches whole groups"
-                )
-            stats = _run_parallel(pending, workers, timeout, retries, on_record)
+            stats = _run_parallel(
+                pending,
+                workers,
+                timeout,
+                retries,
+                on_record,
+                start_method=start_method,
+            )
     else:
         stats = {"ok": 0, "failed": 0, "retries_used": 0}
     if metrics_every:

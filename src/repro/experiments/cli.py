@@ -39,7 +39,9 @@ def build_parser() -> argparse.ArgumentParser:
         epilog=(
             "Scenario sweeps: 'python -m repro.experiments campaign <spec>' "
             "runs a fault-injection campaign grid (see repro.campaigns; "
-            "'campaign --help' for options). Causal tracing: 'python -m "
+            "'campaign --help' for options, including the execution "
+            "--engine and kernel --backend axes: numpy reference or "
+            "numba-jitted fused kernels). Causal tracing: 'python -m "
             "repro.experiments trace run|diff|query|validate' (see "
             "repro.tracing; 'trace --help' for options). Campaign "
             "analytics: 'python -m repro.experiments analyze <dir>' "

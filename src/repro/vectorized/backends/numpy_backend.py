@@ -1,0 +1,339 @@
+"""Pure-NumPy reference kernels.
+
+These are the round bodies the vectorized engines ran before the backend
+seam existed, moved verbatim behind :class:`KernelBackend`. They are the
+correctness reference: bit-for-bit identical to the object engine under
+scripted schedules (the engine parity suites assert this), and the
+baseline every other backend is compared against.
+
+Operation-order notes mirror :mod:`repro.vectorized.engines`: flow sums
+accumulate left-to-right over sorted-neighbor slots, colliding receiver
+updates go through ``np.add.at`` in ascending message order, and padded
+slots hold exact zeros so they cannot perturb rounding.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.vectorized.backends.base import KernelBackend
+
+
+class NumpyKernels(KernelBackend):
+    """The reference backend: whole-array NumPy round kernels."""
+
+    name = "numpy"
+    compiled = False
+
+    def push_sum_round(self, val, w, senders, receivers, delivered) -> None:
+        # Keep half, send half — the send-side halving happens regardless
+        # of delivery (a dropped message loses mass, as in the real
+        # protocol).
+        half_val = val[senders] * 0.5
+        half_w = w[senders] * 0.5
+        val[senders] = half_val
+        w[senders] = half_w
+        idx = np.nonzero(delivered)[0]
+        np.add.at(val, receivers[idx], half_val[idx])
+        np.add.at(w, receivers[idx], half_w[idx])
+
+    @staticmethod
+    def _flow_totals(fval, fw) -> Tuple[np.ndarray, np.ndarray]:
+        # Accumulate the flow sum left-to-right over sorted-neighbor slots
+        # — the object engine's rounding order.
+        total_val = np.zeros(fval.shape[::2], dtype=fval.dtype)
+        total_w = np.zeros(fw.shape[0], dtype=fw.dtype)
+        for s in range(fval.shape[1]):
+            total_val += fval[:, s]
+            total_w += fw[:, s]
+        return total_val, total_w
+
+    def push_flow_round(
+        self, fval, fw, v0, w0, senders, slots, receivers, r_slots, delivered
+    ) -> None:
+        # Estimate fused in: est = v0 - sum(flows), then one PF round.
+        total_val, total_w = self._flow_totals(fval, fw)
+        est_val = v0 - total_val
+        est_w = w0 - total_w
+
+        # Phase 1: virtual sends (sender slots are unique per round).
+        fval[senders, slots] += est_val[senders] * 0.5
+        fw[senders, slots] += est_w[senders] * 0.5
+
+        # Phase 2: snapshot the physical payloads.
+        sent_val = fval[senders, slots].copy()
+        sent_w = fw[senders, slots].copy()
+
+        # Phase 3: deliveries — receiver (node, slot) pairs are unique.
+        idx = np.nonzero(delivered)[0]
+        fval[receivers[idx], r_slots[idx]] = -sent_val[idx]
+        fw[receivers[idx], r_slots[idx]] = -sent_w[idx]
+
+    def pcf_round(
+        self,
+        fval,
+        fw,
+        c,
+        r,
+        phi_val,
+        phi_w,
+        v0,
+        w0,
+        senders,
+        slots,
+        receivers,
+        r_slots,
+        delivered,
+    ) -> Tuple[int, int]:
+        d = v0.shape[1]
+        est_val = v0 - phi_val
+        est_w = w0 - phi_w
+
+        # Phase 1: virtual sends into the active slot + incremental phi.
+        act = c[senders, slots].astype(np.int64)
+        half_val = est_val[senders] * 0.5
+        half_w = est_w[senders] * 0.5
+        fval[senders, slots, act] += half_val
+        fw[senders, slots, act] += half_w
+        phi_val[senders] += half_val
+        phi_w[senders] += half_w
+
+        # Phase 2: snapshot payloads (both slots + control variables).
+        g_val = fval[senders, slots].copy()  # (k, 2, d)
+        g_w = fw[senders, slots].copy()  # (k, 2)
+        g_c = c[senders, slots].copy()
+        g_r = r[senders, slots].copy()
+
+        # Phase 3: deliveries. Receiver (node, slot) pairs are unique, so
+        # per-edge updates are data-parallel; only phi accumulations can
+        # collide and those go through ordered np.add.at.
+        idx = np.nonzero(delivered)[0]
+        if len(idx) == 0:
+            return 0, 0
+        j = receivers[idx]
+        t = r_slots[idx]
+        pv = g_val[idx]  # payload flows (m, 2, d)
+        pw = g_w[idx]
+        pc = g_c[idx].astype(np.int64)
+        pr = g_r[idx]
+        m = len(idx)
+
+        lc = c[j, t].astype(np.int64)
+        lr = r[j, t]
+
+        # (adopt) peer swapped first: take over its role assignment.
+        adopt = (lc != pc) & (lr == pr)
+        lc[adopt] = pc[adopt]
+
+        eq = lc == pc
+        a = lc
+        p = 1 - lc
+
+        # Combined phi delta per message (active repair + optional passive
+        # repair), applied once in sender order — mirrors the object
+        # engine's single phi update per received message.
+        delta_val = np.zeros((m, d))
+        delta_w = np.zeros(m)
+
+        # Active-slot PF repair (only for role-consistent messages).
+        e_idx = np.nonzero(eq)[0]
+        je, te, ae = j[e_idx], t[e_idx], a[e_idx]
+        ga_val = pv[e_idx, ae]  # (|e|, d)
+        ga_w = pw[e_idx, ae]
+        delta_val[e_idx] -= fval[je, te, ae] + ga_val
+        delta_w[e_idx] -= fw[je, te, ae] + ga_w
+        fval[je, te, ae] = -ga_val
+        fw[je, te, ae] = -ga_w
+
+        # Passive-slot handshake.
+        pe = p[e_idx]
+        f_p_val = fval[je, te, pe]
+        f_p_w = fw[je, te, pe]
+        g_p_val = pv[e_idx, pe]
+        g_p_w = pw[e_idx, pe]
+        lre = lr[e_idx]
+        pre = pr[e_idx]
+
+        conserved = np.all(g_p_val == -f_p_val, axis=1) & (g_p_w == -f_p_w)
+        peer_zero = np.all(g_p_val == 0.0, axis=1) & (g_p_w == 0.0)
+        cancel = conserved & (lre == pre)
+        swap = ~cancel & peer_zero & (lre + 1 == pre)
+        repair = ~cancel & ~swap & (lre <= pre)
+
+        # (cancel)/(swap): zero the passive copy, advance the era; the
+        # value stays absorbed in phi (no delta). Swap additionally flips
+        # roles.
+        zero_mask = cancel | swap
+        z_idx = e_idx[zero_mask]
+        jz, tz, pz = j[z_idx], t[z_idx], pe[zero_mask]
+        fval[jz, tz, pz] = 0.0
+        fw[jz, tz, pz] = 0.0
+        lr_new = lr.copy()
+        lr_new[z_idx] += 1
+        lc_new = lc.copy()
+        s_idx = e_idx[swap]
+        lc_new[s_idx] = p[s_idx]
+
+        # (repair): conservation violated — treat the passive like an
+        # active.
+        r_idx = e_idx[repair]
+        jr, tr, prr = j[r_idx], t[r_idx], pe[repair]
+        gr_val = g_p_val[repair]
+        gr_w = g_p_w[repair]
+        delta_val[r_idx] -= fval[jr, tr, prr] + gr_val
+        delta_w[r_idx] -= fw[jr, tr, prr] + gr_w
+        fval[jr, tr, prr] = -gr_val
+        fw[jr, tr, prr] = -gr_w
+
+        # Write back control state and accumulate phi in sender order.
+        c[j, t] = lc_new.astype(np.int8)
+        r[j, t] = lr_new
+        np.add.at(phi_val, j, delta_val)
+        np.add.at(phi_w, j, delta_w)
+        return int(np.count_nonzero(cancel)), int(np.count_nonzero(swap))
+
+    def pcf_hardened_round(
+        self,
+        fval,
+        fw,
+        r,
+        frozen_val,
+        frozen_w,
+        initiator,
+        phi_val,
+        phi_w,
+        v0,
+        w0,
+        senders,
+        slots,
+        receivers,
+        r_slots,
+        delivered,
+    ) -> Tuple[int, int]:
+        d = v0.shape[1]
+        est_val = v0 - phi_val
+        est_w = w0 - phi_w
+
+        # Phase 1: virtual sends into the era-derived active slot.
+        act = (r[senders, slots] % 2).astype(np.int64)
+        half_val = est_val[senders] * 0.5
+        half_w = est_w[senders] * 0.5
+        fval[senders, slots, act] += half_val
+        fw[senders, slots, act] += half_w
+        phi_val[senders] += half_val
+        phi_w[senders] += half_w
+
+        # Phase 2: payload snapshots.
+        g_val = fval[senders, slots].copy()  # (k, 2, d)
+        g_w = fw[senders, slots].copy()
+        g_r = r[senders, slots].copy()
+        g_frozen_val = frozen_val[senders, slots].copy()
+        g_frozen_w = frozen_w[senders, slots].copy()
+
+        # Phase 3: deliveries at unique (receiver, slot) pairs.
+        idx = np.nonzero(delivered)[0]
+        if len(idx) == 0:
+            return 0, 0
+        j = receivers[idx]
+        t = r_slots[idx]
+        pv = g_val[idx]
+        pw = g_w[idx]
+        pr = g_r[idx]
+        pfv = g_frozen_val[idx]
+        pfw = g_frozen_w[idx]
+        m = len(idx)
+
+        lr = r[j, t].copy()
+        ini = initiator[j, t]
+        delta_val = np.zeros((m, d))
+        delta_w = np.zeros(m)
+
+        in_window = (pr >= lr - 1) & (pr <= lr + 1)
+
+        # --- boundary refresh (peer one era behind, at the initiator) ----
+        boundary = in_window & (pr == lr - 1) & ini
+        b_idx = np.nonzero(boundary)[0]
+        if len(b_idx):
+            jb, tb = j[b_idx], t[b_idx]
+            pb = 1 - (lr[b_idx] % 2)  # local passive == peer's stale active
+            gb_val = pv[b_idx, pb]
+            gb_w = pw[b_idx, pb]
+            delta_val[b_idx] -= fval[jb, tb, pb] + gb_val
+            delta_w[b_idx] -= fw[jb, tb, pb] + gb_w
+            fval[jb, tb, pb] = -gb_val
+            fw[jb, tb, pb] = -gb_w
+
+        # --- frozen-verified catch-up (peer ahead, at the follower) ------
+        catch = in_window & (pr == lr + 1) & ~ini
+        c_idx = np.nonzero(catch)[0]
+        catch_ups = len(c_idx)
+        if len(c_idx):
+            jc, tc = j[c_idx], t[c_idx]
+            pc = 1 - (lr[c_idx] % 2)
+            fz_val = pfv[c_idx]
+            fz_w = pfw[c_idx]
+            delta_val[c_idx] -= fval[jc, tc, pc] + fz_val
+            delta_w[c_idx] -= fw[jc, tc, pc] + fz_w
+            fval[jc, tc, pc] = -fz_val
+            fw[jc, tc, pc] = -fz_w
+            frozen_val[jc, tc] = -fz_val
+            frozen_w[jc, tc] = -fz_w
+            fval[jc, tc, pc] = 0.0
+            fw[jc, tc, pc] = 0.0
+            lr[c_idx] += 1
+
+        # --- era-equal processing (includes just-caught-up messages) -----
+        cancels = 0
+        eq = in_window & ((pr == lr) | catch)
+        e_idx = np.nonzero(eq)[0]
+        if len(e_idx):
+            je, te = j[e_idx], t[e_idx]
+            ae = (lr[e_idx] % 2).astype(np.int64)
+            pe = 1 - ae
+            erange = e_idx
+            # Active-slot PF repair.
+            ga_val = pv[erange, ae]
+            ga_w = pw[erange, ae]
+            delta_val[e_idx] -= fval[je, te, ae] + ga_val
+            delta_w[e_idx] -= fw[je, te, ae] + ga_w
+            fval[je, te, ae] = -ga_val
+            fw[je, te, ae] = -ga_w
+
+            gp_val = pv[erange, pe]
+            gp_w = pw[erange, pe]
+            f_p_val = fval[je, te, pe]
+            f_p_w = fw[je, te, pe]
+            ini_e = ini[e_idx]
+
+            # Initiator: cancel when the follower mirrors exactly.
+            conserved = np.all(gp_val == -f_p_val, axis=1) & (gp_w == -f_p_w)
+            cancel = ini_e & conserved
+            z = np.nonzero(cancel)[0]
+            if len(z):
+                jz, tz, pz = je[z], te[z], pe[z]
+                frozen_val[jz, tz] = fval[jz, tz, pz]
+                frozen_w[jz, tz] = fw[jz, tz, pz]
+                fval[jz, tz, pz] = 0.0
+                fw[jz, tz, pz] = 0.0
+                lr[e_idx[z]] += 1
+                cancels = len(z)
+
+            # Follower: track the initiator's reference copy.
+            follow = ~ini_e
+            f = np.nonzero(follow)[0]
+            if len(f):
+                jf, tf, pf = je[f], te[f], pe[f]
+                gf_val = gp_val[f]
+                gf_w = gp_w[f]
+                delta_val[e_idx[f]] -= fval[jf, tf, pf] + gf_val
+                delta_w[e_idx[f]] -= fw[jf, tf, pf] + gf_w
+                fval[jf, tf, pf] = -gf_val
+                fw[jf, tf, pf] = -gf_w
+
+        # Write back eras; accumulate phi in sender order.
+        r[j, t] = lr
+        np.add.at(phi_val, j, delta_val)
+        np.add.at(phi_w, j, delta_w)
+        return cancels, catch_ups

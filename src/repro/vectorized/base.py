@@ -29,6 +29,7 @@ import numpy as np
 from repro.exceptions import ConfigurationError
 from repro.simulation.observers import Observer, ObserverList
 from repro.topology.base import Topology
+from repro.vectorized.backends import KernelBackend, resolve_backend
 from repro.vectorized.topology_arrays import TopologyArrays
 
 StopCondition = Callable[["VectorizedEngine", int], bool]
@@ -59,6 +60,7 @@ class VectorizedEngine(abc.ABC):
         loss_probability: float = 0.0,
         targets: Optional[np.ndarray] = None,
         observers: Sequence[Observer] = (),
+        backend: Union[str, KernelBackend, None] = None,
     ) -> None:
         # The batched executor pre-assembles a stacked TopologyArrays for a
         # whole run batch; single runs pass a Topology as before.
@@ -75,6 +77,7 @@ class VectorizedEngine(abc.ABC):
                 f"loss_probability must be in [0, 1], got {loss_probability}"
             )
         self._loss = float(loss_probability)
+        self._kernels = resolve_backend(backend)
         self._rng = np.random.default_rng(seed)
         from repro.telemetry.session import session_observers
 
@@ -120,6 +123,15 @@ class VectorizedEngine(abc.ABC):
     @property
     def messages_delivered(self) -> int:
         return self._messages_delivered
+
+    @property
+    def backend(self) -> KernelBackend:
+        """The resolved kernel backend running this engine's rounds."""
+        return self._kernels
+
+    @property
+    def backend_name(self) -> str:
+        return self._kernels.name
 
     def live_nodes(self) -> list:
         """All nodes — the vectorized engines model no permanent failures.

@@ -117,7 +117,13 @@ def _stack_topologies(
 class BatchedEngine:
     """Execute R independent runs of one algorithm as a single program."""
 
-    def __init__(self, algorithm: str, runs: Sequence[BatchedRun]) -> None:
+    def __init__(
+        self,
+        algorithm: str,
+        runs: Sequence[BatchedRun],
+        *,
+        backend: Union[str, None] = None,
+    ) -> None:
         if not runs:
             raise ConfigurationError("a batch needs at least one run")
         self._runs = len(runs)
@@ -158,6 +164,7 @@ class BatchedEngine:
             np.vstack(values_parts),
             np.concatenate(weights_parts),
             seed=0,
+            backend=backend,
         )
         self._rngs = [np.random.default_rng(run.rng) for run in runs]
         self._loss = np.array(
@@ -271,6 +278,11 @@ class BatchedEngine:
     @property
     def round(self) -> int:
         return self._round
+
+    @property
+    def backend_name(self) -> str:
+        """Name of the kernel backend driving the stacked engine."""
+        return self._engine.backend_name
 
     @property
     def retired(self) -> np.ndarray:

@@ -1,11 +1,16 @@
 """Vectorized push-sum / push-flow / push-cancel-flow engines.
 
 Each class executes the synchronous round semantics of its object-engine
-counterpart (:mod:`repro.algorithms`) as whole-array NumPy operations. The
-floating-point operation *order* is kept identical to the object engine —
-left-to-right flow summation, per-message combined phi deltas applied in
-sender order via ``np.add.at`` — so scripted-schedule runs agree
-bit-for-bit between the two engines (verified by the parity tests).
+counterpart (:mod:`repro.algorithms`): the hot per-round update is
+delegated to the engine's kernel backend
+(:mod:`repro.vectorized.backends`, selected via the ``backend`` keyword),
+whose NumPy reference keeps the floating-point operation *order*
+identical to the object engine — left-to-right flow summation,
+per-message combined phi deltas applied in sender order via
+``np.add.at`` — so scripted-schedule runs agree bit-for-bit between the
+two engines (verified by the parity tests). Everything else — estimates,
+flow diagnostics, link-failure and churn state transitions — stays here
+and is backend-independent.
 """
 
 from __future__ import annotations
@@ -36,15 +41,9 @@ class VectorPushSum(VectorizedEngine):
 
     def _apply_round(self, senders, slots, delivered) -> None:
         receivers, _ = self._receiver_indices(senders, slots)
-        # Keep half, send half — the send-side halving happens regardless of
-        # delivery (a dropped message loses mass, as in the real protocol).
-        half_val = self._val[senders] * 0.5
-        half_w = self._w[senders] * 0.5
-        self._val[senders] = half_val
-        self._w[senders] = half_w
-        idx = np.nonzero(delivered)[0]
-        np.add.at(self._val, receivers[idx], half_val[idx])
-        np.add.at(self._w, receivers[idx], half_w[idx])
+        self._kernels.push_sum_round(
+            self._val, self._w, senders, receivers, delivered
+        )
 
 
 class VectorPushFlow(VectorizedEngine):
@@ -95,21 +94,20 @@ class VectorPushFlow(VectorizedEngine):
         self._fw[nodes] = 0.0
 
     def _apply_round(self, senders, slots, delivered) -> None:
-        est_val, est_w = self.estimate_pairs()
+        # The estimate is fused into the kernel (it recomputes the same
+        # left-to-right flow sum as estimate_pairs).
         receivers, r_slots = self._receiver_indices(senders, slots)
-
-        # Phase 1: virtual sends (sender slots are unique per round).
-        self._fval[senders, slots] += est_val[senders] * 0.5
-        self._fw[senders, slots] += est_w[senders] * 0.5
-
-        # Phase 2: snapshot the physical payloads.
-        sent_val = self._fval[senders, slots].copy()
-        sent_w = self._fw[senders, slots].copy()
-
-        # Phase 3: deliveries — receiver (node, slot) pairs are unique.
-        idx = np.nonzero(delivered)[0]
-        self._fval[receivers[idx], r_slots[idx]] = -sent_val[idx]
-        self._fw[receivers[idx], r_slots[idx]] = -sent_w[idx]
+        self._kernels.push_flow_round(
+            self._fval,
+            self._fw,
+            self._v0,
+            self._w0,
+            senders,
+            slots,
+            receivers,
+            r_slots,
+            delivered,
+        )
 
 
 class VectorPushCancelFlow(VectorizedEngine):
@@ -183,110 +181,21 @@ class VectorPushCancelFlow(VectorizedEngine):
         self._phi_w[nodes] = 0.0
 
     def _apply_round(self, senders, slots, delivered) -> None:
-        est_val, est_w = self.estimate_pairs()
         receivers, r_slots = self._receiver_indices(senders, slots)
-        k = len(senders)
-        arange = np.arange(k)
-
-        # Phase 1: virtual sends into the active slot + incremental phi.
-        act = self._c[senders, slots].astype(np.int64)
-        half_val = est_val[senders] * 0.5
-        half_w = est_w[senders] * 0.5
-        self._fval[senders, slots, act] += half_val
-        self._fw[senders, slots, act] += half_w
-        self._phi_val[senders] += half_val
-        self._phi_w[senders] += half_w
-
-        # Phase 2: snapshot payloads (both slots + control variables).
-        g_val = self._fval[senders, slots].copy()  # (k, 2, d)
-        g_w = self._fw[senders, slots].copy()  # (k, 2)
-        g_c = self._c[senders, slots].copy()
-        g_r = self._r[senders, slots].copy()
-
-        # Phase 3: deliveries. Receiver (node, slot) pairs are unique, so
-        # per-edge updates are data-parallel; only phi accumulations can
-        # collide and those go through ordered np.add.at.
-        idx = np.nonzero(delivered)[0]
-        if len(idx) == 0:
-            return
-        j = receivers[idx]
-        t = r_slots[idx]
-        pv = g_val[idx]  # payload flows (m, 2, d)
-        pw = g_w[idx]
-        pc = g_c[idx].astype(np.int64)
-        pr = g_r[idx]
-        m = len(idx)
-        mrange = np.arange(m)
-
-        lc = self._c[j, t].astype(np.int64)
-        lr = self._r[j, t]
-
-        # (adopt) peer swapped first: take over its role assignment.
-        adopt = (lc != pc) & (lr == pr)
-        lc[adopt] = pc[adopt]
-
-        eq = lc == pc
-        a = lc
-        p = 1 - lc
-
-        # Combined phi delta per message (active repair + optional passive
-        # repair), applied once in sender order — mirrors the object
-        # engine's single phi update per received message.
-        delta_val = np.zeros((m, self._d))
-        delta_w = np.zeros(m)
-
-        # Active-slot PF repair (only for role-consistent messages).
-        e_idx = np.nonzero(eq)[0]
-        je, te, ae = j[e_idx], t[e_idx], a[e_idx]
-        ga_val = pv[e_idx, ae]  # (|e|, d)
-        ga_w = pw[e_idx, ae]
-        delta_val[e_idx] -= self._fval[je, te, ae] + ga_val
-        delta_w[e_idx] -= self._fw[je, te, ae] + ga_w
-        self._fval[je, te, ae] = -ga_val
-        self._fw[je, te, ae] = -ga_w
-
-        # Passive-slot handshake.
-        pe = p[e_idx]
-        f_p_val = self._fval[je, te, pe]
-        f_p_w = self._fw[je, te, pe]
-        g_p_val = pv[e_idx, pe]
-        g_p_w = pw[e_idx, pe]
-        lre = lr[e_idx]
-        pre = pr[e_idx]
-
-        conserved = np.all(g_p_val == -f_p_val, axis=1) & (g_p_w == -f_p_w)
-        peer_zero = np.all(g_p_val == 0.0, axis=1) & (g_p_w == 0.0)
-        cancel = conserved & (lre == pre)
-        swap = ~cancel & peer_zero & (lre + 1 == pre)
-        repair = ~cancel & ~swap & (lre <= pre)
-
-        # (cancel)/(swap): zero the passive copy, advance the era; the value
-        # stays absorbed in phi (no delta). Swap additionally flips roles.
-        zero_mask = cancel | swap
-        z_idx = e_idx[zero_mask]
-        jz, tz, pz = j[z_idx], t[z_idx], pe[zero_mask]
-        self._fval[jz, tz, pz] = 0.0
-        self._fw[jz, tz, pz] = 0.0
-        lr_new = lr.copy()
-        lr_new[z_idx] += 1
-        lc_new = lc.copy()
-        s_idx = e_idx[swap]
-        lc_new[s_idx] = p[s_idx]
-
-        # (repair): conservation violated — treat the passive like an active.
-        r_idx = e_idx[repair]
-        jr, tr, prr = j[r_idx], t[r_idx], pe[repair]
-        gr_val = g_p_val[repair]
-        gr_w = g_p_w[repair]
-        delta_val[r_idx] -= self._fval[jr, tr, prr] + gr_val
-        delta_w[r_idx] -= self._fw[jr, tr, prr] + gr_w
-        self._fval[jr, tr, prr] = -gr_val
-        self._fw[jr, tr, prr] = -gr_w
-
-        # Write back control state and accumulate phi in sender order.
-        self._c[j, t] = lc_new.astype(np.int8)
-        self._r[j, t] = lr_new
-        np.add.at(self._phi_val, j, delta_val)
-        np.add.at(self._phi_w, j, delta_w)
-        self.cancellations += int(np.count_nonzero(cancel))
-        self.swaps += int(np.count_nonzero(swap))
+        cancels, swaps = self._kernels.pcf_round(
+            self._fval,
+            self._fw,
+            self._c,
+            self._r,
+            self._phi_val,
+            self._phi_w,
+            self._v0,
+            self._w0,
+            senders,
+            slots,
+            receivers,
+            r_slots,
+            delivered,
+        )
+        self.cancellations += cancels
+        self.swaps += swaps

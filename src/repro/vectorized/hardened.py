@@ -96,125 +96,23 @@ class VectorPushCancelFlowHardened(VectorizedEngine):
         self._phi_w[nodes] = 0.0
 
     def _apply_round(self, senders, slots, delivered) -> None:
-        est_val, est_w = self.estimate_pairs()
         receivers, r_slots = self._receiver_indices(senders, slots)
-
-        # Phase 1: virtual sends into the era-derived active slot.
-        act = (self._r[senders, slots] % 2).astype(np.int64)
-        half_val = est_val[senders] * 0.5
-        half_w = est_w[senders] * 0.5
-        self._fval[senders, slots, act] += half_val
-        self._fw[senders, slots, act] += half_w
-        self._phi_val[senders] += half_val
-        self._phi_w[senders] += half_w
-
-        # Phase 2: payload snapshots.
-        g_val = self._fval[senders, slots].copy()  # (k, 2, d)
-        g_w = self._fw[senders, slots].copy()
-        g_r = self._r[senders, slots].copy()
-        g_frozen_val = self._frozen_val[senders, slots].copy()
-        g_frozen_w = self._frozen_w[senders, slots].copy()
-
-        # Phase 3: deliveries at unique (receiver, slot) pairs.
-        idx = np.nonzero(delivered)[0]
-        if len(idx) == 0:
-            return
-        j = receivers[idx]
-        t = r_slots[idx]
-        pv = g_val[idx]
-        pw = g_w[idx]
-        pr = g_r[idx]
-        pfv = g_frozen_val[idx]
-        pfw = g_frozen_w[idx]
-        m = len(idx)
-
-        lr = self._r[j, t].copy()
-        ini = self._initiator[j, t]
-        delta_val = np.zeros((m, self._d))
-        delta_w = np.zeros(m)
-
-        in_window = (pr >= lr - 1) & (pr <= lr + 1)
-
-        # --- boundary refresh (peer one era behind, at the initiator) ----
-        boundary = in_window & (pr == lr - 1) & ini
-        b_idx = np.nonzero(boundary)[0]
-        if len(b_idx):
-            jb, tb = j[b_idx], t[b_idx]
-            pb = 1 - (lr[b_idx] % 2)  # local passive == peer's stale active
-            gb_val = pv[b_idx, pb]
-            gb_w = pw[b_idx, pb]
-            delta_val[b_idx] -= self._fval[jb, tb, pb] + gb_val
-            delta_w[b_idx] -= self._fw[jb, tb, pb] + gb_w
-            self._fval[jb, tb, pb] = -gb_val
-            self._fw[jb, tb, pb] = -gb_w
-
-        # --- frozen-verified catch-up (peer ahead, at the follower) ------
-        catch = in_window & (pr == lr + 1) & ~ini
-        c_idx = np.nonzero(catch)[0]
-        if len(c_idx):
-            jc, tc = j[c_idx], t[c_idx]
-            pc = 1 - (lr[c_idx] % 2)
-            fz_val = pfv[c_idx]
-            fz_w = pfw[c_idx]
-            delta_val[c_idx] -= self._fval[jc, tc, pc] + fz_val
-            delta_w[c_idx] -= self._fw[jc, tc, pc] + fz_w
-            self._fval[jc, tc, pc] = -fz_val
-            self._fw[jc, tc, pc] = -fz_w
-            self._frozen_val[jc, tc] = -fz_val
-            self._frozen_w[jc, tc] = -fz_w
-            self._fval[jc, tc, pc] = 0.0
-            self._fw[jc, tc, pc] = 0.0
-            lr[c_idx] += 1
-            self.catch_ups += len(c_idx)
-
-        # --- era-equal processing (includes just-caught-up messages) -----
-        eq = in_window & ((pr == lr) | catch)
-        e_idx = np.nonzero(eq)[0]
-        if len(e_idx):
-            je, te = j[e_idx], t[e_idx]
-            ae = (lr[e_idx] % 2).astype(np.int64)
-            pe = 1 - ae
-            erange = e_idx
-            # Active-slot PF repair.
-            ga_val = pv[erange, ae]
-            ga_w = pw[erange, ae]
-            delta_val[e_idx] -= self._fval[je, te, ae] + ga_val
-            delta_w[e_idx] -= self._fw[je, te, ae] + ga_w
-            self._fval[je, te, ae] = -ga_val
-            self._fw[je, te, ae] = -ga_w
-
-            gp_val = pv[erange, pe]
-            gp_w = pw[erange, pe]
-            f_p_val = self._fval[je, te, pe]
-            f_p_w = self._fw[je, te, pe]
-            ini_e = ini[e_idx]
-
-            # Initiator: cancel when the follower mirrors exactly.
-            conserved = np.all(gp_val == -f_p_val, axis=1) & (gp_w == -f_p_w)
-            cancel = ini_e & conserved
-            z = np.nonzero(cancel)[0]
-            if len(z):
-                jz, tz, pz = je[z], te[z], pe[z]
-                self._frozen_val[jz, tz] = self._fval[jz, tz, pz]
-                self._frozen_w[jz, tz] = self._fw[jz, tz, pz]
-                self._fval[jz, tz, pz] = 0.0
-                self._fw[jz, tz, pz] = 0.0
-                lr[e_idx[z]] += 1
-                self.cancellations += len(z)
-
-            # Follower: track the initiator's reference copy.
-            follow = ~ini_e
-            f = np.nonzero(follow)[0]
-            if len(f):
-                jf, tf, pf = je[f], te[f], pe[f]
-                gf_val = gp_val[f]
-                gf_w = gp_w[f]
-                delta_val[e_idx[f]] -= self._fval[jf, tf, pf] + gf_val
-                delta_w[e_idx[f]] -= self._fw[jf, tf, pf] + gf_w
-                self._fval[jf, tf, pf] = -gf_val
-                self._fw[jf, tf, pf] = -gf_w
-
-        # Write back eras; accumulate phi in sender order.
-        self._r[j, t] = lr
-        np.add.at(self._phi_val, j, delta_val)
-        np.add.at(self._phi_w, j, delta_w)
+        cancels, catch_ups = self._kernels.pcf_hardened_round(
+            self._fval,
+            self._fw,
+            self._r,
+            self._frozen_val,
+            self._frozen_w,
+            self._initiator,
+            self._phi_val,
+            self._phi_w,
+            self._v0,
+            self._w0,
+            senders,
+            slots,
+            receivers,
+            r_slots,
+            delivered,
+        )
+        self.cancellations += cancels
+        self.catch_ups += catch_ups

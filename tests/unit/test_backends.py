@@ -1,0 +1,194 @@
+"""Unit tests for the kernel-backend seam (``repro.vectorized.backends``).
+
+Covers backend resolution (defaults, unknown names, the numba-absent
+fallback warning), the engine-level ``backend`` axis, and — most
+importantly — bit-for-bit parity between the numpy reference kernels and
+the numba loop kernels run in plain-Python mode (``jit=False``), which
+exercises the exact code numba compiles without requiring numba.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.topology import hypercube
+from repro.vectorized import backends as backends_mod
+from repro.vectorized.backends import (
+    BACKEND_NAMES,
+    DEFAULT_BACKEND,
+    NUMBA_AVAILABLE,
+    KernelBackend,
+    NumbaKernels,
+    NumpyKernels,
+    available_backends,
+    resolve_backend,
+)
+from repro.vectorized.batched import BatchedEngine, BatchedRun
+from repro.vectorized.engines import VectorPushSum
+from repro.vectorized.parity import vector_engine_for
+
+ALGORITHMS = (
+    "push_sum",
+    "push_flow",
+    "push_cancel_flow",
+    "push_cancel_flow_hardened",
+)
+
+
+class TestResolveBackend:
+    def test_default_is_numpy(self):
+        kernels = resolve_backend(None)
+        assert isinstance(kernels, NumpyKernels)
+        assert kernels.name == "numpy"
+        assert kernels.compiled is False
+        assert DEFAULT_BACKEND == "numpy"
+
+    def test_instance_passthrough(self):
+        kernels = NumpyKernels()
+        assert resolve_backend(kernels) is kernels
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown backend 'cuda'"):
+            resolve_backend("cuda")
+        with pytest.raises(ConfigurationError, match="numpy"):
+            resolve_backend("NUMPY")  # names are case-sensitive
+
+    def test_numba_absent_falls_back_with_warning(self, monkeypatch):
+        monkeypatch.setattr(backends_mod, "NUMBA_AVAILABLE", False)
+        with pytest.warns(RuntimeWarning, match="numba is not installed"):
+            kernels = resolve_backend("numba")
+        assert isinstance(kernels, NumpyKernels)
+        assert kernels.name == "numpy"
+
+    @pytest.mark.skipif(not NUMBA_AVAILABLE, reason="numba not installed")
+    def test_numba_present_resolves_jitted(self):
+        kernels = resolve_backend("numba")
+        assert isinstance(kernels, NumbaKernels)
+        assert kernels.compiled is True
+
+    def test_available_backends_consistent(self):
+        avail = available_backends()
+        assert "numpy" in avail
+        assert set(avail) <= set(BACKEND_NAMES)
+        assert ("numba" in avail) == NUMBA_AVAILABLE
+
+
+class TestNumbaKernelsConstruction:
+    def test_python_mode_always_available(self):
+        kernels = NumbaKernels(jit=False)
+        assert isinstance(kernels, KernelBackend)
+        assert kernels.name == "numba"
+        assert kernels.compiled is False
+
+    @pytest.mark.skipif(NUMBA_AVAILABLE, reason="numba is installed")
+    def test_jit_without_numba_raises(self):
+        with pytest.raises(RuntimeError, match=r"\.\[numba\]"):
+            NumbaKernels(jit=True)
+
+    def test_default_jit_tracks_availability(self):
+        kernels = NumbaKernels()
+        assert kernels.compiled is NUMBA_AVAILABLE
+
+
+class TestEngineBackendAxis:
+    def test_backend_properties(self):
+        engine = VectorPushSum(hypercube(3), np.ones(8), np.ones(8))
+        assert engine.backend_name == "numpy"
+        assert isinstance(engine.backend, NumpyKernels)
+
+    def test_engine_rejects_unknown_backend(self):
+        with pytest.raises(ConfigurationError, match="unknown backend"):
+            VectorPushSum(
+                hypercube(3), np.ones(8), np.ones(8), backend="fortran"
+            )
+
+    def test_engine_accepts_backend_instance(self):
+        kernels = NumbaKernels(jit=False)
+        engine = VectorPushSum(
+            hypercube(3), np.ones(8), np.ones(8), backend=kernels
+        )
+        assert engine.backend is kernels
+        assert engine.backend_name == "numba"
+
+    def test_batched_engine_backend_name(self):
+        engine = BatchedEngine(
+            "push_sum",
+            [
+                BatchedRun(
+                    topology=hypercube(3),
+                    values=np.ones(8),
+                    weights=np.ones(8),
+                    rng=1,
+                )
+            ],
+        )
+        assert engine.backend_name == "numpy"
+
+
+def _run_engine(algorithm, backend, rounds=60):
+    topo = hypercube(4)
+    rng = np.random.default_rng(123)
+    values = rng.normal(size=(topo.n, 3))
+    weights = np.ones(topo.n)
+    cls = vector_engine_for(algorithm)
+    engine = cls(
+        topo,
+        values,
+        weights,
+        loss_probability=0.15,
+        seed=7,
+        backend=backend,
+    )
+    engine.run(rounds)
+    return engine
+
+
+class TestKernelParity:
+    """numpy kernels vs numba loop kernels (python mode), bit-for-bit."""
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_estimates_bit_for_bit(self, algorithm):
+        ref = _run_engine(algorithm, NumpyKernels())
+        alt = _run_engine(algorithm, NumbaKernels(jit=False))
+        a, b = ref.estimates(), alt.estimates()
+        assert a.tobytes() == b.tobytes()  # incl. signed zeros / NaN bits
+        assert ref.messages_sent == alt.messages_sent
+        assert ref.messages_delivered == alt.messages_delivered
+
+    def test_pcf_handshake_counters_match(self):
+        ref = _run_engine("push_cancel_flow", NumpyKernels())
+        alt = _run_engine("push_cancel_flow", NumbaKernels(jit=False))
+        assert (ref.cancellations, ref.swaps) == (alt.cancellations, alt.swaps)
+        assert ref.cancellations > 0  # the run actually exercised handshakes
+
+    def test_hardened_counters_match(self):
+        ref = _run_engine("push_cancel_flow_hardened", NumpyKernels())
+        alt = _run_engine("push_cancel_flow_hardened", NumbaKernels(jit=False))
+        assert (ref.cancellations, ref.catch_ups) == (
+            alt.cancellations,
+            alt.catch_ups,
+        )
+
+    @pytest.mark.skipif(not NUMBA_AVAILABLE, reason="numba not installed")
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_jitted_close_to_numpy(self, algorithm):
+        # Jitted kernels may contract FMAs, so the acceptance bar is
+        # close-tolerance, not bit-for-bit (see DESIGN.md).
+        ref = _run_engine(algorithm, NumpyKernels())
+        jit = _run_engine(algorithm, NumbaKernels(jit=True))
+        np.testing.assert_allclose(
+            ref.estimates(), jit.estimates(), rtol=1e-12, atol=1e-12
+        )
+
+
+class TestFallbackEndToEnd:
+    def test_engine_numba_spec_runs_without_numba(self, monkeypatch):
+        """A spec saying backend='numba' must run on a numba-less box."""
+        monkeypatch.setattr(backends_mod, "NUMBA_AVAILABLE", False)
+        with pytest.warns(RuntimeWarning, match="numba is not installed"):
+            engine = VectorPushSum(
+                hypercube(3), np.ones(8), np.ones(8), backend="numba"
+            )
+        assert engine.backend_name == "numpy"
+        engine.run(5)
+        assert engine.round == 5

@@ -1,12 +1,19 @@
 """Campaign runner: retries, checkpoint/resume, parallel workers, timeouts."""
 
+import glob
 import json
+import os
 
 import pytest
 
 from repro.campaigns import CampaignSpec, load_results, run_campaign
-from repro.campaigns.runner import execute_cell
+from repro.campaigns.runner import _mp_context, execute_cell
 from repro.exceptions import ConfigurationError
+
+
+def leaked_group_segments():
+    """Shared-memory segments of this process's batched groups, if any."""
+    return glob.glob(f"/dev/shm/repro-grp-{os.getpid()}-*")
 
 
 def tiny_spec(**overrides):
@@ -173,6 +180,141 @@ class TestParallel:
         (record,) = load_results(tmp_path).values()
         assert record["status"] == "failed"
         assert "timeout" in record["error"]
+
+
+class TestStartMethod:
+    def test_unavailable_start_method_rejected(self):
+        with pytest.raises(ConfigurationError, match="start method"):
+            _mp_context("threads")
+
+    def test_default_is_explicit_per_platform(self):
+        import sys
+
+        ctx = _mp_context()
+        expected = "fork" if sys.platform.startswith("linux") else "spawn"
+        assert ctx.get_start_method() == expected
+
+    def test_spawn_context_resolves(self):
+        assert _mp_context("spawn").get_start_method() == "spawn"
+
+    def test_parallel_run_under_spawn(self, tmp_path):
+        # spawn re-imports worker modules instead of inheriting the parent
+        # image (the macOS/Windows default), so it catches any reliance on
+        # fork-inherited state.
+        spec = tiny_spec()
+        run = run_campaign(
+            spec, tmp_path, workers=2, timeout=120, start_method="spawn"
+        )
+        assert (run.ok, run.failed) == (2, 0)
+        assert all(
+            r["status"] == "ok" for r in load_results(tmp_path).values()
+        )
+
+
+class TestParallelBatchedGroups:
+    def batched_spec(self, **overrides):
+        raw = {
+            "name": "tiny-batched",
+            "engine": "batched",
+            "algorithms": ["push_flow", "push_cancel_flow"],
+            "topologies": [{"family": "hypercube", "n": 8}],
+            "faults": [{"kind": "none"}, {"kind": "message_loss", "rate": 0.1}],
+            "seeds": [0, 1],
+            "rounds": 40,
+            "epsilon": 1e-6,
+        }
+        raw.update(overrides)
+        return CampaignSpec.from_dict(raw)
+
+    @pytest.mark.parametrize("start_method", ["fork", "spawn"])
+    def test_parallel_groups_match_serial_batched(
+        self, tmp_path, start_method
+    ):
+        import multiprocessing
+
+        if start_method not in multiprocessing.get_all_start_methods():
+            pytest.skip(f"{start_method} unavailable on this platform")
+        serial_dir, parallel_dir = tmp_path / "serial", tmp_path / "parallel"
+        serial = run_campaign(self.batched_spec(), serial_dir)
+        parallel = run_campaign(
+            self.batched_spec(),
+            parallel_dir,
+            workers=2,
+            timeout=120,
+            start_method=start_method,
+        )
+        assert (serial.ok, parallel.ok) == (8, 8)
+        varying = {"wall_s", "recorded_at"}
+        serial_records = load_results(serial_dir)
+        for cell_id, record in load_results(parallel_dir).items():
+            ref = serial_records[cell_id]
+            for key in ref:
+                if key not in varying:
+                    assert ref[key] == record[key], (cell_id, key)
+        assert leaked_group_segments() == []
+
+    def test_group_timeout_records_failures_and_releases_shm(
+        self, tmp_path, monkeypatch
+    ):
+        import multiprocessing
+        import time
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("stalled-worker injection relies on fork inheritance")
+        from repro.campaigns import runner as runner_mod
+
+        # Fork-started workers inherit the patched module, so every
+        # attempt stalls past its deadline and must be terminated.
+        monkeypatch.setattr(
+            runner_mod,
+            "_execute_cells_batched",
+            lambda cells: time.sleep(60),
+        )
+        spec = self.batched_spec(
+            algorithms=["push_flow"], seeds=[0], faults=[{"kind": "none"}]
+        )
+        run = run_campaign(
+            spec,
+            tmp_path,
+            workers=1,
+            timeout=0.3,
+            retries=1,
+            start_method="fork",
+        )
+        assert (run.ok, run.failed, run.retries_used) == (0, 1, 1)
+        for record in load_results(tmp_path).values():
+            assert record["status"] == "failed"
+            assert "timeout" in record["error"]
+            assert record["attempts"] == 2
+        # Every attempt's shared-memory segment must be unlinked, on the
+        # timeout path and on the retry path alike.
+        assert leaked_group_segments() == []
+
+    def test_worker_error_is_retried_then_recorded(self):
+        # An in-worker failure (not a crash): an algorithm with no batched
+        # implementation makes _execute_cells_batched raise in the worker,
+        # which ships the error home instead of dying silently.
+        spec = self.batched_spec(
+            algorithms=["push_flow"], seeds=[0], faults=[{"kind": "none"}]
+        )
+        cells = [
+            {**c, "algorithm": "push_flow_incremental"} for c in spec.expand()
+        ]
+        from repro.campaigns import runner as runner_mod
+
+        records = []
+        stats = runner_mod._run_parallel_batched(
+            cells,
+            workers=1,
+            timeout=30,
+            retries=1,
+            on_record=records.append,
+        )
+        assert stats["failed"] == len(cells)
+        assert stats["retries_used"] == 1
+        assert all(r["status"] == "failed" for r in records)
+        assert all(r["error"] for r in records)
+        assert leaked_group_segments() == []
 
 
 class TestObservabilityFields:
