@@ -191,6 +191,53 @@ def _groups_entry(bn, rounds, sync_rps, workers):
     }
 
 
+def _server_entry(bn, rounds):
+    """Live metrics server overhead: one small batched campaign, twice.
+
+    Runs the same single-algorithm campaign dark (no socket) and live
+    (ephemeral-port server, per-record snapshot merging, server.json)
+    and reports the wall-clock ratio. Informational: the live plane is
+    default-off, and with nothing scraping, the server thread is idle —
+    the ratio measures the always-on cost (registry snapshots riding the
+    result channel plus the listener thread), not scrape cost.
+    """
+    from repro.campaigns import CampaignSpec, run_campaign
+
+    def spec(tag):
+        return CampaignSpec.from_dict(
+            {
+                "name": f"bench-server-{tag}",
+                "engine": "batched",
+                "algorithms": [ALGORITHM],
+                "topologies": [{"family": "hypercube", "n": bn}],
+                "faults": [{"kind": "none"}],
+                "seeds": list(range(BATCHED_RUNS)),
+                "rounds": rounds,
+                "epsilon": 1e-300,
+            }
+        )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        root = pathlib.Path(tmp)
+        t0 = time.perf_counter()
+        dark = run_campaign(spec("dark"), root / "dark")
+        dark_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        live = run_campaign(spec("live"), root / "live", metrics_port=0)
+        live_s = time.perf_counter() - t0
+    assert (dark.failed, live.failed) == (0, 0)
+    return {
+        "engine": "campaign-live-server",
+        "algorithm": ALGORITHM,
+        "n": bn,
+        "runs": BATCHED_RUNS,
+        "rounds": rounds,
+        "dark_seconds": round(dark_s, 6),
+        "live_seconds": round(live_s, 6),
+        "live_overhead_ratio": round(live_s / max(dark_s, 1e-9), 3),
+    }
+
+
 def rounds_per_sec(factory, min_seconds: float = MIN_SECONDS) -> dict:
     """Time ``engine.run`` in growing chunks until >= ``min_seconds`` elapsed."""
     engine = factory()
@@ -354,6 +401,16 @@ def main(argv=None) -> int:
         f"{groups['speedup_vs_sequential_sync']:.1f}x vs sequential "
         "object engine (informational)"
     )
+
+    # Live observability plane: the same campaign with and without the
+    # HTTP metrics server + snapshot aggregation. Informational.
+    server = _server_entry(gn, groups_rounds)
+    entries.append(server)
+    print(
+        f"campaign-server n={gn:4d} live/dark wall-clock "
+        f"{server['live_overhead_ratio']:.2f}x (informational; "
+        "default-off, nothing scraping)"
+    )
     payload = {
         "benchmark": "engine_throughput",
         "algorithm": ALGORITHM,
@@ -370,7 +427,9 @@ def main(argv=None) -> int:
             "same-machine ratio against the object engine (CI gates the "
             "numpy entry; numba and batched-groups are informational). "
             "The 'batched-groups' entry runs a four-algorithm campaign "
-            "with one worker process per group. Compare ratios across "
+            "with one worker process per group; 'campaign-live-server' "
+            "reruns a campaign with the --metrics-port HTTP plane up "
+            "(informational: default-off). Compare ratios across "
             "commits, not absolute wall-clock."
         ),
         "entries": entries,

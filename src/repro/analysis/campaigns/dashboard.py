@@ -137,6 +137,7 @@ def build_dashboard(
     figure_svgs: Optional[Dict[str, str]] = None,
     figure_errors: Optional[Dict[str, str]] = None,
     base_dir: Optional[pathlib.Path] = None,
+    auto_refresh_s: Optional[int] = None,
 ) -> str:
     """Assemble the dashboard HTML for a loaded campaign.
 
@@ -144,6 +145,8 @@ def build_dashboard(
     every registered figure is generated and rendered here (generators
     whose data requirements the campaign cannot meet are listed with
     their reason instead — mirroring ``figure_errors`` from the CLI).
+    ``auto_refresh_s`` adds a meta-refresh tag: the live metrics server
+    sets it so a browser tab follows an in-flight sweep.
     """
     base = base_dir or data.directory
     if figure_svgs is None:
@@ -167,6 +170,12 @@ def build_dashboard(
     out: List[str] = [
         "<!DOCTYPE html>",
         '<html lang="en"><head><meta charset="utf-8">',
+    ]
+    if auto_refresh_s is not None:
+        out.append(
+            f'<meta http-equiv="refresh" content="{int(auto_refresh_s)}">'
+        )
+    out += [
         f"<title>Campaign — {_esc(data.name)}</title>",
         f"<style>{_CSS}</style></head><body>",
         f"<h1>Campaign dashboard — {_esc(data.name)}</h1>",

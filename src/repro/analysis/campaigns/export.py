@@ -42,6 +42,12 @@ def campaign_metrics_registry(data: CampaignData) -> MetricsRegistry:
         value = coverage.get(key)
         if value is not None:
             cells.set(float(value), status=key, campaign=data.name)
+    # Counter twin of campaign_cells{status="recorded"}: scrapers watching
+    # a live sweep can assert/alert on monotone progress without gauge
+    # reset heuristics.
+    registry.counter(
+        "campaign_cells_total", "cells recorded so far"
+    ).inc(float(len(data.frame)), campaign=data.name)
 
     progress = progress_stats(data)
     gauges = {
@@ -130,11 +136,15 @@ def export_records_metrics(
     name: str,
     spec: Optional[Dict[str, object]],
     out_dir: Union[str, pathlib.Path],
+    extra: Optional[Dict[str, object]] = None,
 ) -> pathlib.Path:
     """In-flight export for the runner: raw record dicts -> metrics dump.
 
     The runner holds the records it has appended so far in memory; this
-    avoids re-reading results.jsonl on every export tick.
+    avoids re-reading results.jsonl on every export tick. ``extra`` is an
+    optional :meth:`MetricsRegistry.snapshot` dict (the runner's merged
+    worker registries: engine counters, detector alerts, kernel-time
+    histograms) folded into the dump alongside the campaign aggregates.
     """
     frame = Frame.from_records(
         [normalize_record(dict(r)) for r in records],
@@ -147,4 +157,7 @@ def export_records_metrics(
         duplicates=0,
         skipped_lines=0,
     )
-    return campaign_metrics_registry(data).dump(out_dir)
+    registry = campaign_metrics_registry(data)
+    if extra:
+        registry.merge(extra)
+    return registry.dump(out_dir)

@@ -470,6 +470,55 @@ def cell_wall_time(data: CampaignData) -> FigureSpec:
     )
 
 
+@register_figure(
+    "kernel-time",
+    paper="new (observability: kernel cost profile)",
+    columns=("algorithm", "engine", "backend", "kernel_seconds"),
+)
+def kernel_time(data: CampaignData) -> FigureSpec:
+    """Mean fused round-kernel wall time by algorithm and engine/backend.
+
+    Only the vectorized/batched engines have a fused kernel; object-engine
+    campaigns have no finite ``kernel_seconds`` and raise the standard
+    data-requirement :class:`ExperimentError` (listed, not rendered).
+    """
+    ok = _require_ok(data, "kernel-time")
+    with_kernel = ok.filter(
+        lambda r: isinstance(r["kernel_seconds"], (int, float))
+        and math.isfinite(float(r["kernel_seconds"]))  # type: ignore[arg-type]
+    )
+    if not len(with_kernel):
+        raise ExperimentError(
+            "figure 'kernel-time': no finite kernel_seconds values "
+            "(object-engine campaigns have no fused kernel)"
+        )
+    algorithms = [str(a) for a in with_kernel.unique("algorithm")]
+    series = []
+    for key, group in with_kernel.groupby("engine", "backend"):
+        engine, backend = key
+        label = f"{engine}/{backend}" if backend else str(engine)
+        row: List[Optional[float]] = []
+        for algorithm in algorithms:
+            sub = group.where(algorithm=algorithm)
+            row.append(finite_mean(_numbers(sub.column("kernel_seconds"))))
+        series.append(Series(label=label, y=row))
+    return FigureSpec(
+        name="kernel-time",
+        title="Fused kernel time per cell",
+        kind="bar",
+        xlabel="algorithm",
+        ylabel="mean kernel seconds per cell",
+        categories=algorithms,
+        series=series,
+        caption=(
+            "Wall time spent inside the fused round kernel, amortized "
+            "per cell — the compute floor under the wall-time profile, "
+            "split by engine and resolved backend."
+        ),
+        paper_figure="new (kernel cost profile)",
+    )
+
+
 def generate_figure(name: str, data: CampaignData) -> FigureSpec:
     """Look up and run one registered generator."""
     if name not in FIGURES:

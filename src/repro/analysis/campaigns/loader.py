@@ -27,7 +27,7 @@ from repro.campaigns.runner import as_float
 from repro.exceptions import ExperimentError
 
 #: Version of the normalized column set this loader emits.
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 
 #: Eras of results.jsonl records, detected per record from key presence.
 ERA_PRE_TRACING = 1  # no alerts / flight_dumps (pre anomaly detectors)
@@ -35,7 +35,15 @@ ERA_PRE_DYNAMICS = 2  # alerts present, no dynamics metadata
 ERA_DYNAMICS = 3  # dynamics present, no recorded_at timestamp
 ERA_TIMESTAMPED = 4  # current: recorded_at stamped at append time
 
-_STR_COLUMNS = ("cell_id", "status", "algorithm", "topology", "fault", "engine")
+_STR_COLUMNS = (
+    "cell_id",
+    "status",
+    "algorithm",
+    "topology",
+    "fault",
+    "engine",
+    "backend",
+)
 _INT_COLUMNS = (
     "seed",
     "n",
@@ -59,6 +67,7 @@ _FLOAT_COLUMNS = (
     "mass_drift_floor",
     "mass_drift_worst",
     "wall_s",
+    "kernel_seconds",
     "recorded_at",
 )
 _BOOL_COLUMNS = ("converged", "recovered")

@@ -112,6 +112,18 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--metrics-port",
+        type=int,
+        metavar="PORT",
+        default=None,
+        help=(
+            "serve live /metrics, /healthz, /progress, /alerts and "
+            "/dashboard over HTTP for the duration of the sweep; 0 binds "
+            "an ephemeral port (logged, and written to <out>/server.json "
+            "either way); omit to open no socket at all (default)"
+        ),
+    )
+    parser.add_argument(
         "--strict-alerts",
         action="store_true",
         help=(
@@ -157,6 +169,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             log=log,
             metrics_every=args.metrics_every,
             start_method=args.start_method,
+            metrics_port=args.metrics_port,
         )
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)

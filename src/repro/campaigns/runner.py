@@ -67,6 +67,7 @@ from repro.campaigns.spec import _VECTOR_FAULT_KINDS, CampaignSpec
 from repro.simulation.engine import SynchronousEngine
 from repro.simulation.schedule import UniformGossipSchedule
 from repro.telemetry.probes import MassConservationProbe
+from repro.telemetry.registry import MetricsRegistry
 from repro.topology import registry as topology_registry
 
 _MASS_TOLERANCE = 1e-6
@@ -115,6 +116,42 @@ def as_float(value: object) -> float:
     if value == "-inf":
         return float("-inf")
     return float(value)  # type: ignore[arg-type]
+
+
+def _count_cell_metrics(
+    registry: MetricsRegistry,
+    *,
+    algorithm: str,
+    engine: str,
+    backend: str,
+    rounds: int,
+    sent: int,
+    delivered: int,
+    mass_violations: int,
+) -> None:
+    """Fold one finished cell's engine totals into a per-attempt registry.
+
+    These counters ride home to the parent as a ``RegistrySnapshot``
+    (attached to the record, popped before the record is persisted), so
+    the authoritative aggregate is identical whether cells ran serially,
+    via per-cell workers, or as multiprocess batched groups.
+    """
+    labels = {"algorithm": algorithm, "engine": engine, "backend": backend}
+    registry.counter(
+        "engine_rounds_total", "Gossip rounds executed by campaign cells"
+    ).inc(float(rounds), **labels)
+    registry.counter(
+        "engine_messages_sent_total", "Messages sent by campaign cells"
+    ).inc(float(sent), **labels)
+    registry.counter(
+        "engine_messages_delivered_total",
+        "Messages delivered by campaign cells",
+    ).inc(float(delivered), **labels)
+    if mass_violations:
+        registry.counter(
+            "engine_mass_violations_total",
+            "Mass-conservation violations observed by the probes",
+        ).inc(float(mass_violations), **labels)
 
 
 def _make_data(kind: str, n: int, seed: int) -> np.ndarray:
@@ -182,7 +219,11 @@ def execute_cell(cell: Dict[str, object]) -> Dict[str, object]:
         if sample_rate is not None
         else None
     )
-    detectors = default_detectors(sampler=sampler)
+    # Per-cell registry: detector alert counters land here and the engine
+    # totals are folded in below; the whole thing ships home with the
+    # record as a snapshot so multiprocess runs aggregate losslessly.
+    registry = MetricsRegistry()
+    detectors = default_detectors(sampler=sampler, registry=registry)
     flight_dir = cell.get("flight_dir")
     flight = (
         FlightRecorder(str(flight_dir)) if flight_dir is not None else None
@@ -281,8 +322,29 @@ def execute_cell(cell: Dict[str, object]) -> Dict[str, object]:
         "messages_sent": engine.messages_sent,
         "messages_delivered": engine.messages_delivered,
         "wall_s": round(time.perf_counter() - t0, 4),
+        # No fused kernel on the per-message object engine.
+        "kernel_seconds": None,
         "error": None,
+        "_metrics_snapshot": _cell_snapshot(
+            registry,
+            algorithm=str(cell["algorithm"]),
+            engine="object",
+            backend="none",
+            rounds=engine.round,
+            sent=engine.messages_sent,
+            delivered=engine.messages_delivered,
+            mass_violations=len(mass_probe.violations),
+        ),
     }
+
+
+def _cell_snapshot(
+    registry: MetricsRegistry,
+    **totals,
+) -> Dict[str, object]:
+    """Engine totals + whatever the detectors counted, as a wire snapshot."""
+    _count_cell_metrics(registry, **totals)
+    return registry.snapshot()
 
 
 def _vector_fault_params(spec: Dict[str, object]):
@@ -411,6 +473,21 @@ def _execute_cells_batched(
     engine = BatchedEngine(
         algorithm, runs, backend=str(backend) if backend is not None else None
     )
+    # Group-level telemetry: the fused round kernel is timed into a
+    # histogram labeled by (algorithm, engine, backend) — backend is the
+    # *resolved* one, so a numba fallback profiles as numpy — and the
+    # engine totals below join it in one snapshot shipped with the group.
+    from repro.telemetry.phase import PhaseTimer
+
+    registry = MetricsRegistry()
+    timer = PhaseTimer(
+        registry,
+        engine_kind=engine_kind,
+        metric="repro_kernel_seconds",
+        help="Fused round-kernel wall time",
+        labels={"algorithm": algorithm, "backend": engine.backend_name},
+    )
+    engine.phase_timer = timer
     history = BatchedErrorHistory(truths)
     mass_probe = BatchedMassProbe(tolerance=_MASS_TOLERANCE)
     mass_probe.start(engine)
@@ -430,6 +507,9 @@ def _execute_cells_batched(
     engine.run(rounds, stop_when=stop_when, on_round=on_round)
 
     wall = round((time.perf_counter() - t0) / len(cells), 4)
+    # The kernel cost amortizes over the whole batch; attribute an equal
+    # share to every cell, like wall_s.
+    kernel_wall = round(timer.totals.get("kernel", 0.0) / len(cells), 6)
     sent = engine.messages_sent
     delivered = engine.messages_delivered
     run_rounds = engine.run_rounds
@@ -504,9 +584,25 @@ def _execute_cells_batched(
                 "messages_sent": int(sent[r]),
                 "messages_delivered": int(delivered[r]),
                 "wall_s": wall,
+                "kernel_seconds": kernel_wall,
                 "error": None,
             }
         )
+        _count_cell_metrics(
+            registry,
+            algorithm=algorithm,
+            engine=engine_kind,
+            backend=engine.backend_name,
+            rounds=cell_rounds,
+            sent=int(sent[r]),
+            delivered=int(delivered[r]),
+            mass_violations=int(mass_probe.violations[r]),
+        )
+    # One snapshot for the whole group, riding on its last record: the
+    # parent merges it exactly once per successful attempt, whether the
+    # group ran in-process or in a worker (shm/queue transport is JSON,
+    # and the snapshot is a plain JSON-able dict).
+    records[-1]["_metrics_snapshot"] = registry.snapshot()
     return records
 
 
@@ -555,6 +651,9 @@ class CampaignRun:
     ok: int
     failed: int
     retries_used: int
+    #: Authoritative cross-process aggregate: every worker's per-cell /
+    #: per-group registry snapshot merged in record-arrival order.
+    metrics: Optional[MetricsRegistry] = None
 
     @property
     def results_path(self) -> pathlib.Path:
@@ -1019,6 +1118,7 @@ def run_campaign(
     executor: Callable[[Dict[str, object]], Dict[str, object]] = execute_cell,
     metrics_every: int = 0,
     start_method: Optional[str] = None,
+    metrics_port: Optional[int] = None,
 ) -> CampaignRun:
     """Sweep the full campaign grid, checkpointing into ``out_dir``.
 
@@ -1041,6 +1141,12 @@ def run_campaign(
     ``metrics_every=N > 0``, campaign aggregates are re-exported to
     ``out_dir/metrics/`` (Prometheus/JSONL/CSV) after every N records —
     and once more when the sweep finishes — for in-flight observability.
+
+    ``metrics_port`` (None = off, no socket is ever opened) starts a live
+    HTTP observability server for the duration of the sweep: ``0`` binds
+    an ephemeral port, logged and written to ``out_dir/server.json``. The
+    server serves /metrics, /healthz, /progress, /alerts and /dashboard
+    from the in-memory record stream plus the merged worker registries.
     """
     if workers < 0:
         raise ConfigurationError(f"workers must be >= 0, got {workers}")
@@ -1093,6 +1199,11 @@ def run_campaign(
             f"metrics_every must be >= 0, got {metrics_every}"
         )
     seen_records: List[Dict[str, object]] = list(completed.values())
+    # The parent-side authoritative aggregate: per-cell / per-group
+    # snapshots merge here as records land, plus runner-level counters
+    # (export failures). Served live when metrics_port is set; returned
+    # on the CampaignRun either way.
+    live_registry = MetricsRegistry()
 
     def export_metrics() -> None:
         # Lazy import: the analysis layer depends on this module, and the
@@ -1105,14 +1216,65 @@ def run_campaign(
                 name=spec.name,
                 spec=spec_dict,
                 out_dir=out_path / "metrics",
+                extra=live_registry.snapshot(),
             )
         except Exception as exc:  # noqa: BLE001 - observability never kills a sweep
+            # Counted, not just noted: /healthz reports degraded while
+            # this counter is non-zero, so swallowed export failures are
+            # no longer invisible.
+            live_registry.counter(
+                "campaign_export_errors_total",
+                "In-flight metrics export failures",
+            ).inc(campaign=spec.name)
             say(f"  note: in-flight metrics export failed: {exc}")
 
+    server = None
+    live_source = None
+    if metrics_port is not None:
+        from repro.telemetry.server import CampaignLiveSource, MetricsServer
+
+        live_source = CampaignLiveSource(
+            name=spec.name,
+            spec=spec_dict,
+            out_dir=out_path,
+            registry=live_registry,
+        )
+        for done in seen_records:
+            live_source.add_record(done)
+        server = MetricsServer(live_source, port=metrics_port)
+        server.start()
+        (out_path / "server.json").write_text(
+            json.dumps(
+                {
+                    "host": server.host,
+                    "port": server.port,
+                    "url": server.url,
+                    "pid": os.getpid(),
+                    "endpoints": [
+                        "/metrics",
+                        "/healthz",
+                        "/progress",
+                        "/alerts",
+                        "/dashboard",
+                    ],
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+        say(f"live metrics: {server.url}")
+
     def on_record(record: Dict[str, object]) -> None:
+        # The snapshot is transport metadata, not part of the results
+        # schema: pop it before the record is persisted or analyzed.
+        snapshot = record.pop("_metrics_snapshot", None)
+        if snapshot:
+            live_registry.merge(snapshot)  # type: ignore[arg-type]
         record["recorded_at"] = time.time()
         _append_record(results_path, record)
         seen_records.append(record)
+        if live_source is not None:
+            live_source.add_record(record)
         if metrics_every and len(seen_records) % metrics_every == 0:
             export_metrics()
         status = record.get("status")
@@ -1123,37 +1285,42 @@ def run_campaign(
         )
         say(f"  [{status}] {record.get('cell_id')} {detail}")
 
-    if pending:
-        if workers == 0:
-            # The batched engine gets its speedup from grouping cells into
-            # one whole-array program; an injected executor (tests) keeps
-            # the per-cell serial path, where batched cells run one by one.
-            if spec.engine == "batched" and executor is execute_cell:
-                stats = _run_batched(pending, retries, on_record)
+    try:
+        if pending:
+            if workers == 0:
+                # The batched engine gets its speedup from grouping cells
+                # into one whole-array program; an injected executor
+                # (tests) keeps the per-cell serial path, where batched
+                # cells run one by one.
+                if spec.engine == "batched" and executor is execute_cell:
+                    stats = _run_batched(pending, retries, on_record)
+                else:
+                    stats = _run_serial(pending, retries, on_record, executor)
+            elif spec.engine == "batched":
+                stats = _run_parallel_batched(
+                    pending,
+                    workers,
+                    timeout,
+                    retries,
+                    on_record,
+                    start_method=start_method,
+                )
             else:
-                stats = _run_serial(pending, retries, on_record, executor)
-        elif spec.engine == "batched":
-            stats = _run_parallel_batched(
-                pending,
-                workers,
-                timeout,
-                retries,
-                on_record,
-                start_method=start_method,
-            )
+                stats = _run_parallel(
+                    pending,
+                    workers,
+                    timeout,
+                    retries,
+                    on_record,
+                    start_method=start_method,
+                )
         else:
-            stats = _run_parallel(
-                pending,
-                workers,
-                timeout,
-                retries,
-                on_record,
-                start_method=start_method,
-            )
-    else:
-        stats = {"ok": 0, "failed": 0, "retries_used": 0}
-    if metrics_every:
-        export_metrics()
+            stats = {"ok": 0, "failed": 0, "retries_used": 0}
+        if metrics_every:
+            export_metrics()
+    finally:
+        if server is not None:
+            server.close()
 
     return CampaignRun(
         spec=spec,
@@ -1164,4 +1331,5 @@ def run_campaign(
         ok=stats["ok"],
         failed=stats["failed"],
         retries_used=stats["retries_used"],
+        metrics=live_registry,
     )

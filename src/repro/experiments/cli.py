@@ -46,7 +46,12 @@ def build_parser() -> argparse.ArgumentParser:
             "repro.tracing; 'trace --help' for options). Campaign "
             "analytics: 'python -m repro.experiments analyze <dir>' "
             "regenerates registry figures and writes an HTML dashboard "
-            "(see repro.analysis.campaigns; 'analyze --help')."
+            "(see repro.analysis.campaigns; 'analyze --help'). Live "
+            "observability: 'python -m repro.experiments serve <dir>' "
+            "serves a campaign's /metrics, /progress, /alerts and "
+            "/dashboard over HTTP (see repro.telemetry.server; "
+            "'serve --help'; campaigns expose the same endpoints "
+            "in-flight via 'campaign ... --metrics-port')."
         ),
     )
     parser.add_argument(
@@ -151,6 +156,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.analysis.campaigns.cli import main as analyze_main
 
         return analyze_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from repro.telemetry.server import main as serve_main
+
+        return serve_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.telemetry_every is not None and args.telemetry_every < 1:

@@ -29,6 +29,8 @@ from repro.telemetry.registry import (
     Histogram,
     MetricsRegistry,
     NULL_REGISTRY,
+    SNAPSHOT_FORMAT,
+    parse_prometheus_text,
 )
 from repro.telemetry.sampling import (
     ALWAYS,
@@ -48,6 +50,8 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "NULL_REGISTRY",
+    "SNAPSHOT_FORMAT",
+    "parse_prometheus_text",
     "TelemetryCollector",
     "PhaseTimer",
     "FlowMagnitudeProbe",

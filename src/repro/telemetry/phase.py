@@ -40,13 +40,15 @@ class PhaseTimer(Observer):
         *,
         engine_kind: Optional[str] = None,
         sampler: Optional[RoundSampler] = None,
+        metric: str = "repro_phase_seconds",
+        help: str = "Engine phase wall time",
+        labels: Optional[Dict[str, str]] = None,
     ) -> None:
         self._kind = engine_kind
         self._sampler = resolve_sampler(sampler)
+        self._labels = dict(labels or {})
         self._hist = (
-            registry.histogram("repro_phase_seconds", "Engine phase wall time")
-            if registry is not None
-            else None
+            registry.histogram(metric, help) if registry is not None else None
         )
         self.totals: Dict[str, float] = {}
         self.counts: Dict[str, int] = {}
@@ -58,7 +60,18 @@ class PhaseTimer(Observer):
         if seconds > self.maxima.get(phase, 0.0):
             self.maxima[phase] = seconds
         if self._hist is not None:
-            self._hist.observe(seconds, engine=engine_kind, phase=phase)
+            if self._labels:
+                self._hist.observe(
+                    seconds, engine=engine_kind, phase=phase, **self._labels
+                )
+            else:
+                self._hist.observe(seconds, engine=engine_kind, phase=phase)
+
+    def record(
+        self, phase: str, seconds: float, *, engine_kind: Optional[str] = None
+    ) -> None:
+        """Record an externally measured duration as a named phase."""
+        self._record(engine_kind or self._kind or "manual", phase, seconds)
 
     # ------------------------------------------------------------------
     # Engine hook

@@ -1,0 +1,385 @@
+"""Live observability plane: a dependency-free HTTP metrics server.
+
+The paper's evaluation hinges on watching failure signatures *during* a
+run (Figs. 2-4: flow blow-up, restart regressions), but the telemetry
+stack was purely post-hoc and file-based. :class:`MetricsServer` is a
+stdlib :class:`~http.server.ThreadingHTTPServer` on a daemon thread that
+serves a campaign — in flight or finished — over five endpoints:
+
+- ``GET /metrics``   Prometheus text: the campaign aggregates
+  (``campaign_*``) merged with the live worker registries (engine
+  counters, detector alerts, kernel-time histograms);
+- ``GET /healthz``   JSON liveness: ``ok``, or ``degraded`` while
+  in-flight metric exports have failed;
+- ``GET /progress``  JSON: cells done/total, throughput, ETA and
+  per-scenario coverage via the analysis summary aggregations;
+- ``GET /alerts``    JSON: per-detector alert totals + flight-dump paths;
+- ``GET /dashboard`` the self-contained HTML dashboard, regenerated on
+  demand with a meta-refresh so a browser tab follows the sweep.
+
+Two sources feed it: :class:`CampaignLiveSource` (attached by
+``run_campaign(metrics_port=...)`` to the in-memory record stream and
+the parent's merged registry) and :class:`DirectorySource` (post-hoc:
+``python -m repro.experiments serve <dir>`` re-reads results.jsonl per
+request, so a finished — or still-appending — directory serves the same
+endpoints). Analysis imports are lazy and per-request: this module must
+stay importable from the runner without the analytics stack loaded.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import pathlib
+import sys
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, Union
+
+from repro.exceptions import ExperimentError
+from repro.telemetry.registry import MetricsRegistry
+
+#: Seconds between dashboard auto-refreshes when served live.
+DASHBOARD_REFRESH_S = 5
+
+
+def _jsonable(value: object) -> object:
+    """Recursively replace non-finite floats with None (strict JSON)."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+class CampaignLiveSource:
+    """Serves a campaign straight from the runner's in-memory state.
+
+    ``add_record`` is called from the runner loop; every endpoint builds
+    a fresh :class:`CampaignData` from the records seen so far, so the
+    live numbers are computed by exactly the same summary code the
+    post-hoc ``repro.analysis`` CLI uses. Thread-safe: the HTTP handlers
+    run on server threads while the runner keeps appending.
+    """
+
+    def __init__(
+        self,
+        *,
+        name: str,
+        spec: Optional[Dict[str, object]],
+        out_dir: Union[str, pathlib.Path],
+        registry: MetricsRegistry,
+    ) -> None:
+        self.name = name
+        self._spec = spec
+        self._out_dir = pathlib.Path(out_dir)
+        self._registry = registry
+        self._records: List[Dict[str, object]] = []
+        self._lock = threading.Lock()
+
+    def add_record(self, record: Dict[str, object]) -> None:
+        with self._lock:
+            self._records.append(dict(record))
+
+    def _data(self):
+        from repro.analysis.campaigns.frame import Frame
+        from repro.analysis.campaigns.loader import (
+            COLUMNS,
+            CampaignData,
+            expected_cell_count,
+            normalize_record,
+        )
+
+        with self._lock:
+            records = [normalize_record(r) for r in self._records]
+        return CampaignData(
+            directory=self._out_dir,
+            frame=Frame.from_records(records, columns=COLUMNS),
+            spec=self._spec if self._spec is not None else {"name": self.name},
+            expected_cells=expected_cell_count(self._spec),
+            duplicates=0,
+            skipped_lines=0,
+        )
+
+    def _export_errors(self) -> float:
+        for metric in self._registry.metrics():
+            if metric.name == "campaign_export_errors_total":
+                return sum(float(v) for _, v in metric.samples())  # type: ignore[arg-type]
+        return 0.0
+
+    def metrics_text(self) -> str:
+        from repro.analysis.campaigns.export import campaign_metrics_registry
+
+        registry = campaign_metrics_registry(self._data())
+        registry.merge(self._registry.snapshot())
+        return registry.to_prometheus()
+
+    def health(self) -> Dict[str, object]:
+        with self._lock:
+            recorded = len(self._records)
+        export_errors = self._export_errors()
+        return {
+            "status": "degraded" if export_errors else "ok",
+            "campaign": self.name,
+            "cells_recorded": recorded,
+            "export_errors": export_errors,
+        }
+
+    def progress(self) -> Dict[str, object]:
+        from repro.analysis.campaigns.summary import (
+            coverage_summary,
+            progress_stats,
+            scenario_summary,
+        )
+
+        data = self._data()
+        return {
+            "campaign": data.name,
+            "coverage": coverage_summary(data),
+            "progress": progress_stats(data, now=time.time()),
+            "scenarios": list(scenario_summary(data.ok).rows()),
+        }
+
+    def alerts(self) -> Dict[str, object]:
+        from repro.analysis.campaigns.summary import (
+            alert_summary,
+            flight_dump_index,
+        )
+
+        data = self._data()
+        return {
+            "campaign": data.name,
+            "alerts": list(alert_summary(data.frame).rows()),
+            "flight_dumps": flight_dump_index(data.frame),
+        }
+
+    def dashboard_html(self) -> str:
+        from repro.analysis.campaigns.dashboard import build_dashboard
+
+        return build_dashboard(
+            self._data(), auto_refresh_s=DASHBOARD_REFRESH_S
+        )
+
+
+class DirectorySource:
+    """Post-hoc serving: every request re-reads the campaign directory.
+
+    Re-reading per request keeps the source valid for a directory that is
+    *still being appended to* by a concurrently running sweep.
+    """
+
+    def __init__(self, directory: Union[str, pathlib.Path]) -> None:
+        self._directory = pathlib.Path(directory)
+        # Fail fast on a non-campaign directory instead of 500ing later.
+        self._load()
+
+    def _load(self):
+        from repro.analysis.campaigns.loader import load_campaign
+
+        return load_campaign(self._directory)
+
+    def metrics_text(self) -> str:
+        from repro.analysis.campaigns.export import campaign_metrics_registry
+
+        return campaign_metrics_registry(self._load()).to_prometheus()
+
+    def health(self) -> Dict[str, object]:
+        data = self._load()
+        return {
+            "status": "ok",
+            "campaign": data.name,
+            "cells_recorded": len(data.frame),
+            "export_errors": 0,
+        }
+
+    def progress(self) -> Dict[str, object]:
+        from repro.analysis.campaigns.summary import (
+            coverage_summary,
+            progress_stats,
+            scenario_summary,
+        )
+
+        data = self._load()
+        return {
+            "campaign": data.name,
+            "coverage": coverage_summary(data),
+            "progress": progress_stats(data, now=time.time()),
+            "scenarios": list(scenario_summary(data.ok).rows()),
+        }
+
+    def alerts(self) -> Dict[str, object]:
+        from repro.analysis.campaigns.summary import (
+            alert_summary,
+            flight_dump_index,
+        )
+
+        data = self._load()
+        return {
+            "campaign": data.name,
+            "alerts": list(alert_summary(data.frame).rows()),
+            "flight_dumps": flight_dump_index(data.frame),
+        }
+
+    def dashboard_html(self) -> str:
+        from repro.analysis.campaigns.dashboard import build_dashboard
+
+        return build_dashboard(
+            self._load(), auto_refresh_s=DASHBOARD_REFRESH_S
+        )
+
+
+class MetricsServer:
+    """ThreadingHTTPServer wrapper around a campaign source.
+
+    ``port=0`` binds an ephemeral port (read it back from ``.port`` /
+    ``.url`` after construction). The listener threads are daemons: an
+    exiting sweep never hangs on the server, but call :meth:`close` for
+    a deterministic shutdown (the runner does, in a ``finally``).
+    """
+
+    def __init__(
+        self,
+        source,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._source = source
+        handler = _make_handler(source)
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]  # type: ignore[return-value]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "MetricsServer":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                # Tight poll so close() doesn't stall a finishing campaign
+                # on the stdlib's default 0.5 s shutdown latency.
+                target=lambda: self._httpd.serve_forever(poll_interval=0.05),
+                name="repro-metrics-server",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def close(self) -> None:
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join(timeout=5)
+            self._thread = None
+        self._httpd.server_close()
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _make_handler(source):
+    class _Handler(BaseHTTPRequestHandler):
+        def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+            pass  # scrapes must not spam the campaign log
+
+        def _send(self, status: int, content_type: str, body: str) -> None:
+            payload = body.encode()
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(payload)))
+            self.end_headers()
+            self.wfile.write(payload)
+
+        def _send_json(self, payload: Dict[str, object]) -> None:
+            self._send(
+                200,
+                "application/json",
+                json.dumps(_jsonable(payload), sort_keys=True) + "\n",
+            )
+
+        def do_GET(self) -> None:  # noqa: N802 - stdlib hook name
+            path = self.path.split("?", 1)[0]
+            try:
+                if path == "/metrics":
+                    self._send(
+                        200,
+                        "text/plain; version=0.0.4; charset=utf-8",
+                        source.metrics_text(),
+                    )
+                elif path == "/healthz":
+                    self._send_json(source.health())
+                elif path == "/progress":
+                    self._send_json(source.progress())
+                elif path == "/alerts":
+                    self._send_json(source.alerts())
+                elif path in ("/", "/dashboard"):
+                    self._send(
+                        200,
+                        "text/html; charset=utf-8",
+                        source.dashboard_html(),
+                    )
+                else:
+                    self._send(404, "text/plain", f"unknown path {path}\n")
+            except Exception as exc:  # noqa: BLE001 - a scrape must not kill the server
+                self._send(
+                    500, "text/plain", f"{type(exc).__name__}: {exc}\n"
+                )
+
+    return _Handler
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro.experiments serve <dir>``: post-hoc serving."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments serve",
+        description=(
+            "Serve a campaign directory's metrics, progress, alerts and "
+            "dashboard over HTTP (works mid-flight: the directory is "
+            "re-read on every request)."
+        ),
+    )
+    parser.add_argument("directory", help="campaign --out directory")
+    parser.add_argument(
+        "--port", type=int, default=0, help="port to bind (0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="address to bind (default: %(default)s)"
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        source = DirectorySource(args.directory)
+    except ExperimentError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    server = MetricsServer(source, host=args.host, port=args.port)
+    server.start()
+    print(f"serving {args.directory} at {server.url}")
+    print("endpoints: /metrics /healthz /progress /alerts /dashboard")
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

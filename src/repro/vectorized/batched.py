@@ -44,6 +44,7 @@ object-engine path.
 from __future__ import annotations
 
 import dataclasses
+import time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -252,6 +253,12 @@ class BatchedEngine:
                     (gi, gj, su, sv)
                 )
 
+        # Optional kernel profiler: when the campaign runner (or a caller)
+        # attaches a PhaseTimer here, every fused `_apply_round` kernel
+        # call is timed as phase "kernel". None keeps the hot loop free of
+        # any timing overhead.
+        self.phase_timer = None
+
         self._round = 0
         self._retired = np.zeros(self._runs, dtype=bool)
         self._executed = np.zeros(self._runs, dtype=np.int64)
@@ -402,7 +409,14 @@ class BatchedEngine:
             senders = np.concatenate(sender_parts)
             slots = np.concatenate(slot_parts)
             delivered = np.concatenate(delivered_parts)
-            self._engine._apply_round(senders, slots, delivered)
+            if self.phase_timer is not None:
+                t0 = time.perf_counter()
+                self._engine._apply_round(senders, slots, delivered)
+                self.phase_timer.record(
+                    "kernel", time.perf_counter() - t0
+                )
+            else:
+                self._engine._apply_round(senders, slots, delivered)
 
         for gi, gj, si, sj in self._handle_events.get(rnd, ()):
             self._handle_link(gi, gj, si, sj)

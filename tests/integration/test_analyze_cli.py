@@ -25,14 +25,16 @@ def smoke_dir(tmp_path_factory):
 
 
 def test_analyze_regenerates_figures_and_dashboard(smoke_dir, capsys):
-    # The static smoke campaign cannot feed the dynamic-topology figure, so
-    # --allow-missing-data keeps exit 0; churn-grid campaigns render all.
+    # The static object-engine smoke campaign cannot feed the
+    # dynamic-topology figure or the fused-kernel-time figure, so
+    # --allow-missing-data keeps exit 0; vectorized churn-grid campaigns
+    # render all.
     code = analyze_cli([str(smoke_dir), "--allow-missing-data", "--csv"])
     assert code == 0
 
     out_dir = smoke_dir / "analysis"
     svgs = sorted(p.name for p in out_dir.glob("*.svg"))
-    assert len(svgs) >= len(FIGURES) - 1
+    assert len(svgs) >= len(FIGURES) - 2
     for svg in out_dir.glob("*.svg"):
         ET.fromstring(svg.read_text())
 

@@ -77,7 +77,7 @@ class TestSchemaIdentity:
     def test_vectorized_and_batched_agree_bit_for_bit(self, engine_results):
         # Same seed streams, same kernels: everything but the engine tag
         # and wall-clock must be *identical*, not merely close.
-        varying = {"engine", "wall_s", "recorded_at"}
+        varying = {"engine", "wall_s", "kernel_seconds", "recorded_at"}
         for cell_id, vec in engine_results["vectorized"].items():
             bat = engine_results["batched"][cell_id]
             for key in vec:
@@ -158,7 +158,7 @@ class TestBackendAxis:
     def test_numba_grid_matches_numpy_reference(self, backend_results):
         from repro.vectorized.backends import NUMBA_AVAILABLE
 
-        varying = {"wall_s", "recorded_at", "backend"}
+        varying = {"wall_s", "kernel_seconds", "recorded_at", "backend"}
         for key, ref in backend_results["numpy"].items():
             alt = backend_results["numba"][key]
             for field in ref:

@@ -32,6 +32,7 @@ def synthetic_campaign(tmp_dir=pathlib.Path(".")) -> CampaignData:
             for n in (8, 32):
                 for seed in (0, 1):
                     dynamic = fault != "none"
+                    batched = seed == 1  # kernel-time needs fused-kernel rows
                     records.append(
                         normalize_record(
                             {
@@ -63,8 +64,12 @@ def synthetic_campaign(tmp_dir=pathlib.Path(".")) -> CampaignData:
                                 "alerts_total": 0,
                                 "flight_dumps": [],
                                 "wall_s": 0.1 + (i % 9) / 50.0,
+                                "kernel_seconds": 0.001 + (i % 6) / 500.0
+                                if batched
+                                else None,
                                 "recorded_at": 1.7e9 + i * 0.3,
-                                "engine": "object",
+                                "engine": "batched" if batched else "object",
+                                "backend": "numpy" if batched else None,
                             }
                         )
                     )

@@ -244,7 +244,7 @@ class TestParallelBatchedGroups:
             start_method=start_method,
         )
         assert (serial.ok, parallel.ok) == (8, 8)
-        varying = {"wall_s", "recorded_at"}
+        varying = {"wall_s", "kernel_seconds", "recorded_at"}
         serial_records = load_results(serial_dir)
         for cell_id, record in load_results(parallel_dir).items():
             ref = serial_records[cell_id]
@@ -392,3 +392,109 @@ class TestTimestampsAndMetrics:
     def test_negative_metrics_every_rejected(self, tmp_path):
         with pytest.raises(ConfigurationError):
             run_campaign(tiny_spec(), tmp_path, metrics_every=-1)
+
+
+class TestMetricsAggregation:
+    """Worker registries ride the result channel; merged == serial, exactly.
+
+    The live /metrics plane is only trustworthy if parallel execution
+    reports the same counters a serial run would — counters from
+    disjoint processes sum exactly (DESIGN.md §5f), so equality here is
+    ``==``, never approx.
+    """
+
+    ENGINE_COUNTERS = (
+        "engine_rounds_total",
+        "engine_messages_sent_total",
+        "engine_messages_delivered_total",
+    )
+
+    def counters(self, run, engine, backend):
+        labels = {
+            "algorithm": "push_flow",
+            "engine": engine,
+            "backend": backend,
+        }
+        return {
+            name: run.metrics.counter(name).value(**labels)
+            for name in self.ENGINE_COUNTERS
+        }
+
+    def test_per_cell_workers_match_serial(self, tmp_path):
+        spec = tiny_spec(rounds=40)
+        serial = run_campaign(spec, tmp_path / "serial")
+        parallel = run_campaign(
+            spec, tmp_path / "parallel", workers=2, timeout=120
+        )
+        assert (serial.ok, parallel.ok) == (2, 2)
+        expected = self.counters(serial, "object", "none")
+        assert expected["engine_rounds_total"] > 0
+        assert expected["engine_messages_sent_total"] > 0
+        assert self.counters(parallel, "object", "none") == expected
+
+    def test_batched_group_workers_match_serial(self, tmp_path):
+        spec = CampaignSpec.from_dict(
+            {
+                "name": "tiny-batched",
+                "engine": "batched",
+                "algorithms": ["push_flow"],
+                "faults": [{"kind": "none"}, {"kind": "message_loss", "rate": 0.1}],
+                "topologies": [{"family": "hypercube", "n": 8}],
+                "seeds": [0, 1],
+                "rounds": 40,
+                "epsilon": 1e-6,
+            }
+        )
+        serial = run_campaign(spec, tmp_path / "serial")
+        parallel = run_campaign(
+            spec, tmp_path / "parallel", workers=2, timeout=120
+        )
+        assert (serial.ok, parallel.ok) == (4, 4)
+        expected = self.counters(serial, "batched", "numpy")
+        assert expected["engine_rounds_total"] > 0
+        assert self.counters(parallel, "batched", "numpy") == expected
+        assert leaked_group_segments() == []
+
+    def test_snapshots_never_reach_results_jsonl(self, tmp_path):
+        run_campaign(tiny_spec(), tmp_path, workers=2, timeout=120)
+        for line in (tmp_path / "results.jsonl").read_text().splitlines():
+            assert "_metrics_snapshot" not in json.loads(line)
+
+    def test_batched_records_carry_kernel_seconds(self, tmp_path):
+        spec = tiny_spec(name="tiny-b", engine="batched", epsilon=1e-6)
+        run_campaign(spec, tmp_path)
+        for record in load_results(tmp_path).values():
+            assert record["kernel_seconds"] > 0
+        hist = [
+            m
+            for m in run_campaign(
+                spec, tmp_path, resume=False
+            ).metrics.snapshot()["metrics"]
+            if m["name"] == "repro_kernel_seconds"
+        ]
+        (kernel,) = hist
+        assert kernel["kind"] == "histogram"
+        labels = kernel["samples"][0]["labels"]
+        assert labels["algorithm"] == "push_flow"
+        assert labels["backend"] == "numpy"
+        assert labels["phase"] == "kernel"
+
+    def test_object_records_have_null_kernel_seconds(self, tmp_path):
+        run_campaign(tiny_spec(), tmp_path)
+        assert all(
+            r["kernel_seconds"] is None
+            for r in load_results(tmp_path).values()
+        )
+
+    def test_export_failures_counted_not_swallowed(self, tmp_path, monkeypatch):
+        import repro.analysis.campaigns.export as export_mod
+
+        def boom(*_args, **_kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(export_mod, "export_records_metrics", boom)
+        run = run_campaign(tiny_spec(), tmp_path, metrics_every=1)
+        assert run.ok == 2
+        errors = run.metrics.counter("campaign_export_errors_total")
+        # One failure per recorded cell plus the end-of-sweep export.
+        assert errors.value(campaign="tiny") == 3.0

@@ -144,7 +144,9 @@ class TestExporters:
         text = registry.to_prometheus()
         assert "# TYPE repro_sent counter" in text
         assert '\nrepro_sent{engine="sync"} 10.0' in text
-        assert "repro_drift +Inf" in text
+        # non-finite gauge samples are sanitized out of the scrape
+        assert "# TYPE repro_drift gauge" in text
+        assert "repro_drift +Inf" not in text
         assert 'repro_phase_bucket{le="0.1",phase="send"} 1' in text
         assert 'repro_phase_bucket{le="+Inf",phase="send"} 2' in text
         assert 'repro_phase_count{phase="send"} 2' in text

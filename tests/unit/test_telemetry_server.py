@@ -1,0 +1,191 @@
+"""HTTP metrics server: endpoints, sources, and default-off behavior."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.campaigns import CampaignSpec, run_campaign
+from repro.telemetry import MetricsRegistry, parse_prometheus_text
+from repro.telemetry.server import (
+    CampaignLiveSource,
+    DirectorySource,
+    MetricsServer,
+)
+
+
+def get(url, timeout=5.0):
+    with urllib.request.urlopen(url, timeout=timeout) as resp:
+        return resp.status, resp.headers.get("Content-Type", ""), resp.read()
+
+
+def tiny_spec(**overrides):
+    raw = {
+        "name": "tiny-live",
+        "algorithms": ["push_flow"],
+        "topologies": [{"family": "hypercube", "n": 8}],
+        "faults": [{"kind": "none"}],
+        "seeds": [0, 1],
+        "rounds": 30,
+        "epsilon": 1e-3,
+    }
+    raw.update(overrides)
+    return CampaignSpec.from_dict(raw)
+
+
+@pytest.fixture()
+def live_source(tmp_path):
+    registry = MetricsRegistry()
+    registry.counter("engine_rounds_total", "rounds").inc(
+        30.0, algorithm="push_flow", engine="object", backend="none"
+    )
+    source = CampaignLiveSource(
+        name="tiny-live",
+        spec=tiny_spec().to_dict(),
+        out_dir=tmp_path,
+        registry=registry,
+    )
+    from repro.campaigns.runner import execute_cell
+
+    record = execute_cell(tiny_spec().expand()[0])
+    record.pop("_metrics_snapshot", None)
+    record["recorded_at"] = 1.7e9
+    source.add_record(record)
+    return source
+
+
+class TestEndpoints:
+    def test_all_endpoints_respond(self, live_source):
+        with MetricsServer(live_source) as server:
+            assert server.url.startswith("http://127.0.0.1:")
+
+            status, ctype, body = get(server.url + "/metrics")
+            assert status == 200 and ctype.startswith("text/plain")
+            samples = parse_prometheus_text(body.decode())
+            names = {name for name, _l, _v in samples}
+            assert {"campaign_cells_total", "engine_rounds_total"} <= names
+
+            status, ctype, body = get(server.url + "/healthz")
+            assert status == 200 and ctype.startswith("application/json")
+            health = json.loads(body)
+            assert health["status"] == "ok"
+            assert health["cells_recorded"] == 1
+
+            _status, _ctype, body = get(server.url + "/progress")
+            progress = json.loads(body)
+            assert progress["campaign"] == "tiny-live"
+            assert progress["progress"]["cells_recorded"] == 1
+
+            _status, _ctype, body = get(server.url + "/alerts")
+            assert json.loads(body)["campaign"] == "tiny-live"
+
+            _status, _ctype, body = get(server.url + "/dashboard")
+            html = body.decode()
+            assert html.startswith("<!DOCTYPE html>")
+            assert '<meta http-equiv="refresh"' in html
+
+    def test_unknown_path_is_404(self, live_source):
+        with MetricsServer(live_source) as server:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                get(server.url + "/nope")
+            assert err.value.code == 404
+
+    def test_source_exception_is_500(self):
+        class Broken:
+            def health(self):
+                raise RuntimeError("boom")
+
+        with MetricsServer(Broken()) as server:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                get(server.url + "/healthz")
+            assert err.value.code == 500
+
+    def test_ephemeral_port_allocated_per_server(self, live_source):
+        with MetricsServer(live_source) as one, MetricsServer(
+            live_source
+        ) as two:
+            assert one.port != two.port
+            assert one.port > 0
+
+    def test_healthz_degraded_on_export_errors(self, live_source):
+        live_source._registry.counter(
+            "campaign_export_errors_total", "failures"
+        ).inc(campaign="tiny-live")
+        with MetricsServer(live_source) as server:
+            health = json.loads(get(server.url + "/healthz")[2])
+        assert health["status"] == "degraded"
+        assert health["export_errors"] == 1
+
+
+class TestDirectorySource:
+    def test_serves_finished_campaign(self, tmp_path):
+        run = run_campaign(tiny_spec(), tmp_path, log=lambda _m: None)
+        assert run.ok == 2
+        source = DirectorySource(tmp_path)
+        with MetricsServer(source) as server:
+            samples = parse_prometheus_text(
+                get(server.url + "/metrics")[2].decode()
+            )
+            cells = [
+                v
+                for name, _l, v in samples
+                if name == "campaign_cells_total"
+            ]
+            assert cells == [2.0]
+            progress = json.loads(get(server.url + "/progress")[2])
+            assert progress["progress"]["cells_recorded"] == 2
+            assert json.loads(get(server.url + "/healthz")[2])["status"] == "ok"
+
+    def test_rejects_non_campaign_directory(self, tmp_path):
+        from repro.exceptions import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            DirectorySource(tmp_path / "nowhere")
+
+
+class TestRunnerIntegration:
+    def test_no_socket_and_no_server_json_by_default(self, tmp_path):
+        run_campaign(tiny_spec(), tmp_path, log=lambda _m: None)
+        assert not (tmp_path / "server.json").exists()
+
+    def test_metrics_port_serves_and_writes_server_json(self, tmp_path):
+        scraped = {}
+
+        def scrape(msg):
+            # The runner logs "live metrics: <url>" before any cell runs;
+            # scrape from inside the log hook while the sweep is alive.
+            if "live metrics:" in msg and "url" not in scraped:
+                scraped["url"] = msg.split("live metrics:")[1].strip()
+                scraped["health"] = json.loads(
+                    get(scraped["url"] + "/healthz")[2]
+                )
+
+        run = run_campaign(
+            tiny_spec(), tmp_path, log=scrape, metrics_port=0
+        )
+        assert run.ok == 2
+        assert scraped["health"]["status"] == "ok"
+
+        info = json.loads((tmp_path / "server.json").read_text())
+        assert info["url"] == scraped["url"]
+        assert set(info["endpoints"]) == {
+            "/metrics",
+            "/healthz",
+            "/progress",
+            "/alerts",
+            "/dashboard",
+        }
+        # The sweep is over: the socket must be closed again.
+        with pytest.raises((urllib.error.URLError, ConnectionError)):
+            get(scraped["url"] + "/healthz", timeout=1.0)
+
+    def test_run_returns_merged_registry(self, tmp_path):
+        run = run_campaign(tiny_spec(), tmp_path, log=lambda _m: None)
+        counter = run.metrics.counter("engine_rounds_total")
+        assert (
+            counter.value(
+                algorithm="push_flow", engine="object", backend="none"
+            )
+            > 0
+        )

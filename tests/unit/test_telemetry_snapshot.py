@@ -1,0 +1,199 @@
+"""Registry snapshot/merge: the cross-process aggregation wire format.
+
+Campaign workers ship ``MetricsRegistry.snapshot()`` dicts back over the
+result channel and the parent folds them in with ``merge``; live
+``/metrics`` totals are only trustworthy if that round trip is exact
+(counters sum, gauges last-write-wins, histograms bucket-wise) and
+refuses to approximate (mismatched bucket bounds). DESIGN.md §5f.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.telemetry import (
+    SNAPSHOT_FORMAT,
+    MetricsRegistry,
+    parse_prometheus_text,
+)
+
+
+def worker_registry(rounds=5.0, drift=1e-9, ts=100.0):
+    reg = MetricsRegistry()
+    reg.counter("rounds_total", "rounds").inc(rounds, algorithm="push_flow")
+    reg.gauge("drift", "mass drift").set_at(drift, ts, algorithm="push_flow")
+    hist = reg.histogram("kernel_s", "kernel", buckets=[0.1, 1.0])
+    hist.observe(0.05, engine="batched")
+    hist.observe(0.5, engine="batched")
+    return reg
+
+
+class TestSnapshot:
+    def test_format_tag_and_json_round_trip(self):
+        snap = worker_registry().snapshot()
+        assert snap["format"] == SNAPSHOT_FORMAT
+        assert json.loads(json.dumps(snap)) == snap
+
+    def test_disabled_registry_snapshots_empty(self):
+        assert MetricsRegistry(enabled=False).snapshot()["metrics"] == []
+
+    def test_histogram_slots_carry_raw_buckets(self):
+        snap = worker_registry().snapshot()
+        (hist,) = [m for m in snap["metrics"] if m["name"] == "kernel_s"]
+        (slot,) = hist["samples"]
+        # Raw per-bucket counts (not cumulative): 0.05 -> first bucket,
+        # 0.5 -> second, nothing overflowed.
+        assert slot["buckets"] == [1, 1, 0]
+        assert slot["count"] == 2
+        assert slot["sum"] == pytest.approx(0.55)
+
+
+class TestMerge:
+    def test_counters_sum_exactly(self):
+        parent = MetricsRegistry()
+        parent.merge(worker_registry(rounds=3.0).snapshot())
+        parent.merge(worker_registry(rounds=4.0).snapshot())
+        counter = parent.counter("rounds_total")
+        assert counter.value(algorithm="push_flow") == 7.0
+
+    def test_gauges_last_write_wins_by_timestamp(self):
+        newer = worker_registry(drift=2e-9, ts=200.0).snapshot()
+        older = worker_registry(drift=1e-9, ts=100.0).snapshot()
+        parent = MetricsRegistry()
+        parent.merge(newer)
+        parent.merge(older)  # arrival order must not matter
+        assert parent.gauge("drift").value(algorithm="push_flow") == 2e-9
+
+    def test_histograms_merge_bucket_wise(self):
+        parent = MetricsRegistry()
+        parent.merge(worker_registry().snapshot())
+        parent.merge(worker_registry().snapshot())
+        snap = parent.histogram("kernel_s", buckets=[0.1, 1.0]).snapshot(
+            engine="batched"
+        )
+        assert snap["count"] == 4
+        assert snap["sum"] == pytest.approx(1.1)
+        assert snap["max"] == 0.5
+        # Exposition buckets are cumulative: le=0.1 -> 2, le=1.0 -> 4.
+        assert snap["buckets"] == [(0.1, 2), (1.0, 4), ("+Inf", 4)]
+
+    def test_mismatched_bucket_bounds_rejected(self):
+        parent = MetricsRegistry()
+        parent.histogram("kernel_s", "kernel", buckets=[0.25, 2.0])
+        with pytest.raises(ConfigurationError, match="bounds"):
+            parent.merge(worker_registry().snapshot())
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ConfigurationError, match="format"):
+            MetricsRegistry().merge({"format": 999, "metrics": []})
+
+    def test_kind_collision_rejected(self):
+        parent = MetricsRegistry()
+        parent.gauge("rounds_total", "now a gauge")
+        with pytest.raises(ConfigurationError):
+            parent.merge(worker_registry().snapshot())
+
+    def test_none_and_disabled_are_no_ops(self):
+        parent = MetricsRegistry()
+        parent.merge(None)
+        disabled = MetricsRegistry(enabled=False)
+        disabled.merge(worker_registry().snapshot())
+        assert disabled.snapshot()["metrics"] == []
+        assert parent.snapshot()["metrics"] == []
+
+    def test_serial_equals_split_across_workers(self):
+        # The property the campaign integration tests rely on, in
+        # miniature: one registry seeing all events == the merge of
+        # per-worker registries seeing a partition of them.
+        serial = MetricsRegistry()
+        for _ in range(3):
+            serial.counter("c", "").inc(2.0, k="a")
+            serial.histogram("h", "", buckets=[1.0]).observe(0.5, k="a")
+        merged = MetricsRegistry()
+        for _ in range(3):
+            worker = MetricsRegistry()
+            worker.counter("c", "").inc(2.0, k="a")
+            worker.histogram("h", "", buckets=[1.0]).observe(0.5, k="a")
+            merged.merge(worker.snapshot())
+        assert (
+            serial.counter("c").value(k="a")
+            == merged.counter("c").value(k="a")
+        )
+        assert serial.histogram("h", buckets=[1.0]).snapshot(
+            k="a"
+        ) == merged.histogram("h", buckets=[1.0]).snapshot(k="a")
+
+
+class TestPrometheusRoundTrip:
+    def test_exposition_parses_strictly(self):
+        reg = worker_registry()
+        reg.gauge("weird", "label escaping").set(
+            1.0, path='a"b\\c', note="x,y"
+        )
+        samples = parse_prometheus_text(reg.to_prometheus())
+        by_name = {}
+        for name, labels, value in samples:
+            by_name.setdefault(name, []).append((labels, value))
+        assert by_name["rounds_total"] == [({"algorithm": "push_flow"}, 5.0)]
+        assert by_name["weird"] == [({"path": 'a"b\\c', "note": "x,y"}, 1.0)]
+        assert ({"engine": "batched", "le": "+Inf"}, 2.0) in by_name[
+            "kernel_s_bucket"
+        ]
+
+    def test_non_finite_scalars_dropped_from_exposition(self):
+        reg = MetricsRegistry()
+        reg.gauge("g", "gauge").set(float("nan"), k="bad")
+        reg.gauge("g", "gauge").set(1.5, k="good")
+        hist = reg.histogram("h", "hist", buckets=[1.0])
+        hist.observe(float("inf"))
+        text = reg.to_prometheus()
+        samples = parse_prometheus_text(text)  # must not raise
+        names = {name for name, _labels, _v in samples}
+        assert ({"k": "good"}, 1.5) in [
+            (labels, v) for name, labels, v in samples if name == "g"
+        ]
+        assert not any(
+            labels.get("k") == "bad" for name, labels, _v in samples
+        )
+        # The inf observation poisons _sum (dropped) but not the counts.
+        assert "h_sum" not in names
+        assert "h_count" in names and "h_bucket" in names
+
+    def test_parser_rejects_malformed_lines(self):
+        with pytest.raises(ValueError, match="malformed"):
+            parse_prometheus_text("not a metric line at all {")
+        with pytest.raises(ValueError, match="unterminated label quote"):
+            parse_prometheus_text('m{unclosed="x} 1.0')
+
+
+class TestThreadSafety:
+    def test_concurrent_writers_lose_no_updates(self):
+        # Scrapes run on server threads while the runner merges worker
+        # snapshots; families are lock-protected so compound
+        # read-modify-write updates must never be lost.
+        reg = MetricsRegistry()
+        counter = reg.counter("hits", "hammered")
+        hist = reg.histogram("lat", "hammered", buckets=[0.5])
+        threads_n, per_thread = 8, 2000
+        start = threading.Barrier(threads_n + 1)
+
+        def hammer():
+            start.wait()
+            for _ in range(per_thread):
+                counter.inc(worker="w")
+                hist.observe(0.25, worker="w")
+
+        threads = [threading.Thread(target=hammer) for _ in range(threads_n)]
+        for t in threads:
+            t.start()
+        start.wait()
+        for _ in range(50):  # concurrent readers must not corrupt state
+            reg.snapshot()
+            parse_prometheus_text(reg.to_prometheus())
+        for t in threads:
+            t.join()
+        expected = float(threads_n * per_thread)
+        assert counter.value(worker="w") == expected
+        assert hist.snapshot(worker="w")["count"] == expected
