@@ -43,3 +43,23 @@ class LinalgError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised by the experiment harness for unknown/invalid specs."""
+
+
+class ServiceError(ReproError):
+    """Base class for reduction-daemon failures (:mod:`repro.service`)."""
+
+
+class QueueFullError(ServiceError):
+    """Admission refused: the daemon's pending queue is at capacity.
+
+    Backpressure, not failure — the caller should retry after draining
+    some of its in-flight jobs.
+    """
+
+
+class QuotaExceededError(ServiceError):
+    """Admission refused: the tenant is at its in-flight job quota."""
+
+
+class JobFailedError(ServiceError):
+    """A submitted job exhausted its retries or deadline without a result."""

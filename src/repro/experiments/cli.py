@@ -51,7 +51,11 @@ def build_parser() -> argparse.ArgumentParser:
             "serves a campaign's /metrics, /progress, /alerts and "
             "/dashboard over HTTP (see repro.telemetry.server; "
             "'serve --help'; campaigns expose the same endpoints "
-            "in-flight via 'campaign ... --metrics-port')."
+            "in-flight via 'campaign ... --metrics-port'). Reduction "
+            "service: 'python -m repro.experiments serve-reductions' "
+            "runs the persistent multi-tenant aggregation daemon with "
+            "live /metrics, /healthz and /jobs (see repro.service; "
+            "'serve-reductions --help')."
         ),
     )
     parser.add_argument(
@@ -160,6 +164,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.telemetry.server import main as serve_main
 
         return serve_main(argv[1:])
+    if argv and argv[0] == "serve-reductions":
+        from repro.service.cli import main as service_main
+
+        return service_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.telemetry_every is not None and args.telemetry_every < 1:

@@ -12,12 +12,20 @@ distributed algorithm's error behaviour and exactly what Fig. 8 measures).
 Each call uses a fresh protocol state but a continuing schedule seed, so a
 sequence of reductions (one per Gram-Schmidt step) sees independent random
 schedules, reproducibly derived from one master seed.
+
+The module-level helpers (:func:`normalize_partials`,
+:func:`plan_sum_reduction`, :func:`finalize_sum_estimates`,
+:func:`derive_schedule_seed`) are the single source of truth for the
+service's input/output contract; :class:`ReductionService`,
+:class:`ExactReductionService` and the :mod:`repro.service` daemon all go
+through them, which is what makes a daemon job bit-identical to a direct
+service call.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -25,6 +33,106 @@ from repro.algorithms.aggregates import AggregateKind
 from repro.exceptions import ConfigurationError
 from repro.reduction import ReductionResult, default_round_cap, run_reduction
 from repro.topology.base import Topology
+
+AGGREGATE_MODES = ("average", "sum")
+
+
+def normalize_partials(
+    partials: Sequence[np.ndarray], n: int
+) -> Tuple[np.ndarray, bool]:
+    """Validate per-node partials and normalize them to an ``(n, d)`` matrix.
+
+    Returns ``(data, scalar_input)`` where ``scalar_input`` decides the
+    result shape of a sum reduction: ``(n,)`` for scalar calls, ``(n, d)``
+    for vector calls. The call is *scalar* when ``d == 1`` and at least one
+    partial was written as a bare scalar — so a call mixing ``0.0`` and
+    ``[0.0]`` is normalized to a scalar reduction instead of letting the
+    result shape flip on how any one caller happened to spell zero. A call
+    where every partial is a length-1 vector stays a vector call.
+
+    Raises :class:`ConfigurationError` on a wrong partial count, on
+    partials of inconsistent dimension, and on partials that are not
+    scalars or 1-D vectors.
+    """
+    if len(partials) != n:
+        raise ConfigurationError(
+            f"expected {n} partials, got {len(partials)}"
+        )
+    data: List[np.ndarray] = []
+    any_scalar = False
+    for i, p in enumerate(partials):
+        arr = np.asarray(p, dtype=np.float64)
+        if arr.ndim == 0:
+            any_scalar = True
+        elif arr.ndim != 1:
+            raise ConfigurationError(
+                f"partial {i} must be a scalar or 1-D vector, "
+                f"got shape {arr.shape}"
+            )
+        data.append(np.atleast_1d(arr))
+    dims = {len(p) for p in data}
+    if len(dims) != 1:
+        raise ConfigurationError(f"inconsistent partial dimensions: {dims}")
+    dim = dims.pop()
+    scalar_input = dim == 1 and any_scalar
+    return np.stack(data), scalar_input
+
+
+def plan_sum_reduction(
+    data: np.ndarray, aggregate: str
+) -> Tuple[List[object], AggregateKind, float]:
+    """Map normalized ``(n, d)`` partials onto a wire-level reduction.
+
+    Returns ``(payload, kind, error_scale)``: the per-node payload values
+    handed to :func:`repro.reduction.run_reduction`, the aggregate kind
+    realizing the sum (see :class:`ReductionService` for the two modes),
+    and the accuracy-oracle normalization. Accuracy is judged relative to
+    the partials' scale: the true sum may be arbitrarily tiny
+    (near-orthogonal dot products), in which case "epsilon relative to the
+    result" is unattainable in floating point and not what a caller needs
+    anyway.
+    """
+    if aggregate not in AGGREGATE_MODES:
+        raise ConfigurationError(
+            f"aggregate must be 'average' or 'sum', got {aggregate!r}"
+        )
+    n, dim = data.shape
+    payload = [p if dim > 1 else float(p[0]) for p in data]
+    data_scale = max(float(np.max(np.abs(data))), 1e-300)
+    if aggregate == "average":
+        return payload, AggregateKind.AVERAGE, data_scale
+    return payload, AggregateKind.SUM, data_scale * n
+
+
+def finalize_sum_estimates(
+    estimates: np.ndarray, *, n: int, aggregate: str, scalar_input: bool
+) -> np.ndarray:
+    """Shape a reduction's raw per-node estimates into the service result.
+
+    ``"average"``-mode estimates are scaled by ``n`` locally (the sum is
+    realized as an average of unit-weight nodes); scalar calls return
+    shape ``(n,)``, vector calls ``(n, d)``.
+    """
+    estimates = np.asarray(estimates)
+    if aggregate == "average":
+        estimates = estimates * float(n)
+    if scalar_input and estimates.ndim == 1:
+        return estimates
+    if estimates.ndim == 1:
+        estimates = estimates[:, None]
+    return estimates
+
+
+def derive_schedule_seed(master_seed: int, call_index: int) -> int:
+    """The schedule seed of call ``call_index`` in a service's sequence.
+
+    Two services (or a service and a daemon client) sharing a master seed
+    issue identical schedule-seed sequences — the dmGS(PF) vs dmGS(PCF)
+    comparison relies on this pairing.
+    """
+    return int(
+        np.random.SeedSequence([master_seed, call_index]).generate_state(1)[0]
+    )
 
 
 @dataclasses.dataclass
@@ -36,6 +144,11 @@ class ReductionStats:
     total_messages: int = 0
     failed_to_converge: int = 0
     worst_error: float = 0.0
+    #: Calls that raised instead of returning a result. Failed calls do
+    #: NOT advance the schedule-seed stream, so a caller that catches the
+    #: exception and retries stays seed-aligned with a peer service that
+    #: never failed.
+    failed_calls: int = 0
 
 
 class ReductionService:
@@ -66,7 +179,7 @@ class ReductionService:
         """
         if not 0.0 < epsilon < 1.0:
             raise ConfigurationError(f"epsilon must be in (0, 1), got {epsilon}")
-        if aggregate not in ("average", "sum"):
+        if aggregate not in AGGREGATE_MODES:
             raise ConfigurationError(
                 f"aggregate must be 'average' or 'sum', got {aggregate!r}"
             )
@@ -102,67 +215,44 @@ class ReductionService:
 
         ``partials[i]`` is node ``i``'s scalar or 1-D vector contribution.
         Returns the (n, d) matrix of per-node sum estimates (d = 1 for
-        scalar inputs, returned as shape (n,)).
+        scalar inputs, returned as shape (n,); a call mixing bare scalars
+        and length-1 vectors is normalized to a scalar call).
         """
-        if len(partials) != self._topology.n:
-            raise ConfigurationError(
-                f"expected {self._topology.n} partials, got {len(partials)}"
-            )
-        data = [np.atleast_1d(np.asarray(p, dtype=np.float64)) for p in partials]
-        dims = {len(p) for p in data}
-        if len(dims) != 1:
-            raise ConfigurationError(f"inconsistent partial dimensions: {dims}")
-        dim = dims.pop()
-        scalar_input = all(np.ndim(p) == 0 for p in partials)
-
-        payload = [p if dim > 1 else float(p[0]) for p in data]
         n = self._topology.n
-        # Accuracy is judged relative to the partials' scale: the true sum
-        # may be arbitrarily tiny (near-orthogonal dot products), in which
-        # case "epsilon relative to the result" is unattainable in floating
-        # point and not what a caller needs anyway.
-        data_scale = max(float(np.max(np.abs(np.stack(data)))), 1e-300)
-        if self._aggregate == "average":
-            kind = AggregateKind.AVERAGE
-            error_scale = data_scale
-        else:
-            kind = AggregateKind.SUM
-            error_scale = data_scale * n
-        result = run_reduction(
-            self._topology,
-            payload,
-            kind=kind,
-            algorithm=self._algorithm,
-            epsilon=self._epsilon,
-            max_rounds=self._max_rounds,
-            schedule_seed=self._derive_seed(),
-            backend=self._backend,
-            stall_rounds=self._stall_rounds,
-            error_scale=error_scale,
-        )
+        data, scalar_input = normalize_partials(partials, n)
+        payload, kind, error_scale = plan_sum_reduction(data, self._aggregate)
+        # Derive the schedule seed for this call position but advance the
+        # stream only after the reduction completes: a call that raises
+        # consumes no seed, so a caught-and-retried failure cannot desync
+        # the schedule streams of two services sharing a master seed.
+        try:
+            result = run_reduction(
+                self._topology,
+                payload,
+                kind=kind,
+                algorithm=self._algorithm,
+                epsilon=self._epsilon,
+                max_rounds=self._max_rounds,
+                schedule_seed=derive_schedule_seed(self._seed, self._call_index),
+                backend=self._backend,
+                stall_rounds=self._stall_rounds,
+                error_scale=error_scale,
+            )
+        except Exception:
+            self.stats.failed_calls += 1
+            raise
+        self._call_index += 1
         self._record(result)
-        estimates = np.asarray(result.estimates)
-        if self._aggregate == "average":
-            estimates = estimates * float(n)
-        if scalar_input and estimates.ndim == 1:
-            return estimates
-        if estimates.ndim == 1:
-            estimates = estimates[:, None]
-        return estimates
+        return finalize_sum_estimates(
+            result.estimates,
+            n=n,
+            aggregate=self._aggregate,
+            scalar_input=scalar_input,
+        )
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _derive_seed(self) -> int:
-        # Derive a fresh, reproducible schedule seed per call: two services
-        # with the same master seed issue identical schedule sequences
-        # (the dmGS(PF) vs dmGS(PCF) comparison relies on this).
-        seed = int(
-            np.random.SeedSequence([self._seed, self._call_index]).generate_state(1)[0]
-        )
-        self._call_index += 1
-        return seed
-
     def _record(self, result: ReductionResult) -> None:
         self.stats.calls += 1
         self.stats.total_rounds += result.rounds
@@ -192,16 +282,13 @@ class ExactReductionService:
         return self._topology
 
     def all_reduce_sum(self, partials: Sequence[np.ndarray]) -> np.ndarray:
-        if len(partials) != self._topology.n:
-            raise ConfigurationError(
-                f"expected {self._topology.n} partials, got {len(partials)}"
-            )
-        data = np.stack(
-            [np.atleast_1d(np.asarray(p, dtype=np.float64)) for p in partials]
-        )
+        # Same validation/normalization contract as the gossip service:
+        # mixed-dimension partials are a ConfigurationError here too (not
+        # a raw np.stack ValueError), and scalar-vs-vector result shaping
+        # follows the one shared rule.
+        data, scalar_input = normalize_partials(partials, self._topology.n)
         total = data.sum(axis=0)
         self.stats.calls += 1
-        scalar_input = all(np.ndim(p) == 0 for p in partials)
         result = np.tile(total, (self._topology.n, 1))
         if scalar_input and result.shape[1] == 1:
             return result[:, 0]

@@ -39,6 +39,12 @@ _VECTOR_CAPABLE = (
 )
 
 
+def is_vector_capable(algorithm: str) -> bool:
+    """Whether ``backend="auto"`` may route this algorithm to the
+    vectorized engine (given no schedule/fault/history overrides)."""
+    return algorithm in _VECTOR_CAPABLE
+
+
 def default_round_cap(n: int, epsilon: float = 1e-15) -> int:
     """A generous iteration budget: ``O(log^2 n + log 1/eps)`` rounds.
 

@@ -1,0 +1,41 @@
+"""Reduction-as-a-service: a persistent multi-tenant aggregation daemon.
+
+The paper's Sec. IV treats the gossip reduction as a callable black box;
+this package is the production-shaped version of that box (ROADMAP
+item 1). :class:`ReductionDaemon` accepts independent reduction jobs —
+the same ``(algorithm, topology, partials, epsilon, aggregate)``
+contract as :meth:`repro.linalg.ReductionService.all_reduce_sum` — from
+many tenants, multiplexes compatible jobs onto
+:class:`repro.vectorized.batched.BatchedEngine` as one whole-array
+program, shards batched groups across worker processes, and streams
+per-node results back with job-level retries, deadlines and epoch-based
+resubmission. :class:`DaemonClient` is the synchronous facade that lets
+``dmgs``/``distributed_qr`` run unchanged against the daemon.
+
+Every job's per-node estimates are bit-identical to a serial
+:class:`~repro.linalg.ReductionService` call with the same master seed —
+see :mod:`repro.service.batch` for why batching preserves that.
+"""
+
+from repro.service.batch import execute_group
+from repro.service.client import DaemonClient
+from repro.service.daemon import DaemonStats, ReductionDaemon
+from repro.service.http import DaemonSource
+from repro.service.jobs import (
+    JobResult,
+    JobSnapshot,
+    JobSpec,
+    JobState,
+)
+
+__all__ = [
+    "DaemonClient",
+    "DaemonSource",
+    "DaemonStats",
+    "JobResult",
+    "JobSnapshot",
+    "JobSpec",
+    "JobState",
+    "ReductionDaemon",
+    "execute_group",
+]

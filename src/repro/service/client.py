@@ -1,0 +1,109 @@
+"""Synchronous client facade: the daemon as a drop-in ReductionService.
+
+:class:`DaemonClient` exposes the exact surface ``dmgs`` and
+``distributed_qr`` consume — ``.topology``, ``.algorithm``,
+``.epsilon``, ``.stats`` and ``.all_reduce_sum`` — but executes every
+reduction as a daemon job, so a Gram-Schmidt sweep transparently
+multiplexes with other tenants' work. Schedule-seed accounting mirrors
+:class:`~repro.linalg.ReductionService` exactly (master seed + call
+index, advanced only on success), which is what makes the client's
+results bit-identical to the in-process service's.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.linalg.reduction_service import ReductionStats
+from repro.topology.base import Topology
+
+
+class DaemonClient:
+    """One tenant's synchronous handle on a :class:`ReductionDaemon`."""
+
+    def __init__(
+        self,
+        daemon,
+        topology: Topology,
+        *,
+        tenant: str = "default",
+        algorithm: str = "push_cancel_flow",
+        epsilon: float = 1e-15,
+        max_rounds: Optional[int] = None,
+        seed: int = 0,
+        backend: str = "auto",
+        stall_rounds: Optional[int] = 60,
+        aggregate: str = "average",
+        timeout: Optional[float] = None,
+        deadline_s: Optional[float] = None,
+    ) -> None:
+        self._daemon = daemon
+        self._topology = topology
+        self._tenant = tenant
+        self._algorithm = algorithm
+        self._epsilon = epsilon
+        self._max_rounds = max_rounds
+        self._seed = seed
+        self._backend = backend
+        self._stall_rounds = stall_rounds
+        self._aggregate = aggregate
+        self._timeout = timeout
+        self._deadline_s = deadline_s
+        self._call_index = 0
+        self.stats = ReductionStats()
+
+    @property
+    def topology(self) -> Topology:
+        return self._topology
+
+    @property
+    def algorithm(self) -> str:
+        return self._algorithm
+
+    @property
+    def epsilon(self) -> float:
+        return self._epsilon
+
+    @property
+    def tenant(self) -> str:
+        return self._tenant
+
+    def all_reduce_sum(self, partials: Sequence[np.ndarray]) -> np.ndarray:
+        """Submit one reduction job and block for its per-node estimates.
+
+        Same contract as :meth:`ReductionService.all_reduce_sum`,
+        including the failure accounting of the exception-safe seed
+        stream: a call that raises (rejection, job failure, timeout)
+        consumes no call index, so a retry reruns the same schedule.
+        """
+        try:
+            job_id = self._daemon.submit(
+                tenant=self._tenant,
+                algorithm=self._algorithm,
+                topology=self._topology,
+                partials=partials,
+                epsilon=self._epsilon,
+                aggregate=self._aggregate,
+                seed=self._seed,
+                call_index=self._call_index,
+                max_rounds=self._max_rounds,
+                stall_rounds=self._stall_rounds,
+                backend=self._backend,
+                deadline_s=self._deadline_s,
+            )
+            result = self._daemon.result(job_id, timeout=self._timeout)
+        except Exception:
+            self.stats.failed_calls += 1
+            raise
+        self._call_index += 1
+        self.stats.calls += 1
+        self.stats.total_rounds += result.rounds
+        self.stats.total_messages += result.messages_sent
+        if not result.converged:
+            self.stats.failed_to_converge += 1
+        self.stats.worst_error = max(
+            self.stats.worst_error, result.max_error
+        )
+        return result.estimates

@@ -1,0 +1,51 @@
+"""HTTP source adapting a :class:`ReductionDaemon` to the PR 9 server.
+
+:class:`DaemonSource` plugs into
+:class:`repro.telemetry.server.MetricsServer` alongside the campaign
+sources; it serves ``/metrics`` (the daemon's registry in Prometheus
+text), ``/healthz`` (liveness extended with queue depth and in-flight
+counts) and ``/jobs`` (a per-job state table). The campaign-only
+endpoints (``/progress``, ``/alerts``, ``/dashboard``) simply don't
+exist on this source, and the server 404s them — the handler dispatches
+on what the source provides, not on a fixed endpoint list.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+from repro.service.daemon import ReductionDaemon
+
+
+class DaemonSource:
+    """Serves a live reduction daemon's observability plane."""
+
+    def __init__(self, daemon: ReductionDaemon) -> None:
+        self._daemon = daemon
+
+    def metrics_text(self) -> str:
+        return self._daemon.registry.to_prometheus()
+
+    def health(self) -> Dict[str, object]:
+        stats = self._daemon.stats()
+        return {
+            "status": "draining" if stats.closed else "ok",
+            "service": "reduction-daemon",
+            "queue_depth": stats.queue_depth,
+            "inflight": stats.inflight,
+            "workers": stats.workers,
+            "jobs_submitted": stats.submitted,
+            "jobs_completed": stats.completed,
+            "jobs_failed": stats.failed,
+            "jobs_rejected": stats.rejected,
+            "retries": stats.retries,
+            "epoch_resubmissions": stats.epoch_resubmissions,
+        }
+
+    def jobs(self) -> Dict[str, object]:
+        return {
+            "jobs": [
+                dataclasses.asdict(snap) for snap in self._daemon.jobs()
+            ]
+        }

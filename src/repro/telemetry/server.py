@@ -314,20 +314,27 @@ def _make_handler(source):
 
         def do_GET(self) -> None:  # noqa: N802 - stdlib hook name
             path = self.path.split("?", 1)[0]
+            # Dispatch on what the source provides: campaign sources carry
+            # progress/alerts/dashboard, the reduction-daemon source
+            # carries jobs — each serves its own plane and 404s the rest.
             try:
-                if path == "/metrics":
+                if path == "/metrics" and hasattr(source, "metrics_text"):
                     self._send(
                         200,
                         "text/plain; version=0.0.4; charset=utf-8",
                         source.metrics_text(),
                     )
-                elif path == "/healthz":
+                elif path == "/healthz" and hasattr(source, "health"):
                     self._send_json(source.health())
-                elif path == "/progress":
+                elif path == "/progress" and hasattr(source, "progress"):
                     self._send_json(source.progress())
-                elif path == "/alerts":
+                elif path == "/alerts" and hasattr(source, "alerts"):
                     self._send_json(source.alerts())
-                elif path in ("/", "/dashboard"):
+                elif path == "/jobs" and hasattr(source, "jobs"):
+                    self._send_json(source.jobs())
+                elif path in ("/", "/dashboard") and hasattr(
+                    source, "dashboard_html"
+                ):
                     self._send(
                         200,
                         "text/html; charset=utf-8",

@@ -86,6 +86,11 @@ class BatchedRun:
     #: Dynamic-topology schedule (churn / partition / outage) applied to
     #: this run with the object engine's transition-instant semantics.
     topology_schedule: Optional[TopologySchedule] = None
+    #: Per-run round cap: the run retires (state frozen) once it has
+    #: executed this many rounds, independent of the batch horizon. None
+    #: leaves the run bounded only by ``run(max_rounds)`` — this is how a
+    #: batch multiplexes jobs with different round budgets.
+    max_rounds: Optional[int] = None
 
 
 def _stack_topologies(
@@ -259,8 +264,23 @@ class BatchedEngine:
         # any timing overhead.
         self.phase_timer = None
 
+        caps = [run.max_rounds for run in runs]
+        if any(c is not None for c in caps):
+            for r, c in enumerate(caps):
+                if c is not None and c < 0:
+                    raise ConfigurationError(
+                        f"batch run {r}: max_rounds must be >= 0, got {c}"
+                    )
+            self._caps: Optional[np.ndarray] = np.array(
+                [-1 if c is None else int(c) for c in caps], dtype=np.int64
+            )
+        else:
+            self._caps = None
+
         self._round = 0
         self._retired = np.zeros(self._runs, dtype=bool)
+        if self._caps is not None:
+            self._retired |= self._caps == 0
         self._executed = np.zeros(self._runs, dtype=np.int64)
         self._messages_sent = np.zeros(self._runs, dtype=np.int64)
         self._messages_delivered = np.zeros(self._runs, dtype=np.int64)
@@ -424,6 +444,12 @@ class BatchedEngine:
         self._last_active = ~self._retired
         self._executed[active] += 1
         self._round += 1
+        if self._caps is not None:
+            # A capped run retires the instant it has spent its budget, so
+            # its frozen state is exactly the single-engine state after
+            # max_rounds rounds — callers with mixed budgets can share a
+            # batch without over-running the short ones.
+            self._retired |= (self._caps >= 0) & (self._executed >= self._caps)
 
     def _handle_link(self, gi: int, gj: int, si: int, sj: int) -> None:
         """Failure-detector handling: discard edge state, shrink schedules."""

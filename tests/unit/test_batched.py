@@ -526,3 +526,122 @@ class TestBatchObservers:
         # While the dead link swallowed mass, drift exceeded tolerance.
         assert mass.violations[0] > 0
         assert mass.worst_drift(0) > 1e-6
+
+
+class TestPerRunCaps:
+    def test_capped_runs_freeze_at_their_budget(self):
+        # Heterogeneous per-run round budgets in one batch: each run must
+        # retire exactly at its own cap while uncapped mates keep going.
+        topo = hypercube(3)
+        data = _batch_data(topo, 3, seed=9)
+        caps = [5, 10, None]
+        batch = BatchedEngine(
+            "push_flow",
+            [
+                BatchedRun(
+                    topology=topo,
+                    values=data[r],
+                    weights=np.ones(topo.n),
+                    rng=r,
+                    max_rounds=caps[r],
+                )
+                for r in range(3)
+            ],
+        )
+        batch.run(20)
+        assert batch.run_rounds.tolist() == [5, 10, 20]
+
+    def test_capped_run_matches_single_engine_bit_for_bit(self):
+        # A run capped at k inside a batch must freeze on exactly the
+        # state a lone vectorized engine reaches after k rounds.
+        topo = hypercube(3)
+        data = _batch_data(topo, 2, seed=10)
+        batch = BatchedEngine(
+            "push_cancel_flow",
+            [
+                BatchedRun(
+                    topology=topo,
+                    values=data[r],
+                    weights=np.ones(topo.n),
+                    rng=17 + r,
+                    max_rounds=5 if r == 0 else None,
+                )
+                for r in range(2)
+            ],
+        )
+        batch.run(40)
+        single = vector_engine_for("push_cancel_flow")(
+            topo, data[0], np.ones(topo.n), seed=17
+        )
+        single.run(5)
+        assert np.array_equal(batch.estimates()[0], single.estimates())
+        assert batch.messages_sent[0] == single.messages_sent
+
+    def test_zero_cap_retired_before_any_step(self):
+        topo = ring(4)
+        values = np.arange(4.0)
+        batch = BatchedEngine(
+            "push_sum",
+            [
+                BatchedRun(
+                    topology=topo,
+                    values=values,
+                    weights=np.ones(4),
+                    rng=0,
+                    max_rounds=0,
+                ),
+                BatchedRun(
+                    topology=topo,
+                    values=values,
+                    weights=np.ones(4),
+                    rng=0,
+                ),
+            ],
+        )
+        batch.run(10)
+        assert batch.run_rounds.tolist() == [0, 10]
+        assert batch.messages_sent[0] == 0
+        assert np.array_equal(batch.estimates()[0].ravel(), values)
+
+    def test_capped_run_still_gets_final_stop_check(self):
+        # The cap retires a run *after* the round's stop check, so a
+        # stop_when firing on the cap round still registers for it.
+        topo = ring(4)
+        seen = []
+
+        def stop(engine, round_index):
+            seen.append(engine.last_round_active.copy())
+            return np.zeros(2, dtype=bool)
+
+        batch = BatchedEngine(
+            "push_sum",
+            [
+                BatchedRun(
+                    topology=topo,
+                    values=np.ones(4),
+                    weights=np.ones(4),
+                    rng=r,
+                    max_rounds=3,
+                )
+                for r in range(2)
+            ],
+        )
+        batch.run(5, stop_when=stop)
+        # Rounds 0..2 execute for both runs; the cap-round check (index 2)
+        # must still see both active before they freeze.
+        assert len(seen) == 3
+        assert seen[2].tolist() == [True, True]
+
+    def test_negative_per_run_cap_rejected(self):
+        with pytest.raises(ConfigurationError, match="max_rounds"):
+            BatchedEngine(
+                "push_sum",
+                [
+                    BatchedRun(
+                        topology=ring(4),
+                        values=np.ones(4),
+                        weights=np.ones(4),
+                        max_rounds=-1,
+                    )
+                ],
+            )

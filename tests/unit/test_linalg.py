@@ -277,3 +277,82 @@ class TestPowerIteration:
             distributed_power_iteration(
                 np.zeros((3, 4)), ExactReductionService(ring(3))
             )
+
+
+class TestServiceContractFixes:
+    """Regression tests for the shared validation/normalization contract."""
+
+    def test_scalar_and_length1_vector_mix_is_scalar_call(self):
+        # The result shape must not flip on how one caller spelled 0.0.
+        topo = ring(4)
+        mixed_a = [0.5, np.array([1.0]), 2.0, -0.5]
+        mixed_b = [np.array([0.5]), 1.0, np.array([2.0]), np.array([-0.5])]
+        for mixed in (mixed_a, mixed_b):
+            out = ReductionService(topo, seed=1).all_reduce_sum(mixed)
+            assert out.shape == (4,), out.shape
+
+    def test_all_length1_vectors_stay_a_vector_call(self):
+        topo = ring(4)
+        out = ReductionService(topo, seed=1).all_reduce_sum(
+            [np.array([float(i)]) for i in range(4)]
+        )
+        assert out.shape == (4, 1), out.shape
+
+    def test_mix_shape_consistent_across_services(self):
+        topo = ring(4)
+        mixed = [0.5, np.array([1.0]), 2.0, -0.5]
+        exact = ExactReductionService(topo).all_reduce_sum(mixed)
+        gossip = ReductionService(topo, seed=1).all_reduce_sum(mixed)
+        assert exact.shape == gossip.shape == (4,)
+
+    def test_exact_service_rejects_inconsistent_dims(self):
+        # Shared helper: a ConfigurationError, not a raw np.stack ValueError.
+        service = ExactReductionService(ring(4))
+        with pytest.raises(ConfigurationError):
+            service.all_reduce_sum(
+                [np.zeros(2), np.zeros(3), np.zeros(2), np.zeros(2)]
+            )
+
+    def test_exact_service_rejects_wrong_count(self):
+        with pytest.raises(ConfigurationError):
+            ExactReductionService(ring(4)).all_reduce_sum([1.0, 2.0])
+
+    def test_matrix_partial_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ReductionService(ring(4), seed=0).all_reduce_sum(
+                [np.zeros((2, 2)), 0.0, 0.0, 0.0]
+            )
+
+    def test_failed_call_does_not_advance_seed_stream(self, monkeypatch):
+        # A call that raises must consume no schedule seed: a caller that
+        # catches and retries stays schedule-aligned with a peer service
+        # sharing the master seed (the dmGS(PF)/dmGS(PCF) pairing).
+        import repro.linalg.reduction_service as svc_mod
+        from repro.exceptions import SimulationError
+
+        topo = hypercube(3)
+        partials = list(np.random.default_rng(11).uniform(size=topo.n))
+        reference = ReductionService(topo, seed=5)
+        ref_first = reference.all_reduce_sum(partials)
+        ref_second = reference.all_reduce_sum(partials)
+
+        real_run = svc_mod.run_reduction
+        calls = {"n": 0}
+
+        def flaky(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise SimulationError("injected mid-sequence failure")
+            return real_run(*args, **kwargs)
+
+        monkeypatch.setattr(svc_mod, "run_reduction", flaky)
+        flaky_service = ReductionService(topo, seed=5)
+        first = flaky_service.all_reduce_sum(partials)
+        with pytest.raises(SimulationError):
+            flaky_service.all_reduce_sum(partials)
+        assert flaky_service.stats.failed_calls == 1
+        assert flaky_service.stats.calls == 1
+        second = flaky_service.all_reduce_sum(partials)  # the retry
+
+        np.testing.assert_array_equal(first, ref_first)
+        np.testing.assert_array_equal(second, ref_second)
